@@ -1,0 +1,79 @@
+// Ablation — what each CSD construction stage buys.
+//
+// DESIGN.md calls out three design choices of the Semantic Diagram
+// Constructor; this bench knocks each out and measures the end-to-end
+// effect on the diagram and on CSD-PM pattern quality:
+//   * full pipeline          (clustering + purification + merging)
+//   * no purification        (Algorithm 2 skipped — Semantic Complexity
+//                             leaks into the units, consistency drops)
+//   * no merging             (fragments stay split; leftover POIs are
+//                             dropped, coverage falls)
+//   * no alpha ratio         (Algorithm 1 without the popularity-ratio
+//                             test: hot and cold POIs mix)
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+struct Variant {
+  const char* name;
+  csd::CsdBuildOptions options;
+};
+
+}  // namespace
+
+int main() {
+  using namespace csd;
+  bench::ExperimentSetup s = bench::MakeStandardSetup();
+  bench::PrintSetupBanner(s, "Ablation: CSD construction stages");
+
+  std::vector<Variant> variants;
+  variants.push_back({"full pipeline", CsdBuildOptions{}});
+  {
+    CsdBuildOptions o;
+    o.enable_purification = false;
+    variants.push_back({"no purification", o});
+  }
+  {
+    CsdBuildOptions o;
+    o.enable_merging = false;
+    variants.push_back({"no merging", o});
+  }
+  {
+    CsdBuildOptions o;
+    o.clustering.alpha = 1e-9;  // popularity-ratio test effectively off
+    variants.push_back({"no alpha ratio", o});
+  }
+
+  std::printf("%-17s %7s %9s %8s | %9s %10s %12s\n", "variant", "units",
+              "coverage", "purity", "#patterns", "sparsity",
+              "consistency");
+  for (const Variant& v : variants) {
+    CitySemanticDiagram diagram = CsdBuilder(v.options).Build(*s.pois,
+                                                              s.stays);
+    CsdRecognizer recognizer(&diagram, v.options.r3sigma);
+    SemanticTrajectoryDb db = s.db;
+    recognizer.AnnotateDatabase(&db);
+    auto patterns =
+        CounterpartClusterExtract(db, s.miner_config.extraction);
+    // Quality is always judged against the full-pipeline reference
+    // recognizer (the paper's evaluation convention).
+    ApproachMetrics metrics =
+        EvaluateApproach(patterns, s.miner->csd_recognizer());
+    std::printf("%-17s %7zu %8.1f%% %8.3f | %9zu %9.2fm %12.4f\n", v.name,
+                diagram.num_units(), 100.0 * diagram.CoverageRatio(),
+                diagram.MeanUnitPurity(), metrics.num_patterns,
+                metrics.mean_sparsity, metrics.mean_consistency);
+  }
+  std::printf(
+      "\nreading: merging is the coverage stage (fragment healing and\n"
+      "leftover absorption); dropping it loses POIs, patterns and\n"
+      "consistency. Purification guards consistency — the margin is small\n"
+      "here because Algorithm 1's same-category condition already\n"
+      "pre-sorts the synthetic city; real POI soup leans on it harder.\n"
+      "Dropping the alpha ratio mixes hot and cold POIs, costing patterns\n"
+      "and consistency.\n");
+  return 0;
+}

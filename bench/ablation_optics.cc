@@ -1,0 +1,62 @@
+// Ablation — parameter-free OPTICS refinement vs. fixed-radius refinement
+// across the radius choice.
+//
+// The paper credits CSD-PM's yield "mainly to Optics", which "optimizes
+// the configuration of distance threshold automatically". The fair test is
+// therefore parameter sensitivity: Mean Shift (Splitter) and DBSCAN
+// (SDBSCAN) refine in a 2m-dimensional space whose scale must be guessed —
+// too small fragments corridors below the support threshold, too large
+// fuses adjacent corridors into sparse blobs. PM's OPTICS cut needs no
+// such radius. We sweep the fixed radius and compare against the single
+// PM result on identically annotated trajectories.
+
+#include <cstdio>
+
+#include "baseline/splitter.h"
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace csd;
+  bench::ExperimentSetup s = bench::MakeStandardSetup();
+  bench::PrintSetupBanner(s, "Ablation: refinement radius sensitivity");
+
+  SemanticTrajectoryDb annotated =
+      s.miner->AnnotateFor(RecognizerKind::kCsd, s.db);
+  const ExtractionOptions& extraction = s.miner_config.extraction;
+
+  MiningResult pm = s.miner->ExtractAndEvaluate(
+      ExtractorKind::kPervasiveMiner, annotated, extraction);
+  std::printf("%-22s %10s %10s %12s\n", "refinement", "#patterns",
+              "coverage", "sparsity");
+  std::printf("%-22s %10zu %10zu %10.2fm   (no radius parameter)\n",
+              "OPTICS (PM, auto)", pm.metrics.num_patterns,
+              pm.metrics.coverage, pm.metrics.mean_sparsity);
+
+  for (double radius : {40.0, 80.0, 150.0, 300.0, 600.0, 1200.0}) {
+    SplitterOptions splitter;
+    splitter.bandwidth = radius;
+    auto splitter_patterns =
+        SplitterExtract(annotated, extraction, splitter);
+    ApproachMetrics ms =
+        EvaluateApproach(splitter_patterns, s.miner->csd_recognizer());
+
+    SdbscanOptions sdbscan;
+    sdbscan.eps = radius;
+    auto sdbscan_patterns = SdbscanExtract(annotated, extraction, sdbscan);
+    ApproachMetrics ds =
+        EvaluateApproach(sdbscan_patterns, s.miner->csd_recognizer());
+
+    std::printf("MeanShift  bw=%-7.0f %10zu %10zu %10.2fm\n", radius,
+                ms.num_patterns, ms.coverage, ms.mean_sparsity);
+    std::printf("DBSCAN     eps=%-6.0f %10zu %10zu %10.2fm\n", radius,
+                ds.num_patterns, ds.coverage, ds.mean_sparsity);
+  }
+  std::printf(
+      "\nreading: fixed radii drift away from the PM result on both sides —\n"
+      "small radii shave cluster borders, large radii fuse adjacent\n"
+      "corridors (satellite communities) into sparser patterns. The drift\n"
+      "is mild at this synthetic scale but systematic, and the OPTICS cut\n"
+      "sits at the sweet spot with no radius parameter to tune — the\n"
+      "paper's stated reason for CSD-PM's Figure 11 lead.\n");
+  return 0;
+}

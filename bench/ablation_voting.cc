@@ -1,0 +1,76 @@
+// Ablation — unit-level voting vs. nearest-POI annotation under GPS noise.
+//
+// Section 4.2 argues that voting over fine-grained semantic units (with
+// popularity-weighted Gaussian coefficients) is what makes recognition
+// robust to GPS noise (Figure 7's riverbank example). This bench sweeps
+// the GPS noise level and compares the recognition recall of
+//   * the CSD voting recognizer (Algorithm 3), and
+//   * a nearest-POI baseline (classic database-query annotation)
+// against the generator's ground-truth activity categories.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "util/rng.h"
+
+namespace {
+
+/// Classic annotation: the single nearest POI's category.
+class NearestPoiRecognizer : public csd::SemanticRecognizer {
+ public:
+  explicit NearestPoiRecognizer(const csd::PoiDatabase* pois)
+      : pois_(pois) {}
+
+  csd::SemanticProperty Recognize(const csd::Vec2& position) const override {
+    if (pois_->size() == 0) return {};
+    return pois_->poi(pois_->Nearest(position)).semantic();
+  }
+
+ private:
+  const csd::PoiDatabase* pois_;
+};
+
+}  // namespace
+
+int main() {
+  using namespace csd;
+  bench::ExperimentSetup s = bench::MakeStandardSetup();
+  bench::PrintSetupBanner(s, "Ablation: recognition under GPS noise");
+
+  NearestPoiRecognizer nearest(s.pois.get());
+  const CsdRecognizer& voting = s.miner->csd_recognizer();
+  Rng rng(777);
+
+  std::printf("%-12s %14s %14s %16s\n", "extra noise", "CSD voting",
+              "nearest POI", "voting empty-rate");
+  for (double noise : {0.0, 10.0, 20.0, 40.0, 60.0, 80.0}) {
+    size_t n = 0;
+    size_t voting_ok = 0;
+    size_t nearest_ok = 0;
+    size_t voting_empty = 0;
+    for (size_t i = 0; i < s.trips.journeys.size(); i += 5) {
+      const auto& truth = s.trips.truths[i];
+      Vec2 p = s.trips.journeys[i].dropoff.position;
+      p.x += rng.Gaussian(0.0, noise);
+      p.y += rng.Gaussian(0.0, noise);
+      ++n;
+      SemanticProperty v = voting.Recognize(p);
+      if (v.Empty()) ++voting_empty;
+      if (v.Contains(truth.dest_category)) ++voting_ok;
+      if (nearest.Recognize(p).Contains(truth.dest_category)) ++nearest_ok;
+    }
+    std::printf("%9.0fm %13.1f%% %13.1f%% %15.1f%%\n", noise,
+                100.0 * static_cast<double>(voting_ok) /
+                    static_cast<double>(n),
+                100.0 * static_cast<double>(nearest_ok) /
+                    static_cast<double>(n),
+                100.0 * static_cast<double>(voting_empty) /
+                    static_cast<double>(n));
+  }
+  std::printf(
+      "\nreading: nearest-POI recall collapses as noise pushes the fix\n"
+      "toward whatever venue happens to be closest; unit voting degrades\n"
+      "slowly because the whole unit's popularity mass must be outvoted\n"
+      "(the paper's Figure 7 riverbank argument).\n");
+  return 0;
+}

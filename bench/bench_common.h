@@ -1,0 +1,174 @@
+#ifndef CSD_BENCH_BENCH_COMMON_H_
+#define CSD_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "miner/pervasive_miner.h"
+#include "synth/city_generator.h"
+#include "synth/trip_generator.h"
+#include "traj/journey.h"
+#include "util/stopwatch.h"
+
+namespace csd::bench {
+
+/// The standard experiment dataset shared by every figure/table bench:
+/// one synthetic city, one simulated week of taxi journeys, the derived
+/// stay points and semantic trajectories, and a PervasiveMiner holding the
+/// CSD and ROI recognizers.
+///
+/// The scale is a laptop-budget stand-in for the paper's 2.2×10⁷-journey
+/// Shanghai dataset; override with environment variables CSD_BENCH_POIS,
+/// CSD_BENCH_AGENTS, CSD_BENCH_DAYS to push it up.
+struct ExperimentSetup {
+  CityConfig city_config;
+  TripConfig trip_config;
+  MinerConfig miner_config;
+
+  SyntheticCity city;
+  TripDataset trips;
+  std::unique_ptr<PoiDatabase> pois;
+  std::vector<StayPoint> stays;
+  SemanticTrajectoryDb db;
+  std::unique_ptr<PervasiveMiner> miner;
+
+  double build_seconds = 0.0;
+};
+
+inline size_t EnvSize(const char* name, size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  long long parsed = std::atoll(value);
+  return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
+}
+
+/// Builds the standard setup. The paper's parameter defaults are used for
+/// extraction (σ=50, δ_t=60 min, ρ=0.002 m⁻²).
+inline ExperimentSetup MakeStandardSetup() {
+  ExperimentSetup s;
+  s.city_config.num_pois = EnvSize("CSD_BENCH_POIS", 15000);
+  s.trip_config.num_agents = EnvSize("CSD_BENCH_AGENTS", 2000);
+  s.trip_config.num_days = static_cast<int>(EnvSize("CSD_BENCH_DAYS", 7));
+  s.miner_config.extraction.support_threshold = 50;
+  s.miner_config.extraction.temporal_constraint = 60 * kSecondsPerMinute;
+  s.miner_config.extraction.density_threshold = 0.002;
+
+  Stopwatch watch;
+  s.city = GenerateCity(s.city_config);
+  s.trips = GenerateTrips(s.city, s.trip_config);
+  s.pois = std::make_unique<PoiDatabase>(s.city.pois);
+  s.stays = CollectStayPoints(s.trips.journeys);
+
+  s.db = JourneysToStayPairs(s.trips.journeys);
+  SemanticTrajectoryDb linked = LinkJourneys(s.trips.journeys, {});
+  s.db.insert(s.db.end(), linked.begin(), linked.end());
+  for (size_t i = 0; i < s.db.size(); ++i) {
+    s.db[i].id = static_cast<TrajectoryId>(i);
+  }
+
+  s.miner = std::make_unique<PervasiveMiner>(s.pois.get(), s.stays,
+                                             s.miner_config);
+  s.build_seconds = watch.ElapsedSeconds();
+  return s;
+}
+
+inline void PrintSetupBanner(const ExperimentSetup& s, const char* title) {
+  std::printf("== %s ==\n", title);
+  std::printf(
+      "dataset: %zu POIs, %zu journeys (%zu agents, %d days), %zu semantic "
+      "trajectories\n",
+      s.city.pois.size(), s.trips.journeys.size(), s.trip_config.num_agents,
+      s.trip_config.num_days, s.db.size());
+  std::printf(
+      "CSD: %zu units, coverage %.1f%%, mean purity %.3f (setup %.1fs)\n",
+      s.miner->diagram().num_units(),
+      100.0 * s.miner->diagram().CoverageRatio(),
+      s.miner->diagram().MeanUnitPurity(), s.build_seconds);
+  std::printf("parameters: sigma=%zu, delta_t=%lldmin, rho=%.4f/m^2\n\n",
+              s.miner_config.extraction.support_threshold,
+              static_cast<long long>(
+                  s.miner_config.extraction.temporal_constraint / 60),
+              s.miner_config.extraction.density_threshold);
+}
+
+/// One x-axis point of a Figure 11/12/13 parameter sweep.
+struct SweepPoint {
+  std::string label;
+  ExtractionOptions extraction;
+};
+
+/// Runs every pipeline at every sweep point and prints the figure's four
+/// panels (#patterns, coverage, avg spatial sparsity, avg semantic
+/// consistency) as value tables: rows = approaches, columns = parameter
+/// values. Databases are annotated once per recognizer and reused.
+inline void RunParameterSweep(const ExperimentSetup& s, const char* title,
+                              const std::vector<SweepPoint>& points) {
+  std::printf("== %s ==\n\n", title);
+  SemanticTrajectoryDb csd_db =
+      s.miner->AnnotateFor(RecognizerKind::kCsd, s.db);
+  SemanticTrajectoryDb roi_db =
+      s.miner->AnnotateFor(RecognizerKind::kRoi, s.db);
+
+  std::vector<PipelineKind> pipelines = AllPipelines();
+  // results[pipeline][point]
+  std::vector<std::vector<ApproachMetrics>> results(pipelines.size());
+  for (size_t p = 0; p < pipelines.size(); ++p) {
+    const SemanticTrajectoryDb& annotated =
+        pipelines[p].recognizer == RecognizerKind::kCsd ? csd_db : roi_db;
+    for (const SweepPoint& point : points) {
+      Stopwatch watch;
+      MiningResult r = s.miner->ExtractAndEvaluate(
+          pipelines[p].extractor, annotated, point.extraction);
+      std::printf("  %-13s @ %-12s -> %4zu patterns (%5.1fs)\n",
+                  pipelines[p].Name().c_str(), point.label.c_str(),
+                  r.metrics.num_patterns, watch.ElapsedSeconds());
+      results[p].push_back(r.metrics);
+    }
+  }
+  std::printf("\n");
+
+  auto panel = [&](const char* name, auto getter, const char* fmt) {
+    std::printf("(%s)\n%-13s", name, "approach");
+    for (const SweepPoint& point : points) {
+      std::printf(" %10s", point.label.c_str());
+    }
+    std::printf("\n");
+    for (size_t p = 0; p < pipelines.size(); ++p) {
+      std::printf("%-13s", pipelines[p].Name().c_str());
+      for (size_t v = 0; v < points.size(); ++v) {
+        std::printf(fmt, getter(results[p][v]));
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  };
+  panel("a: number of patterns",
+        [](const ApproachMetrics& m) { return static_cast<double>(m.num_patterns); },
+        " %10.0f");
+  panel("b: coverage",
+        [](const ApproachMetrics& m) { return static_cast<double>(m.coverage); },
+        " %10.0f");
+  panel("c: average spatial sparsity (m)",
+        [](const ApproachMetrics& m) { return m.mean_sparsity; }, " %10.2f");
+  panel("d: average semantic consistency",
+        [](const ApproachMetrics& m) { return m.mean_consistency; },
+        " %10.4f");
+}
+
+/// Renders a row of an ASCII column chart, e.g. "CSD-PM   | ########".
+inline void PrintBar(const char* label, double value, double max_value,
+                     int width = 40) {
+  int filled = max_value > 0.0
+                   ? static_cast<int>(value / max_value * width + 0.5)
+                   : 0;
+  std::printf("  %-14s |", label);
+  for (int i = 0; i < filled; ++i) std::printf("#");
+  std::printf("\n");
+}
+
+}  // namespace csd::bench
+
+#endif  // CSD_BENCH_BENCH_COMMON_H_

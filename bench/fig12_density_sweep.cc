@@ -1,0 +1,26 @@
+// Figure 12 reproduction — impact of the density threshold ρ.
+//
+// Same four panels as Figure 11 across ρ. Expected shape mirrors the σ
+// sweep: tightening ρ rejects loose groups (quality up, quantity down),
+// CSD-PM stays ahead on #patterns/coverage, and CSD-based pipelines beat
+// ROI-based ones on sparsity and consistency throughout.
+
+#include "bench/bench_common.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace csd;
+  bench::ExperimentSetup s = bench::MakeStandardSetup();
+  bench::PrintSetupBanner(s, "Figure 12: density threshold sweep");
+
+  std::vector<bench::SweepPoint> points;
+  for (double rho : {0.0005, 0.001, 0.002, 0.004}) {
+    bench::SweepPoint point;
+    point.label = StrFormat("rho=%.4f", rho);
+    point.extraction = s.miner_config.extraction;
+    point.extraction.density_threshold = rho;
+    points.push_back(point);
+  }
+  bench::RunParameterSweep(s, "Figure 12 panels (vary rho)", points);
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 13 reproduction — impact of the temporal constraint δ_t.
+//
+// Same four panels across δ_t ∈ {15, 30, 60, 120} minutes. Expected shape:
+// a drop at δ_t = 15 min (trips longer than the bound are filtered away —
+// the paper attributes its own drop to the ~30-minute average Shanghai
+// taxi trip) and a plateau from roughly the average trip duration onward.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace csd;
+  bench::ExperimentSetup s = bench::MakeStandardSetup();
+  bench::PrintSetupBanner(s, "Figure 13: temporal constraint sweep");
+
+  // Context for the plateau: the dataset's trip duration profile.
+  double mean = 0.0;
+  for (const TaxiJourney& j : s.trips.journeys) {
+    mean += static_cast<double>(j.dropoff.time - j.pickup.time);
+  }
+  mean /= static_cast<double>(s.trips.journeys.size()) * 60.0;
+  std::printf("average trip duration: %.1f min -> expect the curves to "
+              "plateau for delta_t above it\n\n",
+              mean);
+
+  std::vector<bench::SweepPoint> points;
+  for (int minutes : {15, 30, 60, 120}) {
+    bench::SweepPoint point;
+    point.label = std::to_string(minutes) + "min";
+    point.extraction = s.miner_config.extraction;
+    point.extraction.temporal_constraint = minutes * kSecondsPerMinute;
+    points.push_back(point);
+  }
+  bench::RunParameterSweep(s, "Figure 13 panels (vary delta_t)", points);
+  return 0;
+}

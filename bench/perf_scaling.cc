@@ -1,0 +1,57 @@
+// Scaling study — end-to-end runtime vs. dataset size.
+//
+// Complements micro_core: full-stage wall-clock times (CSD build,
+// annotation, CSD-PM extraction) across city scales, so a user can
+// extrapolate to their dataset. σ scales with the trip count to keep the
+// mining problem comparable.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace csd;
+  std::printf("== Scaling: end-to-end runtime vs dataset size ==\n\n");
+  std::printf("%8s %8s %9s | %10s %10s %10s | %9s\n", "POIs", "agents",
+              "journeys", "csd build", "annotate", "mine", "#patterns");
+
+  for (size_t scale : {1, 2, 4, 8}) {
+    CityConfig city_config;
+    city_config.num_pois = 5000 * scale;
+    SyntheticCity city = GenerateCity(city_config);
+    TripConfig trip_config;
+    trip_config.num_agents = 700 * scale;
+    trip_config.num_communities = 12 * scale;
+    TripDataset trips = GenerateTrips(city, trip_config);
+
+    PoiDatabase pois(city.pois);
+    std::vector<StayPoint> stays = CollectStayPoints(trips.journeys);
+    SemanticTrajectoryDb db = JourneysToStayPairs(trips.journeys);
+    for (size_t i = 0; i < db.size(); ++i) {
+      db[i].id = static_cast<TrajectoryId>(i);
+    }
+
+    Stopwatch watch;
+    MinerConfig config;
+    config.extraction.support_threshold = 18 * scale;
+    PervasiveMiner miner(&pois, stays, config);
+    double t_build = watch.ElapsedSeconds();
+
+    watch.Restart();
+    SemanticTrajectoryDb annotated =
+        miner.AnnotateFor(RecognizerKind::kCsd, db);
+    double t_annotate = watch.ElapsedSeconds();
+
+    watch.Restart();
+    MiningResult result = miner.ExtractAndEvaluate(
+        ExtractorKind::kPervasiveMiner, annotated,
+        config.extraction);
+    double t_mine = watch.ElapsedSeconds();
+
+    std::printf("%8zu %8zu %9zu | %9.2fs %9.2fs %9.2fs | %9zu\n",
+                pois.size(), trip_config.num_agents, trips.journeys.size(),
+                t_build, t_annotate, t_mine, result.patterns.size());
+  }
+  std::printf("\n(threads: CSD_THREADS env or min(hardware, 8))\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Related-work comparison — grid/ROI T-patterns (Giannotti et al. [13]).
+//
+// Section 2's first family: spatiotemporal mining without semantics.
+// T-patterns find the same physical flows but, by construction, cannot
+// say *why* people travel — the Semantic Absence limitation that
+// motivates the CSD. This bench mines both on the same journeys and
+// matches each T-pattern to the nearest CSD-PM pattern to show what
+// semantic label the T-pattern was missing.
+
+#include <cstdio>
+
+#include "baseline/tpattern.h"
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace csd;
+  bench::ExperimentSetup s = bench::MakeStandardSetup();
+  bench::PrintSetupBanner(s, "Related work: semantics-free T-patterns");
+
+  TPatternOptions options;
+  options.support_threshold = s.miner_config.extraction.support_threshold;
+  options.temporal_constraint =
+      s.miner_config.extraction.temporal_constraint;
+  Stopwatch watch;
+  auto tpatterns = MineTPatterns(s.db, options);
+  std::printf("T-patterns: %zu (cell %.0fm, dense>=%zu) in %.2fs\n",
+              tpatterns.size(), options.cell_size,
+              options.dense_cell_threshold, watch.ElapsedSeconds());
+
+  MiningResult csd = s.miner->RunCsdPm(s.db);
+  std::printf("CSD-PM patterns: %zu\n\n", csd.patterns.size());
+
+  std::printf("strongest T-patterns and the semantics they cannot see:\n");
+  std::sort(tpatterns.begin(), tpatterns.end(),
+            [](const TPattern& a, const TPattern& b) {
+              return a.support > b.support;
+            });
+  for (size_t i = 0; i < tpatterns.size() && i < 8; ++i) {
+    const TPattern& tp = tpatterns[i];
+    std::printf("  %4zu x (%5.0f,%5.0f)", tp.support, tp.roi_centers[0].x,
+                tp.roi_centers[0].y);
+    for (size_t k = 1; k < tp.roi_centers.size(); ++k) {
+      std::printf(" -%lldmin-> (%5.0f,%5.0f)",
+                  static_cast<long long>(tp.transition_times[k - 1] / 60),
+                  tp.roi_centers[k].x, tp.roi_centers[k].y);
+    }
+    // Nearest CSD-PM pattern by endpoint distance supplies the label the
+    // T-pattern lacks.
+    const FineGrainedPattern* best = nullptr;
+    double best_d = 1e18;
+    for (const auto& p : csd.patterns) {
+      if (p.length() != tp.roi_centers.size()) continue;
+      double d = 0.0;
+      for (size_t k = 0; k < p.length(); ++k) {
+        d += Distance(p.representative[k].position, tp.roi_centers[k]);
+      }
+      if (d < best_d) {
+        best_d = d;
+        best = &p;
+      }
+    }
+    if (best != nullptr && best_d < 500.0 * tp.roi_centers.size()) {
+      std::printf("\n        = %s (per CSD-PM)\n",
+                  best->SemanticLabel().c_str());
+    } else {
+      std::printf("\n        = <no matching semantic pattern>\n");
+    }
+  }
+  std::printf(
+      "\nreading: the flows overlap, but T-patterns answer only *where*;\n"
+      "the CSD recognizer supplies the *why* (Semantic Absence resolved).\n");
+  return 0;
+}

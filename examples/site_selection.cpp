@@ -1,0 +1,65 @@
+// Business-intelligence example from the paper's introduction: patterns
+// such as Residence→Shop estimate the popularity and purchasing power
+// around commercial centers, valuable for selecting new store sites.
+//
+// We mine fine-grained patterns with CSD-PM, keep those that end in a
+// Shop & Market semantic, attribute each to the semantic unit around its
+// destination, and rank commercial units by inbound pattern demand. The
+// report also shows where the demand comes from (origin semantics).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/demand.h"
+#include "miner/pervasive_miner.h"
+#include "synth/city_generator.h"
+#include "synth/trip_generator.h"
+#include "traj/journey.h"
+
+int main() {
+  using namespace csd;
+
+  CityConfig city_config;
+  city_config.num_pois = 12000;
+  SyntheticCity city = GenerateCity(city_config);
+  TripConfig trip_config;
+  trip_config.num_agents = 1600;
+  TripDataset trips = GenerateTrips(city, trip_config);
+
+  PoiDatabase pois(city.pois);
+  std::vector<StayPoint> stays = CollectStayPoints(trips.journeys);
+  SemanticTrajectoryDb db = JourneysToStayPairs(trips.journeys);
+  SemanticTrajectoryDb linked = LinkJourneys(trips.journeys, {});
+  db.insert(db.end(), linked.begin(), linked.end());
+  for (size_t i = 0; i < db.size(); ++i) db[i].id = static_cast<TrajectoryId>(i);
+
+  MinerConfig config;
+  config.extraction.support_threshold = 25;
+  PervasiveMiner miner(&pois, stays, config);
+  MiningResult result = miner.RunCsdPm(db);
+  std::printf("mined %zu fine-grained patterns from %zu journeys\n\n",
+              result.patterns.size(), trips.journeys.size());
+
+  // Demand per destination semantic unit for shopping-bound patterns.
+  std::vector<UnitDemand> ranked = AttributeDestinationDemand(
+      result.patterns, miner.csd_recognizer(), MajorCategory::kShopMarket);
+
+  std::printf("top shopping destinations by inbound taxi-pattern demand\n");
+  std::printf("(site-selection shortlist: strong demand, so a competitor or "
+              "complementary store nearby is promising)\n\n");
+  for (size_t i = 0; i < ranked.size() && i < 8; ++i) {
+    const SemanticUnit& unit = miner.diagram().unit(ranked[i].unit);
+    std::printf("#%zu unit %u @ (%.0f, %.0f): %zu POIs, inbound support "
+                "%zu\n",
+                i + 1, unit.id, unit.centroid.x, unit.centroid.y,
+                unit.size(), ranked[i].inbound);
+    for (const auto& [origin, support] : ranked[i].origins) {
+      std::printf("     %5zu from %s\n", support, origin.c_str());
+    }
+  }
+  if (ranked.empty()) {
+    std::printf("no shopping-bound patterns at this support threshold; "
+                "lower sigma or enlarge the dataset\n");
+  }
+  return 0;
+}

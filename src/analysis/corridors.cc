@@ -1,0 +1,68 @@
+#include "analysis/corridors.h"
+
+#include <algorithm>
+
+namespace csd {
+
+int Corridor::PeakHour() const {
+  return static_cast<int>(std::distance(
+      departure_hours.begin(),
+      std::max_element(departure_hours.begin(), departure_hours.end())));
+}
+
+std::vector<Corridor> AggregateCorridors(
+    const std::vector<FineGrainedPattern>& patterns,
+    const CorridorOptions& options) {
+  std::vector<Corridor> corridors;
+  std::vector<size_t> strongest;  // demand of the pattern that named it
+
+  for (const FineGrainedPattern& p : patterns) {
+    if (p.length() != 2) continue;
+    Corridor candidate;
+    candidate.from = p.representative[0].position;
+    candidate.to = p.representative[1].position;
+    if (Distance(candidate.from, candidate.to) < options.min_length_m) {
+      continue;
+    }
+    candidate.demand = p.support();
+    candidate.label = p.SemanticLabel();
+    for (const StayPoint& sp : p.groups[0]) {
+      candidate.departure_hours[static_cast<size_t>(
+          (sp.time % kSecondsPerDay) / kSecondsPerHour)]++;
+    }
+
+    bool merged = false;
+    for (size_t i = 0; i < corridors.size(); ++i) {
+      Corridor& existing = corridors[i];
+      bool same =
+          Distance(existing.from, candidate.from) < options.merge_radius_m &&
+          Distance(existing.to, candidate.to) < options.merge_radius_m;
+      bool reverse =
+          Distance(existing.from, candidate.to) < options.merge_radius_m &&
+          Distance(existing.to, candidate.from) < options.merge_radius_m;
+      if (!same && !reverse) continue;
+      existing.demand += candidate.demand;
+      for (int h = 0; h < 24; ++h) {
+        existing.departure_hours[h] += candidate.departure_hours[h];
+      }
+      if (candidate.demand > strongest[i]) {
+        strongest[i] = candidate.demand;
+        existing.label = candidate.label;
+      }
+      merged = true;
+      break;
+    }
+    if (!merged) {
+      strongest.push_back(candidate.demand);
+      corridors.push_back(std::move(candidate));
+    }
+  }
+
+  std::sort(corridors.begin(), corridors.end(),
+            [](const Corridor& a, const Corridor& b) {
+              return a.demand > b.demand;
+            });
+  return corridors;
+}
+
+}  // namespace csd

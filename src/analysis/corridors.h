@@ -1,0 +1,46 @@
+#ifndef CSD_ANALYSIS_CORRIDORS_H_
+#define CSD_ANALYSIS_CORRIDORS_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/pattern.h"
+
+namespace csd {
+
+/// A travel corridor: an aggregated origin→destination flow assembled
+/// from length-2 fine-grained patterns. The paper's transport-planning
+/// motivation: heavy shared taxi corridors flag public-transport
+/// shortages.
+struct Corridor {
+  Vec2 from;
+  Vec2 to;
+  size_t demand = 0;  // total supporting trajectories
+  std::string label;  // semantic transition of the strongest pattern
+  std::array<size_t, 24> departure_hours{};  // histogram of origin stays
+
+  double LengthMeters() const { return Distance(from, to); }
+
+  /// Hour with the most departures.
+  int PeakHour() const;
+};
+
+struct CorridorOptions {
+  /// Patterns whose endpoints both lie within this distance merge into
+  /// one corridor; a reversed pattern merges into the forward corridor.
+  double merge_radius_m = 300.0;
+
+  /// Corridors shorter than this are dropped (walkable).
+  double min_length_m = 500.0;
+};
+
+/// Aggregates the length-2 patterns of a mining result into corridors,
+/// sorted by descending demand.
+std::vector<Corridor> AggregateCorridors(
+    const std::vector<FineGrainedPattern>& patterns,
+    const CorridorOptions& options = {});
+
+}  // namespace csd
+
+#endif  // CSD_ANALYSIS_CORRIDORS_H_

@@ -1,0 +1,41 @@
+#include "analysis/demand.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace csd {
+
+std::vector<UnitDemand> AttributeDestinationDemand(
+    const std::vector<FineGrainedPattern>& patterns,
+    const CsdRecognizer& recognizer, MajorCategory target) {
+  std::unordered_map<UnitId, UnitDemand> by_unit;
+  for (const FineGrainedPattern& p : patterns) {
+    if (p.representative.size() < 2) continue;
+    const StayPoint& dest = p.representative.back();
+    if (!dest.semantic.Contains(target)) continue;
+    UnitId unit = kNoUnit;
+    recognizer.RecognizeWithUnit(dest.position, &unit);
+    if (unit == kNoUnit) continue;
+
+    UnitDemand& demand = by_unit[unit];
+    demand.unit = unit;
+    demand.inbound += p.support();
+    demand.origins[p.representative.front().semantic.ToString()] +=
+        p.support();
+    for (const StayPoint& sp : p.groups.back()) {
+      demand.arrival_hours[static_cast<size_t>(
+          (sp.time % kSecondsPerDay) / kSecondsPerHour)]++;
+    }
+  }
+
+  std::vector<UnitDemand> out;
+  out.reserve(by_unit.size());
+  for (auto& [unit, demand] : by_unit) out.push_back(std::move(demand));
+  std::sort(out.begin(), out.end(),
+            [](const UnitDemand& a, const UnitDemand& b) {
+              return a.inbound > b.inbound;
+            });
+  return out;
+}
+
+}  // namespace csd

@@ -1,0 +1,36 @@
+#ifndef CSD_ANALYSIS_DEMAND_H_
+#define CSD_ANALYSIS_DEMAND_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/pattern.h"
+#include "core/semantic_recognition.h"
+
+namespace csd {
+
+/// Inbound pattern demand attributed to one semantic unit — the paper's
+/// business-intelligence use case (Residence→Shop demand estimates the
+/// purchasing power around a commercial center).
+struct UnitDemand {
+  UnitId unit = kNoUnit;
+  size_t inbound = 0;  // total supporting trajectories of inbound patterns
+
+  /// Origin semantic label -> support.
+  std::map<std::string, size_t> origins;
+
+  /// Histogram of arrival hours across group members.
+  std::array<size_t, 24> arrival_hours{};
+};
+
+/// Attributes each pattern whose final position carries `target` semantics
+/// to the semantic unit recognized at that position, accumulating demand.
+/// Returns units sorted by descending inbound demand.
+std::vector<UnitDemand> AttributeDestinationDemand(
+    const std::vector<FineGrainedPattern>& patterns,
+    const CsdRecognizer& recognizer, MajorCategory target);
+
+}  // namespace csd
+
+#endif  // CSD_ANALYSIS_DEMAND_H_

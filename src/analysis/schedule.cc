@@ -1,0 +1,61 @@
+#include "analysis/schedule.h"
+
+#include <algorithm>
+#include <set>
+
+namespace csd {
+
+PatternSchedule ComputeSchedule(const FineGrainedPattern& pattern) {
+  PatternSchedule schedule;
+  if (pattern.groups.empty() || pattern.groups.front().empty()) {
+    return schedule;
+  }
+  const auto& departures = pattern.groups.front();
+
+  std::set<int64_t> active_days;
+  size_t weekday = 0;
+  for (const StayPoint& sp : departures) {
+    int hour = static_cast<int>((sp.time % kSecondsPerDay) /
+                                kSecondsPerHour);
+    schedule.hour_histogram[static_cast<size_t>(hour)]++;
+    int64_t day = sp.time / kSecondsPerDay;
+    active_days.insert(day);
+    if (day % 7 < 5) ++weekday;
+  }
+
+  schedule.peak_hour = static_cast<int>(std::distance(
+      schedule.hour_histogram.begin(),
+      std::max_element(schedule.hour_histogram.begin(),
+                       schedule.hour_histogram.end())));
+
+  size_t near_peak = 0;
+  for (int offset = -1; offset <= 1; ++offset) {
+    int hour = (schedule.peak_hour + offset + 24) % 24;
+    near_peak += schedule.hour_histogram[static_cast<size_t>(hour)];
+  }
+  double n = static_cast<double>(departures.size());
+  schedule.regularity = static_cast<double>(near_peak) / n;
+  schedule.weekday_share = static_cast<double>(weekday) / n;
+  schedule.trips_per_active_day =
+      n / static_cast<double>(std::max<size_t>(active_days.size(), 1));
+  return schedule;
+}
+
+std::vector<std::pair<const FineGrainedPattern*, PatternSchedule>>
+RankByRegularity(const std::vector<FineGrainedPattern>& patterns,
+                 size_t min_support) {
+  std::vector<std::pair<const FineGrainedPattern*, PatternSchedule>> out;
+  for (const FineGrainedPattern& p : patterns) {
+    if (p.support() < min_support) continue;
+    out.emplace_back(&p, ComputeSchedule(p));
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second.regularity != b.second.regularity) {
+      return a.second.regularity > b.second.regularity;
+    }
+    return a.first->support() > b.first->support();
+  });
+  return out;
+}
+
+}  // namespace csd

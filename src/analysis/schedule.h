@@ -1,0 +1,45 @@
+#ifndef CSD_ANALYSIS_SCHEDULE_H_
+#define CSD_ANALYSIS_SCHEDULE_H_
+
+#include <array>
+#include <vector>
+
+#include "core/pattern.h"
+
+namespace csd {
+
+/// Temporal profile of one fine-grained pattern: when its supporting
+/// trips depart, how regular the schedule is, and whether it is a
+/// weekday routine — the "regularities of human mobility" the paper sets
+/// out to discover, quantified per pattern.
+struct PatternSchedule {
+  /// Departure histogram over hours of day (origin stay points).
+  std::array<size_t, 24> hour_histogram{};
+
+  /// Modal departure hour.
+  int peak_hour = 0;
+
+  /// Fraction of departures within ±1 h of the peak (1.0 = clockwork
+  /// routine, ~0.125 = uniform over a day).
+  double regularity = 0.0;
+
+  /// Fraction of departures on weekdays (days 0-4 of the week).
+  double weekday_share = 0.0;
+
+  /// Departures per active day — how often the routine recurs.
+  double trips_per_active_day = 0.0;
+};
+
+/// Computes the schedule of `pattern` from its first-position group.
+PatternSchedule ComputeSchedule(const FineGrainedPattern& pattern);
+
+/// Patterns ranked by regularity (descending); ties broken by support.
+/// `min_support` filters out weakly-supported patterns whose regularity
+/// estimate would be noise.
+std::vector<std::pair<const FineGrainedPattern*, PatternSchedule>>
+RankByRegularity(const std::vector<FineGrainedPattern>& patterns,
+                 size_t min_support = 10);
+
+}  // namespace csd
+
+#endif  // CSD_ANALYSIS_SCHEDULE_H_

@@ -1,0 +1,75 @@
+#include "analysis/time_segments.h"
+
+#include <algorithm>
+
+namespace csd {
+
+const char* TimeSegmentName(TimeSegment segment) {
+  switch (segment) {
+    case TimeSegment::kWeekdayMorning:
+      return "weekday morning";
+    case TimeSegment::kWeekdayAfternoon:
+      return "weekday afternoon";
+    case TimeSegment::kWeekdayNight:
+      return "weekday night";
+    case TimeSegment::kWeekendMorning:
+      return "weekend morning";
+    case TimeSegment::kWeekendAfternoon:
+      return "weekend afternoon";
+    case TimeSegment::kWeekendNight:
+      return "weekend night";
+  }
+  return "unknown";
+}
+
+TimeSegment SegmentOfTime(Timestamp t) {
+  int day = static_cast<int>((t / kSecondsPerDay) % 7);
+  bool weekend = day >= 5;
+  int hour = static_cast<int>((t % kSecondsPerDay) / kSecondsPerHour);
+  int slot = hour < 12 ? 0 : (hour < 17 ? 1 : 2);
+  return static_cast<TimeSegment>((weekend ? 3 : 0) + slot);
+}
+
+std::array<SegmentSummary, kNumTimeSegments> SegmentPatterns(
+    const std::vector<FineGrainedPattern>& patterns,
+    size_t max_transitions) {
+  std::array<SegmentSummary, kNumTimeSegments> out;
+  for (int i = 0; i < kNumTimeSegments; ++i) {
+    out[i].segment = static_cast<TimeSegment>(i);
+  }
+  std::array<std::map<std::string, size_t>, kNumTimeSegments> transitions;
+  for (const FineGrainedPattern& p : patterns) {
+    if (p.representative.empty()) continue;
+    // Majority vote over the departure group's members: the
+    // representative's timestamp averages across days, which scrambles
+    // its time-of-day, but each member's own time is exact.
+    int seg;
+    if (!p.groups.empty() && !p.groups.front().empty()) {
+      std::array<size_t, kNumTimeSegments> votes{};
+      for (const StayPoint& sp : p.groups.front()) {
+        votes[static_cast<size_t>(SegmentOfTime(sp.time))]++;
+      }
+      seg = static_cast<int>(std::distance(
+          votes.begin(), std::max_element(votes.begin(), votes.end())));
+    } else {
+      seg = static_cast<int>(
+          SegmentOfTime(p.representative.front().time));
+    }
+    out[seg].patterns.push_back(&p);
+    out[seg].coverage += p.support();
+    transitions[seg][p.SemanticLabel()] += p.support();
+  }
+  for (int seg = 0; seg < kNumTimeSegments; ++seg) {
+    std::vector<std::pair<std::string, size_t>> ranked(
+        transitions[seg].begin(), transitions[seg].end());
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) {
+                return a.second > b.second;
+              });
+    if (ranked.size() > max_transitions) ranked.resize(max_transitions);
+    out[seg].top_transitions = std::move(ranked);
+  }
+  return out;
+}
+
+}  // namespace csd

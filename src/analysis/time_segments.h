@@ -1,0 +1,51 @@
+#ifndef CSD_ANALYSIS_TIME_SEGMENTS_H_
+#define CSD_ANALYSIS_TIME_SEGMENTS_H_
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/pattern.h"
+
+namespace csd {
+
+/// The six time-of-week segments of the paper's Figure 14 demonstration.
+enum class TimeSegment : int {
+  kWeekdayMorning = 0,
+  kWeekdayAfternoon,
+  kWeekdayNight,
+  kWeekendMorning,
+  kWeekendAfternoon,
+  kWeekendNight,
+};
+
+inline constexpr int kNumTimeSegments = 6;
+
+/// "weekday morning", … display name.
+const char* TimeSegmentName(TimeSegment segment);
+
+/// Segment of a timestamp. Weeks start on Monday (day 0); days 5-6 are
+/// the weekend; morning < 12:00 ≤ afternoon < 17:00 ≤ night.
+TimeSegment SegmentOfTime(Timestamp t);
+
+/// Per-segment pattern statistics.
+struct SegmentSummary {
+  TimeSegment segment = TimeSegment::kWeekdayMorning;
+  std::vector<const FineGrainedPattern*> patterns;
+  size_t coverage = 0;
+
+  /// Semantic transition labels ranked by summed support.
+  std::vector<std::pair<std::string, size_t>> top_transitions;
+};
+
+/// Buckets `patterns` into the six segments by the time of their first
+/// representative stay point, ranking each segment's transitions;
+/// `max_transitions` caps the per-segment transition list.
+std::array<SegmentSummary, kNumTimeSegments> SegmentPatterns(
+    const std::vector<FineGrainedPattern>& patterns,
+    size_t max_transitions = 3);
+
+}  // namespace csd
+
+#endif  // CSD_ANALYSIS_TIME_SEGMENTS_H_

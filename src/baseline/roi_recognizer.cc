@@ -1,0 +1,85 @@
+#include "baseline/roi_recognizer.h"
+
+#include <algorithm>
+#include <array>
+
+#include "cluster/dbscan.h"
+#include "util/check.h"
+
+namespace csd {
+
+RoiRecognizer::RoiRecognizer(const PoiDatabase* pois,
+                             const std::vector<StayPoint>& stays,
+                             const RoiOptions& options)
+    : pois_(pois), options_(options) {
+  CSD_CHECK(pois_ != nullptr);
+
+  // Hot-region detection: DBSCAN over the historical stay points.
+  std::vector<Vec2> positions;
+  positions.reserve(stays.size());
+  for (const StayPoint& sp : stays) positions.push_back(sp.position);
+  DbscanOptions db_opts;
+  db_opts.eps = options_.dbscan_eps;
+  db_opts.min_pts = options_.dbscan_min_pts;
+  Clustering clustering = Dbscan(positions, db_opts);
+
+  regions_.reserve(static_cast<size_t>(clustering.num_clusters));
+  for (const auto& group : clustering.Groups()) {
+    if (group.empty()) continue;
+    Region region;
+    region.num_stays = group.size();
+    Vec2 sum;
+    for (size_t idx : group) sum += positions[idx];
+    region.centroid = sum / static_cast<double>(group.size());
+    for (size_t idx : group) {
+      region.radius = std::max(region.radius,
+                               Distance(region.centroid, positions[idx]));
+    }
+
+    // Semantic annotation: the top-k categories of the POIs covering the
+    // region.
+    std::array<size_t, kNumMajorCategories> counts{};
+    pois_->ForEachInRange(region.centroid,
+                          region.radius + options_.annotation_margin,
+                          [&](PoiId pid) {
+                            counts[static_cast<size_t>(
+                                pois_->poi(pid).major())]++;
+                          });
+    std::vector<std::pair<size_t, int>> ranked;  // (count, category)
+    for (int c = 0; c < kNumMajorCategories; ++c) {
+      if (counts[c] > 0) ranked.emplace_back(counts[c], c);
+    }
+    std::sort(ranked.rbegin(), ranked.rend());
+    size_t keep = std::min(options_.top_categories, ranked.size());
+    for (size_t i = 0; i < keep; ++i) {
+      region.property.Insert(static_cast<MajorCategory>(ranked[i].second));
+    }
+    regions_.push_back(region);
+  }
+}
+
+SemanticProperty RoiRecognizer::Recognize(const Vec2& position) const {
+  // A stay point inherits the property of the covering hot region whose
+  // centroid is closest.
+  const Region* best = nullptr;
+  double best_d = 0.0;
+  for (const Region& r : regions_) {
+    double d = Distance(position, r.centroid);
+    if (d <= r.radius && (best == nullptr || d < best_d)) {
+      best = &r;
+      best_d = d;
+    }
+  }
+  if (best != nullptr) return best->property;
+
+  // Fallback: nearest POI within the fallback radius.
+  if (pois_->size() == 0) return SemanticProperty();
+  PoiId nearest = pois_->Nearest(position);
+  if (Distance(pois_->poi(nearest).position, position) <=
+      options_.fallback_radius) {
+    return pois_->poi(nearest).semantic();
+  }
+  return SemanticProperty();
+}
+
+}  // namespace csd

@@ -1,0 +1,68 @@
+#ifndef CSD_BASELINE_ROI_RECOGNIZER_H_
+#define CSD_BASELINE_ROI_RECOGNIZER_H_
+
+#include <vector>
+
+#include "core/semantic_recognition.h"
+#include "poi/poi_database.h"
+#include "traj/trajectory.h"
+
+namespace csd {
+
+/// Parameters of the ROI-based recognizer of [21].
+struct RoiOptions {
+  /// DBSCAN radius / MinPts for hot-region detection over stay points.
+  /// Hot regions only emerge where stays are dense; stay points outside
+  /// every region depend on the nearest-POI fallback — the coverage gap
+  /// (vs. CSD's everywhere-POIs recognition) the paper ascribes to [21].
+  double dbscan_eps = 100.0;
+  size_t dbscan_min_pts = 50;
+
+  /// A region is annotated by the POIs within its radius (plus this
+  /// margin) around its centroid.
+  double annotation_margin = 50.0;
+
+  /// The region's semantic property is the union of its top-k POI
+  /// categories by count (hot regions span many venues, so the
+  /// annotation is inherently coarse — the Semantic Complexity weakness
+  /// the paper describes).
+  size_t top_categories = 3;
+
+  /// Stay points outside every hot region fall back to the nearest POI
+  /// within this radius (classic database-query annotation); beyond it
+  /// the stay point stays semantically unknown.
+  double fallback_radius = 50.0;
+};
+
+/// The competitor semantic recognizer: DBSCAN hot regions over historical
+/// stay points, each annotated with its dominant POI categories; a stay
+/// point inherits the property of the region covering it, or of its
+/// nearest POI as fallback.
+class RoiRecognizer : public SemanticRecognizer {
+ public:
+  /// Builds the hot regions from `stays`. `pois` must outlive the
+  /// recognizer.
+  RoiRecognizer(const PoiDatabase* pois, const std::vector<StayPoint>& stays,
+                const RoiOptions& options = {});
+
+  SemanticProperty Recognize(const Vec2& position) const override;
+
+  /// One detected hot region.
+  struct Region {
+    Vec2 centroid;
+    double radius = 0.0;  // max member distance from the centroid
+    SemanticProperty property;
+    size_t num_stays = 0;
+  };
+
+  const std::vector<Region>& regions() const { return regions_; }
+
+ private:
+  const PoiDatabase* pois_;
+  RoiOptions options_;
+  std::vector<Region> regions_;
+};
+
+}  // namespace csd
+
+#endif  // CSD_BASELINE_ROI_RECOGNIZER_H_

@@ -1,0 +1,218 @@
+#include "baseline/splitter.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <deque>
+
+#include "cluster/mean_shift.h"
+#include "geo/stats.h"
+
+namespace csd {
+
+namespace {
+
+/// Members that respect the shared temporal constraint δ_t between
+/// consecutive matched stay points.
+std::vector<size_t> TimelyMembers(const CoarsePattern& coarse,
+                                  const SemanticTrajectoryDb& db,
+                                  Timestamp delta_t) {
+  std::vector<size_t> keep;
+  keep.reserve(coarse.members.size());
+  for (size_t i = 0; i < coarse.members.size(); ++i) {
+    const auto& member = coarse.members[i];
+    const auto& stays = db[member.db_index].stays;
+    bool ok = true;
+    for (size_t k = 1; k < member.stay_index.size() && ok; ++k) {
+      Timestamp gap = std::abs(stays[member.stay_index[k]].time -
+                               stays[member.stay_index[k - 1]].time);
+      ok = gap <= delta_t;
+    }
+    if (ok) keep.push_back(i);
+  }
+  return keep;
+}
+
+/// 2m-dimensional embedding of one member: (x_1, y_1, …, x_m, y_m).
+std::vector<double> Embed(const CoarsePattern::Member& member,
+                          const SemanticTrajectoryDb& db) {
+  std::vector<double> v;
+  v.reserve(member.stay_index.size() * 2);
+  for (size_t idx : member.stay_index) {
+    const Vec2& p = db[member.db_index].stays[idx].position;
+    v.push_back(p.x);
+    v.push_back(p.y);
+  }
+  return v;
+}
+
+/// Brute-force DBSCAN in the embedding space (supports of a single coarse
+/// pattern are small enough for O(n²) neighborhoods).
+Clustering EmbeddedDbscan(const std::vector<std::vector<double>>& points,
+                          double eps, size_t min_pts) {
+  size_t n = points.size();
+  Clustering result;
+  result.labels.assign(n, kNoiseLabel);
+  double eps2 = eps * eps;
+  auto near = [&](size_t a, size_t b) {
+    double acc = 0.0;
+    for (size_t d = 0; d < points[a].size(); ++d) {
+      double diff = points[a][d] - points[b][d];
+      acc += diff * diff;
+      if (acc > eps2) return false;
+    }
+    return true;
+  };
+  auto neighbors_of = [&](size_t i) {
+    std::vector<size_t> out;
+    for (size_t j = 0; j < n; ++j) {
+      if (near(i, j)) out.push_back(j);
+    }
+    return out;
+  };
+
+  std::vector<char> visited(n, 0);
+  int32_t next_cluster = 0;
+  for (size_t seed = 0; seed < n; ++seed) {
+    if (visited[seed]) continue;
+    visited[seed] = 1;
+    std::vector<size_t> neighbors = neighbors_of(seed);
+    if (neighbors.size() < min_pts) continue;
+    int32_t cluster = next_cluster++;
+    result.labels[seed] = cluster;
+    std::deque<size_t> frontier(neighbors.begin(), neighbors.end());
+    while (!frontier.empty()) {
+      size_t p = frontier.front();
+      frontier.pop_front();
+      if (result.labels[p] == kNoiseLabel) result.labels[p] = cluster;
+      if (visited[p]) continue;
+      visited[p] = 1;
+      std::vector<size_t> p_neighbors = neighbors_of(p);
+      if (p_neighbors.size() >= min_pts) {
+        for (size_t q : p_neighbors) {
+          if (!visited[q] || result.labels[q] == kNoiseLabel) {
+            frontier.push_back(q);
+          }
+        }
+      }
+    }
+  }
+  result.num_clusters = next_cluster;
+  return result;
+}
+
+/// Turns the clusters of `clustering` (over `member_ids`) into
+/// fine-grained patterns, enforcing the shared σ and ρ thresholds.
+std::vector<FineGrainedPattern> BuildPatterns(
+    const CoarsePattern& coarse, const SemanticTrajectoryDb& db,
+    const std::vector<size_t>& member_ids, const Clustering& clustering,
+    const ExtractionOptions& options) {
+  std::vector<FineGrainedPattern> result;
+  size_t m = coarse.length();
+  for (const auto& group : clustering.Groups()) {
+    if (group.size() < options.support_threshold) continue;
+
+    // Shared density threshold ρ per position.
+    bool dense = true;
+    for (size_t k = 0; k < m && dense; ++k) {
+      std::vector<Vec2> points;
+      points.reserve(group.size());
+      for (size_t local : group) {
+        const auto& member = coarse.members[member_ids[local]];
+        points.push_back(db[member.db_index].stays[member.stay_index[k]]
+                             .position);
+      }
+      dense = SpatialDensity(points) >= options.density_threshold;
+    }
+    if (!dense) continue;
+
+    FineGrainedPattern pattern;
+    pattern.groups.resize(m);
+    pattern.supporting.reserve(group.size());
+    for (size_t local : group) {
+      pattern.supporting.push_back(
+          coarse.members[member_ids[local]].trajectory);
+    }
+    for (size_t k = 0; k < m; ++k) {
+      std::vector<Vec2> points;
+      double mean_time = 0.0;
+      points.reserve(group.size());
+      for (size_t local : group) {
+        const auto& member = coarse.members[member_ids[local]];
+        const StayPoint& sp = db[member.db_index].stays[member.stay_index[k]];
+        points.push_back(sp.position);
+        mean_time += static_cast<double>(sp.time);
+        pattern.groups[k].push_back(sp);
+      }
+      mean_time /= static_cast<double>(group.size());
+      size_t center = CenterPointIndex(points);
+      pattern.representative.emplace_back(points[center],
+                                          static_cast<Timestamp>(mean_time),
+                                          coarse.semantics[k]);
+    }
+    result.push_back(std::move(pattern));
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<FineGrainedPattern> SplitterRefine(
+    const CoarsePattern& coarse, const SemanticTrajectoryDb& db,
+    const ExtractionOptions& options,
+    const SplitterOptions& splitter_options) {
+  std::vector<size_t> member_ids =
+      TimelyMembers(coarse, db, options.temporal_constraint);
+  if (member_ids.size() < options.support_threshold) return {};
+
+  std::vector<std::vector<double>> embedded;
+  embedded.reserve(member_ids.size());
+  for (size_t i : member_ids) embedded.push_back(Embed(coarse.members[i], db));
+
+  MeanShiftOptions ms;
+  ms.bandwidth = splitter_options.bandwidth;
+  Clustering clustering = MeanShift(embedded, ms);
+  return BuildPatterns(coarse, db, member_ids, clustering, options);
+}
+
+std::vector<FineGrainedPattern> SplitterExtract(
+    const SemanticTrajectoryDb& db, const ExtractionOptions& options,
+    const SplitterOptions& splitter_options) {
+  std::vector<FineGrainedPattern> patterns;
+  for (const CoarsePattern& coarse : MineCoarsePatterns(db, options)) {
+    auto fine = SplitterRefine(coarse, db, options, splitter_options);
+    patterns.insert(patterns.end(), std::make_move_iterator(fine.begin()),
+                    std::make_move_iterator(fine.end()));
+  }
+  return patterns;
+}
+
+std::vector<FineGrainedPattern> SdbscanRefine(
+    const CoarsePattern& coarse, const SemanticTrajectoryDb& db,
+    const ExtractionOptions& options,
+    const SdbscanOptions& sdbscan_options) {
+  std::vector<size_t> member_ids =
+      TimelyMembers(coarse, db, options.temporal_constraint);
+  if (member_ids.size() < options.support_threshold) return {};
+
+  std::vector<std::vector<double>> embedded;
+  embedded.reserve(member_ids.size());
+  for (size_t i : member_ids) embedded.push_back(Embed(coarse.members[i], db));
+
+  Clustering clustering = EmbeddedDbscan(embedded, sdbscan_options.eps,
+                                         options.support_threshold);
+  return BuildPatterns(coarse, db, member_ids, clustering, options);
+}
+
+std::vector<FineGrainedPattern> SdbscanExtract(
+    const SemanticTrajectoryDb& db, const ExtractionOptions& options,
+    const SdbscanOptions& sdbscan_options) {
+  std::vector<FineGrainedPattern> patterns;
+  for (const CoarsePattern& coarse : MineCoarsePatterns(db, options)) {
+    auto fine = SdbscanRefine(coarse, db, options, sdbscan_options);
+    patterns.insert(patterns.end(), std::make_move_iterator(fine.begin()),
+                    std::make_move_iterator(fine.end()));
+  }
+  return patterns;
+}
+
+}  // namespace csd

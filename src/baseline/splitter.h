@@ -1,0 +1,55 @@
+#ifndef CSD_BASELINE_SPLITTER_H_
+#define CSD_BASELINE_SPLITTER_H_
+
+#include <vector>
+
+#include "core/counterpart_cluster.h"
+#include "core/pattern.h"
+
+namespace csd {
+
+/// Splitter-specific knobs (on top of the shared ExtractionOptions).
+struct SplitterOptions {
+  /// Mean-shift bandwidth in the 2m-dimensional embedding space of a
+  /// coarse pattern's supporting trajectories (meters).
+  double bandwidth = 150.0;
+};
+
+/// Splitter (Zhang et al., VLDB'14): PrefixSpan coarse patterns refined
+/// top-down by Mean Shift. Each supporting trajectory of a coarse pattern
+/// embeds as the 2m-dim concatenation of its matched stay-point
+/// coordinates; trajectories converging to the same density mode — at
+/// least σ of them, meeting the shared δ_t and ρ constraints — form one
+/// fine-grained pattern.
+std::vector<FineGrainedPattern> SplitterRefine(
+    const CoarsePattern& coarse, const SemanticTrajectoryDb& db,
+    const ExtractionOptions& options,
+    const SplitterOptions& splitter_options = {});
+
+/// End-to-end Splitter extractor: MineCoarsePatterns + SplitterRefine.
+std::vector<FineGrainedPattern> SplitterExtract(
+    const SemanticTrajectoryDb& db, const ExtractionOptions& options,
+    const SplitterOptions& splitter_options = {});
+
+/// SDBSCAN-specific knobs.
+struct SdbscanOptions {
+  /// DBSCAN radius in the 2m-dimensional embedding space (meters).
+  double eps = 150.0;
+};
+
+/// SDBSCAN (Jiang et al., TENCON'15): like Splitter but the coarse
+/// patterns break up with density-based DBSCAN (MinPts = σ) instead of
+/// top-down Mean Shift.
+std::vector<FineGrainedPattern> SdbscanRefine(
+    const CoarsePattern& coarse, const SemanticTrajectoryDb& db,
+    const ExtractionOptions& options,
+    const SdbscanOptions& sdbscan_options = {});
+
+/// End-to-end SDBSCAN extractor.
+std::vector<FineGrainedPattern> SdbscanExtract(
+    const SemanticTrajectoryDb& db, const ExtractionOptions& options,
+    const SdbscanOptions& sdbscan_options = {});
+
+}  // namespace csd
+
+#endif  // CSD_BASELINE_SPLITTER_H_

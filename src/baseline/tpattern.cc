@@ -1,0 +1,149 @@
+#include "baseline/tpattern.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <deque>
+#include <unordered_map>
+
+#include "seqmine/prefix_span.h"
+#include "util/check.h"
+
+namespace csd {
+
+namespace {
+
+int64_t CellKey(int64_t cx, int64_t cy) {
+  return (cx << 32) ^ (cy & 0xffffffffLL);
+}
+
+}  // namespace
+
+std::vector<TPattern> MineTPatterns(const SemanticTrajectoryDb& db,
+                                    const TPatternOptions& options) {
+  CSD_CHECK_MSG(options.cell_size > 0.0, "cell size must be positive");
+
+  // --- Dense-cell detection over all stay points.
+  struct CellStats {
+    size_t count = 0;
+    Vec2 sum;
+    int64_t cx = 0;
+    int64_t cy = 0;
+  };
+  std::unordered_map<int64_t, CellStats> cells;
+  auto cell_of = [&](const Vec2& p) {
+    int64_t cx = static_cast<int64_t>(std::floor(p.x / options.cell_size));
+    int64_t cy = static_cast<int64_t>(std::floor(p.y / options.cell_size));
+    return std::pair<int64_t, int64_t>(cx, cy);
+  };
+  for (const SemanticTrajectory& st : db) {
+    for (const StayPoint& sp : st.stays) {
+      auto [cx, cy] = cell_of(sp.position);
+      CellStats& stats = cells[CellKey(cx, cy)];
+      stats.count++;
+      stats.sum += sp.position;
+      stats.cx = cx;
+      stats.cy = cy;
+    }
+  }
+
+  // --- ROIs: connected components (4-neighborhood) of dense cells.
+  std::unordered_map<int64_t, int32_t> cell_roi;
+  struct RoiStats {
+    Vec2 sum;
+    size_t count = 0;
+  };
+  std::vector<RoiStats> rois;
+  for (const auto& [key, stats] : cells) {
+    if (stats.count < options.dense_cell_threshold) continue;
+    if (cell_roi.count(key)) continue;
+    int32_t roi = static_cast<int32_t>(rois.size());
+    rois.emplace_back();
+    std::deque<int64_t> frontier = {key};
+    cell_roi[key] = roi;
+    while (!frontier.empty()) {
+      int64_t current = frontier.front();
+      frontier.pop_front();
+      const CellStats& cs = cells.at(current);
+      rois[roi].sum += cs.sum;
+      rois[roi].count += cs.count;
+      const int64_t dx[] = {1, -1, 0, 0};
+      const int64_t dy[] = {0, 0, 1, -1};
+      for (int d = 0; d < 4; ++d) {
+        int64_t nkey = CellKey(cs.cx + dx[d], cs.cy + dy[d]);
+        auto it = cells.find(nkey);
+        if (it == cells.end()) continue;
+        if (it->second.count < options.dense_cell_threshold) continue;
+        if (cell_roi.count(nkey)) continue;
+        cell_roi[nkey] = roi;
+        frontier.push_back(nkey);
+      }
+    }
+  }
+
+  // --- Rewrite trajectories as ROI sequences (consecutive duplicates
+  // collapse; out-of-ROI stays are transparent), keeping timestamps.
+  std::vector<Sequence> sequences(db.size());
+  std::vector<std::vector<Timestamp>> times(db.size());
+  for (size_t i = 0; i < db.size(); ++i) {
+    for (const StayPoint& sp : db[i].stays) {
+      auto [cx, cy] = cell_of(sp.position);
+      auto it = cell_roi.find(CellKey(cx, cy));
+      if (it == cell_roi.end()) continue;
+      auto roi = static_cast<Item>(it->second);
+      if (!sequences[i].empty() && sequences[i].back() == roi) continue;
+      sequences[i].push_back(roi);
+      times[i].push_back(sp.time);
+    }
+  }
+
+  // --- Frequent ROI sequences.
+  PrefixSpanOptions ps;
+  ps.min_support = options.support_threshold;
+  ps.min_length = options.min_length;
+  ps.max_length = options.max_length;
+  std::vector<SequentialPattern> frequent = PrefixSpan(sequences, ps);
+
+  std::vector<TPattern> patterns;
+  patterns.reserve(frequent.size());
+  for (const SequentialPattern& fp : frequent) {
+    size_t m = fp.items.size();
+    std::vector<std::vector<Timestamp>> gaps(m > 0 ? m - 1 : 0);
+    size_t support = 0;
+    for (size_t seq : fp.supporting_sequences) {
+      auto embedding = FindEmbedding(sequences[seq], fp.items);
+      CSD_CHECK(embedding.has_value());
+      bool timely = true;
+      std::vector<Timestamp> member_gaps;
+      for (size_t k = 1; k < m && timely; ++k) {
+        Timestamp gap = std::abs(times[seq][(*embedding)[k]] -
+                                 times[seq][(*embedding)[k - 1]]);
+        timely = gap <= options.temporal_constraint;
+        member_gaps.push_back(gap);
+      }
+      if (!timely) continue;
+      ++support;
+      for (size_t k = 0; k < member_gaps.size(); ++k) {
+        gaps[k].push_back(member_gaps[k]);
+      }
+    }
+    if (support < options.support_threshold) continue;
+
+    TPattern pattern;
+    pattern.support = support;
+    for (Item roi : fp.items) {
+      const RoiStats& stats = rois[static_cast<size_t>(roi)];
+      pattern.roi_centers.push_back(
+          stats.sum / static_cast<double>(stats.count));
+    }
+    for (auto& gap_samples : gaps) {
+      std::sort(gap_samples.begin(), gap_samples.end());
+      pattern.transition_times.push_back(
+          gap_samples[gap_samples.size() / 2]);
+    }
+    patterns.push_back(std::move(pattern));
+  }
+  return patterns;
+}
+
+}  // namespace csd

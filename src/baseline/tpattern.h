@@ -1,0 +1,57 @@
+#ifndef CSD_BASELINE_TPATTERN_H_
+#define CSD_BASELINE_TPATTERN_H_
+
+#include <vector>
+
+#include "core/pattern.h"
+#include "traj/trajectory.h"
+
+namespace csd {
+
+/// Parameters of the grid/ROI T-pattern miner.
+struct TPatternOptions {
+  /// Grid cell edge (meters) for the space partitioning.
+  double cell_size = 250.0;
+
+  /// A cell is dense when it holds at least this many stay points; a
+  /// Region of Interest is a connected component of dense cells.
+  size_t dense_cell_threshold = 30;
+
+  /// Minimum number of trajectories following an ROI sequence.
+  size_t support_threshold = 50;
+
+  /// Length bounds of the mined ROI sequences.
+  size_t min_length = 2;
+  size_t max_length = 5;
+
+  /// Trajectories with adjacent stay gaps beyond this are not counted
+  /// (the T-pattern "typical travel time" constraint, simplified to the
+  /// shared δ_t bound).
+  Timestamp temporal_constraint = 60 * kSecondsPerMinute;
+};
+
+/// One mined T-pattern: a sequence of ROIs with the median transition
+/// time between consecutive ROIs.
+struct TPattern {
+  /// Centroid of each ROI in the sequence.
+  std::vector<Vec2> roi_centers;
+
+  /// Median time between consecutive ROI visits (seconds), size m-1.
+  std::vector<Timestamp> transition_times;
+
+  size_t support = 0;
+};
+
+/// T-pattern mining (Giannotti et al., KDD'07), the grid-based
+/// related-work family the paper contrasts with (Section 2): partition
+/// space into cells, detect Regions of Interest as connected dense-cell
+/// components, rewrite trajectories as ROI sequences, and mine frequent
+/// sequences with typical transition times. Semantics-free by
+/// construction — exactly the Semantic Absence limitation the paper's
+/// CSD removes — provided here as the third baseline family.
+std::vector<TPattern> MineTPatterns(const SemanticTrajectoryDb& db,
+                                    const TPatternOptions& options);
+
+}  // namespace csd
+
+#endif  // CSD_BASELINE_TPATTERN_H_

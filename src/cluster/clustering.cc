@@ -1,0 +1,22 @@
+#include "cluster/clustering.h"
+
+namespace csd {
+
+std::vector<std::vector<size_t>> Clustering::Groups() const {
+  std::vector<std::vector<size_t>> groups(
+      static_cast<size_t>(num_clusters));
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] >= 0) groups[static_cast<size_t>(labels[i])].push_back(i);
+  }
+  return groups;
+}
+
+size_t Clustering::NoiseCount() const {
+  size_t n = 0;
+  for (int32_t l : labels) {
+    if (l == kNoiseLabel) ++n;
+  }
+  return n;
+}
+
+}  // namespace csd

@@ -1,0 +1,28 @@
+#ifndef CSD_CLUSTER_CLUSTERING_H_
+#define CSD_CLUSTER_CLUSTERING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace csd {
+
+/// Noise label shared by all clustering algorithms.
+inline constexpr int32_t kNoiseLabel = -1;
+
+/// A flat clustering: labels[i] is the cluster of input point i
+/// (kNoiseLabel for noise), clusters numbered 0..num_clusters-1.
+struct Clustering {
+  std::vector<int32_t> labels;
+  int32_t num_clusters = 0;
+
+  /// Point indices grouped per cluster (noise omitted).
+  std::vector<std::vector<size_t>> Groups() const;
+
+  /// Number of points labeled noise.
+  size_t NoiseCount() const;
+};
+
+}  // namespace csd
+
+#endif  // CSD_CLUSTER_CLUSTERING_H_

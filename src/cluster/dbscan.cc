@@ -1,0 +1,54 @@
+#include "cluster/dbscan.h"
+
+#include <deque>
+
+#include "index/grid_index.h"
+#include "util/check.h"
+
+namespace csd {
+
+Clustering Dbscan(const std::vector<Vec2>& points,
+                  const DbscanOptions& options) {
+  CSD_CHECK_MSG(options.eps > 0.0, "DBSCAN eps must be positive");
+  Clustering result;
+  result.labels.assign(points.size(), kNoiseLabel);
+  if (points.empty()) return result;
+
+  GridIndex index(points, options.eps);
+  std::vector<char> visited(points.size(), 0);
+  int32_t next_cluster = 0;
+
+  for (size_t seed = 0; seed < points.size(); ++seed) {
+    if (visited[seed]) continue;
+    visited[seed] = 1;
+    std::vector<size_t> neighbors = index.RadiusQuery(points[seed],
+                                                      options.eps);
+    if (neighbors.size() < options.min_pts) continue;  // not core: noise so far
+
+    int32_t cluster = next_cluster++;
+    result.labels[seed] = cluster;
+    std::deque<size_t> frontier(neighbors.begin(), neighbors.end());
+    while (!frontier.empty()) {
+      size_t p = frontier.front();
+      frontier.pop_front();
+      if (result.labels[p] == kNoiseLabel) {
+        result.labels[p] = cluster;  // border or core point joins cluster
+      }
+      if (visited[p]) continue;
+      visited[p] = 1;
+      std::vector<size_t> p_neighbors = index.RadiusQuery(points[p],
+                                                          options.eps);
+      if (p_neighbors.size() >= options.min_pts) {
+        for (size_t q : p_neighbors) {
+          if (!visited[q] || result.labels[q] == kNoiseLabel) {
+            frontier.push_back(q);
+          }
+        }
+      }
+    }
+  }
+  result.num_clusters = next_cluster;
+  return result;
+}
+
+}  // namespace csd

@@ -1,0 +1,30 @@
+#ifndef CSD_CLUSTER_DBSCAN_H_
+#define CSD_CLUSTER_DBSCAN_H_
+
+#include <vector>
+
+#include "cluster/clustering.h"
+#include "geo/point.h"
+
+namespace csd {
+
+struct DbscanOptions {
+  /// Neighborhood radius ε (meters). Must be positive.
+  double eps = 50.0;
+
+  /// A point is a core point when its ε-neighborhood (itself included)
+  /// holds at least this many points.
+  size_t min_pts = 5;
+};
+
+/// Classic DBSCAN over planar points, backed by a grid index (expected
+/// O(n · neighborhood) runtime). Border points join the first core point
+/// that reaches them; noise points get kNoiseLabel.
+///
+/// Used by the SDBSCAN baseline [19] and the ROI hot-region detector [21].
+Clustering Dbscan(const std::vector<Vec2>& points,
+                  const DbscanOptions& options);
+
+}  // namespace csd
+
+#endif  // CSD_CLUSTER_DBSCAN_H_

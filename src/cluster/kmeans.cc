@@ -1,0 +1,77 @@
+#include "cluster/kmeans.h"
+
+#include <limits>
+
+namespace csd {
+
+KMeansResult KMeans(const std::vector<Vec2>& points,
+                    const KMeansOptions& options) {
+  KMeansResult result;
+  result.clustering.labels.assign(points.size(), kNoiseLabel);
+  if (points.empty()) return result;
+
+  size_t k = std::min(options.k, points.size());
+  k = std::max<size_t>(k, 1);
+  Rng rng(options.seed);
+
+  // k-means++ seeding.
+  std::vector<Vec2> centroids;
+  centroids.reserve(k);
+  centroids.push_back(
+      points[static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(points.size()) - 1))]);
+  std::vector<double> d2(points.size(),
+                         std::numeric_limits<double>::infinity());
+  while (centroids.size() < k) {
+    for (size_t i = 0; i < points.size(); ++i) {
+      d2[i] = std::min(d2[i], SquaredDistance(points[i], centroids.back()));
+    }
+    size_t pick = rng.Categorical(d2);
+    centroids.push_back(points[pick]);
+  }
+
+  std::vector<int32_t>& labels = result.clustering.labels;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    bool changed = false;
+    // Assign.
+    for (size_t i = 0; i < points.size(); ++i) {
+      int32_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < centroids.size(); ++c) {
+        double d = SquaredDistance(points[i], centroids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = static_cast<int32_t>(c);
+        }
+      }
+      if (labels[i] != best) {
+        labels[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    // Update.
+    std::vector<Vec2> sums(centroids.size());
+    std::vector<size_t> counts(centroids.size(), 0);
+    for (size_t i = 0; i < points.size(); ++i) {
+      sums[static_cast<size_t>(labels[i])] += points[i];
+      counts[static_cast<size_t>(labels[i])]++;
+    }
+    for (size_t c = 0; c < centroids.size(); ++c) {
+      if (counts[c] > 0) {
+        centroids[c] = sums[c] / static_cast<double>(counts[c]);
+      }
+      // Empty clusters keep their previous centroid.
+    }
+  }
+
+  result.clustering.num_clusters = static_cast<int32_t>(centroids.size());
+  result.centroids = std::move(centroids);
+  for (size_t i = 0; i < points.size(); ++i) {
+    result.inertia += SquaredDistance(
+        points[i], result.centroids[static_cast<size_t>(labels[i])]);
+  }
+  return result;
+}
+
+}  // namespace csd

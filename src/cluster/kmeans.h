@@ -1,0 +1,36 @@
+#ifndef CSD_CLUSTER_KMEANS_H_
+#define CSD_CLUSTER_KMEANS_H_
+
+#include <vector>
+
+#include "cluster/clustering.h"
+#include "geo/point.h"
+#include "util/rng.h"
+
+namespace csd {
+
+struct KMeansOptions {
+  /// Number of clusters. Clamped to the number of points.
+  size_t k = 8;
+
+  int max_iterations = 50;
+
+  /// Iterations stop once no assignment changes.
+  uint64_t seed = 42;
+};
+
+struct KMeansResult {
+  Clustering clustering;
+  std::vector<Vec2> centroids;
+  double inertia = 0.0;  // sum of squared distances to assigned centroids
+};
+
+/// Lloyd's K-means with k-means++ seeding over planar points. Part of the
+/// clustering substrate ([21] uses K-means as one hot-region detector
+/// variant); also useful in tests as a reference partitioner.
+KMeansResult KMeans(const std::vector<Vec2>& points,
+                    const KMeansOptions& options);
+
+}  // namespace csd
+
+#endif  // CSD_CLUSTER_KMEANS_H_

@@ -1,0 +1,91 @@
+#include "cluster/mean_shift.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace csd {
+
+namespace {
+
+double SquaredDist(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  double acc = 0.0;
+  for (size_t d = 0; d < a.size(); ++d) {
+    double diff = a[d] - b[d];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+}  // namespace
+
+Clustering MeanShift(const std::vector<std::vector<double>>& points,
+                     const MeanShiftOptions& options) {
+  CSD_CHECK_MSG(options.bandwidth > 0.0, "mean-shift bandwidth must be > 0");
+  Clustering result;
+  result.labels.assign(points.size(), kNoiseLabel);
+  if (points.empty()) return result;
+  size_t dim = points[0].size();
+  for (const auto& p : points) {
+    CSD_CHECK_MSG(p.size() == dim, "mean-shift points must share dimension");
+  }
+
+  double support = options.gaussian_kernel ? 3.0 * options.bandwidth
+                                           : options.bandwidth;
+  double support2 = support * support;
+  double inv_two_sigma2 =
+      1.0 / (2.0 * options.bandwidth * options.bandwidth);
+  double tol2 = options.convergence_tol * options.convergence_tol;
+
+  // Shift every point to its mode.
+  std::vector<std::vector<double>> modes(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    std::vector<double> current = points[i];
+    std::vector<double> next(dim, 0.0);
+    for (int iter = 0; iter < options.max_iterations; ++iter) {
+      std::fill(next.begin(), next.end(), 0.0);
+      double weight_sum = 0.0;
+      for (const auto& q : points) {
+        double d2 = SquaredDist(current, q);
+        if (d2 > support2) continue;
+        double w = options.gaussian_kernel
+                       ? std::exp(-d2 * inv_two_sigma2)
+                       : 1.0;
+        for (size_t d = 0; d < dim; ++d) next[d] += w * q[d];
+        weight_sum += w;
+      }
+      if (weight_sum <= 0.0) break;  // isolated point: its own mode
+      for (size_t d = 0; d < dim; ++d) next[d] /= weight_sum;
+      double moved2 = SquaredDist(current, next);
+      current = next;
+      if (moved2 <= tol2) break;
+    }
+    modes[i] = std::move(current);
+  }
+
+  // Merge nearby modes into clusters (first come, first served).
+  double merge_r = options.mode_merge_radius > 0.0
+                       ? options.mode_merge_radius
+                       : options.bandwidth * 0.5;
+  double merge_r2 = merge_r * merge_r;
+  std::vector<std::vector<double>> centers;
+  for (size_t i = 0; i < modes.size(); ++i) {
+    int32_t assigned = kNoiseLabel;
+    for (size_t c = 0; c < centers.size(); ++c) {
+      if (SquaredDist(modes[i], centers[c]) <= merge_r2) {
+        assigned = static_cast<int32_t>(c);
+        break;
+      }
+    }
+    if (assigned == kNoiseLabel) {
+      assigned = static_cast<int32_t>(centers.size());
+      centers.push_back(modes[i]);
+    }
+    result.labels[i] = assigned;
+  }
+  result.num_clusters = static_cast<int32_t>(centers.size());
+  return result;
+}
+
+}  // namespace csd

@@ -1,0 +1,42 @@
+#ifndef CSD_CLUSTER_MEAN_SHIFT_H_
+#define CSD_CLUSTER_MEAN_SHIFT_H_
+
+#include <vector>
+
+#include "cluster/clustering.h"
+
+namespace csd {
+
+struct MeanShiftOptions {
+  /// Kernel bandwidth in the units of the embedded space (meters for
+  /// coordinate embeddings).
+  double bandwidth = 100.0;
+
+  /// Lloyd-style iteration cap per point.
+  int max_iterations = 100;
+
+  /// A point stops shifting once its move falls below this length.
+  double convergence_tol = 1e-2;
+
+  /// Converged modes closer than this merge into one cluster.
+  /// <= 0 means bandwidth / 2.
+  double mode_merge_radius = -1.0;
+
+  /// Use a Gaussian kernel (bandwidth = std-dev, truncated at 3σ) instead
+  /// of the default flat kernel.
+  bool gaussian_kernel = false;
+};
+
+/// Mean Shift mode-seeking (Comaniciu & Meer, TPAMI'02) over points of any
+/// fixed dimension — Splitter [17] refines each coarse pattern by running
+/// this in the 2m-dimensional space of concatenated stay-point coordinates.
+/// Every point converges to a mode; points sharing a mode share a cluster,
+/// so there is no noise label.
+///
+/// All input vectors must share the same dimension.
+Clustering MeanShift(const std::vector<std::vector<double>>& points,
+                     const MeanShiftOptions& options);
+
+}  // namespace csd
+
+#endif  // CSD_CLUSTER_MEAN_SHIFT_H_

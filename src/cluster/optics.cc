@@ -1,0 +1,192 @@
+#include "cluster/optics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "index/grid_index.h"
+#include "util/check.h"
+
+namespace csd {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+OpticsResult RunOptics(const std::vector<Vec2>& points,
+                       const OpticsOptions& options) {
+  CSD_CHECK_MSG(options.max_eps > 0.0, "OPTICS max_eps must be positive");
+  size_t n = points.size();
+  OpticsResult result;
+  result.max_eps = options.max_eps;
+  result.reachability.assign(n, kInf);
+  result.core_distance.assign(n, kInf);
+  result.ordering.reserve(n);
+  if (n == 0) return result;
+
+  GridIndex index(points, options.max_eps);
+  std::vector<char> processed(n, 0);
+
+  // Seed queue keyed by current reachability; stale entries are skipped.
+  using Entry = std::pair<double, size_t>;
+  auto cmp = [](const Entry& a, const Entry& b) { return a.first > b.first; };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> seeds(cmp);
+
+  auto neighbors_of = [&](size_t p) {
+    return index.RadiusQuery(points[p], options.max_eps);
+  };
+
+  auto core_distance_of = [&](size_t p,
+                              const std::vector<size_t>& neighbors) {
+    if (neighbors.size() < options.min_pts) return kInf;
+    // min_pts-th smallest distance (the neighborhood includes p itself).
+    std::vector<double> dists;
+    dists.reserve(neighbors.size());
+    for (size_t q : neighbors) dists.push_back(Distance(points[p], points[q]));
+    std::nth_element(dists.begin(), dists.begin() + (options.min_pts - 1),
+                     dists.end());
+    return dists[options.min_pts - 1];
+  };
+
+  auto update_seeds = [&](size_t p, double core_dist,
+                          const std::vector<size_t>& neighbors) {
+    for (size_t q : neighbors) {
+      if (processed[q]) continue;
+      double new_reach = std::max(core_dist, Distance(points[p], points[q]));
+      if (new_reach < result.reachability[q]) {
+        result.reachability[q] = new_reach;
+        seeds.emplace(new_reach, q);
+      }
+    }
+  };
+
+  for (size_t start = 0; start < n; ++start) {
+    if (processed[start]) continue;
+    processed[start] = 1;
+    result.ordering.push_back(start);
+    std::vector<size_t> neighbors = neighbors_of(start);
+    double core = core_distance_of(start, neighbors);
+    result.core_distance[start] = core;
+    if (core != kInf) update_seeds(start, core, neighbors);
+
+    while (!seeds.empty()) {
+      auto [reach, p] = seeds.top();
+      seeds.pop();
+      if (processed[p] || reach != result.reachability[p]) continue;  // stale
+      processed[p] = 1;
+      result.ordering.push_back(p);
+      std::vector<size_t> p_neighbors = neighbors_of(p);
+      double p_core = core_distance_of(p, p_neighbors);
+      result.core_distance[p] = p_core;
+      if (p_core != kInf) update_seeds(p, p_core, p_neighbors);
+    }
+  }
+  return result;
+}
+
+Clustering ExtractClustersEpsCut(const OpticsResult& optics, double eps) {
+  Clustering out;
+  out.labels.assign(optics.reachability.size(), kNoiseLabel);
+  int32_t current = kNoiseLabel;
+  int32_t next_cluster = 0;
+  for (size_t pos = 0; pos < optics.ordering.size(); ++pos) {
+    size_t p = optics.ordering[pos];
+    if (optics.reachability[p] > eps) {
+      if (optics.core_distance[p] <= eps) {
+        current = next_cluster++;
+        out.labels[p] = current;
+      } else {
+        current = kNoiseLabel;
+      }
+    } else {
+      out.labels[p] = current;
+    }
+  }
+  out.num_clusters = next_cluster;
+  return out;
+}
+
+namespace {
+
+/// Chooses a cut radius from the reachability plot. Finite reachability
+/// values split into "within-cluster" (small) and "between-cluster jump"
+/// (large) populations; the largest relative gap in the sorted values marks
+/// the boundary. Returns +inf when there is no meaningful gap (single
+/// cluster).
+double ChooseCutRadius(const OpticsResult& optics) {
+  std::vector<double> values;
+  values.reserve(optics.reachability.size());
+  for (double r : optics.reachability) {
+    if (std::isfinite(r) && r > 0.0) values.push_back(r);
+  }
+  if (values.size() < 4) return kInf;
+  std::sort(values.begin(), values.end());
+
+  // Scan the upper half of the sorted values for the largest relative jump.
+  size_t begin = values.size() / 2;
+  double best_ratio = 1.0;
+  double cut = kInf;
+  for (size_t i = std::max<size_t>(begin, 1); i + 1 < values.size(); ++i) {
+    double lo = values[i];
+    double hi = values[i + 1];
+    if (lo <= 0.0) continue;
+    double ratio = hi / lo;
+    if (ratio > best_ratio) {
+      best_ratio = ratio;
+      cut = 0.5 * (lo + hi);
+    }
+  }
+  // Require a clear separation (inter-cluster jumps dwarf within-cluster
+  // reachability steps); otherwise report "no gap" so the caller cuts at
+  // max_eps. A lax threshold here would shave boundary points off
+  // unimodal clusters.
+  if (best_ratio < 2.0) return kInf;
+  return cut;
+}
+
+}  // namespace
+
+Clustering ExtractClustersAuto(const OpticsResult& optics,
+                               size_t min_cluster_size) {
+  double cut = ChooseCutRadius(optics);
+  // No clear reachability gap: cut at max_eps, which still separates
+  // disconnected components (their cluster-order jumps have infinite
+  // reachability) while keeping each dense component whole.
+  if (!std::isfinite(cut)) cut = optics.max_eps;
+  Clustering raw = ExtractClustersEpsCut(optics, cut);
+
+  // Drop clusters below the minimum size and renumber densely.
+  std::vector<size_t> sizes(static_cast<size_t>(raw.num_clusters), 0);
+  for (int32_t l : raw.labels) {
+    if (l >= 0) sizes[static_cast<size_t>(l)]++;
+  }
+  std::vector<int32_t> remap(static_cast<size_t>(raw.num_clusters),
+                             kNoiseLabel);
+  int32_t next = 0;
+  for (size_t c = 0; c < sizes.size(); ++c) {
+    if (sizes[c] >= min_cluster_size) remap[c] = next++;
+  }
+  Clustering out;
+  out.labels.resize(raw.labels.size());
+  for (size_t i = 0; i < raw.labels.size(); ++i) {
+    out.labels[i] =
+        raw.labels[i] >= 0 ? remap[static_cast<size_t>(raw.labels[i])]
+                           : kNoiseLabel;
+  }
+  out.num_clusters = next;
+  return out;
+}
+
+Clustering OpticsCluster(const std::vector<Vec2>& points, size_t min_pts,
+                         double max_eps) {
+  OpticsOptions options;
+  options.max_eps = max_eps;
+  options.min_pts = std::max<size_t>(min_pts, 2);
+  OpticsResult optics = RunOptics(points, options);
+  return ExtractClustersAuto(optics, std::max<size_t>(min_pts, 1));
+}
+
+}  // namespace csd

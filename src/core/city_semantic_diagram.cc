@@ -1,0 +1,89 @@
+#include "core/city_semantic_diagram.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace csd {
+
+CitySemanticDiagram::CitySemanticDiagram(const PoiDatabase* pois,
+                                         std::vector<SemanticUnit> units,
+                                         std::vector<double> popularity)
+    : pois_(pois),
+      units_(std::move(units)),
+      popularity_(std::move(popularity)) {
+  CSD_CHECK(pois_ != nullptr);
+  CSD_CHECK(popularity_.size() == pois_->size());
+  poi_to_unit_.assign(pois_->size(), kNoUnit);
+  for (UnitId uid = 0; uid < units_.size(); ++uid) {
+    units_[uid].id = uid;
+    for (PoiId pid : units_[uid].pois) {
+      CSD_CHECK_MSG(poi_to_unit_[pid] == kNoUnit,
+                    "POI assigned to two semantic units");
+      poi_to_unit_[pid] = uid;
+    }
+  }
+}
+
+double CitySemanticDiagram::CoverageRatio() const {
+  if (pois_->size() == 0) return 0.0;
+  size_t covered = 0;
+  for (UnitId uid : poi_to_unit_) {
+    if (uid != kNoUnit) ++covered;
+  }
+  return static_cast<double>(covered) / static_cast<double>(pois_->size());
+}
+
+double CitySemanticDiagram::MeanUnitPurity() const {
+  if (units_.empty()) return 0.0;
+  double acc = 0.0;
+  for (const SemanticUnit& u : units_) {
+    std::array<size_t, kNumMajorCategories> counts{};
+    for (PoiId pid : u.pois) {
+      counts[static_cast<size_t>(pois_->poi(pid).major())]++;
+    }
+    size_t dominant = *std::max_element(counts.begin(), counts.end());
+    acc += static_cast<double>(dominant) / static_cast<double>(u.size());
+  }
+  return acc / static_cast<double>(units_.size());
+}
+
+CsdBuilder::CsdBuilder(CsdBuildOptions options) : options_(options) {
+  // Keep the shared R3sigma consistent across sub-steps unless the caller
+  // overrode the sub-option explicitly.
+  options_.purification.r3sigma = options_.r3sigma;
+}
+
+CitySemanticDiagram CsdBuilder::Build(
+    const PoiDatabase& pois, const std::vector<StayPoint>& stays) const {
+  PopularityModel popularity(pois, stays, options_.r3sigma);
+
+  // Step 1: popularity-based clustering (Algorithm 1).
+  PopularityClusteringResult coarse =
+      PopularityBasedClustering(pois, popularity, options_.clustering);
+
+  // Step 2: semantic purification (Algorithm 2).
+  std::vector<std::vector<PoiId>> purified =
+      options_.enable_purification
+          ? SemanticPurification(std::move(coarse.clusters), pois,
+                                 options_.purification)
+          : std::move(coarse.clusters);
+
+  // Step 3: semantic unit merging.
+  std::vector<std::vector<PoiId>> merged =
+      options_.enable_merging
+          ? SemanticUnitMerging(purified, coarse.unclustered, pois,
+                                popularity, options_.merging)
+          : std::move(purified);
+
+  std::vector<SemanticUnit> units;
+  units.reserve(merged.size());
+  for (size_t i = 0; i < merged.size(); ++i) {
+    units.push_back(MakeSemanticUnit(static_cast<UnitId>(i),
+                                     std::move(merged[i]), pois, popularity));
+  }
+  return CitySemanticDiagram(&pois, std::move(units),
+                             popularity.popularities());
+}
+
+}  // namespace csd

@@ -1,0 +1,91 @@
+#ifndef CSD_CORE_CITY_SEMANTIC_DIAGRAM_H_
+#define CSD_CORE_CITY_SEMANTIC_DIAGRAM_H_
+
+#include <vector>
+
+#include "core/popularity.h"
+#include "core/popularity_clustering.h"
+#include "core/purification.h"
+#include "core/semantic_unit.h"
+#include "core/unit_merging.h"
+#include "traj/trajectory.h"
+
+namespace csd {
+
+/// All knobs of the Semantic Diagram Constructor (Section 4.1), with the
+/// paper's tuned defaults.
+struct CsdBuildOptions {
+  /// R₃σ of the popularity model and the recognition range (paper: 100 m).
+  double r3sigma = 100.0;
+
+  PopularityClusteringOptions clustering;
+  PurificationOptions purification;
+  MergingOptions merging;
+
+  /// Ablation switches (bench/ablation_csd_steps): disable individual
+  /// construction stages to measure their contribution.
+  bool enable_purification = true;
+  bool enable_merging = true;
+};
+
+/// The City Semantic Diagram (Definition 4): the set of fine-grained
+/// semantic units of a city, together with the POI→unit mapping
+/// (FindSemanticUnit of Algorithm 3) and the POI popularity values.
+///
+/// The CSD does not own the PoiDatabase; callers keep it alive.
+class CitySemanticDiagram {
+ public:
+  CitySemanticDiagram(const PoiDatabase* pois,
+                      std::vector<SemanticUnit> units,
+                      std::vector<double> popularity);
+
+  const std::vector<SemanticUnit>& units() const { return units_; }
+  const SemanticUnit& unit(UnitId id) const { return units_[id]; }
+  size_t num_units() const { return units_.size(); }
+
+  /// Unit a POI belongs to, or kNoUnit for POIs outside every unit
+  /// (Algorithm 3's FindSemanticUnit).
+  UnitId UnitOfPoi(PoiId poi) const { return poi_to_unit_[poi]; }
+
+  /// pop(p^I) of Equation (3).
+  double Popularity(PoiId poi) const { return popularity_[poi]; }
+
+  /// The full per-POI popularity vector (serialization).
+  const std::vector<double>& popularities() const { return popularity_; }
+
+  const PoiDatabase& pois() const { return *pois_; }
+
+  /// Fraction of POIs covered by some unit.
+  double CoverageRatio() const;
+
+  /// Mean share of the dominant category per unit (1.0 = every unit is
+  /// single-semantic) — the purity statistic reported by the F6 bench.
+  double MeanUnitPurity() const;
+
+ private:
+  const PoiDatabase* pois_;
+  std::vector<SemanticUnit> units_;
+  std::vector<UnitId> poi_to_unit_;
+  std::vector<double> popularity_;
+};
+
+/// Orchestrates the three construction steps of Section 4.1:
+/// popularity-based clustering → semantic purification → unit merging.
+class CsdBuilder {
+ public:
+  explicit CsdBuilder(CsdBuildOptions options = {});
+
+  /// Builds the CSD of `pois` using `stays` (all pick-up/drop-off points)
+  /// as the popularity evidence. `pois` must outlive the returned diagram.
+  CitySemanticDiagram Build(const PoiDatabase& pois,
+                            const std::vector<StayPoint>& stays) const;
+
+  const CsdBuildOptions& options() const { return options_; }
+
+ private:
+  CsdBuildOptions options_;
+};
+
+}  // namespace csd
+
+#endif  // CSD_CORE_CITY_SEMANTIC_DIAGRAM_H_

@@ -1,0 +1,205 @@
+#include "core/containment.h"
+
+#include <cstdlib>
+#include <deque>
+
+namespace csd {
+
+namespace {
+
+bool PositionMatches(const StayPoint& outer_sp, const StayPoint& inner_sp,
+                     const ContainmentParams& params) {
+  return Distance(outer_sp.position, inner_sp.position) <= params.epsilon &&
+         outer_sp.semantic.IsSupersetOf(inner_sp.semantic);
+}
+
+bool GapOk(Timestamp a, Timestamp b, Timestamp delta_t) {
+  return std::abs(a - b) <= delta_t;
+}
+
+/// Adjacent time gaps of a trajectory must respect δ_t (Definition 7(ii)
+/// on the contained side).
+bool InnerGapsOk(const std::vector<StayPoint>& stays, Timestamp delta_t) {
+  for (size_t j = 0; j + 1 < stays.size(); ++j) {
+    if (!GapOk(stays[j].time, stays[j + 1].time, delta_t)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::vector<size_t>> FindContainmentWitness(
+    const SemanticTrajectory& outer, const SemanticTrajectory& inner,
+    const ContainmentParams& params) {
+  size_t n = inner.Size();
+  size_t m = outer.Size();
+  if (n == 0 || m < n) return std::nullopt;
+  if (!InnerGapsOk(inner.stays, params.delta_t)) return std::nullopt;
+
+  // can_complete[j][i]: positions j..n-1 of `inner` can be matched with
+  // the j-th match at outer position i.
+  std::vector<std::vector<char>> can_complete(
+      n, std::vector<char>(m, 0));
+  for (size_t j = n; j-- > 0;) {
+    for (size_t i = 0; i < m; ++i) {
+      if (!PositionMatches(outer.stays[i], inner.stays[j], params)) continue;
+      if (j == n - 1) {
+        can_complete[j][i] = 1;
+        continue;
+      }
+      for (size_t i2 = i + 1; i2 < m; ++i2) {
+        if (can_complete[j + 1][i2] &&
+            GapOk(outer.stays[i].time, outer.stays[i2].time,
+                  params.delta_t)) {
+          can_complete[j][i] = 1;
+          break;
+        }
+      }
+    }
+  }
+
+  // Greedy forward pass yields the lexicographically smallest witness.
+  std::vector<size_t> witness;
+  witness.reserve(n);
+  size_t next_start = 0;
+  for (size_t j = 0; j < n; ++j) {
+    bool found = false;
+    for (size_t i = next_start; i < m; ++i) {
+      if (!can_complete[j][i]) continue;
+      if (j > 0 && !GapOk(outer.stays[witness.back()].time,
+                          outer.stays[i].time, params.delta_t)) {
+        continue;
+      }
+      witness.push_back(i);
+      next_start = i + 1;
+      found = true;
+      break;
+    }
+    if (!found) return std::nullopt;
+  }
+  return witness;
+}
+
+bool Contains(const SemanticTrajectory& outer,
+              const SemanticTrajectory& inner,
+              const ContainmentParams& params) {
+  return FindContainmentWitness(outer, inner, params).has_value();
+}
+
+namespace {
+
+/// Shared BFS of the CP recursion (Definition 9, case ii): starting from
+/// `pattern`, every db trajectory that contains the current witness joins
+/// the matched set and its witness becomes a new chain target. Each db
+/// trajectory is matched at most once (its first witness is kept).
+///
+/// Returns matched[i] = counterpart stay points of db[i] (empty when
+/// db[i] never matched).
+std::vector<std::vector<StayPoint>> MatchChains(
+    const SemanticTrajectory& pattern, const SemanticTrajectoryDb& db,
+    const ContainmentParams& params) {
+  std::vector<std::vector<StayPoint>> matched(db.size());
+  std::vector<char> done(db.size(), 0);
+
+  std::deque<SemanticTrajectory> frontier;
+  frontier.push_back(pattern);
+  while (!frontier.empty()) {
+    SemanticTrajectory target = std::move(frontier.front());
+    frontier.pop_front();
+    for (size_t i = 0; i < db.size(); ++i) {
+      if (done[i]) continue;
+      auto witness = FindContainmentWitness(db[i], target, params);
+      if (!witness) continue;
+      done[i] = 1;
+      SemanticTrajectory counterpart;
+      counterpart.id = db[i].id;
+      counterpart.stays.reserve(witness->size());
+      for (size_t idx : *witness) counterpart.stays.push_back(db[i].stays[idx]);
+      matched[i] = counterpart.stays;
+      frontier.push_back(std::move(counterpart));
+    }
+  }
+  return matched;
+}
+
+}  // namespace
+
+std::vector<StayPoint> Counterpart(const SemanticTrajectory& outer,
+                                   const SemanticTrajectory& inner,
+                                   const SemanticTrajectoryDb& db,
+                                   const ContainmentParams& params) {
+  // Direct containment first (Definition 9, case i).
+  if (auto witness = FindContainmentWitness(outer, inner, params)) {
+    std::vector<StayPoint> out;
+    out.reserve(witness->size());
+    for (size_t idx : *witness) out.push_back(outer.stays[idx]);
+    return out;
+  }
+  // Case ii: chase chains through the database, then try to match the
+  // outer trajectory against any chain witness.
+  std::deque<SemanticTrajectory> frontier;
+  frontier.push_back(inner);
+  std::vector<char> used(db.size(), 0);
+  while (!frontier.empty()) {
+    SemanticTrajectory target = std::move(frontier.front());
+    frontier.pop_front();
+    for (size_t i = 0; i < db.size(); ++i) {
+      if (used[i]) continue;
+      auto witness = FindContainmentWitness(db[i], target, params);
+      if (!witness) continue;
+      used[i] = 1;
+      SemanticTrajectory counterpart;
+      counterpart.stays.reserve(witness->size());
+      for (size_t idx : *witness) counterpart.stays.push_back(db[i].stays[idx]);
+      if (auto outer_witness =
+              FindContainmentWitness(outer, counterpart, params)) {
+        std::vector<StayPoint> out;
+        out.reserve(outer_witness->size());
+        for (size_t idx : *outer_witness) out.push_back(outer.stays[idx]);
+        return out;
+      }
+      frontier.push_back(std::move(counterpart));
+    }
+  }
+  return {};  // Definition 9, case iii
+}
+
+bool ReachableContains(const SemanticTrajectory& outer,
+                       const SemanticTrajectory& inner,
+                       const SemanticTrajectoryDb& db,
+                       const ContainmentParams& params) {
+  if (Contains(outer, inner, params)) return false;  // direct, not reachable
+  return !Counterpart(outer, inner, db, params).empty();
+}
+
+std::vector<std::vector<StayPoint>> ComputeGroups(
+    const SemanticTrajectory& pattern, const SemanticTrajectoryDb& db,
+    const ContainmentParams& params) {
+  std::vector<std::vector<StayPoint>> groups(pattern.Size());
+  for (size_t j = 0; j < pattern.Size(); ++j) {
+    groups[j].push_back(pattern.stays[j]);  // Definition 10's ∪ {sp_j}
+  }
+  std::vector<std::vector<StayPoint>> matched =
+      MatchChains(pattern, db, params);
+  for (const auto& counterpart : matched) {
+    if (counterpart.empty()) continue;
+    for (size_t j = 0; j < pattern.Size(); ++j) {
+      groups[j].push_back(counterpart[j]);
+    }
+  }
+  return groups;
+}
+
+size_t PatternSupport(const SemanticTrajectory& pattern,
+                      const SemanticTrajectoryDb& db,
+                      const ContainmentParams& params) {
+  std::vector<std::vector<StayPoint>> matched =
+      MatchChains(pattern, db, params);
+  size_t support = 0;
+  for (const auto& counterpart : matched) {
+    if (!counterpart.empty()) ++support;
+  }
+  return support;
+}
+
+}  // namespace csd

@@ -1,0 +1,69 @@
+#ifndef CSD_CORE_CONTAINMENT_H_
+#define CSD_CORE_CONTAINMENT_H_
+
+#include <optional>
+#include <vector>
+
+#include "traj/trajectory.h"
+
+namespace csd {
+
+/// Parameters of Definitions 7-8.
+struct ContainmentParams {
+  /// ε_t: maximum distance between aligned stay points (meters).
+  double epsilon = 100.0;
+
+  /// δ_t: maximum time interval between adjacent stay points, in both the
+  /// contained trajectory and the chosen witness subsequence (seconds).
+  Timestamp delta_t = 60 * kSecondsPerMinute;
+};
+
+/// Definition 7 — containment test: does `outer` contain `inner`?
+/// True when some subsequence of `outer` aligns with `inner` under
+/// (i) location proximity ≤ ε_t, (ii) adjacent time gaps ≤ δ_t on both
+/// sides, and (iii) semantic containment outer.s ⊇ inner.s per position.
+bool Contains(const SemanticTrajectory& outer,
+              const SemanticTrajectory& inner,
+              const ContainmentParams& params);
+
+/// The witness subsequence: indices into `outer.stays` realizing the
+/// containment of Definition 7, or nullopt when `outer` does not contain
+/// `inner`. When several witnesses exist the lexicographically smallest
+/// index vector is returned (deterministic).
+std::optional<std::vector<size_t>> FindContainmentWitness(
+    const SemanticTrajectory& outer, const SemanticTrajectory& inner,
+    const ContainmentParams& params);
+
+/// Result of the counterpart function CP(ST, ST') of Definition 9: the
+/// stay points of ST matched to ST' either directly (Definition 7) or
+/// through a chain of containments (Definition 8). Empty when ST neither
+/// contains nor reachable-contains ST'.
+std::vector<StayPoint> Counterpart(const SemanticTrajectory& outer,
+                                   const SemanticTrajectory& inner,
+                                   const SemanticTrajectoryDb& db,
+                                   const ContainmentParams& params);
+
+/// Definition 8 — reachable containment of `inner` by `outer` through
+/// intermediate trajectories of `db`.
+bool ReachableContains(const SemanticTrajectory& outer,
+                       const SemanticTrajectory& inner,
+                       const SemanticTrajectoryDb& db,
+                       const ContainmentParams& params);
+
+/// One group per position of `pattern` (Definition 10): the j-th group
+/// collects the j-th counterpart stay point of every trajectory of `db`
+/// that contains or reachable-contains `pattern`, plus the pattern's own
+/// j-th stay point. Groups drive the sparsity/consistency metrics.
+std::vector<std::vector<StayPoint>> ComputeGroups(
+    const SemanticTrajectory& pattern, const SemanticTrajectoryDb& db,
+    const ContainmentParams& params);
+
+/// Support of `pattern` in `db` (Table 2's ST.sup(D)): the number of
+/// trajectories that contain or reachable-contain it.
+size_t PatternSupport(const SemanticTrajectory& pattern,
+                      const SemanticTrajectoryDb& db,
+                      const ContainmentParams& params);
+
+}  // namespace csd
+
+#endif  // CSD_CORE_CONTAINMENT_H_

@@ -1,0 +1,102 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/stats.h"
+#include "util/check.h"
+
+namespace csd {
+
+PatternMetrics EvaluatePattern(const FineGrainedPattern& pattern,
+                               const SemanticRecognizer& reference) {
+  PatternMetrics metrics;
+  size_t n = pattern.groups.size();
+  if (n == 0) return metrics;
+
+  double sparsity_acc = 0.0;
+  double consistency_acc = 0.0;
+  for (const auto& group : pattern.groups) {
+    // Equation (9): average pairwise distance within the group.
+    std::vector<Vec2> positions;
+    positions.reserve(group.size());
+    for (const StayPoint& sp : group) positions.push_back(sp.position);
+    sparsity_acc += AveragePairwiseDistance(positions);
+
+    // Equation (11): average pairwise cosine between members' semantics as
+    // re-queried from the reference CSD.
+    size_t m = group.size();
+    if (m < 2) {
+      consistency_acc += 1.0;
+      continue;
+    }
+    std::vector<SemanticProperty> semantics;
+    semantics.reserve(m);
+    for (const StayPoint& sp : group) {
+      semantics.push_back(reference.Recognize(sp.position));
+    }
+    double acc = 0.0;
+    for (size_t i = 0; i + 1 < m; ++i) {
+      for (size_t j = i + 1; j < m; ++j) {
+        acc += semantics[i].Cosine(semantics[j]);
+      }
+    }
+    consistency_acc +=
+        acc * 2.0 / (static_cast<double>(m) * static_cast<double>(m - 1));
+  }
+  metrics.spatial_sparsity = sparsity_acc / static_cast<double>(n);
+  metrics.semantic_consistency = consistency_acc / static_cast<double>(n);
+  return metrics;
+}
+
+double Quantile(std::vector<double> values, double q) {
+  CSD_CHECK(!values.empty());
+  CSD_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  double pos = q * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(std::floor(pos));
+  size_t hi = static_cast<size_t>(std::ceil(pos));
+  double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+ApproachMetrics EvaluateApproach(
+    const std::vector<FineGrainedPattern>& patterns,
+    const SemanticRecognizer& reference, size_t num_bins, double bin_width) {
+  ApproachMetrics out;
+  out.sparsity_histogram.assign(num_bins, 0);
+  out.num_patterns = patterns.size();
+  if (patterns.empty()) return out;
+
+  std::vector<double> sparsities;
+  std::vector<double> consistencies;
+  sparsities.reserve(patterns.size());
+  consistencies.reserve(patterns.size());
+  for (const FineGrainedPattern& p : patterns) {
+    PatternMetrics m = EvaluatePattern(p, reference);
+    sparsities.push_back(m.spatial_sparsity);
+    consistencies.push_back(m.semantic_consistency);
+    out.coverage += p.support();
+
+    size_t bin = bin_width > 0.0
+                     ? static_cast<size_t>(m.spatial_sparsity / bin_width)
+                     : 0;
+    bin = std::min(bin, num_bins - 1);  // overflow bin
+    out.sparsity_histogram[bin]++;
+  }
+
+  double s_acc = 0.0;
+  double c_acc = 0.0;
+  for (double s : sparsities) s_acc += s;
+  for (double c : consistencies) c_acc += c;
+  out.mean_sparsity = s_acc / static_cast<double>(sparsities.size());
+  out.mean_consistency = c_acc / static_cast<double>(consistencies.size());
+  out.consistency_min = Quantile(consistencies, 0.0);
+  out.consistency_q1 = Quantile(consistencies, 0.25);
+  out.consistency_median = Quantile(consistencies, 0.5);
+  out.consistency_q3 = Quantile(consistencies, 0.75);
+  out.consistency_max = Quantile(consistencies, 1.0);
+  return out;
+}
+
+}  // namespace csd

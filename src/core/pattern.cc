@@ -1,0 +1,19 @@
+#include "core/pattern.h"
+
+namespace csd {
+
+std::string FineGrainedPattern::SemanticLabel() const {
+  std::string out;
+  for (size_t k = 0; k < representative.size(); ++k) {
+    if (k > 0) out += " -> ";
+    const SemanticProperty& s = representative[k].semantic;
+    if (s.Size() == 1) {
+      out += MajorCategoryName(s.First());
+    } else {
+      out += s.ToString();
+    }
+  }
+  return out;
+}
+
+}  // namespace csd

@@ -1,0 +1,32 @@
+#ifndef CSD_CORE_PATTERN_H_
+#define CSD_CORE_PATTERN_H_
+
+#include <string>
+#include <vector>
+
+#include "traj/trajectory.h"
+
+namespace csd {
+
+/// A fine-grained semantic pattern (Definition 11) as produced by any of
+/// the three extractors. Carries, per position k:
+///   * one representative stay point (the member closest to the group
+///     centroid, with the group's average timestamp), and
+///   * the full group of member stay points (Definition 10's Group(sp_k)),
+/// plus the ids of the supporting trajectories.
+struct FineGrainedPattern {
+  std::vector<StayPoint> representative;
+  std::vector<std::vector<StayPoint>> groups;
+  std::vector<TrajectoryId> supporting;
+
+  size_t length() const { return representative.size(); }
+  size_t support() const { return supporting.size(); }
+
+  /// "Residence -> Business & Office" style label from the representative
+  /// semantics (multi-tag positions print the full set).
+  std::string SemanticLabel() const;
+};
+
+}  // namespace csd
+
+#endif  // CSD_CORE_PATTERN_H_

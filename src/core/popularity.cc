@@ -1,0 +1,44 @@
+#include "core/popularity.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "index/grid_index.h"
+#include "util/check.h"
+#include "util/parallel.h"
+
+namespace csd {
+
+double GaussianCoefficient(double distance_m, double r3sigma_m) {
+  CSD_DCHECK(r3sigma_m > 0.0);
+  double sigma = r3sigma_m / 3.0;
+  double norm = 1.0 / (sigma * std::sqrt(2.0 * std::numbers::pi));
+  return norm * std::exp(-(distance_m * distance_m) / (2.0 * sigma * sigma));
+}
+
+PopularityModel::PopularityModel(const PoiDatabase& pois,
+                                 const std::vector<StayPoint>& stays,
+                                 double r3sigma_m)
+    : r3sigma_(r3sigma_m), popularity_(pois.size(), 0.0) {
+  CSD_CHECK_MSG(r3sigma_ > 0.0, "R3sigma must be positive");
+  if (stays.empty() || pois.size() == 0) return;
+
+  std::vector<Vec2> stay_positions;
+  stay_positions.reserve(stays.size());
+  for (const StayPoint& sp : stays) stay_positions.push_back(sp.position);
+  GridIndex stay_index(std::move(stay_positions), r3sigma_);
+
+  // Independent per POI: parallel over the database.
+  ParallelFor(pois.size(), [&](size_t id) {
+    const Vec2& p = pois.poi(static_cast<PoiId>(id)).position;
+    double acc = 0.0;
+    // Equation (3): sum over stay points strictly within R3sigma.
+    stay_index.ForEachInRadius(p, r3sigma_, [&](size_t sidx) {
+      acc += GaussianCoefficient(Distance(p, stay_index.point(sidx)),
+                                 r3sigma_);
+    });
+    popularity_[id] = acc;
+  });
+}
+
+}  // namespace csd

@@ -1,0 +1,38 @@
+#ifndef CSD_CORE_POPULARITY_H_
+#define CSD_CORE_POPULARITY_H_
+
+#include <vector>
+
+#include "poi/poi_database.h"
+#include "traj/trajectory.h"
+
+namespace csd {
+
+/// Gaussian distribution coefficient ||p, p'|| of Equation (2): a normal
+/// kernel with σ = R₃σ/3, so that stay points farther than R₃σ (3σ) are
+/// negligible. Models GPS noise around the true activity location.
+double GaussianCoefficient(double distance_m, double r3sigma_m);
+
+/// The popularity model of Section 4.1: pop(p^I) is the Gaussian-weighted
+/// count of stay points within R₃σ of the POI (Equation (3)). POIs near
+/// many pick-up/drop-off locations are popular; popularity drives both the
+/// coarse clustering (Algorithm 1) and the recognition votes (Algorithm 3).
+class PopularityModel {
+ public:
+  /// Computes pop(·) for every POI of `pois` against the stay points
+  /// `stays` (the D_sp of the paper). R₃σ defaults to the paper's 100 m.
+  PopularityModel(const PoiDatabase& pois, const std::vector<StayPoint>& stays,
+                  double r3sigma_m = 100.0);
+
+  double popularity(PoiId id) const { return popularity_[id]; }
+  const std::vector<double>& popularities() const { return popularity_; }
+  double r3sigma() const { return r3sigma_; }
+
+ private:
+  double r3sigma_;
+  std::vector<double> popularity_;
+};
+
+}  // namespace csd
+
+#endif  // CSD_CORE_POPULARITY_H_

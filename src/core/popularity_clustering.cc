@@ -1,0 +1,104 @@
+#include "core/popularity_clustering.h"
+
+#include "util/check.h"
+
+namespace csd {
+
+namespace {
+
+/// Mutual popularity-ratio test of Algorithm 1 line 5:
+/// pop_a/pop_b ≥ α and pop_b/pop_a ≥ α. Two zero-popularity POIs are
+/// considered equally (un)popular and pass; a zero against a non-zero
+/// fails.
+bool PopularityCompatible(double pop_a, double pop_b, double alpha) {
+  if (pop_a == 0.0 && pop_b == 0.0) return true;
+  if (pop_a == 0.0 || pop_b == 0.0) return false;
+  double lo = std::min(pop_a, pop_b);
+  double hi = std::max(pop_a, pop_b);
+  return lo / hi >= alpha;
+}
+
+}  // namespace
+
+PopularityClusteringResult PopularityBasedClustering(
+    const PoiDatabase& pois, const PopularityModel& popularity,
+    const PopularityClusteringOptions& options) {
+  CSD_CHECK_MSG(options.eps > 0.0, "eps must be positive");
+  CSD_CHECK_MSG(options.alpha > 0.0 && options.alpha <= 1.0,
+                "alpha must be in (0, 1]");
+
+  size_t n = pois.size();
+  PopularityClusteringResult result;
+  std::vector<char> taken(n, 0);   // removed from P (line 3 / line 8)
+  std::vector<char> in_cluster(n, 0);  // member of a kept cluster
+
+  // Candidate entry: the POI plus the member whose range search found it
+  // (used when compare_to_seed is false).
+  struct Candidate {
+    PoiId poi;
+    PoiId discoverer;
+  };
+
+  for (PoiId seed = 0; seed < n; ++seed) {
+    if (taken[seed]) continue;
+    taken[seed] = 1;
+    std::vector<PoiId> cluster = {seed};
+
+    std::vector<Candidate> v;
+    std::vector<char> queued(n, 0);
+    queued[seed] = 1;
+    auto enqueue_range = [&](PoiId member) {
+      pois.ForEachInRange(pois.poi(member).position, options.eps,
+                          [&](PoiId found) {
+                            if (taken[found] || queued[found]) return;
+                            queued[found] = 1;
+                            v.push_back({found, member});
+                          });
+    };
+    enqueue_range(seed);
+
+    const Poi& seed_poi = pois.poi(seed);
+    double seed_pop = popularity.popularity(seed);
+
+    for (size_t i = 0; i < v.size(); ++i) {  // V grows while we scan it
+      Candidate cand = v[i];
+      if (taken[cand.poi]) continue;
+      const Poi& pj = pois.poi(cand.poi);
+
+      const Poi& ref =
+          options.compare_to_seed ? seed_poi : pois.poi(cand.discoverer);
+      double ref_pop = options.compare_to_seed
+                           ? seed_pop
+                           : popularity.popularity(cand.discoverer);
+
+      if (!PopularityCompatible(popularity.popularity(cand.poi), ref_pop,
+                                options.alpha)) {
+        queued[cand.poi] = 0;  // stays available to other discoverers
+        continue;
+      }
+      bool vertically_overlapping =
+          Distance(ref.position, pj.position) <= options.vertical_overlap;
+      if (!vertically_overlapping && pj.major() != ref.major()) {
+        queued[cand.poi] = 0;
+        continue;
+      }
+      taken[cand.poi] = 1;
+      cluster.push_back(cand.poi);
+      enqueue_range(cand.poi);
+    }
+
+    if (cluster.size() >= options.min_pts) {
+      for (PoiId pid : cluster) in_cluster[pid] = 1;
+      result.clusters.push_back(std::move(cluster));
+    }
+    // Small clusters dissolve: per the pseudocode their POIs were already
+    // removed from P, so they end up unclustered (handled below).
+  }
+
+  for (PoiId pid = 0; pid < n; ++pid) {
+    if (!in_cluster[pid]) result.unclustered.push_back(pid);
+  }
+  return result;
+}
+
+}  // namespace csd

@@ -1,0 +1,73 @@
+#include "core/semantic_recognition.h"
+
+#include <unordered_map>
+
+#include "util/check.h"
+#include "util/parallel.h"
+
+namespace csd {
+
+void SemanticRecognizer::Annotate(SemanticTrajectory* trajectory) const {
+  for (StayPoint& sp : trajectory->stays) {
+    sp.semantic = Recognize(sp.position);
+  }
+}
+
+void SemanticRecognizer::AnnotateDatabase(SemanticTrajectoryDb* db) const {
+  // Recognition is read-only over the diagram; trajectories are
+  // independent.
+  ParallelFor(db->size(), [db, this](size_t i) { Annotate(&(*db)[i]); });
+}
+
+CsdRecognizer::CsdRecognizer(const CitySemanticDiagram* diagram,
+                             double radius)
+    : diagram_(diagram), radius_(radius) {
+  CSD_CHECK(diagram_ != nullptr);
+  CSD_CHECK_MSG(radius_ > 0.0, "recognition radius must be positive");
+}
+
+SemanticProperty CsdRecognizer::Recognize(const Vec2& position) const {
+  UnitId ignored;
+  return RecognizeWithUnit(position, &ignored);
+}
+
+SemanticProperty CsdRecognizer::RecognizeWithUnit(const Vec2& position,
+                                                  UnitId* winner) const {
+  // Lines 5-10 of Algorithm 3: every in-range POI that belongs to a unit
+  // votes for it with weight pop(p^I)·||p^I, sp||, and contributes its
+  // category to the unit's candidate property.
+  struct Ballot {
+    double votes = 0.0;
+    SemanticProperty property;
+  };
+  std::unordered_map<UnitId, Ballot> ballots;
+  const PoiDatabase& pois = diagram_->pois();
+  pois.ForEachInRange(position, radius_, [&](PoiId pid) {
+    UnitId uid = diagram_->UnitOfPoi(pid);
+    if (uid == kNoUnit) return;
+    const Poi& p = pois.poi(pid);
+    Ballot& ballot = ballots[uid];
+    ballot.votes += diagram_->Popularity(pid) *
+                    GaussianCoefficient(Distance(p.position, position),
+                                        radius_);
+    ballot.property.Insert(p.major());
+  });
+
+  // Line 11: the highest-vote unit wins; the stay point receives the union
+  // of categories of that unit's in-range POIs. Ties break toward the
+  // lower unit id for determinism.
+  *winner = kNoUnit;
+  double best_votes = -1.0;
+  SemanticProperty best_property;
+  for (const auto& [uid, ballot] : ballots) {
+    if (ballot.votes > best_votes ||
+        (ballot.votes == best_votes && uid < *winner)) {
+      best_votes = ballot.votes;
+      *winner = uid;
+      best_property = ballot.property;
+    }
+  }
+  return best_property;
+}
+
+}  // namespace csd

@@ -1,0 +1,55 @@
+#ifndef CSD_CORE_SEMANTIC_RECOGNITION_H_
+#define CSD_CORE_SEMANTIC_RECOGNITION_H_
+
+#include "core/city_semantic_diagram.h"
+#include "traj/trajectory.h"
+
+namespace csd {
+
+/// Interface of the Semantic Recognizer stage: maps a stay-point location
+/// to a semantic property. Implemented by the CSD voting recognizer
+/// (Algorithm 3) and by the ROI baseline of [21].
+class SemanticRecognizer {
+ public:
+  virtual ~SemanticRecognizer() = default;
+
+  /// Semantic property of a location; empty when nothing is known nearby.
+  virtual SemanticProperty Recognize(const Vec2& position) const = 0;
+
+  /// Fills in the semantic property of every stay point of `trajectory`.
+  void Annotate(SemanticTrajectory* trajectory) const;
+
+  /// Annotates a whole database in place.
+  void AnnotateDatabase(SemanticTrajectoryDb* db) const;
+};
+
+/// Algorithm 3 — CSD-based semantic recognition. For a stay point sp, all
+/// POIs within R₃σ vote for their semantic unit with weight
+/// pop(p^I) · ||p^I, sp||; the winning unit's in-range POIs donate the
+/// union of their categories as sp's semantic property. Voting at unit
+/// granularity (instead of picking the single best POI) is what makes the
+/// recognition robust to GPS noise (Figure 7).
+class CsdRecognizer : public SemanticRecognizer {
+ public:
+  /// `diagram` must outlive the recognizer. `radius` is the search R₃σ
+  /// of Algorithm 3 (paper default 100 m).
+  explicit CsdRecognizer(const CitySemanticDiagram* diagram,
+                         double radius = 100.0);
+
+  SemanticProperty Recognize(const Vec2& position) const override;
+
+  /// Recognize plus the id of the winning unit (kNoUnit when no POI is in
+  /// range); used by demos that want to attribute a stay to a unit.
+  SemanticProperty RecognizeWithUnit(const Vec2& position,
+                                     UnitId* winner) const;
+
+  double radius() const { return radius_; }
+
+ private:
+  const CitySemanticDiagram* diagram_;
+  double radius_;
+};
+
+}  // namespace csd
+
+#endif  // CSD_CORE_SEMANTIC_RECOGNITION_H_

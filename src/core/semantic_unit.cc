@@ -1,0 +1,120 @@
+#include "core/semantic_unit.h"
+
+#include <cmath>
+
+#include "geo/stats.h"
+#include "util/check.h"
+
+namespace csd {
+
+double SemanticUnit::CategoryProbability(MajorCategory c) const {
+  if (total_popularity > 0.0) {
+    return category_popularity[static_cast<size_t>(c)] / total_popularity;
+  }
+  // Zero-popularity unit: Equation (6) degenerates; fall back to the
+  // indicator of present categories, uniformly weighted.
+  int present = property.Size();
+  if (present == 0) return 0.0;
+  return property.Contains(c) ? 1.0 / present : 0.0;
+}
+
+double SemanticUnit::CosineSimilarity(const SemanticUnit& other) const {
+  // Equations (7)-(8) over the Pr_u vectors.
+  double prod = 0.0;
+  double self1 = 0.0;
+  double self2 = 0.0;
+  for (int i = 0; i < kNumMajorCategories; ++i) {
+    auto c = static_cast<MajorCategory>(i);
+    double a = CategoryProbability(c);
+    double b = other.CategoryProbability(c);
+    prod += a * b;
+    self1 += a * a;
+    self2 += b * b;
+  }
+  if (self1 <= 0.0 || self2 <= 0.0) return 0.0;
+  return prod / std::sqrt(self1 * self2);
+}
+
+SemanticUnit MakeSemanticUnit(UnitId id, std::vector<PoiId> member_pois,
+                              const PoiDatabase& pois,
+                              const PopularityModel& popularity) {
+  return MakeSemanticUnit(id, std::move(member_pois), pois,
+                          popularity.popularities());
+}
+
+SemanticUnit MakeSemanticUnit(UnitId id, std::vector<PoiId> member_pois,
+                              const PoiDatabase& pois,
+                              const std::vector<double>& popularity) {
+  CSD_CHECK(!member_pois.empty());
+  SemanticUnit unit;
+  unit.id = id;
+  unit.pois = std::move(member_pois);
+
+  std::vector<Vec2> positions;
+  positions.reserve(unit.pois.size());
+  for (PoiId pid : unit.pois) {
+    const Poi& p = pois.poi(pid);
+    positions.push_back(p.position);
+    double pop = popularity[pid];
+    unit.total_popularity += pop;
+    unit.category_popularity[static_cast<size_t>(p.major())] += pop;
+    unit.property.Insert(p.major());
+  }
+  unit.centroid = Centroid(positions);
+  unit.variance = SpatialVariance(positions);
+  return unit;
+}
+
+bool IsFineGrainedUnit(const std::vector<PoiId>& members,
+                       const PoiDatabase& pois, size_t n_min, double eps_p,
+                       double v_min) {
+  // Approximate the existential V_i of Definition 3: for each member p_i,
+  // examine its ε_p-neighborhood N_i within the unit. The unit qualifies
+  // for p_i when (a) some single category has ≥ N_min members in N_i, or
+  // (b) the N_min nearest members in N_i are spatially tight
+  // (Var ≤ V_min), or (c) N_i as a whole is tight.
+  for (PoiId pid : members) {
+    const Vec2& center = pois.poi(pid).position;
+    std::vector<PoiId> neighborhood;
+    for (PoiId other : members) {
+      if (Distance(center, pois.poi(other).position) < eps_p) {
+        neighborhood.push_back(other);
+      }
+    }
+    if (neighborhood.size() < n_min) return false;
+
+    // (a) single-semantic subset of size >= n_min.
+    std::array<size_t, kNumMajorCategories> per_cat{};
+    bool ok = false;
+    for (PoiId other : neighborhood) {
+      size_t cat = static_cast<size_t>(pois.poi(other).major());
+      if (++per_cat[cat] >= n_min) {
+        ok = true;
+        break;
+      }
+    }
+    if (ok) continue;
+
+    // (b) tight subset: n_min nearest neighbors.
+    std::vector<Vec2> positions;
+    positions.reserve(neighborhood.size());
+    for (PoiId other : neighborhood) {
+      positions.push_back(pois.poi(other).position);
+    }
+    std::sort(positions.begin(), positions.end(),
+              [&center](const Vec2& a, const Vec2& b) {
+                return SquaredDistance(a, center) <
+                       SquaredDistance(b, center);
+              });
+    std::vector<Vec2> nearest(positions.begin(),
+                              positions.begin() + static_cast<long>(n_min));
+    if (SpatialVariance(nearest) <= v_min) continue;
+
+    // (c) the full neighborhood is tight.
+    if (SpatialVariance(positions) <= v_min) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace csd

@@ -1,0 +1,64 @@
+#ifndef CSD_CORE_SEMANTIC_UNIT_H_
+#define CSD_CORE_SEMANTIC_UNIT_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/popularity.h"
+#include "poi/poi_database.h"
+
+namespace csd {
+
+/// Identifier of a fine-grained semantic unit within a CSD.
+using UnitId = uint32_t;
+inline constexpr UnitId kNoUnit = 0xffffffff;
+
+/// A fine-grained semantic unit (Definition 3): a small city region whose
+/// POIs are homogeneous in location or semantics. Carries the
+/// popularity-weighted semantic distribution Pr_u (Equation (6)) used for
+/// unit merging and recognition.
+struct SemanticUnit {
+  UnitId id = 0;
+  std::vector<PoiId> pois;
+  Vec2 centroid;
+  double variance = 0.0;          // Var over member positions (Eq. (1))
+  double total_popularity = 0.0;  // sum of member pop(p^I)
+  SemanticProperty property;      // union of member categories
+
+  /// Popularity mass per major category; Pr_u(s) = mass[s] / total.
+  std::array<double, kNumMajorCategories> category_popularity{};
+
+  size_t size() const { return pois.size(); }
+
+  /// Pr_u(s) of Equation (6). When every member has zero popularity the
+  /// distribution falls back to plain POI counts.
+  double CategoryProbability(MajorCategory c) const;
+
+  /// Cosine similarity Cos(u_i, u_j) of Equation (8) between the semantic
+  /// distributions of two units.
+  double CosineSimilarity(const SemanticUnit& other) const;
+};
+
+/// Builds a SemanticUnit (centroid, variance, distribution) from member
+/// POI ids.
+SemanticUnit MakeSemanticUnit(UnitId id, std::vector<PoiId> member_pois,
+                              const PoiDatabase& pois,
+                              const PopularityModel& popularity);
+
+/// Same, from a raw per-POI popularity vector (deserialization path).
+SemanticUnit MakeSemanticUnit(UnitId id, std::vector<PoiId> member_pois,
+                              const PoiDatabase& pois,
+                              const std::vector<double>& popularity);
+
+/// Definition 3's predicate: every POI of `members` must have, within ε_p,
+/// at least N_min fellow members forming a neighborhood V_i that is either
+/// spatially tight (Var(V_i) ≤ V_min) or single-semantic. Exposed for
+/// property tests over the purification output.
+bool IsFineGrainedUnit(const std::vector<PoiId>& members,
+                       const PoiDatabase& pois, size_t n_min, double eps_p,
+                       double v_min);
+
+}  // namespace csd
+
+#endif  // CSD_CORE_SEMANTIC_UNIT_H_

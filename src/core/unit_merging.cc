@@ -1,0 +1,126 @@
+#include "core/unit_merging.h"
+
+#include <cstdint>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace csd {
+
+namespace {
+
+/// Plain union-find with path halving.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  bool Union(size_t a, size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    parent_[std::max(a, b)] = std::min(a, b);
+    return true;
+  }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+std::vector<std::vector<PoiId>> SemanticUnitMerging(
+    const std::vector<std::vector<PoiId>>& purified_units,
+    const std::vector<PoiId>& unclustered, const PoiDatabase& pois,
+    const PopularityModel& popularity, const MergingOptions& options) {
+  // Node universe: purified units first, then leftover singletons.
+  std::vector<std::vector<PoiId>> nodes = purified_units;
+  size_t num_clustered_nodes = nodes.size();
+  if (options.absorb_unclustered) {
+    for (PoiId pid : unclustered) nodes.push_back({pid});
+  }
+  if (nodes.empty()) return {};
+
+  std::vector<size_t> poi_to_node(pois.size(), SIZE_MAX);
+  for (size_t node = 0; node < nodes.size(); ++node) {
+    for (PoiId pid : nodes[node]) poi_to_node[pid] = node;
+  }
+
+  // Node-level adjacency from POI proximity, computed once.
+  std::unordered_set<uint64_t> adjacency;
+  for (PoiId pid = 0; pid < pois.size(); ++pid) {
+    size_t node_a = poi_to_node[pid];
+    if (node_a == SIZE_MAX) continue;
+    pois.ForEachInRange(pois.poi(pid).position, options.neighbor_distance,
+                        [&](PoiId other) {
+                          if (other <= pid) return;
+                          size_t node_b = poi_to_node[other];
+                          if (node_b == SIZE_MAX || node_b == node_a) return;
+                          uint64_t lo = std::min(node_a, node_b);
+                          uint64_t hi = std::max(node_a, node_b);
+                          adjacency.insert((lo << 32) | hi);
+                        });
+  }
+
+  UnionFind uf(nodes.size());
+  while (true) {
+    // Current groups and their semantic distributions.
+    std::unordered_map<size_t, std::vector<PoiId>> groups;
+    for (size_t node = 0; node < nodes.size(); ++node) {
+      auto& group = groups[uf.Find(node)];
+      group.insert(group.end(), nodes[node].begin(), nodes[node].end());
+    }
+    std::unordered_map<size_t, SemanticUnit> group_units;
+    group_units.reserve(groups.size());
+    for (auto& [root, members] : groups) {
+      group_units.emplace(root,
+                          MakeSemanticUnit(0, members, pois, popularity));
+    }
+
+    // One merging pass over the (root-level) adjacency.
+    size_t merges = 0;
+    for (uint64_t key : adjacency) {
+      size_t a = uf.Find(static_cast<size_t>(key >> 32));
+      size_t b = uf.Find(static_cast<size_t>(key & 0xffffffffu));
+      if (a == b) continue;
+      const SemanticUnit& ua = group_units.at(a);
+      const SemanticUnit& ub = group_units.at(b);
+      if (ua.CosineSimilarity(ub) >= options.cosine_threshold) {
+        if (uf.Union(a, b)) ++merges;
+      }
+    }
+    if (merges == 0) break;
+  }
+
+  // Materialize final units; drop never-merged leftover singletons unless
+  // configured otherwise.
+  std::unordered_map<size_t, std::vector<PoiId>> groups;
+  std::unordered_map<size_t, bool> has_clustered;
+  for (size_t node = 0; node < nodes.size(); ++node) {
+    size_t root = uf.Find(node);
+    auto& group = groups[root];
+    group.insert(group.end(), nodes[node].begin(), nodes[node].end());
+    if (node < num_clustered_nodes) has_clustered[root] = true;
+  }
+  std::vector<std::vector<PoiId>> result;
+  result.reserve(groups.size());
+  for (auto& [root, members] : groups) {
+    bool keep = has_clustered.count(root) > 0 || members.size() >= 2 ||
+                options.keep_unmerged_singletons;
+    if (keep) result.push_back(std::move(members));
+  }
+  return result;
+}
+
+}  // namespace csd

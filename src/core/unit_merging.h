@@ -1,0 +1,44 @@
+#ifndef CSD_CORE_UNIT_MERGING_H_
+#define CSD_CORE_UNIT_MERGING_H_
+
+#include <vector>
+
+#include "core/semantic_unit.h"
+
+namespace csd {
+
+/// Parameters of the Semantic Unit Merging step (Section 4.1).
+struct MergingOptions {
+  /// Two nearby units merge when the cosine similarity of their semantic
+  /// distributions (Equation (8)) reaches this bound (paper: 0.9).
+  double cosine_threshold = 0.9;
+
+  /// Units are "nearby" when some pair of their POIs lies within this
+  /// distance (fragments separated by pedestrian streets / squares).
+  double neighbor_distance = 60.0;
+
+  /// Treat the POIs Algorithm 1 left unclustered as singleton units that
+  /// may merge into similar neighbors (the paper's p16 example).
+  bool absorb_unclustered = true;
+
+  /// Unclustered singletons that merged with nothing are dropped from the
+  /// CSD (they stayed outside every cluster in the paper's Figure 3(b)).
+  /// Units that contain at least one clustered POI are always kept.
+  bool keep_unmerged_singletons = false;
+};
+
+/// Semantic Unit Merging: combines fragments of semantically similar,
+/// spatially adjacent units into bigger units, and absorbs leftover POIs.
+/// Implemented as an iterated union-find over the unit adjacency graph:
+/// each pass merges every adjacent pair whose distribution cosine clears
+/// the threshold, then distributions are recomputed, until a fixpoint.
+///
+/// Returns the final units as POI-id sets, ready to become the CSD.
+std::vector<std::vector<PoiId>> SemanticUnitMerging(
+    const std::vector<std::vector<PoiId>>& purified_units,
+    const std::vector<PoiId>& unclustered, const PoiDatabase& pois,
+    const PopularityModel& popularity, const MergingOptions& options);
+
+}  // namespace csd
+
+#endif  // CSD_CORE_UNIT_MERGING_H_

@@ -1,0 +1,21 @@
+#include "geo/distance.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace csd {
+
+double HaversineDistance(const GeoPoint& a, const GeoPoint& b) {
+  double lat1 = a.lat * kDegToRad;
+  double lat2 = b.lat * kDegToRad;
+  double dlat = (b.lat - a.lat) * kDegToRad;
+  double dlon = (b.lon - a.lon) * kDegToRad;
+
+  double s1 = std::sin(dlat * 0.5);
+  double s2 = std::sin(dlon * 0.5);
+  double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  h = std::clamp(h, 0.0, 1.0);
+  return 2.0 * kEarthRadiusMeters * std::asin(std::sqrt(h));
+}
+
+}  // namespace csd

@@ -1,0 +1,19 @@
+#ifndef CSD_GEO_DISTANCE_H_
+#define CSD_GEO_DISTANCE_H_
+
+#include "geo/point.h"
+
+namespace csd {
+
+/// Mean Earth radius in meters (IUGG).
+inline constexpr double kEarthRadiusMeters = 6371008.8;
+
+inline constexpr double kDegToRad = 0.017453292519943295;
+
+/// Great-circle (Haversine) distance between two geographic points, in
+/// meters. This is the d(p_i, p_j) of the paper's notation table.
+double HaversineDistance(const GeoPoint& a, const GeoPoint& b);
+
+}  // namespace csd
+
+#endif  // CSD_GEO_DISTANCE_H_

@@ -1,0 +1,105 @@
+#ifndef CSD_GEO_POINT_H_
+#define CSD_GEO_POINT_H_
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace csd {
+
+/// A point in the planar working frame, in meters. All clustering, variance
+/// and density computations in the library run on Vec2; geographic
+/// coordinates are converted once via LocalProjection.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  Vec2() = default;
+  Vec2(double x_in, double y_in) : x(x_in), y(y_in) {}
+
+  Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  Vec2 operator*(double s) const { return {x * s, y * s}; }
+  Vec2 operator/(double s) const { return {x / s, y / s}; }
+  Vec2& operator+=(const Vec2& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+
+  double Dot(const Vec2& o) const { return x * o.x + y * o.y; }
+  double SquaredNorm() const { return x * x + y * y; }
+  double Norm() const { return std::sqrt(SquaredNorm()); }
+};
+
+inline bool operator==(const Vec2& a, const Vec2& b) {
+  return a.x == b.x && a.y == b.y;
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Vec2& p) {
+  return os << "(" << p.x << ", " << p.y << ")";
+}
+
+/// Euclidean distance in the planar frame (meters).
+inline double Distance(const Vec2& a, const Vec2& b) {
+  return (a - b).Norm();
+}
+
+inline double SquaredDistance(const Vec2& a, const Vec2& b) {
+  return (a - b).SquaredNorm();
+}
+
+/// A geographic coordinate in degrees (WGS-84 lon/lat).
+struct GeoPoint {
+  double lon = 0.0;
+  double lat = 0.0;
+
+  GeoPoint() = default;
+  GeoPoint(double lon_in, double lat_in) : lon(lon_in), lat(lat_in) {}
+};
+
+inline bool operator==(const GeoPoint& a, const GeoPoint& b) {
+  return a.lon == b.lon && a.lat == b.lat;
+}
+
+inline std::ostream& operator<<(std::ostream& os, const GeoPoint& p) {
+  return os << "(lon=" << p.lon << ", lat=" << p.lat << ")";
+}
+
+/// Axis-aligned bounding box in the planar frame.
+struct BoundingBox {
+  Vec2 min{+1e300, +1e300};
+  Vec2 max{-1e300, -1e300};
+
+  bool Empty() const { return min.x > max.x || min.y > max.y; }
+
+  void Extend(const Vec2& p) {
+    min.x = std::min(min.x, p.x);
+    min.y = std::min(min.y, p.y);
+    max.x = std::max(max.x, p.x);
+    max.y = std::max(max.y, p.y);
+  }
+
+  bool Contains(const Vec2& p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+
+  double Width() const { return Empty() ? 0.0 : max.x - min.x; }
+  double Height() const { return Empty() ? 0.0 : max.y - min.y; }
+  double Area() const { return Width() * Height(); }
+
+  Vec2 Center() const {
+    return {(min.x + max.x) * 0.5, (min.y + max.y) * 0.5};
+  }
+
+  /// Smallest distance from `p` to the box (0 if inside).
+  double Distance(const Vec2& p) const {
+    double dx = std::max({min.x - p.x, 0.0, p.x - max.x});
+    double dy = std::max({min.y - p.y, 0.0, p.y - max.y});
+    return std::sqrt(dx * dx + dy * dy);
+  }
+};
+
+}  // namespace csd
+
+#endif  // CSD_GEO_POINT_H_

@@ -1,0 +1,25 @@
+#include "geo/projection.h"
+
+#include <cmath>
+
+#include "geo/distance.h"
+
+namespace csd {
+
+LocalProjection::LocalProjection(const GeoPoint& origin) : origin_(origin) {
+  meters_per_deg_lat_ = kEarthRadiusMeters * kDegToRad;
+  meters_per_deg_lon_ =
+      meters_per_deg_lat_ * std::cos(origin.lat * kDegToRad);
+}
+
+Vec2 LocalProjection::Project(const GeoPoint& p) const {
+  return {(p.lon - origin_.lon) * meters_per_deg_lon_,
+          (p.lat - origin_.lat) * meters_per_deg_lat_};
+}
+
+GeoPoint LocalProjection::Unproject(const Vec2& p) const {
+  return {origin_.lon + p.x / meters_per_deg_lon_,
+          origin_.lat + p.y / meters_per_deg_lat_};
+}
+
+}  // namespace csd

@@ -1,0 +1,70 @@
+#include "geo/stats.h"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "util/check.h"
+
+namespace csd {
+
+Vec2 Centroid(const std::vector<Vec2>& points) {
+  CSD_CHECK(!points.empty());
+  Vec2 sum;
+  for (const Vec2& p : points) sum += p;
+  return sum / static_cast<double>(points.size());
+}
+
+double SpatialVariance(const std::vector<Vec2>& points) {
+  if (points.size() < 2) return 0.0;
+  Vec2 c = Centroid(points);
+  double acc = 0.0;
+  for (const Vec2& p : points) acc += SquaredDistance(p, c);
+  return acc / static_cast<double>(points.size() - 1);
+}
+
+double RadiusOfGyration(const std::vector<Vec2>& points) {
+  return std::sqrt(SpatialVariance(points));
+}
+
+double SpatialDensity(const std::vector<Vec2>& points) {
+  if (points.empty()) return 0.0;
+  double var = SpatialVariance(points);
+  if (var <= 0.0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(points.size()) / (std::numbers::pi * var);
+}
+
+double AveragePairwiseDistance(const std::vector<Vec2>& points) {
+  size_t n = points.size();
+  if (n < 2) return 0.0;
+  double acc = 0.0;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      acc += Distance(points[i], points[j]);
+    }
+  }
+  return acc * 2.0 / (static_cast<double>(n) * static_cast<double>(n - 1));
+}
+
+size_t CenterPointIndex(const std::vector<Vec2>& points) {
+  CSD_CHECK(!points.empty());
+  Vec2 c = Centroid(points);
+  size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < points.size(); ++i) {
+    double d = SquaredDistance(points[i], c);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+BoundingBox ComputeBoundingBox(const std::vector<Vec2>& points) {
+  BoundingBox box;
+  for (const Vec2& p : points) box.Extend(p);
+  return box;
+}
+
+}  // namespace csd

@@ -1,0 +1,44 @@
+#ifndef CSD_GEO_STATS_H_
+#define CSD_GEO_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace csd {
+
+/// Arithmetic mean of a non-empty point set (the p_c of Equation (1)).
+Vec2 Centroid(const std::vector<Vec2>& points);
+
+/// Spatial variance Var(S) per the paper's Equation (1):
+///   Var(S) = sum_i ((x_i - x_c)^2 + (y_i - y_c)^2) / (|S| - 1),
+/// in m². Sets of size 0 or 1 have variance 0.
+double SpatialVariance(const std::vector<Vec2>& points);
+
+/// Radius of gyration sqrt(Var(S)) in meters.
+double RadiusOfGyration(const std::vector<Vec2>& points);
+
+/// Spatial density Den(S) in points/m², defined as |S| / (π · Var(S)) —
+/// the count inside the radius-of-gyration disc. The paper uses Den(S)
+/// without giving a formula; this definition matches the magnitude of its
+/// ρ = 0.002 m⁻² default. Degenerate sets (variance 0) are reported as
+/// +infinity density unless empty (density 0).
+double SpatialDensity(const std::vector<Vec2>& points);
+
+/// Average pairwise Euclidean distance (Equation (9)'s ss over a group),
+/// in meters. Sets of size < 2 have sparsity 0.
+double AveragePairwiseDistance(const std::vector<Vec2>& points);
+
+/// Index of the element of `points` closest to its centroid — the paper's
+/// CenterPoint(·) used by Algorithm 2 (purification reference POI) and
+/// Algorithm 4 (representative point of a fine-grained pattern).
+/// Requires a non-empty set.
+size_t CenterPointIndex(const std::vector<Vec2>& points);
+
+/// Tight bounding box of a point set.
+BoundingBox ComputeBoundingBox(const std::vector<Vec2>& points);
+
+}  // namespace csd
+
+#endif  // CSD_GEO_STATS_H_

@@ -1,0 +1,82 @@
+#include "index/grid_index.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace csd {
+
+GridIndex::GridIndex(std::vector<Vec2> points, double cell_size)
+    : points_(std::move(points)), cell_size_(cell_size) {
+  CSD_CHECK_MSG(cell_size_ > 0.0, "grid cell size must be positive");
+  cells_.reserve(points_.size());
+  for (size_t i = 0; i < points_.size(); ++i) {
+    cells_[KeyFor(CellCoord(points_[i].x), CellCoord(points_[i].y))]
+        .push_back(i);
+  }
+}
+
+std::vector<size_t> GridIndex::RadiusQuery(const Vec2& query,
+                                           double radius) const {
+  std::vector<size_t> out;
+  ForEachInRadius(query, radius, [&out](size_t idx) { out.push_back(idx); });
+  return out;
+}
+
+size_t GridIndex::CountInRadius(const Vec2& query, double radius) const {
+  size_t count = 0;
+  ForEachInRadius(query, radius, [&count](size_t) { ++count; });
+  return count;
+}
+
+size_t GridIndex::Nearest(const Vec2& query) const {
+  if (points_.empty()) return std::numeric_limits<size_t>::max();
+  // Expanding ring search: try radii cell, 2*cell, 4*cell, ... until a hit;
+  // then one extra ring pass at the found distance for exactness.
+  double radius = cell_size_;
+  while (true) {
+    size_t best = std::numeric_limits<size_t>::max();
+    double best_d2 = std::numeric_limits<double>::infinity();
+    ForEachInRadius(query, radius, [&](size_t idx) {
+      double d2 = SquaredDistance(points_[idx], query);
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best = idx;
+      }
+    });
+    if (best != std::numeric_limits<size_t>::max()) {
+      // A closer point could sit in a cell outside the current square but
+      // within the true distance; re-scan at the exact found distance.
+      double exact = std::sqrt(best_d2);
+      if (exact > radius) {
+        radius = exact;
+        continue;
+      }
+      ForEachInRadius(query, exact, [&](size_t idx) {
+        double d2 = SquaredDistance(points_[idx], query);
+        if (d2 < best_d2) {
+          best_d2 = d2;
+          best = idx;
+        }
+      });
+      return best;
+    }
+    radius *= 2.0;
+    // Escape hatch for pathological coordinates.
+    if (radius > 1e12) {
+      size_t fallback = 0;
+      double fd = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < points_.size(); ++i) {
+        double d2 = SquaredDistance(points_[i], query);
+        if (d2 < fd) {
+          fd = d2;
+          fallback = i;
+        }
+      }
+      return fallback;
+    }
+  }
+}
+
+}  // namespace csd

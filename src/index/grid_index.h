@@ -1,0 +1,84 @@
+#ifndef CSD_INDEX_GRID_INDEX_H_
+#define CSD_INDEX_GRID_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace csd {
+
+/// Uniform grid over the planar frame, the workhorse behind the paper's
+/// range(p, ε, P) primitive. Points are addressed by their index in the
+/// vector passed at construction, so callers can keep payloads in parallel
+/// arrays.
+///
+/// Cell size should be on the order of the typical query radius: radius
+/// queries visit ceil(r / cell)² + O(1) cells.
+class GridIndex {
+ public:
+  /// Builds the index. `cell_size` must be positive.
+  GridIndex(std::vector<Vec2> points, double cell_size);
+
+  /// Indices of all points within `radius` (inclusive) of `query`,
+  /// in unspecified order.
+  std::vector<size_t> RadiusQuery(const Vec2& query, double radius) const;
+
+  /// Invokes `fn(index)` for each point within `radius` of `query`
+  /// without materializing a result vector.
+  template <typename Fn>
+  void ForEachInRadius(const Vec2& query, double radius, Fn&& fn) const;
+
+  /// Number of points within `radius` of `query`.
+  size_t CountInRadius(const Vec2& query, double radius) const;
+
+  /// Index of the nearest point to `query`, or SIZE_MAX when empty.
+  size_t Nearest(const Vec2& query) const;
+
+  size_t size() const { return points_.size(); }
+  const Vec2& point(size_t i) const { return points_[i]; }
+  const std::vector<Vec2>& points() const { return points_; }
+  double cell_size() const { return cell_size_; }
+
+ private:
+  using CellKey = int64_t;
+
+  CellKey KeyFor(int64_t cx, int64_t cy) const {
+    // Pack two 32-bit cell coordinates; city-scale extents stay far below
+    // the 2^31 cell limit.
+    return (cx << 32) ^ (cy & 0xffffffffLL);
+  }
+
+  int64_t CellCoord(double v) const {
+    return static_cast<int64_t>(std::floor(v / cell_size_));
+  }
+
+  std::vector<Vec2> points_;
+  double cell_size_;
+  std::unordered_map<CellKey, std::vector<size_t>> cells_;
+};
+
+template <typename Fn>
+void GridIndex::ForEachInRadius(const Vec2& query, double radius,
+                                Fn&& fn) const {
+  if (radius < 0.0) return;
+  double r2 = radius * radius;
+  int64_t cx0 = CellCoord(query.x - radius);
+  int64_t cx1 = CellCoord(query.x + radius);
+  int64_t cy0 = CellCoord(query.y - radius);
+  int64_t cy1 = CellCoord(query.y + radius);
+  for (int64_t cx = cx0; cx <= cx1; ++cx) {
+    for (int64_t cy = cy0; cy <= cy1; ++cy) {
+      auto it = cells_.find(KeyFor(cx, cy));
+      if (it == cells_.end()) continue;
+      for (size_t idx : it->second) {
+        if (SquaredDistance(points_[idx], query) <= r2) fn(idx);
+      }
+    }
+  }
+}
+
+}  // namespace csd
+
+#endif  // CSD_INDEX_GRID_INDEX_H_

@@ -1,0 +1,106 @@
+#include "index/kd_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace csd {
+
+KdTree::KdTree(std::vector<Vec2> points) : points_(std::move(points)) {
+  if (points_.empty()) return;
+  std::vector<uint32_t> ids(points_.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<uint32_t>(i);
+  nodes_.reserve(points_.size());
+  root_ = Build(ids, 0, ids.size(), 0);
+}
+
+int32_t KdTree::Build(std::vector<uint32_t>& ids, size_t begin, size_t end,
+                      int depth) {
+  if (begin >= end) return -1;
+  uint8_t axis = static_cast<uint8_t>(depth % 2);
+  size_t mid = begin + (end - begin) / 2;
+  std::nth_element(ids.begin() + begin, ids.begin() + mid, ids.begin() + end,
+                   [&](uint32_t a, uint32_t b) {
+                     return axis == 0 ? points_[a].x < points_[b].x
+                                      : points_[a].y < points_[b].y;
+                   });
+  int32_t node_id = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[node_id].point = ids[mid];
+  nodes_[node_id].axis = axis;
+  int32_t left = Build(ids, begin, mid, depth + 1);
+  int32_t right = Build(ids, mid + 1, end, depth + 1);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+namespace {
+
+double AxisCoord(const Vec2& p, uint8_t axis) { return axis == 0 ? p.x : p.y; }
+
+}  // namespace
+
+template <typename Visitor>
+void KdTree::Visit(int32_t node, const Vec2& query, double& radius2,
+                   Visitor&& visitor) const {
+  if (node < 0) return;
+  const Node& n = nodes_[node];
+  const Vec2& p = points_[n.point];
+  double d2 = SquaredDistance(p, query);
+  if (d2 <= radius2) visitor(n.point, d2, radius2);
+
+  double delta = AxisCoord(query, n.axis) - AxisCoord(p, n.axis);
+  int32_t near = delta <= 0.0 ? n.left : n.right;
+  int32_t far = delta <= 0.0 ? n.right : n.left;
+  Visit(near, query, radius2, visitor);
+  if (delta * delta <= radius2) {
+    Visit(far, query, radius2, visitor);
+  }
+}
+
+std::vector<size_t> KdTree::RadiusQuery(const Vec2& query,
+                                        double radius) const {
+  std::vector<size_t> out;
+  if (radius < 0.0 || root_ < 0) return out;
+  double r2 = radius * radius;
+  Visit(root_, query, r2,
+        [&out](uint32_t idx, double, double&) { out.push_back(idx); });
+  return out;
+}
+
+size_t KdTree::Nearest(const Vec2& query) const {
+  if (root_ < 0) return std::numeric_limits<size_t>::max();
+  size_t best = std::numeric_limits<size_t>::max();
+  double best_r2 = std::numeric_limits<double>::infinity();
+  Visit(root_, query, best_r2,
+        [&best](uint32_t idx, double d2, double& radius2) {
+          best = idx;
+          radius2 = d2;  // shrink the search ball as we find closer points
+        });
+  return best;
+}
+
+std::vector<size_t> KdTree::KNearest(const Vec2& query, size_t k) const {
+  std::vector<size_t> out;
+  if (root_ < 0 || k == 0) return out;
+  // Max-heap of (distance², index); the heap top is the current kth best.
+  using Entry = std::pair<double, size_t>;
+  std::priority_queue<Entry> heap;
+  double radius2 = std::numeric_limits<double>::infinity();
+  Visit(root_, query, radius2,
+        [&heap, k](uint32_t idx, double d2, double& r2) {
+          heap.emplace(d2, idx);
+          if (heap.size() > k) heap.pop();
+          if (heap.size() == k) r2 = heap.top().first;
+        });
+  out.resize(heap.size());
+  for (size_t i = heap.size(); i-- > 0;) {
+    out[i] = heap.top().second;
+    heap.pop();
+  }
+  return out;
+}
+
+}  // namespace csd

@@ -1,0 +1,55 @@
+#ifndef CSD_INDEX_KD_TREE_H_
+#define CSD_INDEX_KD_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace csd {
+
+/// Bulk-loaded 2-d tree over planar points. Complements GridIndex for
+/// workloads with widely varying query radii (e.g. OPTICS reachability
+/// scans) where a fixed cell size is a poor fit.
+///
+/// Point identity is the index into the vector passed at construction.
+class KdTree {
+ public:
+  explicit KdTree(std::vector<Vec2> points);
+
+  /// Indices of all points within `radius` (inclusive) of `query`.
+  std::vector<size_t> RadiusQuery(const Vec2& query, double radius) const;
+
+  /// Index of the nearest point, or SIZE_MAX when the tree is empty.
+  size_t Nearest(const Vec2& query) const;
+
+  /// Indices of the k nearest points, ordered by increasing distance.
+  /// Returns fewer than k when the tree holds fewer points.
+  std::vector<size_t> KNearest(const Vec2& query, size_t k) const;
+
+  size_t size() const { return points_.size(); }
+  const Vec2& point(size_t i) const { return points_[i]; }
+
+ private:
+  struct Node {
+    int32_t left = -1;
+    int32_t right = -1;
+    uint32_t point = 0;  // index into points_
+    uint8_t axis = 0;    // 0 = x, 1 = y
+  };
+
+  int32_t Build(std::vector<uint32_t>& ids, size_t begin, size_t end,
+                int depth);
+
+  template <typename Visitor>
+  void Visit(int32_t node, const Vec2& query, double& radius2,
+             Visitor&& visitor) const;
+
+  std::vector<Vec2> points_;
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+};
+
+}  // namespace csd
+
+#endif  // CSD_INDEX_KD_TREE_H_

@@ -1,0 +1,166 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace csd {
+
+RTree::RTree(std::vector<Vec2> points, size_t leaf_capacity)
+    : points_(std::move(points)) {
+  CSD_CHECK_MSG(leaf_capacity >= 2, "leaf capacity must be >= 2");
+  size_t n = points_.size();
+  if (n == 0) return;
+
+  // --- STR leaf ordering: sort by x, cut into vertical slices, sort each
+  // slice by y; consecutive runs of leaf_capacity become leaves.
+  leaf_points_.resize(n);
+  for (size_t i = 0; i < n; ++i) leaf_points_[i] = static_cast<uint32_t>(i);
+  std::sort(leaf_points_.begin(), leaf_points_.end(),
+            [this](uint32_t a, uint32_t b) {
+              return points_[a].x < points_[b].x;
+            });
+  size_t num_leaves = (n + leaf_capacity - 1) / leaf_capacity;
+  size_t slices = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(num_leaves))));
+  size_t slice_size = slices > 0 ? (n + slices - 1) / slices : n;
+  for (size_t begin = 0; begin < n; begin += slice_size) {
+    size_t end = std::min(begin + slice_size, n);
+    std::sort(leaf_points_.begin() + static_cast<long>(begin),
+              leaf_points_.begin() + static_cast<long>(end),
+              [this](uint32_t a, uint32_t b) {
+                return points_[a].y < points_[b].y;
+              });
+  }
+
+  // --- Leaf level.
+  size_t level_first = nodes_.size();
+  for (size_t begin = 0; begin < n; begin += leaf_capacity) {
+    size_t end = std::min(begin + leaf_capacity, n);
+    Node leaf;
+    leaf.leaf = true;
+    leaf.first = static_cast<uint32_t>(begin);
+    leaf.count = static_cast<uint32_t>(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      leaf.box.Extend(points_[leaf_points_[i]]);
+    }
+    nodes_.push_back(leaf);
+  }
+  height_ = 1;
+
+  // --- Upper levels: group consecutive runs of `leaf_capacity` children
+  // (which are already in STR order).
+  while (nodes_.size() - level_first > 1) {
+    size_t level_count = nodes_.size() - level_first;
+    size_t next_first = nodes_.size();
+    for (size_t begin = 0; begin < level_count; begin += leaf_capacity) {
+      size_t end = std::min(begin + leaf_capacity, level_count);
+      Node parent;
+      parent.leaf = false;
+      parent.first = static_cast<uint32_t>(level_first + begin);
+      parent.count = static_cast<uint32_t>(end - begin);
+      for (size_t i = begin; i < end; ++i) {
+        const BoundingBox& child = nodes_[level_first + i].box;
+        parent.box.Extend(child.min);
+        parent.box.Extend(child.max);
+      }
+      nodes_.push_back(parent);
+    }
+    level_first = next_first;
+    ++height_;
+  }
+}
+
+template <typename Visitor>
+void RTree::Visit(uint32_t node, const BoundingBox& box,
+                  Visitor&& visit) const {
+  const Node& n = nodes_[node];
+  if (n.leaf) {
+    for (uint32_t i = 0; i < n.count; ++i) {
+      uint32_t pid = leaf_points_[n.first + i];
+      if (box.Contains(points_[pid])) visit(pid);
+    }
+    return;
+  }
+  for (uint32_t i = 0; i < n.count; ++i) {
+    uint32_t child = n.first + i;
+    const BoundingBox& cb = nodes_[child].box;
+    bool overlaps = cb.min.x <= box.max.x && cb.max.x >= box.min.x &&
+                    cb.min.y <= box.max.y && cb.max.y >= box.min.y;
+    if (overlaps) Visit(child, box, visit);
+  }
+}
+
+std::vector<size_t> RTree::BoxQuery(const BoundingBox& box) const {
+  std::vector<size_t> out;
+  if (nodes_.empty()) return out;
+  Visit(static_cast<uint32_t>(nodes_.size() - 1), box,
+        [&out](uint32_t pid) { out.push_back(pid); });
+  return out;
+}
+
+std::vector<size_t> RTree::RadiusQuery(const Vec2& query,
+                                       double radius) const {
+  std::vector<size_t> out;
+  if (nodes_.empty() || radius < 0.0) return out;
+  BoundingBox box;
+  box.Extend({query.x - radius, query.y - radius});
+  box.Extend({query.x + radius, query.y + radius});
+  double r2 = radius * radius;
+  Visit(static_cast<uint32_t>(nodes_.size() - 1), box,
+        [&](uint32_t pid) {
+          if (SquaredDistance(points_[pid], query) <= r2) {
+            out.push_back(pid);
+          }
+        });
+  return out;
+}
+
+size_t RTree::Nearest(const Vec2& query) const {
+  if (nodes_.empty()) return std::numeric_limits<size_t>::max();
+  size_t best = std::numeric_limits<size_t>::max();
+  double best_d = std::numeric_limits<double>::infinity();
+
+  // Branch-and-bound DFS, visiting closer children first.
+  struct Frame {
+    uint32_t node;
+    double lower_bound;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({static_cast<uint32_t>(nodes_.size() - 1), 0.0});
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    if (frame.lower_bound >= best_d) continue;
+    const Node& n = nodes_[frame.node];
+    if (n.leaf) {
+      for (uint32_t i = 0; i < n.count; ++i) {
+        uint32_t pid = leaf_points_[n.first + i];
+        double d = Distance(points_[pid], query);
+        if (d < best_d) {
+          best_d = d;
+          best = pid;
+        }
+      }
+      continue;
+    }
+    // Push children ordered so the closest is popped first.
+    std::vector<Frame> children;
+    for (uint32_t i = 0; i < n.count; ++i) {
+      uint32_t child = n.first + i;
+      children.push_back({child, nodes_[child].box.Distance(query)});
+    }
+    std::sort(children.begin(), children.end(),
+              [](const Frame& a, const Frame& b) {
+                return a.lower_bound > b.lower_bound;  // farthest first
+              });
+    for (const Frame& child : children) {
+      if (child.lower_bound < best_d) stack.push_back(child);
+    }
+  }
+  return best;
+}
+
+}  // namespace csd

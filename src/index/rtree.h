@@ -1,0 +1,60 @@
+#ifndef CSD_INDEX_RTREE_H_
+#define CSD_INDEX_RTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace csd {
+
+/// STR (Sort-Tile-Recursive) bulk-loaded R-tree over planar points.
+/// Completes the spatial-index substrate next to GridIndex (uniform data,
+/// fixed radii) and KdTree (nearest-neighbor chains): the R-tree's strength
+/// is rectangle queries and strongly clustered data, which city POIs are.
+///
+/// Immutable after construction; point identity is the index into the
+/// vector passed to the constructor.
+class RTree {
+ public:
+  /// Bulk-loads the tree. `leaf_capacity` is the STR node fan-out.
+  explicit RTree(std::vector<Vec2> points, size_t leaf_capacity = 16);
+
+  /// Indices of all points inside `box` (borders inclusive).
+  std::vector<size_t> BoxQuery(const BoundingBox& box) const;
+
+  /// Indices of all points within `radius` (inclusive) of `query`.
+  std::vector<size_t> RadiusQuery(const Vec2& query, double radius) const;
+
+  /// Index of the nearest point to `query` (branch-and-bound), or
+  /// SIZE_MAX when the tree is empty.
+  size_t Nearest(const Vec2& query) const;
+
+  size_t size() const { return points_.size(); }
+  const Vec2& point(size_t i) const { return points_[i]; }
+
+  /// Tree height (0 for an empty tree, 1 for a single leaf level).
+  int height() const { return height_; }
+
+ private:
+  struct Node {
+    BoundingBox box;
+    // Children occupy [first, first+count) of nodes_ (internal) or of
+    // leaf_points_ (leaf).
+    uint32_t first = 0;
+    uint32_t count = 0;
+    bool leaf = false;
+  };
+
+  template <typename Visitor>
+  void Visit(uint32_t node, const BoundingBox& box, Visitor&& visit) const;
+
+  std::vector<Vec2> points_;
+  std::vector<uint32_t> leaf_points_;  // point ids grouped by leaf
+  std::vector<Node> nodes_;            // nodes_[0] is the root (if any)
+  int height_ = 0;
+};
+
+}  // namespace csd
+
+#endif  // CSD_INDEX_RTREE_H_

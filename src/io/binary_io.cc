@@ -1,0 +1,203 @@
+#include "io/binary_io.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/strings.h"
+
+namespace csd {
+
+namespace {
+
+constexpr char kJourneyMagic[4] = {'C', 'S', 'D', 'J'};
+constexpr char kCsdMagic[4] = {'C', 'S', 'D', 'U'};
+constexpr uint32_t kFormatVersion = 1;
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(const std::string& path)
+      : stream_(path, std::ios::binary | std::ios::trunc) {}
+
+  bool ok() const { return stream_.good(); }
+
+  template <typename T>
+  void Write(const T& value) {
+    stream_.write(reinterpret_cast<const char*>(&value), sizeof(T));
+  }
+
+  void WriteMagic(const char magic[4]) { stream_.write(magic, 4); }
+
+  Status Close(const std::string& path) {
+    stream_.flush();
+    if (!stream_.good()) {
+      return Status::IoError("write failure on '" + path + "'");
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::ofstream stream_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path)
+      : stream_(path, std::ios::binary) {}
+
+  bool ok() const { return stream_.good(); }
+
+  template <typename T>
+  bool Read(T* value) {
+    stream_.read(reinterpret_cast<char*>(value), sizeof(T));
+    return stream_.good();
+  }
+
+  bool CheckMagic(const char magic[4]) {
+    char buf[4];
+    stream_.read(buf, 4);
+    return stream_.good() && std::memcmp(buf, magic, 4) == 0;
+  }
+
+ private:
+  std::ifstream stream_;
+};
+
+}  // namespace
+
+Status WriteJourneysBinary(const std::string& path,
+                           const std::vector<TaxiJourney>& journeys) {
+  BinaryWriter writer(path);
+  if (!writer.ok()) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  writer.WriteMagic(kJourneyMagic);
+  writer.Write(kFormatVersion);
+  writer.Write(static_cast<uint64_t>(journeys.size()));
+  for (const TaxiJourney& j : journeys) {
+    writer.Write(j.pickup.position.x);
+    writer.Write(j.pickup.position.y);
+    writer.Write(j.pickup.time);
+    writer.Write(j.dropoff.position.x);
+    writer.Write(j.dropoff.position.y);
+    writer.Write(j.dropoff.time);
+    writer.Write(j.passenger);
+  }
+  return writer.Close(path);
+}
+
+Result<std::vector<TaxiJourney>> ReadJourneysBinary(
+    const std::string& path) {
+  BinaryReader reader(path);
+  if (!reader.ok()) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  if (!reader.CheckMagic(kJourneyMagic)) {
+    return Status::ParseError("'" + path + "' is not a CSDJ journey file");
+  }
+  uint32_t version = 0;
+  uint64_t count = 0;
+  if (!reader.Read(&version) || version != kFormatVersion) {
+    return Status::ParseError(
+        StrFormat("unsupported journey file version %u", version));
+  }
+  if (!reader.Read(&count)) {
+    return Status::ParseError("truncated journey file header");
+  }
+  std::vector<TaxiJourney> journeys;
+  journeys.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    TaxiJourney j;
+    bool ok = reader.Read(&j.pickup.position.x) &&
+              reader.Read(&j.pickup.position.y) &&
+              reader.Read(&j.pickup.time) &&
+              reader.Read(&j.dropoff.position.x) &&
+              reader.Read(&j.dropoff.position.y) &&
+              reader.Read(&j.dropoff.time) && reader.Read(&j.passenger);
+    if (!ok) {
+      return Status::ParseError(
+          StrFormat("truncated journey file at record %llu",
+                    static_cast<unsigned long long>(i)));
+    }
+    journeys.push_back(j);
+  }
+  return journeys;
+}
+
+Status WriteCsdBinary(const std::string& path,
+                      const CitySemanticDiagram& diagram) {
+  BinaryWriter writer(path);
+  if (!writer.ok()) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  writer.WriteMagic(kCsdMagic);
+  writer.Write(kFormatVersion);
+  const std::vector<double>& popularity = diagram.popularities();
+  writer.Write(static_cast<uint64_t>(popularity.size()));
+  for (double pop : popularity) writer.Write(pop);
+  writer.Write(static_cast<uint64_t>(diagram.num_units()));
+  for (const SemanticUnit& unit : diagram.units()) {
+    writer.Write(static_cast<uint64_t>(unit.size()));
+    for (PoiId pid : unit.pois) writer.Write(pid);
+  }
+  return writer.Close(path);
+}
+
+Result<CitySemanticDiagram> ReadCsdBinary(const std::string& path,
+                                          const PoiDatabase& pois) {
+  BinaryReader reader(path);
+  if (!reader.ok()) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  if (!reader.CheckMagic(kCsdMagic)) {
+    return Status::ParseError("'" + path + "' is not a CSDU snapshot");
+  }
+  uint32_t version = 0;
+  if (!reader.Read(&version) || version != kFormatVersion) {
+    return Status::ParseError(
+        StrFormat("unsupported CSD snapshot version %u", version));
+  }
+  uint64_t num_pois = 0;
+  if (!reader.Read(&num_pois)) {
+    return Status::ParseError("truncated CSD snapshot header");
+  }
+  if (num_pois != pois.size()) {
+    return Status::FailedPrecondition(StrFormat(
+        "snapshot was written for %llu POIs but the database has %zu",
+        static_cast<unsigned long long>(num_pois), pois.size()));
+  }
+  std::vector<double> popularity(num_pois);
+  for (double& pop : popularity) {
+    if (!reader.Read(&pop)) {
+      return Status::ParseError("truncated popularity vector");
+    }
+  }
+  uint64_t num_units = 0;
+  if (!reader.Read(&num_units) || num_units > num_pois) {
+    // Units hold disjoint POI subsets, so there can never be more units
+    // (or members) than POIs — reject before allocating anything sized
+    // by an attacker-controlled count.
+    return Status::ParseError("corrupt CSD snapshot unit count");
+  }
+  std::vector<SemanticUnit> units;
+  units.reserve(num_units);
+  for (uint64_t u = 0; u < num_units; ++u) {
+    uint64_t count = 0;
+    if (!reader.Read(&count) || count == 0 || count > num_pois) {
+      return Status::ParseError("corrupt unit record");
+    }
+    std::vector<PoiId> members(count);
+    for (PoiId& pid : members) {
+      if (!reader.Read(&pid)) {
+        return Status::ParseError("truncated unit membership");
+      }
+      if (pid >= pois.size()) {
+        return Status::ParseError("unit references an unknown POI id");
+      }
+    }
+    units.push_back(MakeSemanticUnit(static_cast<UnitId>(u),
+                                     std::move(members), pois, popularity));
+  }
+  return CitySemanticDiagram(&pois, std::move(units), std::move(popularity));
+}
+
+}  // namespace csd

@@ -1,0 +1,48 @@
+#include "io/csv.h"
+
+namespace csd {
+
+Result<CsvReader> CsvReader::Open(const std::string& path) {
+  std::ifstream stream(path);
+  if (!stream.is_open()) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  return CsvReader(std::move(stream));
+}
+
+bool CsvReader::Next(std::vector<std::string>* fields) {
+  std::string line;
+  while (std::getline(stream_, line)) {
+    ++line_number_;
+    std::string_view trimmed = TrimString(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    *fields = SplitString(trimmed, ',');
+    return true;
+  }
+  return false;
+}
+
+Result<CsvWriter> CsvWriter::Open(const std::string& path) {
+  std::ofstream stream(path, std::ios::trunc);
+  if (!stream.is_open()) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  return CsvWriter(std::move(stream));
+}
+
+void CsvWriter::WriteComment(const std::string& comment) {
+  stream_ << "# " << comment << "\n";
+}
+
+void CsvWriter::WriteRecord(const std::vector<std::string>& fields) {
+  stream_ << JoinStrings(fields, ",") << "\n";
+}
+
+Status CsvWriter::Close() {
+  stream_.flush();
+  if (!stream_.good()) return Status::IoError("write failure on close");
+  stream_.close();
+  return Status::OK();
+}
+
+}  // namespace csd

@@ -1,0 +1,54 @@
+#ifndef CSD_IO_CSV_H_
+#define CSD_IO_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace csd {
+
+/// Minimal CSV reader: no quoting (none of our formats needs it), one
+/// record per line, comma separated, '#'-prefixed lines are comments.
+class CsvReader {
+ public:
+  /// Opens `path`; fails with IoError when unreadable.
+  static Result<CsvReader> Open(const std::string& path);
+
+  /// Reads the next record into `fields`. Returns false at end of file.
+  /// Empty and comment lines are skipped.
+  bool Next(std::vector<std::string>* fields);
+
+  /// Line number of the record returned by the last Next() (1-based).
+  size_t line_number() const { return line_number_; }
+
+ private:
+  explicit CsvReader(std::ifstream stream) : stream_(std::move(stream)) {}
+
+  std::ifstream stream_;
+  size_t line_number_ = 0;
+};
+
+/// Minimal CSV writer mirroring CsvReader's dialect.
+class CsvWriter {
+ public:
+  /// Creates/truncates `path`; fails with IoError when unwritable.
+  static Result<CsvWriter> Open(const std::string& path);
+
+  void WriteComment(const std::string& comment);
+  void WriteRecord(const std::vector<std::string>& fields);
+
+  /// Flushes and reports any stream failure.
+  Status Close();
+
+ private:
+  explicit CsvWriter(std::ofstream stream) : stream_(std::move(stream)) {}
+
+  std::ofstream stream_;
+};
+
+}  // namespace csd
+
+#endif  // CSD_IO_CSV_H_

@@ -1,0 +1,207 @@
+#include "io/dataset_io.h"
+
+#include "io/csv.h"
+#include "util/strings.h"
+
+namespace csd {
+
+Status WritePoisCsv(const std::string& path, const std::vector<Poi>& pois) {
+  CSD_ASSIGN_OR_RETURN(CsvWriter writer, CsvWriter::Open(path));
+  writer.WriteComment("id,x,y,minor_category");
+  const CategoryTaxonomy& taxonomy = CategoryTaxonomy::Get();
+  for (const Poi& p : pois) {
+    writer.WriteRecord({std::to_string(p.id),
+                        StrFormat("%.3f", p.position.x),
+                        StrFormat("%.3f", p.position.y),
+                        std::string(taxonomy.MinorName(p.minor))});
+  }
+  return writer.Close();
+}
+
+Result<std::vector<Poi>> ReadPoisCsv(const std::string& path) {
+  CSD_ASSIGN_OR_RETURN(CsvReader reader, CsvReader::Open(path));
+  const CategoryTaxonomy& taxonomy = CategoryTaxonomy::Get();
+  std::vector<Poi> pois;
+  std::vector<std::string> fields;
+  while (reader.Next(&fields)) {
+    if (fields.size() != 4) {
+      return Status::ParseError(
+          StrFormat("%s:%zu: expected 4 fields, got %zu", path.c_str(),
+                    reader.line_number(), fields.size()));
+    }
+    CSD_ASSIGN_OR_RETURN(int64_t id, ParseInt64(fields[0]));
+    CSD_ASSIGN_OR_RETURN(double x, ParseDouble(fields[1]));
+    CSD_ASSIGN_OR_RETURN(double y, ParseDouble(fields[2]));
+    CSD_ASSIGN_OR_RETURN(MinorCategoryId minor,
+                         taxonomy.MinorFromName(TrimString(fields[3])));
+    pois.emplace_back(static_cast<PoiId>(id), Vec2{x, y}, minor);
+  }
+  return pois;
+}
+
+Status WriteJourneysCsv(const std::string& path,
+                        const std::vector<TaxiJourney>& journeys) {
+  CSD_ASSIGN_OR_RETURN(CsvWriter writer, CsvWriter::Open(path));
+  writer.WriteComment(
+      "pickup_x,pickup_y,pickup_t,dropoff_x,dropoff_y,dropoff_t,passenger");
+  for (const TaxiJourney& j : journeys) {
+    int64_t passenger =
+        j.passenger == kNoPassenger ? -1 : static_cast<int64_t>(j.passenger);
+    writer.WriteRecord({StrFormat("%.3f", j.pickup.position.x),
+                        StrFormat("%.3f", j.pickup.position.y),
+                        std::to_string(j.pickup.time),
+                        StrFormat("%.3f", j.dropoff.position.x),
+                        StrFormat("%.3f", j.dropoff.position.y),
+                        std::to_string(j.dropoff.time),
+                        std::to_string(passenger)});
+  }
+  return writer.Close();
+}
+
+Result<std::vector<TaxiJourney>> ReadJourneysCsv(const std::string& path) {
+  CSD_ASSIGN_OR_RETURN(CsvReader reader, CsvReader::Open(path));
+  std::vector<TaxiJourney> journeys;
+  std::vector<std::string> fields;
+  while (reader.Next(&fields)) {
+    if (fields.size() != 7) {
+      return Status::ParseError(
+          StrFormat("%s:%zu: expected 7 fields, got %zu", path.c_str(),
+                    reader.line_number(), fields.size()));
+    }
+    TaxiJourney j;
+    CSD_ASSIGN_OR_RETURN(double px, ParseDouble(fields[0]));
+    CSD_ASSIGN_OR_RETURN(double py, ParseDouble(fields[1]));
+    CSD_ASSIGN_OR_RETURN(int64_t pt, ParseInt64(fields[2]));
+    CSD_ASSIGN_OR_RETURN(double dx, ParseDouble(fields[3]));
+    CSD_ASSIGN_OR_RETURN(double dy, ParseDouble(fields[4]));
+    CSD_ASSIGN_OR_RETURN(int64_t dt, ParseInt64(fields[5]));
+    CSD_ASSIGN_OR_RETURN(int64_t passenger, ParseInt64(fields[6]));
+    j.pickup = GpsPoint({px, py}, pt);
+    j.dropoff = GpsPoint({dx, dy}, dt);
+    j.passenger = passenger < 0 ? kNoPassenger
+                                : static_cast<PassengerId>(passenger);
+    journeys.push_back(j);
+  }
+  return journeys;
+}
+
+Status WritePatternsCsv(const std::string& path,
+                        const std::vector<FineGrainedPattern>& patterns) {
+  CSD_ASSIGN_OR_RETURN(CsvWriter writer, CsvWriter::Open(path));
+  writer.WriteComment("pattern_id,position,x,y,time,support,semantics");
+  for (size_t id = 0; id < patterns.size(); ++id) {
+    const FineGrainedPattern& p = patterns[id];
+    for (size_t k = 0; k < p.length(); ++k) {
+      const StayPoint& sp = p.representative[k];
+      std::string semantics;
+      for (int c = 0; c < kNumMajorCategories; ++c) {
+        auto cat = static_cast<MajorCategory>(c);
+        if (!sp.semantic.Contains(cat)) continue;
+        if (!semantics.empty()) semantics += '|';
+        semantics += MajorCategoryName(cat);
+      }
+      writer.WriteRecord({std::to_string(id), std::to_string(k),
+                          StrFormat("%.3f", sp.position.x),
+                          StrFormat("%.3f", sp.position.y),
+                          std::to_string(sp.time),
+                          std::to_string(p.support()), semantics});
+    }
+  }
+  return writer.Close();
+}
+
+Result<std::vector<FineGrainedPattern>> ReadPatternsCsv(
+    const std::string& path) {
+  CSD_ASSIGN_OR_RETURN(CsvReader reader, CsvReader::Open(path));
+  std::vector<FineGrainedPattern> patterns;
+  std::vector<std::string> fields;
+  int64_t last_id = -1;
+  while (reader.Next(&fields)) {
+    if (fields.size() != 7) {
+      return Status::ParseError(
+          StrFormat("%s:%zu: expected 7 fields, got %zu", path.c_str(),
+                    reader.line_number(), fields.size()));
+    }
+    CSD_ASSIGN_OR_RETURN(int64_t id, ParseInt64(fields[0]));
+    CSD_ASSIGN_OR_RETURN(int64_t position, ParseInt64(fields[1]));
+    CSD_ASSIGN_OR_RETURN(double x, ParseDouble(fields[2]));
+    CSD_ASSIGN_OR_RETURN(double y, ParseDouble(fields[3]));
+    CSD_ASSIGN_OR_RETURN(int64_t time, ParseInt64(fields[4]));
+    CSD_ASSIGN_OR_RETURN(int64_t support, ParseInt64(fields[5]));
+    if (id < 0 || position < 0 || support < 0) {
+      return Status::ParseError("negative field in pattern file");
+    }
+
+    SemanticProperty property;
+    for (const std::string& name : SplitString(fields[6], '|')) {
+      if (TrimString(name).empty()) continue;
+      CSD_ASSIGN_OR_RETURN(MajorCategory category,
+                           MajorCategoryFromName(TrimString(name)));
+      property.Insert(category);
+    }
+
+    if (id != last_id) {
+      // Rows are grouped per pattern in ascending position order.
+      if (id != last_id + 1 || position != 0) {
+        return Status::ParseError(
+            StrFormat("%s:%zu: pattern rows out of order", path.c_str(),
+                      reader.line_number()));
+      }
+      patterns.emplace_back();
+      patterns.back().supporting.assign(static_cast<size_t>(support), 0);
+      last_id = id;
+    } else if (static_cast<size_t>(position) !=
+               patterns.back().representative.size()) {
+      return Status::ParseError(
+          StrFormat("%s:%zu: position rows out of order", path.c_str(),
+                    reader.line_number()));
+    }
+
+    FineGrainedPattern& pattern = patterns.back();
+    StayPoint sp({x, y}, time, property);
+    pattern.representative.push_back(sp);
+    pattern.groups.emplace_back(static_cast<size_t>(support), sp);
+  }
+  return patterns;
+}
+
+Status WriteCsdCsv(const std::string& path,
+                   const CitySemanticDiagram& diagram) {
+  CSD_ASSIGN_OR_RETURN(CsvWriter writer, CsvWriter::Open(path));
+  writer.WriteComment(StrFormat("units=%zu coverage=%.4f",
+                                diagram.num_units(),
+                                diagram.CoverageRatio()));
+  writer.WriteComment("unit_id,poi_id");
+  for (const SemanticUnit& unit : diagram.units()) {
+    for (PoiId pid : unit.pois) {
+      writer.WriteRecord({std::to_string(unit.id), std::to_string(pid)});
+    }
+  }
+  return writer.Close();
+}
+
+Result<std::vector<std::vector<PoiId>>> ReadCsdCsv(const std::string& path) {
+  CSD_ASSIGN_OR_RETURN(CsvReader reader, CsvReader::Open(path));
+  std::vector<std::vector<PoiId>> units;
+  std::vector<std::string> fields;
+  while (reader.Next(&fields)) {
+    if (fields.size() != 2) {
+      return Status::ParseError(
+          StrFormat("%s:%zu: expected 2 fields, got %zu", path.c_str(),
+                    reader.line_number(), fields.size()));
+    }
+    CSD_ASSIGN_OR_RETURN(int64_t unit_id, ParseInt64(fields[0]));
+    CSD_ASSIGN_OR_RETURN(int64_t poi_id, ParseInt64(fields[1]));
+    if (unit_id < 0 || poi_id < 0) {
+      return Status::ParseError("negative id in CSD file");
+    }
+    if (static_cast<size_t>(unit_id) >= units.size()) {
+      units.resize(static_cast<size_t>(unit_id) + 1);
+    }
+    units[static_cast<size_t>(unit_id)].push_back(
+        static_cast<PoiId>(poi_id));
+  }
+  return units;
+}
+
+}  // namespace csd

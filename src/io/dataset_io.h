@@ -1,0 +1,49 @@
+#ifndef CSD_IO_DATASET_IO_H_
+#define CSD_IO_DATASET_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "core/city_semantic_diagram.h"
+#include "core/pattern.h"
+#include "poi/poi.h"
+#include "traj/journey.h"
+#include "util/status.h"
+
+namespace csd {
+
+/// POI CSV: `id,x,y,minor_category_name` (planar meters).
+Status WritePoisCsv(const std::string& path, const std::vector<Poi>& pois);
+Result<std::vector<Poi>> ReadPoisCsv(const std::string& path);
+
+/// Taxi journey CSV:
+/// `pickup_x,pickup_y,pickup_t,dropoff_x,dropoff_y,dropoff_t,passenger`
+/// with passenger = -1 for uncarded journeys.
+Status WriteJourneysCsv(const std::string& path,
+                        const std::vector<TaxiJourney>& journeys);
+Result<std::vector<TaxiJourney>> ReadJourneysCsv(const std::string& path);
+
+/// Fine-grained pattern CSV (one row per pattern position):
+/// `pattern_id,position,x,y,time,support,semantics`
+/// where semantics is a '|'-separated list of major category names.
+Status WritePatternsCsv(const std::string& path,
+                        const std::vector<FineGrainedPattern>& patterns);
+
+/// Loads patterns written by WritePatternsCsv. The CSV keeps only the
+/// representative stay points and the support, so each loaded group is
+/// reconstructed as `support` copies of its representative — aggregate
+/// analyses (segments, corridors, demand ranking) are preserved, exact
+/// member geometry is not.
+Result<std::vector<FineGrainedPattern>> ReadPatternsCsv(
+    const std::string& path);
+
+/// CSD unit membership CSV: `unit_id,poi_id`, with a comment header
+/// summarizing unit count and coverage. (Re-building a CSD from a POI
+/// database is cheap, so only membership is persisted.)
+Status WriteCsdCsv(const std::string& path,
+                   const CitySemanticDiagram& diagram);
+Result<std::vector<std::vector<PoiId>>> ReadCsdCsv(const std::string& path);
+
+}  // namespace csd
+
+#endif  // CSD_IO_DATASET_IO_H_

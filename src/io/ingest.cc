@@ -1,0 +1,59 @@
+#include "io/ingest.h"
+
+#include "util/check.h"
+
+namespace csd {
+
+LocalProjection MakeCityProjection(const std::vector<GeoPoi>& pois) {
+  CSD_CHECK_MSG(!pois.empty(), "cannot center a projection on no POIs");
+  double lon = 0.0;
+  double lat = 0.0;
+  for (const GeoPoi& p : pois) {
+    lon += p.position.lon;
+    lat += p.position.lat;
+  }
+  double n = static_cast<double>(pois.size());
+  return LocalProjection(GeoPoint{lon / n, lat / n});
+}
+
+std::vector<Poi> IngestPois(const std::vector<GeoPoi>& pois,
+                            const LocalProjection& projection) {
+  std::vector<Poi> out;
+  out.reserve(pois.size());
+  for (size_t i = 0; i < pois.size(); ++i) {
+    out.emplace_back(static_cast<PoiId>(i),
+                     projection.Project(pois[i].position), pois[i].minor);
+  }
+  return out;
+}
+
+std::vector<TaxiJourney> IngestJourneys(
+    const std::vector<GeoJourney>& journeys,
+    const LocalProjection& projection) {
+  std::vector<TaxiJourney> out;
+  out.reserve(journeys.size());
+  for (const GeoJourney& g : journeys) {
+    TaxiJourney j;
+    j.pickup = GpsPoint(projection.Project(g.pickup), g.pickup_time);
+    j.dropoff = GpsPoint(projection.Project(g.dropoff), g.dropoff_time);
+    j.passenger = g.passenger;
+    out.push_back(j);
+  }
+  return out;
+}
+
+Trajectory IngestTrack(
+    const std::vector<std::pair<GeoPoint, Timestamp>>& fixes,
+    const LocalProjection& projection, TrajectoryId id,
+    PassengerId passenger) {
+  Trajectory t;
+  t.id = id;
+  t.passenger = passenger;
+  t.points.reserve(fixes.size());
+  for (const auto& [position, time] : fixes) {
+    t.points.emplace_back(projection.Project(position), time);
+  }
+  return t;
+}
+
+}  // namespace csd

@@ -1,0 +1,52 @@
+#ifndef CSD_IO_INGEST_H_
+#define CSD_IO_INGEST_H_
+
+#include <vector>
+
+#include "geo/projection.h"
+#include "poi/poi.h"
+#include "traj/journey.h"
+#include "traj/trajectory.h"
+
+namespace csd {
+
+/// A POI as found in real-world datasets: geographic coordinates plus a
+/// minor category.
+struct GeoPoi {
+  GeoPoint position;
+  MinorCategoryId minor = 0;
+};
+
+/// A taxi journey record in geographic coordinates.
+struct GeoJourney {
+  GeoPoint pickup;
+  Timestamp pickup_time = 0;
+  GeoPoint dropoff;
+  Timestamp dropoff_time = 0;
+  PassengerId passenger = kNoPassenger;
+};
+
+/// Builds the projection every other Ingest* call should share: an
+/// equirectangular frame centered on the centroid of the POI set (the
+/// whole library works in this planar frame; see LocalProjection for the
+/// city-scale accuracy bound).
+LocalProjection MakeCityProjection(const std::vector<GeoPoi>& pois);
+
+/// Geographic POIs -> planar Poi records (ids assigned densely).
+std::vector<Poi> IngestPois(const std::vector<GeoPoi>& pois,
+                            const LocalProjection& projection);
+
+/// Geographic journeys -> planar TaxiJourney records.
+std::vector<TaxiJourney> IngestJourneys(
+    const std::vector<GeoJourney>& journeys,
+    const LocalProjection& projection);
+
+/// A dense geographic GPS track -> planar Trajectory.
+Trajectory IngestTrack(const std::vector<std::pair<GeoPoint, Timestamp>>& fixes,
+                       const LocalProjection& projection,
+                       TrajectoryId id = 0,
+                       PassengerId passenger = kNoPassenger);
+
+}  // namespace csd
+
+#endif  // CSD_IO_INGEST_H_

@@ -1,0 +1,84 @@
+#include "miner/pervasive_miner.h"
+
+#include "util/check.h"
+
+namespace csd {
+
+std::string PipelineKind::Name() const {
+  std::string name =
+      recognizer == RecognizerKind::kCsd ? "CSD-" : "ROI-";
+  switch (extractor) {
+    case ExtractorKind::kPervasiveMiner:
+      name += "PM";
+      break;
+    case ExtractorKind::kSplitter:
+      name += "Splitter";
+      break;
+    case ExtractorKind::kSdbscan:
+      name += "SDBSCAN";
+      break;
+  }
+  return name;
+}
+
+std::vector<PipelineKind> AllPipelines() {
+  return {
+      {RecognizerKind::kCsd, ExtractorKind::kPervasiveMiner},
+      {RecognizerKind::kCsd, ExtractorKind::kSplitter},
+      {RecognizerKind::kCsd, ExtractorKind::kSdbscan},
+      {RecognizerKind::kRoi, ExtractorKind::kPervasiveMiner},
+      {RecognizerKind::kRoi, ExtractorKind::kSplitter},
+      {RecognizerKind::kRoi, ExtractorKind::kSdbscan},
+  };
+}
+
+PervasiveMiner::PervasiveMiner(const PoiDatabase* pois,
+                               std::vector<StayPoint> stays,
+                               MinerConfig config)
+    : pois_(pois),
+      config_(config),
+      diagram_(CsdBuilder(config_.csd).Build(*pois, stays)),
+      csd_recognizer_(&diagram_, config_.csd.r3sigma),
+      roi_recognizer_(pois, stays, config_.roi) {
+  CSD_CHECK(pois_ != nullptr);
+}
+
+SemanticTrajectoryDb PervasiveMiner::AnnotateFor(
+    RecognizerKind kind, SemanticTrajectoryDb db) const {
+  const SemanticRecognizer& recognizer =
+      kind == RecognizerKind::kCsd
+          ? static_cast<const SemanticRecognizer&>(csd_recognizer_)
+          : static_cast<const SemanticRecognizer&>(roi_recognizer_);
+  recognizer.AnnotateDatabase(&db);
+  return db;
+}
+
+MiningResult PervasiveMiner::ExtractAndEvaluate(
+    ExtractorKind kind, const SemanticTrajectoryDb& annotated,
+    const ExtractionOptions& extraction) const {
+  MiningResult result;
+  switch (kind) {
+    case ExtractorKind::kPervasiveMiner:
+      result.patterns = CounterpartClusterExtract(annotated, extraction);
+      break;
+    case ExtractorKind::kSplitter:
+      result.patterns =
+          SplitterExtract(annotated, extraction, config_.splitter);
+      break;
+    case ExtractorKind::kSdbscan:
+      result.patterns =
+          SdbscanExtract(annotated, extraction, config_.sdbscan);
+      break;
+  }
+  result.metrics = EvaluateApproach(result.patterns, csd_recognizer_);
+  return result;
+}
+
+MiningResult PervasiveMiner::Run(const PipelineKind& pipeline,
+                                 SemanticTrajectoryDb db) const {
+  return ExtractAndEvaluate(pipeline.extractor,
+                            AnnotateFor(pipeline.recognizer, std::move(db)),
+                            config_.extraction);
+}
+
+}  // namespace csd

@@ -1,0 +1,108 @@
+#ifndef CSD_MINER_PERVASIVE_MINER_H_
+#define CSD_MINER_PERVASIVE_MINER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/roi_recognizer.h"
+#include "baseline/splitter.h"
+#include "core/city_semantic_diagram.h"
+#include "core/counterpart_cluster.h"
+#include "core/metrics.h"
+#include "core/pattern.h"
+#include "core/semantic_recognition.h"
+
+namespace csd {
+
+/// The semantic-recognition stage of a pipeline.
+enum class RecognizerKind {
+  kCsd,  // City Semantic Diagram voting (Algorithm 3) — this paper
+  kRoi,  // hot-region annotation of [21]
+};
+
+/// The pattern-extraction stage of a pipeline.
+enum class ExtractorKind {
+  kPervasiveMiner,  // PrefixSpan + CounterpartCluster (Algorithm 4)
+  kSplitter,        // PrefixSpan + Mean Shift [17]
+  kSdbscan,         // PrefixSpan + DBSCAN [19]
+};
+
+/// One of the six evaluated pipelines of Section 5.
+struct PipelineKind {
+  RecognizerKind recognizer;
+  ExtractorKind extractor;
+
+  /// "CSD-PM", "ROI-Splitter", … as named in the paper.
+  std::string Name() const;
+};
+
+/// The six pipelines in the paper's presentation order.
+std::vector<PipelineKind> AllPipelines();
+
+/// Everything configurable about a Pervasive Miner run.
+struct MinerConfig {
+  CsdBuildOptions csd;
+  RoiOptions roi;
+  ExtractionOptions extraction;
+  SplitterOptions splitter;
+  SdbscanOptions sdbscan;
+};
+
+/// Result of one pipeline run.
+struct MiningResult {
+  std::vector<FineGrainedPattern> patterns;
+  ApproachMetrics metrics;
+};
+
+/// Pervasive Miner (Figure 2): owns the CSD (and, lazily, the ROI
+/// baseline recognizer), annotates semantic trajectories, extracts
+/// fine-grained patterns, and evaluates them against the CSD reference
+/// recognizer. Built once per dataset; every pipeline combination can then
+/// run against the shared recognizers.
+class PervasiveMiner {
+ public:
+  /// Builds the semantic diagram (and the popularity model behind it)
+  /// from the POIs and the historical stay points. `pois` must outlive
+  /// the miner.
+  PervasiveMiner(const PoiDatabase* pois, std::vector<StayPoint> stays,
+                 MinerConfig config = {});
+
+  /// Runs one pipeline over `db`. Stay-point semantics are (re)annotated
+  /// with the pipeline's recognizer; metrics use the CSD reference.
+  MiningResult Run(const PipelineKind& pipeline,
+                   SemanticTrajectoryDb db) const;
+
+  /// Annotates a database with one recognizer. Parameter sweeps annotate
+  /// once and call ExtractAndEvaluate per parameter setting.
+  SemanticTrajectoryDb AnnotateFor(RecognizerKind kind,
+                                   SemanticTrajectoryDb db) const;
+
+  /// Extraction + evaluation over an already-annotated database, with an
+  /// explicit parameter set (overriding config().extraction).
+  MiningResult ExtractAndEvaluate(ExtractorKind kind,
+                                  const SemanticTrajectoryDb& annotated,
+                                  const ExtractionOptions& extraction) const;
+
+  /// Convenience: the paper's headline pipeline (CSD-PM).
+  MiningResult RunCsdPm(SemanticTrajectoryDb db) const {
+    return Run({RecognizerKind::kCsd, ExtractorKind::kPervasiveMiner},
+               std::move(db));
+  }
+
+  const CitySemanticDiagram& diagram() const { return diagram_; }
+  const CsdRecognizer& csd_recognizer() const { return csd_recognizer_; }
+  const RoiRecognizer& roi_recognizer() const { return roi_recognizer_; }
+  const MinerConfig& config() const { return config_; }
+
+ private:
+  const PoiDatabase* pois_;
+  MinerConfig config_;
+  CitySemanticDiagram diagram_;
+  CsdRecognizer csd_recognizer_;
+  RoiRecognizer roi_recognizer_;
+};
+
+}  // namespace csd
+
+#endif  // CSD_MINER_PERVASIVE_MINER_H_

@@ -1,0 +1,231 @@
+#include "poi/category.h"
+
+#include <array>
+
+#include "util/check.h"
+
+namespace csd {
+namespace {
+
+struct MajorInfo {
+  std::string_view name;
+  double share;  // Table 3 percentage as a fraction
+};
+
+// Counts and percentages from the paper's Table 3 (Shanghai AMAP POIs).
+constexpr std::array<MajorInfo, kNumMajorCategories> kMajorInfo = {{
+    {"Residence", 0.1809},
+    {"Shop & Market", 0.1636},
+    {"Business & Office", 0.1500},
+    {"Restaurant", 0.1130},
+    {"Entertainment", 0.1003},
+    {"Public Service", 0.0940},
+    {"Traffic Stations", 0.0755},
+    {"Technology & Education", 0.0267},
+    {"Sports", 0.0194},
+    {"Government Agency", 0.0188},
+    {"Industry", 0.0147},
+    {"Financial Service", 0.0143},
+    {"Medical Service", 0.0132},
+    {"Accommodation & Hotel", 0.0106},
+    {"Tourism", 0.0051},
+}};
+
+struct MinorInfo {
+  std::string_view name;
+  MajorCategory major;
+};
+
+// The 98 minor categories, mirroring the paper's "98 minor semantic types".
+constexpr MajorCategory R = MajorCategory::kResidence;
+constexpr MajorCategory S = MajorCategory::kShopMarket;
+constexpr MajorCategory B = MajorCategory::kBusinessOffice;
+constexpr MajorCategory F = MajorCategory::kRestaurant;
+constexpr MajorCategory E = MajorCategory::kEntertainment;
+constexpr MajorCategory P = MajorCategory::kPublicService;
+constexpr MajorCategory T = MajorCategory::kTrafficStation;
+constexpr MajorCategory U = MajorCategory::kTechnologyEducation;
+constexpr MajorCategory O = MajorCategory::kSports;
+constexpr MajorCategory G = MajorCategory::kGovernmentAgency;
+constexpr MajorCategory I = MajorCategory::kIndustry;
+constexpr MajorCategory C = MajorCategory::kFinancialService;
+constexpr MajorCategory M = MajorCategory::kMedicalService;
+constexpr MajorCategory A = MajorCategory::kAccommodationHotel;
+constexpr MajorCategory V = MajorCategory::kTourism;
+
+constexpr std::array<MinorInfo, kNumMinorCategories> kMinorInfo = {{
+    // Residence (5)
+    {"Apartment Complex", R},
+    {"Residential Quarter", R},
+    {"Villa Compound", R},
+    {"Dormitory", R},
+    {"Serviced Apartment", R},
+    // Shop & Market (12)
+    {"Supermarket", S},
+    {"Shopping Mall", S},
+    {"Convenience Store", S},
+    {"Clothing Store", S},
+    {"Electronics Store", S},
+    {"Bookstore", S},
+    {"Furniture Store", S},
+    {"Wet Market", S},
+    {"Pharmacy Store", S},
+    {"Jewelry Store", S},
+    {"Flagship Boutique", S},
+    {"Hardware Store", S},
+    // Business & Office (8)
+    {"Office Tower", B},
+    {"Corporate Headquarters", B},
+    {"Coworking Space", B},
+    {"Business Park", B},
+    {"Conference Center", B},
+    {"Trade Center", B},
+    {"Company Branch", B},
+    {"Incubator", B},
+    // Restaurant (10)
+    {"Chinese Restaurant", F},
+    {"Noodle House", F},
+    {"Hotpot Restaurant", F},
+    {"Western Restaurant", F},
+    {"Japanese Restaurant", F},
+    {"Fast Food", F},
+    {"Coffee Shop", F},
+    {"Tea House", F},
+    {"Bakery", F},
+    {"Food Court", F},
+    // Entertainment (9)
+    {"Cinema", E},
+    {"KTV", E},
+    {"Bar", E},
+    {"Night Club", E},
+    {"Game Arcade", E},
+    {"Theater", E},
+    {"Internet Cafe", E},
+    {"Amusement Park", E},
+    {"Spa & Massage", E},
+    // Public Service (8)
+    {"Post Office", P},
+    {"Public Library", P},
+    {"Community Center", P},
+    {"Public Toilet", P},
+    {"Police Station", P},
+    {"Fire Station", P},
+    {"Utility Office", P},
+    {"Social Service Center", P},
+    // Traffic Stations (6)
+    {"Subway Station", T},
+    {"Bus Station", T},
+    {"Train Station", T},
+    {"Airport Terminal", T},
+    {"Ferry Terminal", T},
+    {"Parking Garage", T},
+    // Technology & Education (7)
+    {"University", U},
+    {"Primary School", U},
+    {"Middle School", U},
+    {"Kindergarten", U},
+    {"Training Center", U},
+    {"Research Institute", U},
+    {"Science Park", U},
+    // Sports (6)
+    {"Gym", O},
+    {"Stadium", O},
+    {"Swimming Pool", O},
+    {"Basketball Court", O},
+    {"Football Field", O},
+    {"Badminton Hall", O},
+    // Government Agency (5)
+    {"District Government", G},
+    {"Tax Bureau", G},
+    {"Civil Affairs Bureau", G},
+    {"Customs Office", G},
+    {"Court House", G},
+    // Industry (5)
+    {"Factory", I},
+    {"Industrial Park", I},
+    {"Warehouse", I},
+    {"Logistics Center", I},
+    {"Workshop", I},
+    // Financial Service (5)
+    {"Bank Branch", C},
+    {"ATM", C},
+    {"Insurance Office", C},
+    {"Securities Office", C},
+    {"Currency Exchange", C},
+    // Medical Service (6)
+    {"General Hospital", M},
+    {"Children's Hospital", M},
+    {"Clinic", M},
+    {"Dental Clinic", M},
+    {"Maternity Hospital", M},
+    {"Rehabilitation Center", M},
+    // Accommodation & Hotel (4)
+    {"Luxury Hotel", A},
+    {"Business Hotel", A},
+    {"Hostel", A},
+    {"Guesthouse", A},
+    // Tourism (2)
+    {"Scenic Spot", V},
+    {"Museum", V},
+}};
+
+}  // namespace
+
+std::string_view MajorCategoryName(MajorCategory c) {
+  return kMajorInfo[static_cast<size_t>(c)].name;
+}
+
+Result<MajorCategory> MajorCategoryFromName(std::string_view name) {
+  for (int i = 0; i < kNumMajorCategories; ++i) {
+    if (kMajorInfo[i].name == name) return static_cast<MajorCategory>(i);
+  }
+  return Status::NotFound("unknown major category '" + std::string(name) +
+                          "'");
+}
+
+double MajorCategoryShare(MajorCategory c) {
+  return kMajorInfo[static_cast<size_t>(c)].share;
+}
+
+const CategoryTaxonomy& CategoryTaxonomy::Get() {
+  static const CategoryTaxonomy* const kInstance = new CategoryTaxonomy();
+  return *kInstance;
+}
+
+CategoryTaxonomy::CategoryTaxonomy() {
+  minor_to_major_.resize(kNumMinorCategories);
+  minor_names_.resize(kNumMinorCategories);
+  major_to_minors_.resize(kNumMajorCategories);
+  for (int i = 0; i < kNumMinorCategories; ++i) {
+    minor_to_major_[i] = kMinorInfo[i].major;
+    minor_names_[i] = kMinorInfo[i].name;
+    major_to_minors_[static_cast<size_t>(kMinorInfo[i].major)].push_back(
+        static_cast<MinorCategoryId>(i));
+  }
+}
+
+MajorCategory CategoryTaxonomy::MajorOf(MinorCategoryId minor) const {
+  CSD_CHECK(minor < kNumMinorCategories);
+  return minor_to_major_[minor];
+}
+
+std::string_view CategoryTaxonomy::MinorName(MinorCategoryId minor) const {
+  CSD_CHECK(minor < kNumMinorCategories);
+  return minor_names_[minor];
+}
+
+const std::vector<MinorCategoryId>& CategoryTaxonomy::MinorsOf(
+    MajorCategory major) const {
+  return major_to_minors_[static_cast<size_t>(major)];
+}
+
+Result<MinorCategoryId> CategoryTaxonomy::MinorFromName(
+    std::string_view name) const {
+  for (int i = 0; i < kNumMinorCategories; ++i) {
+    if (minor_names_[i] == name) return static_cast<MinorCategoryId>(i);
+  }
+  return Status::NotFound("unknown minor category '" + std::string(name) +
+                          "'");
+}
+
+}  // namespace csd

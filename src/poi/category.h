@@ -1,0 +1,84 @@
+#ifndef CSD_POI_CATEGORY_H_
+#define CSD_POI_CATEGORY_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace csd {
+
+/// The 15 major semantic categories of the paper's AMAP POI dataset
+/// (Table 3). All semantic reasoning in the library — purification,
+/// recognition, pattern mining — happens at this granularity, matching the
+/// paper's pattern vocabulary (Residence → Office, Office → Supermarket, …).
+enum class MajorCategory : uint8_t {
+  kResidence = 0,
+  kShopMarket,
+  kBusinessOffice,
+  kRestaurant,
+  kEntertainment,
+  kPublicService,
+  kTrafficStation,
+  kTechnologyEducation,
+  kSports,
+  kGovernmentAgency,
+  kIndustry,
+  kFinancialService,
+  kMedicalService,
+  kAccommodationHotel,
+  kTourism,
+};
+
+inline constexpr int kNumMajorCategories = 15;
+
+/// Identifier of one of the 98 minor categories (0..97). Minor categories
+/// add realism to the synthetic city and drive the Table 3 statistics; each
+/// minor category belongs to exactly one major category.
+using MinorCategoryId = uint16_t;
+
+inline constexpr int kNumMinorCategories = 98;
+
+/// Display name of a major category, e.g. "Shop & Market".
+std::string_view MajorCategoryName(MajorCategory c);
+
+/// Parses a major category from its display name.
+Result<MajorCategory> MajorCategoryFromName(std::string_view name);
+
+/// The paper's Table 3 percentage for a category (fraction in [0,1]),
+/// e.g. Residence -> 0.1809. Used by the synthetic city generator so the
+/// global category mix matches the paper's dataset.
+double MajorCategoryShare(MajorCategory c);
+
+/// Static description of the 15-major / 98-minor taxonomy.
+class CategoryTaxonomy {
+ public:
+  /// The process-wide taxonomy instance.
+  static const CategoryTaxonomy& Get();
+
+  /// Major category that a minor category belongs to.
+  MajorCategory MajorOf(MinorCategoryId minor) const;
+
+  /// Display name of a minor category, e.g. "Supermarket".
+  std::string_view MinorName(MinorCategoryId minor) const;
+
+  /// All minor categories under a major category.
+  const std::vector<MinorCategoryId>& MinorsOf(MajorCategory major) const;
+
+  /// Parses a minor category from its display name.
+  Result<MinorCategoryId> MinorFromName(std::string_view name) const;
+
+  int num_minor() const { return kNumMinorCategories; }
+
+ private:
+  CategoryTaxonomy();
+
+  std::vector<MajorCategory> minor_to_major_;
+  std::vector<std::string_view> minor_names_;
+  std::vector<std::vector<MinorCategoryId>> major_to_minors_;
+};
+
+}  // namespace csd
+
+#endif  // CSD_POI_CATEGORY_H_

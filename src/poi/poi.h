@@ -1,0 +1,39 @@
+#ifndef CSD_POI_POI_H_
+#define CSD_POI_POI_H_
+
+#include <cstdint>
+#include <string>
+
+#include "geo/point.h"
+#include "poi/category.h"
+#include "poi/semantic_property.h"
+
+namespace csd {
+
+/// Identifier of a POI within a PoiDatabase.
+using PoiId = uint32_t;
+
+/// A Point of Interest (Definition 2): id, location, semantic property.
+/// The location lives in the planar working frame; `minor` keeps the
+/// fine taxonomy position for statistics, while the algorithms reason at
+/// the major-category level (`major()`).
+struct Poi {
+  PoiId id = 0;
+  Vec2 position;
+  MinorCategoryId minor = 0;
+
+  Poi() = default;
+  Poi(PoiId id_in, Vec2 pos, MinorCategoryId minor_in)
+      : id(id_in), position(pos), minor(minor_in) {}
+
+  MajorCategory major() const {
+    return CategoryTaxonomy::Get().MajorOf(minor);
+  }
+
+  /// Singleton semantic property {major()}.
+  SemanticProperty semantic() const { return SemanticProperty(major()); }
+};
+
+}  // namespace csd
+
+#endif  // CSD_POI_POI_H_

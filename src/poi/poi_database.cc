@@ -1,0 +1,44 @@
+#include "poi/poi_database.h"
+
+#include "util/check.h"
+
+namespace csd {
+
+PoiDatabase::PoiDatabase(std::vector<Poi> pois, double index_cell_size)
+    : pois_(std::move(pois)) {
+  std::vector<Vec2> positions;
+  positions.reserve(pois_.size());
+  for (size_t i = 0; i < pois_.size(); ++i) {
+    pois_[i].id = static_cast<PoiId>(i);
+    positions.push_back(pois_[i].position);
+  }
+  index_ = std::make_unique<GridIndex>(std::move(positions), index_cell_size);
+}
+
+std::vector<PoiId> PoiDatabase::RangeQuery(const Vec2& query,
+                                           double radius) const {
+  std::vector<PoiId> out;
+  ForEachInRange(query, radius, [&out](PoiId id) { out.push_back(id); });
+  return out;
+}
+
+PoiId PoiDatabase::Nearest(const Vec2& query) const {
+  CSD_CHECK(!pois_.empty());
+  return static_cast<PoiId>(index_->Nearest(query));
+}
+
+std::array<size_t, kNumMajorCategories> PoiDatabase::CountByMajor() const {
+  std::array<size_t, kNumMajorCategories> counts{};
+  for (const Poi& p : pois_) {
+    counts[static_cast<size_t>(p.major())]++;
+  }
+  return counts;
+}
+
+BoundingBox PoiDatabase::Bounds() const {
+  BoundingBox box;
+  for (const Poi& p : pois_) box.Extend(p.position);
+  return box;
+}
+
+}  // namespace csd

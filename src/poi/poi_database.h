@@ -1,0 +1,53 @@
+#ifndef CSD_POI_POI_DATABASE_H_
+#define CSD_POI_POI_DATABASE_H_
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "index/grid_index.h"
+#include "poi/poi.h"
+
+namespace csd {
+
+/// The city's POI collection with a spatial index: the P of the paper's
+/// range(p, ε, P) primitive. Immutable after construction.
+class PoiDatabase {
+ public:
+  /// Builds the database; POI ids are reassigned to be the dense indices
+  /// 0..n-1. `index_cell_size` tunes the grid (default suits ε_p–R₃σ scale
+  /// queries).
+  explicit PoiDatabase(std::vector<Poi> pois, double index_cell_size = 50.0);
+
+  size_t size() const { return pois_.size(); }
+  const Poi& poi(PoiId id) const { return pois_[id]; }
+  const std::vector<Poi>& pois() const { return pois_; }
+
+  /// Ids of POIs within `radius` of `query` (the paper's range(p, ε, P)).
+  std::vector<PoiId> RangeQuery(const Vec2& query, double radius) const;
+
+  /// Calls fn(PoiId) for each POI within `radius` of `query`.
+  template <typename Fn>
+  void ForEachInRange(const Vec2& query, double radius, Fn&& fn) const {
+    index_->ForEachInRadius(query, radius, [&fn](size_t idx) {
+      fn(static_cast<PoiId>(idx));
+    });
+  }
+
+  /// Id of the POI nearest to `query`; requires a non-empty database.
+  PoiId Nearest(const Vec2& query) const;
+
+  /// Number of POIs per major category (Table 3 statistics).
+  std::array<size_t, kNumMajorCategories> CountByMajor() const;
+
+  /// Tight bounding box of all POIs.
+  BoundingBox Bounds() const;
+
+ private:
+  std::vector<Poi> pois_;
+  std::unique_ptr<GridIndex> index_;
+};
+
+}  // namespace csd
+
+#endif  // CSD_POI_POI_DATABASE_H_

@@ -1,0 +1,36 @@
+#include "poi/semantic_property.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace csd {
+
+double SemanticProperty::Cosine(const SemanticProperty& other) const {
+  if (bits_ == 0 && other.bits_ == 0) return 1.0;
+  if (bits_ == 0 || other.bits_ == 0) return 0.0;
+  int inter = __builtin_popcount(bits_ & other.bits_);
+  return inter / std::sqrt(static_cast<double>(Size()) *
+                           static_cast<double>(other.Size()));
+}
+
+MajorCategory SemanticProperty::First() const {
+  CSD_CHECK_MSG(bits_ != 0, "First() on empty semantic property");
+  return static_cast<MajorCategory>(__builtin_ctz(bits_));
+}
+
+std::string SemanticProperty::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (int i = 0; i < kNumMajorCategories; ++i) {
+    auto c = static_cast<MajorCategory>(i);
+    if (!Contains(c)) continue;
+    if (!first) out += ", ";
+    out += MajorCategoryName(c);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace csd

@@ -1,0 +1,87 @@
+#ifndef CSD_POI_SEMANTIC_PROPERTY_H_
+#define CSD_POI_SEMANTIC_PROPERTY_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+#include "poi/category.h"
+
+namespace csd {
+
+/// A set of semantic tags (Definition 2's `s`), represented as a bitset over
+/// the 15 major categories. POIs carry a single tag; stay points carry the
+/// union of tags of their recognized semantic unit, so set operations
+/// (⊇ for Definition 7's semantic containment, cosine for Equation (11))
+/// are first-class here.
+class SemanticProperty {
+ public:
+  SemanticProperty() = default;
+
+  /// Singleton property {c}.
+  explicit SemanticProperty(MajorCategory c)
+      : bits_(1u << static_cast<unsigned>(c)) {}
+
+  SemanticProperty(std::initializer_list<MajorCategory> cs) {
+    for (MajorCategory c : cs) Insert(c);
+  }
+
+  static SemanticProperty FromBits(uint32_t bits) {
+    SemanticProperty s;
+    s.bits_ = bits & kAllMask;
+    return s;
+  }
+
+  bool Empty() const { return bits_ == 0; }
+
+  int Size() const { return __builtin_popcount(bits_); }
+
+  bool Contains(MajorCategory c) const {
+    return (bits_ >> static_cast<unsigned>(c)) & 1u;
+  }
+
+  void Insert(MajorCategory c) { bits_ |= 1u << static_cast<unsigned>(c); }
+
+  /// True when every tag of `other` is also a tag of this property —
+  /// the sp.s ⊇ sp'.s test of Definition 7(iii).
+  bool IsSupersetOf(const SemanticProperty& other) const {
+    return (bits_ & other.bits_) == other.bits_;
+  }
+
+  SemanticProperty Union(const SemanticProperty& other) const {
+    return FromBits(bits_ | other.bits_);
+  }
+
+  SemanticProperty Intersection(const SemanticProperty& other) const {
+    return FromBits(bits_ & other.bits_);
+  }
+
+  /// Cosine similarity between the indicator vectors of two tag sets:
+  /// |A ∩ B| / sqrt(|A|·|B|). Empty sets have similarity 0 (1 when both
+  /// are empty, by convention: identical unknowns agree).
+  double Cosine(const SemanticProperty& other) const;
+
+  /// The lowest-numbered tag; callers use it as the canonical single
+  /// category of a property when one item is needed (PrefixSpan).
+  /// Requires a non-empty property.
+  MajorCategory First() const;
+
+  uint32_t bits() const { return bits_; }
+
+  /// "{Residence, Restaurant}" or "{}".
+  std::string ToString() const;
+
+  friend bool operator==(const SemanticProperty& a,
+                         const SemanticProperty& b) {
+    return a.bits_ == b.bits_;
+  }
+
+ private:
+  static constexpr uint32_t kAllMask = (1u << kNumMajorCategories) - 1;
+
+  uint32_t bits_ = 0;
+};
+
+}  // namespace csd
+
+#endif  // CSD_POI_SEMANTIC_PROPERTY_H_

@@ -1,0 +1,134 @@
+#include "seqmine/prefix_span.h"
+
+#include <map>
+
+#include "util/check.h"
+
+namespace csd {
+
+namespace {
+
+/// One sequence's position inside a projected database: the suffix starting
+/// at `start` of sequence `seq` still has to match future extensions.
+struct Projection {
+  size_t seq;
+  size_t start;
+};
+
+class PrefixSpanMiner {
+ public:
+  PrefixSpanMiner(const std::vector<Sequence>& db,
+                  const PrefixSpanOptions& options)
+      : db_(db), options_(options) {}
+
+  std::vector<SequentialPattern> Mine() {
+    std::vector<Projection> all;
+    all.reserve(db_.size());
+    for (size_t i = 0; i < db_.size(); ++i) {
+      if (!db_[i].empty()) all.push_back({i, 0});
+    }
+    std::vector<Item> prefix;
+    Grow(all, prefix);
+    return std::move(results_);
+  }
+
+ private:
+  void Grow(const std::vector<Projection>& projected,
+            std::vector<Item>& prefix) {
+    if (prefix.size() >= options_.max_length) return;
+
+    // Count, per item, the number of distinct sequences whose suffix
+    // contains it, and remember the first occurrence per (item, sequence)
+    // to build the child projection in one pass.
+    std::map<Item, std::vector<Projection>> extensions;
+    for (const Projection& pr : projected) {
+      const Sequence& s = db_[pr.seq];
+      // First occurrence of each item in the suffix.
+      std::map<Item, size_t> first_pos;
+      for (size_t pos = pr.start; pos < s.size(); ++pos) {
+        first_pos.emplace(s[pos], pos);  // keeps the earliest position
+      }
+      for (auto& [item, pos] : first_pos) {
+        extensions[item].push_back({pr.seq, pos + 1});
+      }
+    }
+
+    for (auto& [item, child] : extensions) {
+      if (child.size() < options_.min_support) continue;
+      prefix.push_back(item);
+      if (prefix.size() >= options_.min_length) {
+        SequentialPattern pattern;
+        pattern.items = prefix;
+        pattern.supporting_sequences.reserve(child.size());
+        for (const Projection& pr : child) {
+          pattern.supporting_sequences.push_back(pr.seq);
+        }
+        results_.push_back(std::move(pattern));
+      }
+      Grow(child, prefix);
+      prefix.pop_back();
+    }
+  }
+
+  const std::vector<Sequence>& db_;
+  const PrefixSpanOptions& options_;
+  std::vector<SequentialPattern> results_;
+};
+
+}  // namespace
+
+namespace {
+
+/// Keeps only closed patterns: drops any pattern that embeds into a longer
+/// pattern of identical support.
+std::vector<SequentialPattern> FilterClosed(
+    std::vector<SequentialPattern> patterns) {
+  // Decide first, move afterwards: moving inside the scan would leave
+  // moved-from patterns in the comparison set.
+  std::vector<char> is_closed(patterns.size(), 1);
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    for (size_t j = 0; j < patterns.size(); ++j) {
+      if (patterns[j].items.size() <= patterns[i].items.size()) continue;
+      if (patterns[j].support() != patterns[i].support()) continue;
+      if (FindEmbedding(patterns[j].items, patterns[i].items)) {
+        is_closed[i] = 0;
+        break;
+      }
+    }
+  }
+  std::vector<SequentialPattern> closed;
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    if (is_closed[i]) closed.push_back(std::move(patterns[i]));
+  }
+  return closed;
+}
+
+}  // namespace
+
+std::vector<SequentialPattern> PrefixSpan(const std::vector<Sequence>& db,
+                                          const PrefixSpanOptions& options) {
+  CSD_CHECK_MSG(options.min_support >= 1, "min_support must be >= 1");
+  CSD_CHECK_MSG(options.min_length >= 1, "min_length must be >= 1");
+  CSD_CHECK_MSG(options.max_length >= options.min_length,
+                "max_length must be >= min_length");
+  PrefixSpanMiner miner(db, options);
+  std::vector<SequentialPattern> patterns = miner.Mine();
+  if (options.closed_only) patterns = FilterClosed(std::move(patterns));
+  return patterns;
+}
+
+std::optional<std::vector<size_t>> FindEmbedding(
+    const Sequence& sequence, const std::vector<Item>& pattern) {
+  std::vector<size_t> positions;
+  positions.reserve(pattern.size());
+  size_t pos = 0;
+  for (Item item : pattern) {
+    while (pos < sequence.size() && sequence[pos] != item) ++pos;
+    if (pos == sequence.size()) return std::nullopt;
+    positions.push_back(pos);
+    ++pos;
+  }
+  return positions;
+}
+
+}  // namespace csd

@@ -1,0 +1,57 @@
+#ifndef CSD_SEQMINE_PREFIX_SPAN_H_
+#define CSD_SEQMINE_PREFIX_SPAN_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace csd {
+
+/// An item of a sequence database. Pervasive Miner encodes each stay
+/// point's semantic category as one item.
+using Item = uint32_t;
+using Sequence = std::vector<Item>;
+
+/// A frequent sequential pattern with the ids of the sequences that
+/// contain it (as a subsequence).
+struct SequentialPattern {
+  std::vector<Item> items;
+  std::vector<size_t> supporting_sequences;
+
+  size_t support() const { return supporting_sequences.size(); }
+};
+
+struct PrefixSpanOptions {
+  /// Minimum number of supporting sequences.
+  size_t min_support = 2;
+
+  /// Patterns shorter than this are not emitted (they are still used as
+  /// prefixes). Pervasive Miner mines movement patterns, so length ≥ 2.
+  size_t min_length = 2;
+
+  /// Growth stops at this length.
+  size_t max_length = 8;
+
+  /// Emit only closed patterns: a pattern is dropped when some longer
+  /// frequent pattern contains it as a subsequence with the same support
+  /// (the shorter one carries no extra information). Trims the heavy
+  /// redundancy of dense category sequences.
+  bool closed_only = false;
+};
+
+/// PrefixSpan (Pei et al., ICDE'01): frequent subsequence mining by
+/// prefix-projected pattern growth. Returns every frequent pattern within
+/// the length bounds together with its supporting sequence ids.
+std::vector<SequentialPattern> PrefixSpan(const std::vector<Sequence>& db,
+                                          const PrefixSpanOptions& options);
+
+/// Leftmost embedding of `pattern` in `sequence`: positions p_0 < p_1 < …
+/// with sequence[p_k] == pattern[k], or nullopt when the pattern does not
+/// occur. Used to recover the matched stay points Pt^k(ST) of a coarse
+/// pattern.
+std::optional<std::vector<size_t>> FindEmbedding(
+    const Sequence& sequence, const std::vector<Item>& pattern);
+
+}  // namespace csd
+
+#endif  // CSD_SEQMINE_PREFIX_SPAN_H_

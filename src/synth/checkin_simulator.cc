@@ -1,0 +1,81 @@
+#include "synth/checkin_simulator.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace csd {
+
+CheckinBias CheckinBias::Default() {
+  CheckinBias bias;
+  bias.share_probability.fill(0.02);
+  auto set = [&bias](MajorCategory c, double p) {
+    bias.share_probability[static_cast<size_t>(c)] = p;
+  };
+  // Eagerly shared: food, fun, travel (the Table 1 top topics).
+  set(MajorCategory::kRestaurant, 0.22);
+  set(MajorCategory::kEntertainment, 0.20);
+  set(MajorCategory::kTourism, 0.30);
+  set(MajorCategory::kTrafficStation, 0.15);
+  set(MajorCategory::kShopMarket, 0.10);
+  set(MajorCategory::kSports, 0.12);
+  set(MajorCategory::kAccommodationHotel, 0.08);
+  // Shared reluctantly: work and home.
+  set(MajorCategory::kBusinessOffice, 0.03);
+  set(MajorCategory::kResidence, 0.008);
+  // Kept private: health, money, government.
+  set(MajorCategory::kMedicalService, 0.0005);
+  set(MajorCategory::kFinancialService, 0.004);
+  set(MajorCategory::kGovernmentAgency, 0.004);
+  return bias;
+}
+
+namespace {
+
+std::vector<std::pair<MajorCategory, double>> Ranked(
+    const std::array<size_t, kNumMajorCategories>& counts, size_t total) {
+  std::vector<std::pair<MajorCategory, double>> out;
+  for (int c = 0; c < kNumMajorCategories; ++c) {
+    if (counts[c] == 0) continue;
+    out.emplace_back(static_cast<MajorCategory>(c),
+                     total > 0 ? static_cast<double>(counts[c]) /
+                                     static_cast<double>(total)
+                               : 0.0);
+  }
+  std::sort(out.begin(), out.end(),
+            [&counts](const auto& a, const auto& b) {
+              return counts[static_cast<size_t>(a.first)] >
+                     counts[static_cast<size_t>(b.first)];
+            });
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::pair<MajorCategory, double>> CheckinStats::TopCheckinTopics()
+    const {
+  return Ranked(checkins, total_checkins);
+}
+
+std::vector<std::pair<MajorCategory, double>>
+CheckinStats::TopActivityTopics() const {
+  return Ranked(activities, total_activities);
+}
+
+CheckinStats SimulateCheckins(const TripDataset& trips,
+                              const CheckinBias& bias, uint64_t seed) {
+  Rng rng(seed);
+  CheckinStats stats;
+  for (const JourneyTruth& truth : trips.truths) {
+    size_t cat = static_cast<size_t>(truth.dest_category);
+    stats.activities[cat]++;
+    stats.total_activities++;
+    if (rng.Bernoulli(bias.share_probability[cat])) {
+      stats.checkins[cat]++;
+      stats.total_checkins++;
+    }
+  }
+  return stats;
+}
+
+}  // namespace csd

@@ -1,0 +1,47 @@
+#ifndef CSD_SYNTH_CHECKIN_SIMULATOR_H_
+#define CSD_SYNTH_CHECKIN_SIMULATOR_H_
+
+#include <array>
+#include <vector>
+
+#include "synth/trip_generator.h"
+
+namespace csd {
+
+/// Probability that a commuter shares an activity of each category on
+/// social media — the Semantic Bias mechanism of the paper's Table 1:
+/// dining and entertainment are shared eagerly, homes rarely, medical
+/// visits almost never.
+struct CheckinBias {
+  std::array<double, kNumMajorCategories> share_probability;
+
+  /// The defaults used by the Table 1 reproduction.
+  static CheckinBias Default();
+};
+
+struct CheckinStats {
+  /// Check-ins observed per category (biased view).
+  std::array<size_t, kNumMajorCategories> checkins{};
+
+  /// True destination activities per category (unbiased ground truth).
+  std::array<size_t, kNumMajorCategories> activities{};
+
+  size_t total_checkins = 0;
+  size_t total_activities = 0;
+
+  /// Categories ranked by check-in count (descending), as (category,
+  /// share-of-total) — the paper's Table 1 "topic ratio" rows.
+  std::vector<std::pair<MajorCategory, double>> TopCheckinTopics() const;
+
+  /// Categories ranked by true activity count.
+  std::vector<std::pair<MajorCategory, double>> TopActivityTopics() const;
+};
+
+/// Simulates which of the dataset's destination activities would surface
+/// as check-ins under `bias`. Deterministic for a fixed seed.
+CheckinStats SimulateCheckins(const TripDataset& trips,
+                              const CheckinBias& bias, uint64_t seed = 4242);
+
+}  // namespace csd
+
+#endif  // CSD_SYNTH_CHECKIN_SIMULATOR_H_

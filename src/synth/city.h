@@ -1,0 +1,110 @@
+#ifndef CSD_SYNTH_CITY_H_
+#define CSD_SYNTH_CITY_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+#include "poi/poi.h"
+
+namespace csd {
+
+/// A functional zone of the synthetic city. District types mirror the
+/// structures the paper's CSD must cope with: single-purpose quarters
+/// (semantic homogeneity), shopping streets (Fifth-Avenue case), and
+/// multi-purpose skyscrapers (Shanghai-Tower case, semantic complexity).
+struct District {
+  enum class Type {
+    kResidential = 0,
+    kCommercial,      // shopping street / mall area
+    kOffice,          // CBD block
+    kIndustrial,
+    kUniversity,
+    kHospitalCampus,
+    kSkyscraper,      // multi-purpose tower: mixed POIs, co-located
+    kAirport,
+    kGovernment,
+    kSportsPark,
+    kTourism,
+  };
+
+  Type type;
+  Vec2 center;
+  double radius = 0.0;  // characteristic radius in meters
+};
+
+/// Display name of a district type ("Residential", "Skyscraper", …).
+const char* DistrictTypeName(District::Type type);
+
+/// A building: the sub-district anchor POIs cluster around. Buildings are
+/// the natural granularity of fine-grained semantic units, and trips start
+/// and end at buildings.
+struct Building {
+  Vec2 position;
+  size_t district = 0;
+  /// POIs of each category hosted by this building.
+  std::array<uint16_t, kNumMajorCategories> category_count{};
+
+  bool HasCategory(MajorCategory c) const {
+    return category_count[static_cast<size_t>(c)] > 0;
+  }
+};
+
+/// Knobs of the synthetic city (defaults produce a ~16 km × 16 km city
+/// with 20k POIs — a laptop-scale stand-in for the paper's 6,120 km² /
+/// 1.2M-POI Shanghai dataset with the same structural statistics).
+struct CityConfig {
+  double width_m = 16000.0;
+  double height_m = 16000.0;
+  size_t num_pois = 20000;
+  uint64_t seed = 7;
+
+  // District counts per type.
+  size_t num_residential = 22;
+  size_t num_commercial = 10;
+  size_t num_office = 8;
+  size_t num_industrial = 4;
+  size_t num_university = 3;
+  size_t num_hospital = 3;
+  size_t num_skyscraper = 12;
+  size_t num_government = 3;
+  size_t num_sports = 4;
+  size_t num_tourism = 4;
+  bool include_airport = true;
+
+  /// Buildings per district (scaled by district radius).
+  size_t buildings_per_district = 18;
+
+  /// Standard deviation of a POI's offset from its building (meters);
+  /// skyscraper POIs use kSkyscraperPoiSpread instead. Geocoded POIs of
+  /// one building share its footprint, so the spread stays within the
+  /// d_v = 15 m vertical-overlap scale of Algorithm 1.
+  double poi_spread_m = 8.0;
+
+  /// Fraction of POIs scattered uniformly outside any district.
+  double scatter_fraction = 0.06;
+};
+
+inline constexpr double kSkyscraperPoiSpread = 3.0;
+
+/// The generated city: districts, buildings, and POIs whose global major-
+/// category mix matches the paper's Table 3.
+struct SyntheticCity {
+  CityConfig config;
+  std::vector<District> districts;
+  std::vector<Building> buildings;
+  std::vector<Poi> pois;
+  /// Building of each POI; SIZE_MAX for scattered POIs.
+  std::vector<size_t> poi_building;
+
+  /// Indices of buildings hosting at least one POI of category `c`.
+  std::vector<size_t> BuildingsWithCategory(MajorCategory c) const;
+
+  /// Indices of buildings inside districts of the given type.
+  std::vector<size_t> BuildingsOfDistrictType(District::Type type) const;
+};
+
+}  // namespace csd
+
+#endif  // CSD_SYNTH_CITY_H_

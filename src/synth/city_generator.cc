@@ -1,0 +1,323 @@
+#include "synth/city_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace csd {
+
+const char* DistrictTypeName(District::Type type) {
+  switch (type) {
+    case District::Type::kResidential:
+      return "Residential";
+    case District::Type::kCommercial:
+      return "Commercial";
+    case District::Type::kOffice:
+      return "Office";
+    case District::Type::kIndustrial:
+      return "Industrial";
+    case District::Type::kUniversity:
+      return "University";
+    case District::Type::kHospitalCampus:
+      return "HospitalCampus";
+    case District::Type::kSkyscraper:
+      return "Skyscraper";
+    case District::Type::kAirport:
+      return "Airport";
+    case District::Type::kGovernment:
+      return "Government";
+    case District::Type::kSportsPark:
+      return "SportsPark";
+    case District::Type::kTourism:
+      return "Tourism";
+  }
+  return "Unknown";
+}
+
+std::vector<size_t> SyntheticCity::BuildingsWithCategory(
+    MajorCategory c) const {
+  std::vector<size_t> out;
+  for (size_t b = 0; b < buildings.size(); ++b) {
+    if (buildings[b].HasCategory(c)) out.push_back(b);
+  }
+  return out;
+}
+
+std::vector<size_t> SyntheticCity::BuildingsOfDistrictType(
+    District::Type type) const {
+  std::vector<size_t> out;
+  for (size_t b = 0; b < buildings.size(); ++b) {
+    if (districts[buildings[b].district].type == type) out.push_back(b);
+  }
+  return out;
+}
+
+double DistrictAffinity(District::Type type, MajorCategory category) {
+  using T = District::Type;
+  using C = MajorCategory;
+  // Rows follow everyday city structure: residences mostly in residential
+  // quarters, shops on commercial streets, offices in the CBD and in
+  // skyscrapers, medical services on hospital campuses, etc.
+  switch (type) {
+    case T::kResidential:
+      switch (category) {
+        case C::kResidence: return 1.00;
+        case C::kShopMarket: return 0.12;
+        case C::kRestaurant: return 0.12;
+        case C::kPublicService: return 0.30;
+        case C::kTechnologyEducation: return 0.25;
+        case C::kMedicalService: return 0.08;
+        case C::kEntertainment: return 0.05;
+        case C::kFinancialService: return 0.10;
+        case C::kTrafficStation: return 0.15;
+        case C::kSports: return 0.10;
+        default: return 0.0;
+      }
+    case T::kCommercial:
+      switch (category) {
+        case C::kShopMarket: return 1.00;
+        case C::kRestaurant: return 0.80;
+        case C::kEntertainment: return 0.80;
+        case C::kFinancialService: return 0.25;
+        case C::kAccommodationHotel: return 0.30;
+        case C::kTrafficStation: return 0.20;
+        case C::kPublicService: return 0.10;
+        case C::kTourism: return 0.20;
+        default: return 0.0;
+      }
+    case T::kOffice:
+      switch (category) {
+        case C::kBusinessOffice: return 1.00;
+        case C::kFinancialService: return 0.55;
+        case C::kRestaurant: return 0.35;
+        case C::kShopMarket: return 0.15;
+        case C::kAccommodationHotel: return 0.25;
+        case C::kTrafficStation: return 0.25;
+        case C::kGovernmentAgency: return 0.20;
+        default: return 0.0;
+      }
+    case T::kIndustrial:
+      switch (category) {
+        case C::kIndustry: return 1.00;
+        case C::kBusinessOffice: return 0.10;
+        case C::kTrafficStation: return 0.15;
+        default: return 0.0;
+      }
+    case T::kUniversity:
+      switch (category) {
+        case C::kTechnologyEducation: return 1.00;
+        case C::kRestaurant: return 0.20;
+        case C::kSports: return 0.35;
+        case C::kResidence: return 0.15;
+        default: return 0.0;
+      }
+    case T::kHospitalCampus:
+      switch (category) {
+        case C::kMedicalService: return 1.00;
+        case C::kShopMarket: return 0.08;  // pharmacies
+        case C::kRestaurant: return 0.05;
+        default: return 0.0;
+      }
+    case T::kSkyscraper:
+      switch (category) {
+        case C::kBusinessOffice: return 0.60;
+        case C::kShopMarket: return 0.30;
+        case C::kRestaurant: return 0.30;
+        case C::kEntertainment: return 0.20;
+        case C::kAccommodationHotel: return 0.20;
+        case C::kTrafficStation: return 0.10;  // subway in the basement
+        default: return 0.0;
+      }
+    case T::kAirport:
+      switch (category) {
+        case C::kTrafficStation: return 1.00;
+        case C::kShopMarket: return 0.15;
+        case C::kRestaurant: return 0.15;
+        case C::kAccommodationHotel: return 0.10;
+        default: return 0.0;
+      }
+    case T::kGovernment:
+      switch (category) {
+        case C::kGovernmentAgency: return 1.00;
+        case C::kPublicService: return 0.50;
+        default: return 0.0;
+      }
+    case T::kSportsPark:
+      switch (category) {
+        case C::kSports: return 1.00;
+        case C::kEntertainment: return 0.15;
+        default: return 0.0;
+      }
+    case T::kTourism:
+      switch (category) {
+        case C::kTourism: return 1.00;
+        case C::kShopMarket: return 0.25;
+        case C::kRestaurant: return 0.25;
+        case C::kAccommodationHotel: return 0.35;
+        default: return 0.0;
+      }
+  }
+  return 0.0;
+}
+
+namespace {
+
+double DistrictRadius(District::Type type, Rng& rng) {
+  using T = District::Type;
+  double base = 0.0;
+  switch (type) {
+    case T::kResidential: base = 450.0; break;
+    case T::kCommercial: base = 280.0; break;
+    case T::kOffice: base = 380.0; break;
+    case T::kIndustrial: base = 550.0; break;
+    case T::kUniversity: base = 400.0; break;
+    case T::kHospitalCampus: base = 150.0; break;
+    case T::kSkyscraper: base = 10.0; break;
+    case T::kAirport: base = 700.0; break;
+    case T::kGovernment: base = 200.0; break;
+    case T::kSportsPark: base = 220.0; break;
+    case T::kTourism: base = 260.0; break;
+  }
+  return base * rng.Uniform(0.8, 1.25);
+}
+
+/// Samples district centers with a minimum mutual spacing (best-effort:
+/// after enough rejected draws the candidate is accepted anyway, so dense
+/// configs still terminate).
+Vec2 PlaceDistrict(const std::vector<District>& placed, double width,
+                   double height, double radius, Rng& rng) {
+  for (int attempt = 0; attempt < 60; ++attempt) {
+    Vec2 candidate{rng.Uniform(radius, width - radius),
+                   rng.Uniform(radius, height - radius)};
+    bool ok = true;
+    for (const District& d : placed) {
+      double min_gap = 0.7 * (d.radius + radius);
+      if (Distance(candidate, d.center) < min_gap) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return candidate;
+  }
+  return Vec2{rng.Uniform(radius, width - radius),
+              rng.Uniform(radius, height - radius)};
+}
+
+}  // namespace
+
+SyntheticCity GenerateCity(const CityConfig& config) {
+  CSD_CHECK(config.num_pois > 0);
+  Rng rng(config.seed);
+  SyntheticCity city;
+  city.config = config;
+
+  // --- Districts ---------------------------------------------------------
+  auto add_districts = [&](District::Type type, size_t count) {
+    for (size_t i = 0; i < count; ++i) {
+      District d;
+      d.type = type;
+      d.radius = DistrictRadius(type, rng);
+      d.center = PlaceDistrict(city.districts, config.width_m,
+                               config.height_m, d.radius, rng);
+      city.districts.push_back(d);
+    }
+  };
+  add_districts(District::Type::kResidential, config.num_residential);
+  add_districts(District::Type::kCommercial, config.num_commercial);
+  add_districts(District::Type::kOffice, config.num_office);
+  add_districts(District::Type::kIndustrial, config.num_industrial);
+  add_districts(District::Type::kUniversity, config.num_university);
+  add_districts(District::Type::kHospitalCampus, config.num_hospital);
+  add_districts(District::Type::kSkyscraper, config.num_skyscraper);
+  add_districts(District::Type::kGovernment, config.num_government);
+  add_districts(District::Type::kSportsPark, config.num_sports);
+  add_districts(District::Type::kTourism, config.num_tourism);
+  if (config.include_airport) {
+    add_districts(District::Type::kAirport, 1);
+  }
+
+  // --- Buildings ---------------------------------------------------------
+  std::vector<std::vector<size_t>> district_buildings(city.districts.size());
+  for (size_t d = 0; d < city.districts.size(); ++d) {
+    const District& district = city.districts[d];
+    size_t count = config.buildings_per_district;
+    if (district.type == District::Type::kSkyscraper) {
+      count = 1;  // the tower itself
+    } else if (district.type == District::Type::kHospitalCampus ||
+               district.type == District::Type::kGovernment) {
+      count = std::max<size_t>(3, config.buildings_per_district / 4);
+    }
+    for (size_t b = 0; b < count; ++b) {
+      Building building;
+      building.district = d;
+      building.position = {
+          district.center.x + rng.Gaussian(0.0, district.radius * 0.45),
+          district.center.y + rng.Gaussian(0.0, district.radius * 0.45)};
+      district_buildings[d].push_back(city.buildings.size());
+      city.buildings.push_back(building);
+    }
+  }
+
+  // --- POIs --------------------------------------------------------------
+  // District sampling weights per category (affinity × district area-ish).
+  std::vector<std::vector<double>> category_district_weights(
+      kNumMajorCategories,
+      std::vector<double>(city.districts.size(), 0.0));
+  for (int c = 0; c < kNumMajorCategories; ++c) {
+    for (size_t d = 0; d < city.districts.size(); ++d) {
+      category_district_weights[c][d] =
+          DistrictAffinity(city.districts[d].type,
+                           static_cast<MajorCategory>(c));
+    }
+  }
+
+  const CategoryTaxonomy& taxonomy = CategoryTaxonomy::Get();
+  std::vector<double> category_shares(kNumMajorCategories);
+  for (int c = 0; c < kNumMajorCategories; ++c) {
+    category_shares[c] = MajorCategoryShare(static_cast<MajorCategory>(c));
+  }
+
+  city.pois.reserve(config.num_pois);
+  city.poi_building.reserve(config.num_pois);
+  for (size_t i = 0; i < config.num_pois; ++i) {
+    auto major = static_cast<MajorCategory>(rng.Categorical(category_shares));
+    const auto& minors = taxonomy.MinorsOf(major);
+    MinorCategoryId minor =
+        minors[static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(minors.size()) - 1))];
+
+    Vec2 position;
+    size_t building_idx = SIZE_MAX;
+    bool scatter = rng.Bernoulli(config.scatter_fraction);
+    const auto& weights = category_district_weights[static_cast<size_t>(major)];
+    double total_weight = 0.0;
+    for (double w : weights) total_weight += w;
+    if (scatter || total_weight <= 0.0) {
+      position = {rng.Uniform(0.0, config.width_m),
+                  rng.Uniform(0.0, config.height_m)};
+    } else {
+      size_t d = rng.Categorical(weights);
+      const auto& candidates = district_buildings[d];
+      building_idx = candidates[static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(candidates.size()) - 1))];
+      double spread =
+          city.districts[d].type == District::Type::kSkyscraper
+              ? kSkyscraperPoiSpread
+              : config.poi_spread_m;
+      Building& building = city.buildings[building_idx];
+      position = {building.position.x + rng.Gaussian(0.0, spread),
+                  building.position.y + rng.Gaussian(0.0, spread)};
+      building.category_count[static_cast<size_t>(major)]++;
+    }
+    position.x = std::clamp(position.x, 0.0, config.width_m);
+    position.y = std::clamp(position.y, 0.0, config.height_m);
+
+    city.pois.emplace_back(static_cast<PoiId>(i), position, minor);
+    city.poi_building.push_back(building_idx);
+  }
+  return city;
+}
+
+}  // namespace csd

@@ -1,0 +1,26 @@
+#ifndef CSD_SYNTH_CITY_GENERATOR_H_
+#define CSD_SYNTH_CITY_GENERATOR_H_
+
+#include "synth/city.h"
+
+namespace csd {
+
+/// Generates a synthetic city (see DESIGN.md's substitution table):
+/// 1. districts are placed with jittered low-overlap centers;
+/// 2. each district receives buildings (Gaussian around the center);
+/// 3. POI categories are drawn from the paper's Table 3 global shares,
+///    and each POI lands in a building of a district that attracts its
+///    category (affinity matrix), or scatters uniformly with small
+///    probability.
+///
+/// Deterministic for a fixed CityConfig::seed.
+SyntheticCity GenerateCity(const CityConfig& config);
+
+/// Affinity of a district type for a major category — the relative weight
+/// with which POIs of that category pick districts of that type. Exposed
+/// for tests.
+double DistrictAffinity(District::Type type, MajorCategory category);
+
+}  // namespace csd
+
+#endif  // CSD_SYNTH_CITY_GENERATOR_H_

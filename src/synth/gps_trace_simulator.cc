@@ -1,0 +1,54 @@
+#include "synth/gps_trace_simulator.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace csd {
+
+Trajectory SimulateGpsTrace(const std::vector<ItineraryStop>& stops,
+                            Timestamp start_time,
+                            const GpsTraceConfig& config, Rng& rng) {
+  CSD_CHECK_MSG(config.sample_interval_s > 0, "sample interval must be > 0");
+  CSD_CHECK_MSG(config.speed_mps > 0.0, "speed must be positive");
+  Trajectory trajectory;
+  Timestamp now = start_time;
+
+  auto sample = [&](const Vec2& true_pos, Timestamp t) {
+    trajectory.points.emplace_back(
+        Vec2{true_pos.x + rng.Gaussian(0.0, config.noise_sigma_m),
+             true_pos.y + rng.Gaussian(0.0, config.noise_sigma_m)},
+        t);
+  };
+
+  for (size_t s = 0; s < stops.size(); ++s) {
+    // Dwell at the stop.
+    Timestamp dwell_end = now + stops[s].dwell_s;
+    for (Timestamp t = now; t <= dwell_end; t += config.sample_interval_s) {
+      sample(stops[s].position, t);
+    }
+    now = dwell_end;
+
+    // Travel to the next stop.
+    if (s + 1 < stops.size()) {
+      const Vec2& from = stops[s].position;
+      const Vec2& to = stops[s + 1].position;
+      double dist = Distance(from, to);
+      Timestamp travel =
+          static_cast<Timestamp>(std::ceil(dist / config.speed_mps));
+      Timestamp arrive = now + std::max<Timestamp>(travel, 1);
+      for (Timestamp t = now + config.sample_interval_s; t < arrive;
+           t += config.sample_interval_s) {
+        double frac = static_cast<double>(t - now) /
+                      static_cast<double>(arrive - now);
+        Vec2 interp{from.x + (to.x - from.x) * frac,
+                    from.y + (to.y - from.y) * frac};
+        sample(interp, t);
+      }
+      now = arrive;
+    }
+  }
+  return trajectory;
+}
+
+}  // namespace csd

@@ -1,0 +1,40 @@
+#ifndef CSD_SYNTH_GPS_TRACE_SIMULATOR_H_
+#define CSD_SYNTH_GPS_TRACE_SIMULATOR_H_
+
+#include <vector>
+
+#include "traj/trajectory.h"
+#include "util/rng.h"
+
+namespace csd {
+
+/// One planned stop of an itinerary: the commuter dwells at `position`
+/// from `arrival` for `dwell_s` seconds, then travels to the next stop.
+struct ItineraryStop {
+  Vec2 position;
+  Timestamp dwell_s = 0;
+};
+
+struct GpsTraceConfig {
+  /// Seconds between GPS fixes.
+  Timestamp sample_interval_s = 30;
+
+  /// Travel speed between stops (m/s).
+  double speed_mps = 8.0;
+
+  /// Per-fix Gaussian noise (σ, meters).
+  double noise_sigma_m = 10.0;
+};
+
+/// Synthesizes a dense raw GPS trajectory for an itinerary: jittered fixes
+/// while dwelling at each stop, linear interpolation while moving. This is
+/// the signal shape the Definition-5 stay-point detector consumes; the
+/// paper's taxi logs skip this step (pick-up/drop-off are stay points
+/// directly), so this simulator exists to exercise the general pipeline.
+Trajectory SimulateGpsTrace(const std::vector<ItineraryStop>& stops,
+                            Timestamp start_time,
+                            const GpsTraceConfig& config, Rng& rng);
+
+}  // namespace csd
+
+#endif  // CSD_SYNTH_GPS_TRACE_SIMULATOR_H_

@@ -1,0 +1,417 @@
+#include "synth/trip_generator.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace csd {
+
+namespace {
+
+struct Agent {
+  PassengerId card = kNoPassenger;
+  bool homemaker = false;
+  size_t home = 0;
+  size_t work = 0;
+  MajorCategory work_category = MajorCategory::kBusinessOffice;
+  size_t restaurant = 0;
+  size_t shop = 0;
+  size_t entertainment = 0;
+};
+
+/// Per-building curbside point where taxis stop: a fixed offset from the
+/// building entrance, so that all journeys to the same building share one
+/// tight pick-up/drop-off location (up to GPS noise).
+std::vector<Vec2> MakeCurbPoints(const SyntheticCity& city, double offset,
+                                 Rng& rng) {
+  std::vector<Vec2> curbs;
+  curbs.reserve(city.buildings.size());
+  for (const Building& b : city.buildings) {
+    double angle = rng.Uniform(0.0, 6.283185307179586);
+    curbs.push_back({b.position.x + offset * std::cos(angle),
+                     b.position.y + offset * std::sin(angle)});
+  }
+  return curbs;
+}
+
+size_t PickFrom(const std::vector<size_t>& pool, Rng& rng) {
+  CSD_CHECK(!pool.empty());
+  return pool[static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(pool.size()) - 1))];
+}
+
+/// The k pool members closest to `anchor` (excluding `exclude`), by
+/// linear scan — building pools are small.
+std::vector<size_t> NearestK(const std::vector<size_t>& pool,
+                             const SyntheticCity& city, const Vec2& anchor,
+                             size_t k, size_t exclude = SIZE_MAX) {
+  std::vector<size_t> sorted;
+  for (size_t b : pool) {
+    if (b != exclude) sorted.push_back(b);
+  }
+  k = std::min(k, sorted.size());
+  std::partial_sort(sorted.begin(), sorted.begin() + static_cast<long>(k),
+                    sorted.end(), [&](size_t a, size_t b) {
+                      return SquaredDistance(city.buildings[a].position,
+                                             anchor) <
+                             SquaredDistance(city.buildings[b].position,
+                                             anchor);
+                    });
+  sorted.resize(k);
+  return sorted;
+}
+
+/// A random venue among the `k` nearest to `anchor` — "a favorite place
+/// near home/work".
+size_t PickNear(const std::vector<size_t>& pool, const SyntheticCity& city,
+                const Vec2& anchor, Rng& rng, size_t k = 5) {
+  CSD_CHECK(!pool.empty());
+  std::vector<size_t> nearest = NearestK(pool, city, anchor, k);
+  return PickFrom(nearest, rng);
+}
+
+}  // namespace
+
+TripDataset GenerateTrips(const SyntheticCity& city,
+                          const TripConfig& config) {
+  Rng rng(config.seed);
+  TripDataset data;
+  data.num_agents = config.num_agents;
+
+  // Candidate building pools per activity.
+  std::vector<size_t> homes =
+      city.BuildingsWithCategory(MajorCategory::kResidence);
+  std::vector<size_t> offices =
+      city.BuildingsWithCategory(MajorCategory::kBusinessOffice);
+  std::vector<size_t> industry =
+      city.BuildingsWithCategory(MajorCategory::kIndustry);
+  std::vector<size_t> restaurants =
+      city.BuildingsWithCategory(MajorCategory::kRestaurant);
+  std::vector<size_t> shops =
+      city.BuildingsWithCategory(MajorCategory::kShopMarket);
+  std::vector<size_t> entertainment =
+      city.BuildingsWithCategory(MajorCategory::kEntertainment);
+  std::vector<size_t> hospitals =
+      city.BuildingsWithCategory(MajorCategory::kMedicalService);
+  std::vector<size_t> tourism =
+      city.BuildingsWithCategory(MajorCategory::kTourism);
+  std::vector<size_t> airport =
+      city.BuildingsOfDistrictType(District::Type::kAirport);
+  CSD_CHECK_MSG(!homes.empty() && !offices.empty(),
+                "city must offer residences and offices");
+
+  std::vector<Vec2> curbs = MakeCurbPoints(city, config.curb_offset_m, rng);
+
+  // Communities: a shared (home building, work building) pair.
+  struct Community {
+    size_t home;
+    size_t work;
+    MajorCategory work_category;
+    size_t restaurant = 0;
+    size_t shop = 0;
+    size_t entertainment = 0;
+  };
+  std::vector<Community> communities;
+  communities.reserve(config.num_communities);
+  for (size_t i = 0; i < config.num_communities; ++i) {
+    Community c;
+    if (i > 0 && rng.Bernoulli(config.p_satellite_community)) {
+      // Satellite community: same office tower as an earlier community,
+      // home in a nearby (but usually distinct) apartment block.
+      const Community& anchor = communities[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(i) - 1))];
+      c.work = anchor.work;
+      c.work_category = anchor.work_category;
+      std::vector<size_t> nearby = NearestK(
+          homes, city, city.buildings[anchor.home].position, 3, anchor.home);
+      c.home = nearby.empty() ? PickFrom(homes, rng) : PickFrom(nearby, rng);
+    } else {
+      c.home = PickFrom(homes, rng);
+      bool industrial = !industry.empty() && rng.Bernoulli(0.15);
+      c.work = industrial ? PickFrom(industry, rng) : PickFrom(offices, rng);
+      c.work_category = industrial ? MajorCategory::kIndustry
+                                   : MajorCategory::kBusinessOffice;
+    }
+    if (!restaurants.empty()) {
+      c.restaurant = PickNear(restaurants, city,
+                              city.buildings[c.work].position, rng, 3);
+    }
+    if (!shops.empty()) {
+      c.shop = PickNear(shops, city, city.buildings[c.home].position, rng, 3);
+    }
+    if (!entertainment.empty()) {
+      c.entertainment = PickNear(entertainment, city,
+                                 city.buildings[c.work].position, rng, 3);
+    }
+    communities.push_back(c);
+  }
+
+  // Agents.
+  std::vector<Agent> agents(config.num_agents);
+  size_t num_carded =
+      static_cast<size_t>(config.carded_fraction *
+                          static_cast<double>(config.num_agents));
+  data.num_carded = num_carded;
+  for (size_t a = 0; a < agents.size(); ++a) {
+    Agent& agent = agents[a];
+    agent.card = a < num_carded ? static_cast<PassengerId>(a + 1)
+                                : kNoPassenger;
+    agent.homemaker = rng.Bernoulli(config.homemaker_fraction);
+    if (!communities.empty() && rng.Bernoulli(config.community_fraction)) {
+      const Community& c = communities[static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(communities.size()) - 1))];
+      agent.home = c.home;
+      agent.work = c.work;
+      agent.work_category = c.work_category;
+      // Favorite venues are shared community infrastructure (the mall by
+      // the estate, the lunch street by the tower) — this is what lets a
+      // venue-bound flow reach the support threshold.
+      agent.restaurant = c.restaurant;
+      agent.shop = c.shop;
+      agent.entertainment = c.entertainment;
+    } else {
+      agent.home = PickFrom(homes, rng);
+      agent.work = PickFrom(offices, rng);
+      agent.work_category = MajorCategory::kBusinessOffice;
+      const Vec2& work_pos = city.buildings[agent.work].position;
+      const Vec2& home_pos = city.buildings[agent.home].position;
+      if (!restaurants.empty()) {
+        agent.restaurant = PickNear(restaurants, city, work_pos, rng);
+      }
+      if (!shops.empty()) agent.shop = PickNear(shops, city, home_pos, rng);
+      if (!entertainment.empty()) {
+        agent.entertainment = PickNear(entertainment, city, work_pos, rng);
+      }
+    }
+  }
+
+  auto emit = [&](const Agent& agent, size_t from_b, MajorCategory from_cat,
+                  size_t to_b, MajorCategory to_cat, Timestamp pickup_time,
+                  bool weekend) -> Timestamp {
+    TaxiJourney j;
+    j.passenger = agent.card;
+    Vec2 pickup{curbs[from_b].x + rng.Gaussian(0.0, config.gps_noise_sigma_m),
+                curbs[from_b].y + rng.Gaussian(0.0, config.gps_noise_sigma_m)};
+    Vec2 dropoff{curbs[to_b].x + rng.Gaussian(0.0, config.gps_noise_sigma_m),
+                 curbs[to_b].y + rng.Gaussian(0.0, config.gps_noise_sigma_m)};
+    double dist = Distance(city.buildings[from_b].position,
+                           city.buildings[to_b].position);
+    double duration = 120.0 + dist / config.taxi_speed_mps *
+                                  rng.Uniform(0.85, 1.25);
+    j.pickup = GpsPoint(pickup, pickup_time);
+    j.dropoff =
+        GpsPoint(dropoff, pickup_time + static_cast<Timestamp>(duration));
+    data.journeys.push_back(j);
+    data.truths.push_back(
+        {from_cat, to_cat, from_b, to_b, weekend});
+    return j.dropoff.time;
+  };
+
+  constexpr MajorCategory kHome = MajorCategory::kResidence;
+
+  for (int day = 0; day < config.num_days; ++day) {
+    bool weekend = (day % 7) >= 5;
+    Timestamp day_start = static_cast<Timestamp>(day) * kSecondsPerDay;
+    for (const Agent& agent : agents) {
+      if (!weekend) {
+        // --- Weekday -----------------------------------------------------
+        if (agent.homemaker) {
+          // Midday errand: the neighbourhood mall most days, otherwise a
+          // restaurant or (rarely) a clinic; then back home.
+          if (rng.Bernoulli(config.p_errand)) {
+            Timestamp t =
+                day_start + 13 * kSecondsPerHour +
+                static_cast<Timestamp>(rng.Gaussian(0, 80 * 60));
+            double r = rng.Uniform(0.0, 1.0);
+            size_t dest;
+            MajorCategory dest_cat;
+            if (r < 0.75 && !shops.empty()) {
+              dest = agent.shop;
+              dest_cat = MajorCategory::kShopMarket;
+            } else if (r < 0.92 && !restaurants.empty()) {
+              dest = agent.restaurant;
+              dest_cat = MajorCategory::kRestaurant;
+            } else if (!hospitals.empty()) {
+              dest = PickFrom(hospitals, rng);
+              dest_cat = MajorCategory::kMedicalService;
+            } else {
+              continue;
+            }
+            Timestamp arrived =
+                emit(agent, agent.home, kHome, dest, dest_cat, t, weekend);
+            emit(agent, dest, dest_cat, agent.home, kHome,
+                 arrived + static_cast<Timestamp>(rng.Uniform(45, 110) * 60),
+                 weekend);
+          }
+          continue;  // homemakers skip the commute branches below
+        }
+        bool commuted = rng.Bernoulli(config.p_commute);
+        if (commuted) {
+          Timestamp t =
+              day_start + 7 * kSecondsPerHour +
+              static_cast<Timestamp>(rng.Gaussian(30 * 60, 35 * 60));
+          emit(agent, agent.home, kHome, agent.work, agent.work_category, t,
+               weekend);
+
+          // Evening: straight home, or one activity then home.
+          Timestamp te =
+              day_start + 18 * kSecondsPerHour +
+              static_cast<Timestamp>(rng.Gaussian(0, 45 * 60));
+          double r = rng.Uniform(0.0, 1.0);
+          if (r < config.p_evening_restaurant && !restaurants.empty()) {
+            Timestamp arrived =
+                emit(agent, agent.work, agent.work_category, agent.restaurant,
+                     MajorCategory::kRestaurant, te, weekend);
+            emit(agent, agent.restaurant, MajorCategory::kRestaurant,
+                 agent.home, kHome,
+                 arrived + static_cast<Timestamp>(rng.Uniform(50, 100) * 60),
+                 weekend);
+          } else if (r < config.p_evening_restaurant +
+                             config.p_evening_shop &&
+                     !shops.empty()) {
+            Timestamp arrived =
+                emit(agent, agent.work, agent.work_category, agent.shop,
+                     MajorCategory::kShopMarket, te, weekend);
+            emit(agent, agent.shop, MajorCategory::kShopMarket, agent.home,
+                 kHome,
+                 arrived + static_cast<Timestamp>(rng.Uniform(35, 80) * 60),
+                 weekend);
+          } else if (r < config.p_evening_restaurant +
+                             config.p_evening_shop +
+                             config.p_evening_entertainment &&
+                     !entertainment.empty()) {
+            Timestamp arrived = emit(agent, agent.work, agent.work_category,
+                                     agent.entertainment,
+                                     MajorCategory::kEntertainment, te,
+                                     weekend);
+            emit(agent, agent.entertainment, MajorCategory::kEntertainment,
+                 agent.home, kHome,
+                 arrived + static_cast<Timestamp>(rng.Uniform(90, 160) * 60),
+                 weekend);
+          } else {
+            emit(agent, agent.work, agent.work_category, agent.home, kHome,
+                 te, weekend);
+          }
+        }
+        if (!hospitals.empty() && rng.Bernoulli(config.p_hospital)) {
+          Timestamp t =
+              day_start + 9 * kSecondsPerHour +
+              static_cast<Timestamp>(rng.Gaussian(0, 60 * 60));
+          size_t hospital = PickFrom(hospitals, rng);
+          Timestamp arrived =
+              emit(agent, agent.home, kHome, hospital,
+                   MajorCategory::kMedicalService, t, weekend);
+          emit(agent, hospital, MajorCategory::kMedicalService, agent.home,
+               kHome,
+               arrived + static_cast<Timestamp>(rng.Uniform(60, 150) * 60),
+               weekend);
+        }
+        if (!airport.empty() && rng.Bernoulli(config.p_airport)) {
+          Timestamp t =
+              day_start + 8 * kSecondsPerHour +
+              static_cast<Timestamp>(rng.Gaussian(0, 3 * 3600));
+          size_t terminal = PickFrom(airport, rng);
+          if (rng.Bernoulli(0.5)) {
+            emit(agent, agent.home, kHome, terminal,
+                 MajorCategory::kTrafficStation, t, weekend);
+          } else {
+            emit(agent, terminal, MajorCategory::kTrafficStation, agent.home,
+                 kHome, t, weekend);
+          }
+        }
+      } else {
+        // --- Weekend -------------------------------------------------------
+        if (rng.Bernoulli(config.p_weekend_morning_leisure)) {
+          Timestamp t =
+              day_start + 10 * kSecondsPerHour +
+              static_cast<Timestamp>(rng.Gaussian(30 * 60, 80 * 60));
+          double r = rng.Uniform(0.0, 1.0);
+          size_t dest;
+          MajorCategory dest_cat;
+          if (r < 0.40 && !shops.empty()) {
+            // Half the time the favourite, otherwise anywhere: weekend
+            // mobility is irregular (Figure 14's sparse weekend patterns).
+            dest = rng.Bernoulli(0.65) ? agent.shop : PickFrom(shops, rng);
+            dest_cat = MajorCategory::kShopMarket;
+          } else if (r < 0.60 && !entertainment.empty()) {
+            dest = PickFrom(entertainment, rng);
+            dest_cat = MajorCategory::kEntertainment;
+          } else if (r < 0.75 && !tourism.empty()) {
+            dest = PickFrom(tourism, rng);
+            dest_cat = MajorCategory::kTourism;
+          } else if (!restaurants.empty()) {
+            dest = PickFrom(restaurants, rng);
+            dest_cat = MajorCategory::kRestaurant;
+          } else {
+            continue;
+          }
+          Timestamp arrived =
+              emit(agent, agent.home, kHome, dest, dest_cat, t, weekend);
+          emit(agent, dest, dest_cat, agent.home, kHome,
+               arrived + static_cast<Timestamp>(rng.Uniform(80, 200) * 60),
+               weekend);
+        }
+        if (rng.Bernoulli(config.p_weekend_evening_out) &&
+            !restaurants.empty()) {
+          Timestamp t =
+              day_start + 18 * kSecondsPerHour +
+              static_cast<Timestamp>(rng.Gaussian(30 * 60, 50 * 60));
+          size_t dest = rng.Bernoulli(0.65) ? agent.restaurant
+                                           : PickFrom(restaurants, rng);
+          Timestamp arrived = emit(agent, agent.home, kHome, dest,
+                                   MajorCategory::kRestaurant, t, weekend);
+          emit(agent, dest, MajorCategory::kRestaurant, agent.home, kHome,
+               arrived + static_cast<Timestamp>(rng.Uniform(60, 120) * 60),
+               weekend);
+        }
+        if (!hospitals.empty() && rng.Bernoulli(config.p_hospital * 0.6)) {
+          Timestamp t =
+              day_start + 10 * kSecondsPerHour +
+              static_cast<Timestamp>(rng.Gaussian(0, 60 * 60));
+          size_t hospital = PickFrom(hospitals, rng);
+          Timestamp arrived =
+              emit(agent, agent.home, kHome, hospital,
+                   MajorCategory::kMedicalService, t, weekend);
+          emit(agent, hospital, MajorCategory::kMedicalService, agent.home,
+               kHome,
+               arrived + static_cast<Timestamp>(rng.Uniform(60, 150) * 60),
+               weekend);
+        }
+        if (!airport.empty() && rng.Bernoulli(config.p_airport)) {
+          Timestamp t =
+              day_start + 11 * kSecondsPerHour +
+              static_cast<Timestamp>(rng.Gaussian(0, 4 * 3600));
+          size_t terminal = PickFrom(airport, rng);
+          if (rng.Bernoulli(0.5)) {
+            emit(agent, agent.home, kHome, terminal,
+                 MajorCategory::kTrafficStation, t, weekend);
+          } else {
+            emit(agent, terminal, MajorCategory::kTrafficStation, agent.home,
+                 kHome, t, weekend);
+          }
+        }
+      }
+    }
+  }
+
+  // Time-order the dataset like a real feed.
+  std::vector<size_t> order(data.journeys.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return data.journeys[a].pickup.time < data.journeys[b].pickup.time;
+  });
+  std::vector<TaxiJourney> journeys;
+  std::vector<JourneyTruth> truths;
+  journeys.reserve(order.size());
+  truths.reserve(order.size());
+  for (size_t idx : order) {
+    journeys.push_back(data.journeys[idx]);
+    truths.push_back(data.truths[idx]);
+  }
+  data.journeys = std::move(journeys);
+  data.truths = std::move(truths);
+  return data;
+}
+
+}  // namespace csd

@@ -1,0 +1,89 @@
+#ifndef CSD_SYNTH_TRIP_GENERATOR_H_
+#define CSD_SYNTH_TRIP_GENERATOR_H_
+
+#include <vector>
+
+#include "synth/city.h"
+#include "traj/journey.h"
+
+namespace csd {
+
+/// Knobs of the agent-based taxi simulator. Defaults yield ≈ 2.2 journeys
+/// per agent-day with the weekday commute / evening activity / weekend
+/// leisure structure the paper's Section 6 demonstrates.
+struct TripConfig {
+  size_t num_agents = 2500;
+  int num_days = 7;  // day 0 is a Monday; days 5-6 are the weekend
+  uint64_t seed = 99;
+
+  /// Fraction of agents with a payment card (linkable journeys) — the
+  /// paper's logs card ~20% of passengers.
+  double carded_fraction = 0.2;
+
+  /// GPS noise around the true pick-up/drop-off point (σ, meters).
+  double gps_noise_sigma_m = 12.0;
+
+  /// Spread of the curbside point around the building entrance (meters).
+  double curb_offset_m = 18.0;
+
+  double taxi_speed_mps = 7.5;
+
+  /// Community structure: members of a community share one home building
+  /// and one work building — this is what concentrates enough identical
+  /// commutes to pass the support threshold σ, mirroring real commute
+  /// corridors.
+  size_t num_communities = 32;
+  double community_fraction = 0.75;
+
+  /// Probability that a new community is a *satellite* of an earlier one:
+  /// same workplace, home in a nearby-but-distinct building (adjacent
+  /// apartment blocks feeding one office tower). Satellites create the
+  /// nearby same-semantic corridors of the paper's Figure 1 — the case
+  /// where adaptive per-position clustering (OPTICS) resolves two
+  /// fine-grained patterns that a fixed-radius method merges.
+  double p_satellite_community = 0.35;
+
+  /// Fraction of agents who do not commute (homemakers/retirees); their
+  /// weekday taxi use is midday errands — the paper's Figure 14(b)
+  /// afternoon patterns.
+  double homemaker_fraction = 0.18;
+  double p_errand = 0.65;
+
+  // Weekday behaviour probabilities (per agent-day).
+  double p_commute = 0.60;
+  double p_evening_restaurant = 0.22;
+  double p_evening_shop = 0.18;
+  double p_evening_entertainment = 0.08;
+  double p_hospital = 0.010;
+  double p_airport = 0.012;
+
+  // Weekend behaviour probabilities.
+  double p_weekend_morning_leisure = 0.35;
+  double p_weekend_evening_out = 0.35;
+};
+
+/// Ground truth of one journey (what the commuter actually did) — used by
+/// the check-in bias experiment and the recognition-accuracy validation.
+struct JourneyTruth {
+  MajorCategory origin_category;
+  MajorCategory dest_category;
+  size_t origin_building = 0;
+  size_t dest_building = 0;
+  bool weekend = false;
+};
+
+/// The simulated month of taxi data.
+struct TripDataset {
+  std::vector<TaxiJourney> journeys;
+  std::vector<JourneyTruth> truths;  // parallel to journeys
+  size_t num_agents = 0;
+  size_t num_carded = 0;
+};
+
+/// Runs the agent simulation over `city`. Deterministic for a fixed seed.
+TripDataset GenerateTrips(const SyntheticCity& city,
+                          const TripConfig& config);
+
+}  // namespace csd
+
+#endif  // CSD_SYNTH_TRIP_GENERATOR_H_

@@ -1,0 +1,88 @@
+#include "traj/journey.h"
+
+#include <algorithm>
+#include <map>
+
+namespace csd {
+
+SemanticTrajectoryDb LinkJourneys(const std::vector<TaxiJourney>& journeys,
+                                  const JourneyLinkOptions& options) {
+  // Bucket journeys per carded passenger, in time order.
+  std::map<PassengerId, std::vector<const TaxiJourney*>> by_passenger;
+  for (const TaxiJourney& j : journeys) {
+    if (j.passenger == kNoPassenger) continue;
+    by_passenger[j.passenger].push_back(&j);
+  }
+
+  SemanticTrajectoryDb db;
+  TrajectoryId next_id = 0;
+  for (auto& [passenger, legs] : by_passenger) {
+    std::sort(legs.begin(), legs.end(),
+              [](const TaxiJourney* a, const TaxiJourney* b) {
+                return a->pickup.time < b->pickup.time;
+              });
+
+    SemanticTrajectory current;
+    current.passenger = passenger;
+    auto flush = [&]() {
+      if (current.stays.size() >= options.min_stay_points) {
+        current.id = next_id++;
+        db.push_back(std::move(current));
+      }
+      current = SemanticTrajectory{};
+      current.passenger = passenger;
+    };
+
+    for (const TaxiJourney* leg : legs) {
+      if (!current.stays.empty()) {
+        const StayPoint& last = current.stays.back();
+        bool too_late = leg->pickup.time - last.time > options.max_gap_s;
+        if (too_late) flush();
+      }
+      if (current.stays.empty()) {
+        current.stays.emplace_back(leg->pickup.position, leg->pickup.time);
+      } else {
+        const StayPoint& last = current.stays.back();
+        if (Distance(last.position, leg->pickup.position) <=
+            options.merge_radius_m) {
+          // The previous drop-off and this pick-up are the same activity
+          // location; keep the earlier (arrival) stay point as-is.
+        } else {
+          current.stays.emplace_back(leg->pickup.position, leg->pickup.time);
+        }
+      }
+      current.stays.emplace_back(leg->dropoff.position, leg->dropoff.time);
+    }
+    flush();
+  }
+  return db;
+}
+
+SemanticTrajectoryDb JourneysToStayPairs(
+    const std::vector<TaxiJourney>& journeys) {
+  SemanticTrajectoryDb db;
+  db.reserve(journeys.size());
+  TrajectoryId next_id = 0;
+  for (const TaxiJourney& j : journeys) {
+    SemanticTrajectory st;
+    st.id = next_id++;
+    st.passenger = j.passenger;
+    st.stays.emplace_back(j.pickup.position, j.pickup.time);
+    st.stays.emplace_back(j.dropoff.position, j.dropoff.time);
+    db.push_back(std::move(st));
+  }
+  return db;
+}
+
+std::vector<StayPoint> CollectStayPoints(
+    const std::vector<TaxiJourney>& journeys) {
+  std::vector<StayPoint> stays;
+  stays.reserve(journeys.size() * 2);
+  for (const TaxiJourney& j : journeys) {
+    stays.emplace_back(j.pickup.position, j.pickup.time);
+    stays.emplace_back(j.dropoff.position, j.dropoff.time);
+  }
+  return stays;
+}
+
+}  // namespace csd

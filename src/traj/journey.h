@@ -1,0 +1,55 @@
+#ifndef CSD_TRAJ_JOURNEY_H_
+#define CSD_TRAJ_JOURNEY_H_
+
+#include <vector>
+
+#include "traj/trajectory.h"
+
+namespace csd {
+
+/// One taxi journey record: a pick-up and a drop-off, optionally linked to
+/// a passenger via payment-card id (the paper's dataset stores card info
+/// for ~20% of passengers). Pick-up/drop-off points are taken as stay
+/// points directly, as in the paper's experiments (Figure 8 caption).
+struct TaxiJourney {
+  GpsPoint pickup;
+  GpsPoint dropoff;
+  PassengerId passenger = kNoPassenger;
+};
+
+/// Options for linking a passenger's consecutive journeys into one
+/// multi-stop semantic trajectory.
+struct JourneyLinkOptions {
+  /// Drop-off of leg k and pick-up of leg k+1 merge into one stay point
+  /// when within this distance (the commuter stayed there in between).
+  double merge_radius_m = 300.0;
+
+  /// Legs whose pick-up is more than this long after the previous
+  /// drop-off start a new trajectory (the paper links per day).
+  Timestamp max_gap_s = kSecondsPerDay;
+
+  /// Keep only linked trajectories with at least this many stay points
+  /// (the paper recovers trajectories "with at least three stay points").
+  size_t min_stay_points = 3;
+};
+
+/// Links each carded passenger's journeys (sorted internally by time) into
+/// long movement trajectories: stay points are pick-up₁, drop-off₁ merged
+/// with pick-up₂ when nearby, …, drop-off_n. Journeys without a card id
+/// cannot be linked and are skipped here — use JourneysToStayPairs for them.
+SemanticTrajectoryDb LinkJourneys(const std::vector<TaxiJourney>& journeys,
+                                  const JourneyLinkOptions& options);
+
+/// Converts every journey into a minimal 2-stop semantic trajectory
+/// (pick-up, drop-off) — the uncarded 80% of the dataset.
+SemanticTrajectoryDb JourneysToStayPairs(
+    const std::vector<TaxiJourney>& journeys);
+
+/// All stay points (pick-ups and drop-offs) of a journey set; the D_sp used
+/// by the popularity model (Equation (3)).
+std::vector<StayPoint> CollectStayPoints(
+    const std::vector<TaxiJourney>& journeys);
+
+}  // namespace csd
+
+#endif  // CSD_TRAJ_JOURNEY_H_

@@ -1,0 +1,64 @@
+#include "traj/simplify.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace csd {
+
+double PerpendicularDistance(const Vec2& p, const Vec2& a, const Vec2& b) {
+  Vec2 ab = b - a;
+  double len2 = ab.SquaredNorm();
+  if (len2 <= 0.0) return Distance(p, a);
+  // Distance to the infinite line through a-b; Douglas-Peucker uses the
+  // line, not the clamped segment.
+  double cross = ab.x * (p.y - a.y) - ab.y * (p.x - a.x);
+  return std::abs(cross) / std::sqrt(len2);
+}
+
+namespace {
+
+void Recurse(const std::vector<GpsPoint>& pts, size_t begin, size_t end,
+             double tolerance, std::vector<char>* keep) {
+  if (end - begin < 2) return;
+  double worst = -1.0;
+  size_t worst_idx = begin;
+  for (size_t i = begin + 1; i < end; ++i) {
+    double d = PerpendicularDistance(pts[i].position, pts[begin].position,
+                                     pts[end].position);
+    if (d > worst) {
+      worst = d;
+      worst_idx = i;
+    }
+  }
+  if (worst > tolerance) {
+    (*keep)[worst_idx] = 1;
+    Recurse(pts, begin, worst_idx, tolerance, keep);
+    Recurse(pts, worst_idx, end, tolerance, keep);
+  }
+}
+
+}  // namespace
+
+Trajectory SimplifyTrajectory(const Trajectory& trajectory,
+                              double tolerance_m) {
+  CSD_CHECK_MSG(tolerance_m >= 0.0, "tolerance must be non-negative");
+  Trajectory out;
+  out.id = trajectory.id;
+  out.passenger = trajectory.passenger;
+  const auto& pts = trajectory.points;
+  if (pts.size() <= 2) {
+    out.points = pts;
+    return out;
+  }
+  std::vector<char> keep(pts.size(), 0);
+  keep.front() = 1;
+  keep.back() = 1;
+  Recurse(pts, 0, pts.size() - 1, tolerance_m, &keep);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (keep[i]) out.points.push_back(pts[i]);
+  }
+  return out;
+}
+
+}  // namespace csd

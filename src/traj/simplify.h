@@ -1,0 +1,26 @@
+#ifndef CSD_TRAJ_SIMPLIFY_H_
+#define CSD_TRAJ_SIMPLIFY_H_
+
+#include <vector>
+
+#include "traj/trajectory.h"
+
+namespace csd {
+
+/// Douglas-Peucker trajectory simplification: drops GPS fixes whose
+/// perpendicular deviation from the simplified polyline is below
+/// `tolerance_m`. Raw taxi feeds oversample on highways; simplification
+/// shrinks them by an order of magnitude before storage while preserving
+/// stay-point structure (dwell clusters deviate and are kept).
+///
+/// The first and last fixes are always kept. Timestamps ride along.
+Trajectory SimplifyTrajectory(const Trajectory& trajectory,
+                              double tolerance_m);
+
+/// Perpendicular distance from `p` to the segment [a, b] (falls back to
+/// endpoint distance for degenerate segments). Exposed for tests.
+double PerpendicularDistance(const Vec2& p, const Vec2& a, const Vec2& b);
+
+}  // namespace csd
+
+#endif  // CSD_TRAJ_SIMPLIFY_H_

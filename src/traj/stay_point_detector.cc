@@ -1,0 +1,47 @@
+#include "traj/stay_point_detector.h"
+
+namespace csd {
+
+std::vector<StayPoint> DetectStayPoints(const Trajectory& trajectory,
+                                        const StayPointOptions& options) {
+  std::vector<StayPoint> stays;
+  const auto& pts = trajectory.points;
+  size_t n = pts.size();
+  size_t i = 0;
+  while (i < n) {
+    // Grow the window while every fix stays within θ_d of the anchor p_i.
+    size_t j = i + 1;
+    while (j < n && Distance(pts[i].position, pts[j].position) <=
+                        options.distance_threshold_m) {
+      ++j;
+    }
+    // Window is [i, j); it qualifies when it spans at least θ_t.
+    if (j > i + 1 &&
+        pts[j - 1].time - pts[i].time >= options.time_threshold_s) {
+      Vec2 mean_pos;
+      double mean_time = 0.0;
+      double count = static_cast<double>(j - i);
+      for (size_t k = i; k < j; ++k) {
+        mean_pos += pts[k].position;
+        mean_time += static_cast<double>(pts[k].time);
+      }
+      stays.emplace_back(mean_pos / count,
+                         static_cast<Timestamp>(mean_time / count));
+      i = j;  // continue after the stay
+    } else {
+      ++i;
+    }
+  }
+  return stays;
+}
+
+SemanticTrajectory ToSemanticTrajectory(const Trajectory& trajectory,
+                                        const StayPointOptions& options) {
+  SemanticTrajectory st;
+  st.id = trajectory.id;
+  st.passenger = trajectory.passenger;
+  st.stays = DetectStayPoints(trajectory, options);
+  return st;
+}
+
+}  // namespace csd

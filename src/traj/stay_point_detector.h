@@ -1,0 +1,35 @@
+#ifndef CSD_TRAJ_STAY_POINT_DETECTOR_H_
+#define CSD_TRAJ_STAY_POINT_DETECTOR_H_
+
+#include <vector>
+
+#include "traj/trajectory.h"
+
+namespace csd {
+
+/// Parameters of Definition 5.
+struct StayPointOptions {
+  /// θ_d: every fix of the stay sub-trajectory must be within this distance
+  /// of its first fix (meters).
+  double distance_threshold_m = 100.0;
+
+  /// θ_t: minimum duration of the sub-trajectory (seconds).
+  Timestamp time_threshold_s = 10 * kSecondsPerMinute;
+};
+
+/// Extracts the stay points of a raw GPS trajectory per Definition 5:
+/// maximal sub-trajectories whose fixes all lie within θ_d of the anchor
+/// fix and which span at least θ_t. Each stay point is the arithmetic mean
+/// of the sub-trajectory's positions and timestamps, with an empty semantic
+/// property (filled later by Semantic Recognition).
+std::vector<StayPoint> DetectStayPoints(const Trajectory& trajectory,
+                                        const StayPointOptions& options);
+
+/// Convenience: converts a raw trajectory into a (semantics-free) semantic
+/// trajectory, preserving id and passenger.
+SemanticTrajectory ToSemanticTrajectory(const Trajectory& trajectory,
+                                        const StayPointOptions& options);
+
+}  // namespace csd
+
+#endif  // CSD_TRAJ_STAY_POINT_DETECTOR_H_

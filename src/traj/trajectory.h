@@ -1,0 +1,79 @@
+#ifndef CSD_TRAJ_TRAJECTORY_H_
+#define CSD_TRAJ_TRAJECTORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+#include "poi/semantic_property.h"
+
+namespace csd {
+
+/// Seconds since an arbitrary epoch (the synthetic city uses seconds since
+/// the start of its simulated month).
+using Timestamp = int64_t;
+
+inline constexpr Timestamp kSecondsPerMinute = 60;
+inline constexpr Timestamp kSecondsPerHour = 3600;
+inline constexpr Timestamp kSecondsPerDay = 86400;
+
+/// One GPS fix: planar position + timestamp (Definition 1's (p, t)).
+struct GpsPoint {
+  Vec2 position;
+  Timestamp time = 0;
+
+  GpsPoint() = default;
+  GpsPoint(Vec2 p, Timestamp t) : position(p), time(t) {}
+};
+
+/// Identifier of a trajectory (raw or semantic) within a dataset.
+using TrajectoryId = uint32_t;
+
+/// Identifier of a passenger / payment card; kNoPassenger when unknown.
+using PassengerId = uint32_t;
+inline constexpr PassengerId kNoPassenger = 0xffffffff;
+
+/// A raw GPS trajectory (Definition 1): a time-ordered sequence of fixes.
+struct Trajectory {
+  TrajectoryId id = 0;
+  PassengerId passenger = kNoPassenger;
+  std::vector<GpsPoint> points;
+
+  bool Empty() const { return points.empty(); }
+  size_t Size() const { return points.size(); }
+
+  Timestamp StartTime() const { return points.empty() ? 0 : points.front().time; }
+  Timestamp EndTime() const { return points.empty() ? 0 : points.back().time; }
+};
+
+/// A stay point (Definition 5): where a commuter stopped to perform an
+/// activity. The semantic property `s` is empty until Semantic Recognition
+/// (Algorithm 3) fills it in.
+struct StayPoint {
+  Vec2 position;
+  Timestamp time = 0;
+  SemanticProperty semantic;
+
+  StayPoint() = default;
+  StayPoint(Vec2 p, Timestamp t) : position(p), time(t) {}
+  StayPoint(Vec2 p, Timestamp t, SemanticProperty s)
+      : position(p), time(t), semantic(s) {}
+};
+
+/// A semantic trajectory (Definition 6): the stay points derived from one
+/// raw trajectory (or from linking one passenger's taxi journeys).
+struct SemanticTrajectory {
+  TrajectoryId id = 0;
+  PassengerId passenger = kNoPassenger;
+  std::vector<StayPoint> stays;
+
+  bool Empty() const { return stays.empty(); }
+  size_t Size() const { return stays.size(); }
+};
+
+/// A database of semantic trajectories (the D of Definition 10/11).
+using SemanticTrajectoryDb = std::vector<SemanticTrajectory>;
+
+}  // namespace csd
+
+#endif  // CSD_TRAJ_TRAJECTORY_H_

@@ -1,0 +1,20 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace csd {
+
+size_t DefaultParallelism() {
+  static const size_t kValue = [] {
+    if (const char* env = std::getenv("CSD_THREADS")) {
+      long parsed = std::atol(env);
+      if (parsed >= 1) return static_cast<size_t>(parsed);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return std::min<size_t>(hw == 0 ? 1 : hw, 8);
+  }();
+  return kValue;
+}
+
+}  // namespace csd

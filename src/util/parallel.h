@@ -1,0 +1,47 @@
+#ifndef CSD_UTIL_PARALLEL_H_
+#define CSD_UTIL_PARALLEL_H_
+
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace csd {
+
+/// Number of worker threads used by ParallelFor when the caller passes 0:
+/// the hardware concurrency, capped (diminishing returns on the memory-
+/// bound kernels this library runs).
+size_t DefaultParallelism();
+
+/// Runs fn(i) for every i in [0, n), statically chunked over
+/// `num_threads` threads (0 = DefaultParallelism()). The callable must be
+/// safe to invoke concurrently for distinct i; iterations touching shared
+/// mutable state need their own synchronization. Falls back to the
+/// calling thread for small n or single-thread configurations.
+template <typename Fn>
+void ParallelFor(size_t n, Fn&& fn, size_t num_threads = 0) {
+  if (n == 0) return;
+  if (num_threads == 0) num_threads = DefaultParallelism();
+  // Thread start-up costs ~10µs each; don't bother below a few thousand
+  // cheap iterations.
+  if (num_threads <= 1 || n < 2048) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  num_threads = std::min(num_threads, n);
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  size_t chunk = (n + num_threads - 1) / num_threads;
+  for (size_t t = 0; t < num_threads; ++t) {
+    size_t begin = t * chunk;
+    size_t end = std::min(begin + chunk, n);
+    if (begin >= end) break;
+    workers.emplace_back([begin, end, &fn]() {
+      for (size_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+}
+
+}  // namespace csd
+
+#endif  // CSD_UTIL_PARALLEL_H_

@@ -1,0 +1,23 @@
+#include "util/rng.h"
+
+#include <numeric>
+
+namespace csd {
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  CSD_CHECK(!weights.empty());
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0) {
+    return static_cast<size_t>(
+        UniformInt(0, static_cast<int64_t>(weights.size()) - 1));
+  }
+  double r = Uniform(0.0, total);
+  double cum = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    cum += weights[i];
+    if (r < cum) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace csd

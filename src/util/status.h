@@ -1,0 +1,180 @@
+#ifndef CSD_UTIL_STATUS_H_
+#define CSD_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace csd {
+
+/// Error categories used across the library. The public API reports
+/// recoverable failures through Status / Result<T> instead of exceptions,
+/// following the Arrow/RocksDB convention for database-style libraries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kIoError,
+  kParseError,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error value. `Status::OK()` is the success
+/// singleton; error states carry a code and a message.
+///
+/// Typical use:
+///   Status s = db.Load(path);
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// A value-or-error holder, analogous to arrow::Result. Accessing the value
+/// of an errored Result aborts (contract violation), so callers must check
+/// `ok()` first or use `ValueOr`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or an error Status keeps call sites
+  /// terse: `return value;` / `return Status::IoError(...)`.
+  Result(T value) : holder_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : holder_(std::move(status)) {  // NOLINT
+    EnsureError();
+  }
+
+  bool ok() const { return std::holds_alternative<T>(holder_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(holder_);
+  }
+
+  /// Requires ok(). Aborts otherwise.
+  const T& value() const& {
+    EnsureValue();
+    return std::get<T>(holder_);
+  }
+  T& value() & {
+    EnsureValue();
+    return std::get<T>(holder_);
+  }
+  T&& value() && {
+    EnsureValue();
+    return std::get<T>(std::move(holder_));
+  }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T ValueOr(T fallback) const {
+    if (ok()) return std::get<T>(holder_);
+    return fallback;
+  }
+
+ private:
+  void EnsureValue() const;
+  void EnsureError() const;
+
+  std::variant<T, Status> holder_;
+};
+
+namespace internal {
+[[noreturn]] void DieBadResultAccess(const char* what, const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::EnsureValue() const {
+  if (!ok()) {
+    internal::DieBadResultAccess("value() called on errored Result",
+                                 std::get<Status>(holder_));
+  }
+}
+
+template <typename T>
+void Result<T>::EnsureError() const {
+  if (ok()) return;
+  if (std::get<Status>(holder_).ok()) {
+    internal::DieBadResultAccess(
+        "Result constructed from OK status; construct from a value instead",
+        Status::OK());
+  }
+}
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define CSD_RETURN_NOT_OK(expr)                 \
+  do {                                          \
+    ::csd::Status _csd_status = (expr);         \
+    if (!_csd_status.ok()) return _csd_status;  \
+  } while (false)
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error Status to the caller.
+#define CSD_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto CSD_CONCAT_(_csd_result, __LINE__) = (expr);             \
+  if (!CSD_CONCAT_(_csd_result, __LINE__).ok()) {               \
+    return CSD_CONCAT_(_csd_result, __LINE__).status();         \
+  }                                                             \
+  lhs = std::move(CSD_CONCAT_(_csd_result, __LINE__)).value()
+
+#define CSD_CONCAT_IMPL_(a, b) a##b
+#define CSD_CONCAT_(a, b) CSD_CONCAT_IMPL_(a, b)
+
+}  // namespace csd
+
+#endif  // CSD_UTIL_STATUS_H_

@@ -1,0 +1,29 @@
+#ifndef CSD_UTIL_STOPWATCH_H_
+#define CSD_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace csd {
+
+/// Wall-clock stopwatch used by benches and examples to report stage timings.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace csd
+
+#endif  // CSD_UTIL_STOPWATCH_H_

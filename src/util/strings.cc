@@ -1,0 +1,102 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cerrno>
+
+namespace csd {
+
+std::vector<std::string> SplitString(std::string_view input, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = input.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(input.substr(start));
+      break;
+    }
+    out.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view TrimString(std::string_view input) {
+  size_t begin = 0;
+  size_t end = input.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(input[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(input[end - 1]))) {
+    --end;
+  }
+  return input.substr(begin, end - begin);
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+Result<double> ParseDouble(std::string_view field) {
+  std::string trimmed(TrimString(field));
+  if (trimmed.empty()) {
+    return Status::ParseError("empty field where a number was expected");
+  }
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(trimmed.c_str(), &end);
+  if (errno == ERANGE) {
+    return Status::ParseError("numeric overflow in field '" + trimmed + "'");
+  }
+  if (end != trimmed.c_str() + trimmed.size()) {
+    return Status::ParseError("trailing characters in numeric field '" +
+                              trimmed + "'");
+  }
+  return value;
+}
+
+Result<int64_t> ParseInt64(std::string_view field) {
+  std::string trimmed(TrimString(field));
+  if (trimmed.empty()) {
+    return Status::ParseError("empty field where an integer was expected");
+  }
+  errno = 0;
+  char* end = nullptr;
+  long long value = std::strtoll(trimmed.c_str(), &end, 10);
+  if (errno == ERANGE) {
+    return Status::ParseError("integer overflow in field '" + trimmed + "'");
+  }
+  if (end != trimmed.c_str() + trimmed.size()) {
+    return Status::ParseError("trailing characters in integer field '" +
+                              trimmed + "'");
+  }
+  return static_cast<int64_t>(value);
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace csd

@@ -1,0 +1,32 @@
+#ifndef CSD_UTIL_STRINGS_H_
+#define CSD_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace csd {
+
+/// Splits `input` on `delim`, keeping empty fields. "a,,b" -> {"a","","b"}.
+std::vector<std::string> SplitString(std::string_view input, char delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view TrimString(std::string_view input);
+
+/// Joins the elements of `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// Strict numeric parsers: the whole (trimmed) field must be consumed.
+Result<double> ParseDouble(std::string_view field);
+Result<int64_t> ParseInt64(std::string_view field);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace csd
+
+#endif  // CSD_UTIL_STRINGS_H_

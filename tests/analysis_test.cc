@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include "analysis/corridors.h"
+#include "analysis/demand.h"
+#include "analysis/time_segments.h"
+#include "tests/test_helpers.h"
+
+namespace csd {
+namespace {
+
+using ::csd::testing::MakeStay;
+
+constexpr auto kHome = MajorCategory::kResidence;
+constexpr auto kOffice = MajorCategory::kBusinessOffice;
+constexpr auto kShop = MajorCategory::kShopMarket;
+
+FineGrainedPattern MakePattern(Vec2 from, Vec2 to, Timestamp t0,
+                               size_t support,
+                               MajorCategory from_cat = kHome,
+                               MajorCategory to_cat = kOffice) {
+  FineGrainedPattern p;
+  p.representative.push_back(MakeStay(from.x, from.y, t0, from_cat));
+  p.representative.push_back(
+      MakeStay(to.x, to.y, t0 + 30 * kSecondsPerMinute, to_cat));
+  p.groups.resize(2);
+  for (size_t i = 0; i < support; ++i) {
+    p.groups[0].push_back(MakeStay(from.x + static_cast<double>(i % 5),
+                                   from.y, t0, from_cat));
+    p.groups[1].push_back(MakeStay(to.x, to.y + static_cast<double>(i % 5),
+                                   t0 + 30 * kSecondsPerMinute, to_cat));
+    p.supporting.push_back(static_cast<TrajectoryId>(i));
+  }
+  return p;
+}
+
+// --- Time segments -----------------------------------------------------------
+
+TEST(TimeSegmentsTest, SegmentBoundaries) {
+  // Day 0 (Monday) 08:00 -> weekday morning.
+  EXPECT_EQ(SegmentOfTime(8 * kSecondsPerHour),
+            TimeSegment::kWeekdayMorning);
+  // Monday 13:00 -> weekday afternoon; 18:00 -> weekday night.
+  EXPECT_EQ(SegmentOfTime(13 * kSecondsPerHour),
+            TimeSegment::kWeekdayAfternoon);
+  EXPECT_EQ(SegmentOfTime(18 * kSecondsPerHour),
+            TimeSegment::kWeekdayNight);
+  // Day 5 (Saturday) 09:00 -> weekend morning.
+  EXPECT_EQ(SegmentOfTime(5 * kSecondsPerDay + 9 * kSecondsPerHour),
+            TimeSegment::kWeekendMorning);
+  // Day 6 (Sunday) 20:00 -> weekend night.
+  EXPECT_EQ(SegmentOfTime(6 * kSecondsPerDay + 20 * kSecondsPerHour),
+            TimeSegment::kWeekendNight);
+  // Day 7 wraps to Monday again.
+  EXPECT_EQ(SegmentOfTime(7 * kSecondsPerDay + 8 * kSecondsPerHour),
+            TimeSegment::kWeekdayMorning);
+}
+
+TEST(TimeSegmentsTest, NamesAreDistinct) {
+  std::set<std::string> names;
+  for (int i = 0; i < kNumTimeSegments; ++i) {
+    names.insert(TimeSegmentName(static_cast<TimeSegment>(i)));
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(kNumTimeSegments));
+}
+
+TEST(TimeSegmentsTest, SegmentPatternsBucketsAndRanks) {
+  std::vector<FineGrainedPattern> patterns;
+  patterns.push_back(MakePattern({0, 0}, {5000, 0},
+                                 8 * kSecondsPerHour, 30));  // wd morning
+  patterns.push_back(MakePattern({0, 0}, {5000, 0},
+                                 8 * kSecondsPerHour + 600, 20));
+  patterns.push_back(MakePattern({0, 0}, {3000, 0},
+                                 5 * kSecondsPerDay + 10 * kSecondsPerHour,
+                                 10, kHome, kShop));  // we morning
+
+  auto segments = SegmentPatterns(patterns, 2);
+  const auto& morning =
+      segments[static_cast<int>(TimeSegment::kWeekdayMorning)];
+  EXPECT_EQ(morning.patterns.size(), 2u);
+  EXPECT_EQ(morning.coverage, 50u);
+  ASSERT_FALSE(morning.top_transitions.empty());
+  EXPECT_EQ(morning.top_transitions[0].second, 50u);  // same label summed
+
+  const auto& weekend =
+      segments[static_cast<int>(TimeSegment::kWeekendMorning)];
+  EXPECT_EQ(weekend.patterns.size(), 1u);
+  EXPECT_EQ(weekend.coverage, 10u);
+  EXPECT_TRUE(
+      segments[static_cast<int>(TimeSegment::kWeekendNight)].patterns.empty());
+}
+
+// --- Corridors -----------------------------------------------------------------
+
+TEST(CorridorsTest, MergesSameAndReverseDirections) {
+  std::vector<FineGrainedPattern> patterns;
+  patterns.push_back(MakePattern({0, 0}, {5000, 0}, 8 * 3600, 40));
+  patterns.push_back(
+      MakePattern({50, 0}, {5050, 0}, 9 * 3600, 25));  // same corridor
+  patterns.push_back(
+      MakePattern({5000, 20}, {0, 20}, 18 * 3600, 30, kOffice,
+                  kHome));  // reverse
+  patterns.push_back(MakePattern({9000, 9000}, {12000, 9000}, 8 * 3600,
+                                 15));  // distinct
+
+  auto corridors = AggregateCorridors(patterns);
+  ASSERT_EQ(corridors.size(), 2u);
+  EXPECT_EQ(corridors[0].demand, 95u);  // 40 + 25 + 30, sorted first
+  EXPECT_EQ(corridors[1].demand, 15u);
+}
+
+TEST(CorridorsTest, DropsShortAndNonPairPatterns) {
+  std::vector<FineGrainedPattern> patterns;
+  patterns.push_back(MakePattern({0, 0}, {100, 0}, 8 * 3600, 40));  // 100 m
+  FineGrainedPattern three = MakePattern({0, 0}, {5000, 0}, 8 * 3600, 30);
+  three.representative.push_back(MakeStay(9000, 0, 9 * 3600, kShop));
+  three.groups.emplace_back();
+  patterns.push_back(three);  // length 3: not a corridor
+  EXPECT_TRUE(AggregateCorridors(patterns).empty());
+}
+
+TEST(CorridorsTest, DepartureHoursAndPeak) {
+  auto corridors =
+      AggregateCorridors({MakePattern({0, 0}, {5000, 0}, 8 * 3600, 40)});
+  ASSERT_EQ(corridors.size(), 1u);
+  EXPECT_EQ(corridors[0].PeakHour(), 8);
+  EXPECT_EQ(corridors[0].departure_hours[8], 40u);
+  EXPECT_NEAR(corridors[0].LengthMeters(), 5000.0, 10.0);
+}
+
+TEST(CorridorsTest, StrongestPatternNamesTheCorridor) {
+  std::vector<FineGrainedPattern> patterns;
+  patterns.push_back(MakePattern({0, 0}, {5000, 0}, 8 * 3600, 10, kShop,
+                                 kOffice));
+  patterns.push_back(MakePattern({0, 0}, {5000, 0}, 8 * 3600, 60, kHome,
+                                 kOffice));
+  auto corridors = AggregateCorridors(patterns);
+  ASSERT_EQ(corridors.size(), 1u);
+  EXPECT_NE(corridors[0].label.find("Residence"), std::string::npos);
+}
+
+// --- Demand attribution -----------------------------------------------------------
+
+class DemandTest : public ::testing::Test {
+ protected:
+  DemandTest()
+      : pois_(MakePois()),
+        diagram_(CsdBuilder().Build(pois_, MakeStays())),
+        recognizer_(&diagram_, 100.0) {}
+
+  static std::vector<Poi> MakePois() {
+    std::vector<Poi> pois;
+    auto shop = ::csd::testing::PoiCluster(0, 5000, 0, 10.0, 6, kShop);
+    auto home = ::csd::testing::PoiCluster(6, 0, 0, 10.0, 6, kHome);
+    pois.insert(pois.end(), shop.begin(), shop.end());
+    pois.insert(pois.end(), home.begin(), home.end());
+    for (PoiId i = 0; i < pois.size(); ++i) pois[i].id = i;
+    return pois;
+  }
+
+  static std::vector<StayPoint> MakeStays() {
+    std::vector<StayPoint> stays;
+    for (int i = 0; i < 20; ++i) {
+      stays.emplace_back(Vec2{5000.0 + i % 4, 0.0}, 0);
+      stays.emplace_back(Vec2{static_cast<double>(i % 4), 0.0}, 0);
+    }
+    return stays;
+  }
+
+  PoiDatabase pois_;
+  CitySemanticDiagram diagram_;
+  CsdRecognizer recognizer_;
+};
+
+TEST_F(DemandTest, AttributesShopBoundPatternsToTheShopUnit) {
+  std::vector<FineGrainedPattern> patterns;
+  patterns.push_back(MakePattern({0, 0}, {5000, 0}, 8 * 3600, 40, kHome,
+                                 kShop));
+  patterns.push_back(MakePattern({0, 0}, {5000, 5}, 10 * 3600, 20, kOffice,
+                                 kShop));
+  patterns.push_back(MakePattern({5000, 0}, {0, 0}, 18 * 3600, 50, kShop,
+                                 kHome));  // home-bound: ignored
+
+  auto demand = AttributeDestinationDemand(patterns, recognizer_, kShop);
+  ASSERT_EQ(demand.size(), 1u);
+  EXPECT_EQ(demand[0].inbound, 60u);
+  EXPECT_EQ(demand[0].origins.size(), 2u);
+  EXPECT_EQ(demand[0].arrival_hours[8], 40u);
+  EXPECT_EQ(demand[0].arrival_hours[10], 20u);
+}
+
+TEST_F(DemandTest, EmptyWhenNoTargetPatterns) {
+  std::vector<FineGrainedPattern> patterns;
+  patterns.push_back(MakePattern({5000, 0}, {0, 0}, 18 * 3600, 50, kShop,
+                                 kHome));
+  EXPECT_TRUE(
+      AttributeDestinationDemand(patterns, recognizer_, kShop).empty());
+}
+
+}  // namespace
+}  // namespace csd

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "baseline/roi_recognizer.h"
+#include "baseline/splitter.h"
+#include "tests/test_helpers.h"
+#include "util/rng.h"
+
+namespace csd {
+namespace {
+
+using ::csd::testing::MakePoi;
+using ::csd::testing::MakeStay;
+using ::csd::testing::MakeTrajectory;
+using ::csd::testing::PoiCluster;
+
+constexpr auto kOffice = MajorCategory::kBusinessOffice;
+constexpr auto kHome = MajorCategory::kResidence;
+
+// --- ROI recognizer ------------------------------------------------------------
+
+class RoiTest : public ::testing::Test {
+ protected:
+  RoiTest() : pois_(MakeCity()) {}
+
+  static std::vector<Poi> MakeCity() {
+    std::vector<Poi> pois;
+    auto shops = PoiCluster(0, 0, 0, 20.0, 10, MajorCategory::kShopMarket);
+    auto homes = PoiCluster(10, 2000, 0, 20.0, 10, kHome);
+    pois.insert(pois.end(), shops.begin(), shops.end());
+    pois.insert(pois.end(), homes.begin(), homes.end());
+    pois.push_back(MakePoi(20, 4000, 0, MajorCategory::kMedicalService));
+    return pois;
+  }
+
+  static std::vector<StayPoint> HotStays() {
+    Rng rng(2);
+    std::vector<StayPoint> stays;
+    for (int i = 0; i < 60; ++i) {
+      stays.emplace_back(Vec2{rng.Gaussian(0, 30), rng.Gaussian(0, 30)}, 0);
+    }
+    for (int i = 0; i < 60; ++i) {
+      stays.emplace_back(
+          Vec2{2000 + rng.Gaussian(0, 30), rng.Gaussian(0, 30)}, 0);
+    }
+    return stays;
+  }
+
+  PoiDatabase pois_;
+};
+
+TEST_F(RoiTest, DetectsHotRegions) {
+  RoiOptions options;
+  options.dbscan_eps = 100.0;
+  options.dbscan_min_pts = 10;
+  RoiRecognizer rec(&pois_, HotStays(), options);
+  EXPECT_EQ(rec.regions().size(), 2u);
+}
+
+TEST_F(RoiTest, RegionPropertyFromDominantPois) {
+  RoiOptions options;
+  options.dbscan_eps = 100.0;
+  options.dbscan_min_pts = 10;
+  options.top_categories = 1;
+  RoiRecognizer rec(&pois_, HotStays(), options);
+  SemanticProperty at_shops = rec.Recognize({0, 0});
+  EXPECT_TRUE(at_shops.Contains(MajorCategory::kShopMarket));
+  SemanticProperty at_homes = rec.Recognize({2000, 0});
+  EXPECT_TRUE(at_homes.Contains(kHome));
+}
+
+TEST_F(RoiTest, FallbackToNearestPoiOutsideRegions) {
+  RoiRecognizer rec(&pois_, HotStays(), {});
+  SemanticProperty s = rec.Recognize({4050, 0});
+  EXPECT_TRUE(s.Contains(MajorCategory::kMedicalService));
+}
+
+TEST_F(RoiTest, EmptyBeyondFallbackRadius) {
+  RoiRecognizer rec(&pois_, HotStays(), {});
+  EXPECT_TRUE(rec.Recognize({9000, 9000}).Empty());
+}
+
+TEST_F(RoiTest, NoStaysMeansNoRegions) {
+  RoiRecognizer rec(&pois_, {}, {});
+  EXPECT_TRUE(rec.regions().empty());
+  // Fallback still answers near POIs.
+  EXPECT_FALSE(rec.Recognize({0, 0}).Empty());
+}
+
+TEST_F(RoiTest, TopCategoriesBoundsPropertySize) {
+  RoiOptions options;
+  options.dbscan_eps = 100.0;
+  options.dbscan_min_pts = 10;
+  options.top_categories = 2;
+  RoiRecognizer rec(&pois_, HotStays(), options);
+  for (const auto& region : rec.regions()) {
+    EXPECT_LE(region.property.Size(), 2);
+  }
+}
+
+// --- Splitter / SDBSCAN extractors ---------------------------------------------
+
+void AddCommutePack(SemanticTrajectoryDb* db, Rng* rng, size_t count,
+                    Vec2 home, Vec2 office) {
+  for (size_t i = 0; i < count; ++i) {
+    Timestamp t0 = 8 * kSecondsPerHour +
+                   static_cast<Timestamp>(rng->Gaussian(0, 600));
+    db->push_back(MakeTrajectory(
+        static_cast<TrajectoryId>(db->size()),
+        {MakeStay(home.x + rng->Gaussian(0, 10), home.y + rng->Gaussian(0, 10),
+                  t0, kHome),
+         MakeStay(office.x + rng->Gaussian(0, 10),
+                  office.y + rng->Gaussian(0, 10), t0 + 25 * 60, kOffice)}));
+  }
+}
+
+ExtractionOptions SmallOptions(size_t sigma = 15) {
+  ExtractionOptions options;
+  options.support_threshold = sigma;
+  return options;
+}
+
+TEST(SplitterTest, SplitsTwoCorridors) {
+  Rng rng(11);
+  SemanticTrajectoryDb db;
+  AddCommutePack(&db, &rng, 20, {0, 0}, {5000, 0});
+  AddCommutePack(&db, &rng, 20, {3000, 3000}, {8000, 3000});
+  auto patterns = SplitterExtract(db, SmallOptions(15));
+  ASSERT_EQ(patterns.size(), 2u);
+  EXPECT_EQ(patterns[0].support() + patterns[1].support(), 40u);
+}
+
+TEST(SdbscanTest, SplitsTwoCorridors) {
+  Rng rng(12);
+  SemanticTrajectoryDb db;
+  AddCommutePack(&db, &rng, 20, {0, 0}, {5000, 0});
+  AddCommutePack(&db, &rng, 20, {3000, 3000}, {8000, 3000});
+  auto patterns = SdbscanExtract(db, SmallOptions(15));
+  ASSERT_EQ(patterns.size(), 2u);
+  EXPECT_EQ(patterns[0].support() + patterns[1].support(), 40u);
+}
+
+TEST(SplitterTest, SupportThresholdFiltersSmallModes) {
+  Rng rng(13);
+  SemanticTrajectoryDb db;
+  AddCommutePack(&db, &rng, 20, {0, 0}, {5000, 0});
+  AddCommutePack(&db, &rng, 5, {3000, 3000}, {8000, 3000});  // below σ
+  auto patterns = SplitterExtract(db, SmallOptions(15));
+  ASSERT_EQ(patterns.size(), 1u);
+  EXPECT_EQ(patterns[0].support(), 20u);
+}
+
+TEST(SdbscanTest, TemporalConstraintApplies) {
+  Rng rng(14);
+  SemanticTrajectoryDb db;
+  AddCommutePack(&db, &rng, 20, {0, 0}, {5000, 0});
+  // Slow trips: same corridor, 3-hour leg.
+  for (int i = 0; i < 20; ++i) {
+    db.push_back(MakeTrajectory(
+        static_cast<TrajectoryId>(db.size()),
+        {MakeStay(rng.Gaussian(0, 10), 0, 8 * 3600, kHome),
+         MakeStay(5000 + rng.Gaussian(0, 10), 0, 8 * 3600 + 3 * 3600,
+                  kOffice)}));
+  }
+  auto patterns = SdbscanExtract(db, SmallOptions(15));
+  ASSERT_EQ(patterns.size(), 1u);
+  EXPECT_EQ(patterns[0].support(), 20u);
+}
+
+TEST(SplitterTest, DensityThresholdApplies) {
+  Rng rng(15);
+  SemanticTrajectoryDb db;
+  for (int i = 0; i < 40; ++i) {
+    db.push_back(MakeTrajectory(
+        static_cast<TrajectoryId>(i),
+        {MakeStay(rng.Uniform(0, 4000), rng.Uniform(0, 4000), 8 * 3600,
+                  kHome),
+         MakeStay(9000 + rng.Uniform(0, 4000), rng.Uniform(0, 4000),
+                  8 * 3600 + 1800, kOffice)}));
+  }
+  ExtractionOptions options = SmallOptions(10);
+  options.density_threshold = 0.002;
+  SplitterOptions splitter;
+  splitter.bandwidth = 5000.0;  // one giant mode: density must reject it
+  EXPECT_TRUE(SplitterExtract(db, options, splitter).empty());
+}
+
+TEST(SplitterTest, EmptyDatabase) {
+  EXPECT_TRUE(SplitterExtract({}, SmallOptions(5)).empty());
+  EXPECT_TRUE(SdbscanExtract({}, SmallOptions(5)).empty());
+}
+
+}  // namespace
+}  // namespace csd

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/semantic_recognition.h"
+#include "io/binary_io.h"
+#include "tests/test_helpers.h"
+
+namespace csd {
+namespace {
+
+using ::csd::testing::PoiCluster;
+
+class BinaryIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("csd_bin_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+std::vector<TaxiJourney> SampleJourneys() {
+  std::vector<TaxiJourney> journeys(3);
+  journeys[0].pickup = GpsPoint({1.5, 2.5}, 100);
+  journeys[0].dropoff = GpsPoint({3.5, 4.5}, 700);
+  journeys[0].passenger = 42;
+  journeys[1].pickup = GpsPoint({-5, 6}, 800);
+  journeys[1].dropoff = GpsPoint({7, -8}, 900);
+  journeys[1].passenger = kNoPassenger;
+  journeys[2].pickup = GpsPoint({0.125, 0.25}, 1000);
+  journeys[2].dropoff = GpsPoint({0.5, 0.75}, 1100);
+  journeys[2].passenger = 7;
+  return journeys;
+}
+
+TEST_F(BinaryIoTest, JourneyRoundTripExact) {
+  auto journeys = SampleJourneys();
+  std::string path = Path("j.bin");
+  ASSERT_TRUE(WriteJourneysBinary(path, journeys).ok());
+  auto loaded = ReadJourneysBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), journeys.size());
+  for (size_t i = 0; i < journeys.size(); ++i) {
+    EXPECT_EQ(loaded.value()[i].pickup.position,
+              journeys[i].pickup.position);  // bit-exact, unlike CSV
+    EXPECT_EQ(loaded.value()[i].dropoff.position,
+              journeys[i].dropoff.position);
+    EXPECT_EQ(loaded.value()[i].pickup.time, journeys[i].pickup.time);
+    EXPECT_EQ(loaded.value()[i].dropoff.time, journeys[i].dropoff.time);
+    EXPECT_EQ(loaded.value()[i].passenger, journeys[i].passenger);
+  }
+}
+
+TEST_F(BinaryIoTest, EmptyJourneyFile) {
+  std::string path = Path("empty.bin");
+  ASSERT_TRUE(WriteJourneysBinary(path, {}).ok());
+  auto loaded = ReadJourneysBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().empty());
+}
+
+TEST_F(BinaryIoTest, RejectsWrongMagic) {
+  std::string path = Path("junk.bin");
+  std::ofstream(path, std::ios::binary) << "NOTAMAGICFILE";
+  auto loaded = ReadJourneysBinary(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(BinaryIoTest, RejectsTruncatedFile) {
+  std::string path = Path("trunc.bin");
+  ASSERT_TRUE(WriteJourneysBinary(path, SampleJourneys()).ok());
+  auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 10);
+  auto loaded = ReadJourneysBinary(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(BinaryIoTest, MissingFileIsIoError) {
+  auto loaded = ReadJourneysBinary(Path("nope.bin"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+class CsdSnapshotTest : public BinaryIoTest {
+ protected:
+  CsdSnapshotTest() : pois_(MakePois()) {}
+
+  static std::vector<Poi> MakePois() {
+    std::vector<Poi> pois;
+    auto a = PoiCluster(0, 0, 0, 12.0, 6, MajorCategory::kShopMarket);
+    auto b = PoiCluster(6, 800, 0, 12.0, 6, MajorCategory::kResidence);
+    pois.insert(pois.end(), a.begin(), a.end());
+    pois.insert(pois.end(), b.begin(), b.end());
+    for (PoiId i = 0; i < pois.size(); ++i) pois[i].id = i;
+    return pois;
+  }
+
+  static std::vector<StayPoint> MakeStays() {
+    std::vector<StayPoint> stays;
+    for (int i = 0; i < 25; ++i) {
+      stays.emplace_back(Vec2{static_cast<double>(i % 5), 0.0}, 0);
+      stays.emplace_back(Vec2{800.0 + i % 5, 0.0}, 0);
+    }
+    return stays;
+  }
+
+  PoiDatabase pois_;
+};
+
+TEST_F(CsdSnapshotTest, RoundTripPreservesStructure) {
+  CitySemanticDiagram original = CsdBuilder().Build(pois_, MakeStays());
+  std::string path = Path("csd.bin");
+  ASSERT_TRUE(WriteCsdBinary(path, original).ok());
+
+  auto loaded = ReadCsdBinary(path, pois_);
+  ASSERT_TRUE(loaded.ok());
+  const CitySemanticDiagram& copy = loaded.value();
+  ASSERT_EQ(copy.num_units(), original.num_units());
+  for (UnitId u = 0; u < original.num_units(); ++u) {
+    EXPECT_EQ(copy.unit(u).pois, original.unit(u).pois);
+    EXPECT_DOUBLE_EQ(copy.unit(u).total_popularity,
+                     original.unit(u).total_popularity);
+    EXPECT_EQ(copy.unit(u).property.bits(), original.unit(u).property.bits());
+  }
+  for (PoiId p = 0; p < pois_.size(); ++p) {
+    EXPECT_EQ(copy.UnitOfPoi(p), original.UnitOfPoi(p));
+    EXPECT_DOUBLE_EQ(copy.Popularity(p), original.Popularity(p));
+  }
+}
+
+TEST_F(CsdSnapshotTest, LoadedDiagramRecognizesIdentically) {
+  CitySemanticDiagram original = CsdBuilder().Build(pois_, MakeStays());
+  std::string path = Path("csd.bin");
+  ASSERT_TRUE(WriteCsdBinary(path, original).ok());
+  auto loaded = ReadCsdBinary(path, pois_);
+  ASSERT_TRUE(loaded.ok());
+
+  CsdRecognizer rec_a(&original, 100.0);
+  CsdRecognizer rec_b(&loaded.value(), 100.0);
+  for (double x : {-50.0, 0.0, 400.0, 800.0, 900.0}) {
+    EXPECT_EQ(rec_a.Recognize({x, 0.0}).bits(),
+              rec_b.Recognize({x, 0.0}).bits());
+  }
+}
+
+TEST_F(CsdSnapshotTest, RejectsMismatchedPoiDatabase) {
+  CitySemanticDiagram original = CsdBuilder().Build(pois_, MakeStays());
+  std::string path = Path("csd.bin");
+  ASSERT_TRUE(WriteCsdBinary(path, original).ok());
+
+  PoiDatabase other(PoiCluster(0, 0, 0, 12.0, 5,
+                               MajorCategory::kShopMarket));
+  auto loaded = ReadCsdBinary(path, other);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace csd

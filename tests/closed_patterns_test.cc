@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "seqmine/prefix_span.h"
+#include "util/rng.h"
+
+namespace csd {
+namespace {
+
+TEST(ClosedPatternsTest, SubsumedPatternDropped) {
+  // Every sequence is (1,2,3): the sub-patterns (1,2), (2,3), (1,3) have
+  // the same support as (1,2,3) and must be dropped.
+  std::vector<Sequence> db = {{1, 2, 3}, {1, 2, 3}, {1, 2, 3}};
+  PrefixSpanOptions options;
+  options.min_support = 2;
+  options.min_length = 2;
+  options.max_length = 3;
+  options.closed_only = true;
+  auto patterns = PrefixSpan(db, options);
+  ASSERT_EQ(patterns.size(), 1u);
+  EXPECT_EQ(patterns[0].items, (std::vector<Item>{1, 2, 3}));
+  EXPECT_EQ(patterns[0].support(), 3u);
+}
+
+TEST(ClosedPatternsTest, DistinctSupportSurvives) {
+  // (1,2) is more frequent than (1,2,3): both are closed.
+  std::vector<Sequence> db = {{1, 2, 3}, {1, 2, 3}, {1, 2}, {1, 2}};
+  PrefixSpanOptions options;
+  options.min_support = 2;
+  options.min_length = 2;
+  options.max_length = 3;
+  options.closed_only = true;
+  auto patterns = PrefixSpan(db, options);
+  std::set<std::vector<Item>> items;
+  for (const auto& p : patterns) items.insert(p.items);
+  EXPECT_TRUE(items.count({1, 2}));
+  EXPECT_TRUE(items.count({1, 2, 3}));
+  EXPECT_FALSE(items.count({2, 3}));  // same support as (1,2,3): subsumed
+}
+
+TEST(ClosedPatternsTest, ClosedSetIsSubsetWithSameInformation) {
+  // Property: the closed output (a) is a subset of the full output, and
+  // (b) every dropped pattern embeds in some closed pattern of identical
+  // support.
+  Rng rng(55);
+  std::vector<Sequence> db;
+  for (int s = 0; s < 60; ++s) {
+    Sequence seq;
+    int len = static_cast<int>(rng.UniformInt(2, 6));
+    for (int i = 0; i < len; ++i) {
+      seq.push_back(static_cast<Item>(rng.UniformInt(0, 3)));
+    }
+    db.push_back(seq);
+  }
+  PrefixSpanOptions options;
+  options.min_support = 5;
+  options.min_length = 2;
+  options.max_length = 4;
+  auto all = PrefixSpan(db, options);
+  options.closed_only = true;
+  auto closed = PrefixSpan(db, options);
+  EXPECT_LE(closed.size(), all.size());
+
+  std::map<std::vector<Item>, size_t> closed_support;
+  for (const auto& p : closed) closed_support[p.items] = p.support();
+
+  for (const auto& p : all) {
+    if (closed_support.count(p.items)) continue;  // survived
+    bool represented = false;
+    for (const auto& c : closed) {
+      if (c.support() == p.support() &&
+          c.items.size() > p.items.size() &&
+          FindEmbedding(c.items, p.items).has_value()) {
+        represented = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(represented)
+        << "dropped pattern lost information (support " << p.support()
+        << ")";
+  }
+}
+
+TEST(ClosedPatternsTest, NoEffectWhenAllClosed) {
+  std::vector<Sequence> db = {{1, 2}, {3, 4}, {1, 2}, {3, 4}};
+  PrefixSpanOptions options;
+  options.min_support = 2;
+  options.min_length = 2;
+  options.closed_only = true;
+  EXPECT_EQ(PrefixSpan(db, options).size(), 2u);
+}
+
+}  // namespace
+}  // namespace csd

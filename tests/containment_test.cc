@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "core/containment.h"
+#include "tests/test_helpers.h"
+
+namespace csd {
+namespace {
+
+using ::csd::testing::MakeStay;
+using ::csd::testing::MakeTrajectory;
+
+constexpr auto kOffice = MajorCategory::kBusinessOffice;
+constexpr auto kHome = MajorCategory::kResidence;
+constexpr auto kRestaurant = MajorCategory::kRestaurant;
+
+ContainmentParams Params(double eps = 100.0,
+                         Timestamp delta = 60 * kSecondsPerMinute) {
+  ContainmentParams p;
+  p.epsilon = eps;
+  p.delta_t = delta;
+  return p;
+}
+
+/// The paper's Figure 1: four Office→Home→Restaurant trajectories, each
+/// shifted `step` meters from the previous one so that consecutive
+/// trajectories are within ε but distant ones are not.
+SemanticTrajectoryDb FigureOneChain(double step, double eps) {
+  (void)eps;
+  SemanticTrajectoryDb db;
+  for (int i = 0; i < 4; ++i) {
+    double off = i * step;
+    db.push_back(MakeTrajectory(
+        static_cast<TrajectoryId>(i),
+        {MakeStay(0 + off, 0, 8 * kSecondsPerHour + i * 60, kOffice),
+         MakeStay(2000 + off, 0, 8 * kSecondsPerHour + 30 * 60 + i * 60,
+                  kHome),
+         MakeStay(4000 + off, 0, 9 * kSecondsPerHour + i * 60,
+                  kRestaurant)}));
+  }
+  return db;
+}
+
+TEST(ContainmentTest, DirectContainmentHolds) {
+  auto db = FigureOneChain(80.0, 100.0);
+  EXPECT_TRUE(Contains(db[0], db[1], Params()));
+  EXPECT_TRUE(Contains(db[1], db[0], Params()));  // symmetric geometry here
+}
+
+TEST(ContainmentTest, DistantTrajectoriesNotDirectlyContained) {
+  auto db = FigureOneChain(80.0, 100.0);
+  // ST0 vs ST2: 160 m apart > ε = 100.
+  EXPECT_FALSE(Contains(db[0], db[2], Params()));
+  EXPECT_FALSE(Contains(db[0], db[3], Params()));
+}
+
+TEST(ContainmentTest, FigureOneReachableChain) {
+  auto db = FigureOneChain(80.0, 100.0);
+  // ST1 ⊇ ST2 ⊇ ST3 ⊇ ST4 directly; ST1 reachable-contains ST3 and ST4.
+  EXPECT_TRUE(ReachableContains(db[0], db[2], db, Params()));
+  EXPECT_TRUE(ReachableContains(db[0], db[3], db, Params()));
+  EXPECT_TRUE(ReachableContains(db[1], db[3], db, Params()));
+}
+
+TEST(ContainmentTest, SemanticSupersetRequired) {
+  // Outer stay has {Office, Shop}; inner needs Office: contained. The
+  // reverse direction fails (Office alone is no superset of the pair).
+  SemanticTrajectory outer = MakeTrajectory(
+      0, {StayPoint({0, 0}, 0,
+                    SemanticProperty{kOffice, MajorCategory::kShopMarket}),
+          MakeStay(1000, 0, 1800, kHome)});
+  SemanticTrajectory inner =
+      MakeTrajectory(1, {MakeStay(0, 0, 0, kOffice),
+                         MakeStay(1000, 0, 1800, kHome)});
+  EXPECT_TRUE(Contains(outer, inner, Params()));
+  EXPECT_FALSE(Contains(inner, outer, Params()));
+}
+
+TEST(ContainmentTest, TemporalGapOnOuterSideMatters) {
+  // Same places, but the outer trajectory's stays are 3 hours apart while
+  // δ_t = 1 hour.
+  SemanticTrajectory outer = MakeTrajectory(
+      0, {MakeStay(0, 0, 0, kOffice),
+          MakeStay(1000, 0, 3 * kSecondsPerHour, kHome)});
+  SemanticTrajectory inner =
+      MakeTrajectory(1, {MakeStay(0, 0, 0, kOffice),
+                         MakeStay(1000, 0, 1800, kHome)});
+  EXPECT_FALSE(Contains(outer, inner, Params()));
+}
+
+TEST(ContainmentTest, TemporalGapOnInnerSideMatters) {
+  SemanticTrajectory outer =
+      MakeTrajectory(0, {MakeStay(0, 0, 0, kOffice),
+                         MakeStay(1000, 0, 1800, kHome)});
+  SemanticTrajectory inner = MakeTrajectory(
+      1, {MakeStay(0, 0, 0, kOffice),
+          MakeStay(1000, 0, 3 * kSecondsPerHour, kHome)});
+  EXPECT_FALSE(Contains(outer, inner, Params()));
+}
+
+TEST(ContainmentTest, SubsequenceSkipsIrrelevantStays) {
+  // Outer: Office, Shop, Home. Inner: Office, Home. The witness skips the
+  // shop stop (gaps still within δ_t).
+  SemanticTrajectory outer = MakeTrajectory(
+      0, {MakeStay(0, 0, 0, kOffice),
+          MakeStay(5000, 0, 20 * 60, MajorCategory::kShopMarket),
+          MakeStay(1000, 0, 40 * 60, kHome)});
+  SemanticTrajectory inner =
+      MakeTrajectory(1, {MakeStay(0, 0, 0, kOffice),
+                         MakeStay(1000, 0, 30 * 60, kHome)});
+  auto witness = FindContainmentWitness(outer, inner, Params());
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(*witness, (std::vector<size_t>{0, 2}));
+}
+
+TEST(ContainmentTest, LongerInnerNeverContained) {
+  SemanticTrajectory outer =
+      MakeTrajectory(0, {MakeStay(0, 0, 0, kOffice)});
+  SemanticTrajectory inner =
+      MakeTrajectory(1, {MakeStay(0, 0, 0, kOffice),
+                         MakeStay(10, 0, 60, kHome)});
+  EXPECT_FALSE(Contains(outer, inner, Params()));
+}
+
+TEST(CounterpartTest, DirectCounterpartReturnsWitnessStays) {
+  auto db = FigureOneChain(80.0, 100.0);
+  auto cp = Counterpart(db[1], db[0], db, Params());
+  ASSERT_EQ(cp.size(), 3u);
+  EXPECT_DOUBLE_EQ(cp[0].position.x, 80.0);
+  EXPECT_DOUBLE_EQ(cp[1].position.x, 2080.0);
+  EXPECT_DOUBLE_EQ(cp[2].position.x, 4080.0);
+}
+
+TEST(CounterpartTest, ChainedCounterpartUsesIntermediates) {
+  auto db = FigureOneChain(80.0, 100.0);
+  // ST3 (240 m away) cannot directly match ST0, but chains through
+  // ST1/ST2 reach it: CP(ST3, ST0) = ST3's own stays.
+  auto cp = Counterpart(db[3], db[0], db, Params());
+  ASSERT_EQ(cp.size(), 3u);
+  EXPECT_DOUBLE_EQ(cp[0].position.x, 240.0);
+}
+
+TEST(CounterpartTest, EmptyWhenUnreachable) {
+  auto db = FigureOneChain(300.0, 100.0);  // consecutive gaps 300 > ε
+  auto cp = Counterpart(db[2], db[0], db, Params());
+  EXPECT_TRUE(cp.empty());
+}
+
+TEST(GroupTest, FigureOneGroups) {
+  auto db = FigureOneChain(80.0, 100.0);
+  auto groups = ComputeGroups(db[0], db, Params());
+  ASSERT_EQ(groups.size(), 3u);
+  // Group(sp_j) = {sp_j} ∪ counterparts from ST1..ST4 (ST0 matches itself
+  // too, giving 5 entries: the pattern's own stay plus 4 trajectories).
+  EXPECT_EQ(groups[0].size(), 5u);
+  EXPECT_EQ(groups[1].size(), 5u);
+  EXPECT_EQ(groups[2].size(), 5u);
+}
+
+TEST(GroupTest, SupportCountsContainingTrajectories) {
+  auto db = FigureOneChain(80.0, 100.0);
+  EXPECT_EQ(PatternSupport(db[0], db, Params()), 4u);
+  auto far = FigureOneChain(300.0, 100.0);
+  EXPECT_EQ(PatternSupport(far[0], far, Params()), 1u);  // only itself
+}
+
+TEST(GroupTest, EmptyDatabase) {
+  auto db = FigureOneChain(80.0, 100.0);
+  SemanticTrajectoryDb empty;
+  auto groups = ComputeGroups(db[0], empty, Params());
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0].size(), 1u);  // just the pattern's own stay
+}
+
+TEST(ContainmentTest, EpsilonBoundaryInclusive) {
+  SemanticTrajectory outer =
+      MakeTrajectory(0, {MakeStay(100, 0, 0, kOffice),
+                         MakeStay(1100, 0, 1800, kHome)});
+  SemanticTrajectory inner =
+      MakeTrajectory(1, {MakeStay(0, 0, 0, kOffice),
+                         MakeStay(1000, 0, 1800, kHome)});
+  EXPECT_TRUE(Contains(outer, inner, Params(100.0)));
+  EXPECT_FALSE(Contains(outer, inner, Params(99.9)));
+}
+
+}  // namespace
+}  // namespace csd

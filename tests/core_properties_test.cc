@@ -1,0 +1,215 @@
+// Randomized property tests over the core pipeline: invariants that must
+// hold for any input, checked across seeds via TEST_P sweeps.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/city_semantic_diagram.h"
+#include "core/containment.h"
+#include "core/counterpart_cluster.h"
+#include "core/popularity_clustering.h"
+#include "core/purification.h"
+#include "core/semantic_recognition.h"
+#include "tests/test_helpers.h"
+#include "util/rng.h"
+
+namespace csd {
+namespace {
+
+using ::csd::testing::MakeStay;
+using ::csd::testing::MakeTrajectory;
+
+/// A random mini-city: POI blobs of random category at random locations.
+std::vector<Poi> RandomCity(Rng* rng, size_t blobs = 12,
+                            size_t per_blob = 8) {
+  std::vector<Poi> pois;
+  for (size_t b = 0; b < blobs; ++b) {
+    Vec2 center{rng->Uniform(0, 4000), rng->Uniform(0, 4000)};
+    auto major = static_cast<MajorCategory>(
+        rng->UniformInt(0, kNumMajorCategories - 1));
+    for (size_t i = 0; i < per_blob; ++i) {
+      pois.push_back(::csd::testing::MakePoi(
+          static_cast<PoiId>(pois.size()),
+          center.x + rng->Gaussian(0, 10), center.y + rng->Gaussian(0, 10),
+          major));
+    }
+  }
+  return pois;
+}
+
+std::vector<StayPoint> RandomStays(Rng* rng, size_t count = 300) {
+  std::vector<StayPoint> stays;
+  for (size_t i = 0; i < count; ++i) {
+    stays.emplace_back(Vec2{rng->Uniform(0, 4000), rng->Uniform(0, 4000)},
+                       static_cast<Timestamp>(rng->UniformInt(0, 86400)));
+  }
+  return stays;
+}
+
+class PipelinePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PipelinePropertyTest, ClusteringPartitionsThePoiSet) {
+  Rng rng(GetParam());
+  PoiDatabase pois(RandomCity(&rng));
+  PopularityModel popularity(pois, RandomStays(&rng), 100.0);
+  auto result = PopularityBasedClustering(pois, popularity, {});
+
+  std::vector<int> seen(pois.size(), 0);
+  for (const auto& cluster : result.clusters) {
+    EXPECT_GE(cluster.size(), PopularityClusteringOptions{}.min_pts);
+    for (PoiId pid : cluster) seen[pid]++;
+  }
+  for (PoiId pid : result.unclustered) seen[pid]++;
+  for (int count : seen) EXPECT_EQ(count, 1);  // exact partition
+}
+
+TEST_P(PipelinePropertyTest, PurificationPreservesPois) {
+  Rng rng(GetParam() + 100);
+  PoiDatabase pois(RandomCity(&rng));
+  PopularityModel popularity(pois, RandomStays(&rng), 100.0);
+  auto coarse = PopularityBasedClustering(pois, popularity, {});
+  size_t before = 0;
+  for (const auto& c : coarse.clusters) before += c.size();
+
+  auto units = SemanticPurification(coarse.clusters, pois, {});
+  size_t after = 0;
+  std::set<PoiId> distinct;
+  for (const auto& u : units) {
+    EXPECT_FALSE(u.empty());
+    after += u.size();
+    distinct.insert(u.begin(), u.end());
+  }
+  EXPECT_EQ(after, before);
+  EXPECT_EQ(distinct.size(), before);
+}
+
+TEST_P(PipelinePropertyTest, DiagramInvariants) {
+  Rng rng(GetParam() + 200);
+  PoiDatabase pois(RandomCity(&rng));
+  CitySemanticDiagram diagram = CsdBuilder().Build(pois, RandomStays(&rng));
+
+  // Units are disjoint, lookup is consistent, derived stats in range.
+  std::vector<int> owner(pois.size(), 0);
+  for (const SemanticUnit& unit : diagram.units()) {
+    EXPECT_GE(unit.size(), 1u);
+    EXPECT_FALSE(unit.property.Empty());
+    double total = 0.0;
+    for (int c = 0; c < kNumMajorCategories; ++c) {
+      double pr = unit.CategoryProbability(static_cast<MajorCategory>(c));
+      EXPECT_GE(pr, 0.0);
+      EXPECT_LE(pr, 1.0 + 1e-12);
+      total += pr;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    for (PoiId pid : unit.pois) {
+      owner[pid]++;
+      EXPECT_EQ(diagram.UnitOfPoi(pid), unit.id);
+    }
+  }
+  for (int count : owner) EXPECT_LE(count, 1);
+  EXPECT_GE(diagram.CoverageRatio(), 0.0);
+  EXPECT_LE(diagram.CoverageRatio(), 1.0);
+  EXPECT_LE(diagram.MeanUnitPurity(), 1.0);
+}
+
+TEST_P(PipelinePropertyTest, RecognitionIsDeterministicAndLocal) {
+  Rng rng(GetParam() + 300);
+  PoiDatabase pois(RandomCity(&rng));
+  CitySemanticDiagram diagram = CsdBuilder().Build(pois, RandomStays(&rng));
+  CsdRecognizer recognizer(&diagram, 100.0);
+
+  for (int i = 0; i < 50; ++i) {
+    Vec2 p{rng.Uniform(-500, 4500), rng.Uniform(-500, 4500)};
+    SemanticProperty a = recognizer.Recognize(p);
+    SemanticProperty b = recognizer.Recognize(p);
+    EXPECT_EQ(a.bits(), b.bits());  // deterministic
+
+    if (!a.Empty()) {
+      // Locality: some unit POI must be within the recognition radius.
+      bool near = false;
+      pois.ForEachInRange(p, 100.0, [&](PoiId pid) {
+        if (diagram.UnitOfPoi(pid) != kNoUnit) near = true;
+      });
+      EXPECT_TRUE(near);
+    }
+  }
+}
+
+TEST_P(PipelinePropertyTest, ExtractionRespectsThresholds) {
+  Rng rng(GetParam() + 400);
+  // Random commute corridors.
+  SemanticTrajectoryDb db;
+  for (int corridor = 0; corridor < 4; ++corridor) {
+    Vec2 from{rng.Uniform(0, 3000), rng.Uniform(0, 3000)};
+    Vec2 to{rng.Uniform(5000, 9000), rng.Uniform(0, 3000)};
+    int count = static_cast<int>(rng.UniformInt(5, 40));
+    for (int i = 0; i < count; ++i) {
+      Timestamp t0 = 8 * kSecondsPerHour +
+                     static_cast<Timestamp>(rng.Gaussian(0, 900));
+      db.push_back(MakeTrajectory(
+          static_cast<TrajectoryId>(db.size()),
+          {MakeStay(from.x + rng.Gaussian(0, 12),
+                    from.y + rng.Gaussian(0, 12), t0,
+                    MajorCategory::kResidence),
+           MakeStay(to.x + rng.Gaussian(0, 12), to.y + rng.Gaussian(0, 12),
+                    t0 + 25 * 60, MajorCategory::kBusinessOffice)}));
+    }
+  }
+  ExtractionOptions options;
+  options.support_threshold = 20;
+  auto patterns = CounterpartClusterExtract(db, options);
+  std::set<TrajectoryId> used;
+  for (const auto& p : patterns) {
+    EXPECT_GE(p.support(), options.support_threshold);
+    ASSERT_EQ(p.groups.size(), p.length());
+    for (size_t k = 0; k < p.length(); ++k) {
+      EXPECT_EQ(p.groups[k].size(), p.support());
+      EXPECT_FALSE(p.representative[k].semantic.Empty());
+    }
+    for (TrajectoryId tid : p.supporting) {
+      EXPECT_TRUE(used.insert(tid).second)
+          << "trajectory supports two patterns of one coarse pattern set";
+    }
+  }
+}
+
+TEST_P(PipelinePropertyTest, ContainmentIsReflexiveAndMonotone) {
+  Rng rng(GetParam() + 500);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Random short semantic trajectory with δ_t-respecting gaps.
+    SemanticTrajectory st;
+    st.id = 1;
+    Timestamp t = 0;
+    int n = static_cast<int>(rng.UniformInt(1, 5));
+    for (int i = 0; i < n; ++i) {
+      t += static_cast<Timestamp>(rng.UniformInt(60, 3000));
+      st.stays.push_back(MakeStay(
+          rng.Uniform(0, 5000), rng.Uniform(0, 5000), t,
+          static_cast<MajorCategory>(rng.UniformInt(0, 14))));
+    }
+    ContainmentParams params;
+    params.delta_t = 3600;
+    EXPECT_TRUE(Contains(st, st, params));  // reflexive
+
+    // Growing ε can only preserve containment.
+    SemanticTrajectory other = st;
+    for (StayPoint& sp : other.stays) {
+      sp.position.x += rng.Uniform(-80, 80);
+      sp.position.y += rng.Uniform(-80, 80);
+    }
+    ContainmentParams strict = params;
+    strict.epsilon = 120.0;
+    ContainmentParams loose = params;
+    loose.epsilon = 400.0;
+    if (Contains(st, other, strict)) {
+      EXPECT_TRUE(Contains(st, other, loose));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelinePropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace csd

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "core/city_semantic_diagram.h"
+#include "core/semantic_recognition.h"
+#include "tests/test_helpers.h"
+#include "util/rng.h"
+
+namespace csd {
+namespace {
+
+using ::csd::testing::MakePoi;
+using ::csd::testing::PoiCluster;
+
+/// A micro city: a shop street at (0,0), a residential block at (600,0),
+/// a hospital at (0,600), and a skyscraper at (600,600).
+std::vector<Poi> MicroCity() {
+  std::vector<Poi> pois;
+  auto add = [&pois](std::vector<Poi> group) {
+    for (Poi& p : group) {
+      p.id = static_cast<PoiId>(pois.size());
+      pois.push_back(p);
+    }
+  };
+  add(PoiCluster(0, 0, 0, 15.0, 8, MajorCategory::kShopMarket));
+  add(PoiCluster(0, 600, 0, 15.0, 8, MajorCategory::kResidence));
+  add(PoiCluster(0, 0, 600, 12.0, 6, MajorCategory::kMedicalService));
+  // Skyscraper: mixed categories, near-identical locations.
+  add({MakePoi(0, 600, 600, MajorCategory::kBusinessOffice),
+       MakePoi(0, 602, 600, MajorCategory::kBusinessOffice),
+       MakePoi(0, 600, 602, MajorCategory::kShopMarket),
+       MakePoi(0, 602, 602, MajorCategory::kRestaurant),
+       MakePoi(0, 601, 601, MajorCategory::kTrafficStation)});
+  return pois;
+}
+
+/// Stay points around every block so each POI accumulates popularity.
+std::vector<StayPoint> MicroStays() {
+  std::vector<StayPoint> stays;
+  for (Vec2 center : {Vec2{0, 0}, Vec2{600, 0}, Vec2{0, 600},
+                      Vec2{600, 600}}) {
+    for (int i = 0; i < 20; ++i) {
+      stays.emplace_back(Vec2{center.x + (i % 5) * 4.0,
+                              center.y + (i / 5) * 4.0},
+                         i * 60);
+    }
+  }
+  return stays;
+}
+
+class CsdBuilderTest : public ::testing::Test {
+ protected:
+  CsdBuilderTest() : pois_(MicroCity()) {}
+
+  PoiDatabase pois_;
+};
+
+TEST_F(CsdBuilderTest, BuildsOneUnitPerBlock) {
+  CitySemanticDiagram diagram = CsdBuilder().Build(pois_, MicroStays());
+  EXPECT_EQ(diagram.num_units(), 4u);
+  EXPECT_DOUBLE_EQ(diagram.CoverageRatio(), 1.0);
+}
+
+TEST_F(CsdBuilderTest, UnitLookupIsConsistent) {
+  CitySemanticDiagram diagram = CsdBuilder().Build(pois_, MicroStays());
+  for (const SemanticUnit& unit : diagram.units()) {
+    for (PoiId pid : unit.pois) {
+      EXPECT_EQ(diagram.UnitOfPoi(pid), unit.id);
+    }
+  }
+}
+
+TEST_F(CsdBuilderTest, SkyscraperUnitKeepsMixedSemantics) {
+  CitySemanticDiagram diagram = CsdBuilder().Build(pois_, MicroStays());
+  // The unit containing POI 22 (the skyscraper) must carry several
+  // categories.
+  UnitId uid = diagram.UnitOfPoi(22);
+  ASSERT_NE(uid, kNoUnit);
+  EXPECT_GE(diagram.unit(uid).property.Size(), 3);
+}
+
+TEST_F(CsdBuilderTest, PurityHighForSingleCategoryBlocks) {
+  CitySemanticDiagram diagram = CsdBuilder().Build(pois_, MicroStays());
+  // 3 pure blocks + 1 mixed tower: mean purity well above 0.7.
+  EXPECT_GT(diagram.MeanUnitPurity(), 0.7);
+}
+
+TEST_F(CsdBuilderTest, NoStaysStillProducesDiagram) {
+  // Zero popularity everywhere: clustering still groups by semantics.
+  CitySemanticDiagram diagram = CsdBuilder().Build(pois_, {});
+  EXPECT_GT(diagram.num_units(), 0u);
+}
+
+TEST(CsdDiagramTest, EmptyCity) {
+  PoiDatabase pois(std::vector<Poi>{});
+  CitySemanticDiagram diagram = CsdBuilder().Build(pois, {});
+  EXPECT_EQ(diagram.num_units(), 0u);
+  EXPECT_DOUBLE_EQ(diagram.CoverageRatio(), 0.0);
+  EXPECT_DOUBLE_EQ(diagram.MeanUnitPurity(), 0.0);
+}
+
+// --- Recognition (Algorithm 3) -------------------------------------------------
+
+class RecognitionTest : public ::testing::Test {
+ protected:
+  RecognitionTest()
+      : pois_(MicroCity()),
+        diagram_(CsdBuilder().Build(pois_, MicroStays())),
+        recognizer_(&diagram_, 100.0) {}
+
+  PoiDatabase pois_;
+  CitySemanticDiagram diagram_;
+  CsdRecognizer recognizer_;
+};
+
+TEST_F(RecognitionTest, StayAtShopStreetIsShop) {
+  SemanticProperty s = recognizer_.Recognize({5, 5});
+  EXPECT_TRUE(s.Contains(MajorCategory::kShopMarket));
+  EXPECT_FALSE(s.Contains(MajorCategory::kResidence));
+}
+
+TEST_F(RecognitionTest, StayAtHospitalIsMedical) {
+  SemanticProperty s = recognizer_.Recognize({0, 595});
+  EXPECT_TRUE(s.Contains(MajorCategory::kMedicalService));
+}
+
+TEST_F(RecognitionTest, StayAtSkyscraperGetsUnionOfTags) {
+  SemanticProperty s = recognizer_.Recognize({601, 601});
+  EXPECT_TRUE(s.Contains(MajorCategory::kBusinessOffice));
+  EXPECT_TRUE(s.Contains(MajorCategory::kShopMarket));
+  EXPECT_TRUE(s.Contains(MajorCategory::kRestaurant));
+}
+
+TEST_F(RecognitionTest, FarFromEverythingIsEmpty) {
+  SemanticProperty s = recognizer_.Recognize({-5000, -5000});
+  EXPECT_TRUE(s.Empty());
+}
+
+TEST_F(RecognitionTest, GpsNoiseRobustness) {
+  // Points jittered up to 40 m from the shop street still vote shop —
+  // the Figure 7 scenario.
+  Rng rng(3);
+  for (int i = 0; i < 30; ++i) {
+    Vec2 noisy{rng.Gaussian(0.0, 20.0), rng.Gaussian(0.0, 20.0)};
+    SemanticProperty s = recognizer_.Recognize(noisy);
+    EXPECT_TRUE(s.Contains(MajorCategory::kShopMarket)) << noisy;
+  }
+}
+
+TEST_F(RecognitionTest, WinnerUnitIsReported) {
+  UnitId winner = kNoUnit;
+  recognizer_.RecognizeWithUnit({5, 5}, &winner);
+  ASSERT_NE(winner, kNoUnit);
+  EXPECT_TRUE(
+      diagram_.unit(winner).property.Contains(MajorCategory::kShopMarket));
+
+  recognizer_.RecognizeWithUnit({-9999, -9999}, &winner);
+  EXPECT_EQ(winner, kNoUnit);
+}
+
+TEST_F(RecognitionTest, AnnotateFillsEverySemanticStay) {
+  SemanticTrajectory st;
+  st.stays.emplace_back(Vec2{5, 5}, 0);
+  st.stays.emplace_back(Vec2{600, 5}, 3600);
+  recognizer_.Annotate(&st);
+  EXPECT_TRUE(st.stays[0].semantic.Contains(MajorCategory::kShopMarket));
+  EXPECT_TRUE(st.stays[1].semantic.Contains(MajorCategory::kResidence));
+}
+
+TEST_F(RecognitionTest, PopularityWeightBreaksTies) {
+  // Build a diagram with two single-POI units equidistant from the query;
+  // the more popular one must win.
+  std::vector<Poi> pois = {MakePoi(0, -50, 0, MajorCategory::kShopMarket),
+                           MakePoi(1, 50, 0, MajorCategory::kResidence)};
+  PoiDatabase db(pois);
+  std::vector<StayPoint> stays;
+  for (int i = 0; i < 30; ++i) stays.emplace_back(Vec2{-50, 0}, 0);
+  stays.emplace_back(Vec2{50, 0}, 0);
+  CsdBuildOptions options;
+  options.clustering.min_pts = 1;
+  options.merging.keep_unmerged_singletons = true;
+  CitySemanticDiagram diagram = CsdBuilder(options).Build(db, stays);
+  ASSERT_EQ(diagram.num_units(), 2u);
+  CsdRecognizer rec(&diagram, 100.0);
+  SemanticProperty s = rec.Recognize({0, 0});
+  EXPECT_TRUE(s.Contains(MajorCategory::kShopMarket));
+  EXPECT_FALSE(s.Contains(MajorCategory::kResidence));
+}
+
+}  // namespace
+}  // namespace csd

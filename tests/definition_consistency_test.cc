@@ -1,0 +1,113 @@
+// Cross-checks Algorithm 4's clustering-based extraction against the
+// formal Definitions 7-11: a fine-grained pattern's representative
+// trajectory must be (reachable-)contained, in the Definition sense, by
+// at least its extraction support, and its definition-level groups must
+// be at least as dense as ρ.
+
+#include <gtest/gtest.h>
+
+#include "core/containment.h"
+#include "core/counterpart_cluster.h"
+#include "geo/stats.h"
+#include "tests/test_helpers.h"
+#include "util/rng.h"
+
+namespace csd {
+namespace {
+
+using ::csd::testing::MakeStay;
+using ::csd::testing::MakeTrajectory;
+
+SemanticTrajectoryDb CommuteCorridors(uint64_t seed) {
+  Rng rng(seed);
+  SemanticTrajectoryDb db;
+  for (int corridor = 0; corridor < 3; ++corridor) {
+    Vec2 from{corridor * 3000.0, 0.0};
+    Vec2 to{corridor * 3000.0 + 1500.0, 6000.0};
+    for (int i = 0; i < 30; ++i) {
+      Timestamp t0 = 8 * kSecondsPerHour +
+                     static_cast<Timestamp>(rng.Gaussian(0, 600));
+      db.push_back(MakeTrajectory(
+          static_cast<TrajectoryId>(db.size()),
+          {MakeStay(from.x + rng.Gaussian(0, 10),
+                    from.y + rng.Gaussian(0, 10), t0,
+                    MajorCategory::kResidence),
+           MakeStay(to.x + rng.Gaussian(0, 10), to.y + rng.Gaussian(0, 10),
+                    t0 + 20 * 60, MajorCategory::kBusinessOffice)}));
+    }
+  }
+  return db;
+}
+
+class DefinitionConsistencyTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DefinitionConsistencyTest, ExtractedPatternsSatisfyDefinitionEleven) {
+  SemanticTrajectoryDb db = CommuteCorridors(GetParam());
+  ExtractionOptions options;
+  options.support_threshold = 20;
+  options.temporal_constraint = 60 * kSecondsPerMinute;
+  options.density_threshold = 0.002;
+  auto patterns = CounterpartClusterExtract(db, options);
+  ASSERT_EQ(patterns.size(), 3u);
+
+  ContainmentParams params;
+  params.epsilon = 100.0;  // ε_t: generous vs the 10 m jitter
+  params.delta_t = options.temporal_constraint;
+
+  for (const auto& p : patterns) {
+    // The representative as a semantic trajectory (Definition 11's ST).
+    SemanticTrajectory st;
+    st.id = 9999;
+    st.stays = p.representative;
+
+    // Condition (ii): support per Definitions 7-8 covers the extraction
+    // support.
+    size_t definition_support = PatternSupport(st, db, params);
+    EXPECT_GE(definition_support, p.support());
+    EXPECT_GE(definition_support, options.support_threshold);
+
+    // Condition (iii): definition-level groups are dense.
+    auto groups = ComputeGroups(st, db, params);
+    ASSERT_EQ(groups.size(), st.Size());
+    double density_sum = 0.0;
+    for (const auto& group : groups) {
+      std::vector<Vec2> pts;
+      for (const StayPoint& sp : group) pts.push_back(sp.position);
+      density_sum += SpatialDensity(pts);
+    }
+    EXPECT_GE(density_sum / static_cast<double>(groups.size()),
+              options.density_threshold);
+  }
+}
+
+TEST_P(DefinitionConsistencyTest, GroupsFromDefinitionsMatchExtraction) {
+  SemanticTrajectoryDb db = CommuteCorridors(GetParam() + 7);
+  ExtractionOptions options;
+  options.support_threshold = 20;
+  auto patterns = CounterpartClusterExtract(db, options);
+  ASSERT_FALSE(patterns.empty());
+
+  ContainmentParams params;
+  params.epsilon = 100.0;
+  params.delta_t = options.temporal_constraint;
+
+  // Every extraction group member must be within ε of the pattern's
+  // representative at its position (the Definition-7 proximity the
+  // clustering is standing in for).
+  for (const auto& p : patterns) {
+    for (size_t k = 0; k < p.length(); ++k) {
+      for (const StayPoint& sp : p.groups[k]) {
+        EXPECT_LE(Distance(sp.position, p.representative[k].position),
+                  params.epsilon);
+        EXPECT_TRUE(sp.semantic.IsSupersetOf(p.representative[k].semantic));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DefinitionConsistencyTest,
+                         ::testing::Values(101, 202, 303));
+
+}  // namespace
+}  // namespace csd

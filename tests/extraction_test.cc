@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/counterpart_cluster.h"
+#include "geo/stats.h"
+#include "core/metrics.h"
+#include "tests/test_helpers.h"
+#include "util/rng.h"
+
+namespace csd {
+namespace {
+
+using ::csd::testing::MakeStay;
+using ::csd::testing::MakeTrajectory;
+
+constexpr auto kOffice = MajorCategory::kBusinessOffice;
+constexpr auto kHome = MajorCategory::kResidence;
+constexpr auto kShop = MajorCategory::kShopMarket;
+
+/// `count` Home→Office trajectories whose endpoints jitter (σ = 10 m)
+/// around the given anchors, departing around 8am.
+void AddCommutePack(SemanticTrajectoryDb* db, Rng* rng, size_t count,
+                    Vec2 home, Vec2 office) {
+  for (size_t i = 0; i < count; ++i) {
+    Timestamp t0 = 8 * kSecondsPerHour +
+                   static_cast<Timestamp>(rng->Gaussian(0, 600));
+    db->push_back(MakeTrajectory(
+        static_cast<TrajectoryId>(db->size()),
+        {MakeStay(home.x + rng->Gaussian(0, 10), home.y + rng->Gaussian(0, 10),
+                  t0, kHome),
+         MakeStay(office.x + rng->Gaussian(0, 10),
+                  office.y + rng->Gaussian(0, 10), t0 + 25 * 60, kOffice)}));
+  }
+}
+
+ExtractionOptions SmallOptions(size_t sigma = 15) {
+  ExtractionOptions options;
+  options.support_threshold = sigma;
+  options.temporal_constraint = 60 * kSecondsPerMinute;
+  options.density_threshold = 0.002;
+  return options;
+}
+
+// --- MineCoarsePatterns ------------------------------------------------------
+
+TEST(MineCoarseTest, FindsTheCommutePattern) {
+  Rng rng(1);
+  SemanticTrajectoryDb db;
+  AddCommutePack(&db, &rng, 30, {0, 0}, {5000, 0});
+  auto coarse = MineCoarsePatterns(db, SmallOptions(15));
+  ASSERT_EQ(coarse.size(), 1u);
+  EXPECT_EQ(coarse[0].length(), 2u);
+  EXPECT_TRUE(coarse[0].semantics[0].Contains(kHome));
+  EXPECT_TRUE(coarse[0].semantics[1].Contains(kOffice));
+  EXPECT_EQ(coarse[0].support(), 30u);
+}
+
+TEST(MineCoarseTest, EmbeddingsPointAtMatchedStays) {
+  Rng rng(2);
+  SemanticTrajectoryDb db;
+  AddCommutePack(&db, &rng, 20, {0, 0}, {5000, 0});
+  auto coarse = MineCoarsePatterns(db, SmallOptions(10));
+  ASSERT_FALSE(coarse.empty());
+  for (const auto& member : coarse[0].members) {
+    const auto& st = db[member.db_index];
+    ASSERT_EQ(member.stay_index.size(), coarse[0].length());
+    for (size_t k = 0; k < coarse[0].length(); ++k) {
+      EXPECT_EQ(st.stays[member.stay_index[k]].semantic.bits(),
+                coarse[0].semantics[k].bits());
+    }
+  }
+}
+
+TEST(MineCoarseTest, UnrecognizedStaysAreTransparent) {
+  // Home, <unknown>, Office: the unknown stay must not block the pattern.
+  Rng rng(3);
+  SemanticTrajectoryDb db;
+  for (int i = 0; i < 20; ++i) {
+    db.push_back(MakeTrajectory(
+        static_cast<TrajectoryId>(i),
+        {MakeStay(rng.Gaussian(0, 10), 0, 8 * 3600, kHome),
+         StayPoint({2500, 0}, 8 * 3600 + 15 * 60),  // empty semantics
+         MakeStay(5000 + rng.Gaussian(0, 10), 0, 8 * 3600 + 1800,
+                  kOffice)}));
+  }
+  auto coarse = MineCoarsePatterns(db, SmallOptions(10));
+  ASSERT_EQ(coarse.size(), 1u);
+  // The embedding must point at stays 0 and 2 (skipping the unknown).
+  EXPECT_EQ(coarse[0].members[0].stay_index,
+            (std::vector<size_t>{0, 2}));
+}
+
+TEST(MineCoarseTest, BelowSupportYieldsNothing) {
+  Rng rng(4);
+  SemanticTrajectoryDb db;
+  AddCommutePack(&db, &rng, 10, {0, 0}, {5000, 0});
+  EXPECT_TRUE(MineCoarsePatterns(db, SmallOptions(50)).empty());
+}
+
+// --- CounterpartCluster refinement (Algorithm 4) ------------------------------
+
+TEST(CounterpartClusterTest, SplitsTwoSpatialVariantsOfOnePattern) {
+  // Same semantic pattern Home→Office, but two distinct corridors 3 km
+  // apart. The coarse pattern has support 40; refinement must produce two
+  // fine-grained patterns of ~20 each.
+  Rng rng(5);
+  SemanticTrajectoryDb db;
+  AddCommutePack(&db, &rng, 20, {0, 0}, {5000, 0});
+  AddCommutePack(&db, &rng, 20, {3000, 3000}, {8000, 3000});
+  auto patterns = CounterpartClusterExtract(db, SmallOptions(15));
+  ASSERT_EQ(patterns.size(), 2u);
+  EXPECT_EQ(patterns[0].support() + patterns[1].support(), 40u);
+  for (const auto& p : patterns) {
+    EXPECT_EQ(p.length(), 2u);
+    EXPECT_GE(p.support(), 15u);
+  }
+  // The two patterns anchor at different corridors.
+  EXPECT_GT(Distance(patterns[0].representative[0].position,
+                     patterns[1].representative[0].position),
+            1000.0);
+}
+
+TEST(CounterpartClusterTest, TemporalConstraintFiltersSlowTrips) {
+  // 20 fast commutes + 20 identical-route trips whose office arrival is
+  // 3 hours later (> δ_t): only the fast ones can form a pattern.
+  Rng rng(6);
+  SemanticTrajectoryDb db;
+  AddCommutePack(&db, &rng, 20, {0, 0}, {5000, 0});
+  for (int i = 0; i < 20; ++i) {
+    Timestamp t0 = 8 * kSecondsPerHour;
+    db.push_back(MakeTrajectory(
+        static_cast<TrajectoryId>(db.size()),
+        {MakeStay(rng.Gaussian(0, 10), rng.Gaussian(0, 10), t0, kHome),
+         MakeStay(5000 + rng.Gaussian(0, 10), rng.Gaussian(0, 10),
+                  t0 + 3 * kSecondsPerHour, kOffice)}));
+  }
+  auto patterns = CounterpartClusterExtract(db, SmallOptions(15));
+  ASSERT_EQ(patterns.size(), 1u);
+  EXPECT_EQ(patterns[0].support(), 20u);
+}
+
+TEST(CounterpartClusterTest, DensityThresholdRejectsSparsePatterns) {
+  // Endpoints spread over a 4-km disc: density ≪ ρ, no pattern.
+  Rng rng(7);
+  SemanticTrajectoryDb db;
+  for (int i = 0; i < 40; ++i) {
+    Timestamp t0 = 8 * kSecondsPerHour;
+    db.push_back(MakeTrajectory(
+        static_cast<TrajectoryId>(i),
+        {MakeStay(rng.Uniform(0, 4000), rng.Uniform(0, 4000), t0, kHome),
+         MakeStay(9000 + rng.Uniform(0, 4000), rng.Uniform(0, 4000),
+                  t0 + 1800, kOffice)}));
+  }
+  ExtractionOptions options = SmallOptions(15);
+  options.density_threshold = 0.002;
+  EXPECT_TRUE(CounterpartClusterExtract(db, options).empty());
+}
+
+TEST(CounterpartClusterTest, RepresentativeIsMemberClosestToCenter) {
+  Rng rng(8);
+  SemanticTrajectoryDb db;
+  AddCommutePack(&db, &rng, 25, {0, 0}, {5000, 0});
+  auto patterns = CounterpartClusterExtract(db, SmallOptions(15));
+  ASSERT_EQ(patterns.size(), 1u);
+  const auto& p = patterns[0];
+  for (size_t k = 0; k < p.length(); ++k) {
+    // The representative must be one of the group members.
+    bool found = false;
+    for (const StayPoint& sp : p.groups[k]) {
+      if (sp.position == p.representative[k].position) found = true;
+    }
+    EXPECT_TRUE(found);
+    // And close to the group's centroid (< 3σ of the jitter).
+    std::vector<Vec2> pts;
+    for (const StayPoint& sp : p.groups[k]) pts.push_back(sp.position);
+    EXPECT_LT(Distance(p.representative[k].position, Centroid(pts)), 30.0);
+  }
+}
+
+TEST(CounterpartClusterTest, EachTrajectoryCountedAtMostOncePerPattern) {
+  Rng rng(9);
+  SemanticTrajectoryDb db;
+  AddCommutePack(&db, &rng, 30, {0, 0}, {5000, 0});
+  auto patterns = CounterpartClusterExtract(db, SmallOptions(10));
+  std::set<TrajectoryId> seen;
+  size_t total = 0;
+  for (const auto& p : patterns) {
+    for (TrajectoryId tid : p.supporting) {
+      seen.insert(tid);
+      ++total;
+    }
+  }
+  EXPECT_EQ(seen.size(), total) << "a trajectory supported twice";
+}
+
+TEST(CounterpartClusterTest, EmptyDatabase) {
+  EXPECT_TRUE(CounterpartClusterExtract({}, SmallOptions(5)).empty());
+}
+
+// --- Metrics ---------------------------------------------------------------------
+
+/// Recognizer stub returning a fixed property per call position.
+class FixedRecognizer : public SemanticRecognizer {
+ public:
+  explicit FixedRecognizer(SemanticProperty p) : property_(p) {}
+  SemanticProperty Recognize(const Vec2&) const override { return property_; }
+
+ private:
+  SemanticProperty property_;
+};
+
+/// Recognizer that answers by x-coordinate halves (loose groups straddle
+/// the boundary and lose consistency).
+class SplitWorldRecognizer : public SemanticRecognizer {
+ public:
+  SemanticProperty Recognize(const Vec2& p) const override {
+    return p.x < 0 ? SemanticProperty(kHome) : SemanticProperty(kShop);
+  }
+};
+
+FineGrainedPattern PatternWithGroups(
+    std::vector<std::vector<StayPoint>> groups) {
+  FineGrainedPattern p;
+  p.groups = std::move(groups);
+  for (const auto& g : p.groups) {
+    p.representative.push_back(g.front());
+  }
+  p.supporting.resize(p.groups.front().size());
+  return p;
+}
+
+TEST(MetricsTest, SparsityMatchesEquationNineTen) {
+  // Group 0: two points 10 m apart → ss = 10. Group 1: 3 points pairwise
+  // 20/20/40 → ss = 80/3. Pattern sparsity = (10 + 80/3) / 2.
+  auto p = PatternWithGroups(
+      {{MakeStay(0, 0, 0, kHome), MakeStay(10, 0, 0, kHome)},
+       {MakeStay(0, 0, 0, kOffice), MakeStay(20, 0, 0, kOffice),
+        MakeStay(40, 0, 0, kOffice)}});
+  FixedRecognizer reference((SemanticProperty(kHome)));
+  PatternMetrics m = EvaluatePattern(p, reference);
+  EXPECT_NEAR(m.spatial_sparsity, (10.0 + 80.0 / 3.0) / 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(m.semantic_consistency, 1.0);
+}
+
+TEST(MetricsTest, ConsistencyUsesReferenceRecognizer) {
+  // Group straddles x = 0: half re-recognized Home, half Shop → pairwise
+  // cosine mix: pairs (H,H)=1, (H,S)=0, (S,S)=1 → 2·(1+0+... ) compute:
+  // members H,H,S,S: pairs HH, HS, HS, HS, HS, SS → (1+0+0+0+0+1)/6 = 1/3.
+  auto p = PatternWithGroups({{MakeStay(-10, 0, 0, kHome),
+                               MakeStay(-5, 0, 0, kHome),
+                               MakeStay(5, 0, 0, kHome),
+                               MakeStay(10, 0, 0, kHome)}});
+  SplitWorldRecognizer reference;
+  PatternMetrics m = EvaluatePattern(p, reference);
+  EXPECT_NEAR(m.semantic_consistency, 1.0 / 3.0, 1e-9);
+}
+
+TEST(MetricsTest, QuantileInterpolates) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 1.75);
+}
+
+TEST(MetricsTest, ApproachAggregatesAndHistogram) {
+  auto tight = PatternWithGroups(
+      {{MakeStay(0, 0, 0, kHome), MakeStay(4, 0, 0, kHome)}});
+  auto loose = PatternWithGroups(
+      {{MakeStay(0, 0, 0, kHome), MakeStay(52, 0, 0, kHome)}});
+  FixedRecognizer reference((SemanticProperty(kHome)));
+  ApproachMetrics agg =
+      EvaluateApproach({tight, loose}, reference, 20, 5.0);
+  EXPECT_EQ(agg.num_patterns, 2u);
+  EXPECT_EQ(agg.coverage, 4u);  // 2 supporters each
+  EXPECT_DOUBLE_EQ(agg.mean_sparsity, (4.0 + 52.0) / 2.0);
+  EXPECT_EQ(agg.sparsity_histogram[0], 1u);   // 4 m → bin [0,5)
+  EXPECT_EQ(agg.sparsity_histogram[10], 1u);  // 52 m → bin [50,55)
+  EXPECT_DOUBLE_EQ(agg.consistency_min, 1.0);
+  EXPECT_DOUBLE_EQ(agg.consistency_max, 1.0);
+}
+
+TEST(MetricsTest, HistogramOverflowGoesToLastBin) {
+  auto sparse = PatternWithGroups(
+      {{MakeStay(0, 0, 0, kHome), MakeStay(500, 0, 0, kHome)}});
+  FixedRecognizer reference((SemanticProperty(kHome)));
+  ApproachMetrics agg = EvaluateApproach({sparse}, reference, 20, 5.0);
+  EXPECT_EQ(agg.sparsity_histogram[19], 1u);
+}
+
+TEST(MetricsTest, EmptyApproach) {
+  FixedRecognizer reference((SemanticProperty(kHome)));
+  ApproachMetrics agg = EvaluateApproach({}, reference);
+  EXPECT_EQ(agg.num_patterns, 0u);
+  EXPECT_EQ(agg.coverage, 0u);
+}
+
+}  // namespace
+}  // namespace csd

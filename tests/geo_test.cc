@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/distance.h"
+#include "geo/point.h"
+#include "geo/projection.h"
+#include "geo/stats.h"
+#include "util/rng.h"
+
+namespace csd {
+namespace {
+
+TEST(Vec2Test, Arithmetic) {
+  Vec2 a{1.0, 2.0};
+  Vec2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, Vec2(4.0, 1.0));
+  EXPECT_EQ(a - b, Vec2(-2.0, 3.0));
+  EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+  EXPECT_DOUBLE_EQ(a.Dot(b), 1.0);
+  EXPECT_DOUBLE_EQ(Vec2(3.0, 4.0).Norm(), 5.0);
+}
+
+TEST(Vec2Test, DistanceSymmetricAndZero) {
+  Vec2 a{10.0, 20.0};
+  Vec2 b{13.0, 24.0};
+  EXPECT_DOUBLE_EQ(Distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(Distance(b, a), 5.0);
+  EXPECT_DOUBLE_EQ(Distance(a, a), 0.0);
+}
+
+TEST(BoundingBoxTest, ExtendAndContain) {
+  BoundingBox box;
+  EXPECT_TRUE(box.Empty());
+  box.Extend({0.0, 0.0});
+  box.Extend({10.0, 5.0});
+  EXPECT_FALSE(box.Empty());
+  EXPECT_TRUE(box.Contains({5.0, 2.5}));
+  EXPECT_FALSE(box.Contains({11.0, 2.5}));
+  EXPECT_DOUBLE_EQ(box.Width(), 10.0);
+  EXPECT_DOUBLE_EQ(box.Height(), 5.0);
+  EXPECT_DOUBLE_EQ(box.Area(), 50.0);
+  EXPECT_EQ(box.Center(), Vec2(5.0, 2.5));
+}
+
+TEST(BoundingBoxTest, DistanceToPoint) {
+  BoundingBox box;
+  box.Extend({0.0, 0.0});
+  box.Extend({10.0, 10.0});
+  EXPECT_DOUBLE_EQ(box.Distance({5.0, 5.0}), 0.0);   // inside
+  EXPECT_DOUBLE_EQ(box.Distance({13.0, 5.0}), 3.0);  // right
+  EXPECT_DOUBLE_EQ(box.Distance({13.0, 14.0}), 5.0);  // corner 3-4-5
+}
+
+// --- Haversine --------------------------------------------------------------
+
+TEST(HaversineTest, ZeroForIdenticalPoints) {
+  GeoPoint p{121.47, 31.23};  // Shanghai
+  EXPECT_DOUBLE_EQ(HaversineDistance(p, p), 0.0);
+}
+
+TEST(HaversineTest, KnownDistanceShanghaiBeijing) {
+  GeoPoint shanghai{121.4737, 31.2304};
+  GeoPoint beijing{116.4074, 39.9042};
+  double d = HaversineDistance(shanghai, beijing);
+  // Great-circle distance is ~1067 km.
+  EXPECT_NEAR(d, 1067000.0, 10000.0);
+}
+
+TEST(HaversineTest, OneDegreeLatitudeIsAbout111km) {
+  GeoPoint a{0.0, 0.0};
+  GeoPoint b{0.0, 1.0};
+  EXPECT_NEAR(HaversineDistance(a, b), 111195.0, 100.0);
+}
+
+TEST(HaversineTest, Symmetric) {
+  GeoPoint a{121.47, 31.23};
+  GeoPoint b{121.52, 31.30};
+  EXPECT_DOUBLE_EQ(HaversineDistance(a, b), HaversineDistance(b, a));
+}
+
+// --- Projection ---------------------------------------------------------------
+
+/// Property sweep: at city scale the equirectangular projection agrees
+/// with Haversine to < 0.1% across latitudes.
+class ProjectionAccuracyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ProjectionAccuracyTest, MatchesHaversineAtCityScale) {
+  double lat = GetParam();
+  GeoPoint origin{121.5, lat};
+  LocalProjection proj(origin);
+  Rng rng(17);
+  // The dominant equirectangular error is the cos(lat) drift across the
+  // window's latitude span: relative error ≈ Δφ · tan|lat| with
+  // Δφ = 2·0.08° ≈ 2.8e-3 rad. Allow that plus a small floor.
+  double span_rad = 2.0 * 0.08 * kDegToRad;
+  double tolerance =
+      5e-4 + span_rad * std::abs(std::tan(lat * kDegToRad));
+  for (int i = 0; i < 200; ++i) {
+    GeoPoint a{origin.lon + rng.Uniform(-0.08, 0.08),
+               origin.lat + rng.Uniform(-0.08, 0.08)};
+    GeoPoint b{origin.lon + rng.Uniform(-0.08, 0.08),
+               origin.lat + rng.Uniform(-0.08, 0.08)};
+    double planar = Distance(proj.Project(a), proj.Project(b));
+    double sphere = HaversineDistance(a, b);
+    if (sphere < 100.0) continue;
+    EXPECT_NEAR(planar, sphere, sphere * tolerance)
+        << "lat=" << lat << " a=" << a << " b=" << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Latitudes, ProjectionAccuracyTest,
+                         ::testing::Values(-60.0, -31.0, 0.0, 31.23, 45.0,
+                                           60.0));
+
+TEST(ProjectionTest, RoundTrip) {
+  LocalProjection proj(GeoPoint{121.47, 31.23});
+  GeoPoint p{121.50, 31.26};
+  GeoPoint back = proj.Unproject(proj.Project(p));
+  EXPECT_NEAR(back.lon, p.lon, 1e-9);
+  EXPECT_NEAR(back.lat, p.lat, 1e-9);
+}
+
+TEST(ProjectionTest, OriginMapsToZero) {
+  GeoPoint origin{121.47, 31.23};
+  LocalProjection proj(origin);
+  Vec2 zero = proj.Project(origin);
+  EXPECT_DOUBLE_EQ(zero.x, 0.0);
+  EXPECT_DOUBLE_EQ(zero.y, 0.0);
+}
+
+// --- Stats --------------------------------------------------------------------
+
+TEST(StatsTest, CentroidOfSquare) {
+  std::vector<Vec2> pts = {{0, 0}, {2, 0}, {2, 2}, {0, 2}};
+  EXPECT_EQ(Centroid(pts), Vec2(1.0, 1.0));
+}
+
+TEST(StatsTest, VarianceMatchesEquationOne) {
+  // Points at distance 1 from centroid (0,0): Var = sum d² / (n-1) = 4/3.
+  std::vector<Vec2> pts = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+  EXPECT_DOUBLE_EQ(SpatialVariance(pts), 4.0 / 3.0);
+}
+
+TEST(StatsTest, VarianceDegenerateSets) {
+  EXPECT_DOUBLE_EQ(SpatialVariance({}), 0.0);
+  EXPECT_DOUBLE_EQ(SpatialVariance({{5, 5}}), 0.0);
+  EXPECT_DOUBLE_EQ(SpatialVariance({{5, 5}, {5, 5}}), 0.0);
+}
+
+TEST(StatsTest, DensityInverseToSpread) {
+  std::vector<Vec2> tight = {{0, 0}, {1, 0}, {0, 1}, {1, 1}};
+  std::vector<Vec2> loose = {{0, 0}, {100, 0}, {0, 100}, {100, 100}};
+  EXPECT_GT(SpatialDensity(tight), SpatialDensity(loose));
+  EXPECT_EQ(SpatialDensity({}), 0.0);
+  EXPECT_TRUE(std::isinf(SpatialDensity({{1, 1}})));
+}
+
+TEST(StatsTest, AveragePairwiseDistance) {
+  // Equilateral-ish: three points pairwise distance 2, 2, 2.
+  std::vector<Vec2> pts = {{0, 0}, {2, 0}, {1, std::sqrt(3.0)}};
+  EXPECT_NEAR(AveragePairwiseDistance(pts), 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(AveragePairwiseDistance({{1, 1}}), 0.0);
+}
+
+TEST(StatsTest, CenterPointIndexPicksClosestToCentroid) {
+  std::vector<Vec2> pts = {{0, 0}, {10, 0}, {0, 10}, {4, 4}};
+  // Centroid = (3.5, 3.5); closest is (4,4).
+  EXPECT_EQ(CenterPointIndex(pts), 3u);
+}
+
+TEST(StatsTest, RadiusOfGyrationIsSqrtVariance) {
+  std::vector<Vec2> pts = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+  EXPECT_DOUBLE_EQ(RadiusOfGyration(pts), std::sqrt(4.0 / 3.0));
+}
+
+TEST(StatsTest, BoundingBoxOfPoints) {
+  BoundingBox box = ComputeBoundingBox({{1, 2}, {-3, 7}, {4, 0}});
+  EXPECT_EQ(box.min, Vec2(-3, 0));
+  EXPECT_EQ(box.max, Vec2(4, 7));
+}
+
+}  // namespace
+}  // namespace csd

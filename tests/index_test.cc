@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "index/grid_index.h"
+#include "index/kd_tree.h"
+#include "util/rng.h"
+
+namespace csd {
+namespace {
+
+std::vector<Vec2> RandomPoints(size_t n, double extent, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.Uniform(0.0, extent), rng.Uniform(0.0, extent)});
+  }
+  return pts;
+}
+
+std::vector<size_t> BruteRadius(const std::vector<Vec2>& pts,
+                                const Vec2& q, double r) {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (Distance(pts[i], q) <= r) out.push_back(i);
+  }
+  return out;
+}
+
+size_t BruteNearest(const std::vector<Vec2>& pts, const Vec2& q) {
+  size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < pts.size(); ++i) {
+    double d = Distance(pts[i], q);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+// --- GridIndex -----------------------------------------------------------
+
+TEST(GridIndexTest, EmptyIndex) {
+  GridIndex index({}, 10.0);
+  EXPECT_TRUE(index.RadiusQuery({0, 0}, 100.0).empty());
+  EXPECT_EQ(index.Nearest({0, 0}), std::numeric_limits<size_t>::max());
+}
+
+TEST(GridIndexTest, RadiusBoundaryInclusive) {
+  GridIndex index({{0, 0}, {10, 0}}, 5.0);
+  auto hits = index.RadiusQuery({0, 0}, 10.0);
+  EXPECT_EQ(hits.size(), 2u);  // exactly-at-radius point included
+}
+
+TEST(GridIndexTest, NegativeRadiusYieldsNothing) {
+  GridIndex index({{0, 0}}, 5.0);
+  EXPECT_TRUE(index.RadiusQuery({0, 0}, -1.0).empty());
+}
+
+TEST(GridIndexTest, NegativeCoordinatesWork) {
+  GridIndex index({{-100, -100}, {-105, -100}, {50, 50}}, 10.0);
+  auto hits = index.RadiusQuery({-100, -100}, 6.0);
+  EXPECT_EQ(hits.size(), 2u);
+}
+
+/// Property sweep: grid results equal brute force for random workloads,
+/// across cell sizes relative to the query radius.
+class GridIndexPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GridIndexPropertyTest, MatchesBruteForce) {
+  double cell = GetParam();
+  auto pts = RandomPoints(500, 1000.0, 99);
+  GridIndex index(pts, cell);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    Vec2 q{rng.Uniform(-50.0, 1050.0), rng.Uniform(-50.0, 1050.0)};
+    double r = rng.Uniform(0.0, 150.0);
+    auto got = index.RadiusQuery(q, r);
+    auto want = BruteRadius(pts, q, r);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, want) << "cell=" << cell << " r=" << r;
+    EXPECT_EQ(index.CountInRadius(q, r), want.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CellSizes, GridIndexPropertyTest,
+                         ::testing::Values(5.0, 25.0, 100.0, 400.0));
+
+TEST(GridIndexTest, NearestMatchesBruteForce) {
+  auto pts = RandomPoints(300, 1000.0, 5);
+  GridIndex index(pts, 30.0);
+  Rng rng(8);
+  for (int i = 0; i < 200; ++i) {
+    Vec2 q{rng.Uniform(-200.0, 1200.0), rng.Uniform(-200.0, 1200.0)};
+    size_t got = index.Nearest(q);
+    size_t want = BruteNearest(pts, q);
+    EXPECT_DOUBLE_EQ(Distance(pts[got], q), Distance(pts[want], q));
+  }
+}
+
+// --- KdTree ----------------------------------------------------------------
+
+TEST(KdTreeTest, EmptyTree) {
+  KdTree tree({});
+  EXPECT_TRUE(tree.RadiusQuery({0, 0}, 10.0).empty());
+  EXPECT_EQ(tree.Nearest({0, 0}), std::numeric_limits<size_t>::max());
+  EXPECT_TRUE(tree.KNearest({0, 0}, 3).empty());
+}
+
+TEST(KdTreeTest, SinglePoint) {
+  KdTree tree({{5, 5}});
+  EXPECT_EQ(tree.Nearest({0, 0}), 0u);
+  EXPECT_EQ(tree.RadiusQuery({5, 5}, 0.0).size(), 1u);
+}
+
+TEST(KdTreeTest, RadiusMatchesBruteForce) {
+  auto pts = RandomPoints(400, 800.0, 21);
+  KdTree tree(pts);
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    Vec2 q{rng.Uniform(0.0, 800.0), rng.Uniform(0.0, 800.0)};
+    double r = rng.Uniform(0.0, 120.0);
+    auto got = tree.RadiusQuery(q, r);
+    auto want = BruteRadius(pts, q, r);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(KdTreeTest, NearestMatchesBruteForce) {
+  auto pts = RandomPoints(400, 800.0, 22);
+  KdTree tree(pts);
+  Rng rng(10);
+  for (int i = 0; i < 200; ++i) {
+    Vec2 q{rng.Uniform(-100.0, 900.0), rng.Uniform(-100.0, 900.0)};
+    size_t got = tree.Nearest(q);
+    size_t want = BruteNearest(pts, q);
+    EXPECT_DOUBLE_EQ(Distance(pts[got], q), Distance(pts[want], q));
+  }
+}
+
+TEST(KdTreeTest, KNearestOrderedAndCorrect) {
+  auto pts = RandomPoints(200, 500.0, 31);
+  KdTree tree(pts);
+  Rng rng(12);
+  for (int i = 0; i < 50; ++i) {
+    Vec2 q{rng.Uniform(0.0, 500.0), rng.Uniform(0.0, 500.0)};
+    size_t k = static_cast<size_t>(rng.UniformInt(1, 20));
+    auto got = tree.KNearest(q, k);
+    ASSERT_EQ(got.size(), std::min(k, pts.size()));
+    // Ordered by increasing distance.
+    for (size_t j = 1; j < got.size(); ++j) {
+      EXPECT_LE(Distance(pts[got[j - 1]], q), Distance(pts[got[j]], q));
+    }
+    // Matches brute-force top-k distance set.
+    std::vector<double> dists;
+    for (const Vec2& p : pts) dists.push_back(Distance(p, q));
+    std::sort(dists.begin(), dists.end());
+    for (size_t j = 0; j < got.size(); ++j) {
+      EXPECT_DOUBLE_EQ(Distance(pts[got[j]], q), dists[j]);
+    }
+  }
+}
+
+TEST(KdTreeTest, KNearestWithKLargerThanSize) {
+  KdTree tree({{0, 0}, {1, 1}, {2, 2}});
+  auto got = tree.KNearest({0, 0}, 10);
+  EXPECT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], 0u);
+}
+
+TEST(KdTreeTest, DuplicatePointsAllReturned) {
+  KdTree tree({{1, 1}, {1, 1}, {1, 1}});
+  EXPECT_EQ(tree.RadiusQuery({1, 1}, 0.5).size(), 3u);
+}
+
+}  // namespace
+}  // namespace csd

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "geo/distance.h"
+#include "io/ingest.h"
+#include "tests/test_helpers.h"
+#include "traj/stay_point_detector.h"
+
+namespace csd {
+namespace {
+
+using ::csd::testing::MinorOf;
+
+// Shanghai-ish coordinates.
+constexpr double kLon = 121.47;
+constexpr double kLat = 31.23;
+
+std::vector<GeoPoi> SampleGeoPois() {
+  std::vector<GeoPoi> pois;
+  pois.push_back({{kLon, kLat}, MinorOf(MajorCategory::kShopMarket)});
+  pois.push_back({{kLon + 0.01, kLat}, MinorOf(MajorCategory::kResidence)});
+  pois.push_back(
+      {{kLon, kLat + 0.01}, MinorOf(MajorCategory::kRestaurant)});
+  return pois;
+}
+
+TEST(IngestTest, ProjectionCenteredOnPoiCentroid) {
+  auto pois = SampleGeoPois();
+  LocalProjection projection = MakeCityProjection(pois);
+  // Centroid of the three POIs.
+  EXPECT_NEAR(projection.origin().lon, kLon + 0.01 / 3.0, 1e-12);
+  EXPECT_NEAR(projection.origin().lat, kLat + 0.01 / 3.0, 1e-12);
+}
+
+TEST(IngestTest, PoisKeepCategoriesAndRelativeGeometry) {
+  auto geo_pois = SampleGeoPois();
+  LocalProjection projection = MakeCityProjection(geo_pois);
+  std::vector<Poi> pois = IngestPois(geo_pois, projection);
+  ASSERT_EQ(pois.size(), 3u);
+  EXPECT_EQ(pois[0].major(), MajorCategory::kShopMarket);
+  EXPECT_EQ(pois[1].major(), MajorCategory::kResidence);
+  EXPECT_EQ(pois[0].id, 0u);
+  EXPECT_EQ(pois[2].id, 2u);
+
+  // Planar distance must match Haversine at city scale.
+  double planar = Distance(pois[0].position, pois[1].position);
+  double sphere =
+      HaversineDistance(geo_pois[0].position, geo_pois[1].position);
+  EXPECT_NEAR(planar, sphere, sphere * 0.002);
+}
+
+TEST(IngestTest, JourneysProjectEndpoints) {
+  auto geo_pois = SampleGeoPois();
+  LocalProjection projection = MakeCityProjection(geo_pois);
+  GeoJourney g;
+  g.pickup = {kLon, kLat};
+  g.pickup_time = 100;
+  g.dropoff = {kLon + 0.02, kLat};
+  g.dropoff_time = 900;
+  g.passenger = 5;
+  auto journeys = IngestJourneys({g}, projection);
+  ASSERT_EQ(journeys.size(), 1u);
+  EXPECT_EQ(journeys[0].passenger, 5u);
+  EXPECT_EQ(journeys[0].pickup.time, 100);
+  double planar =
+      Distance(journeys[0].pickup.position, journeys[0].dropoff.position);
+  double sphere = HaversineDistance(g.pickup, g.dropoff);
+  EXPECT_NEAR(planar, sphere, sphere * 0.002);
+}
+
+TEST(IngestTest, TrackFeedsStayPointDetector) {
+  auto geo_pois = SampleGeoPois();
+  LocalProjection projection = MakeCityProjection(geo_pois);
+  // Dwell at a fixed geographic location for 15 minutes, then jump away.
+  std::vector<std::pair<GeoPoint, Timestamp>> fixes;
+  for (Timestamp t = 0; t <= 15 * kSecondsPerMinute; t += 60) {
+    fixes.push_back({{kLon + 1e-5 * static_cast<double>(t % 120) / 120.0,
+                      kLat},
+                     t});
+  }
+  fixes.push_back({{kLon + 0.05, kLat}, 16 * kSecondsPerMinute});
+  Trajectory track = IngestTrack(fixes, projection, 3, 8);
+  EXPECT_EQ(track.id, 3u);
+  EXPECT_EQ(track.passenger, 8u);
+
+  StayPointOptions options;
+  options.distance_threshold_m = 100.0;
+  options.time_threshold_s = 10 * kSecondsPerMinute;
+  auto stays = DetectStayPoints(track, options);
+  ASSERT_EQ(stays.size(), 1u);
+  GeoPoint back = projection.Unproject(stays[0].position);
+  EXPECT_NEAR(back.lon, kLon, 1e-4);
+  EXPECT_NEAR(back.lat, kLat, 1e-4);
+}
+
+}  // namespace
+}  // namespace csd

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "io/csv.h"
+#include "io/dataset_io.h"
+#include "tests/test_helpers.h"
+
+namespace csd {
+namespace {
+
+using ::csd::testing::MakePoi;
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("csd_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, CsvRoundTripWithCommentsAndBlanks) {
+  std::string path = Path("t.csv");
+  {
+    auto writer = CsvWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    writer.value().WriteComment("header");
+    writer.value().WriteRecord({"1", "a"});
+    writer.value().WriteRecord({"2", "b"});
+    ASSERT_TRUE(writer.value().Close().ok());
+  }
+  auto reader = CsvReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  std::vector<std::string> fields;
+  ASSERT_TRUE(reader.value().Next(&fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{"1", "a"}));
+  ASSERT_TRUE(reader.value().Next(&fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{"2", "b"}));
+  EXPECT_FALSE(reader.value().Next(&fields));
+}
+
+TEST_F(IoTest, CsvOpenMissingFileFails) {
+  auto reader = CsvReader::Open(Path("missing.csv"));
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(IoTest, PoiRoundTrip) {
+  std::vector<Poi> pois = {
+      MakePoi(0, 1.5, 2.5, MajorCategory::kShopMarket),
+      MakePoi(1, -10.25, 0.125, MajorCategory::kMedicalService)};
+  std::string path = Path("pois.csv");
+  ASSERT_TRUE(WritePoisCsv(path, pois).ok());
+  auto loaded = ReadPoisCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(loaded.value()[0].major(), MajorCategory::kShopMarket);
+  EXPECT_NEAR(loaded.value()[1].position.x, -10.25, 1e-3);
+  EXPECT_EQ(loaded.value()[1].major(), MajorCategory::kMedicalService);
+}
+
+TEST_F(IoTest, PoiReadRejectsMalformedRows) {
+  std::string path = Path("bad.csv");
+  std::ofstream(path) << "1,2.0\n";
+  auto loaded = ReadPoisCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(IoTest, PoiReadRejectsUnknownCategory) {
+  std::string path = Path("badcat.csv");
+  std::ofstream(path) << "1,2.0,3.0,Moon Base\n";
+  EXPECT_FALSE(ReadPoisCsv(path).ok());
+}
+
+TEST_F(IoTest, JourneyRoundTripIncludingUncarded) {
+  std::vector<TaxiJourney> journeys(2);
+  journeys[0].pickup = GpsPoint({1, 2}, 100);
+  journeys[0].dropoff = GpsPoint({3, 4}, 700);
+  journeys[0].passenger = 42;
+  journeys[1].pickup = GpsPoint({5, 6}, 800);
+  journeys[1].dropoff = GpsPoint({7, 8}, 900);
+  journeys[1].passenger = kNoPassenger;
+
+  std::string path = Path("journeys.csv");
+  ASSERT_TRUE(WriteJourneysCsv(path, journeys).ok());
+  auto loaded = ReadJourneysCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(loaded.value()[0].passenger, 42u);
+  EXPECT_EQ(loaded.value()[1].passenger, kNoPassenger);
+  EXPECT_EQ(loaded.value()[0].pickup.time, 100);
+  EXPECT_NEAR(loaded.value()[1].dropoff.position.y, 8.0, 1e-3);
+}
+
+TEST_F(IoTest, PatternCsvHasOneRowPerPosition) {
+  FineGrainedPattern p;
+  p.representative.push_back(
+      StayPoint({1, 2}, 100, SemanticProperty(MajorCategory::kResidence)));
+  p.representative.push_back(StayPoint(
+      {3, 4}, 200,
+      SemanticProperty{MajorCategory::kShopMarket,
+                       MajorCategory::kRestaurant}));
+  p.groups.resize(2);
+  p.supporting = {1, 2, 3};
+  std::string path = Path("patterns.csv");
+  ASSERT_TRUE(WritePatternsCsv(path, {p}).ok());
+
+  auto reader = CsvReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  std::vector<std::string> fields;
+  size_t rows = 0;
+  while (reader.value().Next(&fields)) {
+    ASSERT_EQ(fields.size(), 7u);
+    EXPECT_EQ(fields[5], "3");  // support
+    ++rows;
+  }
+  EXPECT_EQ(rows, 2u);
+}
+
+TEST_F(IoTest, CsdRoundTripMembership) {
+  std::vector<Poi> pois = {MakePoi(0, 0, 0, MajorCategory::kShopMarket),
+                           MakePoi(1, 5, 0, MajorCategory::kShopMarket),
+                           MakePoi(2, 500, 0, MajorCategory::kResidence)};
+  PoiDatabase db(pois);
+  std::vector<double> popularity(db.size(), 0.0);
+  PopularityModel model(db, {}, 100.0);
+  std::vector<SemanticUnit> units;
+  units.push_back(MakeSemanticUnit(0, {0, 1}, db, model));
+  units.push_back(MakeSemanticUnit(1, {2}, db, model));
+  CitySemanticDiagram diagram(&db, std::move(units), popularity);
+
+  std::string path = Path("csd.csv");
+  ASSERT_TRUE(WriteCsdCsv(path, diagram).ok());
+  auto loaded = ReadCsdCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(loaded.value()[0], (std::vector<PoiId>{0, 1}));
+  EXPECT_EQ(loaded.value()[1], (std::vector<PoiId>{2}));
+}
+
+}  // namespace
+}  // namespace csd

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "core/unit_merging.h"
+#include "tests/test_helpers.h"
+
+namespace csd {
+namespace {
+
+using ::csd::testing::MakePoi;
+using ::csd::testing::PoiCluster;
+
+std::vector<StayPoint> UniformStays(const std::vector<Poi>& pois) {
+  std::vector<StayPoint> stays;
+  for (const Poi& p : pois) stays.emplace_back(p.position, 0);
+  return stays;
+}
+
+struct MergeFixture {
+  explicit MergeFixture(std::vector<Poi> poi_list)
+      : pois(std::move(poi_list)),
+        popularity(pois, UniformStays(pois.pois()), 100.0) {}
+
+  PoiDatabase pois;
+  PopularityModel popularity;
+};
+
+TEST(SemanticUnitTest, DistributionAndCosine) {
+  std::vector<Poi> poi_list = {
+      MakePoi(0, 0, 0, MajorCategory::kShopMarket),
+      MakePoi(1, 10, 0, MajorCategory::kShopMarket),
+      MakePoi(2, 20, 0, MajorCategory::kRestaurant)};
+  MergeFixture f(poi_list);
+  SemanticUnit unit = MakeSemanticUnit(0, {0, 1, 2}, f.pois, f.popularity);
+  EXPECT_EQ(unit.size(), 3u);
+  EXPECT_TRUE(unit.property.Contains(MajorCategory::kShopMarket));
+  EXPECT_TRUE(unit.property.Contains(MajorCategory::kRestaurant));
+  double p_shop = unit.CategoryProbability(MajorCategory::kShopMarket);
+  double p_rest = unit.CategoryProbability(MajorCategory::kRestaurant);
+  EXPECT_NEAR(p_shop + p_rest, 1.0, 1e-9);
+  EXPECT_GT(p_shop, p_rest);
+  EXPECT_DOUBLE_EQ(unit.CosineSimilarity(unit), 1.0);
+}
+
+TEST(SemanticUnitTest, ZeroPopularityFallsBackToIndicator) {
+  std::vector<Poi> poi_list = {MakePoi(0, 0, 0, MajorCategory::kTourism)};
+  PoiDatabase pois(poi_list);
+  PopularityModel popularity(pois, {}, 100.0);  // no stays: all pop 0
+  SemanticUnit unit = MakeSemanticUnit(0, {0}, pois, popularity);
+  EXPECT_DOUBLE_EQ(unit.CategoryProbability(MajorCategory::kTourism), 1.0);
+  EXPECT_DOUBLE_EQ(unit.CategoryProbability(MajorCategory::kResidence), 0.0);
+}
+
+TEST(MergingTest, AdjacentSameCategoryFragmentsMerge) {
+  // Two shop fragments 40 m apart (split by a pedestrian street).
+  std::vector<Poi> poi_list;
+  auto a = PoiCluster(0, 0, 0, 8.0, 5, MajorCategory::kShopMarket);
+  auto b = PoiCluster(5, 40, 0, 8.0, 5, MajorCategory::kShopMarket);
+  poi_list.insert(poi_list.end(), a.begin(), a.end());
+  poi_list.insert(poi_list.end(), b.begin(), b.end());
+  MergeFixture f(poi_list);
+  MergingOptions options;
+  options.neighbor_distance = 60.0;
+  auto merged = SemanticUnitMerging({{0, 1, 2, 3, 4}, {5, 6, 7, 8, 9}}, {},
+                                    f.pois, f.popularity, options);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].size(), 10u);
+}
+
+TEST(MergingTest, DissimilarNeighborsStaySeparate) {
+  std::vector<Poi> poi_list;
+  auto a = PoiCluster(0, 0, 0, 8.0, 5, MajorCategory::kShopMarket);
+  auto b = PoiCluster(5, 40, 0, 8.0, 5, MajorCategory::kMedicalService);
+  poi_list.insert(poi_list.end(), a.begin(), a.end());
+  poi_list.insert(poi_list.end(), b.begin(), b.end());
+  MergeFixture f(poi_list);
+  MergingOptions options;
+  options.neighbor_distance = 60.0;
+  options.cosine_threshold = 0.9;
+  auto merged = SemanticUnitMerging({{0, 1, 2, 3, 4}, {5, 6, 7, 8, 9}}, {},
+                                    f.pois, f.popularity, options);
+  EXPECT_EQ(merged.size(), 2u);
+}
+
+TEST(MergingTest, FarApartSimilarUnitsStaySeparate) {
+  std::vector<Poi> poi_list;
+  auto a = PoiCluster(0, 0, 0, 8.0, 5, MajorCategory::kShopMarket);
+  auto b = PoiCluster(5, 2000, 0, 8.0, 5, MajorCategory::kShopMarket);
+  poi_list.insert(poi_list.end(), a.begin(), a.end());
+  poi_list.insert(poi_list.end(), b.begin(), b.end());
+  MergeFixture f(poi_list);
+  auto merged = SemanticUnitMerging({{0, 1, 2, 3, 4}, {5, 6, 7, 8, 9}}, {},
+                                    f.pois, f.popularity, {});
+  EXPECT_EQ(merged.size(), 2u);
+}
+
+TEST(MergingTest, LeftoverPoiAbsorbedIntoSimilarNeighbor) {
+  // The paper's Figure 5(b): a lone office POI merges into the office
+  // unit next door.
+  std::vector<Poi> poi_list =
+      PoiCluster(0, 0, 0, 8.0, 5, MajorCategory::kBusinessOffice);
+  poi_list.push_back(MakePoi(5, 30, 0, MajorCategory::kBusinessOffice));
+  MergeFixture f(poi_list);
+  MergingOptions options;
+  options.neighbor_distance = 50.0;
+  auto merged = SemanticUnitMerging({{0, 1, 2, 3, 4}}, {5}, f.pois,
+                                    f.popularity, options);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].size(), 6u);
+}
+
+TEST(MergingTest, UnmergedLeftoverSingletonDropped) {
+  std::vector<Poi> poi_list =
+      PoiCluster(0, 0, 0, 8.0, 5, MajorCategory::kBusinessOffice);
+  poi_list.push_back(MakePoi(5, 3000, 0, MajorCategory::kBusinessOffice));
+  MergeFixture f(poi_list);
+  MergingOptions options;
+  options.keep_unmerged_singletons = false;
+  auto merged = SemanticUnitMerging({{0, 1, 2, 3, 4}}, {5}, f.pois,
+                                    f.popularity, options);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].size(), 5u);
+}
+
+TEST(MergingTest, KeepUnmergedSingletonsWhenConfigured) {
+  std::vector<Poi> poi_list =
+      PoiCluster(0, 0, 0, 8.0, 5, MajorCategory::kBusinessOffice);
+  poi_list.push_back(MakePoi(5, 3000, 0, MajorCategory::kBusinessOffice));
+  MergeFixture f(poi_list);
+  MergingOptions options;
+  options.keep_unmerged_singletons = true;
+  auto merged = SemanticUnitMerging({{0, 1, 2, 3, 4}}, {5}, f.pois,
+                                    f.popularity, options);
+  EXPECT_EQ(merged.size(), 2u);
+}
+
+TEST(MergingTest, TransitiveChainMergesInOnePass) {
+  // Three shop fragments in a line, each within reach of the next only:
+  // iterated merging must fuse all three.
+  std::vector<Poi> poi_list;
+  for (int g = 0; g < 3; ++g) {
+    auto frag = PoiCluster(static_cast<PoiId>(g * 4), g * 45.0, 0, 6.0, 4,
+                           MajorCategory::kShopMarket);
+    poi_list.insert(poi_list.end(), frag.begin(), frag.end());
+  }
+  MergeFixture f(poi_list);
+  MergingOptions options;
+  options.neighbor_distance = 45.0;
+  auto merged = SemanticUnitMerging(
+      {{0, 1, 2, 3}, {4, 5, 6, 7}, {8, 9, 10, 11}}, {}, f.pois,
+      f.popularity, options);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].size(), 12u);
+}
+
+TEST(MergingTest, EmptyInputs) {
+  PoiDatabase pois(std::vector<Poi>{});
+  PopularityModel popularity(pois, {}, 100.0);
+  EXPECT_TRUE(SemanticUnitMerging({}, {}, pois, popularity, {}).empty());
+}
+
+TEST(MergingTest, PreservesTotalPoiMembership) {
+  std::vector<Poi> poi_list;
+  auto a = PoiCluster(0, 0, 0, 8.0, 5, MajorCategory::kShopMarket);
+  auto b = PoiCluster(5, 40, 0, 8.0, 5, MajorCategory::kShopMarket);
+  auto c = PoiCluster(10, 500, 0, 8.0, 5, MajorCategory::kResidence);
+  poi_list.insert(poi_list.end(), a.begin(), a.end());
+  poi_list.insert(poi_list.end(), b.begin(), b.end());
+  poi_list.insert(poi_list.end(), c.begin(), c.end());
+  MergeFixture f(poi_list);
+  auto merged = SemanticUnitMerging(
+      {{0, 1, 2, 3, 4}, {5, 6, 7, 8, 9}, {10, 11, 12, 13, 14}}, {}, f.pois,
+      f.popularity, {});
+  std::vector<int> seen(f.pois.size(), 0);
+  for (const auto& unit : merged) {
+    for (PoiId pid : unit) seen[pid]++;
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+}  // namespace
+}  // namespace csd

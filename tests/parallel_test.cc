@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "core/popularity.h"
+#include "core/semantic_recognition.h"
+#include "tests/test_helpers.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace csd {
+namespace {
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  for (size_t n : {0u, 1u, 100u, 5000u, 12345u}) {
+    std::vector<std::atomic<int>> hits(n);
+    ParallelFor(n, [&hits](size_t i) { hits[i]++; });
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ParallelForTest, ExplicitThreadCounts) {
+  const size_t n = 10000;
+  for (size_t threads : {1u, 2u, 3u, 16u, 100u}) {
+    std::atomic<int64_t> sum{0};
+    ParallelFor(
+        n, [&sum](size_t i) { sum += static_cast<int64_t>(i); }, threads);
+    EXPECT_EQ(sum.load(), static_cast<int64_t>(n * (n - 1) / 2))
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelForTest, DefaultParallelismIsPositive) {
+  EXPECT_GE(DefaultParallelism(), 1u);
+}
+
+/// The parallelized kernels must produce bit-identical results to a
+/// serial run (they only write distinct slots).
+TEST(ParallelForTest, PopularityMatchesSerialComputation) {
+  Rng rng(3);
+  std::vector<Poi> pois;
+  for (PoiId i = 0; i < 3000; ++i) {
+    pois.push_back(::csd::testing::MakePoi(
+        i, rng.Uniform(0, 5000), rng.Uniform(0, 5000),
+        MajorCategory::kShopMarket));
+  }
+  std::vector<StayPoint> stays;
+  for (int i = 0; i < 5000; ++i) {
+    stays.emplace_back(Vec2{rng.Uniform(0, 5000), rng.Uniform(0, 5000)}, 0);
+  }
+  PoiDatabase db(pois);
+  PopularityModel parallel_model(db, stays, 100.0);
+  // Serial reference.
+  for (PoiId i = 0; i < db.size(); ++i) {
+    double acc = 0.0;
+    for (const StayPoint& sp : stays) {
+      double d = Distance(db.poi(i).position, sp.position);
+      if (d < 100.0) acc += GaussianCoefficient(d, 100.0);
+    }
+    EXPECT_NEAR(parallel_model.popularity(i), acc, 1e-9) << i;
+  }
+}
+
+TEST(ParallelForTest, AnnotationMatchesPerTrajectoryAnnotate) {
+  Rng rng(4);
+  std::vector<Poi> pois;
+  for (PoiId i = 0; i < 200; ++i) {
+    pois.push_back(::csd::testing::MakePoi(
+        i, rng.Uniform(0, 2000), rng.Uniform(0, 2000),
+        static_cast<MajorCategory>(rng.UniformInt(0, 14))));
+  }
+  PoiDatabase db(pois);
+  std::vector<StayPoint> stays;
+  for (int i = 0; i < 500; ++i) {
+    stays.emplace_back(Vec2{rng.Uniform(0, 2000), rng.Uniform(0, 2000)}, 0);
+  }
+  CitySemanticDiagram diagram = CsdBuilder().Build(db, stays);
+  CsdRecognizer recognizer(&diagram, 100.0);
+
+  SemanticTrajectoryDb batch;
+  for (int t = 0; t < 3000; ++t) {
+    SemanticTrajectory st;
+    st.id = static_cast<TrajectoryId>(t);
+    st.stays.emplace_back(
+        Vec2{rng.Uniform(0, 2000), rng.Uniform(0, 2000)}, t);
+    batch.push_back(st);
+  }
+  SemanticTrajectoryDb serial = batch;
+  recognizer.AnnotateDatabase(&batch);  // parallel path (n >= 2048)
+  for (SemanticTrajectory& st : serial) recognizer.Annotate(&st);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batch[i].stays[0].semantic.bits(),
+              serial[i].stays[0].semantic.bits());
+  }
+}
+
+}  // namespace
+}  // namespace csd

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "analysis/corridors.h"
+#include "analysis/time_segments.h"
+#include "io/dataset_io.h"
+#include "tests/test_helpers.h"
+
+namespace csd {
+namespace {
+
+using ::csd::testing::MakeStay;
+
+class PatternIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("csd_pattern_io_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+FineGrainedPattern SamplePattern(double x0, size_t support, Timestamp t0) {
+  FineGrainedPattern p;
+  p.representative.push_back(
+      MakeStay(x0, 0, t0, MajorCategory::kResidence));
+  p.representative.push_back(StayPoint(
+      {x0 + 5000, 0}, t0 + 1800,
+      SemanticProperty{MajorCategory::kBusinessOffice,
+                       MajorCategory::kRestaurant}));
+  p.groups.resize(2);
+  for (size_t i = 0; i < support; ++i) {
+    p.groups[0].push_back(p.representative[0]);
+    p.groups[1].push_back(p.representative[1]);
+    p.supporting.push_back(static_cast<TrajectoryId>(i));
+  }
+  return p;
+}
+
+TEST_F(PatternIoTest, RoundTripPreservesAggregates) {
+  std::vector<FineGrainedPattern> patterns = {
+      SamplePattern(0, 40, 8 * kSecondsPerHour),
+      SamplePattern(9000, 25, 18 * kSecondsPerHour)};
+  std::string path = Path("p.csv");
+  ASSERT_TRUE(WritePatternsCsv(path, patterns).ok());
+  auto loaded = ReadPatternsCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), 2u);
+  for (size_t i = 0; i < 2; ++i) {
+    const auto& a = patterns[i];
+    const auto& b = loaded.value()[i];
+    EXPECT_EQ(b.support(), a.support());
+    ASSERT_EQ(b.length(), a.length());
+    for (size_t k = 0; k < a.length(); ++k) {
+      EXPECT_NEAR(b.representative[k].position.x,
+                  a.representative[k].position.x, 1e-3);
+      EXPECT_EQ(b.representative[k].time, a.representative[k].time);
+      EXPECT_EQ(b.representative[k].semantic.bits(),
+                a.representative[k].semantic.bits());
+      EXPECT_EQ(b.groups[k].size(), a.support());
+    }
+  }
+}
+
+TEST_F(PatternIoTest, LoadedPatternsDriveAnalyses) {
+  std::vector<FineGrainedPattern> patterns = {
+      SamplePattern(0, 40, 8 * kSecondsPerHour),
+      SamplePattern(9000, 25, 18 * kSecondsPerHour)};
+  std::string path = Path("p.csv");
+  ASSERT_TRUE(WritePatternsCsv(path, patterns).ok());
+  auto loaded = ReadPatternsCsv(path);
+  ASSERT_TRUE(loaded.ok());
+
+  auto segments = SegmentPatterns(loaded.value());
+  EXPECT_EQ(segments[static_cast<int>(TimeSegment::kWeekdayMorning)]
+                .patterns.size(),
+            1u);
+  EXPECT_EQ(
+      segments[static_cast<int>(TimeSegment::kWeekdayNight)].patterns.size(),
+      1u);
+
+  auto corridors = AggregateCorridors(loaded.value());
+  ASSERT_EQ(corridors.size(), 2u);
+  EXPECT_EQ(corridors[0].demand, 40u);
+  EXPECT_EQ(corridors[0].PeakHour(), 8);
+}
+
+TEST_F(PatternIoTest, EmptyPatternSetRoundTrips) {
+  std::string path = Path("empty.csv");
+  ASSERT_TRUE(WritePatternsCsv(path, {}).ok());
+  auto loaded = ReadPatternsCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().empty());
+}
+
+TEST_F(PatternIoTest, RejectsOutOfOrderRows) {
+  std::string path = Path("bad.csv");
+  std::ofstream(path) << "0,1,1.0,2.0,100,5,Residence\n";  // position 1 first
+  auto loaded = ReadPatternsCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(PatternIoTest, RejectsUnknownCategory) {
+  std::string path = Path("badcat.csv");
+  std::ofstream(path) << "0,0,1.0,2.0,100,5,Discotheque\n";
+  EXPECT_FALSE(ReadPatternsCsv(path).ok());
+}
+
+}  // namespace
+}  // namespace csd

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "poi/category.h"
+#include "poi/poi_database.h"
+#include "poi/semantic_property.h"
+#include "tests/test_helpers.h"
+
+namespace csd {
+namespace {
+
+using ::csd::testing::MakePoi;
+
+// --- Taxonomy ----------------------------------------------------------------
+
+TEST(CategoryTest, FifteenMajorsWithTableThreeShares) {
+  double total = 0.0;
+  for (int c = 0; c < kNumMajorCategories; ++c) {
+    total += MajorCategoryShare(static_cast<MajorCategory>(c));
+  }
+  EXPECT_NEAR(total, 1.0, 0.002);  // Table 3 sums to 100.01%
+  EXPECT_DOUBLE_EQ(MajorCategoryShare(MajorCategory::kResidence), 0.1809);
+  EXPECT_DOUBLE_EQ(MajorCategoryShare(MajorCategory::kTourism), 0.0051);
+}
+
+TEST(CategoryTest, SharesDecreaseInTableOrder) {
+  for (int c = 0; c + 1 < kNumMajorCategories; ++c) {
+    EXPECT_GE(MajorCategoryShare(static_cast<MajorCategory>(c)),
+              MajorCategoryShare(static_cast<MajorCategory>(c + 1)));
+  }
+}
+
+TEST(CategoryTest, MajorNameRoundTrip) {
+  for (int c = 0; c < kNumMajorCategories; ++c) {
+    auto cat = static_cast<MajorCategory>(c);
+    auto parsed = MajorCategoryFromName(MajorCategoryName(cat));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), cat);
+  }
+  EXPECT_FALSE(MajorCategoryFromName("Discotheque").ok());
+}
+
+TEST(CategoryTest, NinetyEightMinorsEachInOneMajor) {
+  const CategoryTaxonomy& tax = CategoryTaxonomy::Get();
+  EXPECT_EQ(tax.num_minor(), 98);
+  size_t total = 0;
+  std::set<std::string_view> names;
+  for (int major = 0; major < kNumMajorCategories; ++major) {
+    for (MinorCategoryId minor :
+         tax.MinorsOf(static_cast<MajorCategory>(major))) {
+      EXPECT_EQ(tax.MajorOf(minor), static_cast<MajorCategory>(major));
+      names.insert(tax.MinorName(minor));
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, 98u);
+  EXPECT_EQ(names.size(), 98u) << "minor names must be unique";
+}
+
+TEST(CategoryTest, MinorNameRoundTrip) {
+  const CategoryTaxonomy& tax = CategoryTaxonomy::Get();
+  auto parsed = tax.MinorFromName("Supermarket");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(tax.MajorOf(parsed.value()), MajorCategory::kShopMarket);
+  EXPECT_FALSE(tax.MinorFromName("Moon Base").ok());
+}
+
+// --- SemanticProperty ----------------------------------------------------------
+
+TEST(SemanticPropertyTest, EmptyAndSingleton) {
+  SemanticProperty empty;
+  EXPECT_TRUE(empty.Empty());
+  EXPECT_EQ(empty.Size(), 0);
+
+  SemanticProperty s(MajorCategory::kRestaurant);
+  EXPECT_FALSE(s.Empty());
+  EXPECT_EQ(s.Size(), 1);
+  EXPECT_TRUE(s.Contains(MajorCategory::kRestaurant));
+  EXPECT_FALSE(s.Contains(MajorCategory::kResidence));
+  EXPECT_EQ(s.First(), MajorCategory::kRestaurant);
+}
+
+TEST(SemanticPropertyTest, SupersetIsDefinitionSevenSemantics) {
+  SemanticProperty big{MajorCategory::kResidence, MajorCategory::kShopMarket,
+                       MajorCategory::kRestaurant};
+  SemanticProperty small{MajorCategory::kShopMarket};
+  EXPECT_TRUE(big.IsSupersetOf(small));
+  EXPECT_FALSE(small.IsSupersetOf(big));
+  EXPECT_TRUE(big.IsSupersetOf(big));
+  EXPECT_TRUE(big.IsSupersetOf(SemanticProperty()));  // ⊇ ∅ always
+}
+
+TEST(SemanticPropertyTest, UnionIntersection) {
+  SemanticProperty a{MajorCategory::kResidence, MajorCategory::kShopMarket};
+  SemanticProperty b{MajorCategory::kShopMarket, MajorCategory::kSports};
+  EXPECT_EQ(a.Union(b).Size(), 3);
+  EXPECT_EQ(a.Intersection(b).Size(), 1);
+  EXPECT_TRUE(a.Intersection(b).Contains(MajorCategory::kShopMarket));
+}
+
+TEST(SemanticPropertyTest, CosineMatchesIndicatorFormula) {
+  SemanticProperty a{MajorCategory::kResidence, MajorCategory::kShopMarket};
+  SemanticProperty b{MajorCategory::kShopMarket, MajorCategory::kSports};
+  // |A∩B| / sqrt(|A||B|) = 1/2.
+  EXPECT_DOUBLE_EQ(a.Cosine(b), 0.5);
+  EXPECT_DOUBLE_EQ(a.Cosine(a), 1.0);
+  EXPECT_DOUBLE_EQ(a.Cosine(SemanticProperty()), 0.0);
+  EXPECT_DOUBLE_EQ(SemanticProperty().Cosine(SemanticProperty()), 1.0);
+}
+
+TEST(SemanticPropertyTest, ToStringListsNames) {
+  SemanticProperty s{MajorCategory::kResidence, MajorCategory::kRestaurant};
+  EXPECT_EQ(s.ToString(), "{Residence, Restaurant}");
+  EXPECT_EQ(SemanticProperty().ToString(), "{}");
+}
+
+// --- PoiDatabase ----------------------------------------------------------------
+
+TEST(PoiDatabaseTest, ReassignsDenseIds) {
+  std::vector<Poi> pois = {MakePoi(77, 0, 0, MajorCategory::kResidence),
+                           MakePoi(99, 10, 0, MajorCategory::kShopMarket)};
+  PoiDatabase db(pois);
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_EQ(db.poi(0).id, 0u);
+  EXPECT_EQ(db.poi(1).id, 1u);
+}
+
+TEST(PoiDatabaseTest, RangeQueryAndNearest) {
+  std::vector<Poi> pois = {MakePoi(0, 0, 0, MajorCategory::kResidence),
+                           MakePoi(1, 50, 0, MajorCategory::kShopMarket),
+                           MakePoi(2, 500, 0, MajorCategory::kRestaurant)};
+  PoiDatabase db(pois);
+  auto hits = db.RangeQuery({0, 0}, 100.0);
+  EXPECT_EQ(hits.size(), 2u);
+  EXPECT_EQ(db.Nearest({480, 0}), 2u);
+}
+
+TEST(PoiDatabaseTest, CountByMajorMatchesInput) {
+  std::vector<Poi> pois;
+  for (int i = 0; i < 5; ++i) {
+    pois.push_back(MakePoi(0, i, 0, MajorCategory::kResidence));
+  }
+  for (int i = 0; i < 3; ++i) {
+    pois.push_back(MakePoi(0, i, 10, MajorCategory::kMedicalService));
+  }
+  PoiDatabase db(pois);
+  auto counts = db.CountByMajor();
+  EXPECT_EQ(counts[static_cast<size_t>(MajorCategory::kResidence)], 5u);
+  EXPECT_EQ(counts[static_cast<size_t>(MajorCategory::kMedicalService)], 3u);
+  EXPECT_EQ(counts[static_cast<size_t>(MajorCategory::kTourism)], 0u);
+}
+
+TEST(PoiDatabaseTest, Bounds) {
+  std::vector<Poi> pois = {MakePoi(0, -5, 2, MajorCategory::kResidence),
+                           MakePoi(1, 9, -1, MajorCategory::kResidence)};
+  PoiDatabase db(pois);
+  BoundingBox box = db.Bounds();
+  EXPECT_EQ(box.min, Vec2(-5, -1));
+  EXPECT_EQ(box.max, Vec2(9, 2));
+}
+
+TEST(PoiTest, SemanticIsSingletonOfMajor) {
+  Poi p = MakePoi(0, 0, 0, MajorCategory::kMedicalService);
+  EXPECT_EQ(p.major(), MajorCategory::kMedicalService);
+  EXPECT_EQ(p.semantic().Size(), 1);
+  EXPECT_TRUE(p.semantic().Contains(MajorCategory::kMedicalService));
+}
+
+}  // namespace
+}  // namespace csd

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "core/popularity_clustering.h"
+#include "tests/test_helpers.h"
+
+namespace csd {
+namespace {
+
+using ::csd::testing::MakePoi;
+using ::csd::testing::PoiCluster;
+
+/// Stays placed on top of every POI make all popularities comparable.
+std::vector<StayPoint> UniformStays(const std::vector<Poi>& pois,
+                                    int per_poi = 3) {
+  std::vector<StayPoint> stays;
+  for (const Poi& p : pois) {
+    for (int i = 0; i < per_poi; ++i) {
+      stays.emplace_back(p.position, 0);
+    }
+  }
+  return stays;
+}
+
+TEST(PopularityClusteringTest, GroupsSameCategoryNeighborhood) {
+  // 8 shops within a 20 m ring: one cluster.
+  std::vector<Poi> pois =
+      PoiCluster(0, 0, 0, 20.0, 8, MajorCategory::kShopMarket);
+  PoiDatabase db(pois);
+  PopularityModel pop(db, UniformStays(pois), 100.0);
+  PopularityClusteringOptions options;
+  options.min_pts = 5;
+  options.eps = 30.0;
+  auto result = PopularityBasedClustering(db, pop, options);
+  ASSERT_EQ(result.clusters.size(), 1u);
+  EXPECT_EQ(result.clusters[0].size(), 8u);
+  EXPECT_TRUE(result.unclustered.empty());
+}
+
+TEST(PopularityClusteringTest, SkyscraperMixedCategoriesClusterViaOverlap) {
+  // Co-located POIs of different categories (d ≤ d_v) must cluster.
+  std::vector<Poi> pois = {
+      MakePoi(0, 0, 0, MajorCategory::kBusinessOffice),
+      MakePoi(1, 3, 0, MajorCategory::kShopMarket),
+      MakePoi(2, 0, 4, MajorCategory::kRestaurant),
+      MakePoi(3, 5, 5, MajorCategory::kEntertainment),
+      MakePoi(4, 2, 2, MajorCategory::kAccommodationHotel),
+  };
+  PoiDatabase db(pois);
+  PopularityModel pop(db, UniformStays(pois), 100.0);
+  PopularityClusteringOptions options;
+  options.min_pts = 5;
+  options.eps = 30.0;
+  options.vertical_overlap = 15.0;
+  auto result = PopularityBasedClustering(db, pop, options);
+  ASSERT_EQ(result.clusters.size(), 1u);
+  EXPECT_EQ(result.clusters[0].size(), 5u);
+}
+
+TEST(PopularityClusteringTest, DifferentCategoryBeyondOverlapSplits) {
+  // Shops at one spot, restaurants 25 m away (> d_v, same ε): two groups,
+  // each below MinPts=5 → dissolved, or separate clusters with MinPts=3.
+  std::vector<Poi> pois;
+  auto shops = PoiCluster(0, 0, 0, 4.0, 4, MajorCategory::kShopMarket);
+  auto rests = PoiCluster(4, 25, 0, 4.0, 4, MajorCategory::kRestaurant);
+  pois.insert(pois.end(), shops.begin(), shops.end());
+  pois.insert(pois.end(), rests.begin(), rests.end());
+  PoiDatabase db(pois);
+  PopularityModel pop(db, UniformStays(pois), 100.0);
+  PopularityClusteringOptions options;
+  options.min_pts = 3;
+  options.eps = 30.0;
+  options.vertical_overlap = 10.0;
+  auto result = PopularityBasedClustering(db, pop, options);
+  ASSERT_EQ(result.clusters.size(), 2u);
+  // Each cluster must be single-category.
+  for (const auto& cluster : result.clusters) {
+    MajorCategory first = db.poi(cluster.front()).major();
+    for (PoiId pid : cluster) EXPECT_EQ(db.poi(pid).major(), first);
+  }
+}
+
+TEST(PopularityClusteringTest, PopularityRatioSplitsHotAndColdPois) {
+  // A line of same-category POIs 18 m apart. Stay points sit 85 m from
+  // POI 0 only, so POI 0 is popular while POIs 1-4 (≥ 103 m away, outside
+  // R3σ) have zero popularity: the ratio test (line 5) rejects them from
+  // POI 0's cluster.
+  std::vector<Poi> pois;
+  for (PoiId i = 0; i < 5; ++i) {
+    pois.push_back(MakePoi(i, i * 18.0, 0, MajorCategory::kShopMarket));
+  }
+  PoiDatabase db(pois);
+  std::vector<StayPoint> stays;
+  for (int i = 0; i < 50; ++i) stays.emplace_back(Vec2{-85.0, 0.0}, 0);
+  PopularityModel pop(db, stays, 100.0);
+  ASSERT_GT(pop.popularity(0), 0.0);
+  ASSERT_DOUBLE_EQ(pop.popularity(1), 0.0);
+
+  PopularityClusteringOptions options;
+  options.min_pts = 2;
+  options.eps = 30.0;
+  options.alpha = 0.8;
+  auto result = PopularityBasedClustering(db, pop, options);
+  // POI 0 seeds first, accepts no one (ratio fails), and its singleton
+  // dissolves; the zero-popularity POIs 1-4 chain into one cluster
+  // (0/0 counts as equal popularity).
+  ASSERT_EQ(result.clusters.size(), 1u);
+  EXPECT_EQ(result.clusters[0].size(), 4u);
+  ASSERT_EQ(result.unclustered.size(), 1u);
+  EXPECT_EQ(result.unclustered[0], 0u);
+}
+
+TEST(PopularityClusteringTest, MinPtsDissolvesSmallClusters) {
+  std::vector<Poi> pois =
+      PoiCluster(0, 0, 0, 10.0, 3, MajorCategory::kShopMarket);
+  PoiDatabase db(pois);
+  PopularityModel pop(db, UniformStays(pois), 100.0);
+  PopularityClusteringOptions options;
+  options.min_pts = 5;
+  options.eps = 30.0;
+  auto result = PopularityBasedClustering(db, pop, options);
+  EXPECT_TRUE(result.clusters.empty());
+  EXPECT_EQ(result.unclustered.size(), 3u);
+}
+
+TEST(PopularityClusteringTest, IsolatedPoiStaysUnclustered) {
+  std::vector<Poi> pois =
+      PoiCluster(0, 0, 0, 10.0, 6, MajorCategory::kShopMarket);
+  pois.push_back(MakePoi(6, 5000, 5000, MajorCategory::kShopMarket));
+  PoiDatabase db(pois);
+  PopularityModel pop(db, UniformStays(pois), 100.0);
+  PopularityClusteringOptions options;
+  options.min_pts = 5;
+  options.eps = 30.0;
+  auto result = PopularityBasedClustering(db, pop, options);
+  ASSERT_EQ(result.clusters.size(), 1u);
+  ASSERT_EQ(result.unclustered.size(), 1u);
+  EXPECT_EQ(result.unclustered[0], 6u);  // the paper's p16 case
+}
+
+TEST(PopularityClusteringTest, ChainGrowthViaRangeExpansion) {
+  // A 25 m-spaced line of same-category POIs: each is within ε of the
+  // next, so range expansion chains them all into one cluster.
+  std::vector<Poi> pois;
+  for (PoiId i = 0; i < 8; ++i) {
+    pois.push_back(MakePoi(i, i * 25.0, 0, MajorCategory::kRestaurant));
+  }
+  PoiDatabase db(pois);
+  PopularityModel pop(db, UniformStays(pois), 200.0);
+  PopularityClusteringOptions options;
+  options.min_pts = 5;
+  options.eps = 30.0;
+  options.alpha = 0.5;  // popularity falls off along the chain
+  auto result = PopularityBasedClustering(db, pop, options);
+  ASSERT_EQ(result.clusters.size(), 1u);
+  EXPECT_EQ(result.clusters[0].size(), 8u);
+}
+
+TEST(PopularityClusteringTest, ClustersAreDisjointAndCoverTakenPois) {
+  std::vector<Poi> pois;
+  auto a = PoiCluster(0, 0, 0, 15.0, 6, MajorCategory::kShopMarket);
+  auto b = PoiCluster(6, 500, 0, 15.0, 6, MajorCategory::kResidence);
+  pois.insert(pois.end(), a.begin(), a.end());
+  pois.insert(pois.end(), b.begin(), b.end());
+  PoiDatabase db(pois);
+  PopularityModel pop(db, UniformStays(pois), 100.0);
+  auto result = PopularityBasedClustering(db, pop, {});
+  std::vector<int> seen(db.size(), 0);
+  for (const auto& cluster : result.clusters) {
+    for (PoiId pid : cluster) seen[pid]++;
+  }
+  for (PoiId pid : result.unclustered) seen[pid]++;
+  for (int count : seen) EXPECT_EQ(count, 1);  // partition property
+}
+
+}  // namespace
+}  // namespace csd

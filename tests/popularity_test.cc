@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "core/popularity.h"
+#include "tests/test_helpers.h"
+#include "util/rng.h"
+
+namespace csd {
+namespace {
+
+using ::csd::testing::MakePoi;
+
+TEST(GaussianCoefficientTest, MatchesEquationTwo) {
+  // Equation (2) with R3σ = 100: σ = 100/3,
+  // ||p,p'|| = 1/(σ√(2π)) · exp(-d²/(2σ²)).
+  double r3 = 100.0;
+  double sigma = r3 / 3.0;
+  double norm = 1.0 / (sigma * std::sqrt(2.0 * std::numbers::pi));
+  EXPECT_DOUBLE_EQ(GaussianCoefficient(0.0, r3), norm);
+  double d = 50.0;
+  EXPECT_DOUBLE_EQ(GaussianCoefficient(d, r3),
+                   norm * std::exp(-d * d / (2.0 * sigma * sigma)));
+}
+
+TEST(GaussianCoefficientTest, MonotoneDecreasingInDistance) {
+  double prev = GaussianCoefficient(0.0, 100.0);
+  for (double d = 10.0; d <= 300.0; d += 10.0) {
+    double cur = GaussianCoefficient(d, 100.0);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(GaussianCoefficientTest, NegligibleBeyondThreeSigma) {
+  EXPECT_LT(GaussianCoefficient(100.0, 100.0),
+            GaussianCoefficient(0.0, 100.0) * 0.02);
+}
+
+TEST(PopularityModelTest, EquationThreeSumOverInRangeStays) {
+  std::vector<Poi> pois = {MakePoi(0, 0, 0, MajorCategory::kShopMarket)};
+  PoiDatabase db(pois);
+  // Two stay points within R3σ = 100, one outside.
+  std::vector<StayPoint> stays = {StayPoint({30, 0}, 0),
+                                  StayPoint({0, 40}, 0),
+                                  StayPoint({150, 0}, 0)};
+  PopularityModel model(db, stays, 100.0);
+  double expected =
+      GaussianCoefficient(30.0, 100.0) + GaussianCoefficient(40.0, 100.0);
+  EXPECT_DOUBLE_EQ(model.popularity(0), expected);
+}
+
+TEST(PopularityModelTest, BoundaryStayExcluded) {
+  // Equation (3) sums stays with d < R3σ strictly.
+  std::vector<Poi> pois = {MakePoi(0, 0, 0, MajorCategory::kShopMarket)};
+  PoiDatabase db(pois);
+  std::vector<StayPoint> stays = {StayPoint({100.0 + 1e-9, 0}, 0)};
+  PopularityModel model(db, stays, 100.0);
+  EXPECT_DOUBLE_EQ(model.popularity(0), 0.0);
+}
+
+TEST(PopularityModelTest, NoStaysMeansZeroEverywhere) {
+  std::vector<Poi> pois = {MakePoi(0, 0, 0, MajorCategory::kShopMarket),
+                           MakePoi(1, 10, 10, MajorCategory::kResidence)};
+  PoiDatabase db(pois);
+  PopularityModel model(db, {}, 100.0);
+  EXPECT_DOUBLE_EQ(model.popularity(0), 0.0);
+  EXPECT_DOUBLE_EQ(model.popularity(1), 0.0);
+}
+
+TEST(PopularityModelTest, CloserPoiIsMorePopular) {
+  std::vector<Poi> pois = {MakePoi(0, 0, 0, MajorCategory::kShopMarket),
+                           MakePoi(1, 80, 0, MajorCategory::kShopMarket)};
+  PoiDatabase db(pois);
+  std::vector<StayPoint> stays;
+  for (int i = 0; i < 10; ++i) stays.push_back(StayPoint({5, 0}, 0));
+  PopularityModel model(db, stays, 100.0);
+  EXPECT_GT(model.popularity(0), model.popularity(1));
+  EXPECT_GT(model.popularity(1), 0.0);
+}
+
+TEST(PopularityModelTest, MatchesBruteForceOnRandomData) {
+  Rng rng(42);
+  std::vector<Poi> pois;
+  for (PoiId i = 0; i < 50; ++i) {
+    pois.push_back(MakePoi(i, rng.Uniform(0, 1000), rng.Uniform(0, 1000),
+                           MajorCategory::kShopMarket));
+  }
+  std::vector<StayPoint> stays;
+  for (int i = 0; i < 200; ++i) {
+    stays.push_back(StayPoint({rng.Uniform(0, 1000), rng.Uniform(0, 1000)},
+                              0));
+  }
+  PoiDatabase db(pois);
+  PopularityModel model(db, stays, 100.0);
+  for (PoiId i = 0; i < db.size(); ++i) {
+    double brute = 0.0;
+    for (const StayPoint& sp : stays) {
+      double d = Distance(db.poi(i).position, sp.position);
+      if (d < 100.0) brute += GaussianCoefficient(d, 100.0);
+    }
+    EXPECT_NEAR(model.popularity(i), brute, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace csd

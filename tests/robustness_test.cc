@@ -1,0 +1,158 @@
+// Robustness: the parsers must reject arbitrary malformed input with a
+// Status — never crash, never return garbage — and the algorithms must
+// tolerate degenerate geometry.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "cluster/dbscan.h"
+#include "cluster/optics.h"
+#include "core/city_semantic_diagram.h"
+#include "io/binary_io.h"
+#include "io/dataset_io.h"
+#include "tests/test_helpers.h"
+#include "util/rng.h"
+
+namespace csd {
+namespace {
+
+class RobustnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("csd_robust_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Write(const std::string& name, const std::string& content) {
+    std::string path = (dir_ / name).string();
+    std::ofstream(path, std::ios::binary) << content;
+    return path;
+  }
+
+  std::filesystem::path dir_;
+};
+
+std::string RandomGarbage(Rng* rng, size_t length) {
+  std::string s;
+  s.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    s.push_back(static_cast<char>(rng->UniformInt(1, 255)));
+  }
+  return s;
+}
+
+std::string RandomCsvish(Rng* rng, int lines) {
+  std::string s;
+  const char* tokens[] = {"1",   "-3.5", "abc", "",   "1e999",
+                          "NaN", ",",    "#x",  "9e9", "0x1f"};
+  for (int l = 0; l < lines; ++l) {
+    int fields = static_cast<int>(rng->UniformInt(1, 9));
+    for (int f = 0; f < fields; ++f) {
+      if (f > 0) s += ',';
+      s += tokens[rng->UniformInt(0, 9)];
+    }
+    s += '\n';
+  }
+  return s;
+}
+
+TEST_F(RobustnessTest, CsvParsersRejectGarbageWithoutCrashing) {
+  Rng rng(99);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string path = Write("g.csv", trial % 2 == 0
+                                          ? RandomGarbage(&rng, 400)
+                                          : RandomCsvish(&rng, 12));
+    // Every reader must return a Status (usually ParseError), not crash.
+    auto pois = ReadPoisCsv(path);
+    if (pois.ok()) EXPECT_TRUE(pois.value().empty() || !pois.value().empty());
+    auto journeys = ReadJourneysCsv(path);
+    (void)journeys.ok();
+    auto patterns = ReadPatternsCsv(path);
+    (void)patterns.ok();
+    auto csd = ReadCsdCsv(path);
+    (void)csd.ok();
+  }
+}
+
+TEST_F(RobustnessTest, BinaryParsersRejectGarbageWithoutCrashing) {
+  Rng rng(101);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string content = RandomGarbage(&rng, 300);
+    // Half the trials: valid magic + garbage body.
+    if (trial % 2 == 0) content = std::string("CSDJ") + content;
+    if (trial % 3 == 0) content = std::string("CSDU") + content;
+    std::string path = Write("g.bin", content);
+    auto journeys = ReadJourneysBinary(path);
+    EXPECT_FALSE(journeys.ok());  // garbage never parses into journeys
+
+    std::vector<Poi> poi_list = {
+        ::csd::testing::MakePoi(0, 0, 0, MajorCategory::kShopMarket)};
+    PoiDatabase pois(poi_list);
+    auto csd = ReadCsdBinary(path, pois);
+    EXPECT_FALSE(csd.ok());
+  }
+}
+
+TEST_F(RobustnessTest, CsdBinaryWithHugeCountsFailsCleanly) {
+  // Header claims 2^60 POIs: the reader must fail on the size check or on
+  // truncation, not allocate the world.
+  std::string content("CSDU", 4);
+  uint32_t version = 1;
+  uint64_t huge = 1ull << 60;
+  content.append(reinterpret_cast<const char*>(&version), 4);
+  content.append(reinterpret_cast<const char*>(&huge), 8);
+  std::string path = Write("huge.bin", content);
+  std::vector<Poi> poi_list = {
+      ::csd::testing::MakePoi(0, 0, 0, MajorCategory::kShopMarket)};
+  PoiDatabase pois(poi_list);
+  auto csd = ReadCsdBinary(path, pois);
+  ASSERT_FALSE(csd.ok());
+  EXPECT_EQ(csd.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// --- Degenerate geometry -----------------------------------------------------
+
+TEST(DegenerateGeometryTest, AllPointsIdentical) {
+  std::vector<Vec2> pts(100, Vec2{5, 5});
+  DbscanOptions db;
+  db.eps = 1.0;
+  db.min_pts = 5;
+  Clustering c = Dbscan(pts, db);
+  EXPECT_EQ(c.num_clusters, 1);
+  Clustering o = OpticsCluster(pts, 5, 100.0);
+  EXPECT_EQ(o.num_clusters, 1);
+}
+
+TEST(DegenerateGeometryTest, CsdOnCoincidentPois) {
+  // 20 POIs at the exact same coordinate, mixed categories.
+  std::vector<Poi> pois;
+  for (PoiId i = 0; i < 20; ++i) {
+    pois.push_back(::csd::testing::MakePoi(
+        i, 100, 100, static_cast<MajorCategory>(i % 5)));
+  }
+  PoiDatabase db(pois);
+  std::vector<StayPoint> stays(30, StayPoint({100, 100}, 0));
+  CitySemanticDiagram diagram = CsdBuilder().Build(db, stays);
+  EXPECT_GE(diagram.num_units(), 1u);
+  EXPECT_DOUBLE_EQ(diagram.CoverageRatio(), 1.0);
+}
+
+TEST(DegenerateGeometryTest, ExtremeCoordinates) {
+  std::vector<Vec2> pts = {{1e9, 1e9}, {1e9 + 10, 1e9}, {-1e9, -1e9}};
+  DbscanOptions db;
+  db.eps = 50.0;
+  db.min_pts = 2;
+  Clustering c = Dbscan(pts, db);
+  EXPECT_EQ(c.num_clusters, 1);
+  EXPECT_EQ(c.NoiseCount(), 1u);
+}
+
+}  // namespace
+}  // namespace csd

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "index/rtree.h"
+#include "util/rng.h"
+
+namespace csd {
+namespace {
+
+std::vector<Vec2> RandomPoints(size_t n, double extent, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.Uniform(0.0, extent), rng.Uniform(0.0, extent)});
+  }
+  return pts;
+}
+
+/// Clustered data (the R-tree's home turf): blobs around random centers.
+std::vector<Vec2> ClusteredPoints(size_t n, double extent, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec2> centers;
+  for (int i = 0; i < 20; ++i) {
+    centers.push_back({rng.Uniform(0.0, extent), rng.Uniform(0.0, extent)});
+  }
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Vec2& c = centers[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(centers.size()) - 1))];
+    pts.push_back({c.x + rng.Gaussian(0, 40), c.y + rng.Gaussian(0, 40)});
+  }
+  return pts;
+}
+
+TEST(RTreeTest, EmptyTree) {
+  RTree tree({});
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 0);
+  EXPECT_TRUE(tree.RadiusQuery({0, 0}, 100.0).empty());
+  EXPECT_EQ(tree.Nearest({0, 0}), std::numeric_limits<size_t>::max());
+  BoundingBox box;
+  box.Extend({-10, -10});
+  box.Extend({10, 10});
+  EXPECT_TRUE(tree.BoxQuery(box).empty());
+}
+
+TEST(RTreeTest, SinglePoint) {
+  RTree tree({{5, 5}});
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_EQ(tree.Nearest({100, 100}), 0u);
+  EXPECT_EQ(tree.RadiusQuery({5, 5}, 0.0).size(), 1u);
+}
+
+TEST(RTreeTest, BoxQueryBordersInclusive) {
+  RTree tree({{0, 0}, {10, 10}, {20, 20}});
+  BoundingBox box;
+  box.Extend({0, 0});
+  box.Extend({10, 10});
+  auto hits = tree.BoxQuery(box);
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<size_t>{0, 1}));
+}
+
+class RTreePropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RTreePropertyTest, RadiusMatchesBruteForce) {
+  size_t leaf_capacity = GetParam();
+  auto pts = ClusteredPoints(600, 2000.0, 13);
+  RTree tree(pts, leaf_capacity);
+  Rng rng(14);
+  for (int i = 0; i < 100; ++i) {
+    Vec2 q{rng.Uniform(-100.0, 2100.0), rng.Uniform(-100.0, 2100.0)};
+    double r = rng.Uniform(0.0, 250.0);
+    auto got = tree.RadiusQuery(q, r);
+    std::sort(got.begin(), got.end());
+    std::vector<size_t> want;
+    for (size_t j = 0; j < pts.size(); ++j) {
+      if (Distance(pts[j], q) <= r) want.push_back(j);
+    }
+    EXPECT_EQ(got, want) << "leaf_capacity=" << leaf_capacity;
+  }
+}
+
+TEST_P(RTreePropertyTest, BoxMatchesBruteForce) {
+  size_t leaf_capacity = GetParam();
+  auto pts = RandomPoints(500, 1000.0, 15);
+  RTree tree(pts, leaf_capacity);
+  Rng rng(16);
+  for (int i = 0; i < 100; ++i) {
+    BoundingBox box;
+    box.Extend({rng.Uniform(0, 1000), rng.Uniform(0, 1000)});
+    box.Extend({rng.Uniform(0, 1000), rng.Uniform(0, 1000)});
+    auto got = tree.BoxQuery(box);
+    std::sort(got.begin(), got.end());
+    std::vector<size_t> want;
+    for (size_t j = 0; j < pts.size(); ++j) {
+      if (box.Contains(pts[j])) want.push_back(j);
+    }
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST_P(RTreePropertyTest, NearestMatchesBruteForce) {
+  size_t leaf_capacity = GetParam();
+  auto pts = ClusteredPoints(400, 2000.0, 17);
+  RTree tree(pts, leaf_capacity);
+  Rng rng(18);
+  for (int i = 0; i < 200; ++i) {
+    Vec2 q{rng.Uniform(-500.0, 2500.0), rng.Uniform(-500.0, 2500.0)};
+    size_t got = tree.Nearest(q);
+    double best = std::numeric_limits<double>::infinity();
+    for (const Vec2& p : pts) best = std::min(best, Distance(p, q));
+    EXPECT_DOUBLE_EQ(Distance(pts[got], q), best);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LeafCapacities, RTreePropertyTest,
+                         ::testing::Values(2, 4, 16, 64));
+
+TEST(RTreeTest, HeightGrowsLogarithmically) {
+  auto pts = RandomPoints(1000, 1000.0, 19);
+  RTree tree(pts, 10);
+  // 1000 points, fan-out 10: 100 leaves, 10 internals, 1 root = height 3.
+  EXPECT_EQ(tree.height(), 3);
+}
+
+TEST(RTreeTest, DuplicatePoints) {
+  std::vector<Vec2> pts(50, Vec2{7, 7});
+  RTree tree(pts, 8);
+  EXPECT_EQ(tree.RadiusQuery({7, 7}, 0.1).size(), 50u);
+}
+
+}  // namespace
+}  // namespace csd

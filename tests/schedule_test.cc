@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "analysis/schedule.h"
+#include "tests/test_helpers.h"
+
+namespace csd {
+namespace {
+
+using ::csd::testing::MakeStay;
+
+FineGrainedPattern PatternWithDepartures(std::vector<Timestamp> times) {
+  FineGrainedPattern p;
+  p.representative.push_back(
+      MakeStay(0, 0, times.empty() ? 0 : times.front(),
+               MajorCategory::kResidence));
+  p.representative.push_back(
+      MakeStay(5000, 0, 1800, MajorCategory::kBusinessOffice));
+  p.groups.resize(2);
+  for (Timestamp t : times) {
+    p.groups[0].push_back(MakeStay(0, 0, t, MajorCategory::kResidence));
+    p.groups[1].push_back(
+        MakeStay(5000, 0, t + 1800, MajorCategory::kBusinessOffice));
+    p.supporting.push_back(static_cast<TrajectoryId>(p.supporting.size()));
+  }
+  return p;
+}
+
+TEST(ScheduleTest, ClockworkCommuteIsFullyRegular) {
+  // 8am every weekday.
+  std::vector<Timestamp> times;
+  for (int day = 0; day < 5; ++day) {
+    for (int i = 0; i < 4; ++i) {
+      times.push_back(day * kSecondsPerDay + 8 * kSecondsPerHour +
+                      i * 300);
+    }
+  }
+  PatternSchedule s = ComputeSchedule(PatternWithDepartures(times));
+  EXPECT_EQ(s.peak_hour, 8);
+  EXPECT_DOUBLE_EQ(s.regularity, 1.0);
+  EXPECT_DOUBLE_EQ(s.weekday_share, 1.0);
+  EXPECT_DOUBLE_EQ(s.trips_per_active_day, 4.0);
+}
+
+TEST(ScheduleTest, UniformDeparturesAreIrregular) {
+  std::vector<Timestamp> times;
+  for (int hour = 0; hour < 24; ++hour) {
+    times.push_back(hour * kSecondsPerHour);
+  }
+  PatternSchedule s = ComputeSchedule(PatternWithDepartures(times));
+  EXPECT_NEAR(s.regularity, 3.0 / 24.0, 1e-9);
+}
+
+TEST(ScheduleTest, PeakWrapsAroundMidnight) {
+  // Departures at 23:30 and 00:15 across days: peak 23 or 0, the ±1 h
+  // window must wrap.
+  std::vector<Timestamp> times = {
+      23 * kSecondsPerHour + 1800,
+      kSecondsPerDay + 15 * kSecondsPerMinute,
+      kSecondsPerDay + 23 * kSecondsPerHour + 1800,
+      2 * kSecondsPerDay + 15 * kSecondsPerMinute,
+  };
+  PatternSchedule s = ComputeSchedule(PatternWithDepartures(times));
+  EXPECT_DOUBLE_EQ(s.regularity, 1.0);
+}
+
+TEST(ScheduleTest, WeekendShare) {
+  std::vector<Timestamp> times = {
+      5 * kSecondsPerDay + 10 * kSecondsPerHour,  // Saturday
+      6 * kSecondsPerDay + 10 * kSecondsPerHour,  // Sunday
+      0 * kSecondsPerDay + 10 * kSecondsPerHour,  // Monday
+      1 * kSecondsPerDay + 10 * kSecondsPerHour,  // Tuesday
+  };
+  PatternSchedule s = ComputeSchedule(PatternWithDepartures(times));
+  EXPECT_DOUBLE_EQ(s.weekday_share, 0.5);
+}
+
+TEST(ScheduleTest, EmptyPattern) {
+  FineGrainedPattern p;
+  PatternSchedule s = ComputeSchedule(p);
+  EXPECT_DOUBLE_EQ(s.regularity, 0.0);
+}
+
+TEST(ScheduleTest, RankByRegularityOrdersAndFilters) {
+  std::vector<Timestamp> regular;
+  for (int day = 0; day < 5; ++day) {
+    for (int i = 0; i < 4; ++i) {
+      regular.push_back(day * kSecondsPerDay + 8 * kSecondsPerHour);
+    }
+  }
+  std::vector<Timestamp> irregular;
+  for (int hour = 0; hour < 20; ++hour) {
+    irregular.push_back(hour * kSecondsPerHour);
+  }
+  std::vector<Timestamp> tiny = {0, 3600};  // below min_support
+
+  std::vector<FineGrainedPattern> patterns;
+  patterns.push_back(PatternWithDepartures(irregular));
+  patterns.push_back(PatternWithDepartures(regular));
+  patterns.push_back(PatternWithDepartures(tiny));
+
+  auto ranked = RankByRegularity(patterns, 10);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].first, &patterns[1]);  // regular first
+  EXPECT_GT(ranked[0].second.regularity, ranked[1].second.regularity);
+}
+
+}  // namespace
+}  // namespace csd

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "seqmine/prefix_span.h"
+#include "util/rng.h"
+
+namespace csd {
+namespace {
+
+/// Brute-force frequent-subsequence miner used as the reference oracle.
+std::map<std::vector<Item>, std::set<size_t>> BruteForce(
+    const std::vector<Sequence>& db, size_t min_support, size_t min_length,
+    size_t max_length) {
+  // Enumerate all subsequences of every sequence (bounded lengths), count
+  // distinct supporting sequences.
+  std::map<std::vector<Item>, std::set<size_t>> counts;
+  for (size_t s = 0; s < db.size(); ++s) {
+    const Sequence& seq = db[s];
+    size_t n = seq.size();
+    // Enumerate index subsets via DFS.
+    std::vector<Item> current;
+    std::function<void(size_t)> dfs = [&](size_t start) {
+      if (current.size() >= min_length) counts[current].insert(s);
+      if (current.size() >= max_length) return;
+      for (size_t i = start; i < n; ++i) {
+        current.push_back(seq[i]);
+        dfs(i + 1);
+        current.pop_back();
+      }
+    };
+    dfs(0);
+  }
+  std::map<std::vector<Item>, std::set<size_t>> frequent;
+  for (auto& [pattern, supporters] : counts) {
+    if (supporters.size() >= min_support) frequent[pattern] = supporters;
+  }
+  return frequent;
+}
+
+TEST(PrefixSpanTest, TextbookExample) {
+  // Sequences over items {1,2,3}; pattern (1,2) appears in three of them.
+  std::vector<Sequence> db = {
+      {1, 2, 3}, {1, 3, 2}, {1, 2}, {3, 1}, {2, 1}};
+  PrefixSpanOptions options;
+  options.min_support = 3;
+  options.min_length = 2;
+  options.max_length = 3;
+  auto patterns = PrefixSpan(db, options);
+  ASSERT_EQ(patterns.size(), 1u);
+  EXPECT_EQ(patterns[0].items, (std::vector<Item>{1, 2}));
+  EXPECT_EQ(patterns[0].support(), 3u);
+}
+
+TEST(PrefixSpanTest, SupportCountsSequencesNotOccurrences) {
+  // Item 7 appears twice in one sequence; support must count the sequence
+  // once.
+  std::vector<Sequence> db = {{7, 7, 8}, {7, 8}};
+  PrefixSpanOptions options;
+  options.min_support = 2;
+  options.min_length = 2;
+  auto patterns = PrefixSpan(db, options);
+  // (7,8) supported by both.
+  bool found = false;
+  for (const auto& p : patterns) {
+    if (p.items == std::vector<Item>{7, 8}) {
+      found = true;
+      EXPECT_EQ(p.support(), 2u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PrefixSpanTest, EmptyDatabase) {
+  EXPECT_TRUE(PrefixSpan({}, {}).empty());
+}
+
+TEST(PrefixSpanTest, MaxLengthBoundsGrowth) {
+  std::vector<Sequence> db = {{1, 2, 3, 4}, {1, 2, 3, 4}};
+  PrefixSpanOptions options;
+  options.min_support = 2;
+  options.min_length = 1;
+  options.max_length = 2;
+  for (const auto& p : PrefixSpan(db, options)) {
+    EXPECT_LE(p.items.size(), 2u);
+  }
+}
+
+/// Randomized equivalence against the brute-force oracle across support
+/// thresholds.
+class PrefixSpanOracleTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PrefixSpanOracleTest, MatchesBruteForce) {
+  size_t min_support = GetParam();
+  Rng rng(min_support * 1000 + 17);
+  std::vector<Sequence> db;
+  for (int s = 0; s < 30; ++s) {
+    Sequence seq;
+    int len = static_cast<int>(rng.UniformInt(1, 6));
+    for (int i = 0; i < len; ++i) {
+      seq.push_back(static_cast<Item>(rng.UniformInt(0, 4)));
+    }
+    db.push_back(seq);
+  }
+  PrefixSpanOptions options;
+  options.min_support = min_support;
+  options.min_length = 2;
+  options.max_length = 4;
+  auto got = PrefixSpan(db, options);
+  auto want = BruteForce(db, min_support, 2, 4);
+
+  ASSERT_EQ(got.size(), want.size());
+  for (const auto& p : got) {
+    auto it = want.find(p.items);
+    ASSERT_NE(it, want.end());
+    std::set<size_t> got_support(p.supporting_sequences.begin(),
+                                 p.supporting_sequences.end());
+    EXPECT_EQ(got_support, it->second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Supports, PrefixSpanOracleTest,
+                         ::testing::Values(2, 3, 5, 8));
+
+// --- FindEmbedding -----------------------------------------------------------
+
+TEST(FindEmbeddingTest, LeftmostPositions) {
+  Sequence seq = {5, 1, 5, 2, 1, 2};
+  auto emb = FindEmbedding(seq, {1, 2});
+  ASSERT_TRUE(emb.has_value());
+  EXPECT_EQ(*emb, (std::vector<size_t>{1, 3}));
+}
+
+TEST(FindEmbeddingTest, MissingPattern) {
+  Sequence seq = {1, 2, 3};
+  EXPECT_FALSE(FindEmbedding(seq, {3, 1}).has_value());
+  EXPECT_FALSE(FindEmbedding(seq, {9}).has_value());
+}
+
+TEST(FindEmbeddingTest, EmptyPatternIsEmptyEmbedding) {
+  Sequence seq = {1, 2};
+  auto emb = FindEmbedding(seq, {});
+  ASSERT_TRUE(emb.has_value());
+  EXPECT_TRUE(emb->empty());
+}
+
+TEST(FindEmbeddingTest, EveryMinedPatternEmbedsInItsSupporters) {
+  Rng rng(4);
+  std::vector<Sequence> db;
+  for (int s = 0; s < 40; ++s) {
+    Sequence seq;
+    int len = static_cast<int>(rng.UniformInt(2, 7));
+    for (int i = 0; i < len; ++i) {
+      seq.push_back(static_cast<Item>(rng.UniformInt(0, 3)));
+    }
+    db.push_back(seq);
+  }
+  PrefixSpanOptions options;
+  options.min_support = 4;
+  options.min_length = 2;
+  options.max_length = 4;
+  for (const auto& p : PrefixSpan(db, options)) {
+    for (size_t s : p.supporting_sequences) {
+      EXPECT_TRUE(FindEmbedding(db[s], p.items).has_value());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace csd

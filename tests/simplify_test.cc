@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "synth/gps_trace_simulator.h"
+#include "traj/simplify.h"
+#include "traj/stay_point_detector.h"
+#include "util/rng.h"
+
+namespace csd {
+namespace {
+
+Trajectory Line(std::initializer_list<Vec2> positions) {
+  Trajectory t;
+  Timestamp now = 0;
+  for (const Vec2& p : positions) {
+    t.points.emplace_back(p, now);
+    now += 30;
+  }
+  return t;
+}
+
+TEST(PerpendicularDistanceTest, BasicGeometry) {
+  EXPECT_DOUBLE_EQ(PerpendicularDistance({5, 3}, {0, 0}, {10, 0}), 3.0);
+  EXPECT_DOUBLE_EQ(PerpendicularDistance({5, 0}, {0, 0}, {10, 0}), 0.0);
+  // Degenerate segment: distance to the point.
+  EXPECT_DOUBLE_EQ(PerpendicularDistance({3, 4}, {0, 0}, {0, 0}), 5.0);
+}
+
+TEST(SimplifyTest, CollinearPointsCollapseToEndpoints) {
+  Trajectory t = Line({{0, 0}, {100, 0}, {200, 0}, {300, 0}, {400, 0}});
+  Trajectory s = SimplifyTrajectory(t, 1.0);
+  ASSERT_EQ(s.Size(), 2u);
+  EXPECT_EQ(s.points.front().position, Vec2(0, 0));
+  EXPECT_EQ(s.points.back().position, Vec2(400, 0));
+}
+
+TEST(SimplifyTest, CornerIsKept) {
+  Trajectory t = Line({{0, 0}, {100, 0}, {200, 0}, {200, 100}, {200, 200}});
+  Trajectory s = SimplifyTrajectory(t, 5.0);
+  ASSERT_EQ(s.Size(), 3u);
+  EXPECT_EQ(s.points[1].position, Vec2(200, 0));
+}
+
+TEST(SimplifyTest, ToleranceGatesDetail) {
+  // A 30 m bump in an otherwise straight path.
+  Trajectory t = Line({{0, 0}, {100, 30}, {200, 0}});
+  EXPECT_EQ(SimplifyTrajectory(t, 10.0).Size(), 3u);  // bump kept
+  EXPECT_EQ(SimplifyTrajectory(t, 50.0).Size(), 2u);  // bump dropped
+}
+
+TEST(SimplifyTest, ShortTrajectoriesUntouched) {
+  Trajectory t = Line({{0, 0}, {5, 5}});
+  EXPECT_EQ(SimplifyTrajectory(t, 100.0).Size(), 2u);
+  Trajectory empty;
+  EXPECT_EQ(SimplifyTrajectory(empty, 100.0).Size(), 0u);
+}
+
+TEST(SimplifyTest, PreservesIdentityAndTimestamps) {
+  Trajectory t = Line({{0, 0}, {100, 0}, {200, 50}, {300, 0}});
+  t.id = 9;
+  t.passenger = 4;
+  Trajectory s = SimplifyTrajectory(t, 10.0);
+  EXPECT_EQ(s.id, 9u);
+  EXPECT_EQ(s.passenger, 4u);
+  for (size_t i = 1; i < s.points.size(); ++i) {
+    EXPECT_GT(s.points[i].time, s.points[i - 1].time);
+  }
+}
+
+TEST(SimplifyTest, StayPointsSurviveSimplification) {
+  // A realistic trace: dwell, travel, dwell. With a tolerance below the
+  // GPS noise scale, the jittering dwell fixes deviate enough to be kept
+  // and the stay-point structure survives.
+  Rng rng(7);
+  GpsTraceConfig config;
+  config.noise_sigma_m = 6.0;
+  std::vector<ItineraryStop> stops = {
+      {{0, 0}, 15 * kSecondsPerMinute},
+      {{5000, 2000}, 15 * kSecondsPerMinute},
+  };
+  Trajectory raw = SimulateGpsTrace(stops, 0, config, rng);
+  Trajectory slim = SimplifyTrajectory(raw, 8.0);
+  EXPECT_LT(slim.Size(), raw.Size());
+
+  StayPointOptions sp;
+  sp.distance_threshold_m = 80.0;
+  sp.time_threshold_s = 10 * kSecondsPerMinute;
+  auto raw_stays = DetectStayPoints(raw, sp);
+  auto slim_stays = DetectStayPoints(slim, sp);
+  ASSERT_EQ(raw_stays.size(), 2u);
+  ASSERT_EQ(slim_stays.size(), 2u);
+  EXPECT_LT(Distance(raw_stays[0].position, slim_stays[0].position), 60.0);
+  EXPECT_LT(Distance(raw_stays[1].position, slim_stays[1].position), 60.0);
+}
+
+TEST(SimplifyTest, MonotoneInTolerance) {
+  Rng rng(8);
+  GpsTraceConfig config;
+  std::vector<ItineraryStop> stops = {
+      {{0, 0}, 600}, {{3000, 1000}, 600}, {{6000, -500}, 600}};
+  Trajectory raw = SimulateGpsTrace(stops, 0, config, rng);
+  size_t prev = raw.Size();
+  for (double tolerance : {1.0, 5.0, 20.0, 100.0, 500.0}) {
+    size_t now = SimplifyTrajectory(raw, tolerance).Size();
+    EXPECT_LE(now, prev) << "tolerance=" << tolerance;
+    prev = now;
+  }
+}
+
+}  // namespace
+}  // namespace csd

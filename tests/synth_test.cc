@@ -1,0 +1,311 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "synth/checkin_simulator.h"
+#include "synth/city_generator.h"
+#include "synth/gps_trace_simulator.h"
+#include "synth/trip_generator.h"
+#include "traj/stay_point_detector.h"
+
+namespace csd {
+namespace {
+
+CityConfig SmallCity() {
+  CityConfig config;
+  config.num_pois = 6000;
+  config.width_m = 8000.0;
+  config.height_m = 8000.0;
+  return config;
+}
+
+// --- City generator -------------------------------------------------------------
+
+TEST(CityGeneratorTest, PoiCountAndBounds) {
+  SyntheticCity city = GenerateCity(SmallCity());
+  EXPECT_EQ(city.pois.size(), 6000u);
+  for (const Poi& p : city.pois) {
+    EXPECT_GE(p.position.x, 0.0);
+    EXPECT_LE(p.position.x, 8000.0);
+    EXPECT_GE(p.position.y, 0.0);
+    EXPECT_LE(p.position.y, 8000.0);
+  }
+}
+
+TEST(CityGeneratorTest, CategoryMixMatchesTableThree) {
+  SyntheticCity city = GenerateCity(SmallCity());
+  std::array<size_t, kNumMajorCategories> counts{};
+  for (const Poi& p : city.pois) counts[static_cast<size_t>(p.major())]++;
+  for (int c = 0; c < kNumMajorCategories; ++c) {
+    double share = static_cast<double>(counts[c]) /
+                   static_cast<double>(city.pois.size());
+    double expected = MajorCategoryShare(static_cast<MajorCategory>(c));
+    // Multinomial sampling noise: allow ±40% relative (small categories)
+    // plus a small absolute slack.
+    EXPECT_NEAR(share, expected, expected * 0.4 + 0.005)
+        << MajorCategoryName(static_cast<MajorCategory>(c));
+  }
+}
+
+TEST(CityGeneratorTest, DeterministicForSeed) {
+  SyntheticCity a = GenerateCity(SmallCity());
+  SyntheticCity b = GenerateCity(SmallCity());
+  ASSERT_EQ(a.pois.size(), b.pois.size());
+  for (size_t i = 0; i < a.pois.size(); ++i) {
+    EXPECT_EQ(a.pois[i].position, b.pois[i].position);
+    EXPECT_EQ(a.pois[i].minor, b.pois[i].minor);
+  }
+}
+
+TEST(CityGeneratorTest, DifferentSeedsDiffer) {
+  CityConfig config = SmallCity();
+  SyntheticCity a = GenerateCity(config);
+  config.seed = 1234;
+  SyntheticCity b = GenerateCity(config);
+  size_t same = 0;
+  for (size_t i = 0; i < a.pois.size(); ++i) {
+    if (a.pois[i].position == b.pois[i].position) ++same;
+  }
+  EXPECT_LT(same, a.pois.size() / 10);
+}
+
+TEST(CityGeneratorTest, SkyscrapersAreCoLocatedAndMixed) {
+  SyntheticCity city = GenerateCity(SmallCity());
+  auto towers = city.BuildingsOfDistrictType(District::Type::kSkyscraper);
+  ASSERT_FALSE(towers.empty());
+  size_t mixed = 0;
+  for (size_t b : towers) {
+    const Building& tower = city.buildings[b];
+    std::set<MajorCategory> cats;
+    for (PoiId pid = 0; pid < city.pois.size(); ++pid) {
+      if (city.poi_building[pid] != b) continue;
+      cats.insert(city.pois[pid].major());
+      // Co-location: POIs hug the tower footprint.
+      EXPECT_LT(Distance(city.pois[pid].position, tower.position), 25.0);
+    }
+    if (cats.size() >= 3) ++mixed;
+  }
+  EXPECT_GT(mixed, towers.size() / 2)
+      << "most towers should be semantically mixed";
+}
+
+TEST(CityGeneratorTest, HospitalsHostMedicalPois) {
+  SyntheticCity city = GenerateCity(SmallCity());
+  auto campus = city.BuildingsOfDistrictType(District::Type::kHospitalCampus);
+  ASSERT_FALSE(campus.empty());
+  size_t medical = 0;
+  for (size_t b : campus) {
+    medical += city.buildings[b]
+                   .category_count[static_cast<size_t>(
+                       MajorCategory::kMedicalService)];
+  }
+  EXPECT_GT(medical, 0u);
+}
+
+TEST(CityGeneratorTest, AffinityRowsArePlausible) {
+  EXPECT_DOUBLE_EQ(DistrictAffinity(District::Type::kResidential,
+                                    MajorCategory::kResidence),
+                   1.0);
+  EXPECT_DOUBLE_EQ(DistrictAffinity(District::Type::kHospitalCampus,
+                                    MajorCategory::kMedicalService),
+                   1.0);
+  EXPECT_DOUBLE_EQ(DistrictAffinity(District::Type::kIndustrial,
+                                    MajorCategory::kRestaurant),
+                   0.0);
+}
+
+TEST(CityGeneratorTest, BuildingsWithCategoryConsistent) {
+  SyntheticCity city = GenerateCity(SmallCity());
+  for (size_t b :
+       city.BuildingsWithCategory(MajorCategory::kMedicalService)) {
+    EXPECT_TRUE(
+        city.buildings[b].HasCategory(MajorCategory::kMedicalService));
+  }
+}
+
+// --- Trip generator --------------------------------------------------------------
+
+struct TripFixture {
+  TripFixture() : city(GenerateCity(SmallCity())) {
+    config.num_agents = 400;
+    config.num_days = 7;
+    trips = GenerateTrips(city, config);
+  }
+
+  SyntheticCity city;
+  TripConfig config;
+  TripDataset trips;
+};
+
+TEST(TripGeneratorTest, ProducesJourneysWithTruthParallel) {
+  TripFixture f;
+  EXPECT_GT(f.trips.journeys.size(), 1000u);
+  EXPECT_EQ(f.trips.journeys.size(), f.trips.truths.size());
+}
+
+TEST(TripGeneratorTest, TimeOrderedAndCausal) {
+  TripFixture f;
+  Timestamp prev = 0;
+  for (const TaxiJourney& j : f.trips.journeys) {
+    EXPECT_GE(j.pickup.time, prev);
+    EXPECT_GT(j.dropoff.time, j.pickup.time);
+    prev = j.pickup.time;
+  }
+}
+
+TEST(TripGeneratorTest, CardedFractionRespected) {
+  TripFixture f;
+  EXPECT_EQ(f.trips.num_carded, 80u);  // 20% of 400
+  std::set<PassengerId> cards;
+  for (const TaxiJourney& j : f.trips.journeys) {
+    if (j.passenger != kNoPassenger) cards.insert(j.passenger);
+  }
+  EXPECT_LE(cards.size(), 80u);
+  EXPECT_GT(cards.size(), 40u);
+}
+
+TEST(TripGeneratorTest, WeekdayCommutesDominateMorning) {
+  TripFixture f;
+  size_t commute = 0;
+  size_t weekday_morning = 0;
+  for (size_t i = 0; i < f.trips.journeys.size(); ++i) {
+    const auto& truth = f.trips.truths[i];
+    Timestamp tod = f.trips.journeys[i].pickup.time % kSecondsPerDay;
+    if (!truth.weekend && tod >= 6 * kSecondsPerHour &&
+        tod <= 10 * kSecondsPerHour) {
+      ++weekday_morning;
+      if (truth.origin_category == MajorCategory::kResidence &&
+          (truth.dest_category == MajorCategory::kBusinessOffice ||
+           truth.dest_category == MajorCategory::kIndustry)) {
+        ++commute;
+      }
+    }
+  }
+  ASSERT_GT(weekday_morning, 0u);
+  EXPECT_GT(static_cast<double>(commute) /
+                static_cast<double>(weekday_morning),
+            0.5);
+}
+
+TEST(TripGeneratorTest, WeekendTripsExistAndAreSparser) {
+  TripFixture f;
+  size_t weekday = 0;
+  size_t weekend = 0;
+  for (const auto& truth : f.trips.truths) {
+    (truth.weekend ? weekend : weekday)++;
+  }
+  EXPECT_GT(weekend, 0u);
+  // 5 weekdays vs 2 weekend days, and weekend rates are lower.
+  EXPECT_GT(static_cast<double>(weekday) / 5.0,
+            static_cast<double>(weekend) / 2.0);
+}
+
+TEST(TripGeneratorTest, HospitalTripsPresentDespiteLowRate) {
+  TripFixture f;
+  size_t hospital = 0;
+  for (const auto& truth : f.trips.truths) {
+    if (truth.dest_category == MajorCategory::kMedicalService) ++hospital;
+  }
+  EXPECT_GT(hospital, 0u);
+}
+
+TEST(TripGeneratorTest, EndpointsNearTruthBuildings) {
+  TripFixture f;
+  for (size_t i = 0; i < 200 && i < f.trips.journeys.size(); ++i) {
+    const auto& j = f.trips.journeys[i];
+    const auto& truth = f.trips.truths[i];
+    EXPECT_LT(Distance(j.pickup.position,
+                       f.city.buildings[truth.origin_building].position),
+              120.0);
+    EXPECT_LT(Distance(j.dropoff.position,
+                       f.city.buildings[truth.dest_building].position),
+              120.0);
+  }
+}
+
+TEST(TripGeneratorTest, DeterministicForSeed) {
+  TripFixture a;
+  TripFixture b;
+  ASSERT_EQ(a.trips.journeys.size(), b.trips.journeys.size());
+  for (size_t i = 0; i < a.trips.journeys.size(); ++i) {
+    EXPECT_EQ(a.trips.journeys[i].pickup.time,
+              b.trips.journeys[i].pickup.time);
+    EXPECT_EQ(a.trips.journeys[i].pickup.position,
+              b.trips.journeys[i].pickup.position);
+  }
+}
+
+// --- GPS trace simulator ----------------------------------------------------------
+
+TEST(GpsTraceTest, DwellsBecomeStayPoints) {
+  Rng rng(5);
+  GpsTraceConfig config;
+  config.noise_sigma_m = 5.0;
+  std::vector<ItineraryStop> stops = {
+      {{0, 0}, 15 * kSecondsPerMinute},
+      {{4000, 0}, 20 * kSecondsPerMinute},
+  };
+  Trajectory t = SimulateGpsTrace(stops, 1000, config, rng);
+  EXPECT_GT(t.Size(), 50u);
+
+  StayPointOptions sp;
+  sp.distance_threshold_m = 80.0;
+  sp.time_threshold_s = 10 * kSecondsPerMinute;
+  auto stays = DetectStayPoints(t, sp);
+  ASSERT_EQ(stays.size(), 2u);
+  EXPECT_LT(Distance(stays[0].position, {0, 0}), 30.0);
+  EXPECT_LT(Distance(stays[1].position, {4000, 0}), 30.0);
+}
+
+TEST(GpsTraceTest, TimestampsMonotone) {
+  Rng rng(6);
+  std::vector<ItineraryStop> stops = {{{0, 0}, 600}, {{1000, 0}, 600}};
+  Trajectory t = SimulateGpsTrace(stops, 0, {}, rng);
+  for (size_t i = 1; i < t.points.size(); ++i) {
+    EXPECT_GT(t.points[i].time, t.points[i - 1].time);
+  }
+}
+
+// --- Check-in simulator --------------------------------------------------------------
+
+TEST(CheckinTest, MedicalVisitsVanishFromCheckins) {
+  TripFixture f;
+  CheckinStats stats = SimulateCheckins(f.trips, CheckinBias::Default());
+  size_t medical_idx = static_cast<size_t>(MajorCategory::kMedicalService);
+  ASSERT_GT(stats.activities[medical_idx], 0u);
+  double activity_share = static_cast<double>(stats.activities[medical_idx]) /
+                          static_cast<double>(stats.total_activities);
+  double checkin_share =
+      stats.total_checkins > 0
+          ? static_cast<double>(stats.checkins[medical_idx]) /
+                static_cast<double>(stats.total_checkins)
+          : 0.0;
+  EXPECT_LT(checkin_share, activity_share * 0.2)
+      << "check-ins must underrepresent medical visits";
+}
+
+TEST(CheckinTest, TopTopicsAreSharableCategories) {
+  TripFixture f;
+  CheckinStats stats = SimulateCheckins(f.trips, CheckinBias::Default());
+  auto top = stats.TopCheckinTopics();
+  ASSERT_FALSE(top.empty());
+  // Medical service must not top the check-in chart.
+  EXPECT_NE(top[0].first, MajorCategory::kMedicalService);
+  // Ratios sorted descending and summing to 1.
+  double sum = 0.0;
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].second, top[i].second);
+  }
+  for (const auto& [cat, ratio] : top) sum += ratio;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(CheckinTest, DeterministicForSeed) {
+  TripFixture f;
+  CheckinStats a = SimulateCheckins(f.trips, CheckinBias::Default(), 9);
+  CheckinStats b = SimulateCheckins(f.trips, CheckinBias::Default(), 9);
+  EXPECT_EQ(a.checkins, b.checkins);
+}
+
+}  // namespace
+}  // namespace csd

@@ -1,0 +1,55 @@
+#ifndef CSD_TESTS_TEST_HELPERS_H_
+#define CSD_TESTS_TEST_HELPERS_H_
+
+#include <vector>
+
+#include "poi/poi.h"
+#include "poi/poi_database.h"
+#include "traj/trajectory.h"
+
+namespace csd::testing {
+
+/// First minor category of a major category (taxonomy lookup shortcut).
+inline MinorCategoryId MinorOf(MajorCategory major) {
+  return CategoryTaxonomy::Get().MinorsOf(major).front();
+}
+
+/// Builds a POI at (x, y) of the given major category.
+inline Poi MakePoi(PoiId id, double x, double y, MajorCategory major) {
+  return Poi(id, Vec2{x, y}, MinorOf(major));
+}
+
+/// A ring of `count` POIs of one category around (cx, cy).
+inline std::vector<Poi> PoiCluster(PoiId first_id, double cx, double cy,
+                                   double radius, size_t count,
+                                   MajorCategory major) {
+  std::vector<Poi> pois;
+  pois.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    double angle = 6.283185307179586 * static_cast<double>(i) /
+                   static_cast<double>(count);
+    pois.push_back(MakePoi(first_id + static_cast<PoiId>(i),
+                           cx + radius * std::cos(angle),
+                           cy + radius * std::sin(angle), major));
+  }
+  return pois;
+}
+
+/// A stay point with a singleton semantic property.
+inline StayPoint MakeStay(double x, double y, Timestamp t,
+                          MajorCategory major) {
+  return StayPoint(Vec2{x, y}, t, SemanticProperty(major));
+}
+
+/// A semantic trajectory from stay points.
+inline SemanticTrajectory MakeTrajectory(TrajectoryId id,
+                                         std::vector<StayPoint> stays) {
+  SemanticTrajectory st;
+  st.id = id;
+  st.stays = std::move(stays);
+  return st;
+}
+
+}  // namespace csd::testing
+
+#endif  // CSD_TESTS_TEST_HELPERS_H_

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "baseline/tpattern.h"
+#include "tests/test_helpers.h"
+#include "util/rng.h"
+
+namespace csd {
+namespace {
+
+using ::csd::testing::MakeStay;
+using ::csd::testing::MakeTrajectory;
+
+/// `count` trajectories commuting between two tight blobs, semantics-free
+/// (T-patterns never look at semantics).
+void AddFlow(SemanticTrajectoryDb* db, Rng* rng, size_t count, Vec2 from,
+             Vec2 to, Timestamp leg_s = 1500) {
+  for (size_t i = 0; i < count; ++i) {
+    Timestamp t0 = 8 * kSecondsPerHour +
+                   static_cast<Timestamp>(rng->Gaussian(0, 600));
+    SemanticTrajectory st;
+    st.id = static_cast<TrajectoryId>(db->size());
+    st.stays.emplace_back(Vec2{from.x + rng->Gaussian(0, 20),
+                               from.y + rng->Gaussian(0, 20)},
+                          t0);
+    st.stays.emplace_back(
+        Vec2{to.x + rng->Gaussian(0, 20), to.y + rng->Gaussian(0, 20)},
+        t0 + leg_s);
+    db->push_back(std::move(st));
+  }
+}
+
+TPatternOptions SmallOptions(size_t sigma = 20) {
+  TPatternOptions options;
+  options.cell_size = 250.0;
+  options.dense_cell_threshold = 10;
+  options.support_threshold = sigma;
+  return options;
+}
+
+TEST(TPatternTest, FindsTheFlowBetweenTwoRois) {
+  Rng rng(1);
+  SemanticTrajectoryDb db;
+  // Blob centers sit mid-cell (cell size 250): grid methods are
+  // alignment-sensitive, a weakness the paper attributes to [11]-[13].
+  AddFlow(&db, &rng, 40, {1125, 1125}, {8125, 1125});
+  auto patterns = MineTPatterns(db, SmallOptions(20));
+  ASSERT_EQ(patterns.size(), 1u);
+  EXPECT_EQ(patterns[0].support, 40u);
+  ASSERT_EQ(patterns[0].roi_centers.size(), 2u);
+  EXPECT_LT(Distance(patterns[0].roi_centers[0], {1125, 1125}), 200.0);
+  EXPECT_LT(Distance(patterns[0].roi_centers[1], {8125, 1125}), 200.0);
+  ASSERT_EQ(patterns[0].transition_times.size(), 1u);
+  EXPECT_NEAR(static_cast<double>(patterns[0].transition_times[0]), 1500.0,
+              1.0);
+}
+
+TEST(TPatternTest, SparseStaysFormNoRoi) {
+  Rng rng(2);
+  SemanticTrajectoryDb db;
+  // Endpoints scattered over 10 km: no dense cell anywhere.
+  for (int i = 0; i < 40; ++i) {
+    SemanticTrajectory st;
+    st.id = static_cast<TrajectoryId>(i);
+    st.stays.emplace_back(
+        Vec2{rng.Uniform(0, 10000), rng.Uniform(0, 10000)}, 0);
+    st.stays.emplace_back(
+        Vec2{rng.Uniform(0, 10000), rng.Uniform(0, 10000)}, 1800);
+    db.push_back(std::move(st));
+  }
+  EXPECT_TRUE(MineTPatterns(db, SmallOptions(20)).empty());
+}
+
+TEST(TPatternTest, TemporalConstraintFiltersSlowTransitions) {
+  Rng rng(3);
+  SemanticTrajectoryDb db;
+  AddFlow(&db, &rng, 25, {1125, 1125}, {8125, 1125}, 1500);
+  AddFlow(&db, &rng, 25, {1125, 1125}, {8125, 1125},
+          3 * kSecondsPerHour);  // beyond δ_t
+  TPatternOptions options = SmallOptions(20);
+  options.temporal_constraint = 60 * kSecondsPerMinute;
+  auto patterns = MineTPatterns(db, options);
+  ASSERT_EQ(patterns.size(), 1u);
+  EXPECT_EQ(patterns[0].support, 25u);
+}
+
+TEST(TPatternTest, AdjacentDenseCellsMergeIntoOneRoi) {
+  Rng rng(4);
+  SemanticTrajectoryDb db;
+  // Two flows whose origins straddle a cell border (within 250 m):
+  // connected dense cells must merge into one ROI, giving one pattern.
+  AddFlow(&db, &rng, 25, {1115, 1125}, {8125, 1125});
+  AddFlow(&db, &rng, 25, {1385, 1125}, {8125, 1125});
+  auto patterns = MineTPatterns(db, SmallOptions(20));
+  ASSERT_EQ(patterns.size(), 1u);
+  EXPECT_EQ(patterns[0].support, 50u);
+}
+
+TEST(TPatternTest, ConsecutiveDuplicateRoisCollapse) {
+  Rng rng(5);
+  SemanticTrajectoryDb db;
+  // Three stays: two in ROI A (same cell), one in ROI B. Sequence must be
+  // A,B — not A,A,B.
+  for (int i = 0; i < 30; ++i) {
+    SemanticTrajectory st;
+    st.id = static_cast<TrajectoryId>(i);
+    st.stays.emplace_back(Vec2{1125 + rng.Gaussian(0, 15), 1125}, 0);
+    st.stays.emplace_back(Vec2{1125 + rng.Gaussian(0, 15), 1125}, 600);
+    st.stays.emplace_back(Vec2{8125 + rng.Gaussian(0, 15), 1125}, 1800);
+    db.push_back(std::move(st));
+  }
+  TPatternOptions options = SmallOptions(20);
+  options.max_length = 5;
+  auto patterns = MineTPatterns(db, options);
+  ASSERT_EQ(patterns.size(), 1u);
+  EXPECT_EQ(patterns[0].roi_centers.size(), 2u);
+}
+
+TEST(TPatternTest, EmptyDatabase) {
+  EXPECT_TRUE(MineTPatterns({}, SmallOptions(5)).empty());
+}
+
+}  // namespace
+}  // namespace csd

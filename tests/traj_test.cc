@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include "tests/test_helpers.h"
+#include "traj/journey.h"
+#include "traj/stay_point_detector.h"
+#include "traj/trajectory.h"
+
+namespace csd {
+namespace {
+
+Trajectory DwellThenMove() {
+  // 20 minutes dwelling near (0,0), then a fast move to (5000, 0), then
+  // 15 minutes dwelling there.
+  Trajectory t;
+  t.id = 1;
+  Timestamp now = 0;
+  for (int i = 0; i < 20; ++i) {
+    t.points.emplace_back(Vec2{static_cast<double>(i % 3), 0.0}, now);
+    now += 60;
+  }
+  for (int i = 1; i <= 10; ++i) {
+    t.points.emplace_back(Vec2{i * 500.0, 0.0}, now);
+    now += 30;
+  }
+  for (int i = 0; i < 15; ++i) {
+    t.points.emplace_back(Vec2{5000.0 + (i % 2), 0.0}, now);
+    now += 60;
+  }
+  return t;
+}
+
+TEST(StayPointDetectorTest, FindsBothDwells) {
+  StayPointOptions options;
+  options.distance_threshold_m = 100.0;
+  options.time_threshold_s = 10 * kSecondsPerMinute;
+  auto stays = DetectStayPoints(DwellThenMove(), options);
+  ASSERT_EQ(stays.size(), 2u);
+  EXPECT_NEAR(stays[0].position.x, 1.0, 1.5);
+  EXPECT_NEAR(stays[1].position.x, 5000.5, 1.5);
+  EXPECT_LT(stays[0].time, stays[1].time);
+  EXPECT_TRUE(stays[0].semantic.Empty());  // recognition not yet run
+}
+
+TEST(StayPointDetectorTest, NoStayWhenMovingFast) {
+  Trajectory t;
+  for (int i = 0; i < 50; ++i) {
+    t.points.emplace_back(Vec2{i * 300.0, 0.0}, i * 30);
+  }
+  EXPECT_TRUE(DetectStayPoints(t, {}).empty());
+}
+
+TEST(StayPointDetectorTest, ShortDwellBelowTimeThresholdIgnored) {
+  Trajectory t;
+  // Only 5 minutes at the same place.
+  for (int i = 0; i < 5; ++i) {
+    t.points.emplace_back(Vec2{0.0, 0.0}, i * 60);
+  }
+  StayPointOptions options;
+  options.time_threshold_s = 10 * kSecondsPerMinute;
+  EXPECT_TRUE(DetectStayPoints(t, options).empty());
+}
+
+TEST(StayPointDetectorTest, EmptyAndSinglePointTrajectories) {
+  EXPECT_TRUE(DetectStayPoints(Trajectory{}, {}).empty());
+  Trajectory one;
+  one.points.emplace_back(Vec2{0, 0}, 0);
+  EXPECT_TRUE(DetectStayPoints(one, {}).empty());
+}
+
+/// Threshold property sweep: a dwell of duration D is detected iff
+/// θ_t ≤ D.
+class StayPointThresholdTest
+    : public ::testing::TestWithParam<Timestamp> {};
+
+TEST_P(StayPointThresholdTest, TimeThresholdGatesDetection) {
+  Timestamp threshold = GetParam();
+  Trajectory t;
+  const Timestamp dwell = 12 * kSecondsPerMinute;
+  for (Timestamp now = 0; now <= dwell; now += 60) {
+    t.points.emplace_back(Vec2{0.0, 0.0}, now);
+  }
+  // Tail: move away so the window closes.
+  t.points.emplace_back(Vec2{10000.0, 0.0}, dwell + 60);
+
+  StayPointOptions options;
+  options.time_threshold_s = threshold;
+  auto stays = DetectStayPoints(t, options);
+  if (threshold <= dwell) {
+    EXPECT_EQ(stays.size(), 1u) << "threshold=" << threshold;
+  } else {
+    EXPECT_TRUE(stays.empty()) << "threshold=" << threshold;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Thresholds, StayPointThresholdTest,
+    ::testing::Values(5 * kSecondsPerMinute, 10 * kSecondsPerMinute,
+                      12 * kSecondsPerMinute, 13 * kSecondsPerMinute,
+                      30 * kSecondsPerMinute));
+
+TEST(StayPointDetectorTest, MeanPositionAndTime) {
+  Trajectory t;
+  t.points.emplace_back(Vec2{0.0, 0.0}, 0);
+  t.points.emplace_back(Vec2{10.0, 0.0}, 600);
+  t.points.emplace_back(Vec2{20.0, 0.0}, 1200);
+  StayPointOptions options;
+  options.distance_threshold_m = 50.0;
+  options.time_threshold_s = 600;
+  auto stays = DetectStayPoints(t, options);
+  ASSERT_EQ(stays.size(), 1u);
+  EXPECT_DOUBLE_EQ(stays[0].position.x, 10.0);
+  EXPECT_EQ(stays[0].time, 600);
+}
+
+TEST(StayPointDetectorTest, ToSemanticTrajectoryKeepsIdentity) {
+  Trajectory t = DwellThenMove();
+  t.id = 42;
+  t.passenger = 7;
+  SemanticTrajectory st = ToSemanticTrajectory(t, {});
+  EXPECT_EQ(st.id, 42u);
+  EXPECT_EQ(st.passenger, 7u);
+  EXPECT_EQ(st.Size(), 2u);
+}
+
+// --- Journeys ------------------------------------------------------------------
+
+TaxiJourney MakeJourney(double px, double py, Timestamp pt, double dx,
+                        double dy, Timestamp dt,
+                        PassengerId card = kNoPassenger) {
+  TaxiJourney j;
+  j.pickup = GpsPoint({px, py}, pt);
+  j.dropoff = GpsPoint({dx, dy}, dt);
+  j.passenger = card;
+  return j;
+}
+
+TEST(JourneyTest, StayPairsKeepOrderAndPassenger) {
+  std::vector<TaxiJourney> journeys = {
+      MakeJourney(0, 0, 100, 1000, 0, 700, 5)};
+  auto db = JourneysToStayPairs(journeys);
+  ASSERT_EQ(db.size(), 1u);
+  EXPECT_EQ(db[0].Size(), 2u);
+  EXPECT_EQ(db[0].passenger, 5u);
+  EXPECT_EQ(db[0].stays[0].time, 100);
+  EXPECT_EQ(db[0].stays[1].time, 700);
+}
+
+TEST(JourneyTest, CollectStayPointsDoublesJourneys) {
+  std::vector<TaxiJourney> journeys = {
+      MakeJourney(0, 0, 0, 1, 1, 10), MakeJourney(2, 2, 20, 3, 3, 30)};
+  EXPECT_EQ(CollectStayPoints(journeys).size(), 4u);
+}
+
+TEST(JourneyLinkTest, MergesNearbyDropoffPickup) {
+  // Passenger 1: A -> B, then B -> C, with the second pick-up 50 m from
+  // the first drop-off. Expect linked stays A, B, C (3 points).
+  std::vector<TaxiJourney> journeys = {
+      MakeJourney(0, 0, 0, 5000, 0, 600, 1),
+      MakeJourney(5050, 0, 4000, 9000, 0, 4600, 1)};
+  JourneyLinkOptions options;
+  options.min_stay_points = 3;
+  auto db = LinkJourneys(journeys, options);
+  ASSERT_EQ(db.size(), 1u);
+  EXPECT_EQ(db[0].Size(), 3u);
+  EXPECT_DOUBLE_EQ(db[0].stays[1].position.x, 5000.0);  // arrival kept
+}
+
+TEST(JourneyLinkTest, KeepsDistantIntermediateStops) {
+  // Second pick-up 2 km from the first drop-off: both become stay points.
+  std::vector<TaxiJourney> journeys = {
+      MakeJourney(0, 0, 0, 5000, 0, 600, 1),
+      MakeJourney(7000, 0, 4000, 9000, 0, 4600, 1)};
+  JourneyLinkOptions options;
+  options.min_stay_points = 3;
+  auto db = LinkJourneys(journeys, options);
+  ASSERT_EQ(db.size(), 1u);
+  EXPECT_EQ(db[0].Size(), 4u);
+}
+
+TEST(JourneyLinkTest, UncardedJourneysAreSkipped) {
+  std::vector<TaxiJourney> journeys = {
+      MakeJourney(0, 0, 0, 5000, 0, 600),
+      MakeJourney(5050, 0, 4000, 9000, 0, 4600)};
+  EXPECT_TRUE(LinkJourneys(journeys, {}).empty());
+}
+
+TEST(JourneyLinkTest, LargeGapSplitsTrajectories) {
+  JourneyLinkOptions options;
+  options.min_stay_points = 3;
+  options.max_gap_s = kSecondsPerDay;
+  // Three legs; the third starts two days later.
+  std::vector<TaxiJourney> journeys = {
+      MakeJourney(0, 0, 0, 5000, 0, 600, 1),
+      MakeJourney(5050, 0, 4000, 9000, 0, 4600, 1),
+      MakeJourney(9000, 0, 3 * kSecondsPerDay, 12000, 0,
+                  3 * kSecondsPerDay + 600, 1)};
+  auto db = LinkJourneys(journeys, options);
+  ASSERT_EQ(db.size(), 1u);  // second fragment has only 2 stays: dropped
+  EXPECT_EQ(db[0].Size(), 3u);
+}
+
+TEST(JourneyLinkTest, SortsOutOfOrderLegs) {
+  std::vector<TaxiJourney> journeys = {
+      MakeJourney(5050, 0, 4000, 9000, 0, 4600, 1),  // later leg first
+      MakeJourney(0, 0, 0, 5000, 0, 600, 1)};
+  JourneyLinkOptions options;
+  options.min_stay_points = 3;
+  auto db = LinkJourneys(journeys, options);
+  ASSERT_EQ(db.size(), 1u);
+  EXPECT_EQ(db[0].stays.front().time, 0);
+}
+
+TEST(JourneyLinkTest, MinStayPointsFiltersShortChains) {
+  std::vector<TaxiJourney> journeys = {
+      MakeJourney(0, 0, 0, 5000, 0, 600, 1)};  // a single leg: 2 stays
+  JourneyLinkOptions options;
+  options.min_stay_points = 3;
+  EXPECT_TRUE(LinkJourneys(journeys, options).empty());
+  options.min_stay_points = 2;
+  EXPECT_EQ(LinkJourneys(journeys, options).size(), 1u);
+}
+
+}  // namespace
+}  // namespace csd

@@ -1,0 +1,309 @@
+// csdctl — command-line front end for the City Semantic Diagram library.
+//
+//   csdctl generate  --out-pois pois.csv --out-trips trips.bin
+//                    [--pois 15000] [--agents 2000] [--days 7] [--seed 7]
+//   csdctl build-csd --pois pois.csv --trips trips.bin --out csd.bin
+//                    [--r3sigma 100]
+//   csdctl recognize --pois pois.csv --csd csd.bin --x <m> --y <m>
+//   csdctl mine      --pois pois.csv --trips trips.bin [--csd csd.bin]
+//                    [--recognizer csd|roi] [--extractor pm|splitter|sdbscan]
+//                    [--sigma 50] [--delta-t-min 60] [--rho 0.002]
+//                    [--closed 0|1] [--out patterns.csv]
+//
+//   csdctl analyze   --patterns patterns.csv
+//
+// Trips files ending in .csv use the text format; anything else uses the
+// CSDJ binary format.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "analysis/corridors.h"
+#include "analysis/schedule.h"
+#include "analysis/time_segments.h"
+#include "io/binary_io.h"
+#include "io/dataset_io.h"
+#include "miner/pervasive_miner.h"
+#include "synth/city_generator.h"
+#include "synth/trip_generator.h"
+#include "traj/journey.h"
+#include "util/stopwatch.h"
+
+namespace csd {
+namespace {
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        std::fprintf(stderr, "expected --flag value, got '%s'\n", argv[i]);
+        ok_ = false;
+        return;
+      }
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+    if (argc >= 2 && argc % 2 != 0) {
+      std::fprintf(stderr, "dangling argument '%s'\n", argv[argc - 1]);
+      ok_ = false;
+    }
+  }
+
+  bool ok() const { return ok_; }
+
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+  }
+
+  bool Require(std::initializer_list<const char*> keys) const {
+    bool all = true;
+    for (const char* key : keys) {
+      if (values_.count(key) == 0) {
+        std::fprintf(stderr, "missing required flag --%s\n", key);
+        all = false;
+      }
+    }
+    return all;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+};
+
+bool IsCsv(const std::string& path) {
+  return path.size() >= 4 && path.rfind(".csv") == path.size() - 4;
+}
+
+Result<std::vector<TaxiJourney>> LoadJourneys(const std::string& path) {
+  return IsCsv(path) ? ReadJourneysCsv(path) : ReadJourneysBinary(path);
+}
+
+Status SaveJourneys(const std::string& path,
+                    const std::vector<TaxiJourney>& journeys) {
+  return IsCsv(path) ? WriteJourneysCsv(path, journeys)
+                     : WriteJourneysBinary(path, journeys);
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int CmdGenerate(const Args& args) {
+  if (!args.Require({"out-pois", "out-trips"})) return 2;
+  CityConfig city_config;
+  city_config.num_pois = static_cast<size_t>(args.GetInt("pois", 15000));
+  city_config.seed = static_cast<uint64_t>(args.GetInt("seed", 7));
+  city_config.width_m = args.GetDouble("width", 16000.0);
+  city_config.height_m = args.GetDouble("height", 16000.0);
+  TripConfig trip_config;
+  trip_config.num_agents = static_cast<size_t>(args.GetInt("agents", 2000));
+  trip_config.num_days = static_cast<int>(args.GetInt("days", 7));
+  trip_config.seed = static_cast<uint64_t>(args.GetInt("seed", 7)) + 55;
+
+  SyntheticCity city = GenerateCity(city_config);
+  TripDataset trips = GenerateTrips(city, trip_config);
+  Status s = WritePoisCsv(args.Get("out-pois"), city.pois);
+  if (!s.ok()) return Fail(s);
+  s = SaveJourneys(args.Get("out-trips"), trips.journeys);
+  if (!s.ok()) return Fail(s);
+  std::printf("wrote %zu POIs to %s and %zu journeys to %s\n",
+              city.pois.size(), args.Get("out-pois").c_str(),
+              trips.journeys.size(), args.Get("out-trips").c_str());
+  return 0;
+}
+
+int CmdBuildCsd(const Args& args) {
+  if (!args.Require({"pois", "trips", "out"})) return 2;
+  auto pois_or = ReadPoisCsv(args.Get("pois"));
+  if (!pois_or.ok()) return Fail(pois_or.status());
+  PoiDatabase pois(std::move(pois_or).value());
+  auto journeys_or = LoadJourneys(args.Get("trips"));
+  if (!journeys_or.ok()) return Fail(journeys_or.status());
+  std::vector<StayPoint> stays = CollectStayPoints(journeys_or.value());
+
+  CsdBuildOptions options;
+  options.r3sigma = args.GetDouble("r3sigma", 100.0);
+  Stopwatch watch;
+  CitySemanticDiagram diagram = CsdBuilder(options).Build(pois, stays);
+  std::printf("built CSD in %.2fs: %zu units, coverage %.1f%%, purity "
+              "%.3f\n",
+              watch.ElapsedSeconds(), diagram.num_units(),
+              100.0 * diagram.CoverageRatio(), diagram.MeanUnitPurity());
+  Status s = WriteCsdBinary(args.Get("out"), diagram);
+  if (!s.ok()) return Fail(s);
+  std::printf("snapshot written to %s\n", args.Get("out").c_str());
+  return 0;
+}
+
+int CmdRecognize(const Args& args) {
+  if (!args.Require({"pois", "csd", "x", "y"})) return 2;
+  auto pois_or = ReadPoisCsv(args.Get("pois"));
+  if (!pois_or.ok()) return Fail(pois_or.status());
+  PoiDatabase pois(std::move(pois_or).value());
+  auto diagram_or = ReadCsdBinary(args.Get("csd"), pois);
+  if (!diagram_or.ok()) return Fail(diagram_or.status());
+  CsdRecognizer recognizer(&diagram_or.value(),
+                           args.GetDouble("r3sigma", 100.0));
+  Vec2 position{args.GetDouble("x", 0.0), args.GetDouble("y", 0.0)};
+  UnitId unit = kNoUnit;
+  SemanticProperty property = recognizer.RecognizeWithUnit(position, &unit);
+  if (unit == kNoUnit) {
+    std::printf("no semantic unit within range of (%.1f, %.1f)\n",
+                position.x, position.y);
+    return 0;
+  }
+  const SemanticUnit& u = diagram_or.value().unit(unit);
+  std::printf("(%.1f, %.1f) -> unit %u (%zu POIs around (%.0f, %.0f)): %s\n",
+              position.x, position.y, unit, u.size(), u.centroid.x,
+              u.centroid.y, property.ToString().c_str());
+  return 0;
+}
+
+int CmdMine(const Args& args) {
+  if (!args.Require({"pois", "trips"})) return 2;
+  auto pois_or = ReadPoisCsv(args.Get("pois"));
+  if (!pois_or.ok()) return Fail(pois_or.status());
+  PoiDatabase pois(std::move(pois_or).value());
+  auto journeys_or = LoadJourneys(args.Get("trips"));
+  if (!journeys_or.ok()) return Fail(journeys_or.status());
+  const std::vector<TaxiJourney>& journeys = journeys_or.value();
+
+  std::vector<StayPoint> stays = CollectStayPoints(journeys);
+  SemanticTrajectoryDb db = JourneysToStayPairs(journeys);
+  SemanticTrajectoryDb linked = LinkJourneys(journeys, {});
+  db.insert(db.end(), linked.begin(), linked.end());
+  for (size_t i = 0; i < db.size(); ++i) {
+    db[i].id = static_cast<TrajectoryId>(i);
+  }
+
+  MinerConfig config;
+  config.extraction.support_threshold =
+      static_cast<size_t>(args.GetInt("sigma", 50));
+  config.extraction.temporal_constraint =
+      args.GetInt("delta-t-min", 60) * kSecondsPerMinute;
+  config.extraction.density_threshold = args.GetDouble("rho", 0.002);
+  config.extraction.closed_patterns = args.GetInt("closed", 0) != 0;
+
+  PipelineKind pipeline;
+  std::string recognizer = args.Get("recognizer", "csd");
+  std::string extractor = args.Get("extractor", "pm");
+  pipeline.recognizer =
+      recognizer == "roi" ? RecognizerKind::kRoi : RecognizerKind::kCsd;
+  pipeline.extractor = extractor == "splitter" ? ExtractorKind::kSplitter
+                       : extractor == "sdbscan" ? ExtractorKind::kSdbscan
+                                                : ExtractorKind::kPervasiveMiner;
+
+  Stopwatch watch;
+  PervasiveMiner miner(&pois, stays, config);
+  MiningResult result = miner.Run(pipeline, db);
+  std::printf("%s: %zu patterns, coverage %zu, avg sparsity %.2fm, avg "
+              "consistency %.4f (%.1fs)\n",
+              pipeline.Name().c_str(), result.patterns.size(),
+              result.metrics.coverage, result.metrics.mean_sparsity,
+              result.metrics.mean_consistency, watch.ElapsedSeconds());
+
+  auto segments = SegmentPatterns(result.patterns);
+  for (const SegmentSummary& segment : segments) {
+    if (segment.patterns.empty()) continue;
+    std::printf("  %-18s %3zu patterns", TimeSegmentName(segment.segment),
+                segment.patterns.size());
+    if (!segment.top_transitions.empty()) {
+      std::printf("  top: %s (%zu)",
+                  segment.top_transitions[0].first.c_str(),
+                  segment.top_transitions[0].second);
+    }
+    std::printf("\n");
+  }
+
+  std::string out = args.Get("out");
+  if (!out.empty()) {
+    Status s = WritePatternsCsv(out, result.patterns);
+    if (!s.ok()) return Fail(s);
+    std::printf("patterns written to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int CmdAnalyze(const Args& args) {
+  if (!args.Require({"patterns"})) return 2;
+  auto patterns_or = ReadPatternsCsv(args.Get("patterns"));
+  if (!patterns_or.ok()) return Fail(patterns_or.status());
+  const std::vector<FineGrainedPattern>& patterns = patterns_or.value();
+  std::printf("%zu patterns loaded from %s\n\n", patterns.size(),
+              args.Get("patterns").c_str());
+
+  auto segments = SegmentPatterns(patterns);
+  std::printf("time-of-week segments:\n");
+  for (const SegmentSummary& segment : segments) {
+    std::printf("  %-18s %3zu patterns, coverage %6zu\n",
+                TimeSegmentName(segment.segment), segment.patterns.size(),
+                segment.coverage);
+    for (const auto& [label, support] : segment.top_transitions) {
+      std::printf("      %5zu x %s\n", support, label.c_str());
+    }
+  }
+
+  auto corridors = AggregateCorridors(patterns);
+  std::printf("\ntop corridors:\n");
+  for (size_t i = 0; i < corridors.size() && i < 8; ++i) {
+    const Corridor& c = corridors[i];
+    std::printf("  (%6.0f,%6.0f) -> (%6.0f,%6.0f) %5.1fkm demand %5zu "
+                "peak %02d:00  %s\n",
+                c.from.x, c.from.y, c.to.x, c.to.y,
+                c.LengthMeters() / 1000.0, c.demand, c.PeakHour(),
+                c.label.c_str());
+  }
+
+  auto regular = RankByRegularity(patterns);
+  std::printf("\nmost regular routines:\n");
+  for (size_t i = 0; i < regular.size() && i < 5; ++i) {
+    const auto& [pattern, schedule] = regular[i];
+    std::printf("  %.0f%% within +/-1h of %02d:00, %.0f%% weekdays, "
+                "support %zu: %s\n",
+                100.0 * schedule.regularity, schedule.peak_hour,
+                100.0 * schedule.weekday_share, pattern->support(),
+                pattern->SemanticLabel().c_str());
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: csdctl <generate|build-csd|recognize|mine|analyze> "
+               "[--flag value]...\n(see the header of tools/csdctl.cc)\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Args args(argc, argv);
+  if (!args.ok()) return 2;
+  std::string command = argv[1];
+  if (command == "generate") return CmdGenerate(args);
+  if (command == "build-csd") return CmdBuildCsd(args);
+  if (command == "recognize") return CmdRecognize(args);
+  if (command == "mine") return CmdMine(args);
+  if (command == "analyze") return CmdAnalyze(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace csd
+
+int main(int argc, char** argv) { return csd::Main(argc, argv); }
