@@ -11,6 +11,7 @@
 #include "synth/city_generator.h"
 #include "synth/trip_generator.h"
 #include "traj/journey.h"
+#include "util/parallel.h"
 #include "util/stopwatch.h"
 
 namespace csd::bench {
@@ -156,6 +157,72 @@ inline void RunParameterSweep(const ExperimentSetup& s, const char* title,
   panel("d: average semantic consistency",
         [](const ApproachMetrics& m) { return m.mean_consistency; },
         " %10.4f");
+}
+
+/// One timed stage of a pipeline benchmark run.
+struct StageTiming {
+  std::string name;
+  double seconds = 0.0;
+};
+
+/// One dataset-scale point of a pipeline benchmark: the dataset shape, the
+/// per-stage wall-clock times, and the mining outcome.
+struct PipelineBenchRun {
+  size_t scale = 0;
+  size_t pois = 0;
+  size_t agents = 0;
+  size_t journeys = 0;
+  size_t patterns = 0;
+  std::vector<StageTiming> stages;
+
+  double TotalSeconds() const {
+    double total = 0.0;
+    for (const StageTiming& s : stages) total += s.seconds;
+    return total;
+  }
+};
+
+/// Writes the machine-readable benchmark trajectory consumed by
+/// tools/bench_diff. Schema (stable; bench_diff and docs/performance.md
+/// depend on it):
+///   {
+///     "bench": "<name>",
+///     "threads": <N>,
+///     "runs": [
+///       {"scale": 8, "pois": ..., "agents": ..., "journeys": ...,
+///        "patterns": ...,
+///        "stages": {"csd_build": 1.23, "annotate": 0.45, "mine": 6.78},
+///        "total_seconds": 8.46},
+///       ...
+///     ]
+///   }
+/// Returns false (with a note on stderr) when the file cannot be opened.
+inline bool WritePipelineJson(const std::string& path, const char* bench_name,
+                              const std::vector<PipelineBenchRun>& runs) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "WritePipelineJson: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"threads\": %zu,\n",
+               bench_name, DefaultParallelism());
+  std::fprintf(f, "  \"runs\": [\n");
+  for (size_t r = 0; r < runs.size(); ++r) {
+    const PipelineBenchRun& run = runs[r];
+    std::fprintf(f,
+                 "    {\"scale\": %zu, \"pois\": %zu, \"agents\": %zu, "
+                 "\"journeys\": %zu, \"patterns\": %zu,\n      \"stages\": {",
+                 run.scale, run.pois, run.agents, run.journeys, run.patterns);
+    for (size_t s = 0; s < run.stages.size(); ++s) {
+      std::fprintf(f, "%s\"%s\": %.6f", s == 0 ? "" : ", ",
+                   run.stages[s].name.c_str(), run.stages[s].seconds);
+    }
+    std::fprintf(f, "},\n      \"total_seconds\": %.6f}%s\n",
+                 run.TotalSeconds(), r + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
 }
 
 /// Renders a row of an ASCII column chart, e.g. "CSD-PM   | ########".

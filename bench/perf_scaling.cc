@@ -4,6 +4,11 @@
 // annotation, CSD-PM extraction) across city scales, so a user can
 // extrapolate to their dataset. σ scales with the trip count to keep the
 // mining problem comparable.
+//
+// Besides the console table, the run is appended to the machine-readable
+// benchmark trajectory BENCH_pipeline.json (path override:
+// CSD_BENCH_JSON), which tools/bench_diff compares across commits to flag
+// stage regressions.
 
 #include <cstdio>
 
@@ -15,6 +20,7 @@ int main() {
   std::printf("%8s %8s %9s | %10s %10s %10s | %9s\n", "POIs", "agents",
               "journeys", "csd build", "annotate", "mine", "#patterns");
 
+  std::vector<bench::PipelineBenchRun> runs;
   for (size_t scale : {1, 2, 4, 8}) {
     CityConfig city_config;
     city_config.num_pois = 5000 * scale;
@@ -51,7 +57,26 @@ int main() {
     std::printf("%8zu %8zu %9zu | %9.2fs %9.2fs %9.2fs | %9zu\n",
                 pois.size(), trip_config.num_agents, trips.journeys.size(),
                 t_build, t_annotate, t_mine, result.patterns.size());
+
+    bench::PipelineBenchRun run;
+    run.scale = scale;
+    run.pois = pois.size();
+    run.agents = trip_config.num_agents;
+    run.journeys = trips.journeys.size();
+    run.patterns = result.patterns.size();
+    run.stages = {{"csd_build", t_build},
+                  {"annotate", t_annotate},
+                  {"mine", t_mine}};
+    runs.push_back(std::move(run));
   }
-  std::printf("\n(threads: CSD_THREADS env or min(hardware, 8))\n");
+  std::printf("\n(threads: CSD_THREADS env or min(hardware, 8); pool of %zu)\n",
+              DefaultParallelism());
+
+  const char* json_path = std::getenv("CSD_BENCH_JSON");
+  std::string path = json_path != nullptr ? json_path : "BENCH_pipeline.json";
+  if (bench::WritePipelineJson(path, "perf_scaling", runs)) {
+    std::printf("wrote %s (compare runs with tools/bench_diff)\n",
+                path.c_str());
+  }
   return 0;
 }

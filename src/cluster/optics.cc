@@ -7,12 +7,21 @@
 
 #include "index/grid_index.h"
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace csd {
 
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// A point's ε-neighborhood entry with the distance computed once; shared
+/// by the core-distance selection and the reachability updates, which
+/// previously each recomputed Distance(p, q) per neighbor.
+struct Neighbor {
+  size_t index;
+  double distance;
+};
 
 }  // namespace
 
@@ -28,6 +37,21 @@ OpticsResult RunOptics(const std::vector<Vec2>& points,
   if (n == 0) return result;
 
   GridIndex index(points, options.max_eps);
+
+  // Every point's neighborhood is queried exactly once over the run, so
+  // batch all of them up front: the queries are independent (the hot part
+  // of OPTICS) and the ordering pass below becomes pure priority-queue
+  // bookkeeping over cached distances.
+  std::vector<std::vector<Neighbor>> neighborhoods(n);
+  ParallelFor(
+      n,
+      [&](size_t p) {
+        index.ForEachInRadius(points[p], options.max_eps, [&](size_t q) {
+          neighborhoods[p].push_back({q, Distance(points[p], points[q])});
+        });
+      },
+      {.grain = 32});
+
   std::vector<char> processed(n, 0);
 
   // Seed queue keyed by current reachability; stale entries are skipped.
@@ -35,27 +59,23 @@ OpticsResult RunOptics(const std::vector<Vec2>& points,
   auto cmp = [](const Entry& a, const Entry& b) { return a.first > b.first; };
   std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> seeds(cmp);
 
-  auto neighbors_of = [&](size_t p) {
-    return index.RadiusQuery(points[p], options.max_eps);
-  };
-
-  auto core_distance_of = [&](size_t p,
-                              const std::vector<size_t>& neighbors) {
+  auto core_distance_of = [&](size_t p) {
+    const std::vector<Neighbor>& neighbors = neighborhoods[p];
     if (neighbors.size() < options.min_pts) return kInf;
     // min_pts-th smallest distance (the neighborhood includes p itself).
     std::vector<double> dists;
     dists.reserve(neighbors.size());
-    for (size_t q : neighbors) dists.push_back(Distance(points[p], points[q]));
+    for (const Neighbor& nb : neighbors) dists.push_back(nb.distance);
     std::nth_element(dists.begin(), dists.begin() + (options.min_pts - 1),
                      dists.end());
     return dists[options.min_pts - 1];
   };
 
-  auto update_seeds = [&](size_t p, double core_dist,
-                          const std::vector<size_t>& neighbors) {
-    for (size_t q : neighbors) {
+  auto update_seeds = [&](size_t p, double core_dist) {
+    for (const Neighbor& nb : neighborhoods[p]) {
+      size_t q = nb.index;
       if (processed[q]) continue;
-      double new_reach = std::max(core_dist, Distance(points[p], points[q]));
+      double new_reach = std::max(core_dist, nb.distance);
       if (new_reach < result.reachability[q]) {
         result.reachability[q] = new_reach;
         seeds.emplace(new_reach, q);
@@ -67,10 +87,9 @@ OpticsResult RunOptics(const std::vector<Vec2>& points,
     if (processed[start]) continue;
     processed[start] = 1;
     result.ordering.push_back(start);
-    std::vector<size_t> neighbors = neighbors_of(start);
-    double core = core_distance_of(start, neighbors);
+    double core = core_distance_of(start);
     result.core_distance[start] = core;
-    if (core != kInf) update_seeds(start, core, neighbors);
+    if (core != kInf) update_seeds(start, core);
 
     while (!seeds.empty()) {
       auto [reach, p] = seeds.top();
@@ -78,10 +97,9 @@ OpticsResult RunOptics(const std::vector<Vec2>& points,
       if (processed[p] || reach != result.reachability[p]) continue;  // stale
       processed[p] = 1;
       result.ordering.push_back(p);
-      std::vector<size_t> p_neighbors = neighbors_of(p);
-      double p_core = core_distance_of(p, p_neighbors);
+      double p_core = core_distance_of(p);
       result.core_distance[p] = p_core;
-      if (p_core != kInf) update_seeds(p, p_core, p_neighbors);
+      if (p_core != kInf) update_seeds(p, p_core);
     }
   }
   return result;

@@ -28,17 +28,21 @@ PopularityModel::PopularityModel(const PoiDatabase& pois,
   for (const StayPoint& sp : stays) stay_positions.push_back(sp.position);
   GridIndex stay_index(std::move(stay_positions), r3sigma_);
 
-  // Independent per POI: parallel over the database.
-  ParallelFor(pois.size(), [&](size_t id) {
-    const Vec2& p = pois.poi(static_cast<PoiId>(id)).position;
-    double acc = 0.0;
-    // Equation (3): sum over stay points strictly within R3sigma.
-    stay_index.ForEachInRadius(p, r3sigma_, [&](size_t sidx) {
-      acc += GaussianCoefficient(Distance(p, stay_index.point(sidx)),
-                                 r3sigma_);
-    });
-    popularity_[id] = acc;
-  });
+  // Independent per POI: parallel over the database. One iteration is a
+  // radius query over the stay index — expensive enough for a small grain.
+  ParallelFor(
+      pois.size(),
+      [&](size_t id) {
+        const Vec2& p = pois.poi(static_cast<PoiId>(id)).position;
+        double acc = 0.0;
+        // Equation (3): sum over stay points strictly within R3sigma.
+        stay_index.ForEachInRadius(p, r3sigma_, [&](size_t sidx) {
+          acc += GaussianCoefficient(Distance(p, stay_index.point(sidx)),
+                                     r3sigma_);
+        });
+        popularity_[id] = acc;
+      },
+      {.grain = 64});
 }
 
 }  // namespace csd

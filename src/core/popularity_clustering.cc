@@ -1,6 +1,7 @@
 #include "core/popularity_clustering.h"
 
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace csd {
 
@@ -32,6 +33,22 @@ PopularityClusteringResult PopularityBasedClustering(
   std::vector<char> taken(n, 0);   // removed from P (line 3 / line 8)
   std::vector<char> in_cluster(n, 0);  // member of a kept cluster
 
+  // The greedy expansion below consumes every POI's ε-neighborhood at
+  // most once, in POI order inside each cluster. The range queries
+  // dominate the stage and are independent, so batch them up front in
+  // parallel; the serial expansion then replays the cached lists and
+  // produces the exact sequence the query-on-demand version did.
+  std::vector<std::vector<PoiId>> eps_neighbors(n);
+  ParallelFor(
+      n,
+      [&](size_t pid) {
+        pois.ForEachInRange(pois.poi(static_cast<PoiId>(pid)).position,
+                            options.eps, [&](PoiId found) {
+                              eps_neighbors[pid].push_back(found);
+                            });
+      },
+      {.grain = 64});
+
   // Candidate entry: the POI plus the member whose range search found it
   // (used when compare_to_seed is false).
   struct Candidate {
@@ -39,21 +56,25 @@ PopularityClusteringResult PopularityBasedClustering(
     PoiId discoverer;
   };
 
+  // Epoch-stamped "queued" marker: one array reused across seeds instead
+  // of an O(n) allocation per seed (which made the stage quadratic).
+  std::vector<uint32_t> queued(n, 0);
+  uint32_t epoch = 0;
+
   for (PoiId seed = 0; seed < n; ++seed) {
     if (taken[seed]) continue;
     taken[seed] = 1;
     std::vector<PoiId> cluster = {seed};
 
     std::vector<Candidate> v;
-    std::vector<char> queued(n, 0);
-    queued[seed] = 1;
+    ++epoch;
+    queued[seed] = epoch;
     auto enqueue_range = [&](PoiId member) {
-      pois.ForEachInRange(pois.poi(member).position, options.eps,
-                          [&](PoiId found) {
-                            if (taken[found] || queued[found]) return;
-                            queued[found] = 1;
-                            v.push_back({found, member});
-                          });
+      for (PoiId found : eps_neighbors[member]) {
+        if (taken[found] || queued[found] == epoch) continue;
+        queued[found] = epoch;
+        v.push_back({found, member});
+      }
     };
     enqueue_range(seed);
 

@@ -6,6 +6,7 @@
 
 #include "geo/stats.h"
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace csd {
 
@@ -88,16 +89,23 @@ std::vector<std::vector<PoiId>> SemanticPurification(
       continue;
     }
 
-    // Lines 7-9: KL of every member against the central POI.
+    // Lines 7-9: KL of every member against the central POI. Each member's
+    // distribution is an O(|cluster|) Gaussian sweep, making this loop the
+    // stage's quadratic hot spot; members are independent, so it runs on
+    // the pool with a grain inversely proportional to the per-member cost.
     PoiId center = CenterPoi(cluster, pois);
     auto pr_center = InnerSemanticDistribution(cluster, center, pois,
                                                options.r3sigma);
     std::vector<double> kl(cluster.size());
-    for (size_t k = 0; k < cluster.size(); ++k) {
-      auto pr_k = InnerSemanticDistribution(cluster, cluster[k], pois,
-                                            options.r3sigma);
-      kl[k] = KlDivergence(pr_k, pr_center, options.kl_epsilon);
-    }
+    size_t grain = std::max<size_t>(1, 4096 / cluster.size());
+    ParallelFor(
+        cluster.size(),
+        [&](size_t k) {
+          auto pr_k = InnerSemanticDistribution(cluster, cluster[k], pois,
+                                                options.r3sigma);
+          kl[k] = KlDivergence(pr_k, pr_center, options.kl_epsilon);
+        },
+        {.grain = grain});
 
     // Line 10: median KL (lower median, so that a mixed pair — KL values
     // {0, x} — still splits at the strict > below).

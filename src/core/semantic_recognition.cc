@@ -15,8 +15,11 @@ void SemanticRecognizer::Annotate(SemanticTrajectory* trajectory) const {
 
 void SemanticRecognizer::AnnotateDatabase(SemanticTrajectoryDb* db) const {
   // Recognition is read-only over the diagram; trajectories are
-  // independent.
-  ParallelFor(db->size(), [db, this](size_t i) { Annotate(&(*db)[i]); });
+  // independent. One iteration runs a ballot (range query + vote) per stay
+  // point, so a few dozen trajectories amortize a task.
+  ParallelFor(
+      db->size(), [db, this](size_t i) { Annotate(&(*db)[i]); },
+      {.grain = 32});
 }
 
 CsdRecognizer::CsdRecognizer(const CitySemanticDiagram* diagram,

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace csd {
 
@@ -57,20 +58,34 @@ std::vector<std::vector<PoiId>> SemanticUnitMerging(
     for (PoiId pid : nodes[node]) poi_to_node[pid] = node;
   }
 
-  // Node-level adjacency from POI proximity, computed once.
+  // Node-level adjacency from POI proximity, computed once. The per-POI
+  // range queries are the expensive part and independent, so they run in
+  // parallel into per-POI edge lists; the serial insertion below then
+  // sees the same edge sequence a serial scan would, which keeps the
+  // unordered_set iteration order — and therefore the merge order —
+  // independent of the thread count.
+  std::vector<std::vector<uint64_t>> edges(pois.size());
+  ParallelFor(
+      pois.size(),
+      [&](size_t pid_idx) {
+        PoiId pid = static_cast<PoiId>(pid_idx);
+        size_t node_a = poi_to_node[pid];
+        if (node_a == SIZE_MAX) return;
+        pois.ForEachInRange(pois.poi(pid).position, options.neighbor_distance,
+                            [&](PoiId other) {
+                              if (other <= pid) return;
+                              size_t node_b = poi_to_node[other];
+                              if (node_b == SIZE_MAX || node_b == node_a)
+                                return;
+                              uint64_t lo = std::min(node_a, node_b);
+                              uint64_t hi = std::max(node_a, node_b);
+                              edges[pid_idx].push_back((lo << 32) | hi);
+                            });
+      },
+      {.grain = 64});
   std::unordered_set<uint64_t> adjacency;
   for (PoiId pid = 0; pid < pois.size(); ++pid) {
-    size_t node_a = poi_to_node[pid];
-    if (node_a == SIZE_MAX) continue;
-    pois.ForEachInRange(pois.poi(pid).position, options.neighbor_distance,
-                        [&](PoiId other) {
-                          if (other <= pid) return;
-                          size_t node_b = poi_to_node[other];
-                          if (node_b == SIZE_MAX || node_b == node_a) return;
-                          uint64_t lo = std::min(node_a, node_b);
-                          uint64_t hi = std::max(node_a, node_b);
-                          adjacency.insert((lo << 32) | hi);
-                        });
+    for (uint64_t key : edges[pid]) adjacency.insert(key);
   }
 
   UnionFind uf(nodes.size());

@@ -13,6 +13,15 @@ PoiDatabase::PoiDatabase(std::vector<Poi> pois, double index_cell_size)
     positions.push_back(pois_[i].position);
   }
   index_ = std::make_unique<GridIndex>(std::move(positions), index_cell_size);
+
+  // The database is immutable after construction, so the category counts
+  // and bounding box are computed once here instead of rescanning all
+  // POIs on every call (several call sites query them per stage).
+  counts_by_major_.fill(0);
+  for (const Poi& p : pois_) {
+    counts_by_major_[static_cast<size_t>(p.major())]++;
+    bounds_.Extend(p.position);
+  }
 }
 
 std::vector<PoiId> PoiDatabase::RangeQuery(const Vec2& query,
@@ -25,20 +34,6 @@ std::vector<PoiId> PoiDatabase::RangeQuery(const Vec2& query,
 PoiId PoiDatabase::Nearest(const Vec2& query) const {
   CSD_CHECK(!pois_.empty());
   return static_cast<PoiId>(index_->Nearest(query));
-}
-
-std::array<size_t, kNumMajorCategories> PoiDatabase::CountByMajor() const {
-  std::array<size_t, kNumMajorCategories> counts{};
-  for (const Poi& p : pois_) {
-    counts[static_cast<size_t>(p.major())]++;
-  }
-  return counts;
-}
-
-BoundingBox PoiDatabase::Bounds() const {
-  BoundingBox box;
-  for (const Poi& p : pois_) box.Extend(p.position);
-  return box;
 }
 
 }  // namespace csd

@@ -37,15 +37,20 @@ class PoiDatabase {
   /// Id of the POI nearest to `query`; requires a non-empty database.
   PoiId Nearest(const Vec2& query) const;
 
-  /// Number of POIs per major category (Table 3 statistics).
-  std::array<size_t, kNumMajorCategories> CountByMajor() const;
+  /// Number of POIs per major category (Table 3 statistics). Cached at
+  /// construction; O(1).
+  const std::array<size_t, kNumMajorCategories>& CountByMajor() const {
+    return counts_by_major_;
+  }
 
-  /// Tight bounding box of all POIs.
-  BoundingBox Bounds() const;
+  /// Tight bounding box of all POIs. Cached at construction; O(1).
+  const BoundingBox& Bounds() const { return bounds_; }
 
  private:
   std::vector<Poi> pois_;
   std::unique_ptr<GridIndex> index_;
+  std::array<size_t, kNumMajorCategories> counts_by_major_{};
+  BoundingBox bounds_;
 };
 
 }  // namespace csd

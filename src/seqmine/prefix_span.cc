@@ -1,8 +1,10 @@
 #include "seqmine/prefix_span.h"
 
+#include <algorithm>
 #include <map>
 
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace csd {
 
@@ -15,56 +17,109 @@ struct Projection {
   size_t start;
 };
 
+/// Computes the single-item extensions of a projected database: for each
+/// item, the child projection advancing every supporting sequence past its
+/// first occurrence. std::map keeps the extension order sorted by item,
+/// which fixes the DFS emission order.
+std::map<Item, std::vector<Projection>> CollectExtensions(
+    const std::vector<Sequence>& db, const std::vector<Projection>& projected) {
+  std::map<Item, std::vector<Projection>> extensions;
+  for (const Projection& pr : projected) {
+    const Sequence& s = db[pr.seq];
+    // First occurrence of each item in the suffix.
+    std::map<Item, size_t> first_pos;
+    for (size_t pos = pr.start; pos < s.size(); ++pos) {
+      first_pos.emplace(s[pos], pos);  // keeps the earliest position
+    }
+    for (auto& [item, pos] : first_pos) {
+      extensions[item].push_back({pr.seq, pos + 1});
+    }
+  }
+  return extensions;
+}
+
 class PrefixSpanMiner {
  public:
   PrefixSpanMiner(const std::vector<Sequence>& db,
                   const PrefixSpanOptions& options)
       : db_(db), options_(options) {}
 
+  /// Mines the full pattern set. The top-level projected database splits
+  /// into one independent subtree per frequent first item; subtrees are
+  /// mined in parallel into per-subtree result vectors and concatenated
+  /// in item order, which is byte-identical to the serial depth-first
+  /// emission order.
   std::vector<SequentialPattern> Mine() {
     std::vector<Projection> all;
     all.reserve(db_.size());
     for (size_t i = 0; i < db_.size(); ++i) {
       if (!db_[i].empty()) all.push_back({i, 0});
     }
-    std::vector<Item> prefix;
-    Grow(all, prefix);
-    return std::move(results_);
+
+    std::map<Item, std::vector<Projection>> extensions =
+        CollectExtensions(db_, all);
+    struct Subtree {
+      Item item;
+      std::vector<Projection> projected;
+    };
+    std::vector<Subtree> subtrees;
+    for (auto& [item, child] : extensions) {
+      if (child.size() < options_.min_support) continue;
+      subtrees.push_back({item, std::move(child)});
+    }
+
+    // Subtree sizes are highly skewed (a popular semantic dominates), so
+    // grain 1 lets the pool steal whole subtrees for balance.
+    std::vector<std::vector<SequentialPattern>> per_subtree(subtrees.size());
+    ParallelFor(
+        subtrees.size(),
+        [&](size_t i) {
+          PrefixSpanMiner sub(db_, options_);
+          sub.MineSubtree(subtrees[i].item, subtrees[i].projected);
+          per_subtree[i] = std::move(sub.results_);
+        },
+        {.grain = 1});
+
+    std::vector<SequentialPattern> results;
+    for (std::vector<SequentialPattern>& part : per_subtree) {
+      results.insert(results.end(), std::make_move_iterator(part.begin()),
+                     std::make_move_iterator(part.end()));
+    }
+    return results;
   }
 
  private:
+  /// Serial mining of the subtree rooted at the 1-item prefix {item},
+  /// exactly replaying what the serial DFS does after choosing `item` at
+  /// the top level.
+  void MineSubtree(Item item, const std::vector<Projection>& projected) {
+    std::vector<Item> prefix = {item};
+    Emit(prefix, projected);
+    Grow(projected, prefix);
+  }
+
+  void Emit(const std::vector<Item>& prefix,
+            const std::vector<Projection>& projected) {
+    if (prefix.size() < options_.min_length) return;
+    SequentialPattern pattern;
+    pattern.items = prefix;
+    pattern.supporting_sequences.reserve(projected.size());
+    for (const Projection& pr : projected) {
+      pattern.supporting_sequences.push_back(pr.seq);
+    }
+    results_.push_back(std::move(pattern));
+  }
+
   void Grow(const std::vector<Projection>& projected,
             std::vector<Item>& prefix) {
     if (prefix.size() >= options_.max_length) return;
 
-    // Count, per item, the number of distinct sequences whose suffix
-    // contains it, and remember the first occurrence per (item, sequence)
-    // to build the child projection in one pass.
-    std::map<Item, std::vector<Projection>> extensions;
-    for (const Projection& pr : projected) {
-      const Sequence& s = db_[pr.seq];
-      // First occurrence of each item in the suffix.
-      std::map<Item, size_t> first_pos;
-      for (size_t pos = pr.start; pos < s.size(); ++pos) {
-        first_pos.emplace(s[pos], pos);  // keeps the earliest position
-      }
-      for (auto& [item, pos] : first_pos) {
-        extensions[item].push_back({pr.seq, pos + 1});
-      }
-    }
-
+    std::map<Item, std::vector<Projection>> extensions =
+        CollectExtensions(db_, projected);
     for (auto& [item, child] : extensions) {
       if (child.size() < options_.min_support) continue;
       prefix.push_back(item);
-      if (prefix.size() >= options_.min_length) {
-        SequentialPattern pattern;
-        pattern.items = prefix;
-        pattern.supporting_sequences.reserve(child.size());
-        for (const Projection& pr : child) {
-          pattern.supporting_sequences.push_back(pr.seq);
-        }
-        results_.push_back(std::move(pattern));
-      }
+      Emit(prefix, child);
       Grow(child, prefix);
       prefix.pop_back();
     }
@@ -84,18 +139,24 @@ namespace {
 std::vector<SequentialPattern> FilterClosed(
     std::vector<SequentialPattern> patterns) {
   // Decide first, move afterwards: moving inside the scan would leave
-  // moved-from patterns in the comparison set.
+  // moved-from patterns in the comparison set. Each pattern's verdict only
+  // reads the shared set and writes its own slot, so the O(p²) scan runs
+  // on the pool.
   std::vector<char> is_closed(patterns.size(), 1);
-  for (size_t i = 0; i < patterns.size(); ++i) {
-    for (size_t j = 0; j < patterns.size(); ++j) {
-      if (patterns[j].items.size() <= patterns[i].items.size()) continue;
-      if (patterns[j].support() != patterns[i].support()) continue;
-      if (FindEmbedding(patterns[j].items, patterns[i].items)) {
-        is_closed[i] = 0;
-        break;
-      }
-    }
-  }
+  size_t grain = std::max<size_t>(1, 2048 / (patterns.size() + 1));
+  ParallelFor(
+      patterns.size(),
+      [&](size_t i) {
+        for (size_t j = 0; j < patterns.size(); ++j) {
+          if (patterns[j].items.size() <= patterns[i].items.size()) continue;
+          if (patterns[j].support() != patterns[i].support()) continue;
+          if (FindEmbedding(patterns[j].items, patterns[i].items)) {
+            is_closed[i] = 0;
+            break;
+          }
+        }
+      },
+      {.grain = grain});
   std::vector<SequentialPattern> closed;
   for (size_t i = 0; i < patterns.size(); ++i) {
     if (is_closed[i]) closed.push_back(std::move(patterns[i]));

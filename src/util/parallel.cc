@@ -1,11 +1,21 @@
 #include "util/parallel.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
+#include <thread>
 
 namespace csd {
 
+namespace {
+
+std::atomic<size_t> g_parallelism_override{0};
+
+}  // namespace
+
 size_t DefaultParallelism() {
+  size_t override = g_parallelism_override.load(std::memory_order_relaxed);
+  if (override != 0) return override;
   static const size_t kValue = [] {
     if (const char* env = std::getenv("CSD_THREADS")) {
       long parsed = std::atol(env);
@@ -15,6 +25,10 @@ size_t DefaultParallelism() {
     return std::min<size_t>(hw == 0 ? 1 : hw, 8);
   }();
   return kValue;
+}
+
+void SetDefaultParallelism(size_t num_threads) {
+  g_parallelism_override.store(num_threads, std::memory_order_relaxed);
 }
 
 }  // namespace csd

@@ -2,44 +2,70 @@
 #define CSD_UTIL_PARALLEL_H_
 
 #include <cstddef>
-#include <thread>
-#include <vector>
+
+#include "util/thread_pool.h"
 
 namespace csd {
 
-/// Number of worker threads used by ParallelFor when the caller passes 0:
-/// the hardware concurrency, capped (diminishing returns on the memory-
-/// bound kernels this library runs).
+/// Parallelism used by ParallelFor when the caller doesn't override it:
+/// the CSD_THREADS environment variable if set, else the hardware
+/// concurrency capped at 8 (diminishing returns on the memory-bound
+/// kernels this library runs), else 1. A SetDefaultParallelism() override
+/// takes precedence over all of these.
 size_t DefaultParallelism();
 
-/// Runs fn(i) for every i in [0, n), statically chunked over
-/// `num_threads` threads (0 = DefaultParallelism()). The callable must be
-/// safe to invoke concurrently for distinct i; iterations touching shared
-/// mutable state need their own synchronization. Falls back to the
-/// calling thread for small n or single-thread configurations.
+/// Overrides DefaultParallelism() at runtime (0 restores the environment/
+/// hardware default). Test and benchmark hook — e.g. asserting that a
+/// 1-thread and a 4-thread pipeline run produce identical patterns.
+void SetDefaultParallelism(size_t num_threads);
+
+/// Tuning knobs for ParallelFor.
+struct ParallelOptions {
+  /// Iterations per scheduled task — the unit of stealing. Pick it so one
+  /// task amortizes ~1µs of scheduling: cheap iterations want hundreds to
+  /// thousands per task, expensive iterations (a radius query, an O(k)
+  /// kernel) want 1–64. 0 derives a grain from n and the thread count
+  /// (about four tasks per thread, but never below 256 iterations — the
+  /// regime where the old fixed n < 2048 serial cutoff was right).
+  size_t grain = 0;
+
+  /// Lanes to spread the loop over; 0 = DefaultParallelism(). 1 forces a
+  /// strictly serial inline run. Values > 1 grow the shared pool as
+  /// needed; idle workers beyond this count may still steal chunks for
+  /// load balancing (the cap bounds the initial distribution, not the
+  /// pool width).
+  size_t max_threads = 0;
+};
+
+/// Runs fn(i) for every i in [0, n) on the shared work-stealing pool
+/// (ThreadPool::Global()), blocking until all iterations finished. The
+/// callable must be safe to invoke concurrently for distinct i;
+/// iterations touching shared mutable state need their own
+/// synchronization. The first exception thrown by any iteration cancels
+/// the remaining chunks and is rethrown here.
+///
+/// Nested invocations — fn itself calling ParallelFor — are safe and run
+/// inline on the calling worker, so nesting never oversubscribes beyond
+/// the pool's worker count.
 template <typename Fn>
-void ParallelFor(size_t n, Fn&& fn, size_t num_threads = 0) {
+void ParallelFor(size_t n, Fn&& fn, ParallelOptions options = {}) {
   if (n == 0) return;
-  if (num_threads == 0) num_threads = DefaultParallelism();
-  // Thread start-up costs ~10µs each; don't bother below a few thousand
-  // cheap iterations.
-  if (num_threads <= 1 || n < 2048) {
+  size_t threads =
+      options.max_threads != 0 ? options.max_threads : DefaultParallelism();
+  size_t grain = options.grain;
+  if (grain == 0) {
+    size_t auto_grain = n / (threads * 4 + 1) + 1;
+    grain = auto_grain < 256 ? 256 : auto_grain;
+  }
+  if (threads <= 1 || n <= grain || ThreadPool::InParallelRegion()) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  num_threads = std::min(num_threads, n);
-  std::vector<std::thread> workers;
-  workers.reserve(num_threads);
-  size_t chunk = (n + num_threads - 1) / num_threads;
-  for (size_t t = 0; t < num_threads; ++t) {
-    size_t begin = t * chunk;
-    size_t end = std::min(begin + chunk, n);
-    if (begin >= end) break;
-    workers.emplace_back([begin, end, &fn]() {
-      for (size_t i = begin; i < end; ++i) fn(i);
-    });
-  }
-  for (std::thread& worker : workers) worker.join();
+  ThreadPool& pool = ThreadPool::Global();
+  pool.EnsureWorkers(threads - 1);
+  pool.ParallelRange(n, grain, threads, [&fn](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+  });
 }
 
 }  // namespace csd

@@ -1,0 +1,268 @@
+// bench_diff — compares two BENCH_pipeline.json benchmark trajectories
+// (see bench/bench_common.h for the schema) and flags per-stage wall-clock
+// regressions.
+//
+/// Usage:
+//   bench_diff baseline.json current.json [threshold]
+//
+// Runs are matched by their "scale" field; every stage whose time grew by
+// more than `threshold` (default 0.15 = 15%) is flagged. Exit status: 0
+// when no stage regressed, 1 on regression, 2 on usage/parse errors.
+// Sub-millisecond stages are ignored — their relative noise dwarfs any
+// real signal.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+/// Minimal JSON value: just enough for the flat benchmark schema. Object
+/// keys keep insertion order so stage reports read in pipeline order.
+struct Json {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Json> array;
+  std::vector<std::pair<std::string, Json>> object;
+
+  const Json* Find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+/// Recursive-descent parser for the JSON subset the bench writer emits
+/// (no \u escapes, no scientific-notation corner cases beyond strtod).
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  bool Parse(Json* out) {
+    bool ok = ParseValue(out);
+    SkipSpace();
+    return ok && pos_ == text_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(
+               static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ParseValue(Json* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->kind = Json::Kind::kString;
+      return ParseString(&out->string);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out->kind = Json::Kind::kBool;
+      out->boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out->kind = Json::Kind::kBool;
+      pos_ += 5;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    char* end = nullptr;
+    out->number = std::strtod(text_.c_str() + pos_, &end);
+    if (end == text_.c_str() + pos_) return false;
+    out->kind = Json::Kind::kNumber;
+    pos_ = static_cast<size_t>(end - text_.c_str());
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          default: c = esc; break;
+        }
+      }
+      out->push_back(c);
+    }
+    return Consume('"');
+  }
+
+  bool ParseObject(Json* out) {
+    if (!Consume('{')) return false;
+    out->kind = Json::Kind::kObject;
+    SkipSpace();
+    if (Consume('}')) return true;
+    for (;;) {
+      std::string key;
+      if (!ParseString(&key) || !Consume(':')) return false;
+      Json value;
+      if (!ParseValue(&value)) return false;
+      out->object.emplace_back(std::move(key), std::move(value));
+      if (Consume(',')) continue;
+      return Consume('}');
+    }
+  }
+
+  bool ParseArray(Json* out) {
+    if (!Consume('[')) return false;
+    out->kind = Json::Kind::kArray;
+    SkipSpace();
+    if (Consume(']')) return true;
+    for (;;) {
+      Json value;
+      if (!ParseValue(&value)) return false;
+      out->array.push_back(std::move(value));
+      if (Consume(',')) continue;
+      return Consume(']');
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+bool LoadJson(const char* path, Json* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_diff: cannot open %s\n", path);
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+  if (!Parser(text).Parse(out) || out->kind != Json::Kind::kObject) {
+    std::fprintf(stderr, "bench_diff: %s is not valid benchmark JSON\n",
+                 path);
+    return false;
+  }
+  return true;
+}
+
+/// scale -> (stage name -> seconds), stages in file order.
+using RunTable = std::map<double, std::vector<std::pair<std::string, double>>>;
+
+bool ExtractRuns(const Json& root, const char* path, RunTable* out) {
+  const Json* runs = root.Find("runs");
+  if (runs == nullptr || runs->kind != Json::Kind::kArray) {
+    std::fprintf(stderr, "bench_diff: %s has no \"runs\" array\n", path);
+    return false;
+  }
+  for (const Json& run : runs->array) {
+    const Json* scale = run.Find("scale");
+    const Json* stages = run.Find("stages");
+    if (scale == nullptr || stages == nullptr ||
+        stages->kind != Json::Kind::kObject) {
+      std::fprintf(stderr, "bench_diff: %s: run without scale/stages\n",
+                   path);
+      return false;
+    }
+    auto& entry = (*out)[scale->number];
+    for (const auto& [name, seconds] : stages->object) {
+      entry.emplace_back(name, seconds.number);
+    }
+    const Json* total = run.Find("total_seconds");
+    if (total != nullptr) entry.emplace_back("total", total->number);
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3 || argc > 4) {
+    std::fprintf(stderr,
+                 "usage: bench_diff baseline.json current.json "
+                 "[threshold=0.15]\n");
+    return 2;
+  }
+  double threshold = 0.15;
+  if (argc == 4) {
+    char* end = nullptr;
+    threshold = std::strtod(argv[3], &end);
+    if (end == argv[3] || *end != '\0' || threshold < 0.0) {
+      std::fprintf(stderr, "bench_diff: invalid threshold '%s'\n", argv[3]);
+      return 2;
+    }
+  }
+  // Stages faster than this in the baseline are pure timer noise.
+  constexpr double kMinSeconds = 1e-3;
+
+  Json baseline_json, current_json;
+  if (!LoadJson(argv[1], &baseline_json) || !LoadJson(argv[2], &current_json))
+    return 2;
+  RunTable baseline, current;
+  if (!ExtractRuns(baseline_json, argv[1], &baseline) ||
+      !ExtractRuns(current_json, argv[2], &current))
+    return 2;
+
+  std::printf("%-8s %-12s %12s %12s %9s\n", "scale", "stage", "baseline",
+              "current", "delta");
+  int regressions = 0;
+  for (const auto& [scale, stages] : baseline) {
+    auto it = current.find(scale);
+    if (it == current.end()) {
+      std::printf("%-8g (missing from %s)\n", scale, argv[2]);
+      continue;
+    }
+    for (const auto& [name, base_s] : stages) {
+      double cur_s = -1.0;
+      for (const auto& [cur_name, s] : it->second) {
+        if (cur_name == name) {
+          cur_s = s;
+          break;
+        }
+      }
+      if (cur_s < 0.0) {
+        std::printf("%-8g %-12s %12.3f %12s\n", scale, name.c_str(), base_s,
+                    "(missing)");
+        continue;
+      }
+      double delta = base_s > 0.0 ? (cur_s - base_s) / base_s : 0.0;
+      bool flagged = base_s >= kMinSeconds && delta > threshold;
+      if (flagged) ++regressions;
+      std::printf("%-8g %-12s %11.3fs %11.3fs %+8.1f%%%s\n", scale,
+                  name.c_str(), base_s, cur_s, 100.0 * delta,
+                  flagged ? "  << REGRESSION" : "");
+    }
+  }
+  if (regressions > 0) {
+    std::printf("\n%d stage(s) regressed more than %.0f%%\n", regressions,
+                100.0 * threshold);
+    return 1;
+  }
+  std::printf("\nno stage regressed more than %.0f%%\n", 100.0 * threshold);
+  return 0;
+}
