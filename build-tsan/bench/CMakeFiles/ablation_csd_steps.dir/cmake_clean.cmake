@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_csd_steps.dir/ablation_csd_steps.cc.o"
+  "CMakeFiles/ablation_csd_steps.dir/ablation_csd_steps.cc.o.d"
+  "ablation_csd_steps"
+  "ablation_csd_steps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_csd_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

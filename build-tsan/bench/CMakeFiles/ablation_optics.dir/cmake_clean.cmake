@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_optics.dir/ablation_optics.cc.o"
+  "CMakeFiles/ablation_optics.dir/ablation_optics.cc.o.d"
+  "ablation_optics"
+  "ablation_optics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_optics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_voting.dir/ablation_voting.cc.o"
+  "CMakeFiles/ablation_voting.dir/ablation_voting.cc.o.d"
+  "ablation_voting"
+  "ablation_voting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_voting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_consistency_box.dir/fig10_consistency_box.cc.o"
+  "CMakeFiles/fig10_consistency_box.dir/fig10_consistency_box.cc.o.d"
+  "fig10_consistency_box"
+  "fig10_consistency_box.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_consistency_box.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

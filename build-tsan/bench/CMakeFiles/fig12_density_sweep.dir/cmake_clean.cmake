@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_density_sweep.dir/fig12_density_sweep.cc.o"
+  "CMakeFiles/fig12_density_sweep.dir/fig12_density_sweep.cc.o.d"
+  "fig12_density_sweep"
+  "fig12_density_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_density_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

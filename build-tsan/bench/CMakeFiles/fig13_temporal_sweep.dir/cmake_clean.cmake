@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_temporal_sweep.dir/fig13_temporal_sweep.cc.o"
+  "CMakeFiles/fig13_temporal_sweep.dir/fig13_temporal_sweep.cc.o.d"
+  "fig13_temporal_sweep"
+  "fig13_temporal_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_temporal_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig14_demonstration.cc" "bench/CMakeFiles/fig14_demonstration.dir/fig14_demonstration.cc.o" "gcc" "bench/CMakeFiles/fig14_demonstration.dir/fig14_demonstration.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/miner/CMakeFiles/csd_miner.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/synth/CMakeFiles/csd_synth.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/io/CMakeFiles/csd_io.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/analysis/CMakeFiles/csd_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/baseline/CMakeFiles/csd_baseline.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/csd_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/traj/CMakeFiles/csd_traj.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/poi/CMakeFiles/csd_poi.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cluster/CMakeFiles/csd_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/index/CMakeFiles/csd_index.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/geo/CMakeFiles/csd_geo.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/seqmine/CMakeFiles/csd_seqmine.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/csd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

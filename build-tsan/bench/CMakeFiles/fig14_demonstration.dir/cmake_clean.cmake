@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_demonstration.dir/fig14_demonstration.cc.o"
+  "CMakeFiles/fig14_demonstration.dir/fig14_demonstration.cc.o.d"
+  "fig14_demonstration"
+  "fig14_demonstration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_demonstration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_csd_construction.dir/fig6_csd_construction.cc.o"
+  "CMakeFiles/fig6_csd_construction.dir/fig6_csd_construction.cc.o.d"
+  "fig6_csd_construction"
+  "fig6_csd_construction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_csd_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

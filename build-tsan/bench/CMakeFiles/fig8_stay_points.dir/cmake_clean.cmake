@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_stay_points.dir/fig8_stay_points.cc.o"
+  "CMakeFiles/fig8_stay_points.dir/fig8_stay_points.cc.o.d"
+  "fig8_stay_points"
+  "fig8_stay_points.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_stay_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

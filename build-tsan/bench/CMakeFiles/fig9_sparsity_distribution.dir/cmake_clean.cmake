@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_sparsity_distribution.dir/fig9_sparsity_distribution.cc.o"
+  "CMakeFiles/fig9_sparsity_distribution.dir/fig9_sparsity_distribution.cc.o.d"
+  "fig9_sparsity_distribution"
+  "fig9_sparsity_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_sparsity_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_scaling.dir/perf_scaling.cc.o"
+  "CMakeFiles/perf_scaling.dir/perf_scaling.cc.o.d"
+  "perf_scaling"
+  "perf_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/related_work_tpattern.dir/related_work_tpattern.cc.o"
+  "CMakeFiles/related_work_tpattern.dir/related_work_tpattern.cc.o.d"
+  "related_work_tpattern"
+  "related_work_tpattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/related_work_tpattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

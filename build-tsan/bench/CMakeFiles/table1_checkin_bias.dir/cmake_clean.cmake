@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_checkin_bias.dir/table1_checkin_bias.cc.o"
+  "CMakeFiles/table1_checkin_bias.dir/table1_checkin_bias.cc.o.d"
+  "table1_checkin_bias"
+  "table1_checkin_bias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_checkin_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

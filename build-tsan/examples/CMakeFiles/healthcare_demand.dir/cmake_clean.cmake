@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/healthcare_demand.dir/healthcare_demand.cpp.o"
+  "CMakeFiles/healthcare_demand.dir/healthcare_demand.cpp.o.d"
+  "healthcare_demand"
+  "healthcare_demand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/healthcare_demand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

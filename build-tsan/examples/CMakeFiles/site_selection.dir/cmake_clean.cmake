@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/site_selection.dir/site_selection.cpp.o"
+  "CMakeFiles/site_selection.dir/site_selection.cpp.o.d"
+  "site_selection"
+  "site_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/site_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transit_planning.dir/transit_planning.cpp.o"
+  "CMakeFiles/transit_planning.dir/transit_planning.cpp.o.d"
+  "transit_planning"
+  "transit_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transit_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

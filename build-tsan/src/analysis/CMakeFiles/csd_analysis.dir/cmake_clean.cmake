@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csd_analysis.dir/corridors.cc.o"
+  "CMakeFiles/csd_analysis.dir/corridors.cc.o.d"
+  "CMakeFiles/csd_analysis.dir/demand.cc.o"
+  "CMakeFiles/csd_analysis.dir/demand.cc.o.d"
+  "CMakeFiles/csd_analysis.dir/schedule.cc.o"
+  "CMakeFiles/csd_analysis.dir/schedule.cc.o.d"
+  "CMakeFiles/csd_analysis.dir/time_segments.cc.o"
+  "CMakeFiles/csd_analysis.dir/time_segments.cc.o.d"
+  "libcsd_analysis.a"
+  "libcsd_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csd_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

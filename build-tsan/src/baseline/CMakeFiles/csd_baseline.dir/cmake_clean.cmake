@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csd_baseline.dir/roi_recognizer.cc.o"
+  "CMakeFiles/csd_baseline.dir/roi_recognizer.cc.o.d"
+  "CMakeFiles/csd_baseline.dir/splitter.cc.o"
+  "CMakeFiles/csd_baseline.dir/splitter.cc.o.d"
+  "CMakeFiles/csd_baseline.dir/tpattern.cc.o"
+  "CMakeFiles/csd_baseline.dir/tpattern.cc.o.d"
+  "libcsd_baseline.a"
+  "libcsd_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csd_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/clustering.cc" "src/cluster/CMakeFiles/csd_cluster.dir/clustering.cc.o" "gcc" "src/cluster/CMakeFiles/csd_cluster.dir/clustering.cc.o.d"
+  "/root/repo/src/cluster/dbscan.cc" "src/cluster/CMakeFiles/csd_cluster.dir/dbscan.cc.o" "gcc" "src/cluster/CMakeFiles/csd_cluster.dir/dbscan.cc.o.d"
+  "/root/repo/src/cluster/kmeans.cc" "src/cluster/CMakeFiles/csd_cluster.dir/kmeans.cc.o" "gcc" "src/cluster/CMakeFiles/csd_cluster.dir/kmeans.cc.o.d"
+  "/root/repo/src/cluster/mean_shift.cc" "src/cluster/CMakeFiles/csd_cluster.dir/mean_shift.cc.o" "gcc" "src/cluster/CMakeFiles/csd_cluster.dir/mean_shift.cc.o.d"
+  "/root/repo/src/cluster/optics.cc" "src/cluster/CMakeFiles/csd_cluster.dir/optics.cc.o" "gcc" "src/cluster/CMakeFiles/csd_cluster.dir/optics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/geo/CMakeFiles/csd_geo.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/index/CMakeFiles/csd_index.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/csd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csd_cluster.dir/clustering.cc.o"
+  "CMakeFiles/csd_cluster.dir/clustering.cc.o.d"
+  "CMakeFiles/csd_cluster.dir/dbscan.cc.o"
+  "CMakeFiles/csd_cluster.dir/dbscan.cc.o.d"
+  "CMakeFiles/csd_cluster.dir/kmeans.cc.o"
+  "CMakeFiles/csd_cluster.dir/kmeans.cc.o.d"
+  "CMakeFiles/csd_cluster.dir/mean_shift.cc.o"
+  "CMakeFiles/csd_cluster.dir/mean_shift.cc.o.d"
+  "CMakeFiles/csd_cluster.dir/optics.cc.o"
+  "CMakeFiles/csd_cluster.dir/optics.cc.o.d"
+  "libcsd_cluster.a"
+  "libcsd_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csd_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/city_semantic_diagram.cc" "src/core/CMakeFiles/csd_core.dir/city_semantic_diagram.cc.o" "gcc" "src/core/CMakeFiles/csd_core.dir/city_semantic_diagram.cc.o.d"
+  "/root/repo/src/core/containment.cc" "src/core/CMakeFiles/csd_core.dir/containment.cc.o" "gcc" "src/core/CMakeFiles/csd_core.dir/containment.cc.o.d"
+  "/root/repo/src/core/counterpart_cluster.cc" "src/core/CMakeFiles/csd_core.dir/counterpart_cluster.cc.o" "gcc" "src/core/CMakeFiles/csd_core.dir/counterpart_cluster.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/csd_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/csd_core.dir/metrics.cc.o.d"
+  "/root/repo/src/core/pattern.cc" "src/core/CMakeFiles/csd_core.dir/pattern.cc.o" "gcc" "src/core/CMakeFiles/csd_core.dir/pattern.cc.o.d"
+  "/root/repo/src/core/popularity.cc" "src/core/CMakeFiles/csd_core.dir/popularity.cc.o" "gcc" "src/core/CMakeFiles/csd_core.dir/popularity.cc.o.d"
+  "/root/repo/src/core/popularity_clustering.cc" "src/core/CMakeFiles/csd_core.dir/popularity_clustering.cc.o" "gcc" "src/core/CMakeFiles/csd_core.dir/popularity_clustering.cc.o.d"
+  "/root/repo/src/core/purification.cc" "src/core/CMakeFiles/csd_core.dir/purification.cc.o" "gcc" "src/core/CMakeFiles/csd_core.dir/purification.cc.o.d"
+  "/root/repo/src/core/semantic_recognition.cc" "src/core/CMakeFiles/csd_core.dir/semantic_recognition.cc.o" "gcc" "src/core/CMakeFiles/csd_core.dir/semantic_recognition.cc.o.d"
+  "/root/repo/src/core/semantic_unit.cc" "src/core/CMakeFiles/csd_core.dir/semantic_unit.cc.o" "gcc" "src/core/CMakeFiles/csd_core.dir/semantic_unit.cc.o.d"
+  "/root/repo/src/core/unit_merging.cc" "src/core/CMakeFiles/csd_core.dir/unit_merging.cc.o" "gcc" "src/core/CMakeFiles/csd_core.dir/unit_merging.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/cluster/CMakeFiles/csd_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/geo/CMakeFiles/csd_geo.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/index/CMakeFiles/csd_index.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/poi/CMakeFiles/csd_poi.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/seqmine/CMakeFiles/csd_seqmine.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/traj/CMakeFiles/csd_traj.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/csd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csd_core.dir/city_semantic_diagram.cc.o"
+  "CMakeFiles/csd_core.dir/city_semantic_diagram.cc.o.d"
+  "CMakeFiles/csd_core.dir/containment.cc.o"
+  "CMakeFiles/csd_core.dir/containment.cc.o.d"
+  "CMakeFiles/csd_core.dir/counterpart_cluster.cc.o"
+  "CMakeFiles/csd_core.dir/counterpart_cluster.cc.o.d"
+  "CMakeFiles/csd_core.dir/metrics.cc.o"
+  "CMakeFiles/csd_core.dir/metrics.cc.o.d"
+  "CMakeFiles/csd_core.dir/pattern.cc.o"
+  "CMakeFiles/csd_core.dir/pattern.cc.o.d"
+  "CMakeFiles/csd_core.dir/popularity.cc.o"
+  "CMakeFiles/csd_core.dir/popularity.cc.o.d"
+  "CMakeFiles/csd_core.dir/popularity_clustering.cc.o"
+  "CMakeFiles/csd_core.dir/popularity_clustering.cc.o.d"
+  "CMakeFiles/csd_core.dir/purification.cc.o"
+  "CMakeFiles/csd_core.dir/purification.cc.o.d"
+  "CMakeFiles/csd_core.dir/semantic_recognition.cc.o"
+  "CMakeFiles/csd_core.dir/semantic_recognition.cc.o.d"
+  "CMakeFiles/csd_core.dir/semantic_unit.cc.o"
+  "CMakeFiles/csd_core.dir/semantic_unit.cc.o.d"
+  "CMakeFiles/csd_core.dir/unit_merging.cc.o"
+  "CMakeFiles/csd_core.dir/unit_merging.cc.o.d"
+  "libcsd_core.a"
+  "libcsd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/distance.cc" "src/geo/CMakeFiles/csd_geo.dir/distance.cc.o" "gcc" "src/geo/CMakeFiles/csd_geo.dir/distance.cc.o.d"
+  "/root/repo/src/geo/projection.cc" "src/geo/CMakeFiles/csd_geo.dir/projection.cc.o" "gcc" "src/geo/CMakeFiles/csd_geo.dir/projection.cc.o.d"
+  "/root/repo/src/geo/stats.cc" "src/geo/CMakeFiles/csd_geo.dir/stats.cc.o" "gcc" "src/geo/CMakeFiles/csd_geo.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/csd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csd_geo.dir/distance.cc.o"
+  "CMakeFiles/csd_geo.dir/distance.cc.o.d"
+  "CMakeFiles/csd_geo.dir/projection.cc.o"
+  "CMakeFiles/csd_geo.dir/projection.cc.o.d"
+  "CMakeFiles/csd_geo.dir/stats.cc.o"
+  "CMakeFiles/csd_geo.dir/stats.cc.o.d"
+  "libcsd_geo.a"
+  "libcsd_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csd_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csd_index.dir/grid_index.cc.o"
+  "CMakeFiles/csd_index.dir/grid_index.cc.o.d"
+  "CMakeFiles/csd_index.dir/kd_tree.cc.o"
+  "CMakeFiles/csd_index.dir/kd_tree.cc.o.d"
+  "CMakeFiles/csd_index.dir/rtree.cc.o"
+  "CMakeFiles/csd_index.dir/rtree.cc.o.d"
+  "libcsd_index.a"
+  "libcsd_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csd_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

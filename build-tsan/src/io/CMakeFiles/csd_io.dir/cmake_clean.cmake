@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csd_io.dir/binary_io.cc.o"
+  "CMakeFiles/csd_io.dir/binary_io.cc.o.d"
+  "CMakeFiles/csd_io.dir/csv.cc.o"
+  "CMakeFiles/csd_io.dir/csv.cc.o.d"
+  "CMakeFiles/csd_io.dir/dataset_io.cc.o"
+  "CMakeFiles/csd_io.dir/dataset_io.cc.o.d"
+  "CMakeFiles/csd_io.dir/ingest.cc.o"
+  "CMakeFiles/csd_io.dir/ingest.cc.o.d"
+  "libcsd_io.a"
+  "libcsd_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csd_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csd_miner.dir/pervasive_miner.cc.o"
+  "CMakeFiles/csd_miner.dir/pervasive_miner.cc.o.d"
+  "libcsd_miner.a"
+  "libcsd_miner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csd_miner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

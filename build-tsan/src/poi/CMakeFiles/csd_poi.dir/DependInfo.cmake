@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/poi/category.cc" "src/poi/CMakeFiles/csd_poi.dir/category.cc.o" "gcc" "src/poi/CMakeFiles/csd_poi.dir/category.cc.o.d"
+  "/root/repo/src/poi/poi_database.cc" "src/poi/CMakeFiles/csd_poi.dir/poi_database.cc.o" "gcc" "src/poi/CMakeFiles/csd_poi.dir/poi_database.cc.o.d"
+  "/root/repo/src/poi/semantic_property.cc" "src/poi/CMakeFiles/csd_poi.dir/semantic_property.cc.o" "gcc" "src/poi/CMakeFiles/csd_poi.dir/semantic_property.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/geo/CMakeFiles/csd_geo.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/index/CMakeFiles/csd_index.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/csd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csd_poi.dir/category.cc.o"
+  "CMakeFiles/csd_poi.dir/category.cc.o.d"
+  "CMakeFiles/csd_poi.dir/poi_database.cc.o"
+  "CMakeFiles/csd_poi.dir/poi_database.cc.o.d"
+  "CMakeFiles/csd_poi.dir/semantic_property.cc.o"
+  "CMakeFiles/csd_poi.dir/semantic_property.cc.o.d"
+  "libcsd_poi.a"
+  "libcsd_poi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csd_poi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

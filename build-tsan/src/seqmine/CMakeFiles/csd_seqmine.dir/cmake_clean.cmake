@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csd_seqmine.dir/prefix_span.cc.o"
+  "CMakeFiles/csd_seqmine.dir/prefix_span.cc.o.d"
+  "libcsd_seqmine.a"
+  "libcsd_seqmine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csd_seqmine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/checkin_simulator.cc" "src/synth/CMakeFiles/csd_synth.dir/checkin_simulator.cc.o" "gcc" "src/synth/CMakeFiles/csd_synth.dir/checkin_simulator.cc.o.d"
+  "/root/repo/src/synth/city_generator.cc" "src/synth/CMakeFiles/csd_synth.dir/city_generator.cc.o" "gcc" "src/synth/CMakeFiles/csd_synth.dir/city_generator.cc.o.d"
+  "/root/repo/src/synth/gps_trace_simulator.cc" "src/synth/CMakeFiles/csd_synth.dir/gps_trace_simulator.cc.o" "gcc" "src/synth/CMakeFiles/csd_synth.dir/gps_trace_simulator.cc.o.d"
+  "/root/repo/src/synth/trip_generator.cc" "src/synth/CMakeFiles/csd_synth.dir/trip_generator.cc.o" "gcc" "src/synth/CMakeFiles/csd_synth.dir/trip_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/geo/CMakeFiles/csd_geo.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/poi/CMakeFiles/csd_poi.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/traj/CMakeFiles/csd_traj.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/csd_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/index/CMakeFiles/csd_index.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csd_synth.dir/checkin_simulator.cc.o"
+  "CMakeFiles/csd_synth.dir/checkin_simulator.cc.o.d"
+  "CMakeFiles/csd_synth.dir/city_generator.cc.o"
+  "CMakeFiles/csd_synth.dir/city_generator.cc.o.d"
+  "CMakeFiles/csd_synth.dir/gps_trace_simulator.cc.o"
+  "CMakeFiles/csd_synth.dir/gps_trace_simulator.cc.o.d"
+  "CMakeFiles/csd_synth.dir/trip_generator.cc.o"
+  "CMakeFiles/csd_synth.dir/trip_generator.cc.o.d"
+  "libcsd_synth.a"
+  "libcsd_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csd_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

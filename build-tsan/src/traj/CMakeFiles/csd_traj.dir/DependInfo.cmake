@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traj/journey.cc" "src/traj/CMakeFiles/csd_traj.dir/journey.cc.o" "gcc" "src/traj/CMakeFiles/csd_traj.dir/journey.cc.o.d"
+  "/root/repo/src/traj/simplify.cc" "src/traj/CMakeFiles/csd_traj.dir/simplify.cc.o" "gcc" "src/traj/CMakeFiles/csd_traj.dir/simplify.cc.o.d"
+  "/root/repo/src/traj/stay_point_detector.cc" "src/traj/CMakeFiles/csd_traj.dir/stay_point_detector.cc.o" "gcc" "src/traj/CMakeFiles/csd_traj.dir/stay_point_detector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/geo/CMakeFiles/csd_geo.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/poi/CMakeFiles/csd_poi.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/csd_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/index/CMakeFiles/csd_index.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csd_traj.dir/journey.cc.o"
+  "CMakeFiles/csd_traj.dir/journey.cc.o.d"
+  "CMakeFiles/csd_traj.dir/simplify.cc.o"
+  "CMakeFiles/csd_traj.dir/simplify.cc.o.d"
+  "CMakeFiles/csd_traj.dir/stay_point_detector.cc.o"
+  "CMakeFiles/csd_traj.dir/stay_point_detector.cc.o.d"
+  "libcsd_traj.a"
+  "libcsd_traj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csd_traj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csd_util.dir/parallel.cc.o"
+  "CMakeFiles/csd_util.dir/parallel.cc.o.d"
+  "CMakeFiles/csd_util.dir/rng.cc.o"
+  "CMakeFiles/csd_util.dir/rng.cc.o.d"
+  "CMakeFiles/csd_util.dir/status.cc.o"
+  "CMakeFiles/csd_util.dir/status.cc.o.d"
+  "CMakeFiles/csd_util.dir/strings.cc.o"
+  "CMakeFiles/csd_util.dir/strings.cc.o.d"
+  "CMakeFiles/csd_util.dir/thread_pool.cc.o"
+  "CMakeFiles/csd_util.dir/thread_pool.cc.o.d"
+  "libcsd_util.a"
+  "libcsd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

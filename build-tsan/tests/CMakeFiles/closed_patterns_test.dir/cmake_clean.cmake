@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closed_patterns_test.dir/closed_patterns_test.cc.o"
+  "CMakeFiles/closed_patterns_test.dir/closed_patterns_test.cc.o.d"
+  "closed_patterns_test"
+  "closed_patterns_test.pdb"
+  "closed_patterns_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closed_patterns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csd_test.dir/csd_test.cc.o"
+  "CMakeFiles/csd_test.dir/csd_test.cc.o.d"
+  "csd_test"
+  "csd_test.pdb"
+  "csd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

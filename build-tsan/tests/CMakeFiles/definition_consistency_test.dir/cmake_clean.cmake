@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/definition_consistency_test.dir/definition_consistency_test.cc.o"
+  "CMakeFiles/definition_consistency_test.dir/definition_consistency_test.cc.o.d"
+  "definition_consistency_test"
+  "definition_consistency_test.pdb"
+  "definition_consistency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/definition_consistency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

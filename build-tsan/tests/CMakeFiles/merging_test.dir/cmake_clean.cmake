@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merging_test.dir/merging_test.cc.o"
+  "CMakeFiles/merging_test.dir/merging_test.cc.o.d"
+  "merging_test"
+  "merging_test.pdb"
+  "merging_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_io_test.dir/pattern_io_test.cc.o"
+  "CMakeFiles/pattern_io_test.dir/pattern_io_test.cc.o.d"
+  "pattern_io_test"
+  "pattern_io_test.pdb"
+  "pattern_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/purification_test.dir/purification_test.cc.o"
+  "CMakeFiles/purification_test.dir/purification_test.cc.o.d"
+  "purification_test"
+  "purification_test.pdb"
+  "purification_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/purification_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpattern_test.dir/tpattern_test.cc.o"
+  "CMakeFiles/tpattern_test.dir/tpattern_test.cc.o.d"
+  "tpattern_test"
+  "tpattern_test.pdb"
+  "tpattern_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csdctl.dir/csdctl.cc.o"
+  "CMakeFiles/csdctl.dir/csdctl.cc.o.d"
+  "csdctl"
+  "csdctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csdctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
