@@ -1,0 +1,98 @@
+// Global operator-new/delete replacements that count every heap
+// allocation into a relaxed atomic. Linked only into benchmark binaries
+// (perf_scaling, micro_core) so the library itself stays untouched; the
+// counter is read through AllocationCount() in alloc_interposer.h.
+//
+// Replacing the scalar form is not enough: the array, nothrow and
+// over-aligned forms do not forward to it in any implementation-defined
+// way, so each one is replaced explicitly.
+
+#include "bench/alloc_interposer.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<uint64_t> g_allocations{0};
+
+inline void CountOne() {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+}
+
+void* AllocOrThrow(std::size_t size) {
+  CountOne();
+  for (;;) {
+    void* p = std::malloc(size != 0 ? size : 1);
+    if (p != nullptr) return p;
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+  }
+}
+
+void* AllocAligned(std::size_t size, std::size_t align) {
+  CountOne();
+  for (;;) {
+    void* p = nullptr;
+    if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                       size != 0 ? size : 1) == 0) {
+      return p;
+    }
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+  }
+}
+
+}  // namespace
+
+namespace csd::bench {
+
+uint64_t AllocationCount() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+}  // namespace csd::bench
+
+void* operator new(std::size_t size) { return AllocOrThrow(size); }
+
+void* operator new[](std::size_t size) { return AllocOrThrow(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  CountOne();
+  return std::malloc(size != 0 ? size : 1);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  CountOne();
+  return std::malloc(size != 0 ? size : 1);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  return AllocAligned(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return AllocAligned(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}

@@ -1,0 +1,21 @@
+#ifndef CSD_BENCH_ALLOC_INTERPOSER_H_
+#define CSD_BENCH_ALLOC_INTERPOSER_H_
+
+#include <cstdint>
+
+namespace csd::bench {
+
+/// Process-wide count of operator-new calls (scalar, array, nothrow and
+/// aligned forms) since process start. Returns 0 unless the benchmark
+/// binary links alloc_interposer.cc, whose global operator new/delete
+/// replacements feed this counter.
+///
+/// Usage: take the count before and after a stage; the delta is the
+/// number of heap allocations the stage performed. Counting is a single
+/// relaxed atomic increment per allocation, cheap enough to leave on for
+/// wall-clock measurements.
+uint64_t AllocationCount();
+
+}  // namespace csd::bench
+
+#endif  // CSD_BENCH_ALLOC_INTERPOSER_H_

@@ -159,10 +159,13 @@ inline void RunParameterSweep(const ExperimentSetup& s, const char* title,
         " %10.4f");
 }
 
-/// One timed stage of a pipeline benchmark run.
+/// One timed stage of a pipeline benchmark run. `allocations` is the
+/// number of operator-new calls the stage performed (0 when the binary
+/// does not link bench/alloc_interposer.cc).
 struct StageTiming {
   std::string name;
   double seconds = 0.0;
+  uint64_t allocations = 0;
 };
 
 /// One dataset-scale point of a pipeline benchmark: the dataset shape, the
@@ -192,11 +195,16 @@ struct PipelineBenchRun {
 ///       {"scale": 8, "pois": ..., "agents": ..., "journeys": ...,
 ///        "patterns": ...,
 ///        "stages": {"csd_build": 1.23, "annotate": 0.45, "mine": 6.78},
+///        "allocs": {"csd_build": 120034, "annotate": 922, "mine": 51},
 ///        "total_seconds": 8.46},
 ///       ...
 ///     ]
 ///   }
-/// Returns false (with a note on stderr) when the file cannot be opened.
+/// The "allocs" object (operator-new calls per stage, from
+/// bench/alloc_interposer.cc) is emitted only when at least one stage
+/// counted an allocation, so binaries without the interposer keep the
+/// original schema. Returns false (with a note on stderr) when the file
+/// cannot be opened.
 inline bool WritePipelineJson(const std::string& path, const char* bench_name,
                               const std::vector<PipelineBenchRun>& runs) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -217,7 +225,22 @@ inline bool WritePipelineJson(const std::string& path, const char* bench_name,
       std::fprintf(f, "%s\"%s\": %.6f", s == 0 ? "" : ", ",
                    run.stages[s].name.c_str(), run.stages[s].seconds);
     }
-    std::fprintf(f, "},\n      \"total_seconds\": %.6f}%s\n",
+    std::fprintf(f, "},\n");
+    bool have_allocs = false;
+    for (const StageTiming& s : run.stages) {
+      if (s.allocations != 0) have_allocs = true;
+    }
+    if (have_allocs) {
+      std::fprintf(f, "      \"allocs\": {");
+      for (size_t s = 0; s < run.stages.size(); ++s) {
+        std::fprintf(f, "%s\"%s\": %llu", s == 0 ? "" : ", ",
+                     run.stages[s].name.c_str(),
+                     static_cast<unsigned long long>(
+                         run.stages[s].allocations));
+      }
+      std::fprintf(f, "},\n");
+    }
+    std::fprintf(f, "      \"total_seconds\": %.6f}%s\n",
                  run.TotalSeconds(), r + 1 < runs.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "bench/alloc_interposer.h"
 #include "bench/bench_common.h"
 
 int main() {
@@ -38,25 +39,35 @@ int main() {
     }
 
     Stopwatch watch;
+    uint64_t a0 = bench::AllocationCount();
     MinerConfig config;
     config.extraction.support_threshold = 18 * scale;
     PervasiveMiner miner(&pois, stays, config);
     double t_build = watch.ElapsedSeconds();
+    uint64_t a_build = bench::AllocationCount() - a0;
 
     watch.Restart();
+    a0 = bench::AllocationCount();
     SemanticTrajectoryDb annotated =
         miner.AnnotateFor(RecognizerKind::kCsd, db);
     double t_annotate = watch.ElapsedSeconds();
+    uint64_t a_annotate = bench::AllocationCount() - a0;
 
     watch.Restart();
+    a0 = bench::AllocationCount();
     MiningResult result = miner.ExtractAndEvaluate(
         ExtractorKind::kPervasiveMiner, annotated,
         config.extraction);
     double t_mine = watch.ElapsedSeconds();
+    uint64_t a_mine = bench::AllocationCount() - a0;
 
     std::printf("%8zu %8zu %9zu | %9.2fs %9.2fs %9.2fs | %9zu\n",
                 pois.size(), trip_config.num_agents, trips.journeys.size(),
                 t_build, t_annotate, t_mine, result.patterns.size());
+    std::printf("%27s | %9llu %10llu %10llu | (allocs)\n", "",
+                static_cast<unsigned long long>(a_build),
+                static_cast<unsigned long long>(a_annotate),
+                static_cast<unsigned long long>(a_mine));
 
     bench::PipelineBenchRun run;
     run.scale = scale;
@@ -64,9 +75,9 @@ int main() {
     run.agents = trip_config.num_agents;
     run.journeys = trips.journeys.size();
     run.patterns = result.patterns.size();
-    run.stages = {{"csd_build", t_build},
-                  {"annotate", t_annotate},
-                  {"mine", t_mine}};
+    run.stages = {{"csd_build", t_build, a_build},
+                  {"annotate", t_annotate, a_annotate},
+                  {"mine", t_mine, a_mine}};
     runs.push_back(std::move(run));
   }
   std::printf("\n(threads: CSD_THREADS env or min(hardware, 8); pool of %zu)\n",

@@ -1,7 +1,5 @@
 #include "cluster/dbscan.h"
 
-#include <deque>
-
 #include "index/grid_index.h"
 #include "util/check.h"
 
@@ -18,32 +16,44 @@ Clustering Dbscan(const std::vector<Vec2>& points,
   std::vector<char> visited(points.size(), 0);
   int32_t next_cluster = 0;
 
+  // All per-expansion state is hoisted and reused: one neighbor buffer for
+  // every range query and one flat FIFO (head index instead of popping).
+  // Labeling happens at enqueue time, so a point enters the frontier at
+  // most once overall — the classic formulation re-enqueued every border
+  // point once per discovering core, which is O(edges) queue churn.
+  std::vector<size_t> neighbors;
+  std::vector<size_t> frontier;
+
   for (size_t seed = 0; seed < points.size(); ++seed) {
     if (visited[seed]) continue;
     visited[seed] = 1;
-    std::vector<size_t> neighbors = index.RadiusQuery(points[seed],
-                                                      options.eps);
+    neighbors.clear();
+    index.ForEachInRadius(points[seed], options.eps,
+                          [&](size_t q) { neighbors.push_back(q); });
     if (neighbors.size() < options.min_pts) continue;  // not core: noise so far
 
     int32_t cluster = next_cluster++;
     result.labels[seed] = cluster;
-    std::deque<size_t> frontier(neighbors.begin(), neighbors.end());
-    while (!frontier.empty()) {
-      size_t p = frontier.front();
-      frontier.pop_front();
-      if (result.labels[p] == kNoiseLabel) {
-        result.labels[p] = cluster;  // border or core point joins cluster
-      }
-      if (visited[p]) continue;
+    frontier.clear();
+    // Absorbs one reachable point: unlabeled points join the cluster and,
+    // when not yet expanded, queue up; already-visited noise becomes a
+    // border point on the spot. An unvisited point already carrying this
+    // cluster's label sits in the frontier, so nothing is left to do.
+    auto absorb = [&](size_t q) {
+      if (result.labels[q] != kNoiseLabel) return;
+      result.labels[q] = cluster;
+      if (!visited[q]) frontier.push_back(q);
+    };
+    for (size_t q : neighbors) absorb(q);
+
+    for (size_t head = 0; head < frontier.size(); ++head) {
+      size_t p = frontier[head];
       visited[p] = 1;
-      std::vector<size_t> p_neighbors = index.RadiusQuery(points[p],
-                                                          options.eps);
-      if (p_neighbors.size() >= options.min_pts) {
-        for (size_t q : p_neighbors) {
-          if (!visited[q] || result.labels[q] == kNoiseLabel) {
-            frontier.push_back(q);
-          }
-        }
+      neighbors.clear();
+      index.ForEachInRadius(points[p], options.eps,
+                            [&](size_t q) { neighbors.push_back(q); });
+      if (neighbors.size() >= options.min_pts) {
+        for (size_t q : neighbors) absorb(q);
       }
     }
   }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <queue>
+#include <span>
 
 #include "index/grid_index.h"
 #include "util/check.h"
@@ -41,44 +42,124 @@ OpticsResult RunOptics(const std::vector<Vec2>& points,
   // Every point's neighborhood is queried exactly once over the run, so
   // batch all of them up front: the queries are independent (the hot part
   // of OPTICS) and the ordering pass below becomes pure priority-queue
-  // bookkeeping over cached distances.
-  std::vector<std::vector<Neighbor>> neighborhoods(n);
-  ParallelFor(
-      n,
-      [&](size_t p) {
-        index.ForEachInRadius(points[p], options.max_eps, [&](size_t q) {
-          neighborhoods[p].push_back({q, Distance(points[p], points[q])});
-        });
-      },
-      {.grain = 32});
-
-  std::vector<char> processed(n, 0);
-
-  // Seed queue keyed by current reachability; stale entries are skipped.
-  using Entry = std::pair<double, size_t>;
-  auto cmp = [](const Entry& a, const Entry& b) { return a.first > b.first; };
-  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> seeds(cmp);
-
-  auto core_distance_of = [&](size_t p) {
-    const std::vector<Neighbor>& neighbors = neighborhoods[p];
-    if (neighbors.size() < options.min_pts) return kInf;
-    // min_pts-th smallest distance (the neighborhood includes p itself).
-    std::vector<double> dists;
-    dists.reserve(neighbors.size());
+  // bookkeeping over cached distances. The lists live in one CSR block —
+  // with workers, a count pass sizes the flat array and each point fills
+  // its own disjoint range; on a serial pool one appending pass builds
+  // the identical block without paying for the queries twice.
+  // thread_local so the refinement stage's burst of small OPTICS runs
+  // reuses one grown block instead of re-paying vector doubling per call.
+  // The locals re-bind the names so the ParallelFor lambdas below capture
+  // (and the workers write through) this caller's instances.
+  static thread_local std::vector<uint32_t> nb_offsets_tls;
+  static thread_local std::vector<Neighbor> nb_flat_tls;
+  std::vector<uint32_t>& nb_offsets = nb_offsets_tls;
+  std::vector<Neighbor>& nb_flat = nb_flat_tls;
+  nb_offsets.assign(n + 1, 0);
+  nb_flat.clear();
+  // Core distances (the min_pts-th smallest neighbor distance) come out
+  // of the same pass while the freshly written list is still in cache —
+  // the ordering loop then never rescans a neighborhood for them.
+  auto core_from_range = [&](size_t p, std::vector<double>& dists) {
+    std::span<const Neighbor> neighbors(nb_flat.data() + nb_offsets[p],
+                                        nb_flat.data() + nb_offsets[p + 1]);
+    size_t s = neighbors.size();
+    if (s < options.min_pts) return kInf;
+    size_t k = options.min_pts - 1;  // core distance = k-th smallest, 0-based
+    size_t j = s - k;                // equivalently the j-th largest
+    // The core distance is the value of a fixed order statistic, which any
+    // selection algorithm yields identically; pick by which side is
+    // cheaper. Dense neighborhoods sit just above min_pts, where a j-slot
+    // min-heap of the largest distances beats a full nth_element pass —
+    // but only while the heap stays small enough that its sifts are
+    // cheaper than introselect's partition passes.
+    if (j <= 16 && j <= k) {
+      dists.clear();
+      auto gt = std::greater<double>();
+      for (const Neighbor& nb : neighbors) {
+        double x = nb.distance;
+        if (dists.size() < j) {
+          dists.push_back(x);
+          std::push_heap(dists.begin(), dists.end(), gt);
+        } else if (x > dists.front()) {
+          std::pop_heap(dists.begin(), dists.end(), gt);
+          dists.back() = x;
+          std::push_heap(dists.begin(), dists.end(), gt);
+        }
+      }
+      return dists.front();
+    }
+    dists.clear();
     for (const Neighbor& nb : neighbors) dists.push_back(nb.distance);
-    std::nth_element(dists.begin(), dists.begin() + (options.min_pts - 1),
-                     dists.end());
-    return dists[options.min_pts - 1];
+    std::nth_element(dists.begin(), dists.begin() + k, dists.end());
+    return dists[k];
+  };
+  if (DefaultParallelism() > 1) {
+    ParallelFor(
+        n,
+        [&](size_t p) {
+          nb_offsets[p + 1] = static_cast<uint32_t>(
+              index.CountInRadius(points[p], options.max_eps));
+        },
+        {.grain = 32});
+    for (size_t p = 0; p < n; ++p) nb_offsets[p + 1] += nb_offsets[p];
+    nb_flat.resize(nb_offsets[n]);
+    ParallelFor(
+        n,
+        [&](size_t p) {
+          size_t w = nb_offsets[p];
+          // sqrt(d2) is Distance(points[p], points[q]) bit for bit; taking
+          // it from the query skips a second trip through the point table.
+          index.ForEachInRadiusSq(
+              points[p], options.max_eps,
+              [&](size_t q, double d2) { nb_flat[w++] = {q, std::sqrt(d2)}; });
+        },
+        {.grain = 32});
+    ParallelFor(
+        n,
+        [&](size_t p) {
+          static thread_local std::vector<double> dists;
+          result.core_distance[p] = core_from_range(p, dists);
+        },
+        {.grain = 32});
+  } else {
+    std::vector<double> dists;
+    for (size_t p = 0; p < n; ++p) {
+      index.ForEachInRadiusSq(points[p], options.max_eps,
+                              [&](size_t q, double d2) {
+                                nb_flat.push_back({q, std::sqrt(d2)});
+                              });
+      nb_offsets[p + 1] = static_cast<uint32_t>(nb_flat.size());
+      result.core_distance[p] = core_from_range(p, dists);
+    }
+  }
+  auto neighborhood = [&](size_t p) {
+    return std::span<const Neighbor>(nb_flat.data() + nb_offsets[p],
+                                     nb_flat.data() + nb_offsets[p + 1]);
   };
 
+  static thread_local std::vector<char> processed;
+  processed.assign(n, 0);
+
+  // Seed queue keyed by current reachability; stale entries are skipped.
+  // A plain vector driven by push_heap/pop_heap is exactly the heap
+  // std::priority_queue is specified to maintain (same comparator, same
+  // push_back/push_heap and pop_heap/pop_back sequence, so the same pop
+  // order under ties); keeping it thread_local preserves its capacity
+  // across the many small OPTICS runs the refinement stage issues.
+  using Entry = std::pair<double, size_t>;
+  auto cmp = [](const Entry& a, const Entry& b) { return a.first > b.first; };
+  static thread_local std::vector<Entry> seeds;
+  seeds.clear();
+
   auto update_seeds = [&](size_t p, double core_dist) {
-    for (const Neighbor& nb : neighborhoods[p]) {
+    for (const Neighbor& nb : neighborhood(p)) {
       size_t q = nb.index;
       if (processed[q]) continue;
       double new_reach = std::max(core_dist, nb.distance);
       if (new_reach < result.reachability[q]) {
         result.reachability[q] = new_reach;
-        seeds.emplace(new_reach, q);
+        seeds.emplace_back(new_reach, q);
+        std::push_heap(seeds.begin(), seeds.end(), cmp);
       }
     }
   };
@@ -87,18 +168,17 @@ OpticsResult RunOptics(const std::vector<Vec2>& points,
     if (processed[start]) continue;
     processed[start] = 1;
     result.ordering.push_back(start);
-    double core = core_distance_of(start);
-    result.core_distance[start] = core;
+    double core = result.core_distance[start];
     if (core != kInf) update_seeds(start, core);
 
     while (!seeds.empty()) {
-      auto [reach, p] = seeds.top();
-      seeds.pop();
+      auto [reach, p] = seeds.front();
+      std::pop_heap(seeds.begin(), seeds.end(), cmp);
+      seeds.pop_back();
       if (processed[p] || reach != result.reachability[p]) continue;  // stale
       processed[p] = 1;
       result.ordering.push_back(p);
-      double p_core = core_distance_of(p);
-      result.core_distance[p] = p_core;
+      double p_core = result.core_distance[p];
       if (p_core != kInf) update_seeds(p, p_core);
     }
   }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <span>
 
 #include "cluster/optics.h"
 #include "geo/stats.h"
@@ -13,17 +14,21 @@ std::vector<CoarsePattern> MineCoarsePatterns(
     const SemanticTrajectoryDb& db, const ExtractionOptions& options) {
   // Encode each trajectory as the sequence of its stay points' semantic
   // property bitmasks; stay points with empty (unrecognized) semantics are
-  // skipped, with an index map back to the original stay positions.
-  std::vector<Sequence> sequences(db.size());
-  std::vector<std::vector<size_t>> orig_index(db.size());
+  // skipped, with an index map back to the original stay positions. Both
+  // the sequences and the index map live in one CSR block (they are
+  // position-for-position parallel), not in one vector per trajectory.
+  FlatSequenceDb sequences;
+  std::vector<uint32_t> orig_index;  // parallel to sequences.items
+  sequences.offsets.reserve(db.size() + 1);
+  sequences.offsets.push_back(0);
   for (size_t i = 0; i < db.size(); ++i) {
-    sequences[i].reserve(db[i].stays.size());
     for (size_t j = 0; j < db[i].stays.size(); ++j) {
       uint32_t bits = db[i].stays[j].semantic.bits();
       if (bits == 0) continue;
-      sequences[i].push_back(bits);
-      orig_index[i].push_back(j);
+      sequences.items.push_back(bits);
+      orig_index.push_back(static_cast<uint32_t>(j));
     }
+    sequences.offsets.push_back(static_cast<uint32_t>(sequences.items.size()));
   }
 
   PrefixSpanOptions ps;
@@ -43,15 +48,21 @@ std::vector<CoarsePattern> MineCoarsePatterns(
     }
     cp.members.reserve(fp.supporting_sequences.size());
     for (size_t seq : fp.supporting_sequences) {
-      auto embedding = FindEmbedding(sequences[seq], fp.items);
-      CSD_CHECK_MSG(embedding.has_value(),
-                    "PrefixSpan support without an embedding");
+      // Leftmost embedding of the pattern, mapped straight back to stay
+      // positions — no intermediate embedding vector.
+      std::span<const Item> s = sequences.sequence(seq);
+      uint32_t base = sequences.offsets[seq];
       CoarsePattern::Member member;
       member.trajectory = db[seq].id;
       member.db_index = seq;
-      member.stay_index.reserve(embedding->size());
-      for (size_t pos : *embedding) {
-        member.stay_index.push_back(orig_index[seq][pos]);
+      member.stay_index.reserve(fp.items.size());
+      size_t pos = 0;
+      for (Item item : fp.items) {
+        while (pos < s.size() && s[pos] != item) ++pos;
+        CSD_CHECK_MSG(pos < s.size(),
+                      "PrefixSpan support without an embedding");
+        member.stay_index.push_back(orig_index[base + pos]);
+        ++pos;
       }
       cp.members.push_back(std::move(member));
     }
@@ -84,9 +95,10 @@ std::vector<FineGrainedPattern> RefineByCounterpartCluster(
 
   // Line 6: per-position OPTICS over the members' k-th stay points.
   std::vector<std::vector<int32_t>> labels(m);
+  std::vector<Vec2> points;
+  points.reserve(n);
   for (size_t k = 0; k < m; ++k) {
-    std::vector<Vec2> points;
-    points.reserve(n);
+    points.clear();
     for (const auto& member : coarse.members) {
       points.push_back(MemberPosition(member, db, k));
     }
@@ -97,11 +109,16 @@ std::vector<FineGrainedPattern> RefineByCounterpartCluster(
 
   std::vector<char> active(n, 1);  // membership of the shrinking pa
 
-  // Lines 7-20: each remaining member acts as the seed ST_i once.
+  // Lines 7-20: each remaining member acts as the seed ST_i once. The
+  // candidate-set buffers survive across seeds; the temporal filter
+  // compacts in place.
+  std::vector<size_t> cand;
+  std::vector<size_t> next;
+  std::vector<Vec2> group_points;
   for (size_t seed = 0; seed < n; ++seed) {
     if (!active[seed]) continue;
 
-    std::vector<size_t> cand;  // C⁰_CP = pa
+    cand.clear();  // C⁰_CP = pa
     for (size_t j = 0; j < n; ++j) {
       if (active[j]) cand.push_back(j);
     }
@@ -110,7 +127,7 @@ std::vector<FineGrainedPattern> RefineByCounterpartCluster(
     for (size_t k = 0; k < m && valid; ++k) {
       int32_t seed_label = labels[k][seed];
       // Line 10: keep members co-clustered with the seed at position k.
-      std::vector<size_t> next;
+      next.clear();
       if (seed_label != kNoiseLabel) {
         for (size_t j : cand) {
           if (labels[k][j] == seed_label) next.push_back(j);
@@ -118,18 +135,16 @@ std::vector<FineGrainedPattern> RefineByCounterpartCluster(
       }
       // Lines 11-12: temporal constraint between consecutive positions.
       if (k > 0) {
-        std::vector<size_t> timely;
-        timely.reserve(next.size());
+        size_t kept = 0;
         for (size_t j : next) {
           Timestamp gap = std::abs(MemberTime(coarse.members[j], db, k) -
                                    MemberTime(coarse.members[j], db, k - 1));
-          if (gap <= options.temporal_constraint) timely.push_back(j);
+          if (gap <= options.temporal_constraint) next[kept++] = j;
         }
-        next = std::move(timely);
+        next.resize(kept);
       }
       // Lines 13-14: the group around the k-th points must stay dense.
-      std::vector<Vec2> group_points;
-      group_points.reserve(next.size());
+      group_points.clear();
       for (size_t j : next) {
         group_points.push_back(MemberPosition(coarse.members[j], db, k));
       }
@@ -139,7 +154,7 @@ std::vector<FineGrainedPattern> RefineByCounterpartCluster(
         valid = false;
         break;
       }
-      cand = std::move(next);
+      cand.swap(next);
     }
 
     if (!valid) continue;
@@ -161,8 +176,7 @@ std::vector<FineGrainedPattern> RefineByCounterpartCluster(
       pattern.supporting.push_back(coarse.members[j].trajectory);
     }
     for (size_t k = 0; k < m; ++k) {
-      std::vector<Vec2> points;
-      points.reserve(cand.size());
+      points.clear();
       double mean_time = 0.0;
       for (size_t j : cand) {
         const auto& member = coarse.members[j];

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "geo/stats.h"
 #include "util/check.h"
@@ -16,9 +17,19 @@ PatternMetrics EvaluatePattern(const FineGrainedPattern& pattern,
 
   double sparsity_acc = 0.0;
   double consistency_acc = 0.0;
+  // Group-loop scratch, reused across groups. Members recognized at the
+  // same semantic unit share a property bitmask, so a group holds only a
+  // handful of distinct masks: the O(m²) cosine loop reads a d×d table of
+  // the distinct-pair cosines instead of recomputing popcounts and a sqrt
+  // per pair. The summation order over (i, j) is unchanged and Cosine is a
+  // pure function of the two masks, so the result is bit-identical.
+  std::vector<Vec2> positions;
+  std::vector<uint32_t> mask_id;
+  std::vector<uint32_t> uniq;
+  std::vector<double> table;
   for (const auto& group : pattern.groups) {
     // Equation (9): average pairwise distance within the group.
-    std::vector<Vec2> positions;
+    positions.clear();
     positions.reserve(group.size());
     for (const StayPoint& sp : group) positions.push_back(sp.position);
     sparsity_acc += AveragePairwiseDistance(positions);
@@ -30,15 +41,29 @@ PatternMetrics EvaluatePattern(const FineGrainedPattern& pattern,
       consistency_acc += 1.0;
       continue;
     }
-    std::vector<SemanticProperty> semantics;
-    semantics.reserve(m);
+    mask_id.clear();
+    uniq.clear();
     for (const StayPoint& sp : group) {
-      semantics.push_back(reference.Recognize(sp.position));
+      uint32_t bits = reference.Recognize(sp.position).bits();
+      size_t d = uniq.size();
+      size_t id = 0;
+      while (id < d && uniq[id] != bits) ++id;
+      if (id == d) uniq.push_back(bits);
+      mask_id.push_back(static_cast<uint32_t>(id));
+    }
+    size_t d = uniq.size();
+    table.assign(d * d, 0.0);
+    for (size_t a = 0; a < d; ++a) {
+      for (size_t b = 0; b < d; ++b) {
+        table[a * d + b] = SemanticProperty::FromBits(uniq[a])
+                               .Cosine(SemanticProperty::FromBits(uniq[b]));
+      }
     }
     double acc = 0.0;
     for (size_t i = 0; i + 1 < m; ++i) {
+      const double* row = table.data() + mask_id[i] * d;
       for (size_t j = i + 1; j < m; ++j) {
-        acc += semantics[i].Cosine(semantics[j]);
+        acc += row[mask_id[j]];
       }
     }
     consistency_acc +=

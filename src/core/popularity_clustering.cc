@@ -1,5 +1,7 @@
 #include "core/popularity_clustering.h"
 
+#include <span>
+
 #include "util/check.h"
 #include "util/parallel.h"
 
@@ -37,17 +39,48 @@ PopularityClusteringResult PopularityBasedClustering(
   // most once, in POI order inside each cluster. The range queries
   // dominate the stage and are independent, so batch them up front in
   // parallel; the serial expansion then replays the cached lists and
-  // produces the exact sequence the query-on-demand version did.
-  std::vector<std::vector<PoiId>> eps_neighbors(n);
-  ParallelFor(
-      n,
-      [&](size_t pid) {
-        pois.ForEachInRange(pois.poi(static_cast<PoiId>(pid)).position,
-                            options.eps, [&](PoiId found) {
-                              eps_neighbors[pid].push_back(found);
-                            });
-      },
-      {.grain = 64});
+  // produces the exact sequence the query-on-demand version did. The
+  // cache is CSR instead of n individually grown vectors: with workers, a
+  // count pass sizes one flat array and a fill pass writes each POI's
+  // disjoint range; on a serial pool one appending pass builds the
+  // identical block without running every query twice.
+  std::vector<uint32_t> nb_offsets(n + 1, 0);
+  std::vector<PoiId> nb_flat;
+  if (DefaultParallelism() > 1) {
+    ParallelFor(
+        n,
+        [&](size_t pid) {
+          size_t count = 0;
+          pois.ForEachInRange(pois.poi(static_cast<PoiId>(pid)).position,
+                              options.eps, [&](PoiId) { ++count; });
+          nb_offsets[pid + 1] = static_cast<uint32_t>(count);
+        },
+        {.grain = 64});
+    for (size_t pid = 0; pid < n; ++pid) {
+      nb_offsets[pid + 1] += nb_offsets[pid];
+    }
+    nb_flat.resize(nb_offsets[n]);
+    ParallelFor(
+        n,
+        [&](size_t pid) {
+          size_t w = nb_offsets[pid];
+          pois.ForEachInRange(pois.poi(static_cast<PoiId>(pid)).position,
+                              options.eps,
+                              [&](PoiId found) { nb_flat[w++] = found; });
+        },
+        {.grain = 64});
+  } else {
+    for (size_t pid = 0; pid < n; ++pid) {
+      pois.ForEachInRange(pois.poi(static_cast<PoiId>(pid)).position,
+                          options.eps,
+                          [&](PoiId found) { nb_flat.push_back(found); });
+      nb_offsets[pid + 1] = static_cast<uint32_t>(nb_flat.size());
+    }
+  }
+  auto eps_neighbors = [&](PoiId pid) {
+    return std::span<const PoiId>(nb_flat.data() + nb_offsets[pid],
+                                  nb_flat.data() + nb_offsets[pid + 1]);
+  };
 
   // Candidate entry: the POI plus the member whose range search found it
   // (used when compare_to_seed is false).
@@ -57,20 +90,24 @@ PopularityClusteringResult PopularityBasedClustering(
   };
 
   // Epoch-stamped "queued" marker: one array reused across seeds instead
-  // of an O(n) allocation per seed (which made the stage quadratic).
+  // of an O(n) allocation per seed (which made the stage quadratic). The
+  // cluster and candidate buffers are hoisted the same way; only kept
+  // clusters are materialized.
   std::vector<uint32_t> queued(n, 0);
   uint32_t epoch = 0;
+  std::vector<PoiId> cluster;
+  std::vector<Candidate> v;
 
   for (PoiId seed = 0; seed < n; ++seed) {
     if (taken[seed]) continue;
     taken[seed] = 1;
-    std::vector<PoiId> cluster = {seed};
+    cluster.assign(1, seed);
 
-    std::vector<Candidate> v;
+    v.clear();
     ++epoch;
     queued[seed] = epoch;
     auto enqueue_range = [&](PoiId member) {
-      for (PoiId found : eps_neighbors[member]) {
+      for (PoiId found : eps_neighbors(member)) {
         if (taken[found] || queued[found] == epoch) continue;
         queued[found] = epoch;
         v.push_back({found, member});
@@ -110,7 +147,7 @@ PopularityClusteringResult PopularityBasedClustering(
 
     if (cluster.size() >= options.min_pts) {
       for (PoiId pid : cluster) in_cluster[pid] = 1;
-      result.clusters.push_back(std::move(cluster));
+      result.clusters.emplace_back(cluster.begin(), cluster.end());
     }
     // Small clusters dissolve: per the pseudocode their POIs were already
     // removed from P, so they end up unclustered (handled below).

@@ -1,8 +1,9 @@
 #include "core/semantic_recognition.h"
 
-#include <unordered_map>
+#include <vector>
 
 #include "util/check.h"
+#include "util/dense_scratch.h"
 #include "util/parallel.h"
 
 namespace csd {
@@ -34,22 +35,39 @@ SemanticProperty CsdRecognizer::Recognize(const Vec2& position) const {
   return RecognizeWithUnit(position, &ignored);
 }
 
+namespace {
+
+/// One unit's accumulated vote (Algorithm 3, lines 5-10).
+struct Ballot {
+  double votes = 0.0;
+  SemanticProperty property;
+};
+
+}  // namespace
+
 SemanticProperty CsdRecognizer::RecognizeWithUnit(const Vec2& position,
                                                   UnitId* winner) const {
   // Lines 5-10 of Algorithm 3: every in-range POI that belongs to a unit
   // votes for it with weight pop(p^I)·||p^I, sp||, and contributes its
   // category to the unit's candidate property.
-  struct Ballot {
-    double votes = 0.0;
-    SemanticProperty property;
-  };
-  std::unordered_map<UnitId, Ballot> ballots;
+  //
+  // Unit ids are dense, so the ballot box is an epoch-stamped array
+  // indexed by unit id instead of a per-stay-point hash map: Reset() is
+  // O(1) and a whole trajectory batch votes without a single heap
+  // allocation. thread_local gives each annotation worker its own box.
+  static thread_local DenseScratch<Ballot> ballots;
+  static thread_local std::vector<UnitId> voted_units;
+  ballots.Reset(diagram_->num_units());
+  voted_units.clear();
+
   const PoiDatabase& pois = diagram_->pois();
   pois.ForEachInRange(position, radius_, [&](PoiId pid) {
     UnitId uid = diagram_->UnitOfPoi(pid);
     if (uid == kNoUnit) return;
     const Poi& p = pois.poi(pid);
+    bool first = !ballots.Contains(uid);
     Ballot& ballot = ballots[uid];
+    if (first) voted_units.push_back(uid);
     ballot.votes += diagram_->Popularity(pid) *
                     GaussianCoefficient(Distance(p.position, position),
                                         radius_);
@@ -58,11 +76,13 @@ SemanticProperty CsdRecognizer::RecognizeWithUnit(const Vec2& position,
 
   // Line 11: the highest-vote unit wins; the stay point receives the union
   // of categories of that unit's in-range POIs. Ties break toward the
-  // lower unit id for determinism.
+  // lower unit id for determinism (the winner is a strict argmax, so the
+  // visit order of voted_units does not matter).
   *winner = kNoUnit;
   double best_votes = -1.0;
   SemanticProperty best_property;
-  for (const auto& [uid, ballot] : ballots) {
+  for (UnitId uid : voted_units) {
+    const Ballot& ballot = ballots.Get(uid);
     if (ballot.votes > best_votes ||
         (ballot.votes == best_votes && uid < *winner)) {
       best_votes = ballot.votes;

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <numeric>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -45,62 +46,127 @@ std::vector<std::vector<PoiId>> SemanticUnitMerging(
     const std::vector<std::vector<PoiId>>& purified_units,
     const std::vector<PoiId>& unclustered, const PoiDatabase& pois,
     const PopularityModel& popularity, const MergingOptions& options) {
-  // Node universe: purified units first, then leftover singletons.
-  std::vector<std::vector<PoiId>> nodes = purified_units;
-  size_t num_clustered_nodes = nodes.size();
-  if (options.absorb_unclustered) {
-    for (PoiId pid : unclustered) nodes.push_back({pid});
+  // Node universe: purified units first, then leftover singletons. Stored
+  // as CSR (flat member array + offsets) — the per-node member lists are
+  // read-only from here on.
+  size_t num_clustered_nodes = purified_units.size();
+  size_t num_nodes = num_clustered_nodes;
+  size_t total_members = 0;
+  for (const std::vector<PoiId>& unit : purified_units) {
+    total_members += unit.size();
   }
-  if (nodes.empty()) return {};
+  if (options.absorb_unclustered) {
+    num_nodes += unclustered.size();
+    total_members += unclustered.size();
+  }
+  if (num_nodes == 0) return {};
+  std::vector<PoiId> node_pois;
+  node_pois.reserve(total_members);
+  std::vector<uint32_t> node_offsets;
+  node_offsets.reserve(num_nodes + 1);
+  node_offsets.push_back(0);
+  for (const std::vector<PoiId>& unit : purified_units) {
+    node_pois.insert(node_pois.end(), unit.begin(), unit.end());
+    node_offsets.push_back(static_cast<uint32_t>(node_pois.size()));
+  }
+  if (options.absorb_unclustered) {
+    for (PoiId pid : unclustered) {
+      node_pois.push_back(pid);
+      node_offsets.push_back(static_cast<uint32_t>(node_pois.size()));
+    }
+  }
+  auto node_members = [&](size_t node) {
+    return std::span<const PoiId>(node_pois.data() + node_offsets[node],
+                                  node_pois.data() + node_offsets[node + 1]);
+  };
 
   std::vector<size_t> poi_to_node(pois.size(), SIZE_MAX);
-  for (size_t node = 0; node < nodes.size(); ++node) {
-    for (PoiId pid : nodes[node]) poi_to_node[pid] = node;
+  for (size_t node = 0; node < num_nodes; ++node) {
+    for (PoiId pid : node_members(node)) poi_to_node[pid] = node;
   }
 
   // Node-level adjacency from POI proximity, computed once. The per-POI
-  // range queries are the expensive part and independent, so they run in
-  // parallel into per-POI edge lists; the serial insertion below then
-  // sees the same edge sequence a serial scan would, which keeps the
-  // unordered_set iteration order — and therefore the merge order —
+  // range queries are the expensive part and independent, so with workers
+  // they run in parallel — a count pass sizes one flat CSR edge array, a
+  // fill pass writes each POI's disjoint range. Either way the insertion
+  // below sees the same edge sequence a serial scan would, which keeps
+  // the unordered_set iteration order — and therefore the merge order —
   // independent of the thread count.
-  std::vector<std::vector<uint64_t>> edges(pois.size());
-  ParallelFor(
-      pois.size(),
-      [&](size_t pid_idx) {
-        PoiId pid = static_cast<PoiId>(pid_idx);
-        size_t node_a = poi_to_node[pid];
-        if (node_a == SIZE_MAX) return;
-        pois.ForEachInRange(pois.poi(pid).position, options.neighbor_distance,
-                            [&](PoiId other) {
-                              if (other <= pid) return;
-                              size_t node_b = poi_to_node[other];
-                              if (node_b == SIZE_MAX || node_b == node_a)
-                                return;
-                              uint64_t lo = std::min(node_a, node_b);
-                              uint64_t hi = std::max(node_a, node_b);
-                              edges[pid_idx].push_back((lo << 32) | hi);
-                            });
-      },
-      {.grain = 64});
-  std::unordered_set<uint64_t> adjacency;
-  for (PoiId pid = 0; pid < pois.size(); ++pid) {
-    for (uint64_t key : edges[pid]) adjacency.insert(key);
-  }
-
-  UnionFind uf(nodes.size());
-  while (true) {
-    // Current groups and their semantic distributions.
-    std::unordered_map<size_t, std::vector<PoiId>> groups;
-    for (size_t node = 0; node < nodes.size(); ++node) {
-      auto& group = groups[uf.Find(node)];
-      group.insert(group.end(), nodes[node].begin(), nodes[node].end());
+  auto for_each_edge = [&](size_t pid_idx, auto&& fn) {
+    PoiId pid = static_cast<PoiId>(pid_idx);
+    size_t node_a = poi_to_node[pid];
+    if (node_a == SIZE_MAX) return;
+    pois.ForEachInRange(pois.poi(pid).position, options.neighbor_distance,
+                        [&](PoiId other) {
+                          if (other <= pid) return;
+                          size_t node_b = poi_to_node[other];
+                          if (node_b == SIZE_MAX || node_b == node_a) return;
+                          uint64_t lo = std::min(node_a, node_b);
+                          uint64_t hi = std::max(node_a, node_b);
+                          fn((lo << 32) | hi);
+                        });
+  };
+  std::vector<uint64_t> edges;
+  if (DefaultParallelism() > 1) {
+    std::vector<uint32_t> edge_offsets(pois.size() + 1, 0);
+    ParallelFor(
+        pois.size(),
+        [&](size_t pid_idx) {
+          size_t count = 0;
+          for_each_edge(pid_idx, [&](uint64_t) { ++count; });
+          edge_offsets[pid_idx + 1] = static_cast<uint32_t>(count);
+        },
+        {.grain = 64});
+    for (size_t i = 0; i < pois.size(); ++i) {
+      edge_offsets[i + 1] += edge_offsets[i];
     }
-    std::unordered_map<size_t, SemanticUnit> group_units;
-    group_units.reserve(groups.size());
-    for (auto& [root, members] : groups) {
-      group_units.emplace(root,
-                          MakeSemanticUnit(0, members, pois, popularity));
+    edges.resize(edge_offsets[pois.size()]);
+    ParallelFor(
+        pois.size(),
+        [&](size_t pid_idx) {
+          size_t w = edge_offsets[pid_idx];
+          for_each_edge(pid_idx, [&](uint64_t key) { edges[w++] = key; });
+        },
+        {.grain = 64});
+  } else {
+    // Serial pool: one appending pass over the same per-POI edge order,
+    // skipping the pure counting pass (it would run every range query
+    // twice for nothing).
+    for (size_t pid_idx = 0; pid_idx < pois.size(); ++pid_idx) {
+      for_each_edge(pid_idx, [&](uint64_t key) { edges.push_back(key); });
+    }
+  }
+  std::unordered_set<uint64_t> adjacency;
+  for (uint64_t key : edges) adjacency.insert(key);
+
+  // Per-round group state, reused across rounds: the cosine test only
+  // reads a group's popularity mass per category and its category set,
+  // all of which are accumulated member by member in node order — the
+  // exact summation order MakeSemanticUnit uses on the concatenated
+  // member list, so the similarity values are bit-identical to building
+  // a fresh SemanticUnit per group.
+  UnionFind uf(num_nodes);
+  std::vector<SemanticUnit> acc(num_nodes);
+  std::vector<uint32_t> seen_round(num_nodes, 0);
+  uint32_t round = 0;
+  while (true) {
+    ++round;
+    for (size_t node = 0; node < num_nodes; ++node) {
+      size_t root = uf.Find(node);
+      SemanticUnit& unit = acc[root];
+      if (seen_round[root] != round) {
+        seen_round[root] = round;
+        unit.total_popularity = 0.0;
+        unit.category_popularity.fill(0.0);
+        unit.property = SemanticProperty();
+      }
+      for (PoiId pid : node_members(node)) {
+        const Poi& p = pois.poi(pid);
+        double pop = popularity.popularity(pid);
+        unit.total_popularity += pop;
+        unit.category_popularity[static_cast<size_t>(p.major())] += pop;
+        unit.property.Insert(p.major());
+      }
     }
 
     // One merging pass over the (root-level) adjacency.
@@ -109,9 +175,7 @@ std::vector<std::vector<PoiId>> SemanticUnitMerging(
       size_t a = uf.Find(static_cast<size_t>(key >> 32));
       size_t b = uf.Find(static_cast<size_t>(key & 0xffffffffu));
       if (a == b) continue;
-      const SemanticUnit& ua = group_units.at(a);
-      const SemanticUnit& ub = group_units.at(b);
-      if (ua.CosineSimilarity(ub) >= options.cosine_threshold) {
+      if (acc[a].CosineSimilarity(acc[b]) >= options.cosine_threshold) {
         if (uf.Union(a, b)) ++merges;
       }
     }
@@ -122,10 +186,11 @@ std::vector<std::vector<PoiId>> SemanticUnitMerging(
   // configured otherwise.
   std::unordered_map<size_t, std::vector<PoiId>> groups;
   std::unordered_map<size_t, bool> has_clustered;
-  for (size_t node = 0; node < nodes.size(); ++node) {
+  for (size_t node = 0; node < num_nodes; ++node) {
     size_t root = uf.Find(node);
     auto& group = groups[root];
-    group.insert(group.end(), nodes[node].begin(), nodes[node].end());
+    std::span<const PoiId> members = node_members(node);
+    group.insert(group.end(), members.begin(), members.end());
     if (node < num_clustered_nodes) has_clustered[root] = true;
   }
   std::vector<std::vector<PoiId>> result;

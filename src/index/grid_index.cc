@@ -10,10 +10,23 @@ namespace csd {
 GridIndex::GridIndex(std::vector<Vec2> points, double cell_size)
     : points_(std::move(points)), cell_size_(cell_size) {
   CSD_CHECK_MSG(cell_size_ > 0.0, "grid cell size must be positive");
-  cells_.reserve(points_.size());
+  CSD_CHECK_MSG(points_.size() < (size_t{1} << 32),
+                "GridIndex addresses points with 32-bit payload indices");
+  std::vector<std::pair<uint64_t, uint32_t>> entries;
+  entries.reserve(points_.size());
   for (size_t i = 0; i < points_.size(); ++i) {
-    cells_[KeyFor(CellCoord(points_[i].x), CellCoord(points_[i].y))]
-        .push_back(i);
+    entries.emplace_back(
+        KeyFor(CellCoord(points_[i].x), CellCoord(points_[i].y)),
+        static_cast<uint32_t>(i));
+  }
+  cells_ = FlatBuckets(std::move(entries));
+  cell_points_.resize(points_.size());
+  for (size_t b = 0; b < cells_.num_buckets(); ++b) {
+    size_t off = cells_.bucket_begin(b);
+    std::span<const uint32_t> ids = cells_.bucket(b);
+    for (size_t i = 0; i < ids.size(); ++i) {
+      cell_points_[off + i] = points_[ids[i]];
+    }
   }
 }
 

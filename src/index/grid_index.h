@@ -1,11 +1,13 @@
 #ifndef CSD_INDEX_GRID_INDEX_H_
 #define CSD_INDEX_GRID_INDEX_H_
 
+#include <cmath>
 #include <cstdint>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "geo/point.h"
+#include "util/flat_buckets.h"
 
 namespace csd {
 
@@ -13,6 +15,11 @@ namespace csd {
 /// range(p, ε, P) primitive. Points are addressed by their index in the
 /// vector passed at construction, so callers can keep payloads in parallel
 /// arrays.
+///
+/// Occupied cells live in a CSR layout (util/flat_buckets.h): one sorted
+/// key array plus one contiguous payload array, instead of a hash map of
+/// per-cell vectors. Queries allocate nothing, and a radius query walks
+/// each grid row as one ordered key-range scan over adjacent memory.
 ///
 /// Cell size should be on the order of the typical query radius: radius
 /// queries visit ceil(r / cell)² + O(1) cells.
@@ -30,6 +37,13 @@ class GridIndex {
   template <typename Fn>
   void ForEachInRadius(const Vec2& query, double radius, Fn&& fn) const;
 
+  /// Like ForEachInRadius, but hands `fn(index, squared_distance)` the
+  /// squared distance the candidate test already computed; callers that
+  /// need the distance take one sqrt instead of re-deriving it from the
+  /// point table (sqrt of this value equals Distance() bit for bit).
+  template <typename Fn>
+  void ForEachInRadiusSq(const Vec2& query, double radius, Fn&& fn) const;
+
   /// Number of points within `radius` of `query`.
   size_t CountInRadius(const Vec2& query, double radius) const;
 
@@ -42,12 +56,14 @@ class GridIndex {
   double cell_size() const { return cell_size_; }
 
  private:
-  using CellKey = int64_t;
+  /// Bias keeps the packed key monotone in (cx, cy) for negative
+  /// coordinates too, so one grid row is one contiguous, ordered key
+  /// range. City-scale extents stay far below the 2^31-cell limit.
+  static constexpr int64_t kBias = int64_t{1} << 31;
 
-  CellKey KeyFor(int64_t cx, int64_t cy) const {
-    // Pack two 32-bit cell coordinates; city-scale extents stay far below
-    // the 2^31 cell limit.
-    return (cx << 32) ^ (cy & 0xffffffffLL);
+  static uint64_t KeyFor(int64_t cx, int64_t cy) {
+    return (static_cast<uint64_t>(cx + kBias) << 32) |
+           static_cast<uint64_t>(static_cast<uint32_t>(cy + kBias));
   }
 
   int64_t CellCoord(double v) const {
@@ -56,24 +72,40 @@ class GridIndex {
 
   std::vector<Vec2> points_;
   double cell_size_;
-  std::unordered_map<CellKey, std::vector<size_t>> cells_;
+  FlatBuckets cells_;
+  /// Point coordinates replicated in CSR payload order: candidate scans
+  /// inside a bucket read adjacent memory instead of hopping through
+  /// points_ by index, which is where dense-cell queries spend their time.
+  std::vector<Vec2> cell_points_;
 };
 
 template <typename Fn>
 void GridIndex::ForEachInRadius(const Vec2& query, double radius,
                                 Fn&& fn) const {
-  if (radius < 0.0) return;
+  ForEachInRadiusSq(query, radius,
+                    [&](size_t index, double /*d2*/) { fn(index); });
+}
+
+template <typename Fn>
+void GridIndex::ForEachInRadiusSq(const Vec2& query, double radius,
+                                  Fn&& fn) const {
+  if (radius < 0.0 || points_.empty()) return;
   double r2 = radius * radius;
   int64_t cx0 = CellCoord(query.x - radius);
   int64_t cx1 = CellCoord(query.x + radius);
   int64_t cy0 = CellCoord(query.y - radius);
   int64_t cy1 = CellCoord(query.y + radius);
   for (int64_t cx = cx0; cx <= cx1; ++cx) {
-    for (int64_t cy = cy0; cy <= cy1; ++cy) {
-      auto it = cells_.find(KeyFor(cx, cy));
-      if (it == cells_.end()) continue;
-      for (size_t idx : it->second) {
-        if (SquaredDistance(points_[idx], query) <= r2) fn(idx);
+    // All occupied cells of row cx with cy in [cy0, cy1] form one
+    // contiguous bucket range in the CSR layout.
+    uint64_t row_end = KeyFor(cx, cy1);
+    for (size_t b = cells_.LowerBound(KeyFor(cx, cy0));
+         b < cells_.num_buckets() && cells_.key(b) <= row_end; ++b) {
+      std::span<const uint32_t> ids = cells_.bucket(b);
+      const Vec2* pts = cell_points_.data() + cells_.bucket_begin(b);
+      for (size_t i = 0; i < ids.size(); ++i) {
+        double d2 = SquaredDistance(pts[i], query);
+        if (d2 <= r2) fn(size_t{ids[i]}, d2);
       }
     }
   }

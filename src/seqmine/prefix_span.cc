@@ -2,31 +2,292 @@
 
 #include <algorithm>
 #include <map>
+#include <span>
 
+#include "util/arena.h"
 #include "util/check.h"
+#include "util/dense_scratch.h"
 #include "util/parallel.h"
 
 namespace csd {
 
 namespace {
 
-/// One sequence's position inside a projected database: the suffix starting
-/// at `start` of sequence `seq` still has to match future extensions.
+// ---------------------------------------------------------------------------
+// Pseudo-projection miner (production path)
+//
+// The classic PrefixSpan bottleneck is not the DFS itself but the per-node
+// bookkeeping: a std::map of extensions plus a std::map of first
+// occurrences per projected sequence is two heap allocations per node per
+// sequence. This miner removes all of it:
+//
+//   * the database is flattened once into CSR (one items array + offsets)
+//     with items recoded to a dense alphabet 0..k-1,
+//   * a projection is a (sequence, absolute offset) pair; projection
+//     lists live in a rewinding Arena, so sibling subtrees reuse the same
+//     memory,
+//   * per-node extension collection uses epoch-stamped dense tables
+//     (first-occurrence flags, support counts, child slots) that reset in
+//     O(1) and never allocate after warm-up.
+//
+// The dense recode map is monotone in the original item value, so mining
+// children in ascending dense id reproduces the ascending-item DFS
+// emission order of the reference miner byte for byte.
+// ---------------------------------------------------------------------------
+
+/// One sequence's position inside a projected database: the suffix
+/// starting at absolute offset `start` (into DenseDb::items) still has to
+/// match future extensions. 32-bit fields halve the projection footprint;
+/// the public entry point checks the database fits.
 struct Projection {
+  uint32_t seq;
+  uint32_t start;
+};
+
+/// The sequence database flattened to CSR with a dense item alphabet.
+struct DenseDb {
+  std::vector<uint32_t> items;    // all sequences, concatenated
+  std::vector<uint32_t> offsets;  // size num_sequences()+1
+  std::vector<Item> decode;       // dense id -> original item, ascending
+
+  size_t num_sequences() const { return offsets.size() - 1; }
+  size_t alphabet_size() const { return decode.size(); }
+};
+
+DenseDb Flatten(const std::vector<Sequence>& db) {
+  DenseDb out;
+  size_t total = 0;
+  for (const Sequence& s : db) total += s.size();
+  CSD_CHECK_MSG(total < (size_t{1} << 32),
+                "PrefixSpan holds item offsets in 32 bits");
+
+  out.decode.reserve(total);
+  for (const Sequence& s : db) {
+    out.decode.insert(out.decode.end(), s.begin(), s.end());
+  }
+  std::sort(out.decode.begin(), out.decode.end());
+  out.decode.erase(std::unique(out.decode.begin(), out.decode.end()),
+                   out.decode.end());
+
+  out.items.reserve(total);
+  out.offsets.reserve(db.size() + 1);
+  out.offsets.push_back(0);
+  for (const Sequence& s : db) {
+    for (Item item : s) {
+      out.items.push_back(static_cast<uint32_t>(
+          std::lower_bound(out.decode.begin(), out.decode.end(), item) -
+          out.decode.begin()));
+    }
+    out.offsets.push_back(static_cast<uint32_t>(out.items.size()));
+  }
+  return out;
+}
+
+DenseDb Flatten(const FlatSequenceDb& db) {
+  CSD_CHECK_MSG(db.items.size() < (size_t{1} << 32),
+                "PrefixSpan holds item offsets in 32 bits");
+  DenseDb out;
+  out.decode = db.items;
+  std::sort(out.decode.begin(), out.decode.end());
+  out.decode.erase(std::unique(out.decode.begin(), out.decode.end()),
+                   out.decode.end());
+  out.items.reserve(db.items.size());
+  for (Item item : db.items) {
+    out.items.push_back(static_cast<uint32_t>(
+        std::lower_bound(out.decode.begin(), out.decode.end(), item) -
+        out.decode.begin()));
+  }
+  out.offsets = db.offsets;
+  if (out.offsets.empty()) out.offsets.push_back(0);
+  return out;
+}
+
+class PseudoProjectionMiner {
+ public:
+  PseudoProjectionMiner(const DenseDb& db, const PrefixSpanOptions& options)
+      : db_(db), options_(options) {}
+
+  /// A frequent single-item extension of a node: its projection list
+  /// (arena-allocated) advancing every supporting sequence past the
+  /// item's first occurrence in its suffix.
+  struct Child {
+    uint32_t item;    // dense id
+    uint32_t count;   // support == projection list length
+    uint32_t cursor;  // scatter fill position during collection
+    Projection* list;
+  };
+
+  /// Collects the frequent children of `projected` in ascending dense
+  /// item order. The child array and lists live in this miner's arena;
+  /// the caller rewinds.
+  std::span<Child> CollectChildren(std::span<const Projection> projected) {
+    entries_.clear();
+    touched_.clear();
+    support_.Reset(db_.alphabet_size());
+    for (const Projection& pr : projected) {
+      // First occurrence of each item in this suffix.
+      seen_.Reset(db_.alphabet_size());
+      uint32_t end = db_.offsets[pr.seq + 1];
+      for (uint32_t pos = pr.start; pos < end; ++pos) {
+        uint32_t item = db_.items[pos];
+        if (!seen_.TestAndSet(item)) continue;
+        entries_.push_back({item, pr.seq, pos + 1});
+        uint32_t& count = support_[item];
+        if (count == 0) touched_.push_back(item);
+        ++count;
+      }
+    }
+
+    std::sort(touched_.begin(), touched_.end());
+    size_t num_children = 0;
+    for (uint32_t item : touched_) {
+      if (support_.Get(item) >= options_.min_support) ++num_children;
+    }
+    Child* children = arena_.AllocateArray<Child>(num_children);
+    slot_.Reset(db_.alphabet_size());
+    size_t c = 0;
+    for (uint32_t item : touched_) {
+      uint32_t count = support_.Get(item);
+      if (count < options_.min_support) continue;
+      children[c] = {item, count, 0,
+                     arena_.AllocateArray<Projection>(count)};
+      slot_[item] = static_cast<uint32_t>(c);
+      ++c;
+    }
+    // entries_ is in projection order, so this stable scatter leaves each
+    // child list in the same supporter order the reference miner emits.
+    for (const Entry& e : entries_) {
+      if (!slot_.Contains(e.item)) continue;
+      Child& child = children[slot_.Get(e.item)];
+      child.list[child.cursor++] = {e.seq, e.start};
+    }
+    return {children, num_children};
+  }
+
+  /// Serial mining of the subtree rooted at the 1-item prefix {first},
+  /// exactly replaying what the serial DFS does after choosing `first` at
+  /// the top level.
+  void MineSubtree(uint32_t first, std::span<const Projection> projected) {
+    prefix_.clear();
+    prefix_.push_back(first);
+    Emit(projected);
+    Grow(projected);
+  }
+
+  std::vector<SequentialPattern> TakeResults() {
+    return std::move(results_);
+  }
+
+ private:
+  /// One (projection, first occurrence of item) record of a node scan.
+  struct Entry {
+    uint32_t item;
+    uint32_t seq;
+    uint32_t start;
+  };
+
+  void Emit(std::span<const Projection> projected) {
+    if (prefix_.size() < options_.min_length) return;
+    SequentialPattern pattern;
+    pattern.items.reserve(prefix_.size());
+    for (uint32_t d : prefix_) pattern.items.push_back(db_.decode[d]);
+    pattern.supporting_sequences.reserve(projected.size());
+    for (const Projection& pr : projected) {
+      pattern.supporting_sequences.push_back(pr.seq);
+    }
+    results_.push_back(std::move(pattern));
+  }
+
+  void Grow(std::span<const Projection> projected) {
+    if (prefix_.size() >= options_.max_length) return;
+    Arena::Position node = arena_.CurrentPosition();
+    std::span<Child> children = CollectChildren(projected);
+    Arena::Position subtree = arena_.CurrentPosition();
+    for (const Child& child : children) {
+      prefix_.push_back(child.item);
+      std::span<const Projection> sub(child.list, child.count);
+      Emit(sub);
+      Grow(sub);
+      prefix_.pop_back();
+      arena_.Rewind(subtree);  // grandchildren of this child are dead
+    }
+    arena_.Rewind(node);
+  }
+
+  const DenseDb& db_;
+  const PrefixSpanOptions& options_;
+  Arena arena_;
+  DenseScratch<uint32_t> support_;  // per-node: item -> support count
+  DenseScratch<uint32_t> slot_;     // per-node: item -> child index
+  DenseScratch<uint32_t> seen_;     // per-projection: first-occurrence flag
+  std::vector<Entry> entries_;      // per-node scan records, reused
+  std::vector<uint32_t> touched_;   // per-node distinct items, reused
+  std::vector<uint32_t> prefix_;    // current DFS prefix, dense ids
+  std::vector<SequentialPattern> results_;
+};
+
+/// Mines the full pattern set. The top-level projected database splits
+/// into one independent subtree per frequent first item; subtrees are
+/// mined in parallel into per-subtree result vectors and concatenated in
+/// item order, which is byte-identical to the serial depth-first emission
+/// order.
+std::vector<SequentialPattern> MinePseudoProjection(
+    const DenseDb& dense, const PrefixSpanOptions& options) {
+  std::vector<Projection> all;
+  all.reserve(dense.num_sequences());
+  for (size_t i = 0; i < dense.num_sequences(); ++i) {
+    if (dense.offsets[i] != dense.offsets[i + 1]) {
+      all.push_back({static_cast<uint32_t>(i), dense.offsets[i]});
+    }
+  }
+
+  // The root miner owns the top-level projection lists; subtree miners
+  // read them concurrently (read-only) while growing their own arenas.
+  PseudoProjectionMiner root(dense, options);
+  std::span<PseudoProjectionMiner::Child> subtrees =
+      root.CollectChildren(all);
+
+  // Subtree sizes are highly skewed (a popular semantic dominates), so
+  // grain 1 lets the pool steal whole subtrees for balance.
+  std::vector<std::vector<SequentialPattern>> per_subtree(subtrees.size());
+  ParallelFor(
+      subtrees.size(),
+      [&](size_t i) {
+        PseudoProjectionMiner sub(dense, options);
+        sub.MineSubtree(subtrees[i].item,
+                        {subtrees[i].list, subtrees[i].count});
+        per_subtree[i] = sub.TakeResults();
+      },
+      {.grain = 1});
+
+  std::vector<SequentialPattern> results;
+  for (std::vector<SequentialPattern>& part : per_subtree) {
+    results.insert(results.end(), std::make_move_iterator(part.begin()),
+                   std::make_move_iterator(part.end()));
+  }
+  return results;
+}
+
+// ---------------------------------------------------------------------------
+// Reference miner (test oracle)
+// ---------------------------------------------------------------------------
+
+/// Computes the single-item extensions of a projected database the
+/// straightforward way: a std::map per node plus a first-occurrence map
+/// per sequence. Kept as the equivalence oracle for the pseudo-projection
+/// miner; the maps fix the ascending-item DFS emission order that the
+/// production path must reproduce.
+struct ReferenceProjection {
   size_t seq;
   size_t start;
 };
 
-/// Computes the single-item extensions of a projected database: for each
-/// item, the child projection advancing every supporting sequence past its
-/// first occurrence. std::map keeps the extension order sorted by item,
-/// which fixes the DFS emission order.
-std::map<Item, std::vector<Projection>> CollectExtensions(
-    const std::vector<Sequence>& db, const std::vector<Projection>& projected) {
-  std::map<Item, std::vector<Projection>> extensions;
-  for (const Projection& pr : projected) {
+std::map<Item, std::vector<ReferenceProjection>> ReferenceExtensions(
+    const std::vector<Sequence>& db,
+    const std::vector<ReferenceProjection>& projected) {
+  std::map<Item, std::vector<ReferenceProjection>> extensions;
+  for (const ReferenceProjection& pr : projected) {
     const Sequence& s = db[pr.seq];
-    // First occurrence of each item in the suffix.
     std::map<Item, size_t> first_pos;
     for (size_t pos = pr.start; pos < s.size(); ++pos) {
       first_pos.emplace(s[pos], pos);  // keeps the earliest position
@@ -38,84 +299,41 @@ std::map<Item, std::vector<Projection>> CollectExtensions(
   return extensions;
 }
 
-class PrefixSpanMiner {
+class ReferenceMiner {
  public:
-  PrefixSpanMiner(const std::vector<Sequence>& db,
-                  const PrefixSpanOptions& options)
+  ReferenceMiner(const std::vector<Sequence>& db,
+                 const PrefixSpanOptions& options)
       : db_(db), options_(options) {}
 
-  /// Mines the full pattern set. The top-level projected database splits
-  /// into one independent subtree per frequent first item; subtrees are
-  /// mined in parallel into per-subtree result vectors and concatenated
-  /// in item order, which is byte-identical to the serial depth-first
-  /// emission order.
   std::vector<SequentialPattern> Mine() {
-    std::vector<Projection> all;
+    std::vector<ReferenceProjection> all;
     all.reserve(db_.size());
     for (size_t i = 0; i < db_.size(); ++i) {
       if (!db_[i].empty()) all.push_back({i, 0});
     }
-
-    std::map<Item, std::vector<Projection>> extensions =
-        CollectExtensions(db_, all);
-    struct Subtree {
-      Item item;
-      std::vector<Projection> projected;
-    };
-    std::vector<Subtree> subtrees;
-    for (auto& [item, child] : extensions) {
-      if (child.size() < options_.min_support) continue;
-      subtrees.push_back({item, std::move(child)});
-    }
-
-    // Subtree sizes are highly skewed (a popular semantic dominates), so
-    // grain 1 lets the pool steal whole subtrees for balance.
-    std::vector<std::vector<SequentialPattern>> per_subtree(subtrees.size());
-    ParallelFor(
-        subtrees.size(),
-        [&](size_t i) {
-          PrefixSpanMiner sub(db_, options_);
-          sub.MineSubtree(subtrees[i].item, subtrees[i].projected);
-          per_subtree[i] = std::move(sub.results_);
-        },
-        {.grain = 1});
-
-    std::vector<SequentialPattern> results;
-    for (std::vector<SequentialPattern>& part : per_subtree) {
-      results.insert(results.end(), std::make_move_iterator(part.begin()),
-                     std::make_move_iterator(part.end()));
-    }
-    return results;
+    std::vector<Item> prefix;
+    Grow(all, prefix);
+    return std::move(results_);
   }
 
  private:
-  /// Serial mining of the subtree rooted at the 1-item prefix {item},
-  /// exactly replaying what the serial DFS does after choosing `item` at
-  /// the top level.
-  void MineSubtree(Item item, const std::vector<Projection>& projected) {
-    std::vector<Item> prefix = {item};
-    Emit(prefix, projected);
-    Grow(projected, prefix);
-  }
-
   void Emit(const std::vector<Item>& prefix,
-            const std::vector<Projection>& projected) {
+            const std::vector<ReferenceProjection>& projected) {
     if (prefix.size() < options_.min_length) return;
     SequentialPattern pattern;
     pattern.items = prefix;
     pattern.supporting_sequences.reserve(projected.size());
-    for (const Projection& pr : projected) {
+    for (const ReferenceProjection& pr : projected) {
       pattern.supporting_sequences.push_back(pr.seq);
     }
     results_.push_back(std::move(pattern));
   }
 
-  void Grow(const std::vector<Projection>& projected,
+  void Grow(const std::vector<ReferenceProjection>& projected,
             std::vector<Item>& prefix) {
     if (prefix.size() >= options_.max_length) return;
-
-    std::map<Item, std::vector<Projection>> extensions =
-        CollectExtensions(db_, projected);
+    std::map<Item, std::vector<ReferenceProjection>> extensions =
+        ReferenceExtensions(db_, projected);
     for (auto& [item, child] : extensions) {
       if (child.size() < options_.min_support) continue;
       prefix.push_back(item);
@@ -130,9 +348,12 @@ class PrefixSpanMiner {
   std::vector<SequentialPattern> results_;
 };
 
-}  // namespace
-
-namespace {
+void CheckOptions(const PrefixSpanOptions& options) {
+  CSD_CHECK_MSG(options.min_support >= 1, "min_support must be >= 1");
+  CSD_CHECK_MSG(options.min_length >= 1, "min_length must be >= 1");
+  CSD_CHECK_MSG(options.max_length >= options.min_length,
+                "max_length must be >= min_length");
+}
 
 /// Keeps only closed patterns: drops any pattern that embeds into a longer
 /// pattern of identical support.
@@ -168,11 +389,30 @@ std::vector<SequentialPattern> FilterClosed(
 
 std::vector<SequentialPattern> PrefixSpan(const std::vector<Sequence>& db,
                                           const PrefixSpanOptions& options) {
-  CSD_CHECK_MSG(options.min_support >= 1, "min_support must be >= 1");
-  CSD_CHECK_MSG(options.min_length >= 1, "min_length must be >= 1");
-  CSD_CHECK_MSG(options.max_length >= options.min_length,
-                "max_length must be >= min_length");
-  PrefixSpanMiner miner(db, options);
+  CheckOptions(options);
+  CSD_CHECK_MSG(db.size() < (size_t{1} << 32),
+                "PrefixSpan holds sequence ids in 32 bits");
+  std::vector<SequentialPattern> patterns =
+      MinePseudoProjection(Flatten(db), options);
+  if (options.closed_only) patterns = FilterClosed(std::move(patterns));
+  return patterns;
+}
+
+std::vector<SequentialPattern> PrefixSpan(const FlatSequenceDb& db,
+                                          const PrefixSpanOptions& options) {
+  CheckOptions(options);
+  CSD_CHECK_MSG(db.size() < (size_t{1} << 32),
+                "PrefixSpan holds sequence ids in 32 bits");
+  std::vector<SequentialPattern> patterns =
+      MinePseudoProjection(Flatten(db), options);
+  if (options.closed_only) patterns = FilterClosed(std::move(patterns));
+  return patterns;
+}
+
+std::vector<SequentialPattern> PrefixSpanReference(
+    const std::vector<Sequence>& db, const PrefixSpanOptions& options) {
+  CheckOptions(options);
+  ReferenceMiner miner(db, options);
   std::vector<SequentialPattern> patterns = miner.Mine();
   if (options.closed_only) patterns = FilterClosed(std::move(patterns));
   return patterns;
@@ -180,6 +420,11 @@ std::vector<SequentialPattern> PrefixSpan(const std::vector<Sequence>& db,
 
 std::optional<std::vector<size_t>> FindEmbedding(
     const Sequence& sequence, const std::vector<Item>& pattern) {
+  return FindEmbedding(std::span<const Item>(sequence), pattern);
+}
+
+std::optional<std::vector<size_t>> FindEmbedding(
+    std::span<const Item> sequence, const std::vector<Item>& pattern) {
   std::vector<size_t> positions;
   positions.reserve(pattern.size());
   size_t pos = 0;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 namespace csd {
@@ -39,11 +40,45 @@ struct PrefixSpanOptions {
   bool closed_only = false;
 };
 
+/// A sequence database in CSR layout: all sequences concatenated into one
+/// items array plus an offsets array (size() + 1 entries, first one 0).
+/// Large callers build this directly instead of materializing one
+/// std::vector per sequence — the miner flattens its input anyway.
+struct FlatSequenceDb {
+  std::vector<Item> items;
+  std::vector<uint32_t> offsets;
+
+  size_t size() const { return offsets.empty() ? 0 : offsets.size() - 1; }
+  std::span<const Item> sequence(size_t i) const {
+    return {items.data() + offsets[i], items.data() + offsets[i + 1]};
+  }
+};
+
 /// PrefixSpan (Pei et al., ICDE'01): frequent subsequence mining by
 /// prefix-projected pattern growth. Returns every frequent pattern within
 /// the length bounds together with its supporting sequence ids.
+///
+/// The production miner uses pseudo-projection: the database is flattened
+/// to CSR with a dense item alphabet, projections are (sequence, offset)
+/// pairs in a rewinding arena, and per-node extension collection runs on
+/// epoch-stamped dense tables — allocation-free in steady state. Top-level
+/// first-item subtrees are mined in parallel and concatenated in item
+/// order, so output is byte-identical to PrefixSpanReference for any
+/// thread count.
 std::vector<SequentialPattern> PrefixSpan(const std::vector<Sequence>& db,
                                           const PrefixSpanOptions& options);
+
+/// Same mining over an already-flattened database; avoids the per-sequence
+/// vector that the convenience overload above pays for.
+std::vector<SequentialPattern> PrefixSpan(const FlatSequenceDb& db,
+                                          const PrefixSpanOptions& options);
+
+/// Reference implementation: the straightforward serial DFS with per-node
+/// std::map extension collection. Exists solely as the equivalence oracle
+/// for tests (byte-identical output contract) and is O(alloc)-heavy by
+/// design; never call it on a hot path.
+std::vector<SequentialPattern> PrefixSpanReference(
+    const std::vector<Sequence>& db, const PrefixSpanOptions& options);
 
 /// Leftmost embedding of `pattern` in `sequence`: positions p_0 < p_1 < …
 /// with sequence[p_k] == pattern[k], or nullopt when the pattern does not
@@ -51,6 +86,10 @@ std::vector<SequentialPattern> PrefixSpan(const std::vector<Sequence>& db,
 /// pattern.
 std::optional<std::vector<size_t>> FindEmbedding(
     const Sequence& sequence, const std::vector<Item>& pattern);
+
+/// Span flavor for CSR-stored sequences.
+std::optional<std::vector<size_t>> FindEmbedding(
+    std::span<const Item> sequence, const std::vector<Item>& pattern);
 
 }  // namespace csd
 

@@ -1,0 +1,117 @@
+#ifndef CSD_UTIL_ARENA_H_
+#define CSD_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace csd {
+
+/// Monotonic bump allocator for trivially-destructible scratch data on a
+/// hot path. Allocation is a pointer bump; nothing is freed until the
+/// whole arena rewinds. Blocks are retained across Reset/Rewind, so a
+/// warmed-up arena performs zero heap allocations in steady state —
+/// recursive algorithms (e.g. the PrefixSpan projection tree) take a
+/// Position() at node entry and Rewind() on exit, reusing the same
+/// memory for every sibling subtree.
+///
+/// Not thread-safe; give each worker its own arena.
+class Arena {
+ public:
+  /// `initial_block_bytes` sizes the first block; later blocks double.
+  explicit Arena(size_t initial_block_bytes = 1 << 16)
+      : next_block_bytes_(initial_block_bytes < 64 ? 64
+                                                   : initial_block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// An uninitialized array of `n` T. Only trivially destructible types:
+  /// the arena never runs destructors.
+  template <typename T>
+  T* AllocateArray(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena memory is reclaimed without running destructors");
+    return static_cast<T*>(AllocateRaw(n * sizeof(T), alignof(T)));
+  }
+
+  /// A default-initialized single object.
+  template <typename T>
+  T* New() {
+    T* p = AllocateArray<T>(1);
+    *p = T{};
+    return p;
+  }
+
+  /// A point in the allocation stream; Rewind(p) frees (for reuse)
+  /// everything allocated after Position() returned p.
+  struct Position {
+    size_t block = 0;
+    size_t used = 0;
+  };
+
+  Position CurrentPosition() const { return {current_, used_}; }
+
+  /// Releases everything allocated since `p` for reuse. `p` must come
+  /// from CurrentPosition() of this arena, and positions must rewind in
+  /// LIFO order.
+  void Rewind(Position p) {
+    current_ = p.block;
+    used_ = p.used;
+  }
+
+  /// Rewinds to empty, keeping every block for reuse.
+  void Reset() {
+    current_ = 0;
+    used_ = 0;
+  }
+
+  /// Bytes currently reserved across all blocks (capacity, not usage).
+  size_t TotalReserved() const {
+    size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    size_t size = 0;
+  };
+
+  void* AllocateRaw(size_t bytes, size_t align) {
+    if (bytes == 0) bytes = 1;
+    for (;;) {
+      if (current_ < blocks_.size()) {
+        Block& b = blocks_[current_];
+        size_t aligned =
+            (used_ + align - 1) & ~(align - 1);  // align is a power of two
+        if (aligned + bytes <= b.size) {
+          used_ = aligned + bytes;
+          return b.data.get() + aligned;
+        }
+        // Doesn't fit: move on. If the next retained block exists it is
+        // at least as big as this one (blocks only ever grow).
+        ++current_;
+        used_ = 0;
+        continue;
+      }
+      size_t want = next_block_bytes_;
+      while (want < bytes + align) want *= 2;
+      blocks_.push_back({std::make_unique<std::byte[]>(want), want});
+      next_block_bytes_ = want * 2;
+      // Loop retries the allocation in the fresh block.
+    }
+  }
+
+  std::vector<Block> blocks_;
+  size_t current_ = 0;  // block currently bumping
+  size_t used_ = 0;     // bytes used in blocks_[current_]
+  size_t next_block_bytes_;
+};
+
+}  // namespace csd
+
+#endif  // CSD_UTIL_ARENA_H_

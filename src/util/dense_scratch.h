@@ -1,0 +1,83 @@
+#ifndef CSD_UTIL_DENSE_SCRATCH_H_
+#define CSD_UTIL_DENSE_SCRATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace csd {
+
+/// An epoch-stamped map from small integer keys [0, n) to T, built for
+/// hot loops that would otherwise allocate an unordered_map per
+/// iteration. Reset() makes the map logically empty by bumping a
+/// generation counter — O(1), no clearing, no freeing — so a scratch
+/// reused across a million stay points performs zero allocations after
+/// the first.
+///
+/// Typical pattern:
+///   scratch.Reset(num_units);
+///   for (...) {
+///     bool first = !scratch.Contains(uid);
+///     T& slot = scratch[uid];       // value-initialized on first touch
+///     if (first) touched.push_back(uid);
+///     ...accumulate into slot...
+///   }
+///   for (auto uid : touched) ...read scratch[uid]...
+///
+/// Not thread-safe; give each worker its own scratch (thread_local works
+/// well for const query paths).
+template <typename T>
+class DenseScratch {
+ public:
+  /// Empties the map and ensures keys [0, n) are addressable. Amortized
+  /// O(1): only the first call (or a larger n) allocates.
+  void Reset(size_t n) {
+    if (n > stamp_.size()) {
+      stamp_.resize(n, 0);
+      values_.resize(n);
+    }
+    if (++epoch_ == 0) {
+      // uint32 wrap: stale stamps could alias the new epoch. Clear once
+      // every ~4 billion resets.
+      std::fill(stamp_.begin(), stamp_.end(), 0u);
+      epoch_ = 1;
+    }
+  }
+
+  /// True when `key` was touched since the last Reset().
+  bool Contains(size_t key) const { return stamp_[key] == epoch_; }
+
+  /// The value at `key`, value-initializing it on first touch after a
+  /// Reset().
+  T& operator[](size_t key) {
+    if (stamp_[key] != epoch_) {
+      stamp_[key] = epoch_;
+      values_[key] = T{};
+    }
+    return values_[key];
+  }
+
+  /// Stamps `key` without touching the value; returns true when this is
+  /// the first touch since Reset(). Flag-only callers (membership tests)
+  /// use this and never pay the value write.
+  bool TestAndSet(size_t key) {
+    if (stamp_[key] == epoch_) return false;
+    stamp_[key] = epoch_;
+    return true;
+  }
+
+  /// Read of a key known to be stamped.
+  const T& Get(size_t key) const { return values_[key]; }
+
+  /// Number of addressable keys.
+  size_t capacity() const { return stamp_.size(); }
+
+ private:
+  std::vector<T> values_;
+  std::vector<uint32_t> stamp_;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace csd
+
+#endif  // CSD_UTIL_DENSE_SCRATCH_H_

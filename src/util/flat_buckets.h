@@ -1,0 +1,80 @@
+#ifndef CSD_UTIL_FLAT_BUCKETS_H_
+#define CSD_UTIL_FLAT_BUCKETS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace csd {
+
+/// Immutable bucketed multimap in CSR (compressed sparse row) layout:
+/// three flat arrays — sorted unique bucket keys, bucket offsets, and one
+/// contiguous payload array — instead of a hash map of vectors. Built
+/// once, then queried allocation-free; iterating a bucket is a linear
+/// walk over adjacent memory, and buckets with consecutive keys are
+/// adjacent in the payload too, which is what makes grid-row scans cache
+/// friendly.
+///
+/// Values within a bucket keep their insertion order (the build sort is
+/// stable), so layouts swapped from map-of-vectors preserve per-bucket
+/// iteration order.
+class FlatBuckets {
+ public:
+  FlatBuckets() = default;
+
+  /// Builds from (key, value) pairs; `entries` is consumed as scratch.
+  explicit FlatBuckets(std::vector<std::pair<uint64_t, uint32_t>> entries) {
+    std::stable_sort(
+        entries.begin(), entries.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    values_.reserve(entries.size());
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (i == 0 || entries[i].first != entries[i - 1].first) {
+        keys_.push_back(entries[i].first);
+        offsets_.push_back(static_cast<uint32_t>(i));
+      }
+      values_.push_back(entries[i].second);
+    }
+    offsets_.push_back(static_cast<uint32_t>(entries.size()));
+  }
+
+  size_t num_buckets() const { return keys_.size(); }
+  size_t size() const { return values_.size(); }
+
+  uint64_t key(size_t bucket) const { return keys_[bucket]; }
+
+  std::span<const uint32_t> bucket(size_t b) const {
+    return {values_.data() + offsets_[b],
+            values_.data() + offsets_[b + 1]};
+  }
+
+  /// Offset of bucket `b`'s first value within the concatenated payload.
+  /// Lets callers keep auxiliary arrays parallel to the payload (e.g. a
+  /// copy of per-value data in bucket order for sequential scans).
+  size_t bucket_begin(size_t b) const { return offsets_[b]; }
+
+  /// Index of the first bucket with key >= `k` (== num_buckets() when
+  /// none). Starting point of an ordered key-range scan.
+  size_t LowerBound(uint64_t k) const {
+    return static_cast<size_t>(
+        std::lower_bound(keys_.begin(), keys_.end(), k) - keys_.begin());
+  }
+
+  /// Values of bucket `k`, empty when absent.
+  std::span<const uint32_t> Find(uint64_t k) const {
+    size_t b = LowerBound(k);
+    if (b == keys_.size() || keys_[b] != k) return {};
+    return bucket(b);
+  }
+
+ private:
+  std::vector<uint64_t> keys_;     // sorted, unique
+  std::vector<uint32_t> offsets_;  // size num_buckets()+1
+  std::vector<uint32_t> values_;   // bucket payloads, concatenated
+};
+
+}  // namespace csd
+
+#endif  // CSD_UTIL_FLAT_BUCKETS_H_

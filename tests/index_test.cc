@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "index/grid_index.h"
@@ -89,6 +90,53 @@ TEST_P(GridIndexPropertyTest, MatchesBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(CellSizes, GridIndexPropertyTest,
                          ::testing::Values(5.0, 25.0, 100.0, 400.0));
+
+TEST(GridIndexTest, SingleCellHoldsEverything) {
+  // All points land in one grid cell; the CSR layout degenerates to a
+  // single bucket and queries must still filter by true distance.
+  std::vector<Vec2> pts = {{1, 1}, {2, 2}, {3, 3}, {4, 4}};
+  GridIndex index(pts, 1000.0);
+  auto all = index.RadiusQuery({2.5, 2.5}, 10.0);
+  EXPECT_EQ(all.size(), 4u);
+  auto some = index.RadiusQuery({1, 1}, 1.5);
+  std::sort(some.begin(), some.end());
+  EXPECT_EQ(some, (std::vector<size_t>{0, 1}));
+  EXPECT_TRUE(index.RadiusQuery({500, 500}, 10.0).empty());
+}
+
+TEST(GridIndexTest, ForEachInRadiusOnEmptyIndexIsANoop) {
+  GridIndex index({}, 10.0);
+  size_t calls = 0;
+  index.ForEachInRadius({0, 0}, 100.0, [&](size_t) { ++calls; });
+  index.ForEachInRadiusSq({0, 0}, 100.0, [&](size_t, double) { ++calls; });
+  EXPECT_EQ(calls, 0u);
+}
+
+TEST(GridIndexTest, ForEachInRadiusSqMatchesBruteForce) {
+  // The callback variants walk the replicated cell_points_ payload; check
+  // them against brute force, and check the handed-out squared distance is
+  // exactly the one Distance() would produce (callers rely on
+  // sqrt(d2) == Distance(p, q) bit for bit).
+  auto pts = RandomPoints(400, 1000.0, 123);
+  GridIndex index(pts, 40.0);
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    Vec2 q{rng.Uniform(-50.0, 1050.0), rng.Uniform(-50.0, 1050.0)};
+    double r = rng.Uniform(0.0, 120.0);
+    std::vector<size_t> got;
+    index.ForEachInRadiusSq(q, r, [&](size_t id, double d2) {
+      got.push_back(id);
+      EXPECT_EQ(std::sqrt(d2), Distance(pts[id], q));
+    });
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, BruteRadius(pts, q, r));
+
+    std::vector<size_t> via_foreach;
+    index.ForEachInRadius(q, r, [&](size_t id) { via_foreach.push_back(id); });
+    std::sort(via_foreach.begin(), via_foreach.end());
+    EXPECT_EQ(via_foreach, got);
+  }
+}
 
 TEST(GridIndexTest, NearestMatchesBruteForce) {
   auto pts = RandomPoints(300, 1000.0, 5);

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "seqmine/prefix_span.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace csd {
@@ -74,7 +75,8 @@ TEST(PrefixSpanTest, SupportCountsSequencesNotOccurrences) {
 }
 
 TEST(PrefixSpanTest, EmptyDatabase) {
-  EXPECT_TRUE(PrefixSpan({}, {}).empty());
+  EXPECT_TRUE(PrefixSpan(std::vector<Sequence>{}, {}).empty());
+  EXPECT_TRUE(PrefixSpan(FlatSequenceDb{}, {}).empty());
 }
 
 TEST(PrefixSpanTest, MaxLengthBoundsGrowth) {
@@ -123,6 +125,58 @@ TEST_P(PrefixSpanOracleTest, MatchesBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(Supports, PrefixSpanOracleTest,
                          ::testing::Values(2, 3, 5, 8));
+
+// --- Pseudo-projection vs reference ------------------------------------------
+
+/// Asserts the two pattern lists are byte-identical: same patterns, same
+/// supporter lists, same order.
+void ExpectIdenticalPatterns(const std::vector<SequentialPattern>& got,
+                             const std::vector<SequentialPattern>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].items, want[i].items) << "pattern " << i;
+    EXPECT_EQ(got[i].supporting_sequences, want[i].supporting_sequences)
+        << "pattern " << i;
+  }
+}
+
+/// Randomized databases: the pseudo-projection miner must emit exactly what
+/// the map-based reference emits — same patterns, supporters and order —
+/// regardless of thread count (top-level subtrees are concatenated in item
+/// order) and of which database representation feeds it.
+TEST(PrefixSpanTest, PseudoProjectionByteIdenticalToReference) {
+  for (uint64_t seed : {11u, 29u, 47u}) {
+    Rng rng(seed);
+    std::vector<Sequence> db;
+    FlatSequenceDb flat;
+    flat.offsets.push_back(0);
+    for (int s = 0; s < 60; ++s) {
+      Sequence seq;
+      int len = static_cast<int>(rng.UniformInt(0, 9));
+      for (int i = 0; i < len; ++i) {
+        // Sparse item values exercise the dense alphabet recode.
+        seq.push_back(static_cast<Item>(rng.UniformInt(0, 6) * 97 + 5));
+      }
+      flat.items.insert(flat.items.end(), seq.begin(), seq.end());
+      flat.offsets.push_back(static_cast<uint32_t>(flat.items.size()));
+      db.push_back(std::move(seq));
+    }
+    for (bool closed : {false, true}) {
+      PrefixSpanOptions options;
+      options.min_support = 3;
+      options.min_length = 1;
+      options.max_length = 5;
+      options.closed_only = closed;
+      auto want = PrefixSpanReference(db, options);
+      for (size_t threads : {size_t{1}, size_t{4}}) {
+        SetDefaultParallelism(threads);
+        ExpectIdenticalPatterns(PrefixSpan(db, options), want);
+        ExpectIdenticalPatterns(PrefixSpan(flat, options), want);
+      }
+      SetDefaultParallelism(0);  // restore environment default
+    }
+  }
+}
 
 // --- FindEmbedding -----------------------------------------------------------
 

@@ -1,14 +1,16 @@
 // bench_diff — compares two BENCH_pipeline.json benchmark trajectories
-// (see bench/bench_common.h for the schema) and flags per-stage wall-clock
-// regressions.
+// (see bench/bench_common.h for the schema) and flags per-stage
+// regressions in wall-clock time and, when both files carry an "allocs"
+// object, in allocation counts.
 //
 /// Usage:
 //   bench_diff baseline.json current.json [threshold]
 //
-// Runs are matched by their "scale" field; every stage whose time grew by
-// more than `threshold` (default 0.15 = 15%) is flagged. Exit status: 0
-// when no stage regressed, 1 on regression, 2 on usage/parse errors.
-// Sub-millisecond stages are ignored — their relative noise dwarfs any
+// Runs are matched by their "scale" field; every stage whose time or
+// allocation count grew by more than `threshold` (default 0.15 = 15%) is
+// flagged. Exit status: 0 when nothing regressed, 1 on regression, 2 on
+// usage/parse errors. Sub-millisecond stages and stages under 100
+// baseline allocations are ignored — their relative noise dwarfs any
 // real signal.
 
 #include <cstdio>
@@ -171,8 +173,16 @@ bool LoadJson(const char* path, Json* out) {
   return true;
 }
 
-/// scale -> (stage name -> seconds), stages in file order.
-using RunTable = std::map<double, std::vector<std::pair<std::string, double>>>;
+/// One comparable quantity of a run: a stage's wall-clock seconds or its
+/// allocation count (from the optional "allocs" object).
+struct Entry {
+  std::string name;
+  double value = 0.0;
+  bool is_alloc = false;
+};
+
+/// scale -> entries in file order (stages first, then allocs, then total).
+using RunTable = std::map<double, std::vector<Entry>>;
 
 bool ExtractRuns(const Json& root, const char* path, RunTable* out) {
   const Json* runs = root.Find("runs");
@@ -191,10 +201,16 @@ bool ExtractRuns(const Json& root, const char* path, RunTable* out) {
     }
     auto& entry = (*out)[scale->number];
     for (const auto& [name, seconds] : stages->object) {
-      entry.emplace_back(name, seconds.number);
+      entry.push_back({name, seconds.number, false});
+    }
+    const Json* allocs = run.Find("allocs");
+    if (allocs != nullptr && allocs->kind == Json::Kind::kObject) {
+      for (const auto& [name, count] : allocs->object) {
+        entry.push_back({name, count.number, true});
+      }
     }
     const Json* total = run.Find("total_seconds");
-    if (total != nullptr) entry.emplace_back("total", total->number);
+    if (total != nullptr) entry.push_back({"total", total->number, false});
   }
   return true;
 }
@@ -202,6 +218,34 @@ bool ExtractRuns(const Json& root, const char* path, RunTable* out) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      std::printf(
+          "usage: bench_diff baseline.json current.json [threshold]\n"
+          "\n"
+          "Compares two BENCH_pipeline.json trajectories written by\n"
+          "bench/perf_scaling (schema in bench/bench_common.h). Runs are\n"
+          "matched by \"scale\"; for every stage the wall-clock time and\n"
+          "(when both files carry an \"allocs\" object) the allocation\n"
+          "count are compared.\n"
+          "\n"
+          "threshold is the fractional growth tolerated before a stage is\n"
+          "flagged as a regression; the default 0.15 flags anything more\n"
+          "than 15%% slower (or 15%% more allocating) than the baseline.\n"
+          "Stages under 1 ms or under 100 allocations in the baseline are\n"
+          "skipped as noise. Improvements never flag.\n"
+          "\n"
+          "exit status: 0 no regression, 1 regression, 2 usage/parse "
+          "error.\n"
+          "\n"
+          "The committed repo-root BENCH_pipeline.json is the reference\n"
+          "trajectory: run ./build/bench/perf_scaling with CSD_BENCH_JSON\n"
+          "set to a scratch path and diff against the committed file\n"
+          "(tools/check.sh does exactly this).\n");
+      return 0;
+    }
+  }
   if (argc < 3 || argc > 4) {
     std::fprintf(stderr,
                  "usage: bench_diff baseline.json current.json "
@@ -217,8 +261,9 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  // Stages faster than this in the baseline are pure timer noise.
+  // Stages faster / smaller than these in the baseline are pure noise.
   constexpr double kMinSeconds = 1e-3;
+  constexpr double kMinAllocs = 100.0;
 
   Json baseline_json, current_json;
   if (!LoadJson(argv[1], &baseline_json) || !LoadJson(argv[2], &current_json))
@@ -228,7 +273,7 @@ int main(int argc, char** argv) {
       !ExtractRuns(current_json, argv[2], &current))
     return 2;
 
-  std::printf("%-8s %-12s %12s %12s %9s\n", "scale", "stage", "baseline",
+  std::printf("%-8s %-18s %12s %12s %9s\n", "scale", "stage", "baseline",
               "current", "delta");
   int regressions = 0;
   for (const auto& [scale, stages] : baseline) {
@@ -237,25 +282,35 @@ int main(int argc, char** argv) {
       std::printf("%-8g (missing from %s)\n", scale, argv[2]);
       continue;
     }
-    for (const auto& [name, base_s] : stages) {
+    for (const Entry& base : stages) {
       double cur_s = -1.0;
-      for (const auto& [cur_name, s] : it->second) {
-        if (cur_name == name) {
-          cur_s = s;
+      for (const Entry& cur : it->second) {
+        if (cur.name == base.name && cur.is_alloc == base.is_alloc) {
+          cur_s = cur.value;
           break;
         }
       }
+      std::string label =
+          base.is_alloc ? base.name + " allocs" : base.name;
       if (cur_s < 0.0) {
-        std::printf("%-8g %-12s %12.3f %12s\n", scale, name.c_str(), base_s,
-                    "(missing)");
+        std::printf("%-8g %-18s %12.3f %12s\n", scale, label.c_str(),
+                    base.value, "(missing)");
         continue;
       }
-      double delta = base_s > 0.0 ? (cur_s - base_s) / base_s : 0.0;
-      bool flagged = base_s >= kMinSeconds && delta > threshold;
+      double delta =
+          base.value > 0.0 ? (cur_s - base.value) / base.value : 0.0;
+      double floor = base.is_alloc ? kMinAllocs : kMinSeconds;
+      bool flagged = base.value >= floor && delta > threshold;
       if (flagged) ++regressions;
-      std::printf("%-8g %-12s %11.3fs %11.3fs %+8.1f%%%s\n", scale,
-                  name.c_str(), base_s, cur_s, 100.0 * delta,
-                  flagged ? "  << REGRESSION" : "");
+      if (base.is_alloc) {
+        std::printf("%-8g %-18s %12.0f %12.0f %+8.1f%%%s\n", scale,
+                    label.c_str(), base.value, cur_s, 100.0 * delta,
+                    flagged ? "  << REGRESSION" : "");
+      } else {
+        std::printf("%-8g %-18s %11.3fs %11.3fs %+8.1f%%%s\n", scale,
+                    label.c_str(), base.value, cur_s, 100.0 * delta,
+                    flagged ? "  << REGRESSION" : "");
+      }
     }
   }
   if (regressions > 0) {

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Local CI gate: sanitizer build + tests, then a bench regression check
+# against the committed BENCH_pipeline.json reference trajectory.
+#
+# usage: tools/check.sh [preset]
+#   preset   sanitizer configure preset to run the tests under
+#            (default: asan-ubsan; "tsan" exercises the thread pool)
+#
+# Steps:
+#   1. configure + build the sanitizer preset (CMakePresets.json)
+#   2. ctest under the sanitizer
+#   3. build the default preset's perf_scaling + bench_diff, record a
+#      fresh trajectory, and diff it against the committed baseline
+#      (threshold documented in `bench_diff --help`; improvements never
+#      flag, so the committed pre-rewrite baseline only guards against
+#      sliding back)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PRESET="${1:-asan-ubsan}"
+
+echo "== [1/3] sanitizer build (${PRESET}) =="
+cmake --preset "${PRESET}"
+cmake --build --preset "${PRESET}" -j
+echo "== [2/3] ctest (${PRESET}) =="
+ctest --preset "${PRESET}" -j
+
+echo "== [3/3] bench regression check vs committed BENCH_pipeline.json =="
+cmake --preset default
+cmake --build --preset default -j --target perf_scaling bench_diff
+scratch="$(mktemp /tmp/BENCH_pipeline.XXXXXX.json)"
+trap 'rm -f "${scratch}"' EXIT
+CSD_BENCH_JSON="${scratch}" ./build/bench/perf_scaling >/dev/null
+./build/tools/bench_diff BENCH_pipeline.json "${scratch}"
+
+echo "check.sh: all gates passed"
