@@ -1,6 +1,8 @@
 #ifndef CSD_BENCH_BENCH_COMMON_H_
 #define CSD_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -8,6 +10,7 @@
 #include <vector>
 
 #include "miner/pervasive_miner.h"
+#include "obs/trace.h"
 #include "synth/city_generator.h"
 #include "synth/trip_generator.h"
 #include "traj/journey.h"
@@ -168,6 +171,42 @@ struct StageTiming {
   uint64_t allocations = 0;
 };
 
+/// One named span's aggregate within a benchmark run: total seconds and
+/// occurrence count, summed over every instance of that span name.
+struct SpanAggregate {
+  std::string name;
+  double seconds = 0.0;
+  uint64_t count = 0;
+};
+
+/// Aggregates everything currently in the tracer by span name: total
+/// seconds and occurrence count per name, sorted by name for a stable JSON
+/// diff. Benches call Tracer::Get().Clear() before a measured region and
+/// this afterwards to scope the aggregate to one run.
+inline std::vector<SpanAggregate> CollectSpanAggregates() {
+  std::vector<SpanAggregate> aggregates;
+  for (const obs::SpanEvent& e : obs::Tracer::Get().Snapshot()) {
+    SpanAggregate* slot = nullptr;
+    for (SpanAggregate& a : aggregates) {
+      if (a.name == e.name) {
+        slot = &a;
+        break;
+      }
+    }
+    if (slot == nullptr) {
+      aggregates.push_back({e.name, 0.0, 0});
+      slot = &aggregates.back();
+    }
+    slot->seconds += static_cast<double>(e.duration_ns) * 1e-9;
+    slot->count += 1;
+  }
+  std::sort(aggregates.begin(), aggregates.end(),
+            [](const SpanAggregate& a, const SpanAggregate& b) {
+              return a.name < b.name;
+            });
+  return aggregates;
+}
+
 /// One dataset-scale point of a pipeline benchmark: the dataset shape, the
 /// per-stage wall-clock times, and the mining outcome.
 struct PipelineBenchRun {
@@ -177,6 +216,7 @@ struct PipelineBenchRun {
   size_t journeys = 0;
   size_t patterns = 0;
   std::vector<StageTiming> stages;
+  std::vector<SpanAggregate> spans;
 
   double TotalSeconds() const {
     double total = 0.0;
@@ -203,8 +243,11 @@ struct PipelineBenchRun {
 /// The "allocs" object (operator-new calls per stage, from
 /// bench/alloc_interposer.cc) is emitted only when at least one stage
 /// counted an allocation, so binaries without the interposer keep the
-/// original schema. Returns false (with a note on stderr) when the file
-/// cannot be opened.
+/// original schema. Likewise, runs that collected tracer spans gain a
+///   "spans": {"csd_build/popularity": {"seconds": 0.12, "count": 1}, ...}
+/// object (total seconds and occurrences per span name); bench_diff reads
+/// only the keys it knows, so both objects are additive. Returns false
+/// (with a note on stderr) when the file cannot be opened.
 inline bool WritePipelineJson(const std::string& path, const char* bench_name,
                               const std::vector<PipelineBenchRun>& runs) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -237,6 +280,16 @@ inline bool WritePipelineJson(const std::string& path, const char* bench_name,
                      run.stages[s].name.c_str(),
                      static_cast<unsigned long long>(
                          run.stages[s].allocations));
+      }
+      std::fprintf(f, "},\n");
+    }
+    if (!run.spans.empty()) {
+      std::fprintf(f, "      \"spans\": {");
+      for (size_t s = 0; s < run.spans.size(); ++s) {
+        std::fprintf(f, "%s\"%s\": {\"seconds\": %.6f, \"count\": %llu}",
+                     s == 0 ? "" : ", ", run.spans[s].name.c_str(),
+                     run.spans[s].seconds,
+                     static_cast<unsigned long long>(run.spans[s].count));
       }
       std::fprintf(f, "},\n");
     }

@@ -17,7 +17,14 @@
 
 int main() {
   using namespace csd;
-  std::printf("== Scaling: end-to-end runtime vs dataset size ==\n\n");
+  // Spans ride along with the timings by default so BENCH_pipeline.json
+  // carries the per-stage breakdown; CSD_TRACE=0 measures the pure
+  // disabled path instead.
+  const char* trace_env = std::getenv("CSD_TRACE");
+  bool tracing = trace_env == nullptr || std::string(trace_env) != "0";
+  obs::SetEnabled(tracing);
+  std::printf("== Scaling: end-to-end runtime vs dataset size ==\n");
+  std::printf("(tracing %s)\n\n", tracing ? "enabled" : "disabled");
   std::printf("%8s %8s %9s | %10s %10s %10s | %9s\n", "POIs", "agents",
               "journeys", "csd build", "annotate", "mine", "#patterns");
 
@@ -38,6 +45,7 @@ int main() {
       db[i].id = static_cast<TrajectoryId>(i);
     }
 
+    obs::Tracer::Get().Clear();
     Stopwatch watch;
     uint64_t a0 = bench::AllocationCount();
     MinerConfig config;
@@ -78,6 +86,7 @@ int main() {
     run.stages = {{"csd_build", t_build, a_build},
                   {"annotate", t_annotate, a_annotate},
                   {"mine", t_mine, a_mine}};
+    run.spans = bench::CollectSpanAggregates();
     runs.push_back(std::move(run));
   }
   std::printf("\n(threads: CSD_THREADS env or min(hardware, 8); pool of %zu)\n",

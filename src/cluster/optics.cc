@@ -7,6 +7,8 @@
 #include <span>
 
 #include "index/grid_index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/parallel.h"
 
@@ -280,6 +282,15 @@ Clustering ExtractClustersAuto(const OpticsResult& optics,
 
 Clustering OpticsCluster(const std::vector<Vec2>& points, size_t min_pts,
                          double max_eps) {
+  CSD_TRACE_SPAN("optics/run");
+  static obs::Counter& runs_counter = obs::MetricsRegistry::Get().GetCounter(
+      "csd_optics_runs_total", "OPTICS clustering invocations");
+  static obs::Histogram& points_hist =
+      obs::MetricsRegistry::Get().GetHistogram(
+          "csd_optics_points", "Points per OPTICS invocation",
+          {8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0});
+  runs_counter.Increment();
+  points_hist.Observe(static_cast<double>(points.size()));
   OpticsOptions options;
   options.max_eps = max_eps;
   options.min_pts = std::max<size_t>(min_pts, 2);

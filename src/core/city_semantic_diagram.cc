@@ -1,7 +1,9 @@
 #include "core/city_semantic_diagram.h"
 
 #include <algorithm>
+#include <optional>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace csd {
@@ -56,25 +58,41 @@ CsdBuilder::CsdBuilder(CsdBuildOptions options) : options_(options) {
 
 CitySemanticDiagram CsdBuilder::Build(
     const PoiDatabase& pois, const std::vector<StayPoint>& stays) const {
-  PopularityModel popularity(pois, stays, options_.r3sigma);
+  CSD_TRACE_SPAN("pipeline/csd_build");
+
+  std::optional<PopularityModel> popularity_holder;
+  {
+    CSD_TRACE_SPAN("csd_build/popularity");
+    popularity_holder.emplace(pois, stays, options_.r3sigma);
+  }
+  PopularityModel& popularity = *popularity_holder;
 
   // Step 1: popularity-based clustering (Algorithm 1).
-  PopularityClusteringResult coarse =
-      PopularityBasedClustering(pois, popularity, options_.clustering);
+  PopularityClusteringResult coarse;
+  {
+    CSD_TRACE_SPAN("csd_build/popularity_clustering");
+    coarse = PopularityBasedClustering(pois, popularity, options_.clustering);
+  }
 
   // Step 2: semantic purification (Algorithm 2).
-  std::vector<std::vector<PoiId>> purified =
-      options_.enable_purification
-          ? SemanticPurification(std::move(coarse.clusters), pois,
-                                 options_.purification)
-          : std::move(coarse.clusters);
+  std::vector<std::vector<PoiId>> purified;
+  {
+    CSD_TRACE_SPAN("csd_build/purification");
+    purified = options_.enable_purification
+                   ? SemanticPurification(std::move(coarse.clusters), pois,
+                                          options_.purification)
+                   : std::move(coarse.clusters);
+  }
 
   // Step 3: semantic unit merging.
-  std::vector<std::vector<PoiId>> merged =
-      options_.enable_merging
-          ? SemanticUnitMerging(purified, coarse.unclustered, pois,
-                                popularity, options_.merging)
-          : std::move(purified);
+  std::vector<std::vector<PoiId>> merged;
+  {
+    CSD_TRACE_SPAN("csd_build/unit_merging");
+    merged = options_.enable_merging
+                 ? SemanticUnitMerging(purified, coarse.unclustered, pois,
+                                       popularity, options_.merging)
+                 : std::move(purified);
+  }
 
   std::vector<SemanticUnit> units;
   units.reserve(merged.size());

@@ -6,12 +6,15 @@
 
 #include "cluster/optics.h"
 #include "geo/stats.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace csd {
 
 std::vector<CoarsePattern> MineCoarsePatterns(
     const SemanticTrajectoryDb& db, const ExtractionOptions& options) {
+  CSD_TRACE_SPAN("extract/mine_coarse");
   // Encode each trajectory as the sequence of its stay points' semantic
   // property bitmasks; stay points with empty (unrecognized) semantics are
   // skipped, with an index map back to the original stay positions. Both
@@ -88,6 +91,7 @@ Timestamp MemberTime(const CoarsePattern::Member& member,
 std::vector<FineGrainedPattern> RefineByCounterpartCluster(
     const CoarsePattern& coarse, const SemanticTrajectoryDb& db,
     const ExtractionOptions& options) {
+  CSD_TRACE_SPAN("extract/refine");
   std::vector<FineGrainedPattern> result;
   size_t m = coarse.length();
   size_t n = coarse.support();
@@ -198,10 +202,17 @@ std::vector<FineGrainedPattern> RefineByCounterpartCluster(
 
 std::vector<FineGrainedPattern> CounterpartClusterExtract(
     const SemanticTrajectoryDb& db, const ExtractionOptions& options) {
+  static obs::Counter& coarse_counter = obs::MetricsRegistry::Get().GetCounter(
+      "csd_coarse_patterns_total", "Coarse patterns mined by PrefixSpan");
+  static obs::Counter& fine_counter = obs::MetricsRegistry::Get().GetCounter(
+      "csd_fine_patterns_total",
+      "Fine-grained patterns produced by counterpart clustering");
   std::vector<FineGrainedPattern> patterns;
   for (const CoarsePattern& coarse : MineCoarsePatterns(db, options)) {
+    coarse_counter.Increment();
     std::vector<FineGrainedPattern> fine =
         RefineByCounterpartCluster(coarse, db, options);
+    fine_counter.Increment(fine.size());
     patterns.insert(patterns.end(), std::make_move_iterator(fine.begin()),
                     std::make_move_iterator(fine.end()));
   }

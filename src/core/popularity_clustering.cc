@@ -2,6 +2,7 @@
 
 #include <span>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/parallel.h"
 
@@ -156,6 +157,16 @@ PopularityClusteringResult PopularityBasedClustering(
   for (PoiId pid = 0; pid < n; ++pid) {
     if (!in_cluster[pid]) result.unclustered.push_back(pid);
   }
+  static obs::Counter& clusters_counter =
+      obs::MetricsRegistry::Get().GetCounter(
+          "csd_popularity_clusters_total",
+          "Coarse clusters kept by popularity-based clustering");
+  static obs::Counter& unclustered_counter =
+      obs::MetricsRegistry::Get().GetCounter(
+          "csd_unclustered_pois_total",
+          "POIs left unclustered by popularity-based clustering");
+  clusters_counter.Increment(result.clusters.size());
+  unclustered_counter.Increment(result.unclustered.size());
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include <deque>
 
 #include "geo/stats.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/parallel.h"
 
@@ -72,6 +73,9 @@ double KlDivergence(const std::array<double, kNumMajorCategories>& pr_i,
 std::vector<std::vector<PoiId>> SemanticPurification(
     std::vector<std::vector<PoiId>> coarse_clusters, const PoiDatabase& pois,
     const PurificationOptions& options) {
+  static obs::Counter& splits_counter = obs::MetricsRegistry::Get().GetCounter(
+      "csd_purification_splits_total",
+      "Cluster splits performed by semantic purification");
   std::deque<std::vector<PoiId>> work(
       std::make_move_iterator(coarse_clusters.begin()),
       std::make_move_iterator(coarse_clusters.end()));
@@ -133,7 +137,11 @@ std::vector<std::vector<PoiId>> SemanticPurification(
     }
     work.push_back(std::move(keep));
     work.push_back(std::move(split));
+    splits_counter.Increment();
   }
+  static obs::Counter& units_counter = obs::MetricsRegistry::Get().GetCounter(
+      "csd_purified_units_total", "Semantic units emitted by purification");
+  units_counter.Increment(units.size());
   return units;
 }
 

@@ -2,16 +2,30 @@
 
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/dense_scratch.h"
 #include "util/parallel.h"
 
 namespace csd {
 
+namespace {
+
+obs::Counter& StaysAnnotatedCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Get().GetCounter(
+      "csd_stays_annotated_total",
+      "Stay points run through semantic recognition");
+  return counter;
+}
+
+}  // namespace
+
 void SemanticRecognizer::Annotate(SemanticTrajectory* trajectory) const {
   for (StayPoint& sp : trajectory->stays) {
     sp.semantic = Recognize(sp.position);
   }
+  // Batched per trajectory so the hot per-stay loop stays untouched.
+  StaysAnnotatedCounter().Increment(trajectory->stays.size());
 }
 
 void SemanticRecognizer::AnnotateDatabase(SemanticTrajectoryDb* db) const {

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/parallel.h"
 
@@ -200,6 +201,9 @@ std::vector<std::vector<PoiId>> SemanticUnitMerging(
                 options.keep_unmerged_singletons;
     if (keep) result.push_back(std::move(members));
   }
+  static obs::Counter& merged_counter = obs::MetricsRegistry::Get().GetCounter(
+      "csd_merged_units_total", "Semantic units emitted by unit merging");
+  merged_counter.Increment(result.size());
   return result;
 }
 

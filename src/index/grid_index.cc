@@ -3,12 +3,21 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace csd {
 
 GridIndex::GridIndex(std::vector<Vec2> points, double cell_size)
     : points_(std::move(points)), cell_size_(cell_size) {
+  // Build-time counters only: OPTICS constructs a GridIndex per run, so
+  // per-query instrumentation would sit on the hottest loop in the miner.
+  static obs::Counter& builds_counter = obs::MetricsRegistry::Get().GetCounter(
+      "csd_grid_index_builds_total", "GridIndex constructions");
+  static obs::Counter& points_counter = obs::MetricsRegistry::Get().GetCounter(
+      "csd_grid_index_points_total", "Points indexed across GridIndex builds");
+  builds_counter.Increment();
+  points_counter.Increment(points_.size());
   CSD_CHECK_MSG(cell_size_ > 0.0, "grid cell size must be positive");
   CSD_CHECK_MSG(points_.size() < (size_t{1} << 32),
                 "GridIndex addresses points with 32-bit payload indices");

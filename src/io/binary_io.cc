@@ -1,13 +1,22 @@
 #include "io/binary_io.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 
+#include "obs/trace.h"
 #include "util/strings.h"
 
 namespace csd {
 
 namespace {
+
+/// Upper bound on elements reserved ahead of reading them. A corrupt
+/// header can claim any count; trusting it would hand std::vector an
+/// attacker-controlled allocation before the stream length is known.
+/// Growth past this bound happens organically via push_back.
+constexpr uint64_t kMaxReserve = uint64_t{1} << 20;
 
 constexpr char kJourneyMagic[4] = {'C', 'S', 'D', 'J'};
 constexpr char kCsdMagic[4] = {'C', 'S', 'D', 'U'};
@@ -87,6 +96,7 @@ Status WriteJourneysBinary(const std::string& path,
 
 Result<std::vector<TaxiJourney>> ReadJourneysBinary(
     const std::string& path) {
+  CSD_TRACE_SPAN("io/read_journeys_binary");
   BinaryReader reader(path);
   if (!reader.ok()) {
     return Status::IoError("cannot open '" + path + "' for reading");
@@ -104,7 +114,7 @@ Result<std::vector<TaxiJourney>> ReadJourneysBinary(
     return Status::ParseError("truncated journey file header");
   }
   std::vector<TaxiJourney> journeys;
-  journeys.reserve(count);
+  journeys.reserve(std::min(count, kMaxReserve));
   for (uint64_t i = 0; i < count; ++i) {
     TaxiJourney j;
     bool ok = reader.Read(&j.pickup.position.x) &&
@@ -116,6 +126,14 @@ Result<std::vector<TaxiJourney>> ReadJourneysBinary(
     if (!ok) {
       return Status::ParseError(
           StrFormat("truncated journey file at record %llu",
+                    static_cast<unsigned long long>(i)));
+    }
+    if (!std::isfinite(j.pickup.position.x) ||
+        !std::isfinite(j.pickup.position.y) ||
+        !std::isfinite(j.dropoff.position.x) ||
+        !std::isfinite(j.dropoff.position.y)) {
+      return Status::ParseError(
+          StrFormat("non-finite coordinate at record %llu",
                     static_cast<unsigned long long>(i)));
     }
     journeys.push_back(j);
@@ -170,6 +188,9 @@ Result<CitySemanticDiagram> ReadCsdBinary(const std::string& path,
     if (!reader.Read(&pop)) {
       return Status::ParseError("truncated popularity vector");
     }
+    if (!std::isfinite(pop)) {
+      return Status::ParseError("non-finite popularity value");
+    }
   }
   uint64_t num_units = 0;
   if (!reader.Read(&num_units) || num_units > num_pois) {
@@ -179,7 +200,11 @@ Result<CitySemanticDiagram> ReadCsdBinary(const std::string& path,
     return Status::ParseError("corrupt CSD snapshot unit count");
   }
   std::vector<SemanticUnit> units;
-  units.reserve(num_units);
+  units.reserve(std::min(num_units, kMaxReserve));
+  // Membership must be disjoint across units: the CitySemanticDiagram
+  // constructor CHECK-fails on duplicates, so a corrupt snapshot has to be
+  // rejected here with a Status instead of reaching that abort.
+  std::vector<char> claimed(pois.size(), 0);
   for (uint64_t u = 0; u < num_units; ++u) {
     uint64_t count = 0;
     if (!reader.Read(&count) || count == 0 || count > num_pois) {
@@ -193,6 +218,10 @@ Result<CitySemanticDiagram> ReadCsdBinary(const std::string& path,
       if (pid >= pois.size()) {
         return Status::ParseError("unit references an unknown POI id");
       }
+      if (claimed[pid]) {
+        return Status::ParseError("POI claimed by two semantic units");
+      }
+      claimed[pid] = 1;
     }
     units.push_back(MakeSemanticUnit(static_cast<UnitId>(u),
                                      std::move(members), pois, popularity));

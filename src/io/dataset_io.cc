@@ -1,9 +1,27 @@
 #include "io/dataset_io.h"
 
+#include <cmath>
+
 #include "io/csv.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 
 namespace csd {
+
+namespace {
+
+/// Rejects the coordinate values strtod happily parses but no geometry
+/// downstream can digest ("nan", "inf", overflowing exponents): every
+/// distance or popularity computed from them would silently poison a
+/// whole run instead of failing the ingest.
+Status CheckFiniteCoord(double v, const std::string& path,
+                        size_t line_number) {
+  if (std::isfinite(v)) return Status::OK();
+  return Status::ParseError(
+      StrFormat("%s:%zu: non-finite coordinate", path.c_str(), line_number));
+}
+
+}  // namespace
 
 Status WritePoisCsv(const std::string& path, const std::vector<Poi>& pois) {
   CSD_ASSIGN_OR_RETURN(CsvWriter writer, CsvWriter::Open(path));
@@ -19,6 +37,7 @@ Status WritePoisCsv(const std::string& path, const std::vector<Poi>& pois) {
 }
 
 Result<std::vector<Poi>> ReadPoisCsv(const std::string& path) {
+  CSD_TRACE_SPAN("io/read_pois_csv");
   CSD_ASSIGN_OR_RETURN(CsvReader reader, CsvReader::Open(path));
   const CategoryTaxonomy& taxonomy = CategoryTaxonomy::Get();
   std::vector<Poi> pois;
@@ -32,6 +51,8 @@ Result<std::vector<Poi>> ReadPoisCsv(const std::string& path) {
     CSD_ASSIGN_OR_RETURN(int64_t id, ParseInt64(fields[0]));
     CSD_ASSIGN_OR_RETURN(double x, ParseDouble(fields[1]));
     CSD_ASSIGN_OR_RETURN(double y, ParseDouble(fields[2]));
+    CSD_RETURN_NOT_OK(CheckFiniteCoord(x, path, reader.line_number()));
+    CSD_RETURN_NOT_OK(CheckFiniteCoord(y, path, reader.line_number()));
     CSD_ASSIGN_OR_RETURN(MinorCategoryId minor,
                          taxonomy.MinorFromName(TrimString(fields[3])));
     pois.emplace_back(static_cast<PoiId>(id), Vec2{x, y}, minor);
@@ -59,6 +80,7 @@ Status WriteJourneysCsv(const std::string& path,
 }
 
 Result<std::vector<TaxiJourney>> ReadJourneysCsv(const std::string& path) {
+  CSD_TRACE_SPAN("io/read_journeys_csv");
   CSD_ASSIGN_OR_RETURN(CsvReader reader, CsvReader::Open(path));
   std::vector<TaxiJourney> journeys;
   std::vector<std::string> fields;
@@ -76,6 +98,10 @@ Result<std::vector<TaxiJourney>> ReadJourneysCsv(const std::string& path) {
     CSD_ASSIGN_OR_RETURN(double dy, ParseDouble(fields[4]));
     CSD_ASSIGN_OR_RETURN(int64_t dt, ParseInt64(fields[5]));
     CSD_ASSIGN_OR_RETURN(int64_t passenger, ParseInt64(fields[6]));
+    CSD_RETURN_NOT_OK(CheckFiniteCoord(px, path, reader.line_number()));
+    CSD_RETURN_NOT_OK(CheckFiniteCoord(py, path, reader.line_number()));
+    CSD_RETURN_NOT_OK(CheckFiniteCoord(dx, path, reader.line_number()));
+    CSD_RETURN_NOT_OK(CheckFiniteCoord(dy, path, reader.line_number()));
     j.pickup = GpsPoint({px, py}, pt);
     j.dropoff = GpsPoint({dx, dy}, dt);
     j.passenger = passenger < 0 ? kNoPassenger

@@ -1,5 +1,6 @@
 #include "miner/pervasive_miner.h"
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace csd {
@@ -45,6 +46,7 @@ PervasiveMiner::PervasiveMiner(const PoiDatabase* pois,
 
 SemanticTrajectoryDb PervasiveMiner::AnnotateFor(
     RecognizerKind kind, SemanticTrajectoryDb db) const {
+  CSD_TRACE_SPAN("pipeline/annotate");
   const SemanticRecognizer& recognizer =
       kind == RecognizerKind::kCsd
           ? static_cast<const SemanticRecognizer&>(csd_recognizer_)
@@ -57,20 +59,26 @@ MiningResult PervasiveMiner::ExtractAndEvaluate(
     ExtractorKind kind, const SemanticTrajectoryDb& annotated,
     const ExtractionOptions& extraction) const {
   MiningResult result;
-  switch (kind) {
-    case ExtractorKind::kPervasiveMiner:
-      result.patterns = CounterpartClusterExtract(annotated, extraction);
-      break;
-    case ExtractorKind::kSplitter:
-      result.patterns =
-          SplitterExtract(annotated, extraction, config_.splitter);
-      break;
-    case ExtractorKind::kSdbscan:
-      result.patterns =
-          SdbscanExtract(annotated, extraction, config_.sdbscan);
-      break;
+  {
+    CSD_TRACE_SPAN("pipeline/extract");
+    switch (kind) {
+      case ExtractorKind::kPervasiveMiner:
+        result.patterns = CounterpartClusterExtract(annotated, extraction);
+        break;
+      case ExtractorKind::kSplitter:
+        result.patterns =
+            SplitterExtract(annotated, extraction, config_.splitter);
+        break;
+      case ExtractorKind::kSdbscan:
+        result.patterns =
+            SdbscanExtract(annotated, extraction, config_.sdbscan);
+        break;
+    }
   }
-  result.metrics = EvaluateApproach(result.patterns, csd_recognizer_);
+  {
+    CSD_TRACE_SPAN("pipeline/evaluate");
+    result.metrics = EvaluateApproach(result.patterns, csd_recognizer_);
+  }
   return result;
 }
 

@@ -1,0 +1,283 @@
+#include "obs/metrics.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace csd::obs {
+
+namespace internal {
+
+size_t StripeIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return stripe;
+}
+
+}  // namespace internal
+
+Histogram::Histogram(std::string name, std::string help,
+                     std::vector<double> bounds)
+    : name_(std::move(name)),
+      help_(std::move(help)),
+      bounds_(std::move(bounds)),
+      cells_((bounds_.size() + 1) * internal::kStripes) {}
+
+void Histogram::Observe(double value) {
+  if (!Enabled()) return;
+  size_t bucket = 0;
+  while (bucket < bounds_.size() && value > bounds_[bucket]) ++bucket;
+  size_t stripe = internal::StripeIndex();
+  cells_[bucket * internal::kStripes + stripe].value.fetch_add(
+      1, std::memory_order_relaxed);
+  int64_t micros = static_cast<int64_t>(std::llround(value * 1e6));
+  sum_micros_[stripe].value.fetch_add(static_cast<uint64_t>(micros),
+                                      std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> counts(bounds_.size() + 1, 0);
+  for (size_t bucket = 0; bucket < counts.size(); ++bucket) {
+    for (size_t stripe = 0; stripe < internal::kStripes; ++stripe) {
+      counts[bucket] += cells_[bucket * internal::kStripes + stripe]
+                            .value.load(std::memory_order_relaxed);
+    }
+  }
+  return counts;
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (uint64_t count : BucketCounts()) total += count;
+  return total;
+}
+
+double Histogram::Sum() const {
+  // Stripes hold two's-complement micro-units, so negative observations
+  // cancel correctly when summed back through int64.
+  uint64_t total = 0;
+  for (const internal::Cell& cell : sum_micros_) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return static_cast<double>(static_cast<int64_t>(total)) * 1e-6;
+}
+
+void Histogram::Reset() {
+  for (internal::Cell& cell : cells_) {
+    cell.value.store(0, std::memory_order_relaxed);
+  }
+  for (internal::Cell& cell : sum_micros_) {
+    cell.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Get() {
+  // Leaked like Tracer::Get(): worker threads may still increment metrics
+  // while static destructors run.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+namespace {
+
+[[noreturn]] void DieOnKindMismatch(std::string_view name) {
+  std::fprintf(stderr,
+               "MetricsRegistry: metric '%.*s' already registered as a "
+               "different kind\n",
+               static_cast<int>(name.size()), name.data());
+  std::abort();
+}
+
+bool AnyHasName(const auto& metrics, std::string_view name) {
+  for (const auto& metric : metrics) {
+    if (metric->name() == name) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& counter : counters_) {
+    if (counter->name() == name) return *counter;
+  }
+  if (AnyHasName(gauges_, name) || AnyHasName(histograms_, name)) {
+    DieOnKindMismatch(name);
+  }
+  counters_.push_back(std::unique_ptr<Counter>(
+      new Counter(std::string(name), std::string(help))));
+  return *counters_.back();
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name,
+                                 std::string_view help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& gauge : gauges_) {
+    if (gauge->name() == name) return *gauge;
+  }
+  if (AnyHasName(counters_, name) || AnyHasName(histograms_, name)) {
+    DieOnKindMismatch(name);
+  }
+  gauges_.push_back(
+      std::unique_ptr<Gauge>(new Gauge(std::string(name), std::string(help))));
+  return *gauges_.back();
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view help,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& histogram : histograms_) {
+    if (histogram->name() == name) return *histogram;
+  }
+  if (AnyHasName(counters_, name) || AnyHasName(gauges_, name)) {
+    DieOnKindMismatch(name);
+  }
+  histograms_.push_back(std::unique_ptr<Histogram>(new Histogram(
+      std::string(name), std::string(help), std::move(bounds))));
+  return *histograms_.back();
+}
+
+namespace {
+
+void AppendHeader(std::string& out, const std::string& name,
+                  const std::string& help, const char* type) {
+  out += "# HELP " + name + " " + help + "\n";
+  out += "# TYPE " + name + " " + std::string(type) + "\n";
+}
+
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  char line[256];
+  for (const auto& counter : counters_) {
+    AppendHeader(out, counter->name(), counter->help(), "counter");
+    std::snprintf(line, sizeof(line), "%s %llu\n", counter->name().c_str(),
+                  static_cast<unsigned long long>(counter->Value()));
+    out += line;
+  }
+  for (const auto& gauge : gauges_) {
+    AppendHeader(out, gauge->name(), gauge->help(), "gauge");
+    out += gauge->name() + " " + FormatDouble(gauge->Value()) + "\n";
+  }
+  for (const auto& histogram : histograms_) {
+    AppendHeader(out, histogram->name(), histogram->help(), "histogram");
+    std::vector<uint64_t> counts = histogram->BucketCounts();
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < histogram->bounds().size(); ++i) {
+      cumulative += counts[i];
+      std::snprintf(line, sizeof(line), "%s_bucket{le=\"%s\"} %llu\n",
+                    histogram->name().c_str(),
+                    FormatDouble(histogram->bounds()[i]).c_str(),
+                    static_cast<unsigned long long>(cumulative));
+      out += line;
+    }
+    cumulative += counts.back();
+    std::snprintf(line, sizeof(line), "%s_bucket{le=\"+Inf\"} %llu\n",
+                  histogram->name().c_str(),
+                  static_cast<unsigned long long>(cumulative));
+    out += line;
+    out += histogram->name() + "_sum " + FormatDouble(histogram->Sum()) + "\n";
+    std::snprintf(line, sizeof(line), "%s_count %llu\n",
+                  histogram->name().c_str(),
+                  static_cast<unsigned long long>(cumulative));
+    out += line;
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\n  \"counters\": {";
+  char line[256];
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    std::snprintf(line, sizeof(line), "%s\n    \"%s\": %llu",
+                  i == 0 ? "" : ",", counters_[i]->name().c_str(),
+                  static_cast<unsigned long long>(counters_[i]->Value()));
+    out += line;
+  }
+  out += counters_.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (size_t i = 0; i < gauges_.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    out += "\"" + gauges_[i]->name() +
+           "\": " + FormatDouble(gauges_[i]->Value());
+  }
+  out += gauges_.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (size_t i = 0; i < histograms_.size(); ++i) {
+    const Histogram& h = *histograms_[i];
+    out += i == 0 ? "\n    " : ",\n    ";
+    out += "\"" + h.name() + "\": {\"bounds\": [";
+    for (size_t j = 0; j < h.bounds().size(); ++j) {
+      if (j != 0) out += ", ";
+      out += FormatDouble(h.bounds()[j]);
+    }
+    out += "], \"counts\": [";
+    std::vector<uint64_t> counts = h.BucketCounts();
+    for (size_t j = 0; j < counts.size(); ++j) {
+      if (j != 0) out += ", ";
+      std::snprintf(line, sizeof(line), "%llu",
+                    static_cast<unsigned long long>(counts[j]));
+      out += line;
+    }
+    std::snprintf(line, sizeof(line), "], \"sum\": %s, \"count\": %llu}",
+                  FormatDouble(h.Sum()).c_str(),
+                  static_cast<unsigned long long>(h.Count()));
+    out += line;
+  }
+  out += histograms_.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+namespace {
+
+bool WriteWholeFile(const std::string& path, const std::string& body,
+                    const char* what) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "MetricsRegistry: cannot open %s for %s\n",
+                 path.c_str(), what);
+    return false;
+  }
+  size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  bool closed = std::fclose(f) == 0;
+  bool ok = written == body.size() && closed;
+  if (!ok) {
+    std::fprintf(stderr, "MetricsRegistry: write failure on %s\n",
+                 path.c_str());
+  }
+  return ok;
+}
+
+}  // namespace
+
+bool MetricsRegistry::WritePrometheusFile(const std::string& path) const {
+  return WriteWholeFile(path, PrometheusText(), "Prometheus export");
+}
+
+bool MetricsRegistry::WriteJsonFile(const std::string& path) const {
+  return WriteWholeFile(path, ToJson(), "JSON export");
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& counter : counters_) counter->Reset();
+  for (const auto& gauge : gauges_) gauge->Reset();
+  for (const auto& histogram : histograms_) histogram->Reset();
+}
+
+}  // namespace csd::obs

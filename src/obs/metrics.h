@@ -1,0 +1,182 @@
+#ifndef CSD_OBS_METRICS_H_
+#define CSD_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace csd::obs {
+
+namespace internal {
+
+/// Number of independent accumulation cells per metric. Each thread hashes
+/// to one cell and increments it with a relaxed atomic add, so concurrent
+/// writers from a ParallelFor almost never share a cache line; readers sum
+/// the cells on scrape. 16 cells cover ThreadPool's 8-lane default with
+/// headroom.
+constexpr size_t kStripes = 16;
+
+/// The calling thread's stripe, assigned round-robin on first use.
+size_t StripeIndex();
+
+/// One cache-line-padded accumulator cell.
+struct alignas(64) Cell {
+  std::atomic<uint64_t> value{0};
+};
+
+}  // namespace internal
+
+/// Monotonically increasing event count. Increments are lock-free relaxed
+/// adds on the calling thread's stripe; Value() merges the stripes.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    if (!Enabled()) return;
+    cells_[internal::StripeIndex()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const internal::Cell& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  const std::string& name() const { return name_; }
+  const std::string& help() const { return help_; }
+
+ private:
+  friend class MetricsRegistry;
+  Counter(std::string name, std::string help)
+      : name_(std::move(name)), help_(std::move(help)) {}
+  void Reset() {
+    for (internal::Cell& cell : cells_) {
+      cell.value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  std::string name_;
+  std::string help_;
+  std::array<internal::Cell, internal::kStripes> cells_;
+};
+
+/// Last-write-wins instantaneous value (pool size, queue depth, …).
+class Gauge {
+ public:
+  void Set(double value) {
+    if (!Enabled()) return;
+    value_.store(value, std::memory_order_relaxed);
+  }
+
+  /// Relaxed read-modify-write; fine for the low-rate adjustments gauges
+  /// see (scrape-time precision, not transactional).
+  void Add(double delta) {
+    if (!Enabled()) return;
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+  const std::string& help() const { return help_; }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(std::string name, std::string help)
+      : name_(std::move(name)), help_(std::move(help)) {}
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  std::string name_;
+  std::string help_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram in the Prometheus style: `bounds` are the
+/// inclusive upper edges of the finite buckets, ascending; one implicit
+/// +Inf bucket catches the rest. Observations are two relaxed stripe adds
+/// (bucket cell + scaled sum) — no locks, no allocation.
+class Histogram {
+ public:
+  void Observe(double value);
+
+  /// Per-bucket (non-cumulative) counts, +Inf bucket last.
+  std::vector<uint64_t> BucketCounts() const;
+  uint64_t Count() const;
+  double Sum() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  const std::string& name() const { return name_; }
+  const std::string& help() const { return help_; }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, std::string help, std::vector<double> bounds);
+  void Reset();
+
+  std::string name_;
+  std::string help_;
+  std::vector<double> bounds_;
+  /// bucket-major: cells_[bucket * kStripes + stripe].
+  std::vector<internal::Cell> cells_;
+  /// Sum accumulated in micro-units (1e-6) so it stripes as integers; the
+  /// pipeline's histogram values (point counts, seconds) fit comfortably.
+  std::array<internal::Cell, internal::kStripes> sum_micros_;
+};
+
+/// Process-wide registry. Lookup-or-create takes a mutex (instrument sites
+/// cache the returned reference in a function-local static, so this is a
+/// once-per-site cost); returned references stay valid for the process
+/// lifetime. Scrapes render Prometheus text exposition or JSON.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Get();
+
+  /// Returns the metric registered under `name`, creating it on first
+  /// call. A name names one metric kind forever; looking it up as a
+  /// different kind aborts (instrumentation bug).
+  Counter& GetCounter(std::string_view name, std::string_view help);
+  Gauge& GetGauge(std::string_view name, std::string_view help);
+  Histogram& GetHistogram(std::string_view name, std::string_view help,
+                          std::vector<double> bounds);
+
+  /// Prometheus text exposition format (counters as `_total` style names
+  /// as registered, histograms with cumulative `_bucket{le=...}` rows).
+  std::string PrometheusText() const;
+
+  /// Same data as one JSON object, for machine consumption next to the
+  /// bench trajectories.
+  std::string ToJson() const;
+
+  /// Writes a rendering to `path`; false (with a note on stderr) when the
+  /// file cannot be written.
+  bool WritePrometheusFile(const std::string& path) const;
+  bool WriteJsonFile(const std::string& path) const;
+
+  /// Zeroes every registered metric (registrations persist). Tests and
+  /// benches scope measurements with this.
+  void ResetAll();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Counter>> counters_;
+  std::vector<std::unique_ptr<Gauge>> gauges_;
+  std::vector<std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace csd::obs
+
+#endif  // CSD_OBS_METRICS_H_

@@ -1,0 +1,36 @@
+#ifndef CSD_OBS_OBS_H_
+#define CSD_OBS_OBS_H_
+
+#include <atomic>
+
+/// Compile-time default for the observability switch. Builds that want
+/// tracing/metrics on from the first instruction (e.g. a profiling build)
+/// pass -DCSD_OBS_DEFAULT_ENABLED=1; everyone else starts disabled and
+/// flips the switch at runtime (csdctl --trace-out, bench harnesses,
+/// tests).
+#ifndef CSD_OBS_DEFAULT_ENABLED
+#define CSD_OBS_DEFAULT_ENABLED 0
+#endif
+
+namespace csd::obs {
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+}  // namespace internal
+
+/// True when tracing + metrics collection is on. Every instrumentation
+/// hook (Span construction, Counter::Increment, …) consults this first,
+/// so the disabled path costs exactly one predictable branch and touches
+/// no shared state — the byte-identical-output and allocation-free
+/// contracts of the hot kernels hold with observability compiled in.
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Flips collection on/off at runtime. Spans already open keep recording
+/// until they close; spans opened while disabled never record.
+void SetEnabled(bool enabled);
+
+}  // namespace csd::obs
+
+#endif  // CSD_OBS_OBS_H_

@@ -1,0 +1,148 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace csd::obs {
+
+namespace internal {
+std::atomic<bool> g_enabled{CSD_OBS_DEFAULT_ENABLED != 0};
+}  // namespace internal
+
+void SetEnabled(bool enabled) {
+  internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Fixed per-process epoch: taken once, so spans recorded before and
+/// after a Clear() still share one time base.
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+thread_local uint32_t tls_depth = 0;
+
+}  // namespace
+
+int64_t TraceNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - TraceEpoch())
+      .count();
+}
+
+Tracer& Tracer::Get() {
+  // Leaked for the same reason as ThreadPool::Global(): worker threads may
+  // still be closing spans while static destructors run.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+Tracer::ThreadBuffer& Tracer::BufferForThisThread() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [this] {
+    auto fresh = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    fresh->tid = static_cast<uint32_t>(buffers_.size());
+    buffers_.push_back(fresh);
+    return fresh;
+  }();
+  return *buffer;
+}
+
+void Tracer::Record(SpanEvent event) {
+  ThreadBuffer& buffer = BufferForThisThread();
+  event.tid = buffer.tid;
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back(event);
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    buffer->events.clear();
+  }
+}
+
+std::vector<SpanEvent> Tracer::Snapshot() const {
+  std::vector<SpanEvent> merged;
+  {
+    std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> lock(buffer->mutex);
+      merged.insert(merged.end(), buffer->events.begin(),
+                    buffer->events.end());
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.duration_ns > b.duration_ns;  // parent before child
+            });
+  return merged;
+}
+
+std::string Tracer::ToChromeTraceJson() const {
+  std::vector<SpanEvent> events = Snapshot();
+  std::string out;
+  out.reserve(events.size() * 96 + 256);
+  out += "{\"traceEvents\":[\n";
+  char line[256];
+  uint32_t max_tid = 0;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const SpanEvent& e = events[i];
+    max_tid = std::max(max_tid, e.tid);
+    // Chrome's trace format wants microseconds; keep nanosecond precision
+    // in the fraction.
+    std::snprintf(line, sizeof(line),
+                  "{\"name\":\"%s\",\"cat\":\"csd\",\"ph\":\"X\","
+                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u},\n",
+                  e.name, static_cast<double>(e.start_ns) * 1e-3,
+                  static_cast<double>(e.duration_ns) * 1e-3, e.tid);
+    out += line;
+  }
+  // Metadata events name the rows; they also keep the array non-empty so
+  // the trailing-comma handling stays uniform.
+  for (uint32_t tid = 0; tid <= max_tid; ++tid) {
+    std::snprintf(line, sizeof(line),
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%u,\"args\":{\"name\":\"csd-thread-%u\"}}%s\n",
+                  tid, tid, tid == max_tid ? "" : ",");
+    out += line;
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool Tracer::WriteChromeTrace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "Tracer: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  std::string json = ToChromeTraceJson();
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  bool closed = std::fclose(f) == 0;
+  bool ok = written == json.size() && closed;
+  if (!ok) std::fprintf(stderr, "Tracer: write failure on %s\n", path.c_str());
+  return ok;
+}
+
+void Span::Open(const char* name) {
+  name_ = name;
+  depth_ = tls_depth++;
+  start_ns_ = TraceNowNs();
+}
+
+void Span::Close() {
+  --tls_depth;
+  Tracer::Get().Record(
+      {name_, 0, depth_, start_ns_, TraceNowNs() - start_ns_});
+}
+
+}  // namespace csd::obs

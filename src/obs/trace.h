@@ -1,0 +1,110 @@
+#ifndef CSD_OBS_TRACE_H_
+#define CSD_OBS_TRACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace csd::obs {
+
+/// One closed span: a named interval on one thread. Times are nanoseconds
+/// relative to the process-wide trace epoch (steady clock), so events
+/// from different threads order correctly in one timeline.
+struct SpanEvent {
+  const char* name;  // static-duration string (span sites use literals)
+  uint32_t tid;      // dense per-process thread number (0 = first seen)
+  uint32_t depth;    // nesting depth at open time (0 = top level)
+  int64_t start_ns;
+  int64_t duration_ns;
+};
+
+/// Process-wide span collector. Each thread appends closed spans to its
+/// own buffer (one short critical section per span against that buffer's
+/// lock, never a global one); Snapshot()/export merge the buffers. Buffers
+/// are co-owned by the registry, so a thread may exit before the flush
+/// without losing its spans.
+class Tracer {
+ public:
+  static Tracer& Get();
+
+  /// Appends one closed span to the calling thread's buffer. Callers use
+  /// the Span RAII type rather than calling this directly; `event.tid` is
+  /// overwritten with the calling thread's dense id.
+  void Record(SpanEvent event);
+
+  /// Drops every recorded span (thread buffers stay registered). Benches
+  /// call this between phases to scope the trace to one run.
+  void Clear();
+
+  /// All recorded spans, merged across threads and sorted by
+  /// (tid, start_ns, -duration_ns) so a parent precedes its children.
+  std::vector<SpanEvent> Snapshot() const;
+
+  /// The merged spans as a Chrome `chrome://tracing` / Perfetto JSON
+  /// document ("X" complete events, microsecond timestamps).
+  std::string ToChromeTraceJson() const;
+
+  /// Writes ToChromeTraceJson() to `path`. Returns false (after a note on
+  /// stderr) when the file cannot be written.
+  bool WriteChromeTrace(const std::string& path) const;
+
+ private:
+  struct ThreadBuffer {
+    std::mutex mutex;
+    std::vector<SpanEvent> events;
+    uint32_t tid = 0;
+  };
+
+  Tracer() = default;
+  ThreadBuffer& BufferForThisThread();
+
+  mutable std::mutex registry_mutex_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span scope. Construction while collection is disabled is one
+/// branch and records nothing; otherwise the destructor appends a
+/// SpanEvent covering the scope's lifetime. Nestable: depth is tracked
+/// per thread, and a span opened inside a ParallelFor worker lands in
+/// that worker's buffer.
+///
+/// `name` must outlive the tracer (use string literals).
+class Span {
+ public:
+  explicit Span(const char* name) : active_(Enabled()) {
+    if (active_) Open(name);
+  }
+  ~Span() {
+    if (active_) Close();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void Open(const char* name);
+  void Close();
+
+  const char* name_ = nullptr;
+  int64_t start_ns_ = 0;
+  uint32_t depth_ = 0;
+  bool active_;
+};
+
+/// Nanoseconds since the process-wide trace epoch.
+int64_t TraceNowNs();
+
+}  // namespace csd::obs
+
+/// Opens a span covering the rest of the enclosing scope.
+#define CSD_TRACE_SPAN(name) \
+  ::csd::obs::Span CSD_OBS_CONCAT_(csd_trace_span_, __LINE__)(name)
+
+#define CSD_OBS_CONCAT_IMPL_(a, b) a##b
+#define CSD_OBS_CONCAT_(a, b) CSD_OBS_CONCAT_IMPL_(a, b)
+
+#endif  // CSD_OBS_TRACE_H_

@@ -1,11 +1,17 @@
 #include "poi/poi_database.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace csd {
 
 PoiDatabase::PoiDatabase(std::vector<Poi> pois, double index_cell_size)
     : pois_(std::move(pois)) {
+  CSD_TRACE_SPAN("poi/db_build");
+  static obs::Counter& ingested = obs::MetricsRegistry::Get().GetCounter(
+      "csd_pois_ingested_total", "POIs ingested into PoiDatabase");
+  ingested.Increment(pois_.size());
   std::vector<Vec2> positions;
   positions.reserve(pois_.size());
   for (size_t i = 0; i < pois_.size(); ++i) {

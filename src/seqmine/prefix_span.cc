@@ -4,6 +4,8 @@
 #include <map>
 #include <span>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/arena.h"
 #include "util/check.h"
 #include "util/dense_scratch.h"
@@ -233,6 +235,7 @@ class PseudoProjectionMiner {
 /// order.
 std::vector<SequentialPattern> MinePseudoProjection(
     const DenseDb& dense, const PrefixSpanOptions& options) {
+  CSD_TRACE_SPAN("seqmine/mine");
   std::vector<Projection> all;
   all.reserve(dense.num_sequences());
   for (size_t i = 0; i < dense.num_sequences(); ++i) {
@@ -359,6 +362,7 @@ void CheckOptions(const PrefixSpanOptions& options) {
 /// pattern of identical support.
 std::vector<SequentialPattern> FilterClosed(
     std::vector<SequentialPattern> patterns) {
+  CSD_TRACE_SPAN("seqmine/closed_filter");
   // Decide first, move afterwards: moving inside the scan would leave
   // moved-from patterns in the comparison set. Each pattern's verdict only
   // reads the shared set and writes its own slot, so the O(p²) scan runs
@@ -403,9 +407,14 @@ std::vector<SequentialPattern> PrefixSpan(const FlatSequenceDb& db,
   CheckOptions(options);
   CSD_CHECK_MSG(db.size() < (size_t{1} << 32),
                 "PrefixSpan holds sequence ids in 32 bits");
+  static obs::Counter& patterns_counter =
+      obs::MetricsRegistry::Get().GetCounter(
+          "csd_prefixspan_patterns_total",
+          "Sequential patterns emitted by PrefixSpan");
   std::vector<SequentialPattern> patterns =
       MinePseudoProjection(Flatten(db), options);
   if (options.closed_only) patterns = FilterClosed(std::move(patterns));
+  patterns_counter.Increment(patterns.size());
   return patterns;
 }
 

@@ -2,12 +2,37 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/parallel.h"
 
 namespace csd {
 
 namespace {
+
+obs::Counter& PoolStealsCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Get().GetCounter(
+      "csd_pool_steals_total", "Successful work-steal operations");
+  return counter;
+}
+
+obs::Counter& PoolTasksCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Get().GetCounter(
+      "csd_pool_tasks_total", "Loop chunks executed by the thread pool");
+  return counter;
+}
+
+obs::Counter& PoolLoopsCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Get().GetCounter(
+      "csd_pool_loops_total", "Parallel loops submitted to the thread pool");
+  return counter;
+}
+
+obs::Gauge& PoolQueueDepthGauge() {
+  static obs::Gauge& gauge = obs::MetricsRegistry::Get().GetGauge(
+      "csd_pool_queue_depth", "Chunks enqueued by the most recent loop");
+  return gauge;
+}
 
 /// Set while the current thread executes a chunk body; consulted by
 /// ParallelFor to run nested loops inline.
@@ -24,6 +49,12 @@ struct RegionGuard {
 }  // namespace
 
 ThreadPool::ThreadPool(size_t num_workers) {
+  // Touch the pool metrics now so their one-time registration (which
+  // allocates) never lands inside an instrumented or alloc-counted region.
+  PoolStealsCounter();
+  PoolTasksCounter();
+  PoolLoopsCounter();
+  PoolQueueDepthGauge();
   queues_.reserve(kMaxWorkers);
   for (size_t i = 0; i < kMaxWorkers; ++i) {
     queues_.push_back(std::make_unique<WorkerQueue>());
@@ -127,6 +158,7 @@ bool ThreadPool::StealHalf(size_t own, size_t victim, Task* out) {
     vq.tasks.erase(vq.tasks.end() - static_cast<ptrdiff_t>(take),
                    vq.tasks.end());
   }
+  PoolStealsCounter().Increment();
   *out = stolen.front();
   if (stolen.size() > 1) {
     if (own < num_workers()) {
@@ -144,6 +176,7 @@ bool ThreadPool::StealHalf(size_t own, size_t victim, Task* out) {
 }
 
 void ThreadPool::Execute(const Task& task) {
+  PoolTasksCounter().Increment();
   Loop* loop = task.loop;
   if (!loop->cancelled.load(std::memory_order_acquire)) {
     RegionGuard region;
@@ -181,6 +214,8 @@ void ThreadPool::ParallelRange(
   loop.body = &body;
   size_t num_chunks = (n + grain - 1) / grain;
   loop.pending.store(num_chunks, std::memory_order_relaxed);
+  PoolLoopsCounter().Increment();
+  PoolQueueDepthGauge().Set(static_cast<double>(num_chunks));
 
   // Initial distribution: round-robin over the first max_threads - 1
   // worker queues (the submitting thread is the remaining lane). Stealing

@@ -1,0 +1,438 @@
+// Randomized robustness sweep over the ingest surface: every malformed
+// input — truncated lines, non-finite coordinates, unknown categories,
+// corrupt binary headers and records — must come back as a clean Status,
+// never a crash, hang, or CHECK abort. Runs under the asan-ubsan preset,
+// where an out-of-bounds read or attacker-sized allocation turns into a
+// hard failure instead of silent luck.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <iterator>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "io/binary_io.h"
+#include "io/dataset_io.h"
+#include "tests/test_helpers.h"
+#include "util/rng.h"
+
+namespace csd {
+namespace {
+
+using ::csd::testing::MakePoi;
+
+class IoFuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("csd_fuzz_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::string WriteFile(const std::string& name, const std::string& bytes) {
+    std::string path = Path(name);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    return path;
+  }
+
+  std::string ReadFileBytes(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  }
+
+  std::filesystem::path dir_;
+};
+
+// --- CSV: deterministic malformed rows ---------------------------------------
+
+TEST_F(IoFuzzTest, PoiCsvRejectsNonFiniteCoordinates) {
+  for (const char* bad : {"nan", "-nan", "inf", "-inf", "1e999"}) {
+    std::string csv = "0,10.0," + std::string(bad) + ",restaurant\n";
+    auto result = ReadPoisCsv(WriteFile("pois.csv", csv));
+    ASSERT_FALSE(result.ok()) << bad;
+    EXPECT_EQ(result.status().code(), StatusCode::kParseError) << bad;
+    EXPECT_FALSE(result.status().message().empty());
+  }
+}
+
+TEST_F(IoFuzzTest, PoiCsvRejectsUnknownCategory) {
+  auto result = ReadPoisCsv(
+      WriteFile("pois.csv", "0,1.0,2.0,warp_gate\n"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_FALSE(result.status().message().empty());
+}
+
+TEST_F(IoFuzzTest, PoiCsvRejectsTruncatedRow) {
+  auto result = ReadPoisCsv(WriteFile("pois.csv", "0,1.0,2.0\n"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(IoFuzzTest, JourneyCsvRejectsNonFiniteCoordinates) {
+  for (const char* bad : {"nan", "inf", "-inf"}) {
+    std::string csv =
+        "1.0,2.0,100," + std::string(bad) + ",4.0,200,7\n";
+    auto result = ReadJourneysCsv(WriteFile("trips.csv", csv));
+    ASSERT_FALSE(result.ok()) << bad;
+    EXPECT_EQ(result.status().code(), StatusCode::kParseError) << bad;
+  }
+}
+
+TEST_F(IoFuzzTest, JourneyCsvRejectsGarbageFields) {
+  for (const char* row :
+       {"a,2.0,100,3.0,4.0,200,7", "1.0,2.0,x,3.0,4.0,200,7",
+        "1.0,2.0,100,3.0,4.0,200", "1.0,2.0,100,3.0,4.0,200,7,extra", ","}) {
+    auto result =
+        ReadJourneysCsv(WriteFile("trips.csv", std::string(row) + "\n"));
+    ASSERT_FALSE(result.ok()) << row;
+    EXPECT_FALSE(result.status().message().empty()) << row;
+  }
+}
+
+TEST_F(IoFuzzTest, MissingFilesReportIoError) {
+  EXPECT_EQ(ReadPoisCsv(Path("absent.csv")).status().code(),
+            StatusCode::kIoError);
+  EXPECT_EQ(ReadJourneysCsv(Path("absent.csv")).status().code(),
+            StatusCode::kIoError);
+  EXPECT_EQ(ReadJourneysBinary(Path("absent.bin")).status().code(),
+            StatusCode::kIoError);
+}
+
+// --- CSV: randomized mutations -----------------------------------------------
+
+/// Valid baseline files the mutator corrupts. Small on purpose: the
+/// interesting state space is the parser's, not the data's.
+std::string ValidPoiCsv() {
+  const CategoryTaxonomy& taxonomy = CategoryTaxonomy::Get();
+  std::string csv;
+  for (int i = 0; i < 8; ++i) {
+    Poi poi = MakePoi(static_cast<PoiId>(i), 10.0 * i, 5.0 * i,
+                      static_cast<MajorCategory>(i % kNumMajorCategories));
+    csv += std::to_string(poi.id) + "," + std::to_string(poi.position.x) +
+           "," + std::to_string(poi.position.y) + "," +
+           std::string(taxonomy.MinorName(poi.minor)) + "\n";
+  }
+  return csv;
+}
+
+std::string ValidJourneyCsv() {
+  std::string csv;
+  for (int i = 0; i < 8; ++i) {
+    csv += std::to_string(1.0 * i) + "," + std::to_string(2.0 * i) + "," +
+           std::to_string(100 * i) + "," + std::to_string(3.0 * i) + "," +
+           std::to_string(4.0 * i) + "," + std::to_string(100 * i + 50) +
+           "," + std::to_string(i % 3 == 0 ? -1 : i) + "\n";
+  }
+  return csv;
+}
+
+/// Applies one random corruption: truncate the file mid-byte, splice a
+/// hostile token over a field, or flip a character. The result may still
+/// be valid CSV — the property under test is "parses or fails cleanly",
+/// not "fails".
+std::string Mutate(const std::string& base, Rng& rng) {
+  static const char* kHostileTokens[] = {
+      "nan",  "-nan", "inf",    "1e999", "-1e999", "",
+      "-",    "+",    "0x1f",   "1.2.3", "999999999999999999999999",
+      "\x01", ",",    "a b c",  "NULL",  "\"",
+  };
+  std::string mutated = base;
+  switch (rng.UniformInt(0, 2)) {
+    case 0: {  // truncate anywhere, including mid-record
+      size_t cut = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(mutated.size())));
+      mutated.resize(cut);
+      break;
+    }
+    case 1: {  // replace one comma-delimited field with a hostile token
+      size_t start = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(mutated.size()) - 1));
+      size_t end = mutated.find_first_of(",\n", start);
+      if (end == std::string::npos) end = mutated.size();
+      const char* token = kHostileTokens[rng.UniformInt(
+          0, static_cast<int64_t>(std::size(kHostileTokens)) - 1)];
+      mutated = mutated.substr(0, start) + token + mutated.substr(end);
+      break;
+    }
+    default: {  // flip a byte
+      size_t pos = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(mutated.size()) - 1));
+      mutated[pos] = static_cast<char>(rng.UniformInt(1, 127));
+      break;
+    }
+  }
+  return mutated;
+}
+
+TEST_F(IoFuzzTest, MutatedPoiCsvNeverCrashes) {
+  Rng rng(20260805);
+  const std::string base = ValidPoiCsv();
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string path = WriteFile("pois_mut.csv", Mutate(base, rng));
+    auto result = ReadPoisCsv(path);
+    if (!result.ok()) {
+      EXPECT_FALSE(result.status().message().empty()) << "iter " << iter;
+    }
+  }
+}
+
+TEST_F(IoFuzzTest, MutatedJourneyCsvNeverCrashes) {
+  Rng rng(20260806);
+  const std::string base = ValidJourneyCsv();
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string path = WriteFile("trips_mut.csv", Mutate(base, rng));
+    auto result = ReadJourneysCsv(path);
+    if (!result.ok()) {
+      EXPECT_FALSE(result.status().message().empty()) << "iter " << iter;
+    }
+  }
+}
+
+// --- binary journeys ---------------------------------------------------------
+
+std::vector<TaxiJourney> SampleJourneys() {
+  std::vector<TaxiJourney> journeys(4);
+  for (size_t i = 0; i < journeys.size(); ++i) {
+    journeys[i].pickup = GpsPoint({1.0 * i, 2.0 * i}, 100 * i);
+    journeys[i].dropoff = GpsPoint({3.0 * i, 4.0 * i}, 100 * i + 50);
+    journeys[i].passenger = static_cast<PassengerId>(i);
+  }
+  return journeys;
+}
+
+TEST_F(IoFuzzTest, TruncatedJourneyBinaryFailsCleanlyAtEveryPrefix) {
+  std::string path = Path("j.bin");
+  ASSERT_TRUE(WriteJourneysBinary(path, SampleJourneys()).ok());
+  std::string bytes = ReadFileBytes(path);
+  ASSERT_GT(bytes.size(), 16u);
+  // Every proper prefix is a possible torn write; all must fail cleanly.
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    std::string truncated = WriteFile("j_trunc.bin", bytes.substr(0, len));
+    auto result = ReadJourneysBinary(truncated);
+    ASSERT_FALSE(result.ok()) << "prefix length " << len;
+    EXPECT_EQ(result.status().code(), StatusCode::kParseError)
+        << "prefix length " << len;
+  }
+}
+
+TEST_F(IoFuzzTest, JourneyBinaryWithFlippedBytesNeverCrashes) {
+  std::string path = Path("j.bin");
+  ASSERT_TRUE(WriteJourneysBinary(path, SampleJourneys()).ok());
+  const std::string bytes = ReadFileBytes(path);
+  Rng rng(20260807);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string corrupt = bytes;
+    int flips = static_cast<int>(rng.UniformInt(1, 4));
+    for (int f = 0; f < flips; ++f) {
+      size_t pos = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(corrupt.size()) - 1));
+      corrupt[pos] = static_cast<char>(rng.UniformInt(0, 255));
+    }
+    auto result = ReadJourneysBinary(WriteFile("j_flip.bin", corrupt));
+    // A flip in a coordinate payload can still decode to a finite double,
+    // so success is allowed; crashing or mis-sized allocation is not.
+    if (!result.ok()) {
+      EXPECT_FALSE(result.status().message().empty()) << "iter " << iter;
+    }
+  }
+}
+
+TEST_F(IoFuzzTest, JourneyBinaryWithHugeCountDoesNotPreallocate) {
+  std::string path = Path("j.bin");
+  ASSERT_TRUE(WriteJourneysBinary(path, SampleJourneys()).ok());
+  std::string bytes = ReadFileBytes(path);
+  // Header layout: 4-byte magic, 4-byte version, 8-byte count. Claim
+  // 2^62 journeys; the reader must fail on the truncated payload instead
+  // of reserving exabytes up front.
+  uint64_t huge = uint64_t{1} << 62;
+  std::memcpy(&bytes[8], &huge, sizeof(huge));
+  auto result = ReadJourneysBinary(WriteFile("j_huge.bin", bytes));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(IoFuzzTest, JourneyBinaryRejectsNanCoordinates) {
+  std::string path = Path("j.bin");
+  ASSERT_TRUE(WriteJourneysBinary(path, SampleJourneys()).ok());
+  std::string bytes = ReadFileBytes(path);
+  double nan = std::nan("");
+  std::memcpy(&bytes[16], &nan, sizeof(nan));  // first pickup.x
+  auto result = ReadJourneysBinary(WriteFile("j_nan.bin", bytes));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(IoFuzzTest, JourneyBinaryRejectsWrongMagicAndVersion) {
+  std::string path = Path("j.bin");
+  ASSERT_TRUE(WriteJourneysBinary(path, SampleJourneys()).ok());
+  std::string bytes = ReadFileBytes(path);
+
+  std::string wrong_magic = bytes;
+  wrong_magic[0] = 'X';
+  EXPECT_EQ(
+      ReadJourneysBinary(WriteFile("j_magic.bin", wrong_magic)).status().code(),
+      StatusCode::kParseError);
+
+  std::string wrong_version = bytes;
+  wrong_version[4] = 99;
+  EXPECT_EQ(ReadJourneysBinary(WriteFile("j_ver.bin", wrong_version))
+                .status()
+                .code(),
+            StatusCode::kParseError);
+}
+
+// --- binary CSD snapshots ----------------------------------------------------
+
+/// Byte-level CSDU snapshot forger — builds arbitrary (including
+/// deliberately inconsistent) snapshots without going through the
+/// honest writer.
+class SnapshotForge {
+ public:
+  SnapshotForge& Magic(const char m[4]) {
+    bytes_.append(m, 4);
+    return *this;
+  }
+  template <typename T>
+  SnapshotForge& Raw(T value) {
+    bytes_.append(reinterpret_cast<const char*>(&value), sizeof(T));
+    return *this;
+  }
+  const std::string& bytes() const { return bytes_; }
+
+ private:
+  std::string bytes_;
+};
+
+PoiDatabase SmallPoiDatabase() {
+  std::vector<Poi> pois;
+  for (int i = 0; i < 4; ++i) {
+    pois.push_back(MakePoi(static_cast<PoiId>(i), 10.0 * i, 0.0,
+                           MajorCategory::kRestaurant));
+  }
+  return PoiDatabase(pois);
+}
+
+SnapshotForge ValidSnapshotPrefix() {
+  SnapshotForge forge;
+  forge.Magic("CSDU").Raw(uint32_t{1}).Raw(uint64_t{4});
+  for (int i = 0; i < 4; ++i) forge.Raw(1.0 + i);
+  return forge;
+}
+
+TEST_F(IoFuzzTest, CsdBinaryRejectsDuplicateUnitMembership) {
+  PoiDatabase pois = SmallPoiDatabase();
+  SnapshotForge forge = ValidSnapshotPrefix();
+  // Two units both claiming POI 1: reaching the CitySemanticDiagram
+  // constructor with this would CHECK-abort, so the reader must reject it.
+  forge.Raw(uint64_t{2});
+  forge.Raw(uint64_t{2}).Raw(PoiId{0}).Raw(PoiId{1});
+  forge.Raw(uint64_t{2}).Raw(PoiId{1}).Raw(PoiId{2});
+  auto result = ReadCsdBinary(WriteFile("dup.csdu", forge.bytes()), pois);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  EXPECT_NE(result.status().message().find("two semantic units"),
+            std::string::npos);
+}
+
+TEST_F(IoFuzzTest, CsdBinaryRejectsOutOfRangePoiId) {
+  PoiDatabase pois = SmallPoiDatabase();
+  SnapshotForge forge = ValidSnapshotPrefix();
+  forge.Raw(uint64_t{1});
+  forge.Raw(uint64_t{1}).Raw(PoiId{4});  // ids are 0..3
+  auto result = ReadCsdBinary(WriteFile("oob.csdu", forge.bytes()), pois);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(IoFuzzTest, CsdBinaryRejectsNonFinitePopularity) {
+  PoiDatabase pois = SmallPoiDatabase();
+  SnapshotForge forge;
+  forge.Magic("CSDU").Raw(uint32_t{1}).Raw(uint64_t{4});
+  forge.Raw(1.0).Raw(std::nan("")).Raw(3.0).Raw(4.0);
+  forge.Raw(uint64_t{0});
+  auto result = ReadCsdBinary(WriteFile("nan.csdu", forge.bytes()), pois);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(IoFuzzTest, CsdBinaryRejectsOversizedUnitCounts) {
+  PoiDatabase pois = SmallPoiDatabase();
+  {
+    SnapshotForge forge = ValidSnapshotPrefix();
+    forge.Raw(uint64_t{1} << 60);  // more units than POIs
+    auto result =
+        ReadCsdBinary(WriteFile("units.csdu", forge.bytes()), pois);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  }
+  {
+    SnapshotForge forge = ValidSnapshotPrefix();
+    forge.Raw(uint64_t{1}).Raw(uint64_t{1} << 60);  // oversized member count
+    auto result =
+        ReadCsdBinary(WriteFile("members.csdu", forge.bytes()), pois);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  }
+}
+
+TEST_F(IoFuzzTest, CsdBinaryRejectsPoiCountMismatch) {
+  PoiDatabase pois = SmallPoiDatabase();
+  SnapshotForge forge;
+  forge.Magic("CSDU").Raw(uint32_t{1}).Raw(uint64_t{40});
+  auto result = ReadCsdBinary(WriteFile("mismatch.csdu", forge.bytes()), pois);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(IoFuzzTest, TruncatedCsdBinaryFailsCleanlyAtEveryPrefix) {
+  PoiDatabase pois = SmallPoiDatabase();
+  SnapshotForge forge = ValidSnapshotPrefix();
+  forge.Raw(uint64_t{2});
+  forge.Raw(uint64_t{2}).Raw(PoiId{0}).Raw(PoiId{1});
+  forge.Raw(uint64_t{2}).Raw(PoiId{2}).Raw(PoiId{3});
+  const std::string& bytes = forge.bytes();
+  // The complete forge is a valid snapshot; every proper prefix must fail.
+  ASSERT_TRUE(ReadCsdBinary(WriteFile("full.csdu", bytes), pois).ok());
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    std::string truncated = WriteFile("trunc.csdu", bytes.substr(0, len));
+    auto result = ReadCsdBinary(truncated, pois);
+    ASSERT_FALSE(result.ok()) << "prefix length " << len;
+  }
+}
+
+TEST_F(IoFuzzTest, CsdBinaryWithFlippedBytesNeverCrashes) {
+  PoiDatabase pois = SmallPoiDatabase();
+  SnapshotForge forge = ValidSnapshotPrefix();
+  forge.Raw(uint64_t{2});
+  forge.Raw(uint64_t{2}).Raw(PoiId{0}).Raw(PoiId{1});
+  forge.Raw(uint64_t{2}).Raw(PoiId{2}).Raw(PoiId{3});
+  const std::string bytes = forge.bytes();
+  Rng rng(20260808);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string corrupt = bytes;
+    size_t pos = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(corrupt.size()) - 1));
+    corrupt[pos] = static_cast<char>(rng.UniformInt(0, 255));
+    auto result = ReadCsdBinary(WriteFile("flip.csdu", corrupt), pois);
+    if (!result.ok()) {
+      EXPECT_FALSE(result.status().message().empty()) << "iter " << iter;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace csd

@@ -1,0 +1,455 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "util/parallel.h"
+
+namespace csd {
+namespace {
+
+/// Scopes collection on (and a clean tracer) to one test body, restoring
+/// the compile-time default afterwards so unrelated tests keep the
+/// disabled path.
+struct ScopedTracing {
+  ScopedTracing() {
+    obs::SetEnabled(true);
+    obs::Tracer::Get().Clear();
+  }
+  ~ScopedTracing() { obs::SetEnabled(CSD_OBS_DEFAULT_ENABLED != 0); }
+};
+
+// --- enable gate -------------------------------------------------------------
+
+TEST(ObsGateTest, DisabledSpansRecordNothing) {
+  obs::SetEnabled(false);
+  obs::Tracer::Get().Clear();
+  {
+    CSD_TRACE_SPAN("gate/never");
+  }
+  EXPECT_TRUE(obs::Tracer::Get().Snapshot().empty());
+  obs::SetEnabled(CSD_OBS_DEFAULT_ENABLED != 0);
+}
+
+TEST(ObsGateTest, DisabledCounterStaysZero) {
+  obs::SetEnabled(false);
+  obs::Counter& counter = obs::MetricsRegistry::Get().GetCounter(
+      "test_gate_counter", "gate test");
+  counter.Increment(100);
+  EXPECT_EQ(counter.Value(), 0u);
+  obs::SetEnabled(CSD_OBS_DEFAULT_ENABLED != 0);
+}
+
+// --- span nesting and ordering ----------------------------------------------
+
+TEST(TracerTest, NestedSpansRecordDepthAndContainment) {
+  ScopedTracing scoped;
+  {
+    CSD_TRACE_SPAN("outer");
+    {
+      CSD_TRACE_SPAN("inner");
+    }
+  }
+  std::vector<obs::SpanEvent> events = obs::Tracer::Get().Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Snapshot sorts parents before children within a thread.
+  EXPECT_STREQ(events[0].name, "outer");
+  EXPECT_STREQ(events[1].name, "inner");
+  EXPECT_EQ(events[0].depth, 0u);
+  EXPECT_EQ(events[1].depth, 1u);
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  // Temporal containment: inner opened after and closed before outer.
+  EXPECT_LE(events[0].start_ns, events[1].start_ns);
+  EXPECT_GE(events[0].start_ns + events[0].duration_ns,
+            events[1].start_ns + events[1].duration_ns);
+}
+
+TEST(TracerTest, SiblingSpansOrderByStartTime) {
+  ScopedTracing scoped;
+  {
+    CSD_TRACE_SPAN("first");
+  }
+  {
+    CSD_TRACE_SPAN("second");
+  }
+  std::vector<obs::SpanEvent> events = obs::Tracer::Get().Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].name, "first");
+  EXPECT_STREQ(events[1].name, "second");
+  EXPECT_EQ(events[0].depth, 0u);
+  EXPECT_EQ(events[1].depth, 0u);
+}
+
+TEST(TracerTest, SpansFromWorkerThreadsLandInPerThreadBuffers) {
+  ScopedTracing scoped;
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 25;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        CSD_TRACE_SPAN("worker/span");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  std::vector<obs::SpanEvent> events = obs::Tracer::Get().Snapshot();
+  EXPECT_EQ(events.size(), size_t{kThreads} * kSpansPerThread);
+  std::map<uint32_t, int> per_tid;
+  for (const obs::SpanEvent& e : events) per_tid[e.tid]++;
+  EXPECT_EQ(per_tid.size(), size_t{kThreads});
+  for (const auto& [tid, count] : per_tid) {
+    EXPECT_EQ(count, kSpansPerThread) << "tid " << tid;
+  }
+  // Within each tid the snapshot is start-time ordered.
+  for (size_t i = 1; i < events.size(); ++i) {
+    if (events[i].tid == events[i - 1].tid) {
+      EXPECT_GE(events[i].start_ns, events[i - 1].start_ns);
+    }
+  }
+}
+
+TEST(TracerTest, SpansInParallelForNestUnderTheWorkersOwnDepth) {
+  ScopedTracing scoped;
+  ParallelFor(
+      64,
+      [](size_t) {
+        CSD_TRACE_SPAN("pf/outer");
+        CSD_TRACE_SPAN("pf/inner");
+      },
+      {.grain = 1, .max_threads = 4});
+  std::vector<obs::SpanEvent> events = obs::Tracer::Get().Snapshot();
+  ASSERT_EQ(events.size(), 128u);
+  int outers = 0;
+  int inners = 0;
+  for (const obs::SpanEvent& e : events) {
+    if (std::string(e.name) == "pf/outer") {
+      EXPECT_EQ(e.depth, 0u);
+      ++outers;
+    } else {
+      EXPECT_EQ(e.depth, 1u);
+      ++inners;
+    }
+  }
+  EXPECT_EQ(outers, 64);
+  EXPECT_EQ(inners, 64);
+}
+
+TEST(TracerTest, ClearDropsEventsButKeepsRecording) {
+  ScopedTracing scoped;
+  {
+    CSD_TRACE_SPAN("before");
+  }
+  obs::Tracer::Get().Clear();
+  EXPECT_TRUE(obs::Tracer::Get().Snapshot().empty());
+  {
+    CSD_TRACE_SPAN("after");
+  }
+  std::vector<obs::SpanEvent> events = obs::Tracer::Get().Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "after");
+}
+
+// --- Chrome trace JSON -------------------------------------------------------
+
+/// Minimal recursive-descent JSON parser: the test's oracle for "the trace
+/// parses". Accepts exactly the RFC 8259 grammar the trace uses (objects,
+/// arrays, strings without escapes beyond \", numbers, bare words).
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool Parse() {
+    pos_ = 0;
+    return ParseValue() && (SkipWs(), pos_ == text_.size());
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(
+                                      static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      return ParseNumber();
+    }
+    return ParseWord("true") || ParseWord("false") || ParseWord("null");
+  }
+
+  bool ParseObject() {
+    if (!Consume('{')) return false;
+    if (Consume('}')) return true;
+    do {
+      SkipWs();
+      if (!ParseString()) return false;
+      if (!Consume(':')) return false;
+      if (!ParseValue()) return false;
+    } while (Consume(','));
+    return Consume('}');
+  }
+
+  bool ParseArray() {
+    if (!Consume('[')) return false;
+    if (Consume(']')) return true;
+    do {
+      if (!ParseValue()) return false;
+    } while (Consume(','));
+    return Consume(']');
+  }
+
+  bool ParseString() {
+    if (!Consume('"')) return false;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    return Consume('"');
+  }
+
+  bool ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool ParseWord(const char* word) {
+    size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+TEST(TracerTest, ChromeTraceJsonIsWellFormed) {
+  ScopedTracing scoped;
+  {
+    CSD_TRACE_SPAN("json/outer");
+    {
+      CSD_TRACE_SPAN("json/inner");
+    }
+  }
+  std::thread other([] { CSD_TRACE_SPAN("json/other_thread"); });
+  other.join();
+
+  std::string json = obs::Tracer::Get().ToChromeTraceJson();
+  EXPECT_TRUE(JsonChecker(json).Parse()) << json;
+  // Structural checks of the Chrome trace event format.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"json/outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"json/inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"json/other_thread\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+}
+
+TEST(TracerTest, EmptyTraceIsStillValidJson) {
+  ScopedTracing scoped;
+  std::string json = obs::Tracer::Get().ToChromeTraceJson();
+  EXPECT_TRUE(JsonChecker(json).Parse()) << json;
+}
+
+TEST(TracerTest, WriteChromeTraceRoundTripsThroughAFile) {
+  ScopedTracing scoped;
+  {
+    CSD_TRACE_SPAN("file/span");
+  }
+  std::string path = ::testing::TempDir() + "/obs_trace_test.json";
+  ASSERT_TRUE(obs::Tracer::Get().WriteChromeTrace(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(content, obs::Tracer::Get().ToChromeTraceJson());
+  EXPECT_TRUE(JsonChecker(content).Parse());
+}
+
+TEST(TracerTest, WriteChromeTraceToUnwritablePathFails) {
+  ScopedTracing scoped;
+  EXPECT_FALSE(
+      obs::Tracer::Get().WriteChromeTrace("/nonexistent-dir/trace.json"));
+}
+
+// --- counters ----------------------------------------------------------------
+
+TEST(MetricsTest, CounterMergesStripesUnderParallelFor) {
+  ScopedTracing scoped;
+  obs::MetricsRegistry::Get().ResetAll();
+  obs::Counter& counter = obs::MetricsRegistry::Get().GetCounter(
+      "test_parallel_counter", "merge test");
+  constexpr size_t kIters = 100000;
+  ParallelFor(
+      kIters, [&](size_t) { counter.Increment(); },
+      {.grain = 64, .max_threads = 8});
+  EXPECT_EQ(counter.Value(), kIters);
+  counter.Increment(42);
+  EXPECT_EQ(counter.Value(), kIters + 42);
+}
+
+TEST(MetricsTest, GetCounterReturnsTheSameInstancePerName) {
+  obs::Counter& a =
+      obs::MetricsRegistry::Get().GetCounter("test_same_counter", "a");
+  obs::Counter& b =
+      obs::MetricsRegistry::Get().GetCounter("test_same_counter", "b");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(MetricsTest, GaugeSetAndAdd) {
+  ScopedTracing scoped;
+  obs::MetricsRegistry::Get().ResetAll();
+  obs::Gauge& gauge =
+      obs::MetricsRegistry::Get().GetGauge("test_gauge", "gauge test");
+  gauge.Set(4.5);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 4.5);
+  gauge.Add(-1.5);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 3.0);
+}
+
+// --- histograms --------------------------------------------------------------
+
+TEST(MetricsTest, HistogramBucketBoundariesAreInclusiveUpperEdges) {
+  ScopedTracing scoped;
+  obs::MetricsRegistry::Get().ResetAll();
+  obs::Histogram& hist = obs::MetricsRegistry::Get().GetHistogram(
+      "test_hist_bounds", "bucket boundary test", {1.0, 10.0, 100.0});
+  // One observation per region, including exact boundary hits: a bound is
+  // the inclusive upper edge of its bucket (Prometheus `le` semantics).
+  hist.Observe(0.5);    // bucket 0 (<= 1)
+  hist.Observe(1.0);    // bucket 0 (boundary, inclusive)
+  hist.Observe(1.0001); // bucket 1
+  hist.Observe(10.0);   // bucket 1 (boundary)
+  hist.Observe(55.0);   // bucket 2
+  hist.Observe(100.0);  // bucket 2 (boundary)
+  hist.Observe(101.0);  // +Inf bucket
+  std::vector<uint64_t> counts = hist.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 2u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(hist.Count(), 7u);
+  EXPECT_NEAR(hist.Sum(), 0.5 + 1.0 + 1.0001 + 10.0 + 55.0 + 100.0 + 101.0,
+              1e-5);
+}
+
+TEST(MetricsTest, HistogramMergesUnderParallelFor) {
+  ScopedTracing scoped;
+  obs::MetricsRegistry::Get().ResetAll();
+  obs::Histogram& hist = obs::MetricsRegistry::Get().GetHistogram(
+      "test_hist_parallel", "parallel observe test", {100.0, 1000.0});
+  constexpr size_t kIters = 10000;
+  ParallelFor(
+      kIters, [&](size_t i) { hist.Observe(static_cast<double>(i % 2000)); },
+      {.grain = 32, .max_threads = 8});
+  EXPECT_EQ(hist.Count(), kIters);
+  std::vector<uint64_t> counts = hist.BucketCounts();
+  ASSERT_EQ(counts.size(), 3u);
+  // i % 2000: values 0..100 inclusive -> bucket 0 (101 of each 2000-cycle,
+  // 5 cycles), 101..1000 -> bucket 1 (900 per cycle), 1001..1999 -> +Inf.
+  EXPECT_EQ(counts[0], 5u * 101u);
+  EXPECT_EQ(counts[1], 5u * 900u);
+  EXPECT_EQ(counts[2], 5u * 999u);
+}
+
+// --- exports -----------------------------------------------------------------
+
+TEST(MetricsTest, PrometheusTextExposesAllThreeKinds) {
+  ScopedTracing scoped;
+  obs::MetricsRegistry::Get().ResetAll();
+  obs::Counter& counter = obs::MetricsRegistry::Get().GetCounter(
+      "test_prom_counter", "a counter");
+  obs::Gauge& gauge =
+      obs::MetricsRegistry::Get().GetGauge("test_prom_gauge", "a gauge");
+  obs::Histogram& hist = obs::MetricsRegistry::Get().GetHistogram(
+      "test_prom_hist", "a histogram", {1.0, 5.0});
+  counter.Increment(3);
+  gauge.Set(7.25);
+  hist.Observe(0.5);
+  hist.Observe(2.0);
+  hist.Observe(9.0);
+
+  std::string text = obs::MetricsRegistry::Get().PrometheusText();
+  EXPECT_NE(text.find("# TYPE test_prom_counter counter"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_counter 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_prom_gauge gauge"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_gauge 7.25"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_prom_hist histogram"), std::string::npos);
+  // Cumulative bucket counts in exposition order.
+  EXPECT_NE(text.find("test_prom_hist_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_bucket{le=\"5\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_count 3"), std::string::npos);
+}
+
+TEST(MetricsTest, JsonExportParses) {
+  ScopedTracing scoped;
+  obs::MetricsRegistry::Get().ResetAll();
+  obs::MetricsRegistry::Get()
+      .GetCounter("test_json_counter", "c")
+      .Increment(5);
+  obs::MetricsRegistry::Get().GetGauge("test_json_gauge", "g").Set(1.5);
+  obs::MetricsRegistry::Get()
+      .GetHistogram("test_json_hist", "h", {2.0})
+      .Observe(1.0);
+  std::string json = obs::MetricsRegistry::Get().ToJson();
+  EXPECT_TRUE(JsonChecker(json).Parse()) << json;
+  EXPECT_NE(json.find("\"test_json_counter\": 5"), std::string::npos);
+}
+
+TEST(MetricsTest, ResetAllZeroesButKeepsRegistrations) {
+  ScopedTracing scoped;
+  obs::Counter& counter =
+      obs::MetricsRegistry::Get().GetCounter("test_reset_counter", "r");
+  counter.Increment(9);
+  obs::MetricsRegistry::Get().ResetAll();
+  EXPECT_EQ(counter.Value(), 0u);
+  EXPECT_EQ(&counter, &obs::MetricsRegistry::Get().GetCounter(
+                          "test_reset_counter", "r"));
+}
+
+}  // namespace
+}  // namespace csd

@@ -9,6 +9,8 @@
 #include "core/popularity.h"
 #include "core/semantic_recognition.h"
 #include "miner/pervasive_miner.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "synth/city_generator.h"
 #include "synth/trip_generator.h"
 #include "tests/test_helpers.h"
@@ -354,6 +356,28 @@ TEST(PipelineDeterminismTest, CsdPmPatternsIdenticalFor1And4Threads) {
   EXPECT_GT(one_thread.size(), std::string("0 patterns\n").size())
       << "pipeline found no patterns; determinism check is vacuous";
   EXPECT_EQ(one_thread, four_threads);
+}
+
+TEST(PipelineDeterminismTest, TracingDoesNotChangePatternsAtAnyThreadCount) {
+  // Observability must be write-only: enabling spans and metrics cannot
+  // perturb a single output byte, serial or parallel.
+  obs::SetEnabled(false);
+  std::string plain_one = RunPipeline(1);
+  std::string plain_four = RunPipeline(4);
+
+  obs::SetEnabled(true);
+  obs::Tracer::Get().Clear();
+  std::string traced_one = RunPipeline(1);
+  std::string traced_four = RunPipeline(4);
+  bool recorded = !obs::Tracer::Get().Snapshot().empty();
+  obs::Tracer::Get().Clear();
+  obs::SetEnabled(CSD_OBS_DEFAULT_ENABLED != 0);
+
+  EXPECT_TRUE(recorded) << "tracing was on but no spans were recorded; "
+                           "the identity check is vacuous";
+  EXPECT_EQ(plain_one, traced_one);
+  EXPECT_EQ(plain_four, traced_four);
+  EXPECT_EQ(plain_one, plain_four);
 }
 
 }  // namespace

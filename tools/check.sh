@@ -1,36 +1,82 @@
 #!/usr/bin/env bash
-# Local CI gate: sanitizer build + tests, then a bench regression check
+# Local CI gate: sanitizer builds + tests, then a bench regression check
 # against the committed BENCH_pipeline.json reference trajectory.
 #
-# usage: tools/check.sh [preset]
-#   preset   sanitizer configure preset to run the tests under
-#            (default: asan-ubsan; "tsan" exercises the thread pool)
+# usage: tools/check.sh [--fast] [preset ...]
+#   --fast   skip the tsan pass (the slowest build); asan-ubsan + bench only
+#   preset   explicit sanitizer presets to run instead of the default
+#            sweep (asan-ubsan, then tsan unless --fast)
 #
-# Steps:
+# Steps, per preset:
 #   1. configure + build the sanitizer preset (CMakePresets.json)
 #   2. ctest under the sanitizer
+# then once:
 #   3. build the default preset's perf_scaling + bench_diff, record a
 #      fresh trajectory, and diff it against the committed baseline
 #      (threshold documented in `bench_diff --help`; improvements never
-#      flag, so the committed pre-rewrite baseline only guards against
-#      sliding back)
-set -euo pipefail
+#      flag, so the committed baseline only guards against sliding back)
+#
+# Every step's exit code is captured explicitly: a failing ctest (or
+# build, or bench gate) marks the run failed but later steps still run,
+# and the script exits nonzero if anything failed. Nothing here relies
+# on `set -e`, which a sourced hook or conditional context can silently
+# disable.
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
-PRESET="${1:-asan-ubsan}"
+FAST=0
+PRESETS=()
+for arg in "$@"; do
+  case "${arg}" in
+    --fast) FAST=1 ;;
+    --*) echo "unknown flag: ${arg}" >&2; exit 2 ;;
+    *) PRESETS+=("${arg}") ;;
+  esac
+done
+if [ "${#PRESETS[@]}" -eq 0 ]; then
+  PRESETS=(asan-ubsan)
+  if [ "${FAST}" -eq 0 ]; then
+    PRESETS+=(tsan)
+  fi
+fi
 
-echo "== [1/3] sanitizer build (${PRESET}) =="
-cmake --preset "${PRESET}"
-cmake --build --preset "${PRESET}" -j
-echo "== [2/3] ctest (${PRESET}) =="
-ctest --preset "${PRESET}" -j
+FAILURES=0
+fail() {
+  echo "check.sh: FAILED: $*" >&2
+  FAILURES=$((FAILURES + 1))
+}
 
-echo "== [3/3] bench regression check vs committed BENCH_pipeline.json =="
-cmake --preset default
-cmake --build --preset default -j --target perf_scaling bench_diff
-scratch="$(mktemp /tmp/BENCH_pipeline.XXXXXX.json)"
-trap 'rm -f "${scratch}"' EXIT
-CSD_BENCH_JSON="${scratch}" ./build/bench/perf_scaling >/dev/null
-./build/tools/bench_diff BENCH_pipeline.json "${scratch}"
+step=0
+total=$(( ${#PRESETS[@]} + 1 ))
+for preset in "${PRESETS[@]}"; do
+  step=$((step + 1))
+  echo "== [${step}/${total}] sanitizer build + ctest (${preset}) =="
+  if ! cmake --preset "${preset}" || ! cmake --build --preset "${preset}" -j; then
+    fail "build (${preset})"
+    continue  # nothing to test without a build
+  fi
+  if ! ctest --preset "${preset}" -j; then
+    fail "ctest (${preset})"
+  fi
+done
 
+step=$((step + 1))
+echo "== [${step}/${total}] bench regression check vs committed BENCH_pipeline.json =="
+if cmake --preset default && \
+   cmake --build --preset default -j --target perf_scaling bench_diff; then
+  scratch="$(mktemp /tmp/BENCH_pipeline.XXXXXX.json)"
+  trap 'rm -f "${scratch}"' EXIT
+  if ! CSD_BENCH_JSON="${scratch}" ./build/bench/perf_scaling >/dev/null; then
+    fail "perf_scaling run"
+  elif ! ./build/tools/bench_diff BENCH_pipeline.json "${scratch}"; then
+    fail "bench_diff regression gate"
+  fi
+else
+  fail "build (default)"
+fi
+
+if [ "${FAILURES}" -gt 0 ]; then
+  echo "check.sh: ${FAILURES} gate(s) failed" >&2
+  exit 1
+fi
 echo "check.sh: all gates passed"

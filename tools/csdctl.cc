@@ -12,6 +12,12 @@
 //
 //   csdctl analyze   --patterns patterns.csv
 //
+// Every command also accepts the observability flags
+//   --trace-out=run.json      Chrome/Perfetto trace of the run's spans
+//   --metrics-out=metrics.prom  Prometheus text scrape of the run's metrics
+// (either --flag=value or --flag value form). Passing one turns
+// collection on for the whole run.
+//
 // Trips files ending in .csv use the text format; anything else uses the
 // CSDJ binary format.
 
@@ -26,6 +32,8 @@
 #include "io/binary_io.h"
 #include "io/dataset_io.h"
 #include "miner/pervasive_miner.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "synth/city_generator.h"
 #include "synth/trip_generator.h"
 #include "traj/journey.h"
@@ -37,17 +45,22 @@ namespace {
 class Args {
  public:
   Args(int argc, char** argv) {
-    for (int i = 2; i + 1 < argc; i += 2) {
+    for (int i = 2; i < argc; ++i) {
       if (std::strncmp(argv[i], "--", 2) != 0) {
         std::fprintf(stderr, "expected --flag value, got '%s'\n", argv[i]);
         ok_ = false;
         return;
       }
-      values_[argv[i] + 2] = argv[i + 1];
-    }
-    if (argc >= 2 && argc % 2 != 0) {
-      std::fprintf(stderr, "dangling argument '%s'\n", argv[argc - 1]);
-      ok_ = false;
+      const char* body = argv[i] + 2;
+      if (const char* eq = std::strchr(body, '=')) {
+        values_[std::string(body, eq)] = eq + 1;
+      } else if (i + 1 < argc) {
+        values_[body] = argv[++i];
+      } else {
+        std::fprintf(stderr, "dangling argument '%s'\n", argv[i]);
+        ok_ = false;
+        return;
+      }
     }
   }
 
@@ -290,17 +303,46 @@ int Usage() {
   return 2;
 }
 
-int Main(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  Args args(argc, argv);
-  if (!args.ok()) return 2;
-  std::string command = argv[1];
+int Dispatch(const std::string& command, const Args& args) {
   if (command == "generate") return CmdGenerate(args);
   if (command == "build-csd") return CmdBuildCsd(args);
   if (command == "recognize") return CmdRecognize(args);
   if (command == "mine") return CmdMine(args);
   if (command == "analyze") return CmdAnalyze(args);
   return Usage();
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Args args(argc, argv);
+  if (!args.ok()) return 2;
+
+  // Observability flags apply to every command: requesting an output file
+  // turns collection on for the whole run, and the files are written even
+  // when the command fails, so a bad run leaves a trace to debug with.
+  std::string trace_out = args.Get("trace-out");
+  std::string metrics_out = args.Get("metrics-out");
+  if (!trace_out.empty() || !metrics_out.empty()) obs::SetEnabled(true);
+
+  int rc = Dispatch(argv[1], args);
+
+  if (!trace_out.empty()) {
+    if (obs::Tracer::Get().WriteChromeTrace(trace_out)) {
+      std::printf("trace written to %s (open in ui.perfetto.dev or "
+                  "chrome://tracing)\n",
+                  trace_out.c_str());
+    } else if (rc == 0) {
+      rc = 1;
+    }
+  }
+  if (!metrics_out.empty()) {
+    if (obs::MetricsRegistry::Get().WritePrometheusFile(metrics_out)) {
+      std::printf("metrics written to %s\n", metrics_out.c_str());
+    } else if (rc == 0) {
+      rc = 1;
+    }
+  }
+  return rc;
 }
 
 }  // namespace
