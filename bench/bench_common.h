@@ -217,6 +217,10 @@ struct PipelineBenchRun {
   size_t patterns = 0;
   std::vector<StageTiming> stages;
   std::vector<SpanAggregate> spans;
+  /// Higher-is-better figures (achieved QPS, requests/s). bench_diff flags
+  /// a regression when one of these *drops* past the threshold, mirroring
+  /// how stage seconds are flagged when they *grow*.
+  std::vector<std::pair<std::string, double>> rates;
 
   double TotalSeconds() const {
     double total = 0.0;
@@ -246,8 +250,12 @@ struct PipelineBenchRun {
 /// original schema. Likewise, runs that collected tracer spans gain a
 ///   "spans": {"csd_build/popularity": {"seconds": 0.12, "count": 1}, ...}
 /// object (total seconds and occurrences per span name); bench_diff reads
-/// only the keys it knows, so both objects are additive. Returns false
-/// (with a note on stderr) when the file cannot be opened.
+/// only the keys it knows, so both objects are additive. Runs with rate
+/// figures (the serving benches) gain a
+///   "rates": {"annotate_qps": 51234.5, ...}
+/// object of higher-is-better values, which bench_diff gates on decreases
+/// instead of increases. Returns false (with a note on stderr) when the
+/// file cannot be opened.
 inline bool WritePipelineJson(const std::string& path, const char* bench_name,
                               const std::vector<PipelineBenchRun>& runs) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -280,6 +288,14 @@ inline bool WritePipelineJson(const std::string& path, const char* bench_name,
                      run.stages[s].name.c_str(),
                      static_cast<unsigned long long>(
                          run.stages[s].allocations));
+      }
+      std::fprintf(f, "},\n");
+    }
+    if (!run.rates.empty()) {
+      std::fprintf(f, "      \"rates\": {");
+      for (size_t s = 0; s < run.rates.size(); ++s) {
+        std::fprintf(f, "%s\"%s\": %.3f", s == 0 ? "" : ", ",
+                     run.rates[s].first.c_str(), run.rates[s].second);
       }
       std::fprintf(f, "},\n");
     }

@@ -1,0 +1,408 @@
+// serve_load — load generator for the serving layer (src/serve).
+//
+//   serve_load [--clients 4] [--requests 500]          closed loop
+//   serve_load --qps 2000 [--duration-s 5]             open loop
+//   serve_load --emit-requests 1000                    print protocol lines
+//
+// Closed loop: `clients` threads each issue `requests` annotation requests
+// back to back (issue, wait, repeat) — the classic latency-under-
+// concurrency shape. Open loop: one pacer thread issues Poisson-less
+// fixed-interval requests at `qps` regardless of completions, the shape
+// that exposes queueing collapse. Both trigger one background rebuild at
+// the halfway point and require every admitted request to complete against
+// a consistent snapshot — the publish must be invisible to in-flight work.
+//
+// Results (client-observed p50/p90/p99 latency, achieved QPS, rebuild
+// seconds) are appended to the benchmark trajectory JSON (default
+// BENCH_serve.json, override with CSD_BENCH_JSON or --json) in the
+// bench_common.h schema: percentiles as lower-is-better "stages" entries,
+// throughput as a higher-is-better "rates" entry, so tools/bench_diff
+// gates both directions.
+//
+// --emit-requests N prints N deterministic protocol request lines (mixed
+// annotate/journey/query-unit/stats with one mid-stream rebuild) to stdout
+// and exits; CI pipes them into `csdctl serve` for the end-to-end smoke.
+//
+// Dataset scale follows the other benches: CSD_BENCH_POIS,
+// CSD_BENCH_AGENTS, CSD_BENCH_DAYS environment variables.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "serve/service.h"
+#include "serve/snapshot.h"
+#include "serve/snapshot_store.h"
+#include "synth/city_generator.h"
+#include "synth/trip_generator.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace csd::bench {
+namespace {
+
+struct LoadConfig {
+  size_t clients = 4;
+  size_t requests = 500;   // per client (closed loop)
+  double qps = 0.0;        // > 0 switches to open loop
+  double duration_s = 5.0; // open-loop run length
+  size_t emit_requests = 0;
+  std::string json_path;
+};
+
+/// Deterministic request stream: stay points uniform over the city, 1–4
+/// stays per request. Seeded per client so threads don't share an Rng.
+std::vector<StayPoint> MakeRequest(Rng& rng, const CityConfig& city) {
+  size_t n = static_cast<size_t>(rng.UniformInt(1, 4));
+  std::vector<StayPoint> stays;
+  stays.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    stays.emplace_back(Vec2{rng.Uniform(0.0, city.width_m),
+                            rng.Uniform(0.0, city.height_m)},
+                       static_cast<Timestamp>(rng.UniformInt(0, 86399)));
+  }
+  return stays;
+}
+
+int EmitRequests(size_t count, const CityConfig& city) {
+  Rng rng(99);
+  for (size_t i = 0; i < count; ++i) {
+    if (i == count / 2) std::printf("rebuild\n");
+    if (i % 64 == 63) {
+      std::printf("stats\n");
+      continue;
+    }
+    if (i % 17 == 5) {
+      std::printf("query-unit %lld\n",
+                  static_cast<long long>(rng.UniformInt(0, 400)));
+      continue;
+    }
+    if (i % 11 == 3) {
+      std::printf("journey %.1f,%.1f,%lld;%.1f,%.1f,%lld\n",
+                  rng.Uniform(0.0, city.width_m),
+                  rng.Uniform(0.0, city.height_m),
+                  static_cast<long long>(rng.UniformInt(0, 86399)),
+                  rng.Uniform(0.0, city.width_m),
+                  rng.Uniform(0.0, city.height_m),
+                  static_cast<long long>(rng.UniformInt(0, 86399)));
+      continue;
+    }
+    std::vector<StayPoint> stays = MakeRequest(rng, city);
+    std::printf("annotate ");
+    for (size_t s = 0; s < stays.size(); ++s) {
+      std::printf("%s%.1f,%.1f", s == 0 ? "" : ";", stays[s].position.x,
+                  stays[s].position.y);
+    }
+    std::printf("\n");
+  }
+  std::printf("quit\n");
+  return 0;
+}
+
+struct LoadOutcome {
+  std::vector<double> latencies;  // seconds, one per completed request
+  uint64_t failures = 0;          // admitted requests that came back wrong
+  uint64_t shed = 0;              // kUnavailable rejections (open loop)
+  double wall_seconds = 0.0;
+  double rebuild_seconds = 0.0;
+  uint64_t completed = 0;
+};
+
+/// True when an admitted request's result is sane: served by a published
+/// generation with one unit slot per stay.
+bool ResultOk(const serve::AnnotateResult& result) {
+  return result.snapshot_version > 0 &&
+         result.units.size() == result.stays.size();
+}
+
+/// `rebuild_seconds` is written only by this thread; callers read it
+/// after joining.
+void RunRebuildAt(serve::ServeService& service, double at_seconds,
+                  std::atomic<uint64_t>* failures,
+                  double* rebuild_seconds) {
+  std::this_thread::sleep_for(std::chrono::duration<double>(at_seconds));
+  Stopwatch watch;
+  auto rebuild_or = service.TriggerRebuild();
+  if (!rebuild_or.ok()) {
+    std::fprintf(stderr, "mid-run rebuild rejected: %s\n",
+                 rebuild_or.status().ToString().c_str());
+    failures->fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  serve::RebuildResult result = std::move(rebuild_or).value().get();
+  *rebuild_seconds = watch.ElapsedSeconds();
+  std::printf("mid-run rebuild: published v%llu in %.2fs (%zu units, %zu "
+              "patterns)\n",
+              static_cast<unsigned long long>(result.version),
+              *rebuild_seconds, result.num_units, result.num_patterns);
+}
+
+LoadOutcome RunClosedLoop(serve::ServeService& service,
+                          const CityConfig& city, const LoadConfig& config) {
+  LoadOutcome outcome;
+  std::vector<std::vector<double>> latencies(config.clients);
+  std::atomic<uint64_t> failures{0};
+
+  Stopwatch wall;
+  // Rebuild when clients are roughly mid-stream: after a fixed slice of
+  // the expected run. The assertion is about overlap, not exact timing.
+  std::thread rebuild_thread([&] {
+    RunRebuildAt(service, 0.05, &failures, &outcome.rebuild_seconds);
+  });
+
+  std::vector<std::thread> clients;
+  clients.reserve(config.clients);
+  for (size_t c = 0; c < config.clients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(1000 + c);
+      latencies[c].reserve(config.requests);
+      for (size_t r = 0; r < config.requests; ++r) {
+        Stopwatch watch;
+        auto future_or =
+            service.AnnotateStayPoints(MakeRequest(rng, city));
+        if (!future_or.ok()) {
+          // Closed loop never outruns the admission budget; a rejection
+          // here is a failure, not load shedding.
+          failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        serve::AnnotateResult result = std::move(future_or).value().get();
+        if (!ResultOk(result)) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        latencies[c].push_back(watch.ElapsedSeconds());
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  rebuild_thread.join();
+  outcome.wall_seconds = wall.ElapsedSeconds();
+  outcome.failures = failures.load();
+  for (const std::vector<double>& per_client : latencies) {
+    outcome.latencies.insert(outcome.latencies.end(), per_client.begin(),
+                             per_client.end());
+  }
+  outcome.completed = outcome.latencies.size();
+  return outcome;
+}
+
+LoadOutcome RunOpenLoop(serve::ServeService& service, const CityConfig& city,
+                        const LoadConfig& config) {
+  LoadOutcome outcome;
+  Rng rng(2000);
+  std::atomic<uint64_t> failures{0};
+  struct InFlight {
+    std::chrono::steady_clock::time_point issued;
+    std::future<serve::AnnotateResult> future;
+  };
+
+  // The collector drains futures in issue order concurrently with the
+  // pacer, stamping each latency the moment its future resolves (the
+  // batcher is FIFO, so the front future always completes first).
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<InFlight> in_flight;
+  bool pacer_done = false;
+  std::thread collector([&] {
+    for (;;) {
+      InFlight request;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] { return !in_flight.empty() || pacer_done; });
+        if (in_flight.empty()) return;
+        request = std::move(in_flight.front());
+        in_flight.pop_front();
+      }
+      serve::AnnotateResult result = request.future.get();
+      auto now = std::chrono::steady_clock::now();
+      if (!ResultOk(result)) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      outcome.latencies.push_back(
+          std::chrono::duration<double>(now - request.issued).count());
+    }
+  });
+
+  Stopwatch wall;
+  std::thread rebuild_thread([&] {
+    RunRebuildAt(service, config.duration_s / 2.0, &failures,
+                 &outcome.rebuild_seconds);
+  });
+
+  // Fixed-interval pacing: request k is due at k/qps regardless of how
+  // the server is doing (the defining property of an open loop).
+  auto start = std::chrono::steady_clock::now();
+  double interval = 1.0 / config.qps;
+  for (size_t k = 0; wall.ElapsedSeconds() < config.duration_s; ++k) {
+    auto due = start + std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(k * interval));
+    std::this_thread::sleep_until(due);
+    auto future_or = service.AnnotateStayPoints(MakeRequest(rng, city));
+    if (!future_or.ok()) {
+      outcome.shed += 1;  // explicit kUnavailable is the designed behavior
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      in_flight.push_back({std::chrono::steady_clock::now(),
+                           std::move(future_or).value()});
+    }
+    cv.notify_one();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    pacer_done = true;
+  }
+  cv.notify_all();
+  collector.join();
+  rebuild_thread.join();
+  outcome.wall_seconds = wall.ElapsedSeconds();
+  outcome.completed = outcome.latencies.size();
+  outcome.failures = failures.load();
+  return outcome;
+}
+
+double Percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  size_t index = static_cast<size_t>(p * static_cast<double>(sorted.size()));
+  if (index >= sorted.size()) index = sorted.size() - 1;
+  return sorted[index];
+}
+
+int Main(int argc, char** argv) {
+  LoadConfig config;
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&](const char* flag) -> const char* {
+      if (std::strcmp(argv[i], flag) != 0) return nullptr;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag '%s' is missing its value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (const char* v = value("--clients")) {
+      config.clients = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value("--requests")) {
+      config.requests = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value("--qps")) {
+      config.qps = std::atof(v);
+    } else if (const char* v = value("--duration-s")) {
+      config.duration_s = std::atof(v);
+    } else if (const char* v = value("--emit-requests")) {
+      config.emit_requests = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value("--json")) {
+      config.json_path = v;
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag '%s'\nusage: serve_load [--clients N] "
+                   "[--requests M] [--qps Q] [--duration-s S] "
+                   "[--emit-requests N] [--json path]\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+
+  CityConfig city_config;
+  city_config.num_pois = EnvSize("CSD_BENCH_POIS", 15000);
+
+  if (config.emit_requests > 0) {
+    return EmitRequests(config.emit_requests, city_config);
+  }
+
+  TripConfig trip_config;
+  trip_config.num_agents = EnvSize("CSD_BENCH_AGENTS", 2000);
+  trip_config.num_days = static_cast<int>(EnvSize("CSD_BENCH_DAYS", 7));
+
+  std::printf("== serve_load ==\n");
+  Stopwatch setup_watch;
+  SyntheticCity city = GenerateCity(city_config);
+  TripDataset trips = GenerateTrips(city, trip_config);
+  std::shared_ptr<const serve::ServeDataset> dataset =
+      serve::MakeServeDataset(city.pois, trips.journeys);
+
+  serve::SnapshotOptions snapshot_options;
+  snapshot_options.miner.extraction.support_threshold = 50;
+  snapshot_options.miner.extraction.temporal_constraint =
+      60 * kSecondsPerMinute;
+  snapshot_options.miner.extraction.density_threshold = 0.002;
+
+  Stopwatch build_watch;
+  auto initial =
+      std::make_shared<serve::CsdSnapshot>(dataset, snapshot_options);
+  double snapshot_build_seconds = build_watch.ElapsedSeconds();
+  serve::SnapshotStore store(initial);
+
+  serve::ServeOptions options;
+  options.snapshot = snapshot_options;
+  serve::ServeService service(&store, options);
+  std::printf("setup: %zu POIs, %zu journeys, snapshot v1 (%zu units, %zu "
+              "patterns) in %.2fs\n",
+              city.pois.size(), trips.journeys.size(),
+              initial->diagram().num_units(), initial->patterns().size(),
+              setup_watch.ElapsedSeconds());
+
+  bool open_loop = config.qps > 0.0;
+  LoadOutcome outcome = open_loop
+                            ? RunOpenLoop(service, city_config, config)
+                            : RunClosedLoop(service, city_config, config);
+  service.Shutdown();
+
+  std::sort(outcome.latencies.begin(), outcome.latencies.end());
+  double p50 = Percentile(outcome.latencies, 0.50);
+  double p90 = Percentile(outcome.latencies, 0.90);
+  double p99 = Percentile(outcome.latencies, 0.99);
+  double achieved_qps = outcome.wall_seconds > 0.0
+                            ? static_cast<double>(outcome.completed) /
+                                  outcome.wall_seconds
+                            : 0.0;
+
+  std::printf("\n%s loop: %llu completed, %llu shed, %llu FAILED in "
+              "%.2fs\n",
+              open_loop ? "open" : "closed",
+              static_cast<unsigned long long>(outcome.completed),
+              static_cast<unsigned long long>(outcome.shed),
+              static_cast<unsigned long long>(outcome.failures),
+              outcome.wall_seconds);
+  std::printf("latency: p50 %.3fms  p90 %.3fms  p99 %.3fms\n", p50 * 1e3,
+              p90 * 1e3, p99 * 1e3);
+  std::printf("throughput: %.0f requests/s\n", achieved_qps);
+
+  PipelineBenchRun run;
+  run.scale = open_loop ? static_cast<size_t>(config.qps) : config.clients;
+  run.pois = city.pois.size();
+  run.agents = trip_config.num_agents;
+  run.journeys = trips.journeys.size();
+  run.patterns = initial->patterns().size();
+  run.stages.push_back({"snapshot_build", snapshot_build_seconds, 0});
+  run.stages.push_back({"annotate_p50", p50, 0});
+  run.stages.push_back({"annotate_p99", p99, 0});
+  if (outcome.rebuild_seconds > 0.0) {
+    run.stages.push_back({"rebuild", outcome.rebuild_seconds, 0});
+  }
+  run.rates.emplace_back("annotate_qps", achieved_qps);
+
+  const char* env_path = std::getenv("CSD_BENCH_JSON");
+  std::string json_path = !config.json_path.empty() ? config.json_path
+                          : env_path != nullptr     ? env_path
+                                                    : "BENCH_serve.json";
+  if (!WritePipelineJson(json_path, "serve_load", {run})) return 1;
+  std::printf("trajectory written to %s\n", json_path.c_str());
+
+  return outcome.failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace csd::bench
+
+int main(int argc, char** argv) { return csd::bench::Main(argc, argv); }

@@ -21,11 +21,15 @@ obs::Counter& StaysAnnotatedCounter() {
 }  // namespace
 
 void SemanticRecognizer::Annotate(SemanticTrajectory* trajectory) const {
-  for (StayPoint& sp : trajectory->stays) {
+  AnnotateStayPoints(trajectory->stays);
+}
+
+void SemanticRecognizer::AnnotateStayPoints(std::span<StayPoint> stays) const {
+  for (StayPoint& sp : stays) {
     sp.semantic = Recognize(sp.position);
   }
-  // Batched per trajectory so the hot per-stay loop stays untouched.
-  StaysAnnotatedCounter().Increment(trajectory->stays.size());
+  // Batched per run so the hot per-stay loop stays untouched.
+  StaysAnnotatedCounter().Increment(stays.size());
 }
 
 void SemanticRecognizer::AnnotateDatabase(SemanticTrajectoryDb* db) const {

@@ -1,6 +1,8 @@
 #ifndef CSD_CORE_SEMANTIC_RECOGNITION_H_
 #define CSD_CORE_SEMANTIC_RECOGNITION_H_
 
+#include <span>
+
 #include "core/city_semantic_diagram.h"
 #include "traj/trajectory.h"
 
@@ -18,6 +20,11 @@ class SemanticRecognizer {
 
   /// Fills in the semantic property of every stay point of `trajectory`.
   void Annotate(SemanticTrajectory* trajectory) const;
+
+  /// Fills in the semantic property of a flat run of stay points — the
+  /// request-path entry used by the serving layer's batched annotation,
+  /// which flattens a whole batch before dispatching it on the pool.
+  void AnnotateStayPoints(std::span<StayPoint> stays) const;
 
   /// Annotates a whole database in place.
   void AnnotateDatabase(SemanticTrajectoryDb* db) const;

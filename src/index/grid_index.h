@@ -50,6 +50,14 @@ class GridIndex {
   /// Index of the nearest point to `query`, or SIZE_MAX when empty.
   size_t Nearest(const Vec2& query) const;
 
+  /// Packed key of the cell containing `p` — the CSR bucket ordering.
+  /// Sorting query points by this key makes consecutive radius queries
+  /// walk adjacent bucket ranges, which is how the serving layer's
+  /// RequestBatcher recovers cache locality across a coalesced batch.
+  uint64_t CellKeyOf(const Vec2& p) const {
+    return KeyFor(CellCoord(p.x), CellCoord(p.y));
+  }
+
   size_t size() const { return points_.size(); }
   const Vec2& point(size_t i) const { return points_[i]; }
   const std::vector<Vec2>& points() const { return points_; }

@@ -82,6 +82,14 @@ MiningResult PervasiveMiner::ExtractAndEvaluate(
   return result;
 }
 
+std::vector<FineGrainedPattern> PervasiveMiner::MinePatterns(
+    SemanticTrajectoryDb db) const {
+  SemanticTrajectoryDb annotated =
+      AnnotateFor(RecognizerKind::kCsd, std::move(db));
+  CSD_TRACE_SPAN("pipeline/extract");
+  return CounterpartClusterExtract(annotated, config_.extraction);
+}
+
 MiningResult PervasiveMiner::Run(const PipelineKind& pipeline,
                                  SemanticTrajectoryDb db) const {
   return ExtractAndEvaluate(pipeline.extractor,

@@ -90,6 +90,11 @@ class PervasiveMiner {
                std::move(db));
   }
 
+  /// CSD annotation + CSD-PM extraction without the evaluation stage —
+  /// the snapshot-build path of the serving layer (src/serve), which only
+  /// needs the pattern set for QueryPatternsByUnit lookups.
+  std::vector<FineGrainedPattern> MinePatterns(SemanticTrajectoryDb db) const;
+
   const CitySemanticDiagram& diagram() const { return diagram_; }
   const CsdRecognizer& csd_recognizer() const { return csd_recognizer_; }
   const RoiRecognizer& roi_recognizer() const { return roi_recognizer_; }

@@ -37,6 +37,13 @@ class PoiDatabase {
   /// Id of the POI nearest to `query`; requires a non-empty database.
   PoiId Nearest(const Vec2& query) const;
 
+  /// Spatial-locality key of a location: the grid cell key of the POI
+  /// index. Batched annotation sorts stay points by this key so neighbor
+  /// queries of one batch touch adjacent index memory.
+  uint64_t SpatialKeyOf(const Vec2& query) const {
+    return index_->CellKeyOf(query);
+  }
+
   /// Number of POIs per major category (Table 3 statistics). Cached at
   /// construction; O(1).
   const std::array<size_t, kNumMajorCategories>& CountByMajor() const {

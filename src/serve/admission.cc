@@ -1,0 +1,77 @@
+#include "serve/admission.h"
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace csd::serve {
+
+namespace {
+
+obs::Counter& RejectedCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Get().GetCounter(
+      "csd_serve_rejected_total",
+      "Requests rejected by admission control (overload or shutdown)");
+  return counter;
+}
+
+}  // namespace
+
+const char* RequestClassName(RequestClass c) {
+  switch (c) {
+    case RequestClass::kAnnotate: return "annotate";
+    case RequestClass::kQuery: return "query";
+    case RequestClass::kRebuild: return "rebuild";
+  }
+  return "unknown";
+}
+
+AdmissionController::AdmissionController(AdmissionLimits limits)
+    : limits_(limits) {}
+
+Status AdmissionController::Admit(RequestClass c) {
+  size_t i = static_cast<size_t>(c);
+  if (closed_.load(std::memory_order_acquire)) {
+    rejected_[i].fetch_add(1, std::memory_order_relaxed);
+    RejectedCounter().Increment();
+    return Status::Unavailable(std::string(RequestClassName(c)) +
+                               ": shutting down");
+  }
+  size_t limit = limits_.ForClass(c);
+  size_t current = in_flight_[i].load(std::memory_order_relaxed);
+  do {
+    if (current >= limit) {
+      rejected_[i].fetch_add(1, std::memory_order_relaxed);
+      RejectedCounter().Increment();
+      return Status::Unavailable(std::string(RequestClassName(c)) +
+                                 " queue full (" + std::to_string(limit) +
+                                 " in flight)");
+    }
+  } while (!in_flight_[i].compare_exchange_weak(current, current + 1,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_relaxed));
+  admitted_[i].fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void AdmissionController::Release(RequestClass c) {
+  in_flight_[static_cast<size_t>(c)].fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void AdmissionController::Close() {
+  closed_.store(true, std::memory_order_release);
+}
+
+size_t AdmissionController::InFlight(RequestClass c) const {
+  return in_flight_[static_cast<size_t>(c)].load(std::memory_order_acquire);
+}
+
+uint64_t AdmissionController::Admitted(RequestClass c) const {
+  return admitted_[static_cast<size_t>(c)].load(std::memory_order_relaxed);
+}
+
+uint64_t AdmissionController::Rejected(RequestClass c) const {
+  return rejected_[static_cast<size_t>(c)].load(std::memory_order_relaxed);
+}
+
+}  // namespace csd::serve

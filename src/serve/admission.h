@@ -1,0 +1,79 @@
+#ifndef CSD_SERVE_ADMISSION_H_
+#define CSD_SERVE_ADMISSION_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+
+#include "serve/request.h"
+#include "util/status.h"
+
+namespace csd::serve {
+
+/// Per-class in-flight ceilings. A class's budget covers everything
+/// between Admit and Release — queued plus executing — so the annotate
+/// limit is exactly the bounded-queue depth of the batcher.
+struct AdmissionLimits {
+  size_t annotate = 1024;
+  size_t query = 256;
+  size_t rebuild = 1;  // one rebuild in flight; a second is rejected
+
+  size_t ForClass(RequestClass c) const {
+    switch (c) {
+      case RequestClass::kAnnotate: return annotate;
+      case RequestClass::kQuery: return query;
+      case RequestClass::kRebuild: return rebuild;
+    }
+    return 0;
+  }
+};
+
+/// Load shedding at the front door. Admit() either reserves one slot of
+/// the class's budget (CAS on a per-class counter — no lock, no
+/// allocation) or returns kUnavailable immediately, so an overloaded
+/// server answers "retry later" in microseconds instead of queueing
+/// without bound. Close() flips every future Admit to kUnavailable while
+/// already-admitted work drains — the shutdown contract: everything
+/// admitted completes, nothing new enters.
+///
+/// Deterministic by construction: with the consumer paused, exactly
+/// `limit` requests admit and the limit+1-th rejects (the overload test
+/// relies on this).
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionLimits limits = {});
+
+  /// Reserves a slot or explains why not (kUnavailable: class budget full
+  /// or controller closed). Every successful Admit must be paired with
+  /// exactly one Release.
+  Status Admit(RequestClass c);
+
+  void Release(RequestClass c);
+
+  /// Stops admitting (idempotent). In-flight counts still drain to zero
+  /// through Release.
+  void Close();
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// Requests of `c` currently between Admit and Release.
+  size_t InFlight(RequestClass c) const;
+
+  /// Lifetime tallies, independent of the obs switch so `stats` and the
+  /// tests see them unconditionally.
+  uint64_t Admitted(RequestClass c) const;
+  uint64_t Rejected(RequestClass c) const;
+
+  const AdmissionLimits& limits() const { return limits_; }
+
+ private:
+  AdmissionLimits limits_;
+  std::atomic<bool> closed_{false};
+  std::array<std::atomic<size_t>, kNumRequestClasses> in_flight_{};
+  std::array<std::atomic<uint64_t>, kNumRequestClasses> admitted_{};
+  std::array<std::atomic<uint64_t>, kNumRequestClasses> rejected_{};
+};
+
+}  // namespace csd::serve
+
+#endif  // CSD_SERVE_ADMISSION_H_

@@ -1,0 +1,95 @@
+#include "serve/batcher.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace csd::serve {
+
+namespace {
+
+obs::Gauge& QueueDepthGauge() {
+  static obs::Gauge& gauge = obs::MetricsRegistry::Get().GetGauge(
+      "csd_serve_queue_depth", "Annotation requests waiting in the batcher");
+  return gauge;
+}
+
+}  // namespace
+
+RequestBatcher::RequestBatcher(BatchPolicy policy, ExecuteFn execute,
+                               bool paused)
+    : policy_(policy), execute_(std::move(execute)), paused_(paused) {
+  CSD_CHECK(policy_.max_batch >= 1);
+  CSD_CHECK(execute_ != nullptr);
+  dispatcher_ = std::thread([this] { DispatcherMain(); });
+}
+
+RequestBatcher::~RequestBatcher() { Drain(); }
+
+void RequestBatcher::Enqueue(AnnotateRequest request) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(request));
+    QueueDepthGauge().Set(static_cast<double>(queue_.size()));
+  }
+  cv_.notify_all();
+}
+
+void RequestBatcher::SetPaused(bool paused) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = paused;
+  }
+  cv_.notify_all();
+}
+
+void RequestBatcher::Drain() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+    paused_ = false;
+  }
+  cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+size_t RequestBatcher::Depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void RequestBatcher::DispatcherMain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_.wait(lock, [this] {
+      return (!queue_.empty() && !paused_) || (draining_ && queue_.empty());
+    });
+    if (queue_.empty()) return;  // draining and nothing left
+
+    // Batch window: the first request opens it; close at max_batch
+    // coalesced requests or max_delay, whichever first. A drain flushes
+    // immediately — admitted requests must not wait out the window during
+    // shutdown.
+    auto deadline = std::chrono::steady_clock::now() + policy_.max_delay;
+    while (queue_.size() < policy_.max_batch && !draining_ && !paused_) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+    }
+    if (paused_ && !draining_) continue;  // re-paused mid-window: hold
+
+    size_t take = std::min(queue_.size(), policy_.max_batch);
+    std::vector<AnnotateRequest> batch;
+    batch.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    QueueDepthGauge().Set(static_cast<double>(queue_.size()));
+
+    lock.unlock();
+    execute_(std::move(batch));
+    lock.lock();
+  }
+}
+
+}  // namespace csd::serve

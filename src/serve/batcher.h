@@ -1,0 +1,78 @@
+#ifndef CSD_SERVE_BATCHER_H_
+#define CSD_SERVE_BATCHER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace csd::serve {
+
+/// When a batch closes: at `max_batch` coalesced requests, or `max_delay`
+/// after the first request of the batch arrived, whichever comes first.
+/// max_delay is the latency tax a lone request pays to give neighbors a
+/// chance to share its snapshot acquisition and grid-index locality.
+struct BatchPolicy {
+  size_t max_batch = 64;
+  std::chrono::microseconds max_delay{1000};
+};
+
+/// Coalesces annotation requests into batches and hands each batch to the
+/// execute callback on a dedicated dispatcher thread (which fans the
+/// batch out on the work-stealing pool). The queue itself is unbounded —
+/// the AdmissionController in front of Enqueue is what bounds it — so
+/// Enqueue never blocks and never fails for an admitted request.
+///
+/// Drain() delivers every queued request before the dispatcher exits:
+/// shutdown completes admitted work, it never drops it.
+class RequestBatcher {
+ public:
+  using ExecuteFn = std::function<void(std::vector<AnnotateRequest>)>;
+
+  /// `execute` runs on the dispatcher thread; it owns the batch and must
+  /// fulfill every request's promise. `paused` starts the dispatcher
+  /// suspended (test hook for deterministic overload).
+  RequestBatcher(BatchPolicy policy, ExecuteFn execute, bool paused = false);
+
+  /// Drains and joins.
+  ~RequestBatcher();
+
+  RequestBatcher(const RequestBatcher&) = delete;
+  RequestBatcher& operator=(const RequestBatcher&) = delete;
+
+  void Enqueue(AnnotateRequest request);
+
+  /// Suspends/resumes batch dispatch. While paused, requests queue up
+  /// (until admission control rejects); on resume they drain in order.
+  void SetPaused(bool paused);
+
+  /// Stops dispatching new batches after the queue empties and joins the
+  /// dispatcher. Idempotent; implies SetPaused(false).
+  void Drain();
+
+  size_t Depth() const;
+
+ private:
+  void DispatcherMain();
+
+  BatchPolicy policy_;
+  ExecuteFn execute_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<AnnotateRequest> queue_;
+  bool paused_ = false;
+  bool draining_ = false;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace csd::serve
+
+#endif  // CSD_SERVE_BATCHER_H_

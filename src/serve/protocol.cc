@@ -1,0 +1,157 @@
+#include "serve/protocol.h"
+
+#include <cinttypes>
+#include <string>
+#include <utility>
+
+#include "util/strings.h"
+
+namespace csd::serve {
+
+namespace {
+
+/// "X,Y" -> Vec2; "X,Y,T" with allow_time also fills `time`.
+Result<StayPoint> ParsePoint(std::string_view field, bool with_time) {
+  std::vector<std::string> parts = SplitString(field, ',');
+  size_t want = with_time ? 3 : 2;
+  if (parts.size() != want) {
+    return Status::ParseError("bad point '" + std::string(field) +
+                              "' (want " + (with_time ? "X,Y,T" : "X,Y") +
+                              ")");
+  }
+  Result<double> x = ParseDouble(parts[0]);
+  if (!x.ok()) return x.status();
+  Result<double> y = ParseDouble(parts[1]);
+  if (!y.ok()) return y.status();
+  StayPoint stay({x.value(), y.value()}, 0);
+  if (with_time) {
+    Result<int64_t> t = ParseInt64(parts[2]);
+    if (!t.ok()) return t.status();
+    stay.time = t.value();
+  }
+  return stay;
+}
+
+}  // namespace
+
+Result<ProtocolRequest> ParseRequestLine(std::string_view line) {
+  std::string_view trimmed = TrimString(line);
+  if (trimmed.empty()) return Status::ParseError("empty request line");
+
+  size_t space = trimmed.find(' ');
+  std::string_view verb = trimmed.substr(0, space);
+  std::string_view body =
+      space == std::string_view::npos
+          ? std::string_view()
+          : TrimString(trimmed.substr(space + 1));
+
+  ProtocolRequest request;
+  if (verb == "annotate") {
+    request.kind = RequestKind::kAnnotate;
+    if (body.empty()) {
+      return Status::ParseError("annotate needs at least one X,Y point");
+    }
+    for (const std::string& field : SplitString(body, ';')) {
+      Result<StayPoint> stay = ParsePoint(field, /*with_time=*/false);
+      if (!stay.ok()) return stay.status();
+      request.stays.push_back(stay.value());
+    }
+    return request;
+  }
+  if (verb == "journey") {
+    request.kind = RequestKind::kJourney;
+    std::vector<std::string> legs = SplitString(body, ';');
+    if (legs.size() != 2) {
+      return Status::ParseError(
+          "journey needs exactly PX,PY,PT;DX,DY,DT, got '" +
+          std::string(body) + "'");
+    }
+    Result<StayPoint> pickup = ParsePoint(legs[0], /*with_time=*/true);
+    if (!pickup.ok()) return pickup.status();
+    Result<StayPoint> dropoff = ParsePoint(legs[1], /*with_time=*/true);
+    if (!dropoff.ok()) return dropoff.status();
+    request.journey.pickup = {pickup.value().position, pickup.value().time};
+    request.journey.dropoff = {dropoff.value().position,
+                               dropoff.value().time};
+    return request;
+  }
+  if (verb == "query-unit") {
+    request.kind = RequestKind::kQueryUnit;
+    Result<int64_t> id = ParseInt64(body);
+    if (!id.ok() || id.value() < 0) {
+      return Status::ParseError("query-unit needs a non-negative unit id, "
+                                "got '" + std::string(body) + "'");
+    }
+    request.unit = static_cast<UnitId>(id.value());
+    return request;
+  }
+  if (verb == "rebuild" || verb == "stats" || verb == "quit") {
+    if (!body.empty()) {
+      return Status::ParseError("'" + std::string(verb) +
+                                "' takes no arguments");
+    }
+    request.kind = verb == "rebuild" ? RequestKind::kRebuild
+                   : verb == "stats" ? RequestKind::kStats
+                                     : RequestKind::kQuit;
+    return request;
+  }
+  return Status::ParseError("unknown request verb '" + std::string(verb) +
+                            "'");
+}
+
+std::string FormatAnnotateResponse(const AnnotateResult& result) {
+  std::string out = StrFormat("ok annotate v=%" PRIu64 " n=%zu units=",
+                              result.snapshot_version, result.stays.size());
+  for (size_t i = 0; i < result.units.size(); ++i) {
+    if (i > 0) out += ',';
+    if (result.units[i] == kNoUnit) {
+      out += '-';
+    } else {
+      out += std::to_string(result.units[i]);
+    }
+  }
+  out += " sem=";
+  for (size_t i = 0; i < result.stays.size(); ++i) {
+    if (i > 0) out += ',';
+    out += StrFormat("0x%x", result.stays[i].semantic.bits());
+  }
+  return out;
+}
+
+std::string FormatQueryResponse(const PatternQueryResult& result) {
+  std::string out =
+      StrFormat("ok query v=%" PRIu64 " unit=%u patterns=",
+                result.snapshot_version, result.unit);
+  for (size_t i = 0; i < result.pattern_ids.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(result.pattern_ids[i]);
+  }
+  return out;
+}
+
+std::string FormatRebuildResponse(const RebuildResult& result) {
+  return StrFormat("ok rebuild v=%" PRIu64
+                   " units=%zu patterns=%zu seconds=%.3f",
+                   result.version, result.num_units, result.num_patterns,
+                   result.seconds);
+}
+
+std::string FormatStatsResponse(const ServeService& service) {
+  const AdmissionController& admission = service.admission();
+  std::string out = StrFormat(
+      "ok stats version=%" PRIu64 " live_snapshots=%" PRIu64 " depth=%zu",
+      service.store().current_version(), CsdSnapshot::LiveCount(),
+      service.QueueDepth());
+  for (RequestClass c : {RequestClass::kAnnotate, RequestClass::kQuery,
+                         RequestClass::kRebuild}) {
+    out += StrFormat(" %s=%" PRIu64 "/%" PRIu64, RequestClassName(c),
+                     admission.Admitted(c), admission.Rejected(c));
+  }
+  return out;
+}
+
+std::string FormatErrorResponse(const Status& status) {
+  return "err " + status.ToString();
+}
+
+}  // namespace csd::serve

@@ -1,0 +1,58 @@
+#ifndef CSD_SERVE_PROTOCOL_H_
+#define CSD_SERVE_PROTOCOL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/request.h"
+#include "serve/service.h"
+#include "traj/journey.h"
+#include "util/status.h"
+
+namespace csd::serve {
+
+/// The newline-delimited request grammar spoken by `csdctl serve` (one
+/// request per line on stdin, one response per line on stdout):
+///
+///   annotate X,Y[;X,Y]...        batched stay-point annotation
+///   journey PX,PY,PT;DX,DY,DT    pick-up + drop-off as one request
+///   query-unit ID                fine-grained patterns anchored at unit ID
+///   rebuild                      background rebuild + publish
+///   stats                        one-line server counters
+///   quit                         graceful drain and exit
+///
+/// Responses are `ok <verb> key=value...` or `err <Code>: <message>`.
+enum class RequestKind {
+  kAnnotate,
+  kJourney,
+  kQueryUnit,
+  kRebuild,
+  kStats,
+  kQuit,
+};
+
+/// One parsed request line.
+struct ProtocolRequest {
+  RequestKind kind = RequestKind::kStats;
+  std::vector<StayPoint> stays;  // kAnnotate
+  TaxiJourney journey;           // kJourney
+  UnitId unit = kNoUnit;         // kQueryUnit
+};
+
+/// Parses one request line (surrounding whitespace ignored). ParseError
+/// names the offending token; blank lines are ParseError too — the caller
+/// skips them before parsing.
+Result<ProtocolRequest> ParseRequestLine(std::string_view line);
+
+/// Response formatters. Units are `-` for kNoUnit; semantics are the
+/// property bitmask in hex (machine-parsable and compact).
+std::string FormatAnnotateResponse(const AnnotateResult& result);
+std::string FormatQueryResponse(const PatternQueryResult& result);
+std::string FormatRebuildResponse(const RebuildResult& result);
+std::string FormatStatsResponse(const ServeService& service);
+std::string FormatErrorResponse(const Status& status);
+
+}  // namespace csd::serve
+
+#endif  // CSD_SERVE_PROTOCOL_H_

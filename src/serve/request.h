@@ -1,0 +1,66 @@
+#ifndef CSD_SERVE_REQUEST_H_
+#define CSD_SERVE_REQUEST_H_
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/pattern.h"
+#include "core/semantic_unit.h"
+#include "traj/trajectory.h"
+
+namespace csd::serve {
+
+class CsdSnapshot;
+
+/// The request classes the AdmissionController budgets independently:
+/// cheap latency-sensitive lookups must not starve behind annotation
+/// batches, and at most one rebuild may be in flight.
+enum class RequestClass { kAnnotate = 0, kQuery = 1, kRebuild = 2 };
+inline constexpr size_t kNumRequestClasses = 3;
+
+const char* RequestClassName(RequestClass c);
+
+/// Outcome of one annotation request (single stay points or a whole
+/// journey): the input stay points with their semantic properties filled
+/// in, the winning semantic unit per stay (kNoUnit when nothing was in
+/// range), and the version of the snapshot that served the request.
+struct AnnotateResult {
+  uint64_t snapshot_version = 0;
+  std::vector<StayPoint> stays;
+  std::vector<UnitId> units;
+};
+
+/// One queued annotation request. `enqueue_time` feeds the latency
+/// histogram; the promise is fulfilled by the batch that executes it.
+struct AnnotateRequest {
+  std::vector<StayPoint> stays;
+  std::chrono::steady_clock::time_point enqueue_time;
+  std::promise<AnnotateResult> promise;
+};
+
+/// Result of a pattern lookup. `pattern_ids` points into the snapshot's
+/// unit→pattern index; the shared_ptr pins that snapshot for as long as
+/// the caller holds the result (RCU read-side critical section).
+struct PatternQueryResult {
+  uint64_t snapshot_version = 0;
+  UnitId unit = kNoUnit;
+  std::shared_ptr<const CsdSnapshot> snapshot;
+  std::span<const uint32_t> pattern_ids;
+};
+
+/// Outcome of a background rebuild: the version the new snapshot was
+/// published under and its headline shape.
+struct RebuildResult {
+  uint64_t version = 0;
+  size_t num_units = 0;
+  size_t num_patterns = 0;
+  double seconds = 0.0;
+};
+
+}  // namespace csd::serve
+
+#endif  // CSD_SERVE_REQUEST_H_

@@ -1,0 +1,273 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/parallel.h"
+#include "util/stopwatch.h"
+
+namespace csd::serve {
+
+namespace {
+
+obs::Counter& AnnotateRequestsCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Get().GetCounter(
+      "csd_serve_annotate_requests_total", "Admitted annotation requests");
+  return counter;
+}
+
+obs::Counter& QueryRequestsCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Get().GetCounter(
+      "csd_serve_query_requests_total", "Admitted pattern queries");
+  return counter;
+}
+
+obs::Counter& RebuildsCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Get().GetCounter(
+      "csd_serve_rebuilds_total", "Completed snapshot rebuilds");
+  return counter;
+}
+
+obs::Counter& BatchesCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Get().GetCounter(
+      "csd_serve_batches_total", "Annotation batches dispatched");
+  return counter;
+}
+
+obs::Histogram& BatchSizeHistogram() {
+  static obs::Histogram& hist = obs::MetricsRegistry::Get().GetHistogram(
+      "csd_serve_batch_size", "Coalesced requests per annotation batch",
+      {1, 2, 4, 8, 16, 32, 64, 128, 256});
+  return hist;
+}
+
+obs::Histogram& AnnotateLatencyHistogram() {
+  static obs::Histogram& hist = obs::MetricsRegistry::Get().GetHistogram(
+      "csd_serve_annotate_latency_seconds",
+      "Enqueue-to-completion latency of annotation requests",
+      {1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1,
+       0.25, 0.5, 1.0});
+  return hist;
+}
+
+obs::Histogram& QueryLatencyHistogram() {
+  static obs::Histogram& hist = obs::MetricsRegistry::Get().GetHistogram(
+      "csd_serve_query_latency_seconds",
+      "Latency of synchronous pattern-by-unit lookups",
+      {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1});
+  return hist;
+}
+
+}  // namespace
+
+ServeService::ServeService(SnapshotStore* store, ServeOptions options)
+    : store_(store), options_(options), admission_(options.limits) {
+  rebuild_thread_ = std::thread([this] { RebuildMain(); });
+  batcher_ = std::make_unique<RequestBatcher>(
+      options_.batch,
+      [this](std::vector<AnnotateRequest> batch) {
+        ExecuteBatch(std::move(batch));
+      },
+      options_.start_paused);
+}
+
+ServeService::~ServeService() { Shutdown(); }
+
+Result<std::future<AnnotateResult>> ServeService::Submit(
+    std::vector<StayPoint> stays) {
+  if (store_->current_version() == 0) {
+    return Status::FailedPrecondition(
+        "no snapshot published yet; trigger a rebuild first");
+  }
+  Status admit = admission_.Admit(RequestClass::kAnnotate);
+  if (!admit.ok()) return admit;
+  AnnotateRequestsCounter().Increment();
+
+  AnnotateRequest request;
+  request.stays = std::move(stays);
+  request.enqueue_time = std::chrono::steady_clock::now();
+  std::future<AnnotateResult> future = request.promise.get_future();
+  batcher_->Enqueue(std::move(request));
+  return future;
+}
+
+Result<std::future<AnnotateResult>> ServeService::AnnotateStayPoints(
+    std::vector<StayPoint> stays) {
+  return Submit(std::move(stays));
+}
+
+Result<std::future<AnnotateResult>> ServeService::AnnotateJourney(
+    const TaxiJourney& journey) {
+  std::vector<StayPoint> stays;
+  stays.reserve(2);
+  stays.emplace_back(journey.pickup.position, journey.pickup.time);
+  stays.emplace_back(journey.dropoff.position, journey.dropoff.time);
+  return Submit(std::move(stays));
+}
+
+Result<PatternQueryResult> ServeService::QueryPatternsByUnit(UnitId unit) {
+  if (store_->current_version() == 0) {
+    return Status::FailedPrecondition(
+        "no snapshot published yet; trigger a rebuild first");
+  }
+  Status admit = admission_.Admit(RequestClass::kQuery);
+  if (!admit.ok()) return admit;
+  QueryRequestsCounter().Increment();
+
+  Stopwatch watch;
+  PatternQueryResult result;
+  {
+    CSD_TRACE_SPAN("serve/query_unit");
+    std::shared_ptr<const CsdSnapshot> snapshot = store_->Acquire();
+    result.snapshot_version = snapshot->version();
+    result.unit = unit;
+    result.pattern_ids = snapshot->PatternsForUnit(unit);
+    result.snapshot = std::move(snapshot);  // pins pattern_ids
+  }
+  QueryLatencyHistogram().Observe(watch.ElapsedSeconds());
+  admission_.Release(RequestClass::kQuery);
+  return result;
+}
+
+Result<std::future<RebuildResult>> ServeService::TriggerRebuild(
+    std::shared_ptr<const ServeDataset> data) {
+  if (data == nullptr && store_->current_version() == 0) {
+    return Status::FailedPrecondition(
+        "nothing to rebuild: no dataset given and no snapshot published");
+  }
+  Status admit = admission_.Admit(RequestClass::kRebuild);
+  if (!admit.ok()) return admit;
+
+  RebuildJob job;
+  job.data = std::move(data);
+  std::future<RebuildResult> future = job.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(rebuild_mutex_);
+    rebuild_queue_.push_back(std::move(job));
+  }
+  rebuild_cv_.notify_all();
+  return future;
+}
+
+void ServeService::Shutdown() {
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
+  if (shut_down_) return;
+  shut_down_ = true;
+
+  admission_.Close();       // new requests bounce with kUnavailable...
+  batcher_->Drain();        // ...while everything admitted completes.
+  {
+    std::lock_guard<std::mutex> lock(rebuild_mutex_);
+    rebuild_stop_ = true;
+  }
+  rebuild_cv_.notify_all();
+  if (rebuild_thread_.joinable()) rebuild_thread_.join();
+}
+
+void ServeService::SetPausedForTest(bool paused) {
+  batcher_->SetPaused(paused);
+}
+
+void ServeService::ExecuteBatch(std::vector<AnnotateRequest> batch) {
+  CSD_TRACE_SPAN("serve/annotate_batch");
+  // One snapshot acquisition amortized over the whole batch; every request
+  // in it is served by this one consistent generation.
+  std::shared_ptr<const CsdSnapshot> snapshot = store_->Acquire();
+  const CsdRecognizer& recognizer = snapshot->recognizer();
+  const PoiDatabase& pois = snapshot->data().pois;
+
+  std::vector<AnnotateResult> results(batch.size());
+  size_t total_stays = 0;
+  for (const AnnotateRequest& request : batch) {
+    total_stays += request.stays.size();
+  }
+
+  // Flatten to (request, index) slots and sort by packed grid-cell key so
+  // neighboring stays — which vote over overlapping candidate sets — run
+  // adjacently and share the grid index's cache lines. The sort only
+  // changes execution order; each slot writes its fixed output position,
+  // and the voting kernel is a strict per-stay argmax, so results are
+  // byte-identical to unbatched annotation at any thread count.
+  struct Slot {
+    uint32_t request;
+    uint32_t index;
+    uint64_t cell_key;
+  };
+  std::vector<Slot> slots;
+  slots.reserve(total_stays);
+  for (size_t r = 0; r < batch.size(); ++r) {
+    results[r].snapshot_version = snapshot->version();
+    results[r].stays = std::move(batch[r].stays);
+    results[r].units.assign(results[r].stays.size(), kNoUnit);
+    for (size_t i = 0; i < results[r].stays.size(); ++i) {
+      slots.push_back({static_cast<uint32_t>(r), static_cast<uint32_t>(i),
+                       pois.SpatialKeyOf(results[r].stays[i].position)});
+    }
+  }
+  std::sort(slots.begin(), slots.end(),
+            [](const Slot& a, const Slot& b) { return a.cell_key < b.cell_key; });
+
+  ParallelFor(
+      slots.size(),
+      [&](size_t k) {
+        const Slot& slot = slots[k];
+        StayPoint& stay = results[slot.request].stays[slot.index];
+        UnitId unit = kNoUnit;
+        stay.semantic = recognizer.RecognizeWithUnit(stay.position, &unit);
+        results[slot.request].units[slot.index] = unit;
+      },
+      {.grain = 32});
+
+  auto now = std::chrono::steady_clock::now();
+  for (size_t r = 0; r < batch.size(); ++r) {
+    AnnotateLatencyHistogram().Observe(
+        std::chrono::duration<double>(now - batch[r].enqueue_time).count());
+    batch[r].promise.set_value(std::move(results[r]));
+    admission_.Release(RequestClass::kAnnotate);
+  }
+  BatchSizeHistogram().Observe(static_cast<double>(batch.size()));
+  BatchesCounter().Increment();
+}
+
+void ServeService::RebuildMain() {
+  std::unique_lock<std::mutex> lock(rebuild_mutex_);
+  for (;;) {
+    rebuild_cv_.wait(lock, [this] {
+      return rebuild_stop_ || !rebuild_queue_.empty();
+    });
+    if (rebuild_queue_.empty()) return;  // stopped and drained
+
+    RebuildJob job = std::move(rebuild_queue_.front());
+    rebuild_queue_.pop_front();
+    lock.unlock();
+
+    {
+      CSD_TRACE_SPAN("serve/rebuild");
+      Stopwatch watch;
+      // TriggerRebuild guarantees a published snapshot exists when no
+      // dataset was given, and publishes never retract.
+      std::shared_ptr<const ServeDataset> data =
+          job.data != nullptr ? std::move(job.data)
+                              : store_->Acquire()->shared_data();
+      auto snapshot =
+          std::make_shared<CsdSnapshot>(std::move(data), options_.snapshot);
+      uint64_t version = store_->Publish(snapshot);
+      RebuildsCounter().Increment();
+      RebuildResult result;
+      result.version = version;
+      result.num_units = snapshot->diagram().units().size();
+      result.num_patterns = snapshot->patterns().size();
+      result.seconds = watch.ElapsedSeconds();
+      job.promise.set_value(result);
+      admission_.Release(RequestClass::kRebuild);
+    }
+
+    lock.lock();
+  }
+}
+
+}  // namespace csd::serve

@@ -1,0 +1,122 @@
+#ifndef CSD_SERVE_SERVICE_H_
+#define CSD_SERVE_SERVICE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/admission.h"
+#include "serve/batcher.h"
+#include "serve/request.h"
+#include "serve/snapshot_store.h"
+#include "traj/journey.h"
+#include "util/status.h"
+
+namespace csd::serve {
+
+/// Everything configurable about one serving instance.
+struct ServeOptions {
+  BatchPolicy batch;
+  AdmissionLimits limits;
+  /// Applied to snapshots built by TriggerRebuild.
+  SnapshotOptions snapshot;
+  /// Start with batch dispatch suspended (deterministic-overload tests).
+  bool start_paused = false;
+};
+
+/// The online request path over a SnapshotStore: admission control at the
+/// front door, request coalescing in the middle, the CSD voting kernel at
+/// the bottom, and a background rebuild lane that publishes new
+/// generations without stalling readers.
+///
+///   client ──Admit──> RequestBatcher ──batch──> pool ──> promises
+///                │                        │
+///                └─rebuild lane──> CsdSnapshot build ──> Publish (RCU)
+///
+/// Endpoints return Status::Unavailable immediately under overload
+/// (bounded queues, no unbounded buffering); everything admitted is
+/// guaranteed to complete, including across Shutdown().
+class ServeService {
+ public:
+  /// `store` must outlive the service. Annotation and queries require a
+  /// published generation; TriggerRebuild with an explicit dataset works
+  /// on an empty store (bootstrap).
+  explicit ServeService(SnapshotStore* store, ServeOptions options = {});
+
+  /// Shuts down (drains) if the caller did not.
+  ~ServeService();
+
+  ServeService(const ServeService&) = delete;
+  ServeService& operator=(const ServeService&) = delete;
+
+  /// Queues `stays` for batched annotation. The future resolves to the
+  /// stays with semantics + winning units filled in, annotated against
+  /// one consistent snapshot.
+  Result<std::future<AnnotateResult>> AnnotateStayPoints(
+      std::vector<StayPoint> stays);
+
+  /// Queues the journey's stay points (pick-up, drop-off) as one request.
+  Result<std::future<AnnotateResult>> AnnotateJourney(
+      const TaxiJourney& journey);
+
+  /// Fine-grained patterns anchored at `unit` in the current snapshot.
+  /// Synchronous: a bounded number of concurrent lookups run directly on
+  /// the caller's thread (admission class kQuery).
+  Result<PatternQueryResult> QueryPatternsByUnit(UnitId unit);
+
+  /// Queues a full background rebuild + publish. `data` is the new
+  /// dataset generation; nullptr re-runs on the current snapshot's
+  /// dataset. At most limits.rebuild rebuilds are in flight; extra
+  /// triggers get kUnavailable.
+  Result<std::future<RebuildResult>> TriggerRebuild(
+      std::shared_ptr<const ServeDataset> data = nullptr);
+
+  /// Graceful drain: closes admission (new requests get kUnavailable),
+  /// completes every admitted request and rebuild, joins the worker
+  /// threads. Idempotent; called by the destructor.
+  void Shutdown();
+
+  /// Suspends/resumes batch dispatch (tests saturate the queue
+  /// deterministically while paused).
+  void SetPausedForTest(bool paused);
+
+  const AdmissionController& admission() const { return admission_; }
+  SnapshotStore& store() { return *store_; }
+  const SnapshotStore& store() const { return *store_; }
+  size_t QueueDepth() const { return batcher_->Depth(); }
+
+ private:
+  struct RebuildJob {
+    std::shared_ptr<const ServeDataset> data;
+    std::promise<RebuildResult> promise;
+  };
+
+  Result<std::future<AnnotateResult>> Submit(std::vector<StayPoint> stays);
+  void ExecuteBatch(std::vector<AnnotateRequest> batch);
+  void RebuildMain();
+
+  SnapshotStore* store_;
+  ServeOptions options_;
+  AdmissionController admission_;
+
+  std::mutex rebuild_mutex_;
+  std::condition_variable rebuild_cv_;
+  std::deque<RebuildJob> rebuild_queue_;
+  bool rebuild_stop_ = false;
+  std::thread rebuild_thread_;
+
+  std::mutex shutdown_mutex_;
+  bool shut_down_ = false;
+
+  // Last: its dispatcher calls ExecuteBatch, so every field it touches
+  // must already be alive.
+  std::unique_ptr<RequestBatcher> batcher_;
+};
+
+}  // namespace csd::serve
+
+#endif  // CSD_SERVE_SERVICE_H_

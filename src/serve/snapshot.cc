@@ -1,0 +1,109 @@
+#include "serve/snapshot.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "obs/trace.h"
+#include "traj/journey.h"
+#include "util/check.h"
+
+namespace csd::serve {
+
+namespace {
+
+// Liveness stamp: XORed with the version while the snapshot is alive,
+// overwritten with the poison value by the destructor. A reader that sees
+// anything else is looking at a torn or reclaimed snapshot.
+constexpr uint64_t kLiveStamp = 0x5ca1ab1e0ddba11ull;
+constexpr uint64_t kDeadStamp = 0xdeadbeefdeadbeefull;
+
+std::atomic<uint64_t>& LiveCounter() {
+  static std::atomic<uint64_t> count{0};
+  return count;
+}
+
+}  // namespace
+
+std::shared_ptr<const ServeDataset> MakeServeDataset(
+    std::vector<Poi> pois, const std::vector<TaxiJourney>& journeys) {
+  std::vector<StayPoint> stays = CollectStayPoints(journeys);
+  SemanticTrajectoryDb db = JourneysToStayPairs(journeys);
+  SemanticTrajectoryDb linked = LinkJourneys(journeys, {});
+  db.insert(db.end(), linked.begin(), linked.end());
+  for (size_t i = 0; i < db.size(); ++i) {
+    db[i].id = static_cast<TrajectoryId>(i);
+  }
+  return std::make_shared<const ServeDataset>(std::move(pois),
+                                              std::move(stays),
+                                              std::move(db));
+}
+
+CsdSnapshot::CsdSnapshot(std::shared_ptr<const ServeDataset> data,
+                         const SnapshotOptions& options)
+    : data_(std::move(data)), stamp_(kLiveStamp) {
+  CSD_CHECK(data_ != nullptr);
+  CSD_TRACE_SPAN("serve/snapshot_build");
+  miner_ = std::make_unique<PervasiveMiner>(&data_->pois, data_->stays,
+                                            options.miner);
+  if (options.mine_patterns) {
+    patterns_ = miner_->MinePatterns(data_->trajectories);
+  }
+
+  // Invert patterns → units: every representative stay votes once per
+  // pattern (RecognizeWithUnit is the same kernel the request path runs,
+  // so lookup-by-unit agrees with annotation-by-position).
+  std::vector<std::pair<UnitId, uint32_t>> unit_pattern;
+  for (uint32_t id = 0; id < patterns_.size(); ++id) {
+    for (const StayPoint& sp : patterns_[id].representative) {
+      UnitId unit = kNoUnit;
+      recognizer().RecognizeWithUnit(sp.position, &unit);
+      if (unit != kNoUnit) unit_pattern.emplace_back(unit, id);
+    }
+  }
+  std::sort(unit_pattern.begin(), unit_pattern.end());
+  unit_pattern.erase(std::unique(unit_pattern.begin(), unit_pattern.end()),
+                     unit_pattern.end());
+
+  size_t num_units = diagram().num_units();
+  unit_pattern_offsets_.assign(num_units + 1, 0);
+  unit_pattern_ids_.reserve(unit_pattern.size());
+  for (const auto& [unit, id] : unit_pattern) {
+    unit_pattern_offsets_[unit + 1]++;
+    unit_pattern_ids_.push_back(id);
+  }
+  for (size_t u = 0; u < num_units; ++u) {
+    unit_pattern_offsets_[u + 1] += unit_pattern_offsets_[u];
+  }
+
+  LiveCounter().fetch_add(1, std::memory_order_relaxed);
+}
+
+CsdSnapshot::~CsdSnapshot() {
+  stamp_ = kDeadStamp;
+  LiveCounter().fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::span<const uint32_t> CsdSnapshot::PatternsForUnit(UnitId unit) const {
+  if (unit >= diagram().num_units()) return {};
+  return std::span<const uint32_t>(unit_pattern_ids_)
+      .subspan(unit_pattern_offsets_[unit],
+               unit_pattern_offsets_[unit + 1] - unit_pattern_offsets_[unit]);
+}
+
+bool CsdSnapshot::CheckIntegrity() const {
+  return stamp_ == (kLiveStamp ^ version_) &&
+         unit_pattern_offsets_.size() == diagram().num_units() + 1 &&
+         unit_pattern_offsets_.back() == unit_pattern_ids_.size();
+}
+
+uint64_t CsdSnapshot::LiveCount() {
+  return LiveCounter().load(std::memory_order_relaxed);
+}
+
+void CsdSnapshot::StampVersion(uint64_t version) {
+  version_ = version;
+  stamp_ = kLiveStamp ^ version;
+}
+
+}  // namespace csd::serve

@@ -1,0 +1,115 @@
+#ifndef CSD_SERVE_SNAPSHOT_H_
+#define CSD_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/pattern.h"
+#include "miner/pervasive_miner.h"
+#include "poi/poi_database.h"
+#include "serve/request.h"
+#include "traj/journey.h"
+
+namespace csd::serve {
+
+/// One dataset generation: the POI database plus the movement evidence a
+/// full PervasiveMiner run needs. Immutable once constructed; snapshots
+/// and queued rebuilds share it by shared_ptr, so a rebuild on fresh data
+/// never copies the old generation and the old generation dies with the
+/// last snapshot that references it.
+struct ServeDataset {
+  PoiDatabase pois;
+  std::vector<StayPoint> stays;          // popularity evidence (Eq. 3)
+  SemanticTrajectoryDb trajectories;     // pattern-mining input
+
+  ServeDataset(std::vector<Poi> pois_in, std::vector<StayPoint> stays_in,
+               SemanticTrajectoryDb trajectories_in)
+      : pois(std::move(pois_in)),
+        stays(std::move(stays_in)),
+        trajectories(std::move(trajectories_in)) {}
+};
+
+/// Builds a ServeDataset from raw taxi journeys the way the batch
+/// pipeline does: stay points from every pick-up/drop-off, and a
+/// trajectory DB of stay pairs plus card-linked multi-stop journeys.
+std::shared_ptr<const ServeDataset> MakeServeDataset(
+    std::vector<Poi> pois, const std::vector<TaxiJourney>& journeys);
+
+/// Knobs of one snapshot construction.
+struct SnapshotOptions {
+  MinerConfig miner;
+
+  /// Mine fine-grained patterns and build the unit→pattern index at
+  /// construction (QueryPatternsByUnit needs it). Off for annotate-only
+  /// deployments, where it saves the extraction stage per rebuild.
+  bool mine_patterns = true;
+};
+
+/// An immutable, versioned serving generation: the CSD (via an owned
+/// PervasiveMiner, whose recognizer is the dense-scratch voting kernel of
+/// Algorithm 3), the mined fine-grained patterns, and a CSR unit→pattern
+/// index. Construction does the full build; after Publish() stamps the
+/// version, nothing mutates, so any number of request threads may read it
+/// without synchronization.
+///
+/// Heap-only and pinned (no copy/move): the recognizer holds interior
+/// pointers into the miner, so the object must never relocate.
+class CsdSnapshot {
+ public:
+  CsdSnapshot(std::shared_ptr<const ServeDataset> data,
+              const SnapshotOptions& options);
+  ~CsdSnapshot();
+
+  CsdSnapshot(const CsdSnapshot&) = delete;
+  CsdSnapshot& operator=(const CsdSnapshot&) = delete;
+
+  /// Version stamped by SnapshotStore::Publish; 0 until published. The
+  /// publishing store's release-store makes the stamp visible to every
+  /// reader that acquired the snapshot through it.
+  uint64_t version() const { return version_; }
+
+  const ServeDataset& data() const { return *data_; }
+  std::shared_ptr<const ServeDataset> shared_data() const { return data_; }
+  const CitySemanticDiagram& diagram() const { return miner_->diagram(); }
+  const CsdRecognizer& recognizer() const {
+    return miner_->csd_recognizer();
+  }
+
+  std::span<const FineGrainedPattern> patterns() const { return patterns_; }
+  const FineGrainedPattern& pattern(uint32_t id) const {
+    return patterns_[id];
+  }
+
+  /// Ids (into patterns()) of the fine-grained patterns with at least one
+  /// representative stay recognized in `unit`; empty for out-of-range ids.
+  std::span<const uint32_t> PatternsForUnit(UnitId unit) const;
+
+  /// Cross-field invariants every reader may assert: the liveness stamp
+  /// matches the version and the unit→pattern CSR is self-consistent. A
+  /// torn publish or a read of a destructed snapshot fails this (the
+  /// destructor poisons the stamp); the tsan lifecycle test hammers it.
+  bool CheckIntegrity() const;
+
+  /// Number of CsdSnapshot instances currently alive — the reclamation
+  /// assertion of the snapshot lifecycle test.
+  static uint64_t LiveCount();
+
+ private:
+  friend class SnapshotStore;
+  void StampVersion(uint64_t version);
+
+  std::shared_ptr<const ServeDataset> data_;
+  std::unique_ptr<PervasiveMiner> miner_;
+  std::vector<FineGrainedPattern> patterns_;
+  // CSR: unit u owns pattern ids unit_pattern_ids_[offsets_[u]..offsets_[u+1]).
+  std::vector<uint32_t> unit_pattern_offsets_;
+  std::vector<uint32_t> unit_pattern_ids_;
+  uint64_t version_ = 0;
+  uint64_t stamp_ = 0;
+};
+
+}  // namespace csd::serve
+
+#endif  // CSD_SERVE_SNAPSHOT_H_

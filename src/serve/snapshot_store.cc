@@ -1,0 +1,58 @@
+#include "serve/snapshot_store.h"
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace csd::serve {
+
+namespace {
+
+obs::Gauge& SnapshotVersionGauge() {
+  static obs::Gauge& gauge = obs::MetricsRegistry::Get().GetGauge(
+      "csd_serve_snapshot_version",
+      "Version of the currently published CSD snapshot");
+  return gauge;
+}
+
+obs::Counter& PublishCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Get().GetCounter(
+      "csd_serve_publish_total", "Snapshot generations published");
+  return counter;
+}
+
+}  // namespace
+
+SnapshotStore::SnapshotStore(std::shared_ptr<CsdSnapshot> initial) {
+  Publish(std::move(initial));
+}
+
+std::shared_ptr<const CsdSnapshot> SnapshotStore::Acquire() const {
+#ifdef CSD_SERVE_ATOMIC_SHARED_PTR
+  return current_.load(std::memory_order_acquire);
+#else
+  return std::atomic_load_explicit(&current_, std::memory_order_acquire);
+#endif
+}
+
+uint64_t SnapshotStore::Publish(std::shared_ptr<CsdSnapshot> next) {
+  CSD_TRACE_SPAN("serve/publish");
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  uint64_t version = version_.load(std::memory_order_relaxed) + 1;
+  next->StampVersion(version);
+  // The release store below is what makes the stamp (and the whole
+  // snapshot construction) visible to readers that Acquire() it.
+#ifdef CSD_SERVE_ATOMIC_SHARED_PTR
+  current_.store(std::shared_ptr<const CsdSnapshot>(std::move(next)),
+                 std::memory_order_release);
+#else
+  std::atomic_store_explicit(
+      &current_, std::shared_ptr<const CsdSnapshot>(std::move(next)),
+      std::memory_order_release);
+#endif
+  version_.store(version, std::memory_order_release);
+  SnapshotVersionGauge().Set(static_cast<double>(version));
+  PublishCounter().Increment();
+  return version;
+}
+
+}  // namespace csd::serve

@@ -1,0 +1,77 @@
+#ifndef CSD_SERVE_SNAPSHOT_STORE_H_
+#define CSD_SERVE_SNAPSHOT_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <version>
+
+#include "serve/snapshot.h"
+
+// Detect ThreadSanitizer on both GCC (__SANITIZE_THREAD__) and Clang
+// (__has_feature).
+#if defined(__SANITIZE_THREAD__)
+#define CSD_SERVE_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define CSD_SERVE_TSAN 1
+#endif
+#endif
+
+namespace csd::serve {
+
+/// RCU-style holder of the current serving generation. Readers acquire
+/// the live snapshot as a shared_ptr copy through
+/// std::atomic<std::shared_ptr> (no store-wide lock, never blocked by a
+/// publish); a publish stamps the next version onto the incoming snapshot
+/// and swaps it in atomically. In-flight requests keep annotating against
+/// the generation they acquired, and an old generation is reclaimed by
+/// the shared_ptr control block the moment its last reader releases it —
+/// there is no quiescence wait and no epoch bookkeeping to leak.
+///
+/// Publishes are serialized by a mutex (they are rare — one per rebuild)
+/// so versions are strictly monotonic; Acquire never takes it.
+class SnapshotStore {
+ public:
+  SnapshotStore() = default;
+
+  /// Convenience: construct and publish an initial generation (version 1).
+  explicit SnapshotStore(std::shared_ptr<CsdSnapshot> initial);
+
+  /// The current generation, or nullptr before the first publish. The
+  /// returned pointer pins the snapshot: hold it for the duration of one
+  /// request (or one batch) and let it go.
+  std::shared_ptr<const CsdSnapshot> Acquire() const;
+
+  /// Stamps `next` with the next version, swaps it in, and returns that
+  /// version. The previous generation stays alive until its last reader
+  /// releases it.
+  uint64_t Publish(std::shared_ptr<CsdSnapshot> next);
+
+  /// Version of the latest published generation (0 before the first).
+  uint64_t current_version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::mutex publish_mutex_;
+  std::atomic<uint64_t> version_{0};
+// Under ThreadSanitizer, use the free-function atomic shared_ptr protocol
+// (a mutex pool tsan understands) instead of std::atomic<shared_ptr>:
+// libstdc++'s _Sp_atomic::load releases its embedded spinlock with
+// memory_order_relaxed, which is mutually exclusive on real hardware (the
+// lock bit is an RMW) but carries no happens-before edge, so tsan reports
+// the guarded _M_ptr accesses as racing.
+#if defined(__cpp_lib_atomic_shared_ptr) && !defined(CSD_SERVE_TSAN)
+#define CSD_SERVE_ATOMIC_SHARED_PTR 1
+  std::atomic<std::shared_ptr<const CsdSnapshot>> current_;
+#else
+  // Pre-C++20 libraries and tsan builds: free-function protocol.
+  std::shared_ptr<const CsdSnapshot> current_;
+#endif
+};
+
+}  // namespace csd::serve
+
+#endif  // CSD_SERVE_SNAPSHOT_STORE_H_

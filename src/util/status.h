@@ -21,6 +21,7 @@ enum class StatusCode {
   kAlreadyExists,
   kFailedPrecondition,
   kInternal,
+  kUnavailable,
 };
 
 /// Returns a human-readable name for a status code, e.g. "InvalidArgument".
@@ -68,6 +69,11 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// Transient overload / shutdown rejection: the caller may retry later
+  /// (the serving layer's admission-control verdict).
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

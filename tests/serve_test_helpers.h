@@ -1,0 +1,56 @@
+#ifndef CSD_TESTS_SERVE_TEST_HELPERS_H_
+#define CSD_TESTS_SERVE_TEST_HELPERS_H_
+
+#include <cstdlib>
+#include <memory>
+
+#include "serve/snapshot.h"
+#include "synth/city_generator.h"
+#include "synth/trip_generator.h"
+
+namespace csd::serve::testing {
+
+/// A small deterministic city + journey set for the serving tests: big
+/// enough that the CSD has real units and mined patterns, small enough
+/// that a snapshot build (the unit of work the lifecycle tests repeat
+/// under tsan) stays in the tens of milliseconds.
+inline std::shared_ptr<const ServeDataset> MakeTestDataset(
+    uint64_t seed = 7) {
+  CityConfig city_config;
+  city_config.num_pois = 2000;
+  city_config.width_m = 6000.0;
+  city_config.height_m = 6000.0;
+  city_config.seed = seed;
+  TripConfig trip_config;
+  trip_config.num_agents = 300;
+  trip_config.num_days = 2;
+  trip_config.seed = seed + 55;
+
+  SyntheticCity city = GenerateCity(city_config);
+  TripDataset trips = GenerateTrips(city, trip_config);
+  return MakeServeDataset(std::move(city.pois), trips.journeys);
+}
+
+/// Extraction thresholds scaled down to the test dataset so pattern
+/// mining finds something.
+inline SnapshotOptions TestSnapshotOptions(bool mine_patterns = true) {
+  SnapshotOptions options;
+  options.miner.extraction.support_threshold = 5;
+  options.mine_patterns = mine_patterns;
+  return options;
+}
+
+/// Iteration multiplier for the concurrency tests: 1 normally, larger
+/// under CSD_SERVE_STRESS (check.sh sets it for the dedicated tsan
+/// stress pass, where longer reader/publisher overlap hunts rarer
+/// interleavings).
+inline size_t StressScale() {
+  const char* value = std::getenv("CSD_SERVE_STRESS");
+  if (value == nullptr) return 1;
+  long long parsed = std::atoll(value);
+  return parsed > 0 ? 4 * static_cast<size_t>(parsed) : 1;
+}
+
+}  // namespace csd::serve::testing
+
+#endif  // CSD_TESTS_SERVE_TEST_HELPERS_H_

@@ -24,6 +24,13 @@ TEST(StatusTest, ErrorCarriesCodeAndMessage) {
   EXPECT_EQ(s.ToString(), "InvalidArgument: bad radius");
 }
 
+TEST(StatusTest, UnavailableIsTheOverloadStatus) {
+  Status s = Status::Unavailable("annotate queue full");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(s.ToString(), "Unavailable: annotate queue full");
+}
+
 TEST(StatusTest, AllCodesHaveNames) {
   for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
     EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");

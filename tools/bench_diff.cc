@@ -173,12 +173,14 @@ bool LoadJson(const char* path, Json* out) {
   return true;
 }
 
-/// One comparable quantity of a run: a stage's wall-clock seconds or its
-/// allocation count (from the optional "allocs" object).
+/// One comparable quantity of a run: a stage's wall-clock seconds, its
+/// allocation count (optional "allocs" object), or a higher-is-better
+/// rate such as achieved QPS (optional "rates" object).
 struct Entry {
+  enum class Kind { kSeconds, kAllocs, kRate };
   std::string name;
   double value = 0.0;
-  bool is_alloc = false;
+  Kind kind = Kind::kSeconds;
 };
 
 /// scale -> entries in file order (stages first, then allocs, then total).
@@ -201,16 +203,24 @@ bool ExtractRuns(const Json& root, const char* path, RunTable* out) {
     }
     auto& entry = (*out)[scale->number];
     for (const auto& [name, seconds] : stages->object) {
-      entry.push_back({name, seconds.number, false});
+      entry.push_back({name, seconds.number, Entry::Kind::kSeconds});
     }
     const Json* allocs = run.Find("allocs");
     if (allocs != nullptr && allocs->kind == Json::Kind::kObject) {
       for (const auto& [name, count] : allocs->object) {
-        entry.push_back({name, count.number, true});
+        entry.push_back({name, count.number, Entry::Kind::kAllocs});
+      }
+    }
+    const Json* rates = run.Find("rates");
+    if (rates != nullptr && rates->kind == Json::Kind::kObject) {
+      for (const auto& [name, rate] : rates->object) {
+        entry.push_back({name, rate.number, Entry::Kind::kRate});
       }
     }
     const Json* total = run.Find("total_seconds");
-    if (total != nullptr) entry.push_back({"total", total->number, false});
+    if (total != nullptr) {
+      entry.push_back({"total", total->number, Entry::Kind::kSeconds});
+    }
   }
   return true;
 }
@@ -233,6 +243,9 @@ int main(int argc, char** argv) {
           "threshold is the fractional growth tolerated before a stage is\n"
           "flagged as a regression; the default 0.15 flags anything more\n"
           "than 15%% slower (or 15%% more allocating) than the baseline.\n"
+          "Entries of a \"rates\" object (e.g. achieved QPS written by\n"
+          "bench/serve_load) are higher-is-better and flag on an equally\n"
+          "sized *decrease* instead.\n"
           "Stages under 1 ms or under 100 allocations in the baseline are\n"
           "skipped as noise. Improvements never flag.\n"
           "\n"
@@ -264,6 +277,7 @@ int main(int argc, char** argv) {
   // Stages faster / smaller than these in the baseline are pure noise.
   constexpr double kMinSeconds = 1e-3;
   constexpr double kMinAllocs = 100.0;
+  constexpr double kMinRate = 1.0;
 
   Json baseline_json, current_json;
   if (!LoadJson(argv[1], &baseline_json) || !LoadJson(argv[2], &current_json))
@@ -285,13 +299,14 @@ int main(int argc, char** argv) {
     for (const Entry& base : stages) {
       double cur_s = -1.0;
       for (const Entry& cur : it->second) {
-        if (cur.name == base.name && cur.is_alloc == base.is_alloc) {
+        if (cur.name == base.name && cur.kind == base.kind) {
           cur_s = cur.value;
           break;
         }
       }
       std::string label =
-          base.is_alloc ? base.name + " allocs" : base.name;
+          base.kind == Entry::Kind::kAllocs ? base.name + " allocs"
+                                            : base.name;
       if (cur_s < 0.0) {
         std::printf("%-8g %-18s %12.3f %12s\n", scale, label.c_str(),
                     base.value, "(missing)");
@@ -299,15 +314,27 @@ int main(int argc, char** argv) {
       }
       double delta =
           base.value > 0.0 ? (cur_s - base.value) / base.value : 0.0;
-      double floor = base.is_alloc ? kMinAllocs : kMinSeconds;
-      bool flagged = base.value >= floor && delta > threshold;
+      bool flagged;
+      switch (base.kind) {
+        case Entry::Kind::kAllocs:
+          flagged = base.value >= kMinAllocs && delta > threshold;
+          break;
+        case Entry::Kind::kRate:
+          // Higher is better: a *drop* past the threshold regresses.
+          flagged = base.value >= kMinRate && delta < -threshold;
+          break;
+        case Entry::Kind::kSeconds:
+        default:
+          flagged = base.value >= kMinSeconds && delta > threshold;
+          break;
+      }
       if (flagged) ++regressions;
-      if (base.is_alloc) {
-        std::printf("%-8g %-18s %12.0f %12.0f %+8.1f%%%s\n", scale,
+      if (base.kind == Entry::Kind::kSeconds) {
+        std::printf("%-8g %-18s %11.3fs %11.3fs %+8.1f%%%s\n", scale,
                     label.c_str(), base.value, cur_s, 100.0 * delta,
                     flagged ? "  << REGRESSION" : "");
       } else {
-        std::printf("%-8g %-18s %11.3fs %11.3fs %+8.1f%%%s\n", scale,
+        std::printf("%-8g %-18s %12.1f %12.1f %+8.1f%%%s\n", scale,
                     label.c_str(), base.value, cur_s, 100.0 * delta,
                     flagged ? "  << REGRESSION" : "");
       }

@@ -15,6 +15,16 @@
 #      fresh trajectory, and diff it against the committed baseline
 #      (threshold documented in `bench_diff --help`; improvements never
 #      flag, so the committed baseline only guards against sliding back)
+#   4. run the serving-layer load generator (bench/serve_load) and diff
+#      its latency/QPS trajectory against the committed BENCH_serve.json.
+#      Latency percentiles on a loaded box are noisier than pipeline
+#      stage times, so this gate uses a 0.5 threshold: it catches a
+#      serving-path collapse (2x latency, halved throughput), not jitter.
+#
+# The tsan preset pass re-runs the serve_* tests a second time with
+# CSD_SERVE_STRESS=1, which multiplies the reader/publisher iteration
+# counts in the snapshot lifecycle test — the cheap run guards every
+# commit, the stress run is the one that actually hunts races.
 #
 # Every step's exit code is captured explicitly: a failing ctest (or
 # build, or bench gate) marks the run failed but later steps still run,
@@ -47,7 +57,7 @@ fail() {
 }
 
 step=0
-total=$(( ${#PRESETS[@]} + 1 ))
+total=$(( ${#PRESETS[@]} + 2 ))
 for preset in "${PRESETS[@]}"; do
   step=$((step + 1))
   echo "== [${step}/${total}] sanitizer build + ctest (${preset}) =="
@@ -57,6 +67,12 @@ for preset in "${PRESETS[@]}"; do
   fi
   if ! ctest --preset "${preset}" -j; then
     fail "ctest (${preset})"
+  fi
+  if [ "${preset}" = "tsan" ]; then
+    echo "== serve stress pass (tsan, CSD_SERVE_STRESS=1) =="
+    if ! CSD_SERVE_STRESS=1 ctest --preset tsan -R 'serve_' -j; then
+      fail "serve stress ctest (tsan)"
+    fi
   fi
 done
 
@@ -73,6 +89,20 @@ if cmake --preset default && \
   fi
 else
   fail "build (default)"
+fi
+
+step=$((step + 1))
+echo "== [${step}/${total}] serve bench regression check vs committed BENCH_serve.json =="
+if cmake --build --preset default -j --target serve_load bench_diff; then
+  serve_scratch="$(mktemp /tmp/BENCH_serve.XXXXXX.json)"
+  trap 'rm -f "${scratch:-}" "${serve_scratch}"' EXIT
+  if ! ./build/bench/serve_load --json "${serve_scratch}" >/dev/null; then
+    fail "serve_load run (a failed admitted request also exits nonzero)"
+  elif ! ./build/tools/bench_diff BENCH_serve.json "${serve_scratch}" 0.5; then
+    fail "serve bench_diff regression gate"
+  fi
+else
+  fail "build serve_load"
 fi
 
 if [ "${FAILURES}" -gt 0 ]; then

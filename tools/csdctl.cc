@@ -5,12 +5,20 @@
 //   csdctl build-csd --pois pois.csv --trips trips.bin --out csd.bin
 //                    [--r3sigma 100]
 //   csdctl recognize --pois pois.csv --csd csd.bin --x <m> --y <m>
-//   csdctl mine      --pois pois.csv --trips trips.bin [--csd csd.bin]
+//   csdctl mine      --pois pois.csv --trips trips.bin
 //                    [--recognizer csd|roi] [--extractor pm|splitter|sdbscan]
 //                    [--sigma 50] [--delta-t-min 60] [--rho 0.002]
 //                    [--closed 0|1] [--out patterns.csv]
 //
 //   csdctl analyze   --patterns patterns.csv
+//   csdctl serve     --pois pois.csv --trips trips.bin
+//                    [--max-batch 64] [--max-delay-us 1000]
+//                    [--annotate-limit 1024] [--query-limit 256]
+//                    [--sigma 50] [--delta-t-min 60] [--rho 0.002]
+//                    [--closed 0|1] [--patterns 0|1]
+//
+// `csdctl <command> --help` lists the command's flags. Unknown flags and
+// flags missing their value are errors that name the offending token.
 //
 // Every command also accepts the observability flags
 //   --trace-out=run.json      Chrome/Perfetto trace of the run's spans
@@ -20,11 +28,19 @@
 //
 // Trips files ending in .csv use the text format; anything else uses the
 // CSDJ binary format.
+//
+// `serve` reads the newline-delimited request protocol documented in
+// src/serve/protocol.h from stdin and answers one line per request on
+// stdout (diagnostics go to stderr, so stdout stays pure protocol).
 
 #include <cstdio>
 #include <cstring>
+#include <deque>
+#include <iostream>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "analysis/corridors.h"
 #include "analysis/schedule.h"
@@ -34,10 +50,15 @@
 #include "miner/pervasive_miner.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/protocol.h"
+#include "serve/service.h"
+#include "serve/snapshot.h"
+#include "serve/snapshot_store.h"
 #include "synth/city_generator.h"
 #include "synth/trip_generator.h"
 #include "traj/journey.h"
 #include "util/stopwatch.h"
+#include "util/strings.h"
 
 namespace csd {
 namespace {
@@ -54,17 +75,29 @@ class Args {
       const char* body = argv[i] + 2;
       if (const char* eq = std::strchr(body, '=')) {
         values_[std::string(body, eq)] = eq + 1;
-      } else if (i + 1 < argc) {
-        values_[body] = argv[++i];
-      } else {
-        std::fprintf(stderr, "dangling argument '%s'\n", argv[i]);
+      } else if (std::strcmp(body, "help") == 0) {
+        values_["help"] = "1";  // the one boolean flag: never eats a value
+      } else if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag '%s' is missing its value\n", argv[i]);
         ok_ = false;
         return;
+      } else if (std::strncmp(argv[i + 1], "--", 2) == 0) {
+        std::fprintf(stderr,
+                     "flag '%s' is missing its value (next token is '%s')\n",
+                     argv[i], argv[i + 1]);
+        ok_ = false;
+        return;
+      } else {
+        values_[body] = argv[++i];
       }
     }
   }
 
   bool ok() const { return ok_; }
+
+  bool Has(const std::string& key) const { return values_.count(key) != 0; }
+
+  const std::map<std::string, std::string>& values() const { return values_; }
 
   std::string Get(const std::string& key,
                   const std::string& fallback = "") const {
@@ -97,6 +130,120 @@ class Args {
   std::map<std::string, std::string> values_;
   bool ok_ = true;
 };
+
+struct FlagSpec {
+  const char* name;
+  const char* help;
+  bool required = false;
+};
+
+struct CommandSpec {
+  const char* name;
+  const char* summary;
+  std::vector<FlagSpec> flags;
+};
+
+/// One entry per command: the allowlist that rejects unknown flags and the
+/// text behind `csdctl <command> --help`.
+const std::vector<CommandSpec>& Commands() {
+  static const std::vector<CommandSpec> kCommands = {
+      {"generate",
+       "write a synthetic city (POI CSV + taxi journeys)",
+       {{"out-pois", "output POI CSV path", true},
+        {"out-trips", "output journeys (.csv text, else CSDJ binary)", true},
+        {"pois", "number of POIs (default 15000)"},
+        {"agents", "number of simulated agents (default 2000)"},
+        {"days", "days of trips to simulate (default 7)"},
+        {"seed", "RNG seed (default 7)"},
+        {"width", "city width in meters (default 16000)"},
+        {"height", "city height in meters (default 16000)"}}},
+      {"build-csd",
+       "build the City Semantic Diagram and write a binary snapshot",
+       {{"pois", "POI CSV from generate", true},
+        {"trips", "journeys file from generate", true},
+        {"out", "output CSD binary path", true},
+        {"r3sigma", "recognition radius in meters (default 100)"}}},
+      {"recognize",
+       "look up the semantic unit at one coordinate",
+       {{"pois", "POI CSV from generate", true},
+        {"csd", "CSD binary from build-csd", true},
+        {"x", "query x in meters", true},
+        {"y", "query y in meters", true},
+        {"r3sigma", "recognition radius in meters (default 100)"}}},
+      {"mine",
+       "run a full annotate+extract pipeline and report quality metrics",
+       {{"pois", "POI CSV from generate", true},
+        {"trips", "journeys file from generate", true},
+        {"recognizer", "csd|roi (default csd)"},
+        {"extractor", "pm|splitter|sdbscan (default pm)"},
+        {"sigma", "support threshold (default 50)"},
+        {"delta-t-min", "temporal constraint in minutes (default 60)"},
+        {"rho", "density threshold (default 0.002)"},
+        {"closed", "1 = closed patterns only (default 0)"},
+        {"out", "optional output patterns CSV"}}},
+      {"analyze",
+       "summarize a mined pattern set (segments, corridors, routines)",
+       {{"patterns", "patterns CSV from mine", true}}},
+      {"serve",
+       "serve annotation/query requests from stdin over a snapshot store",
+       {{"pois", "POI CSV from generate", true},
+        {"trips", "journeys file from generate", true},
+        {"max-batch", "max coalesced requests per batch (default 64)"},
+        {"max-delay-us", "batch window in microseconds (default 1000)"},
+        {"annotate-limit", "max in-flight annotations (default 1024)"},
+        {"query-limit", "max in-flight pattern queries (default 256)"},
+        {"sigma", "support threshold for mined patterns (default 50)"},
+        {"delta-t-min", "temporal constraint in minutes (default 60)"},
+        {"rho", "density threshold (default 0.002)"},
+        {"closed", "1 = closed patterns only (default 0)"},
+        {"patterns", "0 = skip pattern mining on (re)build (default 1)"}}},
+  };
+  return kCommands;
+}
+
+const CommandSpec* FindCommand(const std::string& name) {
+  for (const CommandSpec& command : Commands()) {
+    if (name == command.name) return &command;
+  }
+  return nullptr;
+}
+
+int PrintCommandHelp(const CommandSpec& command) {
+  std::fprintf(stderr, "usage: csdctl %s [--flag value]...\n  %s\n\nflags:\n",
+               command.name, command.summary);
+  for (const FlagSpec& flag : command.flags) {
+    std::fprintf(stderr, "  --%-15s %s%s\n", flag.name, flag.help,
+                 flag.required ? " (required)" : "");
+  }
+  std::fprintf(stderr,
+               "  --%-15s write a Chrome trace of the run's spans\n"
+               "  --%-15s write a Prometheus text scrape of the run\n",
+               "trace-out", "metrics-out");
+  return 0;
+}
+
+/// Rejects flags outside the command's allowlist, naming the token.
+bool ValidateFlags(const CommandSpec& command, const Args& args) {
+  bool all_known = true;
+  for (const auto& [key, value] : args.values()) {
+    if (key == "trace-out" || key == "metrics-out" || key == "help") continue;
+    bool known = false;
+    for (const FlagSpec& flag : command.flags) {
+      if (key == flag.name) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::fprintf(stderr,
+                   "unknown flag '--%s' for 'csdctl %s' "
+                   "(try 'csdctl %s --help')\n",
+                   key.c_str(), command.name, command.name);
+      all_known = false;
+    }
+  }
+  return all_known;
+}
 
 bool IsCsv(const std::string& path) {
   return path.size() >= 4 && path.rfind(".csv") == path.size() - 4;
@@ -296,10 +443,176 @@ int CmdAnalyze(const Args& args) {
   return 0;
 }
 
-int Usage() {
+int CmdServe(const Args& args) {
+  if (!args.Require({"pois", "trips"})) return 2;
+  auto pois_or = ReadPoisCsv(args.Get("pois"));
+  if (!pois_or.ok()) return Fail(pois_or.status());
+  auto journeys_or = LoadJourneys(args.Get("trips"));
+  if (!journeys_or.ok()) return Fail(journeys_or.status());
+
+  std::shared_ptr<const serve::ServeDataset> dataset = serve::MakeServeDataset(
+      std::move(pois_or).value(), journeys_or.value());
+
+  serve::SnapshotOptions snapshot_options;
+  snapshot_options.miner.extraction.support_threshold =
+      static_cast<size_t>(args.GetInt("sigma", 50));
+  snapshot_options.miner.extraction.temporal_constraint =
+      args.GetInt("delta-t-min", 60) * kSecondsPerMinute;
+  snapshot_options.miner.extraction.density_threshold =
+      args.GetDouble("rho", 0.002);
+  snapshot_options.miner.extraction.closed_patterns =
+      args.GetInt("closed", 0) != 0;
+  snapshot_options.mine_patterns = args.GetInt("patterns", 1) != 0;
+
+  Stopwatch watch;
+  auto initial =
+      std::make_shared<serve::CsdSnapshot>(dataset, snapshot_options);
+  serve::SnapshotStore store(initial);
+
+  serve::ServeOptions options;
+  options.batch.max_batch =
+      static_cast<size_t>(args.GetInt("max-batch", 64));
+  options.batch.max_delay =
+      std::chrono::microseconds(args.GetInt("max-delay-us", 1000));
+  options.limits.annotate =
+      static_cast<size_t>(args.GetInt("annotate-limit", 1024));
+  options.limits.query =
+      static_cast<size_t>(args.GetInt("query-limit", 256));
+  options.snapshot = snapshot_options;
+  serve::ServeService service(&store, options);
+
   std::fprintf(stderr,
-               "usage: csdctl <generate|build-csd|recognize|mine|analyze> "
-               "[--flag value]...\n(see the header of tools/csdctl.cc)\n");
+               "serve: snapshot v%llu ready in %.2fs (%zu units, %zu "
+               "patterns, %zu journeys); reading requests from stdin\n",
+               static_cast<unsigned long long>(store.current_version()),
+               watch.ElapsedSeconds(), initial->diagram().num_units(),
+               initial->patterns().size(), journeys_or.value().size());
+
+  // Responses go out in request order, but slow ones (annotation futures,
+  // rebuilds) must not serialize the pipeline — they park in this deque
+  // and the front is flushed as it becomes ready, so the batcher sees
+  // many requests in flight and can actually coalesce.
+  struct Pending {
+    enum Kind { kReady, kAnnotate, kRebuild } kind = kReady;
+    std::string text;
+    std::future<serve::AnnotateResult> annotate;
+    std::future<serve::RebuildResult> rebuild;
+  };
+  std::deque<Pending> pending;
+  auto park = [&pending](std::string text) {
+    Pending p;
+    p.text = std::move(text);
+    pending.push_back(std::move(p));
+  };
+  auto flush = [&pending](bool block) {
+    while (!pending.empty()) {
+      Pending& front = pending.front();
+      std::string text;
+      if (front.kind == Pending::kAnnotate) {
+        if (!block && front.annotate.wait_for(std::chrono::seconds(0)) !=
+                          std::future_status::ready) {
+          break;
+        }
+        text = serve::FormatAnnotateResponse(front.annotate.get());
+      } else if (front.kind == Pending::kRebuild) {
+        if (!block && front.rebuild.wait_for(std::chrono::seconds(0)) !=
+                          std::future_status::ready) {
+          break;
+        }
+        text = serve::FormatRebuildResponse(front.rebuild.get());
+      } else {
+        text = std::move(front.text);
+      }
+      pending.pop_front();
+      text += '\n';
+      std::fputs(text.c_str(), stdout);
+    }
+    std::fflush(stdout);
+  };
+
+  std::string line;
+  bool quit = false;
+  while (!quit && std::getline(std::cin, line)) {
+    flush(/*block=*/false);
+    if (TrimString(line).empty()) continue;
+    auto parsed_or = serve::ParseRequestLine(line);
+    if (!parsed_or.ok()) {
+      park(serve::FormatErrorResponse(parsed_or.status()));
+      continue;
+    }
+    serve::ProtocolRequest request = std::move(parsed_or).value();
+    switch (request.kind) {
+      case serve::RequestKind::kAnnotate:
+      case serve::RequestKind::kJourney: {
+        auto future_or =
+            request.kind == serve::RequestKind::kAnnotate
+                ? service.AnnotateStayPoints(std::move(request.stays))
+                : service.AnnotateJourney(request.journey);
+        if (!future_or.ok()) {
+          park(serve::FormatErrorResponse(future_or.status()));
+        } else {
+          Pending p;
+          p.kind = Pending::kAnnotate;
+          p.annotate = std::move(future_or).value();
+          pending.push_back(std::move(p));
+        }
+        break;
+      }
+      case serve::RequestKind::kQueryUnit: {
+        auto result_or = service.QueryPatternsByUnit(request.unit);
+        park(result_or.ok()
+                 ? serve::FormatQueryResponse(result_or.value())
+                 : serve::FormatErrorResponse(result_or.status()));
+        break;
+      }
+      case serve::RequestKind::kRebuild: {
+        auto future_or = service.TriggerRebuild();
+        if (!future_or.ok()) {
+          park(serve::FormatErrorResponse(future_or.status()));
+        } else {
+          Pending p;
+          p.kind = Pending::kRebuild;
+          p.rebuild = std::move(future_or).value();
+          pending.push_back(std::move(p));
+        }
+        break;
+      }
+      case serve::RequestKind::kStats:
+        park(serve::FormatStatsResponse(service));
+        break;
+      case serve::RequestKind::kQuit:
+        quit = true;
+        break;
+    }
+  }
+  flush(/*block=*/true);
+  service.Shutdown();
+  std::fprintf(stderr,
+               "serve: drained (annotate %llu admitted / %llu rejected, "
+               "query %llu/%llu, rebuild %llu/%llu)\n",
+               static_cast<unsigned long long>(
+                   service.admission().Admitted(serve::RequestClass::kAnnotate)),
+               static_cast<unsigned long long>(
+                   service.admission().Rejected(serve::RequestClass::kAnnotate)),
+               static_cast<unsigned long long>(
+                   service.admission().Admitted(serve::RequestClass::kQuery)),
+               static_cast<unsigned long long>(
+                   service.admission().Rejected(serve::RequestClass::kQuery)),
+               static_cast<unsigned long long>(
+                   service.admission().Admitted(serve::RequestClass::kRebuild)),
+               static_cast<unsigned long long>(
+                   service.admission().Rejected(serve::RequestClass::kRebuild)));
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr, "usage: csdctl <command> [--flag value]...\n\n"
+                       "commands:\n");
+  for (const CommandSpec& command : Commands()) {
+    std::fprintf(stderr, "  %-10s %s\n", command.name, command.summary);
+  }
+  std::fprintf(stderr,
+               "\n'csdctl <command> --help' lists a command's flags.\n");
   return 2;
 }
 
@@ -309,13 +622,26 @@ int Dispatch(const std::string& command, const Args& args) {
   if (command == "recognize") return CmdRecognize(args);
   if (command == "mine") return CmdMine(args);
   if (command == "analyze") return CmdAnalyze(args);
+  if (command == "serve") return CmdServe(args);
   return Usage();
 }
 
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
+  const CommandSpec* command = FindCommand(argv[1]);
+  if (command == nullptr) {
+    if (std::strcmp(argv[1], "help") == 0 ||
+        std::strcmp(argv[1], "--help") == 0) {
+      Usage();
+      return 0;
+    }
+    std::fprintf(stderr, "unknown command '%s'\n\n", argv[1]);
+    return Usage();
+  }
   Args args(argc, argv);
   if (!args.ok()) return 2;
+  if (args.Has("help")) return PrintCommandHelp(*command);
+  if (!ValidateFlags(*command, args)) return 2;
 
   // Observability flags apply to every command: requesting an output file
   // turns collection on for the whole run, and the files are written even
