@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "serve/retry.h"
 #include "serve/service.h"
 #include "serve/snapshot.h"
 #include "serve/snapshot_store.h"
@@ -116,10 +117,10 @@ struct LoadOutcome {
   uint64_t completed = 0;
 };
 
-/// True when an admitted request's result is sane: served by a published
-/// generation with one unit slot per stay.
+/// True when an admitted request's result is sane: completed OK, served
+/// by a published generation, one unit slot per stay.
 bool ResultOk(const serve::AnnotateResult& result) {
-  return result.snapshot_version > 0 &&
+  return result.status.ok() && result.snapshot_version > 0 &&
          result.units.size() == result.stays.size();
 }
 
@@ -138,6 +139,12 @@ void RunRebuildAt(serve::ServeService& service, double at_seconds,
     return;
   }
   serve::RebuildResult result = std::move(rebuild_or).value().get();
+  if (!result.status.ok()) {
+    std::fprintf(stderr, "mid-run rebuild failed: %s\n",
+                 result.status.ToString().c_str());
+    failures->fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   *rebuild_seconds = watch.ElapsedSeconds();
   std::printf("mid-run rebuild: published v%llu in %.2fs (%zu units, %zu "
               "patterns)\n",
@@ -163,14 +170,19 @@ LoadOutcome RunClosedLoop(serve::ServeService& service,
   for (size_t c = 0; c < config.clients; ++c) {
     clients.emplace_back([&, c] {
       Rng rng(1000 + c);
+      serve::RetryPolicy retry_policy;
+      retry_policy.seed = 3000 + c;
       latencies[c].reserve(config.requests);
       for (size_t r = 0; r < config.requests; ++r) {
         Stopwatch watch;
-        auto future_or =
-            service.AnnotateStayPoints(MakeRequest(rng, city));
+        std::vector<StayPoint> stays = MakeRequest(rng, city);
+        auto future_or = serve::RetryWithBackoff(
+            retry_policy, r, [&] {
+              return service.AnnotateStayPoints(stays);
+            });
         if (!future_or.ok()) {
           // Closed loop never outruns the admission budget; a rejection
-          // here is a failure, not load shedding.
+          // that survives the retry budget is a failure, not shedding.
           failures.fetch_add(1, std::memory_order_relaxed);
           continue;
         }

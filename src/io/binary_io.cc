@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "obs/trace.h"
+#include "util/failpoint.h"
 #include "util/strings.h"
 
 namespace csd {
@@ -97,6 +98,7 @@ Status WriteJourneysBinary(const std::string& path,
 Result<std::vector<TaxiJourney>> ReadJourneysBinary(
     const std::string& path) {
   CSD_TRACE_SPAN("io/read_journeys_binary");
+  CSD_FAILPOINT("io/read_journeys_binary");
   BinaryReader reader(path);
   if (!reader.ok()) {
     return Status::IoError("cannot open '" + path + "' for reading");

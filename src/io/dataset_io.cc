@@ -4,6 +4,7 @@
 
 #include "io/csv.h"
 #include "obs/trace.h"
+#include "util/failpoint.h"
 #include "util/strings.h"
 
 namespace csd {
@@ -38,6 +39,7 @@ Status WritePoisCsv(const std::string& path, const std::vector<Poi>& pois) {
 
 Result<std::vector<Poi>> ReadPoisCsv(const std::string& path) {
   CSD_TRACE_SPAN("io/read_pois_csv");
+  CSD_FAILPOINT("io/read_pois_csv");
   CSD_ASSIGN_OR_RETURN(CsvReader reader, CsvReader::Open(path));
   const CategoryTaxonomy& taxonomy = CategoryTaxonomy::Get();
   std::vector<Poi> pois;
@@ -81,6 +83,7 @@ Status WriteJourneysCsv(const std::string& path,
 
 Result<std::vector<TaxiJourney>> ReadJourneysCsv(const std::string& path) {
   CSD_TRACE_SPAN("io/read_journeys_csv");
+  CSD_FAILPOINT("io/read_journeys_csv");
   CSD_ASSIGN_OR_RETURN(CsvReader reader, CsvReader::Open(path));
   std::vector<TaxiJourney> journeys;
   std::vector<std::string> fields;

@@ -4,11 +4,19 @@
 #include <array>
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 
-#include "serve/request.h"
 #include "util/status.h"
 
 namespace csd::serve {
+
+/// The request classes the AdmissionController budgets independently:
+/// cheap latency-sensitive lookups must not starve behind annotation
+/// batches, and at most one rebuild may be in flight.
+enum class RequestClass { kAnnotate = 0, kQuery = 1, kRebuild = 2 };
+inline constexpr size_t kNumRequestClasses = 3;
+
+const char* RequestClassName(RequestClass c);
 
 /// Per-class in-flight ceilings. A class's budget covers everything
 /// between Admit and Release — queued plus executing — so the annotate
@@ -45,7 +53,8 @@ class AdmissionController {
 
   /// Reserves a slot or explains why not (kUnavailable: class budget full
   /// or controller closed). Every successful Admit must be paired with
-  /// exactly one Release.
+  /// exactly one Release — prefer holding the slot through an
+  /// AdmissionTicket, which cannot forget.
   Status Admit(RequestClass c);
 
   void Release(RequestClass c);
@@ -72,6 +81,68 @@ class AdmissionController {
   std::array<std::atomic<size_t>, kNumRequestClasses> in_flight_{};
   std::array<std::atomic<uint64_t>, kNumRequestClasses> admitted_{};
   std::array<std::atomic<uint64_t>, kNumRequestClasses> rejected_{};
+};
+
+/// One admission slot held RAII-style: the constructor runs Admit, the
+/// destructor runs the matching Release, so a slot can never leak — not
+/// past an early return, not past a throw between Admit and Release, not
+/// past a request dropped on the floor. Move-only; requests carry their
+/// ticket with them (the batcher's queue, the rebuild lane) and the slot
+/// frees wherever the request's life ends.
+class AdmissionTicket {
+ public:
+  /// Empty ticket: holds no slot, ok() is false until move-assigned.
+  AdmissionTicket() : status_(Status::Unavailable("empty ticket")) {}
+
+  /// Tries to reserve a slot of `c`. On rejection the ticket is inert
+  /// (status() says why) and the destructor releases nothing.
+  AdmissionTicket(AdmissionController* controller, RequestClass c)
+      : class_(c), status_(controller->Admit(c)) {
+    controller_ = status_.ok() ? controller : nullptr;
+  }
+
+  AdmissionTicket(AdmissionTicket&& other) noexcept
+      : controller_(other.controller_),
+        class_(other.class_),
+        status_(std::move(other.status_)) {
+    other.controller_ = nullptr;
+  }
+
+  AdmissionTicket& operator=(AdmissionTicket&& other) noexcept {
+    if (this != &other) {
+      Release();
+      controller_ = other.controller_;
+      class_ = other.class_;
+      status_ = std::move(other.status_);
+      other.controller_ = nullptr;
+    }
+    return *this;
+  }
+
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+
+  ~AdmissionTicket() { Release(); }
+
+  /// True when the slot was admitted (and not yet released).
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  bool held() const { return controller_ != nullptr; }
+
+  /// Frees the slot now instead of at destruction. Idempotent. Promise-
+  /// fulfilling paths call this right before set_value so a caller woken
+  /// by the future always finds the budget already freed.
+  void Release() {
+    if (controller_ != nullptr) {
+      controller_->Release(class_);
+      controller_ = nullptr;
+    }
+  }
+
+ private:
+  AdmissionController* controller_ = nullptr;
+  RequestClass class_ = RequestClass::kAnnotate;
+  Status status_;
 };
 
 }  // namespace csd::serve

@@ -1,5 +1,6 @@
 #include "serve/batcher.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -27,13 +28,29 @@ RequestBatcher::RequestBatcher(BatchPolicy policy, ExecuteFn execute,
 
 RequestBatcher::~RequestBatcher() { Drain(); }
 
-void RequestBatcher::Enqueue(AnnotateRequest request) {
+bool RequestBatcher::Enqueue(AnnotateRequest request) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(request));
-    QueueDepthGauge().Set(static_cast<double>(queue_.size()));
+    if (!draining_) {
+      if (request.deadline != kNoDeadline) deadlined_in_queue_++;
+      queue_.push_back(std::move(request));
+      QueueDepthGauge().Set(static_cast<double>(queue_.size()));
+      cv_.notify_all();
+      return true;
+    }
   }
-  cv_.notify_all();
+  // Draining — the dispatcher may already have passed its last look at
+  // the queue (or exited), so queueing here could strand the request and
+  // hang the caller's future forever. Reject instead: free the admission
+  // slot, then resolve the promise with an explicit kUnavailable.
+  request.ticket.Release();
+  AnnotateResult result;
+  result.status =
+      Status::Unavailable("annotate: batcher is draining (shutdown)");
+  result.stays = std::move(request.stays);
+  result.units.assign(result.stays.size(), kNoUnit);
+  request.promise.set_value(std::move(result));
+  return false;
 }
 
 void RequestBatcher::SetPaused(bool paused) {
@@ -59,6 +76,16 @@ size_t RequestBatcher::Depth() const {
   return queue_.size();
 }
 
+std::chrono::steady_clock::time_point
+RequestBatcher::EarliestQueuedDeadline() const {
+  auto earliest = kNoDeadline;
+  if (deadlined_in_queue_ == 0) return earliest;
+  for (const AnnotateRequest& request : queue_) {
+    earliest = std::min(earliest, request.deadline);
+  }
+  return earliest;
+}
+
 void RequestBatcher::DispatcherMain() {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
@@ -67,20 +94,32 @@ void RequestBatcher::DispatcherMain() {
     });
     if (queue_.empty()) return;  // draining and nothing left
 
-    // Batch window: the first request opens it; close at max_batch
-    // coalesced requests or max_delay, whichever first. A drain flushes
+    // Batch window: the first request the dispatcher sees opens it; close
+    // at max_batch coalesced requests or when the window deadline passes,
+    // whichever first. The window deadline is max_delay after opening,
+    // clamped to the earliest per-request deadline in the queue (a batch
+    // must never outwait a request's remaining budget). A drain flushes
     // immediately — admitted requests must not wait out the window during
     // shutdown.
-    auto deadline = std::chrono::steady_clock::now() + policy_.max_delay;
-    while (queue_.size() < policy_.max_batch && !draining_ && !paused_) {
-      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+    if (!window_open_) {
+      window_open_ = true;
+      window_deadline_ = std::chrono::steady_clock::now() + policy_.max_delay;
     }
-    if (paused_ && !draining_) continue;  // re-paused mid-window: hold
+    while (queue_.size() < policy_.max_batch && !draining_ && !paused_) {
+      auto close = std::min(window_deadline_, EarliestQueuedDeadline());
+      if (cv_.wait_until(lock, close) == std::cv_status::timeout) break;
+    }
+    // Re-paused mid-window: hold the queue, but keep the open window —
+    // when dispatch resumes, already-queued requests finish waiting out
+    // their original window instead of being taxed a fresh max_delay.
+    if (paused_ && !draining_) continue;
 
+    window_open_ = false;
     size_t take = std::min(queue_.size(), policy_.max_batch);
     std::vector<AnnotateRequest> batch;
     batch.reserve(take);
     for (size_t i = 0; i < take; ++i) {
+      if (queue_.front().deadline != kNoDeadline) deadlined_in_queue_--;
       batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
     }

@@ -15,9 +15,12 @@
 namespace csd::serve {
 
 /// When a batch closes: at `max_batch` coalesced requests, or `max_delay`
-/// after the first request of the batch arrived, whichever comes first.
-/// max_delay is the latency tax a lone request pays to give neighbors a
-/// chance to share its snapshot acquisition and grid-index locality.
+/// after the first request of the batch arrived, whichever comes first —
+/// and never later than the earliest per-request deadline in the queue
+/// (holding a request that is about to expire to wait for company would
+/// spend its whole budget on the window). max_delay is the latency tax a
+/// lone request pays to give neighbors a chance to share its snapshot
+/// acquisition and grid-index locality.
 struct BatchPolicy {
   size_t max_batch = 64;
   std::chrono::microseconds max_delay{1000};
@@ -27,10 +30,13 @@ struct BatchPolicy {
 /// execute callback on a dedicated dispatcher thread (which fans the
 /// batch out on the work-stealing pool). The queue itself is unbounded —
 /// the AdmissionController in front of Enqueue is what bounds it — so
-/// Enqueue never blocks and never fails for an admitted request.
+/// Enqueue never blocks.
 ///
 /// Drain() delivers every queued request before the dispatcher exits:
-/// shutdown completes admitted work, it never drops it.
+/// shutdown completes admitted work, it never drops it. A request that
+/// races Enqueue against Drain and loses is *rejected*, not stranded: its
+/// promise resolves immediately with kUnavailable and its admission slot
+/// frees, so the caller's future never hangs.
 class RequestBatcher {
  public:
   using ExecuteFn = std::function<void(std::vector<AnnotateRequest>)>;
@@ -46,10 +52,17 @@ class RequestBatcher {
   RequestBatcher(const RequestBatcher&) = delete;
   RequestBatcher& operator=(const RequestBatcher&) = delete;
 
-  void Enqueue(AnnotateRequest request);
+  /// Queues `request` for the next batch. Returns false when the batcher
+  /// is draining (or already drained): the request was NOT queued — its
+  /// promise has been fulfilled with kUnavailable and its admission
+  /// ticket released, so the caller's future resolves either way.
+  bool Enqueue(AnnotateRequest request);
 
   /// Suspends/resumes batch dispatch. While paused, requests queue up
-  /// (until admission control rejects); on resume they drain in order.
+  /// (until admission control rejects); on resume they drain in order. A
+  /// batch window that was open when the pause landed is preserved:
+  /// already-queued requests resume waiting out their *original* window,
+  /// they are not taxed a fresh max_delay.
   void SetPaused(bool paused);
 
   /// Stops dispatching new batches after the queue empties and joins the
@@ -61,6 +74,10 @@ class RequestBatcher {
  private:
   void DispatcherMain();
 
+  /// Earliest explicit deadline among queued requests (kNoDeadline when
+  /// none). Callers hold mutex_.
+  std::chrono::steady_clock::time_point EarliestQueuedDeadline() const;
+
   BatchPolicy policy_;
   ExecuteFn execute_;
 
@@ -69,6 +86,13 @@ class RequestBatcher {
   std::deque<AnnotateRequest> queue_;
   bool paused_ = false;
   bool draining_ = false;
+  /// The open batch window, preserved across pause/unpause. Guarded by
+  /// mutex_; only meaningful while window_open_.
+  bool window_open_ = false;
+  std::chrono::steady_clock::time_point window_deadline_{};
+  /// Queued requests carrying an explicit deadline; lets the dispatcher
+  /// skip the deadline scan entirely on the (common) deadline-free path.
+  size_t deadlined_in_queue_ = 0;
 
   std::thread dispatcher_;
 };

@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "util/failpoint.h"
 #include "util/strings.h"
 
 namespace csd::serve {
@@ -32,9 +33,29 @@ Result<StayPoint> ParsePoint(std::string_view field, bool with_time) {
   return stay;
 }
 
+/// Strips an optional trailing " @MS" deadline token off `body` and
+/// parses it into `budget`. Point fields never contain '@', so a bare
+/// trailing @-token is unambiguous.
+Result<std::string_view> StripDeadlineToken(std::string_view body,
+                                            std::chrono::milliseconds* budget) {
+  size_t space = body.find_last_of(" \t");
+  std::string_view tail =
+      space == std::string_view::npos ? body : body.substr(space + 1);
+  if (tail.empty() || tail.front() != '@') return body;
+  Result<int64_t> ms = ParseInt64(tail.substr(1));
+  if (!ms.ok() || ms.value() <= 0) {
+    return Status::ParseError("bad deadline token '" + std::string(tail) +
+                              "' (want @MS with MS > 0)");
+  }
+  *budget = std::chrono::milliseconds(ms.value());
+  if (space == std::string_view::npos) return std::string_view();
+  return TrimString(body.substr(0, space));
+}
+
 }  // namespace
 
 Result<ProtocolRequest> ParseRequestLine(std::string_view line) {
+  CSD_FAILPOINT("serve/parse");
   std::string_view trimmed = TrimString(line);
   if (trimmed.empty()) return Status::ParseError("empty request line");
 
@@ -48,6 +69,10 @@ Result<ProtocolRequest> ParseRequestLine(std::string_view line) {
   ProtocolRequest request;
   if (verb == "annotate") {
     request.kind = RequestKind::kAnnotate;
+    Result<std::string_view> stripped =
+        StripDeadlineToken(body, &request.deadline_budget);
+    if (!stripped.ok()) return stripped.status();
+    body = stripped.value();
     if (body.empty()) {
       return Status::ParseError("annotate needs at least one X,Y point");
     }
@@ -60,6 +85,10 @@ Result<ProtocolRequest> ParseRequestLine(std::string_view line) {
   }
   if (verb == "journey") {
     request.kind = RequestKind::kJourney;
+    Result<std::string_view> stripped =
+        StripDeadlineToken(body, &request.deadline_budget);
+    if (!stripped.ok()) return stripped.status();
+    body = stripped.value();
     std::vector<std::string> legs = SplitString(body, ';');
     if (legs.size() != 2) {
       return Status::ParseError(

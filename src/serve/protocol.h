@@ -1,6 +1,7 @@
 #ifndef CSD_SERVE_PROTOCOL_H_
 #define CSD_SERVE_PROTOCOL_H_
 
+#include <chrono>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -15,12 +16,16 @@ namespace csd::serve {
 /// The newline-delimited request grammar spoken by `csdctl serve` (one
 /// request per line on stdin, one response per line on stdout):
 ///
-///   annotate X,Y[;X,Y]...        batched stay-point annotation
-///   journey PX,PY,PT;DX,DY,DT    pick-up + drop-off as one request
+///   annotate X,Y[;X,Y]... [@MS]  batched stay-point annotation
+///   journey PX,PY,PT;DX,DY,DT [@MS]  pick-up + drop-off as one request
 ///   query-unit ID                fine-grained patterns anchored at unit ID
 ///   rebuild                      background rebuild + publish
 ///   stats                        one-line server counters
 ///   quit                         graceful drain and exit
+///
+/// A trailing `@MS` token gives the request a deadline budget of MS
+/// milliseconds from parse time; a request that cannot complete inside
+/// its budget answers `err DeadlineExceeded: ...` instead of executing.
 ///
 /// Responses are `ok <verb> key=value...` or `err <Code>: <message>`.
 enum class RequestKind {
@@ -38,6 +43,8 @@ struct ProtocolRequest {
   std::vector<StayPoint> stays;  // kAnnotate
   TaxiJourney journey;           // kJourney
   UnitId unit = kNoUnit;         // kQueryUnit
+  /// Deadline budget from the `@MS` token; zero means no deadline.
+  std::chrono::milliseconds deadline_budget{0};
 };
 
 /// Parses one request line (surrounding whitespace ignored). ParseError

@@ -10,35 +10,44 @@
 
 #include "core/pattern.h"
 #include "core/semantic_unit.h"
+#include "serve/admission.h"
 #include "traj/trajectory.h"
+#include "util/status.h"
 
 namespace csd::serve {
 
 class CsdSnapshot;
 
-/// The request classes the AdmissionController budgets independently:
-/// cheap latency-sensitive lookups must not starve behind annotation
-/// batches, and at most one rebuild may be in flight.
-enum class RequestClass { kAnnotate = 0, kQuery = 1, kRebuild = 2 };
-inline constexpr size_t kNumRequestClasses = 3;
-
-const char* RequestClassName(RequestClass c);
+/// "No deadline": requests default to unbounded patience, so deadline
+/// handling is invisible unless a caller opts in.
+inline constexpr std::chrono::steady_clock::time_point kNoDeadline =
+    std::chrono::steady_clock::time_point::max();
 
 /// Outcome of one annotation request (single stay points or a whole
-/// journey): the input stay points with their semantic properties filled
-/// in, the winning semantic unit per stay (kNoUnit when nothing was in
-/// range), and the version of the snapshot that served the request.
+/// journey). On success (`status.ok()`): the input stay points with their
+/// semantic properties filled in, the winning semantic unit per stay
+/// (kNoUnit when nothing was in range), and the version of the snapshot
+/// that served the request. On failure (deadline exceeded, batcher
+/// draining, injected fault) `status` says why, the stays come back
+/// unannotated, and `snapshot_version` is 0 — the request *always*
+/// completes with an explicit verdict, never a hang.
 struct AnnotateResult {
+  Status status;
   uint64_t snapshot_version = 0;
   std::vector<StayPoint> stays;
   std::vector<UnitId> units;
 };
 
 /// One queued annotation request. `enqueue_time` feeds the latency
-/// histogram; the promise is fulfilled by the batch that executes it.
+/// histogram; `deadline` is enforced by the batcher window and checked
+/// again at execution; the ticket releases the admission slot wherever
+/// the request's life ends; the promise is fulfilled by the batch that
+/// executes it (or by whoever rejects it).
 struct AnnotateRequest {
   std::vector<StayPoint> stays;
   std::chrono::steady_clock::time_point enqueue_time;
+  std::chrono::steady_clock::time_point deadline = kNoDeadline;
+  AdmissionTicket ticket;
   std::promise<AnnotateResult> promise;
 };
 
@@ -52,9 +61,12 @@ struct PatternQueryResult {
   std::span<const uint32_t> pattern_ids;
 };
 
-/// Outcome of a background rebuild: the version the new snapshot was
-/// published under and its headline shape.
+/// Outcome of a background rebuild. On success (`status.ok()`): the
+/// version the new snapshot was published under and its headline shape.
+/// On failure the store was left untouched — the previous generation
+/// keeps serving — and `status` carries the build error.
 struct RebuildResult {
+  Status status;
   uint64_t version = 0;
   size_t num_units = 0;
   size_t num_patterns = 0;

@@ -1,0 +1,50 @@
+#include "serve/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.h"
+
+namespace csd::serve {
+
+namespace {
+
+obs::Counter& RetriesCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Get().GetCounter(
+      "csd_serve_retries_total",
+      "Transient failures retried by serve clients (backoff taken)");
+  return counter;
+}
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+bool IsRetryableStatus(const Status& status) {
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kDeadlineExceeded;
+}
+
+std::chrono::microseconds BackoffWithJitter(const RetryPolicy& policy,
+                                            uint64_t token, size_t attempt) {
+  double base = static_cast<double>(policy.initial_backoff.count()) *
+                std::pow(policy.multiplier,
+                         static_cast<double>(attempt > 0 ? attempt - 1 : 0));
+  base = std::min(base, static_cast<double>(policy.max_backoff.count()));
+  uint64_t roll =
+      SplitMix64(policy.seed ^ (token * 0x9E3779B97F4A7C15ull + attempt));
+  double jitter = 0.5 + 0.5 * (static_cast<double>(roll >> 11) * 0x1.0p-53);
+  return std::chrono::microseconds(
+      static_cast<int64_t>(base * jitter));
+}
+
+namespace internal {
+void CountRetry() { RetriesCounter().Increment(); }
+}  // namespace internal
+
+}  // namespace csd::serve

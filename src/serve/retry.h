@@ -1,0 +1,66 @@
+#ifndef CSD_SERVE_RETRY_H_
+#define CSD_SERVE_RETRY_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <utility>
+
+#include "util/status.h"
+
+namespace csd::serve {
+
+/// Client-side retry knobs: exponential backoff with deterministic
+/// jitter. Backoff for attempt k (k = 1 for the first retry) is
+///   min(initial_backoff * multiplier^(k-1), max_backoff)
+/// scaled by a jitter factor in [0.5, 1.0) derived from (seed, token,
+/// attempt) — so a herd of rejected clients decorrelates, yet a given
+/// seed replays the exact same schedule (tests assert on it).
+struct RetryPolicy {
+  /// Total attempts including the first one; 1 disables retry.
+  size_t max_attempts = 4;
+  std::chrono::microseconds initial_backoff{200};
+  double multiplier = 2.0;
+  std::chrono::microseconds max_backoff{10000};
+  uint64_t seed = 0x5eed;
+};
+
+/// The transient verdicts worth retrying: admission-control shedding /
+/// shutdown races (kUnavailable) and expired deadlines (a fresh attempt
+/// gets a fresh budget). Everything else — parse errors, bad arguments,
+/// missing snapshots — would fail identically on every attempt.
+bool IsRetryableStatus(const Status& status);
+
+/// Deterministic jittered backoff before retry `attempt` (>= 1) of the
+/// request identified by `token`. Pure: same inputs, same duration.
+std::chrono::microseconds BackoffWithJitter(const RetryPolicy& policy,
+                                            uint64_t token, size_t attempt);
+
+namespace internal {
+/// Bumps csd_serve_retries_total (kept out of the header so the template
+/// below does not drag the metrics registry into every includer).
+void CountRetry();
+}  // namespace internal
+
+/// Runs `fn` (returning Result<T>) up to policy.max_attempts times,
+/// sleeping a jittered exponential backoff between attempts, until it
+/// succeeds or fails with a non-retryable status. `token` distinguishes
+/// concurrent callers in the jitter schedule (a request counter, a
+/// client id — anything stable per logical request).
+template <typename Fn>
+auto RetryWithBackoff(const RetryPolicy& policy, uint64_t token, Fn&& fn)
+    -> decltype(fn()) {
+  auto result = fn();
+  for (size_t attempt = 1; attempt < policy.max_attempts; ++attempt) {
+    if (result.ok() || !IsRetryableStatus(result.status())) break;
+    internal::CountRetry();
+    std::this_thread::sleep_for(BackoffWithJitter(policy, token, attempt));
+    result = fn();
+  }
+  return result;
+}
+
+}  // namespace csd::serve
+
+#endif  // CSD_SERVE_RETRY_H_

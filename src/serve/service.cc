@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <exception>
 #include <string>
 #include <utility>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/failpoint.h"
 #include "util/parallel.h"
 #include "util/stopwatch.h"
 
@@ -62,6 +64,32 @@ obs::Histogram& QueryLatencyHistogram() {
   return hist;
 }
 
+obs::Counter& DeadlineExceededCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Get().GetCounter(
+      "csd_serve_deadline_exceeded_total",
+      "Annotation requests completed with kDeadlineExceeded");
+  return counter;
+}
+
+obs::Counter& RebuildFailuresCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Get().GetCounter(
+      "csd_serve_rebuild_failures_total",
+      "Rebuilds that failed and left the previous snapshot serving");
+  return counter;
+}
+
+/// Completes a request without executing it: frees the admission slot
+/// first (so a caller woken by the future sees the budget returned), then
+/// resolves the promise with `status` and the stays unannotated.
+void FailRequest(AnnotateRequest& request, Status status) {
+  request.ticket.Release();
+  AnnotateResult result;
+  result.status = std::move(status);
+  result.stays = std::move(request.stays);
+  result.units.assign(result.stays.size(), kNoUnit);
+  request.promise.set_value(std::move(result));
+}
+
 }  // namespace
 
 ServeService::ServeService(SnapshotStore* store, ServeOptions options)
@@ -78,35 +106,49 @@ ServeService::ServeService(SnapshotStore* store, ServeOptions options)
 ServeService::~ServeService() { Shutdown(); }
 
 Result<std::future<AnnotateResult>> ServeService::Submit(
-    std::vector<StayPoint> stays) {
+    std::vector<StayPoint> stays,
+    std::chrono::steady_clock::time_point deadline) {
   if (store_->current_version() == 0) {
     return Status::FailedPrecondition(
         "no snapshot published yet; trigger a rebuild first");
   }
-  Status admit = admission_.Admit(RequestClass::kAnnotate);
-  if (!admit.ok()) return admit;
+  auto now = std::chrono::steady_clock::now();
+  if (deadline != kNoDeadline && now >= deadline) {
+    // Already expired: fail fast without consuming an admission slot.
+    DeadlineExceededCounter().Increment();
+    return Status::DeadlineExceeded("annotate: deadline expired on arrival");
+  }
+  AdmissionTicket ticket(&admission_, RequestClass::kAnnotate);
+  if (!ticket.ok()) return ticket.status();
   AnnotateRequestsCounter().Increment();
 
   AnnotateRequest request;
   request.stays = std::move(stays);
-  request.enqueue_time = std::chrono::steady_clock::now();
+  request.enqueue_time = now;
+  request.deadline = deadline;
+  request.ticket = std::move(ticket);
   std::future<AnnotateResult> future = request.promise.get_future();
+  // A false return means the batcher is draining: the request was already
+  // completed with kUnavailable and its slot released, so the future is
+  // still safe to hand back — it resolves either way.
   batcher_->Enqueue(std::move(request));
   return future;
 }
 
 Result<std::future<AnnotateResult>> ServeService::AnnotateStayPoints(
-    std::vector<StayPoint> stays) {
-  return Submit(std::move(stays));
+    std::vector<StayPoint> stays,
+    std::chrono::steady_clock::time_point deadline) {
+  return Submit(std::move(stays), deadline);
 }
 
 Result<std::future<AnnotateResult>> ServeService::AnnotateJourney(
-    const TaxiJourney& journey) {
+    const TaxiJourney& journey,
+    std::chrono::steady_clock::time_point deadline) {
   std::vector<StayPoint> stays;
   stays.reserve(2);
   stays.emplace_back(journey.pickup.position, journey.pickup.time);
   stays.emplace_back(journey.dropoff.position, journey.dropoff.time);
-  return Submit(std::move(stays));
+  return Submit(std::move(stays), deadline);
 }
 
 Result<PatternQueryResult> ServeService::QueryPatternsByUnit(UnitId unit) {
@@ -114,8 +156,10 @@ Result<PatternQueryResult> ServeService::QueryPatternsByUnit(UnitId unit) {
     return Status::FailedPrecondition(
         "no snapshot published yet; trigger a rebuild first");
   }
-  Status admit = admission_.Admit(RequestClass::kQuery);
-  if (!admit.ok()) return admit;
+  // RAII ticket: the slot frees on every exit path, including exceptions —
+  // a thrown Acquire can no longer leak the query budget.
+  AdmissionTicket ticket(&admission_, RequestClass::kQuery);
+  if (!ticket.ok()) return ticket.status();
   QueryRequestsCounter().Increment();
 
   Stopwatch watch;
@@ -129,7 +173,6 @@ Result<PatternQueryResult> ServeService::QueryPatternsByUnit(UnitId unit) {
     result.snapshot = std::move(snapshot);  // pins pattern_ids
   }
   QueryLatencyHistogram().Observe(watch.ElapsedSeconds());
-  admission_.Release(RequestClass::kQuery);
   return result;
 }
 
@@ -139,11 +182,12 @@ Result<std::future<RebuildResult>> ServeService::TriggerRebuild(
     return Status::FailedPrecondition(
         "nothing to rebuild: no dataset given and no snapshot published");
   }
-  Status admit = admission_.Admit(RequestClass::kRebuild);
-  if (!admit.ok()) return admit;
+  AdmissionTicket ticket(&admission_, RequestClass::kRebuild);
+  if (!ticket.ok()) return ticket.status();
 
   RebuildJob job;
   job.data = std::move(data);
+  job.ticket = std::move(ticket);
   std::future<RebuildResult> future = job.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(rebuild_mutex_);
@@ -174,6 +218,38 @@ void ServeService::SetPausedForTest(bool paused) {
 
 void ServeService::ExecuteBatch(std::vector<AnnotateRequest> batch) {
   CSD_TRACE_SPAN("serve/annotate_batch");
+  Status injected = CSD_FAILPOINT_EVAL("serve/execute_batch");
+  if (!injected.ok()) {
+    for (AnnotateRequest& request : batch) FailRequest(request, injected);
+    return;
+  }
+  // A deadline that expired while the request waited in the queue turns
+  // into kDeadlineExceeded instead of a late execution; the common
+  // deadline-free batch skips the scan (and the extra clock read).
+  bool any_deadline = false;
+  for (const AnnotateRequest& request : batch) {
+    if (request.deadline != kNoDeadline) {
+      any_deadline = true;
+      break;
+    }
+  }
+  if (any_deadline) {
+    auto arrival = std::chrono::steady_clock::now();
+    std::vector<AnnotateRequest> live;
+    live.reserve(batch.size());
+    for (AnnotateRequest& request : batch) {
+      if (request.deadline != kNoDeadline && arrival >= request.deadline) {
+        DeadlineExceededCounter().Increment();
+        FailRequest(request, Status::DeadlineExceeded(
+                                 "annotate: deadline expired in queue"));
+      } else {
+        live.push_back(std::move(request));
+      }
+    }
+    batch = std::move(live);
+    if (batch.empty()) return;
+  }
+
   // One snapshot acquisition amortized over the whole batch; every request
   // in it is served by this one consistent generation.
   std::shared_ptr<const CsdSnapshot> snapshot = store_->Acquire();
@@ -226,8 +302,10 @@ void ServeService::ExecuteBatch(std::vector<AnnotateRequest> batch) {
   for (size_t r = 0; r < batch.size(); ++r) {
     AnnotateLatencyHistogram().Observe(
         std::chrono::duration<double>(now - batch[r].enqueue_time).count());
+    // Release before set_value: a caller woken by the future must see the
+    // admission budget already returned.
+    batch[r].ticket.Release();
     batch[r].promise.set_value(std::move(results[r]));
-    admission_.Release(RequestClass::kAnnotate);
   }
   BatchSizeHistogram().Observe(static_cast<double>(batch.size()));
   BatchesCounter().Increment();
@@ -248,22 +326,35 @@ void ServeService::RebuildMain() {
     {
       CSD_TRACE_SPAN("serve/rebuild");
       Stopwatch watch;
-      // TriggerRebuild guarantees a published snapshot exists when no
-      // dataset was given, and publishes never retract.
-      std::shared_ptr<const ServeDataset> data =
-          job.data != nullptr ? std::move(job.data)
-                              : store_->Acquire()->shared_data();
-      auto snapshot =
-          std::make_shared<CsdSnapshot>(std::move(data), options_.snapshot);
-      uint64_t version = store_->Publish(snapshot);
-      RebuildsCounter().Increment();
       RebuildResult result;
-      result.version = version;
-      result.num_units = snapshot->diagram().units().size();
-      result.num_patterns = snapshot->patterns().size();
+      Status status = CSD_FAILPOINT_EVAL("serve/rebuild");
+      if (status.ok()) {
+        try {
+          // TriggerRebuild guarantees a published snapshot exists when no
+          // dataset was given, and publishes never retract.
+          std::shared_ptr<const ServeDataset> data =
+              job.data != nullptr ? std::move(job.data)
+                                  : store_->Acquire()->shared_data();
+          auto snapshot = std::make_shared<CsdSnapshot>(std::move(data),
+                                                        options_.snapshot);
+          result.version = store_->Publish(snapshot);
+          result.num_units = snapshot->diagram().units().size();
+          result.num_patterns = snapshot->patterns().size();
+          RebuildsCounter().Increment();
+        } catch (const std::exception& e) {
+          status = Status::Internal(std::string("rebuild failed: ") + e.what());
+        }
+      }
+      if (!status.ok()) {
+        // Graceful degradation: nothing was published, so the last good
+        // snapshot keeps serving; the error reaches the caller through
+        // the rebuild future instead of taking the service down.
+        RebuildFailuresCounter().Increment();
+        result.status = std::move(status);
+      }
       result.seconds = watch.ElapsedSeconds();
-      job.promise.set_value(result);
-      admission_.Release(RequestClass::kRebuild);
+      job.ticket.Release();
+      job.promise.set_value(std::move(result));
     }
 
     lock.lock();

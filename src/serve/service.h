@@ -55,13 +55,18 @@ class ServeService {
 
   /// Queues `stays` for batched annotation. The future resolves to the
   /// stays with semantics + winning units filled in, annotated against
-  /// one consistent snapshot.
+  /// one consistent snapshot. With an explicit `deadline`, the batcher
+  /// never holds the request past it and an expired request completes
+  /// with kDeadlineExceeded instead of executing — the future always
+  /// resolves either way.
   Result<std::future<AnnotateResult>> AnnotateStayPoints(
-      std::vector<StayPoint> stays);
+      std::vector<StayPoint> stays,
+      std::chrono::steady_clock::time_point deadline = kNoDeadline);
 
   /// Queues the journey's stay points (pick-up, drop-off) as one request.
   Result<std::future<AnnotateResult>> AnnotateJourney(
-      const TaxiJourney& journey);
+      const TaxiJourney& journey,
+      std::chrono::steady_clock::time_point deadline = kNoDeadline);
 
   /// Fine-grained patterns anchored at `unit` in the current snapshot.
   /// Synchronous: a bounded number of concurrent lookups run directly on
@@ -71,7 +76,10 @@ class ServeService {
   /// Queues a full background rebuild + publish. `data` is the new
   /// dataset generation; nullptr re-runs on the current snapshot's
   /// dataset. At most limits.rebuild rebuilds are in flight; extra
-  /// triggers get kUnavailable.
+  /// triggers get kUnavailable. A rebuild that fails (injected fault,
+  /// build exception) degrades gracefully: the store is left untouched —
+  /// the last good snapshot keeps serving — and the error is reported
+  /// through the future's RebuildResult::status.
   Result<std::future<RebuildResult>> TriggerRebuild(
       std::shared_ptr<const ServeDataset> data = nullptr);
 
@@ -92,10 +100,13 @@ class ServeService {
  private:
   struct RebuildJob {
     std::shared_ptr<const ServeDataset> data;
+    AdmissionTicket ticket;
     std::promise<RebuildResult> promise;
   };
 
-  Result<std::future<AnnotateResult>> Submit(std::vector<StayPoint> stays);
+  Result<std::future<AnnotateResult>> Submit(
+      std::vector<StayPoint> stays,
+      std::chrono::steady_clock::time_point deadline);
   void ExecuteBatch(std::vector<AnnotateRequest> batch);
   void RebuildMain();
 

@@ -1,0 +1,258 @@
+#include "util/failpoint.h"
+
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/strings.h"
+
+namespace csd {
+
+namespace {
+
+obs::Counter& TripsCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Get().GetCounter(
+      "csd_failpoint_trips_total", "Faults injected by armed failpoints");
+  return counter;
+}
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashName(std::string_view name) {
+  uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Maps the spec grammar's code tokens onto StatusCode.
+bool ParseCode(std::string_view token, StatusCode* code) {
+  struct Entry {
+    const char* name;
+    StatusCode code;
+  };
+  static constexpr Entry kCodes[] = {
+      {"invalidargument", StatusCode::kInvalidArgument},
+      {"notfound", StatusCode::kNotFound},
+      {"outofrange", StatusCode::kOutOfRange},
+      {"ioerror", StatusCode::kIoError},
+      {"parseerror", StatusCode::kParseError},
+      {"alreadyexists", StatusCode::kAlreadyExists},
+      {"failedprecondition", StatusCode::kFailedPrecondition},
+      {"internal", StatusCode::kInternal},
+      {"unavailable", StatusCode::kUnavailable},
+      {"deadlineexceeded", StatusCode::kDeadlineExceeded},
+  };
+  for (const Entry& entry : kCodes) {
+    if (token == entry.name) {
+      *code = entry.code;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// One `action(...)` term: `return(code[:message])` or `sleep(micros)`.
+Status ParseAction(std::string_view action, FailpointSpec* spec) {
+  size_t open = action.find('(');
+  if (open == std::string_view::npos || action.back() != ')') {
+    return Status::ParseError("failpoint action '" + std::string(action) +
+                              "' is not name(args)");
+  }
+  std::string_view verb = action.substr(0, open);
+  std::string_view args = action.substr(open + 1, action.size() - open - 2);
+  if (verb == "return") {
+    std::string_view code_token = args;
+    size_t colon = args.find(':');
+    if (colon != std::string_view::npos) {
+      code_token = args.substr(0, colon);
+      spec->message = std::string(args.substr(colon + 1));
+    }
+    if (!ParseCode(code_token, &spec->code) ||
+        spec->code == StatusCode::kOk) {
+      return Status::ParseError("failpoint return() wants an error code, "
+                                "got '" + std::string(code_token) + "'");
+    }
+    return Status::OK();
+  }
+  if (verb == "sleep") {
+    Result<int64_t> micros = ParseInt64(args);
+    if (!micros.ok() || micros.value() < 0) {
+      return Status::ParseError("failpoint sleep() wants microseconds, "
+                                "got '" + std::string(args) + "'");
+    }
+    spec->latency = std::chrono::microseconds(micros.value());
+    return Status::OK();
+  }
+  return Status::ParseError("unknown failpoint action '" +
+                            std::string(verb) + "'");
+}
+
+Status ParseSpec(std::string_view text, FailpointSpec* spec) {
+  std::string_view rest = TrimString(text);
+  if (size_t pct = rest.find('%'); pct != std::string_view::npos &&
+                                   pct < rest.find('(')) {
+    Result<double> prob = ParseDouble(rest.substr(0, pct));
+    if (!prob.ok() || prob.value() < 0.0 || prob.value() > 100.0) {
+      return Status::ParseError("failpoint probability wants 0..100, got '" +
+                                std::string(rest.substr(0, pct)) + "'");
+    }
+    spec->probability = prob.value() / 100.0;
+    rest = rest.substr(pct + 1);
+  }
+  if (size_t star = rest.find('*'); star != std::string_view::npos &&
+                                    star < rest.find('(')) {
+    Result<int64_t> count = ParseInt64(rest.substr(0, star));
+    if (!count.ok() || count.value() <= 0) {
+      return Status::ParseError("failpoint trip count wants a positive "
+                                "integer, got '" +
+                                std::string(rest.substr(0, star)) + "'");
+    }
+    spec->limit = static_cast<uint64_t>(count.value());
+    rest = rest.substr(star + 1);
+  }
+  if (rest.empty()) {
+    return Status::ParseError("failpoint spec '" + std::string(text) +
+                              "' has no action");
+  }
+  // Actions are joined with '+'; ')' never precedes a joiner, so a plain
+  // split on '+' outside parentheses is just "split after ')+'".
+  while (!rest.empty()) {
+    size_t close = rest.find(')');
+    if (close == std::string_view::npos) {
+      return Status::ParseError("failpoint action '" + std::string(rest) +
+                                "' is missing ')'");
+    }
+    CSD_RETURN_NOT_OK(ParseAction(rest.substr(0, close + 1), spec));
+    rest = rest.substr(close + 1);
+    if (!rest.empty()) {
+      if (rest.front() != '+') {
+        return Status::ParseError("failpoint actions join with '+', got '" +
+                                  std::string(rest) + "'");
+      }
+      rest = rest.substr(1);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+FailpointRegistry::FailpointRegistry() : seed_(0x5eedf0dAull) {
+  if (const char* seed = std::getenv("CSD_FAILPOINT_SEED")) {
+    seed_ = static_cast<uint64_t>(std::atoll(seed));
+  }
+  if (const char* list = std::getenv("CSD_FAILPOINTS")) {
+    Status s = ArmFromList(list);
+    if (!s.ok()) {
+      std::fprintf(stderr, "CSD_FAILPOINTS ignored entry: %s\n",
+                   s.ToString().c_str());
+    }
+  }
+}
+
+FailpointRegistry& FailpointRegistry::Get() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+Status FailpointRegistry::Arm(std::string_view name, std::string_view spec) {
+  FailpointSpec parsed;
+  CSD_RETURN_NOT_OK(ParseSpec(spec, &parsed));
+  Arm(name, std::move(parsed));
+  return Status::OK();
+}
+
+void FailpointRegistry::Arm(std::string_view name, FailpointSpec spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = points_.try_emplace(std::string(name));
+  it->second.spec = std::move(spec);
+  if (inserted) armed_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FailpointRegistry::Disarm(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(name);
+  if (it == points_.end()) return;
+  points_.erase(it);
+  armed_count_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FailpointRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_count_.fetch_sub(points_.size(), std::memory_order_relaxed);
+  points_.clear();
+}
+
+void FailpointRegistry::SetSeed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  seed_ = seed;
+}
+
+uint64_t FailpointRegistry::Hits(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+uint64_t FailpointRegistry::Trips(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.trips;
+}
+
+Status FailpointRegistry::ArmFromList(std::string_view list) {
+  for (const std::string& entry : SplitString(list, ';')) {
+    std::string_view trimmed = TrimString(entry);
+    if (trimmed.empty()) continue;
+    size_t eq = trimmed.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::ParseError("failpoint entry '" + std::string(trimmed) +
+                                "' is not name=spec");
+    }
+    CSD_RETURN_NOT_OK(
+        Arm(TrimString(trimmed.substr(0, eq)), trimmed.substr(eq + 1)));
+  }
+  return Status::OK();
+}
+
+Status FailpointRegistry::Evaluate(const char* name) {
+  FailpointSpec spec;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = points_.find(std::string_view(name));
+    if (it == points_.end()) return Status::OK();
+    Point& point = it->second;
+    point.hits++;
+    if (point.spec.limit > 0 && point.trips >= point.spec.limit) {
+      return Status::OK();  // spent: stays registered so counts survive
+    }
+    if (point.spec.probability < 1.0) {
+      // Seeded per (name, hit index): replayable, and independent of
+      // which threads hit which points in what interleaving.
+      uint64_t gate = SplitMix64(seed_ ^ HashName(name) ^ point.hits);
+      double roll = static_cast<double>(gate >> 11) * 0x1.0p-53;
+      if (roll >= point.spec.probability) return Status::OK();
+    }
+    point.trips++;
+    spec = point.spec;  // copy out; never sleep holding the lock
+  }
+  TripsCounter().Increment();
+  if (spec.latency.count() > 0) std::this_thread::sleep_for(spec.latency);
+  if (spec.code == StatusCode::kOk) return Status::OK();
+  std::string message = spec.message.empty()
+                            ? "injected by failpoint '" + std::string(name) +
+                                  "'"
+                            : spec.message;
+  return Status(spec.code, std::move(message));
+}
+
+}  // namespace csd

@@ -1,0 +1,128 @@
+#ifndef CSD_UTIL_FAILPOINT_H_
+#define CSD_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace csd {
+
+/// What an armed failpoint does on each hit, applied in order: the
+/// (seeded, deterministic) probability gate decides whether this hit
+/// trips at all, `latency` is slept off, then `code` is injected as a
+/// Status error (kOk = latency-only failpoint).
+struct FailpointSpec {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  std::chrono::microseconds latency{0};
+  /// Probability in [0, 1] that a hit trips. Decided by hashing
+  /// (registry seed, point name, hit index), so a given seed replays the
+  /// exact same trip pattern run after run.
+  double probability = 1.0;
+  /// Disarm after this many trips; 0 = unlimited.
+  uint64_t limit = 0;
+};
+
+/// Process-wide registry of named fault-injection sites. Production code
+/// plants `CSD_FAILPOINT("stage/site")` at the places that can fail in
+/// the real world (I/O, rebuilds, batch execution, parsing); tests and
+/// chaos harnesses arm those names with errors or latency at runtime, so
+/// every failure path is drivable without mocking.
+///
+/// Cost when nothing is armed: one relaxed atomic load and a predicted
+/// branch per planted site — cheap enough to leave in release builds.
+///
+/// Activation:
+///  - API: `FailpointRegistry::Get().Arm("serve/rebuild",
+///          "return(unavailable)")`
+///  - env: `CSD_FAILPOINTS="serve/rebuild=return(unavailable);
+///          io/read_pois_csv=sleep(500)+return(ioerror)"`, parsed on
+///    first registry use; `CSD_FAILPOINT_SEED=<n>` seeds the
+///    probability gate.
+///
+/// Spec grammar (fail-crate style):
+///   spec    := [prob '%'] [count '*'] action ['+' action]
+///   action  := 'return(' code [':' message] ')' | 'sleep(' micros ')'
+///   code    := 'unavailable' | 'ioerror' | 'parseerror' | 'internal'
+///            | 'deadlineexceeded' | 'invalidargument' | 'notfound'
+///            | 'outofrange' | 'alreadyexists' | 'failedprecondition'
+/// Examples: "return(unavailable)", "sleep(2000)",
+///   "50%return(ioerror:disk on fire)", "3*return(unavailable)",
+///   "sleep(500)+return(internal)".
+class FailpointRegistry {
+ public:
+  /// The singleton. First call parses CSD_FAILPOINTS/CSD_FAILPOINT_SEED.
+  static FailpointRegistry& Get();
+
+  /// Fast-path gate: true while at least one failpoint is armed. Planted
+  /// sites check this before paying for Evaluate's lock.
+  bool armed() const { return armed_count_.load(std::memory_order_relaxed) > 0; }
+
+  /// Parses `spec` (grammar above) and arms `name` with it.
+  Status Arm(std::string_view name, std::string_view spec);
+  void Arm(std::string_view name, FailpointSpec spec);
+
+  void Disarm(std::string_view name);
+  void DisarmAll();
+
+  /// Reseeds the probability gate (also resets nothing else; hit counts
+  /// survive so re-arming mid-test keeps its history).
+  void SetSeed(uint64_t seed);
+
+  /// Evaluations at `name` while it was armed / injections performed.
+  uint64_t Hits(std::string_view name) const;
+  uint64_t Trips(std::string_view name) const;
+
+  /// Arms every `name=spec` entry of a ';'-separated list (the
+  /// CSD_FAILPOINTS grammar). Stops at the first malformed entry.
+  Status ArmFromList(std::string_view list);
+
+  /// Slow path behind CSD_FAILPOINT: counts the hit, applies the armed
+  /// spec (probability gate, latency, injected Status). OK when `name`
+  /// is not armed or the gate says this hit passes.
+  Status Evaluate(const char* name);
+
+ private:
+  struct Point {
+    FailpointSpec spec;
+    uint64_t hits = 0;
+    uint64_t trips = 0;
+  };
+
+  FailpointRegistry();
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Point, std::less<>> points_;
+  std::atomic<size_t> armed_count_{0};
+  uint64_t seed_ = 0;
+};
+
+/// Plants a failpoint: when armed with an error, the enclosing function
+/// early-returns the injected Status (the site must return Status or
+/// Result<T>). Latency-only specs just sleep and fall through.
+#define CSD_FAILPOINT(name)                                       \
+  do {                                                            \
+    if (::csd::FailpointRegistry::Get().armed()) {                \
+      ::csd::Status _csd_fp_status =                              \
+          ::csd::FailpointRegistry::Get().Evaluate(name);         \
+      if (!_csd_fp_status.ok()) return _csd_fp_status;            \
+    }                                                             \
+  } while (false)
+
+/// Evaluates a failpoint to a Status value for sites that cannot early-
+/// return (promise-fulfilling paths): the caller decides how the injected
+/// error propagates.
+#define CSD_FAILPOINT_EVAL(name)                          \
+  (::csd::FailpointRegistry::Get().armed()                \
+       ? ::csd::FailpointRegistry::Get().Evaluate(name)   \
+       : ::csd::Status::OK())
+
+}  // namespace csd
+
+#endif  // CSD_UTIL_FAILPOINT_H_

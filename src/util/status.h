@@ -22,6 +22,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kUnavailable,
+  kDeadlineExceeded,
 };
 
 /// Returns a human-readable name for a status code, e.g. "InvalidArgument".
@@ -74,6 +75,11 @@ class Status {
   /// (the serving layer's admission-control verdict).
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  /// The request's deadline passed before the work could run; the result
+  /// would arrive too late to matter, so it was not computed at all.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

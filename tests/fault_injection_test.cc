@@ -1,0 +1,683 @@
+// Fault injection and robustness: the failpoint registry itself, every
+// planted failpoint in the tree (ingest I/O, protocol parsing, batch
+// execution, snapshot rebuild), deadline propagation, and the batcher's
+// shutdown/pause edge cases. The invariant under test everywhere: a fault
+// turns into a prompt, explicit non-OK Status — never a hang, a crash, or
+// a silently dropped request — and the admission budget is returned
+// wherever the request's life ends.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "io/binary_io.h"
+#include "io/dataset_io.h"
+#include "serve/batcher.h"
+#include "serve/protocol.h"
+#include "serve/retry.h"
+#include "serve/service.h"
+#include "tests/serve_test_helpers.h"
+#include "util/failpoint.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace csd {
+namespace {
+
+using serve::AnnotateRequest;
+using serve::AnnotateResult;
+using serve::kNoDeadline;
+using serve::RequestBatcher;
+using serve::testing::MakeTestDataset;
+using serve::testing::TestSnapshotOptions;
+
+constexpr auto kResolveBound = std::chrono::seconds(10);
+
+/// Every test starts and ends with a clean registry: failpoints are
+/// process-global, so leaking an armed point would poison later tests.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FailpointRegistry::Get().DisarmAll(); }
+  void TearDown() override { FailpointRegistry::Get().DisarmAll(); }
+};
+
+// --- Registry semantics ---------------------------------------------------
+
+using FailpointRegistryTest = FailpointTest;
+
+TEST_F(FailpointRegistryTest, ArmInjectsAndDisarmRestores) {
+  auto& registry = FailpointRegistry::Get();
+  EXPECT_FALSE(registry.armed());
+  EXPECT_TRUE(registry.Evaluate("test/point").ok());
+
+  ASSERT_TRUE(registry.Arm("test/point", "return(unavailable:boom)").ok());
+  EXPECT_TRUE(registry.armed());
+  Status injected = registry.Evaluate("test/point");
+  EXPECT_EQ(injected.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(injected.message(), "boom");
+  // Other names pass through untouched.
+  EXPECT_TRUE(registry.Evaluate("test/other").ok());
+  EXPECT_EQ(registry.Hits("test/point"), 1u);
+  EXPECT_EQ(registry.Trips("test/point"), 1u);
+
+  registry.Disarm("test/point");
+  EXPECT_FALSE(registry.armed());
+  EXPECT_TRUE(registry.Evaluate("test/point").ok());
+}
+
+TEST_F(FailpointRegistryTest, SpecGrammarParses) {
+  auto& registry = FailpointRegistry::Get();
+  // Every form the header documents arms without error.
+  EXPECT_TRUE(registry.Arm("g/1", "return(ioerror)").ok());
+  EXPECT_TRUE(registry.Arm("g/2", "sleep(100)").ok());
+  EXPECT_TRUE(registry.Arm("g/3", "50%return(parseerror:half)").ok());
+  EXPECT_TRUE(registry.Arm("g/4", "3*return(unavailable)").ok());
+  EXPECT_TRUE(registry.Arm("g/5", "sleep(50)+return(internal)").ok());
+  EXPECT_TRUE(registry.Arm("g/6", "25%2*return(deadlineexceeded)").ok());
+
+  // The combined sleep+return injects the error after the latency.
+  Status combined = registry.Evaluate("g/5");
+  EXPECT_EQ(combined.code(), StatusCode::kInternal);
+}
+
+TEST_F(FailpointRegistryTest, MalformedSpecsAreRejected) {
+  auto& registry = FailpointRegistry::Get();
+  for (const char* bad :
+       {"", "return", "return()", "return(bogus)", "return(ok)",
+        "explode(now)", "sleep(-5)", "sleep(x)", "150%return(ioerror)",
+        "0*return(ioerror)", "return(ioerror)return(ioerror)"}) {
+    Status s = registry.Arm("bad/spec", bad);
+    EXPECT_FALSE(s.ok()) << "spec '" << bad << "' should not parse";
+    EXPECT_EQ(s.code(), StatusCode::kParseError) << bad;
+  }
+  // Nothing got armed by the failed attempts.
+  EXPECT_FALSE(registry.armed());
+  EXPECT_TRUE(registry.Evaluate("bad/spec").ok());
+}
+
+TEST_F(FailpointRegistryTest, TripLimitSpendsThePoint) {
+  auto& registry = FailpointRegistry::Get();
+  ASSERT_TRUE(registry.Arm("limited/point", "2*return(ioerror)").ok());
+  EXPECT_FALSE(registry.Evaluate("limited/point").ok());
+  EXPECT_FALSE(registry.Evaluate("limited/point").ok());
+  // Spent: passes from here on, but keeps counting hits.
+  EXPECT_TRUE(registry.Evaluate("limited/point").ok());
+  EXPECT_TRUE(registry.Evaluate("limited/point").ok());
+  EXPECT_EQ(registry.Trips("limited/point"), 2u);
+  EXPECT_EQ(registry.Hits("limited/point"), 4u);
+}
+
+TEST_F(FailpointRegistryTest, SeededProbabilityReplaysExactly) {
+  auto& registry = FailpointRegistry::Get();
+  auto run = [&registry]() {
+    registry.SetSeed(0xC0FFEE);
+    EXPECT_TRUE(registry.Arm("prob/point", "50%return(unavailable)").ok());
+    std::vector<bool> pattern;
+    for (int i = 0; i < 64; ++i) {
+      pattern.push_back(!registry.Evaluate("prob/point").ok());
+    }
+    registry.Disarm("prob/point");  // resets the hit counter for the replay
+    return pattern;
+  };
+  std::vector<bool> first = run();
+  std::vector<bool> second = run();
+  EXPECT_EQ(first, second);
+
+  // Sanity on the gate itself: 64 hits at 50% trip some but not all.
+  size_t trips = 0;
+  for (bool tripped : first) trips += tripped ? 1 : 0;
+  EXPECT_GT(trips, 0u);
+  EXPECT_LT(trips, 64u);
+
+  // A different seed decorrelates.
+  registry.SetSeed(0xDECAF);
+  EXPECT_TRUE(registry.Arm("prob/point", "50%return(unavailable)").ok());
+  std::vector<bool> reseeded;
+  for (int i = 0; i < 64; ++i) {
+    reseeded.push_back(!registry.Evaluate("prob/point").ok());
+  }
+  EXPECT_NE(first, reseeded);
+}
+
+TEST_F(FailpointRegistryTest, LatencyOnlyFailpointSleepsAndPasses) {
+  auto& registry = FailpointRegistry::Get();
+  ASSERT_TRUE(registry.Arm("slow/point", "sleep(20000)").ok());
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(registry.Evaluate("slow/point").ok());
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(15));
+  EXPECT_EQ(registry.Trips("slow/point"), 1u);
+}
+
+TEST_F(FailpointRegistryTest, ArmFromListArmsEveryEntry) {
+  auto& registry = FailpointRegistry::Get();
+  ASSERT_TRUE(registry
+                  .ArmFromList("list/a=return(ioerror); "
+                               "list/b=sleep(10)+return(internal)")
+                  .ok());
+  EXPECT_EQ(registry.Evaluate("list/a").code(), StatusCode::kIoError);
+  EXPECT_EQ(registry.Evaluate("list/b").code(), StatusCode::kInternal);
+
+  EXPECT_FALSE(registry.ArmFromList("no-equals-sign").ok());
+  EXPECT_FALSE(registry.ArmFromList("list/c=explode()").ok());
+}
+
+// --- Planted ingest failpoints -------------------------------------------
+
+class IngestFailpointTest : public FailpointTest {
+ protected:
+  void SetUp() override {
+    FailpointTest::SetUp();
+    dir_ = std::filesystem::temp_directory_path() /
+           ("csd_fault_injection_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::filesystem::remove_all(dir_);
+    FailpointTest::TearDown();
+  }
+
+  std::string Path(const char* name) const { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IngestFailpointTest, EveryIngestReaderIsInjectable) {
+  // Real files on disk, so the only failure is the injected one.
+  std::vector<Poi> pois = {{1, {10.0, 20.0}, 0}};
+  std::vector<TaxiJourney> journeys(1);
+  journeys[0].pickup = GpsPoint({0.0, 0.0}, 100);
+  journeys[0].dropoff = GpsPoint({50.0, 0.0}, 700);
+  ASSERT_TRUE(WritePoisCsv(Path("pois.csv"), pois).ok());
+  ASSERT_TRUE(WriteJourneysCsv(Path("trips.csv"), journeys).ok());
+  ASSERT_TRUE(WriteJourneysBinary(Path("trips.bin"), journeys).ok());
+
+  auto& registry = FailpointRegistry::Get();
+  struct Site {
+    const char* failpoint;
+    std::function<Status()> read;
+  };
+  const std::vector<Site> sites = {
+      {"io/read_pois_csv",
+       [&] { return ReadPoisCsv(Path("pois.csv")).status(); }},
+      {"io/read_journeys_csv",
+       [&] { return ReadJourneysCsv(Path("trips.csv")).status(); }},
+      {"io/read_journeys_binary",
+       [&] { return ReadJourneysBinary(Path("trips.bin")).status(); }},
+  };
+  for (const Site& site : sites) {
+    SCOPED_TRACE(site.failpoint);
+    EXPECT_TRUE(site.read().ok());  // healthy before arming
+    ASSERT_TRUE(registry.Arm(site.failpoint, "return(ioerror:chaos)").ok());
+    Status injected = site.read();
+    EXPECT_EQ(injected.code(), StatusCode::kIoError);
+    EXPECT_EQ(injected.message(), "chaos");
+    registry.Disarm(site.failpoint);
+    EXPECT_TRUE(site.read().ok());  // healthy after disarming
+  }
+}
+
+// --- Planted protocol failpoint ------------------------------------------
+
+TEST_F(FailpointTest, ProtocolParseIsInjectable) {
+  ASSERT_TRUE(serve::ParseRequestLine("stats").ok());
+  ASSERT_TRUE(FailpointRegistry::Get()
+                  .Arm("serve/parse", "return(parseerror:fuzzed)")
+                  .ok());
+  auto injected = serve::ParseRequestLine("stats");
+  ASSERT_FALSE(injected.ok());
+  EXPECT_EQ(injected.status().code(), StatusCode::kParseError);
+  FailpointRegistry::Get().DisarmAll();
+  EXPECT_TRUE(serve::ParseRequestLine("stats").ok());
+}
+
+TEST_F(FailpointTest, ProtocolDeadlineTokenParses) {
+  auto with = serve::ParseRequestLine("annotate 1,2;3,4 @250");
+  ASSERT_TRUE(with.ok()) << with.status().ToString();
+  EXPECT_EQ(with.value().stays.size(), 2u);
+  EXPECT_EQ(with.value().deadline_budget, std::chrono::milliseconds(250));
+
+  auto journey = serve::ParseRequestLine("journey 1,2,3;4,5,6 @50");
+  ASSERT_TRUE(journey.ok()) << journey.status().ToString();
+  EXPECT_EQ(journey.value().deadline_budget, std::chrono::milliseconds(50));
+
+  auto without = serve::ParseRequestLine("annotate 1,2");
+  ASSERT_TRUE(without.ok());
+  EXPECT_EQ(without.value().deadline_budget.count(), 0);
+
+  EXPECT_FALSE(serve::ParseRequestLine("annotate 1,2 @0").ok());
+  EXPECT_FALSE(serve::ParseRequestLine("annotate 1,2 @-5").ok());
+  EXPECT_FALSE(serve::ParseRequestLine("annotate 1,2 @soon").ok());
+  EXPECT_FALSE(serve::ParseRequestLine("annotate @100").ok());  // no points
+}
+
+// --- Serving-layer chaos --------------------------------------------------
+
+class ServeFaultTest : public FailpointTest {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new std::shared_ptr<const serve::ServeDataset>(
+        MakeTestDataset());
+    snapshot_ = new std::shared_ptr<serve::CsdSnapshot>(
+        std::make_shared<serve::CsdSnapshot>(
+            *dataset_, TestSnapshotOptions(/*mine_patterns=*/false)));
+  }
+  static void TearDownTestSuite() {
+    delete snapshot_;
+    delete dataset_;
+    snapshot_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static std::vector<StayPoint> MakeStays(Rng& rng, size_t n) {
+    std::vector<StayPoint> stays;
+    stays.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      stays.emplace_back(
+          Vec2{rng.Uniform(0.0, 6000.0), rng.Uniform(0.0, 6000.0)},
+          static_cast<Timestamp>(i) * kSecondsPerMinute);
+    }
+    return stays;
+  }
+
+  static std::shared_ptr<const serve::ServeDataset>* dataset_;
+  static std::shared_ptr<serve::CsdSnapshot>* snapshot_;
+};
+
+std::shared_ptr<const serve::ServeDataset>* ServeFaultTest::dataset_ =
+    nullptr;
+std::shared_ptr<serve::CsdSnapshot>* ServeFaultTest::snapshot_ = nullptr;
+
+TEST_F(ServeFaultTest, ExecuteBatchFaultFailsRequestsExplicitly) {
+  serve::SnapshotStore store(*snapshot_);
+  serve::ServeService service(&store);
+  ASSERT_TRUE(FailpointRegistry::Get()
+                  .Arm("serve/execute_batch", "return(unavailable:chaos)")
+                  .ok());
+
+  Rng rng(31);
+  auto future_or = service.AnnotateStayPoints(MakeStays(rng, 3));
+  ASSERT_TRUE(future_or.ok()) << future_or.status().ToString();
+  std::future<AnnotateResult> future = std::move(future_or).value();
+  ASSERT_EQ(future.wait_for(kResolveBound), std::future_status::ready)
+      << "injected batch fault must resolve the future, not strand it";
+  AnnotateResult result = future.get();
+  EXPECT_EQ(result.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(result.stays.size(), 3u);  // input handed back unannotated
+  EXPECT_EQ(result.units.size(), 3u);
+  for (UnitId unit : result.units) EXPECT_EQ(unit, kNoUnit);
+
+  // The failed request released its admission slot, and recovery is
+  // immediate once the fault clears.
+  FailpointRegistry::Get().DisarmAll();
+  auto healthy = service.AnnotateStayPoints(MakeStays(rng, 2));
+  ASSERT_TRUE(healthy.ok());
+  AnnotateResult ok = std::move(healthy).value().get();
+  EXPECT_TRUE(ok.status.ok());
+  EXPECT_EQ(ok.snapshot_version, 1u);
+}
+
+TEST_F(ServeFaultTest, FailedRebuildKeepsServingLastGoodSnapshot) {
+  serve::SnapshotStore store(*snapshot_);
+  serve::ServeOptions options;
+  options.snapshot = TestSnapshotOptions(/*mine_patterns=*/false);
+  serve::ServeService service(&store, options);
+  uint64_t version_before = store.current_version();
+  ASSERT_TRUE(FailpointRegistry::Get()
+                  .Arm("serve/rebuild", "return(unavailable:rebuild chaos)")
+                  .ok());
+
+  auto rebuild_or = service.TriggerRebuild(*dataset_);
+  ASSERT_TRUE(rebuild_or.ok()) << rebuild_or.status().ToString();
+  auto rebuild_future = std::move(rebuild_or).value();
+  ASSERT_EQ(rebuild_future.wait_for(kResolveBound),
+            std::future_status::ready)
+      << "failed rebuild must report through the future, not hang";
+  serve::RebuildResult failed = rebuild_future.get();
+  EXPECT_EQ(failed.status.code(), StatusCode::kUnavailable);
+
+  // Graceful degradation: nothing was published and annotation still
+  // works against the previous generation.
+  EXPECT_EQ(store.current_version(), version_before);
+  Rng rng(37);
+  auto annotate_or = service.AnnotateStayPoints(MakeStays(rng, 2));
+  ASSERT_TRUE(annotate_or.ok());
+  AnnotateResult annotated = std::move(annotate_or).value().get();
+  EXPECT_TRUE(annotated.status.ok());
+  EXPECT_EQ(annotated.snapshot_version, version_before);
+
+  // The failed rebuild released its admission slot: the next trigger is
+  // admitted and publishes.
+  FailpointRegistry::Get().DisarmAll();
+  auto retry_or = service.TriggerRebuild(*dataset_);
+  ASSERT_TRUE(retry_or.ok()) << retry_or.status().ToString();
+  serve::RebuildResult rebuilt = std::move(retry_or).value().get();
+  EXPECT_TRUE(rebuilt.status.ok());
+  EXPECT_EQ(rebuilt.version, version_before + 1);
+  EXPECT_EQ(store.current_version(), version_before + 1);
+}
+
+TEST_F(ServeFaultTest, ChaosSweepNeverHangsOrDropsSilently) {
+  serve::SnapshotStore store(*snapshot_);
+  serve::ServeOptions options;
+  options.batch.max_batch = 1;  // every request is its own batch
+  serve::ServeService service(&store, options);
+  FailpointRegistry::Get().SetSeed(0xBADD1E);
+  ASSERT_TRUE(FailpointRegistry::Get()
+                  .Arm("serve/execute_batch", "50%return(unavailable)")
+                  .ok());
+
+  Rng rng(41);
+  std::vector<std::future<AnnotateResult>> futures;
+  for (size_t i = 0; i < 64; ++i) {
+    auto future_or = service.AnnotateStayPoints(MakeStays(rng, 1 + i % 3));
+    ASSERT_TRUE(future_or.ok()) << future_or.status().ToString();
+    futures.push_back(std::move(future_or).value());
+  }
+
+  size_t ok_count = 0, failed_count = 0;
+  for (std::future<AnnotateResult>& future : futures) {
+    ASSERT_EQ(future.wait_for(kResolveBound), std::future_status::ready)
+        << "every request under chaos must complete with a verdict";
+    AnnotateResult result = future.get();
+    if (result.status.ok()) {
+      EXPECT_GT(result.snapshot_version, 0u);
+      ok_count++;
+    } else {
+      EXPECT_EQ(result.status.code(), StatusCode::kUnavailable);
+      failed_count++;
+    }
+    EXPECT_EQ(result.units.size(), result.stays.size());
+  }
+  // The 50% gate is deterministic per seed, and both outcomes occur.
+  EXPECT_GT(ok_count, 0u);
+  EXPECT_GT(failed_count, 0u);
+  EXPECT_EQ(ok_count + failed_count, futures.size());
+
+  // Budget accounting survived the sweep: the full annotate budget is
+  // available again once the faults clear.
+  FailpointRegistry::Get().DisarmAll();
+  auto after = service.AnnotateStayPoints(MakeStays(rng, 1));
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(std::move(after).value().get().status.ok());
+}
+
+// --- Deadline propagation -------------------------------------------------
+
+TEST_F(ServeFaultTest, ExpiredDeadlineRejectsBeforeAdmission) {
+  serve::SnapshotStore store(*snapshot_);
+  serve::ServeService service(&store);
+  Rng rng(43);
+  uint64_t admitted_before =
+      service.admission().Admitted(serve::RequestClass::kAnnotate);
+  auto expired = service.AnnotateStayPoints(
+      MakeStays(rng, 1),
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1));
+  ASSERT_FALSE(expired.ok());
+  EXPECT_EQ(expired.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(service.admission().Admitted(serve::RequestClass::kAnnotate),
+            admitted_before);
+}
+
+TEST_F(ServeFaultTest, DeadlineExpiringInQueueCompletesWithStatus) {
+  serve::SnapshotStore store(*snapshot_);
+  serve::ServeOptions options;
+  options.start_paused = true;  // hold the queue so the deadline passes
+  serve::ServeService service(&store, options);
+
+  Rng rng(47);
+  auto future_or = service.AnnotateStayPoints(
+      MakeStays(rng, 2),
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(30));
+  ASSERT_TRUE(future_or.ok()) << future_or.status().ToString();
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  service.SetPausedForTest(false);
+
+  std::future<AnnotateResult> future = std::move(future_or).value();
+  ASSERT_EQ(future.wait_for(kResolveBound), std::future_status::ready);
+  AnnotateResult result = future.get();
+  EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(result.stays.size(), 2u);
+  for (UnitId unit : result.units) EXPECT_EQ(unit, kNoUnit);
+
+  // Slot released: the next request is admitted and served normally.
+  auto after = service.AnnotateStayPoints(MakeStays(rng, 1));
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(std::move(after).value().get().status.ok());
+}
+
+TEST_F(ServeFaultTest, BatchWindowNeverOutlivesTheEarliestDeadline) {
+  serve::SnapshotStore store(*snapshot_);
+  serve::ServeOptions options;
+  options.batch.max_batch = 64;
+  options.batch.max_delay = std::chrono::seconds(30);  // absurd window
+  serve::ServeService service(&store, options);
+
+  // A lone request with a 100 ms budget: the window must collapse to the
+  // deadline instead of coalescing for 30 s. Completion (here: expiry,
+  // since nothing else closed the window first) arrives promptly.
+  Rng rng(53);
+  auto start = std::chrono::steady_clock::now();
+  auto future_or = service.AnnotateStayPoints(
+      MakeStays(rng, 1), start + std::chrono::milliseconds(100));
+  ASSERT_TRUE(future_or.ok()) << future_or.status().ToString();
+  std::future<AnnotateResult> future = std::move(future_or).value();
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(5)),
+            std::future_status::ready)
+      << "the 30s batch window must not outlive a 100ms deadline";
+  EXPECT_EQ(future.get().status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(5));
+
+  // A deadline longer than the window is untouched by the clamp: the
+  // request rides the normal max_batch/max_delay close and succeeds.
+  serve::ServeOptions fast;
+  fast.batch.max_delay = std::chrono::milliseconds(1);
+  serve::SnapshotStore store2(*snapshot_);
+  serve::ServeService quick(&store2, fast);
+  auto roomy = quick.AnnotateStayPoints(
+      MakeStays(rng, 2),
+      std::chrono::steady_clock::now() + std::chrono::seconds(30));
+  ASSERT_TRUE(roomy.ok());
+  AnnotateResult result = std::move(roomy).value().get();
+  EXPECT_TRUE(result.status.ok());
+  EXPECT_EQ(result.units.size(), 2u);
+}
+
+// --- Batcher shutdown / pause edge cases ---------------------------------
+
+/// Execute callback for direct batcher tests: annotates nothing, just
+/// fulfils every promise OK (the batcher's contract, not the kernel, is
+/// under test).
+RequestBatcher::ExecuteFn FulfilAll() {
+  return [](std::vector<AnnotateRequest> batch) {
+    for (AnnotateRequest& request : batch) {
+      AnnotateResult result;
+      result.snapshot_version = 1;
+      result.stays = std::move(request.stays);
+      result.units.assign(result.stays.size(), kNoUnit);
+      request.ticket.Release();
+      request.promise.set_value(std::move(result));
+    }
+  };
+}
+
+AnnotateRequest MakeBatcherRequest() {
+  AnnotateRequest request;
+  request.stays.emplace_back(Vec2{1.0, 2.0}, 0);
+  request.enqueue_time = std::chrono::steady_clock::now();
+  return request;
+}
+
+TEST(RequestBatcherTest, EnqueueAfterDrainResolvesWithUnavailable) {
+  RequestBatcher batcher({}, FulfilAll());
+  batcher.Drain();
+
+  // Regression: enqueueing after the dispatcher exited used to strand the
+  // request in the queue forever. It must be rejected with a resolved
+  // promise instead.
+  AnnotateRequest request = MakeBatcherRequest();
+  std::future<AnnotateResult> future = request.promise.get_future();
+  EXPECT_FALSE(batcher.Enqueue(std::move(request)));
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(5)),
+            std::future_status::ready)
+      << "rejected request must resolve immediately";
+  AnnotateResult result = future.get();
+  EXPECT_EQ(result.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(result.stays.size(), 1u);
+  EXPECT_EQ(batcher.Depth(), 0u);
+}
+
+TEST(RequestBatcherTest, EnqueueRacingDrainNeverStrandsARequest) {
+  constexpr size_t kRequests = 256;
+  std::vector<std::future<AnnotateResult>> futures;
+  futures.reserve(kRequests);
+  {
+    serve::BatchPolicy policy;
+    policy.max_batch = 4;
+    policy.max_delay = std::chrono::microseconds(200);
+    RequestBatcher batcher(policy, FulfilAll());
+    std::thread producer([&] {
+      for (size_t i = 0; i < kRequests; ++i) {
+        AnnotateRequest request = MakeBatcherRequest();
+        futures.push_back(request.promise.get_future());
+        batcher.Enqueue(std::move(request));
+        if (i % 16 == 0) std::this_thread::yield();
+      }
+    });
+    // Drain mid-stream: some enqueues land before, some race, some land
+    // after. Every single future must still resolve.
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+    batcher.Drain();
+    producer.join();
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(5)),
+              std::future_status::ready)
+        << "request " << i << " was stranded without a verdict";
+    AnnotateResult result = futures[i].get();
+    EXPECT_TRUE(result.status.ok() ||
+                result.status.code() == StatusCode::kUnavailable)
+        << result.status.ToString();
+  }
+}
+
+TEST(RequestBatcherTest, RePauseMidWindowPreservesTheOriginalWindow) {
+  serve::BatchPolicy policy;
+  policy.max_batch = 8;  // never closes by size in this test
+  policy.max_delay = std::chrono::milliseconds(1500);
+  RequestBatcher batcher(policy, FulfilAll());
+
+  // t=0: the request opens a 1500 ms window.
+  auto start = std::chrono::steady_clock::now();
+  AnnotateRequest request = MakeBatcherRequest();
+  std::future<AnnotateResult> future = request.promise.get_future();
+  ASSERT_TRUE(batcher.Enqueue(std::move(request)));
+
+  // Pause at ~100 ms, resume at ~800 ms: with the window preserved the
+  // batch still dispatches at ~1500 ms. The old bug restarted the window
+  // on resume, pushing dispatch to ~2300 ms.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  batcher.SetPaused(true);
+  std::this_thread::sleep_for(std::chrono::milliseconds(700));
+  batcher.SetPaused(false);
+
+  ASSERT_EQ(future.wait_for(std::chrono::milliseconds(1100)),
+            std::future_status::ready)
+      << "re-pause must not tax the request a fresh max_delay";
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(1300))
+      << "batch dispatched before its window closed";
+  EXPECT_TRUE(future.get().status.ok());
+}
+
+// --- Admission ticket accounting -----------------------------------------
+
+TEST_F(ServeFaultTest, RepeatedQueriesDoNotLeakAdmissionSlots) {
+  serve::SnapshotStore store(*snapshot_);
+  serve::ServeOptions options;
+  options.limits.query = 4;
+  serve::ServeService service(&store, options);
+  // 5x the budget sequentially: any leaked slot would exhaust the class.
+  for (int i = 0; i < 20; ++i) {
+    auto result = service.QueryPatternsByUnit(static_cast<UnitId>(i % 7));
+    ASSERT_TRUE(result.ok()) << "query " << i << " leaked a slot: "
+                             << result.status().ToString();
+  }
+  EXPECT_EQ(service.admission().Rejected(serve::RequestClass::kQuery), 0u);
+}
+
+// --- Client retry policy --------------------------------------------------
+
+TEST(RetryPolicyTest, RetriesTransientsAndStopsOnPermanentErrors) {
+  serve::RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff = std::chrono::microseconds(1);
+  policy.max_backoff = std::chrono::microseconds(10);
+
+  size_t calls = 0;
+  auto flaky = serve::RetryWithBackoff(policy, 1, [&]() -> Result<int> {
+    if (++calls < 3) return Status::Unavailable("transient");
+    return 42;
+  });
+  ASSERT_TRUE(flaky.ok());
+  EXPECT_EQ(flaky.value(), 42);
+  EXPECT_EQ(calls, 3u);
+
+  calls = 0;
+  auto permanent = serve::RetryWithBackoff(policy, 2, [&]() -> Result<int> {
+    ++calls;
+    return Status::InvalidArgument("never retry this");
+  });
+  EXPECT_FALSE(permanent.ok());
+  EXPECT_EQ(calls, 1u);  // permanent errors burn exactly one attempt
+
+  calls = 0;
+  auto exhausted = serve::RetryWithBackoff(policy, 3, [&]() -> Result<int> {
+    ++calls;
+    return Status::DeadlineExceeded("always late");
+  });
+  EXPECT_FALSE(exhausted.ok());
+  EXPECT_EQ(calls, policy.max_attempts);
+}
+
+TEST(RetryPolicyTest, BackoffGrowsExponentiallyWithDeterministicJitter) {
+  serve::RetryPolicy policy;
+  policy.initial_backoff = std::chrono::microseconds(200);
+  policy.multiplier = 2.0;
+  policy.max_backoff = std::chrono::microseconds(1000);
+
+  EXPECT_TRUE(serve::IsRetryableStatus(Status::Unavailable("x")));
+  EXPECT_TRUE(serve::IsRetryableStatus(Status::DeadlineExceeded("x")));
+  EXPECT_FALSE(serve::IsRetryableStatus(Status::Internal("x")));
+  EXPECT_FALSE(serve::IsRetryableStatus(Status::OK()));
+
+  for (size_t attempt = 1; attempt <= 4; ++attempt) {
+    auto a = serve::BackoffWithJitter(policy, 7, attempt);
+    auto b = serve::BackoffWithJitter(policy, 7, attempt);
+    EXPECT_EQ(a, b) << "jitter must be deterministic per (token, attempt)";
+    // Jitter keeps each delay within [base/2, base), bases 200/400/800
+    // capped at 1000.
+    double base = std::min(200.0 * std::pow(2.0, double(attempt - 1)),
+                           1000.0);
+    EXPECT_GE(a.count(), static_cast<int64_t>(base / 2.0) - 1);
+    EXPECT_LT(a.count(), static_cast<int64_t>(base) + 1);
+  }
+  // Different tokens decorrelate the schedule.
+  EXPECT_NE(serve::BackoffWithJitter(policy, 1, 1),
+            serve::BackoffWithJitter(policy, 2, 1));
+}
+
+}  // namespace
+}  // namespace csd

@@ -98,6 +98,63 @@ INSTANTIATE_TEST_SUITE_P(
                       12 * kSecondsPerMinute, 13 * kSecondsPerMinute,
                       30 * kSecondsPerMinute));
 
+TEST(StayPointDetectorTest, WindowSpanningExactlyTheThresholdQualifies) {
+  // The paper's criterion is |t_j - t_i| >= θ_t, inclusive: a dwell whose
+  // span lands exactly on the threshold is a stay, one second under is not.
+  StayPointOptions options;
+  options.time_threshold_s = 600;
+  for (Timestamp span : {Timestamp{599}, Timestamp{600}, Timestamp{601}}) {
+    Trajectory t;
+    t.points.emplace_back(Vec2{0.0, 0.0}, 0);
+    t.points.emplace_back(Vec2{1.0, 0.0}, span);
+    auto stays = DetectStayPoints(t, options);
+    if (span >= 600) {
+      EXPECT_EQ(stays.size(), 1u) << "span=" << span;
+    } else {
+      EXPECT_TRUE(stays.empty()) << "span=" << span;
+    }
+  }
+}
+
+TEST(StayPointDetectorTest, DuplicateTimestampsAverageIntoOneStay) {
+  // GPS fixes commonly repeat a timestamp (sub-second sampling truncated
+  // to seconds). Duplicates must neither split the window nor skew the
+  // mean beyond their real weight.
+  Trajectory t;
+  t.points.emplace_back(Vec2{0.0, 0.0}, 0);
+  t.points.emplace_back(Vec2{2.0, 0.0}, 0);    // duplicate of t=0
+  t.points.emplace_back(Vec2{4.0, 0.0}, 600);
+  t.points.emplace_back(Vec2{6.0, 0.0}, 600);  // duplicate of t=600
+  StayPointOptions options;
+  options.distance_threshold_m = 50.0;
+  options.time_threshold_s = 600;
+  auto stays = DetectStayPoints(t, options);
+  ASSERT_EQ(stays.size(), 1u);
+  EXPECT_DOUBLE_EQ(stays[0].position.x, 3.0);
+  EXPECT_EQ(stays[0].time, 300);
+
+  // All fixes at one instant span zero time: never a stay.
+  Trajectory instant;
+  for (int i = 0; i < 6; ++i) {
+    instant.points.emplace_back(Vec2{static_cast<double>(i), 0.0}, 42);
+  }
+  EXPECT_TRUE(DetectStayPoints(instant, options).empty());
+}
+
+TEST(StayPointDetectorTest, MeanTimestampTruncatesTowardZero) {
+  // A fractional mean timestamp truncates (integer cast), it does not
+  // round: times {0, 1} average to 0.5 and surface as 0.
+  Trajectory t;
+  t.points.emplace_back(Vec2{0.0, 0.0}, 0);
+  t.points.emplace_back(Vec2{0.0, 0.0}, 1);
+  StayPointOptions options;
+  options.distance_threshold_m = 50.0;
+  options.time_threshold_s = 1;
+  auto stays = DetectStayPoints(t, options);
+  ASSERT_EQ(stays.size(), 1u);
+  EXPECT_EQ(stays[0].time, 0);
+}
+
 TEST(StayPointDetectorTest, MeanPositionAndTime) {
   Trajectory t;
   t.points.emplace_back(Vec2{0.0, 0.0}, 0);

@@ -32,9 +32,16 @@ TEST(StatusTest, UnavailableIsTheOverloadStatus) {
 }
 
 TEST(StatusTest, AllCodesHaveNames) {
-  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kDeadlineExceeded); ++c) {
     EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
   }
+}
+
+TEST(StatusTest, DeadlineExceededIsTheExpiryStatus) {
+  Status s = Status::DeadlineExceeded("request budget spent");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(s.ToString(), "DeadlineExceeded: request budget spent");
 }
 
 TEST(ResultTest, HoldsValue) {

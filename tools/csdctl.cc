@@ -15,7 +15,7 @@
 //                    [--max-batch 64] [--max-delay-us 1000]
 //                    [--annotate-limit 1024] [--query-limit 256]
 //                    [--sigma 50] [--delta-t-min 60] [--rho 0.002]
-//                    [--closed 0|1] [--patterns 0|1]
+//                    [--closed 0|1] [--patterns 0|1] [--retries 4]
 //
 // `csdctl <command> --help` lists the command's flags. Unknown flags and
 // flags missing their value are errors that name the offending token.
@@ -33,6 +33,8 @@
 // src/serve/protocol.h from stdin and answers one line per request on
 // stdout (diagnostics go to stderr, so stdout stays pure protocol).
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <deque>
@@ -51,6 +53,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/protocol.h"
+#include "serve/retry.h"
 #include "serve/service.h"
 #include "serve/snapshot.h"
 #include "serve/snapshot_store.h"
@@ -196,7 +199,9 @@ const std::vector<CommandSpec>& Commands() {
         {"delta-t-min", "temporal constraint in minutes (default 60)"},
         {"rho", "density threshold (default 0.002)"},
         {"closed", "1 = closed patterns only (default 0)"},
-        {"patterns", "0 = skip pattern mining on (re)build (default 1)"}}},
+        {"patterns", "0 = skip pattern mining on (re)build (default 1)"},
+        {"retries", "max submit attempts for transient rejections "
+                    "(default 4, 1 disables retry)"}}},
   };
   return kCommands;
 }
@@ -513,13 +518,19 @@ int CmdServe(const Args& args) {
                           std::future_status::ready) {
           break;
         }
-        text = serve::FormatAnnotateResponse(front.annotate.get());
+        serve::AnnotateResult result = front.annotate.get();
+        text = result.status.ok()
+                   ? serve::FormatAnnotateResponse(result)
+                   : serve::FormatErrorResponse(result.status);
       } else if (front.kind == Pending::kRebuild) {
         if (!block && front.rebuild.wait_for(std::chrono::seconds(0)) !=
                           std::future_status::ready) {
           break;
         }
-        text = serve::FormatRebuildResponse(front.rebuild.get());
+        serve::RebuildResult result = front.rebuild.get();
+        text = result.status.ok()
+                   ? serve::FormatRebuildResponse(result)
+                   : serve::FormatErrorResponse(result.status);
       } else {
         text = std::move(front.text);
       }
@@ -529,6 +540,14 @@ int CmdServe(const Args& args) {
     }
     std::fflush(stdout);
   };
+
+  // Transient rejections (admission shedding, drain races) retry with
+  // jittered exponential backoff before turning into an err response; the
+  // stays are copied per attempt so a retry re-submits the same request.
+  serve::RetryPolicy retry_policy;
+  retry_policy.max_attempts =
+      static_cast<size_t>(std::max<int64_t>(1, args.GetInt("retries", 4)));
+  uint64_t request_seq = 0;
 
   std::string line;
   bool quit = false;
@@ -544,10 +563,16 @@ int CmdServe(const Args& args) {
     switch (request.kind) {
       case serve::RequestKind::kAnnotate:
       case serve::RequestKind::kJourney: {
-        auto future_or =
-            request.kind == serve::RequestKind::kAnnotate
-                ? service.AnnotateStayPoints(std::move(request.stays))
-                : service.AnnotateJourney(request.journey);
+        auto deadline =
+            request.deadline_budget.count() > 0
+                ? std::chrono::steady_clock::now() + request.deadline_budget
+                : serve::kNoDeadline;
+        auto future_or = serve::RetryWithBackoff(
+            retry_policy, ++request_seq, [&] {
+              return request.kind == serve::RequestKind::kAnnotate
+                         ? service.AnnotateStayPoints(request.stays, deadline)
+                         : service.AnnotateJourney(request.journey, deadline);
+            });
         if (!future_or.ok()) {
           park(serve::FormatErrorResponse(future_or.status()));
         } else {
