@@ -1,7 +1,9 @@
 // serve_load — load generator for the serving layer (src/serve).
 //
-//   serve_load [--clients 4] [--requests 500]          closed loop
+//   serve_load [--clients 4] [--requests 500]          closed loop + net
 //   serve_load --qps 2000 [--duration-s 5]             open loop
+//   serve_load --net [--connections 8] [--inflight 32] net loopback only
+//   serve_load --connect HOST:PORT                     net vs external server
 //   serve_load --emit-requests 1000                    print protocol lines
 //
 // Closed loop: `clients` threads each issue `requests` annotation requests
@@ -11,6 +13,18 @@
 // that exposes queueing collapse. Both trigger one background rebuild at
 // the halfway point and require every admitted request to complete against
 // a consistent snapshot — the publish must be invisible to in-flight work.
+//
+// Net modes drive the framed binary protocol of src/serve/frame.h over
+// real sockets: `connections` blocking clients each keep `inflight`
+// pipelined frames outstanding (windowed closed loop), or pace qps/N
+// sends per connection when --qps is also given (open loop). The default
+// invocation runs the in-process closed loop AND a loopback net phase
+// (an in-process NetServer on an ephemeral port), emitting both runs to
+// the trajectory; --connect targets a `csdctl serve --listen` started
+// elsewhere, which is what CI's serve-smoke does. The net phase reports
+// annotate_qps_net / net_p50 / net_p99 and skips the mid-run rebuild —
+// on small machines the rebuild would serialize with the event loop and
+// measure the scheduler, not the server.
 //
 // Results (client-observed p50/p90/p99 latency, achieved QPS, rebuild
 // seconds) are appended to the benchmark trajectory JSON (default
@@ -26,6 +40,8 @@
 // Dataset scale follows the other benches: CSD_BENCH_POIS,
 // CSD_BENCH_AGENTS, CSD_BENCH_DAYS environment variables.
 
+#include <sys/socket.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -33,11 +49,16 @@
 #include <cstring>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "serve/frame.h"
+#include "serve/net_client.h"
+#include "serve/net_server.h"
 #include "serve/retry.h"
 #include "serve/service.h"
 #include "serve/snapshot.h"
@@ -57,6 +78,12 @@ struct LoadConfig {
   double duration_s = 5.0; // open-loop run length
   size_t emit_requests = 0;
   std::string json_path;
+  // Net modes (framed binary protocol over TCP).
+  bool net = false;            // loopback net phase only
+  std::string connect;         // HOST:PORT of an external server
+  size_t connections = 8;      // client connections
+  size_t inflight = 32;        // pipelined frames per connection
+  size_t net_requests = 20000; // per connection (net closed loop)
 };
 
 /// Deterministic request stream: stay points uniform over the city, 1–4
@@ -174,10 +201,16 @@ LoadOutcome RunClosedLoop(serve::ServeService& service,
       retry_policy.seed = 3000 + c;
       latencies[c].reserve(config.requests);
       for (size_t r = 0; r < config.requests; ++r) {
-        Stopwatch watch;
         std::vector<StayPoint> stays = MakeRequest(rng, city);
+        // Latency is measured from enqueue: the watch restarts at each
+        // submit attempt, so request generation and retry backoff sleeps
+        // are excluded and the number is the server's queue+execute time.
+        // (This shrank p50/p99 vs the pre-change baseline, which timed
+        // from before request generation — not a server speedup.)
+        Stopwatch watch;
         auto future_or = serve::RetryWithBackoff(
             retry_policy, r, [&] {
+              watch = Stopwatch();
               return service.AnnotateStayPoints(stays);
             });
         if (!future_or.ok()) {
@@ -285,6 +318,213 @@ LoadOutcome RunOpenLoop(serve::ServeService& service, const CityConfig& city,
   return outcome;
 }
 
+/// Windowed closed loop over the framed protocol: each connection keeps
+/// `inflight` pipelined annotate frames outstanding and refills the
+/// window half at a time so one write(2) carries many frames. Latency is
+/// per-frame from its send to its response (responses arrive in
+/// completion order; request_id matches them back).
+LoadOutcome RunNetClosedLoop(const std::string& host, uint16_t port,
+                             const CityConfig& city,
+                             const LoadConfig& config) {
+  LoadOutcome outcome;
+  std::vector<std::vector<double>> latencies(config.connections);
+  std::atomic<uint64_t> failures{0};
+  std::atomic<uint64_t> shed{0};
+
+  Stopwatch wall;
+  std::vector<std::thread> workers;
+  workers.reserve(config.connections);
+  for (size_t c = 0; c < config.connections; ++c) {
+    workers.emplace_back([&, c] {
+      auto client_or = serve::NetClient::Connect(host, port);
+      if (!client_or.ok()) {
+        std::fprintf(stderr, "connection %zu: %s\n", c,
+                     client_or.status().ToString().c_str());
+        failures.fetch_add(config.net_requests, std::memory_order_relaxed);
+        return;
+      }
+      std::unique_ptr<serve::NetClient> client =
+          std::move(client_or).value();
+      Rng rng(1000 + c);
+      const size_t total = config.net_requests;
+      latencies[c].reserve(total);
+      std::vector<std::chrono::steady_clock::time_point> sent(total);
+      std::vector<uint8_t> buf;
+      size_t next = 0;
+      size_t done = 0;
+      auto fill_window = [&](size_t target_outstanding) {
+        buf.clear();
+        while (next < total && next - done < target_outstanding) {
+          serve::AppendAnnotateRequest(static_cast<uint32_t>(next), 0,
+                                       MakeRequest(rng, city), &buf);
+          sent[next] = std::chrono::steady_clock::now();
+          ++next;
+        }
+        if (!buf.empty() && !client->Send(buf).ok()) {
+          failures.fetch_add(total - done, std::memory_order_relaxed);
+          done = next = total;
+        }
+      };
+      fill_window(config.inflight);
+      while (done < total) {
+        auto response_or = client->ReadResponse();
+        if (!response_or.ok()) {
+          failures.fetch_add(total - done, std::memory_order_relaxed);
+          break;
+        }
+        const serve::NetResponse& response = response_or.value();
+        ++done;
+        if (response.type == serve::FrameType::kAnnotateResp &&
+            response.snapshot_version > 0 &&
+            response.request_id < total) {
+          latencies[c].push_back(std::chrono::duration<double>(
+                                     std::chrono::steady_clock::now() -
+                                     sent[response.request_id])
+                                     .count());
+        } else if (response.type == serve::FrameType::kErrorResp &&
+                   response.code == StatusCode::kUnavailable) {
+          shed.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        // Refill half the window at a time: amortizes the write syscall
+        // over inflight/2 frames instead of one write per response.
+        if (next < total && next - done <= config.inflight / 2) {
+          fill_window(config.inflight);
+        }
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  outcome.wall_seconds = wall.ElapsedSeconds();
+  outcome.failures = failures.load();
+  outcome.shed = shed.load();
+  for (const std::vector<double>& per_conn : latencies) {
+    outcome.latencies.insert(outcome.latencies.end(), per_conn.begin(),
+                             per_conn.end());
+  }
+  outcome.completed = outcome.latencies.size();
+  return outcome;
+}
+
+/// Open loop over the framed protocol: per connection, a pacer thread
+/// sends at qps/connections fixed intervals regardless of completions
+/// and a reader thread drains responses — send timestamps cross threads
+/// through a mutex-guarded map keyed by request_id.
+LoadOutcome RunNetOpenLoop(const std::string& host, uint16_t port,
+                           const CityConfig& city, const LoadConfig& config) {
+  LoadOutcome outcome;
+  std::vector<std::vector<double>> latencies(config.connections);
+  std::atomic<uint64_t> failures{0};
+  std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> sent_total{0};
+
+  Stopwatch wall;
+  std::vector<std::thread> workers;
+  workers.reserve(config.connections);
+  for (size_t c = 0; c < config.connections; ++c) {
+    workers.emplace_back([&, c] {
+      auto client_or = serve::NetClient::Connect(host, port);
+      if (!client_or.ok()) {
+        std::fprintf(stderr, "connection %zu: %s\n", c,
+                     client_or.status().ToString().c_str());
+        failures.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      std::unique_ptr<serve::NetClient> client =
+          std::move(client_or).value();
+      std::mutex mutex;
+      std::unordered_map<uint32_t, std::chrono::steady_clock::time_point>
+          in_flight;
+      std::atomic<bool> pacer_done{false};
+
+      std::thread reader([&] {
+        for (;;) {
+          auto response_or = client->ReadResponse();
+          if (!response_or.ok()) {
+            // EOF after the pacer shut the write side is the clean end.
+            if (!pacer_done.load(std::memory_order_acquire)) {
+              failures.fetch_add(1, std::memory_order_relaxed);
+            }
+            return;
+          }
+          const serve::NetResponse& response = response_or.value();
+          std::chrono::steady_clock::time_point issued;
+          {
+            std::lock_guard<std::mutex> lock(mutex);
+            auto it = in_flight.find(response.request_id);
+            if (it == in_flight.end()) {
+              failures.fetch_add(1, std::memory_order_relaxed);
+              continue;
+            }
+            issued = it->second;
+            in_flight.erase(it);
+          }
+          if (response.type == serve::FrameType::kAnnotateResp &&
+              response.snapshot_version > 0) {
+            latencies[c].push_back(std::chrono::duration<double>(
+                                       std::chrono::steady_clock::now() -
+                                       issued)
+                                       .count());
+          } else if (response.type == serve::FrameType::kErrorResp &&
+                     response.code == StatusCode::kUnavailable) {
+            shed.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            failures.fetch_add(1, std::memory_order_relaxed);
+          }
+          bool drained;
+          {
+            std::lock_guard<std::mutex> lock(mutex);
+            drained = in_flight.empty();
+          }
+          if (drained && pacer_done.load(std::memory_order_acquire)) return;
+        }
+      });
+
+      Rng rng(4000 + c);
+      double per_conn_qps =
+          config.qps / static_cast<double>(config.connections);
+      double interval = per_conn_qps > 0.0 ? 1.0 / per_conn_qps : 0.0;
+      auto start = std::chrono::steady_clock::now();
+      std::vector<uint8_t> buf;
+      uint32_t id = 0;
+      Stopwatch pacer_wall;
+      while (pacer_wall.ElapsedSeconds() < config.duration_s) {
+        auto due =
+            start + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(id * interval));
+        std::this_thread::sleep_until(due);
+        buf.clear();
+        serve::AppendAnnotateRequest(id, 0, MakeRequest(rng, city), &buf);
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          in_flight.emplace(id, std::chrono::steady_clock::now());
+        }
+        if (!client->Send(buf).ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        sent_total.fetch_add(1, std::memory_order_relaxed);
+        ++id;
+      }
+      pacer_done.store(true, std::memory_order_release);
+      shutdown(client->fd(), SHUT_WR);  // reader sees EOF once drained
+      reader.join();
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  outcome.wall_seconds = wall.ElapsedSeconds();
+  outcome.failures = failures.load();
+  outcome.shed = shed.load();
+  for (const std::vector<double>& per_conn : latencies) {
+    outcome.latencies.insert(outcome.latencies.end(), per_conn.begin(),
+                             per_conn.end());
+  }
+  outcome.completed = outcome.latencies.size();
+  return outcome;
+}
+
 double Percentile(std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0.0;
   size_t index = static_cast<size_t>(p * static_cast<double>(sorted.size()));
@@ -315,10 +555,22 @@ int Main(int argc, char** argv) {
       config.emit_requests = static_cast<size_t>(std::atoll(v));
     } else if (const char* v = value("--json")) {
       config.json_path = v;
+    } else if (std::strcmp(argv[i], "--net") == 0) {
+      config.net = true;
+    } else if (const char* v = value("--connect")) {
+      config.connect = v;
+    } else if (const char* v = value("--connections")) {
+      config.connections = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value("--inflight")) {
+      config.inflight = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value("--net-requests")) {
+      config.net_requests = static_cast<size_t>(std::atoll(v));
     } else {
       std::fprintf(stderr,
                    "unknown flag '%s'\nusage: serve_load [--clients N] "
                    "[--requests M] [--qps Q] [--duration-s S] "
+                   "[--net] [--connect HOST:PORT] [--connections N] "
+                   "[--inflight M] [--net-requests R] "
                    "[--emit-requests N] [--json path]\n",
                    argv[i]);
       return 2;
@@ -330,6 +582,41 @@ int Main(int argc, char** argv) {
 
   if (config.emit_requests > 0) {
     return EmitRequests(config.emit_requests, city_config);
+  }
+
+  // --connect drives a server someone else started (CI's serve-smoke
+  // against `csdctl serve --listen`): no local dataset or service.
+  if (!config.connect.empty()) {
+    size_t colon = config.connect.rfind(':');
+    if (colon == std::string::npos || colon + 1 == config.connect.size()) {
+      std::fprintf(stderr, "--connect expects HOST:PORT, got '%s'\n",
+                   config.connect.c_str());
+      return 2;
+    }
+    std::string host = config.connect.substr(0, colon);
+    uint16_t port = static_cast<uint16_t>(
+        std::atoi(config.connect.c_str() + colon + 1));
+    std::printf("== serve_load (net, %s) ==\n", config.connect.c_str());
+    LoadOutcome outcome =
+        config.qps > 0.0
+            ? RunNetOpenLoop(host, port, city_config, config)
+            : RunNetClosedLoop(host, port, city_config, config);
+    std::sort(outcome.latencies.begin(), outcome.latencies.end());
+    double achieved = outcome.wall_seconds > 0.0
+                          ? static_cast<double>(outcome.completed) /
+                                outcome.wall_seconds
+                          : 0.0;
+    std::printf("net loop: %llu completed, %llu shed, %llu FAILED in "
+                "%.2fs\n",
+                static_cast<unsigned long long>(outcome.completed),
+                static_cast<unsigned long long>(outcome.shed),
+                static_cast<unsigned long long>(outcome.failures),
+                outcome.wall_seconds);
+    std::printf("latency: p50 %.3fms  p99 %.3fms\n",
+                Percentile(outcome.latencies, 0.50) * 1e3,
+                Percentile(outcome.latencies, 0.99) * 1e3);
+    std::printf("throughput: %.0f requests/s\n", achieved);
+    return outcome.failures == 0 ? 0 : 1;
   }
 
   TripConfig trip_config;
@@ -357,6 +644,9 @@ int Main(int argc, char** argv) {
 
   serve::ServeOptions options;
   options.snapshot = snapshot_options;
+  // The net phase keeps hundreds of frames in flight, so let batches
+  // grow to match; the future-based loops never reach this ceiling.
+  options.batch.max_batch = 256;
   serve::ServeService service(&store, options);
   std::printf("setup: %zu POIs, %zu journeys, snapshot v1 (%zu units, %zu "
               "patterns) in %.2fs\n",
@@ -365,53 +655,91 @@ int Main(int argc, char** argv) {
               setup_watch.ElapsedSeconds());
 
   bool open_loop = config.qps > 0.0;
-  LoadOutcome outcome = open_loop
-                            ? RunOpenLoop(service, city_config, config)
-                            : RunClosedLoop(service, city_config, config);
-  service.Shutdown();
+  bool run_inproc = !config.net;            // future-based loops
+  bool run_net = config.net || !open_loop;  // net phase (default + --net)
 
-  std::sort(outcome.latencies.begin(), outcome.latencies.end());
-  double p50 = Percentile(outcome.latencies, 0.50);
-  double p90 = Percentile(outcome.latencies, 0.90);
-  double p99 = Percentile(outcome.latencies, 0.99);
-  double achieved_qps = outcome.wall_seconds > 0.0
-                            ? static_cast<double>(outcome.completed) /
-                                  outcome.wall_seconds
-                            : 0.0;
+  std::vector<PipelineBenchRun> runs;
+  uint64_t total_failures = 0;
+  auto record = [&](const char* label, LoadOutcome outcome, size_t scale,
+                    const char* p50_name, const char* p99_name,
+                    const char* qps_name) {
+    std::sort(outcome.latencies.begin(), outcome.latencies.end());
+    double p50 = Percentile(outcome.latencies, 0.50);
+    double p90 = Percentile(outcome.latencies, 0.90);
+    double p99 = Percentile(outcome.latencies, 0.99);
+    double achieved_qps = outcome.wall_seconds > 0.0
+                              ? static_cast<double>(outcome.completed) /
+                                    outcome.wall_seconds
+                              : 0.0;
+    std::printf("\n%s: %llu completed, %llu shed, %llu FAILED in %.2fs\n",
+                label, static_cast<unsigned long long>(outcome.completed),
+                static_cast<unsigned long long>(outcome.shed),
+                static_cast<unsigned long long>(outcome.failures),
+                outcome.wall_seconds);
+    std::printf("latency: p50 %.3fms  p90 %.3fms  p99 %.3fms\n", p50 * 1e3,
+                p90 * 1e3, p99 * 1e3);
+    std::printf("throughput: %.0f requests/s\n", achieved_qps);
+    total_failures += outcome.failures;
 
-  std::printf("\n%s loop: %llu completed, %llu shed, %llu FAILED in "
-              "%.2fs\n",
-              open_loop ? "open" : "closed",
-              static_cast<unsigned long long>(outcome.completed),
-              static_cast<unsigned long long>(outcome.shed),
-              static_cast<unsigned long long>(outcome.failures),
-              outcome.wall_seconds);
-  std::printf("latency: p50 %.3fms  p90 %.3fms  p99 %.3fms\n", p50 * 1e3,
-              p90 * 1e3, p99 * 1e3);
-  std::printf("throughput: %.0f requests/s\n", achieved_qps);
+    PipelineBenchRun run;
+    run.scale = scale;
+    run.pois = city.pois.size();
+    run.agents = trip_config.num_agents;
+    run.journeys = trips.journeys.size();
+    run.patterns = initial->patterns().size();
+    if (runs.empty()) {
+      run.stages.push_back({"snapshot_build", snapshot_build_seconds, 0});
+    }
+    run.stages.push_back({p50_name, p50, 0});
+    run.stages.push_back({p99_name, p99, 0});
+    if (outcome.rebuild_seconds > 0.0) {
+      run.stages.push_back({"rebuild", outcome.rebuild_seconds, 0});
+    }
+    run.rates.emplace_back(qps_name, achieved_qps);
+    runs.push_back(std::move(run));
+  };
 
-  PipelineBenchRun run;
-  run.scale = open_loop ? static_cast<size_t>(config.qps) : config.clients;
-  run.pois = city.pois.size();
-  run.agents = trip_config.num_agents;
-  run.journeys = trips.journeys.size();
-  run.patterns = initial->patterns().size();
-  run.stages.push_back({"snapshot_build", snapshot_build_seconds, 0});
-  run.stages.push_back({"annotate_p50", p50, 0});
-  run.stages.push_back({"annotate_p99", p99, 0});
-  if (outcome.rebuild_seconds > 0.0) {
-    run.stages.push_back({"rebuild", outcome.rebuild_seconds, 0});
+  if (run_inproc) {
+    LoadOutcome outcome = open_loop
+                              ? RunOpenLoop(service, city_config, config)
+                              : RunClosedLoop(service, city_config, config);
+    record(open_loop ? "open loop" : "closed loop", std::move(outcome),
+           open_loop ? static_cast<size_t>(config.qps) : config.clients,
+           "annotate_p50", "annotate_p99", "annotate_qps");
   }
-  run.rates.emplace_back("annotate_qps", achieved_qps);
+
+  if (run_net) {
+    serve::NetServerOptions net_options;  // loopback, ephemeral port
+    auto server_or = serve::NetServer::Start(&service, net_options);
+    if (!server_or.ok()) {
+      std::fprintf(stderr, "net server: %s\n",
+                   server_or.status().ToString().c_str());
+      service.Shutdown();
+      return 1;
+    }
+    std::unique_ptr<serve::NetServer> server = std::move(server_or).value();
+    bool net_open = open_loop && config.net;
+    LoadOutcome outcome =
+        net_open
+            ? RunNetOpenLoop("127.0.0.1", server->port(), city_config,
+                             config)
+            : RunNetClosedLoop("127.0.0.1", server->port(), city_config,
+                               config);
+    server->Shutdown();
+    record(net_open ? "net open loop" : "net closed loop",
+           std::move(outcome), config.connections, "net_p50", "net_p99",
+           "annotate_qps_net");
+  }
+  service.Shutdown();
 
   const char* env_path = std::getenv("CSD_BENCH_JSON");
   std::string json_path = !config.json_path.empty() ? config.json_path
                           : env_path != nullptr     ? env_path
                                                     : "BENCH_serve.json";
-  if (!WritePipelineJson(json_path, "serve_load", {run})) return 1;
+  if (!WritePipelineJson(json_path, "serve_load", runs)) return 1;
   std::printf("trajectory written to %s\n", json_path.c_str());
 
-  return outcome.failures == 0 ? 0 : 1;
+  return total_failures == 0 ? 0 : 1;
 }
 
 }  // namespace

@@ -1,0 +1,90 @@
+#include "core/batch_annotator.h"
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "geo/distance_batch.h"
+#include "index/grid_index.h"
+#include "util/check.h"
+#include "util/dense_scratch.h"
+
+namespace csd {
+
+namespace {
+
+/// One unit's accumulated vote (Algorithm 3, lines 5-10) — mirrors the
+/// Ballot of core/semantic_recognition.cc.
+struct Ballot {
+  double votes = 0.0;
+  SemanticProperty property;
+};
+
+}  // namespace
+
+BatchCsdAnnotator::BatchCsdAnnotator(const CitySemanticDiagram* diagram,
+                                     double radius)
+    : diagram_(diagram), radius_(radius) {
+  CSD_CHECK(diagram_ != nullptr);
+  CSD_CHECK_MSG(radius_ > 0.0, "annotation radius must be positive");
+  const GridIndex& grid = diagram_->pois().grid();
+  std::span<const uint32_t> ids = grid.payload_ids();
+  unit_lane_.resize(ids.size());
+  pop_lane_.resize(ids.size());
+  major_lane_.resize(ids.size());
+  for (size_t s = 0; s < ids.size(); ++s) {
+    PoiId pid = ids[s];
+    unit_lane_[s] = diagram_->UnitOfPoi(pid);
+    pop_lane_[s] = diagram_->Popularity(pid);
+    major_lane_[s] = diagram_->pois().poi(pid).major();
+  }
+}
+
+SemanticProperty BatchCsdAnnotator::Annotate(const Vec2& position,
+                                             UnitId* winner) const {
+  // Same epoch-stamped ballot box as the scalar recognizer: Reset() is
+  // O(1) and a whole batch votes without a heap allocation.
+  static thread_local DenseScratch<Ballot> ballots;
+  static thread_local std::vector<UnitId> voted_units;
+  static thread_local std::vector<double> d2;
+  ballots.Reset(diagram_->num_units());
+  voted_units.clear();
+
+  const GridIndex& grid = diagram_->pois().grid();
+  const double r2 = radius_ * radius_;
+  grid.ForEachCandidateRange(position, radius_, [&](size_t off, size_t n) {
+    if (d2.size() < n) d2.resize(n);
+    SquaredDistanceBatch(position.x, position.y, grid.cell_xs() + off,
+                         grid.cell_ys() + off, n, d2.data());
+    for (size_t i = 0; i < n; ++i) {
+      if (d2[i] > r2) continue;
+      size_t slot = off + i;
+      UnitId uid = unit_lane_[slot];
+      if (uid == kNoUnit) continue;
+      bool first = !ballots.Contains(uid);
+      Ballot& ballot = ballots[uid];
+      if (first) voted_units.push_back(uid);
+      // sqrt(d2) is bit-equal to Distance(), so this is the oracle's
+      // pop(p)·G(||p, sp||) to the last ULP.
+      ballot.votes +=
+          pop_lane_[slot] * GaussianCoefficient(std::sqrt(d2[i]), radius_);
+      ballot.property.Insert(major_lane_[slot]);
+    }
+  });
+
+  *winner = kNoUnit;
+  double best_votes = -1.0;
+  SemanticProperty best_property;
+  for (UnitId uid : voted_units) {
+    const Ballot& ballot = ballots.Get(uid);
+    if (ballot.votes > best_votes ||
+        (ballot.votes == best_votes && uid < *winner)) {
+      best_votes = ballot.votes;
+      *winner = uid;
+      best_property = ballot.property;
+    }
+  }
+  return best_property;
+}
+
+}  // namespace csd

@@ -1,0 +1,58 @@
+#ifndef CSD_CORE_BATCH_ANNOTATOR_H_
+#define CSD_CORE_BATCH_ANNOTATOR_H_
+
+#include <vector>
+
+#include "core/city_semantic_diagram.h"
+#include "core/semantic_unit.h"
+#include "poi/category.h"
+
+namespace csd {
+
+/// The serving-path edition of Algorithm 3's voting recognizer: same
+/// ballot, same winner, restructured for the batched distance kernel.
+///
+/// CsdRecognizer walks candidates one at a time through the grid index
+/// and re-reads each POI's AoS record (position, popularity, unit,
+/// category) per vote. BatchCsdAnnotator instead mirrors those per-POI
+/// attributes into lanes parallel to the grid's CSR payload
+/// (GridIndex::payload_ids()) at construction, and per query runs one
+/// SquaredDistanceBatch (geo/distance_batch.h) over each contiguous
+/// candidate range before a scalar vote loop over the in-radius hits.
+/// The candidate iteration order, the d2 <= r^2 filter, the vote weight
+/// pop(p)·G(||p, sp||) and the strict-argmax winner are all exactly the
+/// oracle's, so annotation results are byte-identical to
+/// CsdRecognizer::RecognizeWithUnit — under either distance kernel and
+/// at any thread count. tests/distance_batch_test.cc enforces this.
+///
+/// Thread-safe for concurrent Annotate calls (per-thread scratch);
+/// `diagram` must outlive the annotator.
+class BatchCsdAnnotator {
+ public:
+  /// `radius` is the search R₃σ of Algorithm 3 — pass the paired
+  /// recognizer's radius() so both paths see the same candidates.
+  explicit BatchCsdAnnotator(const CitySemanticDiagram* diagram,
+                             double radius = 100.0);
+
+  /// Annotates one stay-point position: returns the winning unit's
+  /// semantic property (empty when no POI is in range) and stores the
+  /// unit in `*winner` (kNoUnit when none).
+  SemanticProperty Annotate(const Vec2& position, UnitId* winner) const;
+
+  double radius() const { return radius_; }
+
+ private:
+  const CitySemanticDiagram* diagram_;
+  double radius_;
+  /// Per-POI attributes replicated in grid payload order: slot s
+  /// describes the POI at payload_ids()[s], next to its coordinates in
+  /// the grid's cell_xs()/cell_ys() lanes. One cache streak serves the
+  /// whole vote instead of three AoS indirections per candidate.
+  std::vector<UnitId> unit_lane_;
+  std::vector<double> pop_lane_;
+  std::vector<MajorCategory> major_lane_;
+};
+
+}  // namespace csd
+
+#endif  // CSD_CORE_BATCH_ANNOTATOR_H_

@@ -1,0 +1,151 @@
+#include "geo/distance_batch.h"
+
+#include <atomic>
+#include <cmath>
+
+#include "geo/distance.h"
+#include "util/check.h"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define CSD_HAVE_AVX2_TARGET 1
+#include <immintrin.h>
+#else
+#define CSD_HAVE_AVX2_TARGET 0
+#endif
+
+namespace csd {
+
+namespace {
+
+/// -1 = no override; otherwise the forced DistanceKernel value.
+std::atomic<int> g_forced_kernel{-1};
+
+void SquaredDistanceBatchScalar(double qx, double qy, const double* xs,
+                                const double* ys, size_t n, double* d2) {
+  for (size_t i = 0; i < n; ++i) {
+    double dx = xs[i] - qx;
+    double dy = ys[i] - qy;
+    d2[i] = dx * dx + dy * dy;
+  }
+}
+
+void ProjectBatchScalar(double olon, double olat, double mlon, double mlat,
+                        const GeoPoint* pts, size_t n, Vec2* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i].x = (pts[i].lon - olon) * mlon;
+    out[i].y = (pts[i].lat - olat) * mlat;
+  }
+}
+
+#if CSD_HAVE_AVX2_TARGET
+
+/// Explicit mul/mul/add intrinsics — never FMA. target("avx2") does not
+/// enable FMA codegen, so even the compiler cannot contract these; that
+/// is what keeps the AVX2 lane bit-equal to the scalar kernel.
+__attribute__((target("avx2"))) void SquaredDistanceBatchAvx2(
+    double qx, double qy, const double* xs, const double* ys, size_t n,
+    double* d2) {
+  const __m256d vqx = _mm256_set1_pd(qx);
+  const __m256d vqy = _mm256_set1_pd(qy);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d dx = _mm256_sub_pd(_mm256_loadu_pd(xs + i), vqx);
+    __m256d dy = _mm256_sub_pd(_mm256_loadu_pd(ys + i), vqy);
+    __m256d sum =
+        _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy));
+    _mm256_storeu_pd(d2 + i, sum);
+  }
+  for (; i < n; ++i) {
+    double dx = xs[i] - qx;
+    double dy = ys[i] - qy;
+    d2[i] = dx * dx + dy * dy;
+  }
+}
+
+/// GeoPoint is {lon, lat} pairs in memory and Vec2 is {x, y} pairs, so
+/// the projection needs no deinterleave at all: broadcast the origin and
+/// scale in the same interleaved pattern ({olon,olat,olon,olat}) and the
+/// whole transform is one sub and one mul per element — the exact two
+/// operations the scalar path performs, in the same order.
+__attribute__((target("avx2"))) void ProjectBatchAvx2(
+    double olon, double olat, double mlon, double mlat, const GeoPoint* pts,
+    size_t n, Vec2* out) {
+  const __m256d vo = _mm256_setr_pd(olon, olat, olon, olat);
+  const __m256d vm = _mm256_setr_pd(mlon, mlat, mlon, mlat);
+  const double* in = reinterpret_cast<const double*>(pts);
+  double* o = reinterpret_cast<double*>(out);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {  // two points per 256-bit vector
+    __m256d v = _mm256_loadu_pd(in + 2 * i);
+    _mm256_storeu_pd(o + 2 * i, _mm256_mul_pd(_mm256_sub_pd(v, vo), vm));
+  }
+  for (; i < n; ++i) {
+    out[i].x = (pts[i].lon - olon) * mlon;
+    out[i].y = (pts[i].lat - olat) * mlat;
+  }
+}
+
+#endif  // CSD_HAVE_AVX2_TARGET
+
+DistanceKernel DetectKernel() {
+#if CSD_HAVE_AVX2_TARGET
+  if (__builtin_cpu_supports("avx2")) return DistanceKernel::kAvx2;
+#endif
+  return DistanceKernel::kScalar;
+}
+
+DistanceKernel DetectedKernel() {
+  static const DistanceKernel kernel = DetectKernel();
+  return kernel;
+}
+
+}  // namespace
+
+DistanceKernel ActiveDistanceKernel() {
+  int forced = g_forced_kernel.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<DistanceKernel>(forced);
+  return DetectedKernel();
+}
+
+bool DistanceKernelSupported(DistanceKernel kernel) {
+  if (kernel == DistanceKernel::kScalar) return true;
+  return DetectedKernel() == DistanceKernel::kAvx2;
+}
+
+void SetDistanceKernelForTest(DistanceKernel kernel) {
+  CSD_CHECK_MSG(DistanceKernelSupported(kernel),
+                "forcing an unsupported distance kernel");
+  g_forced_kernel.store(static_cast<int>(kernel), std::memory_order_relaxed);
+}
+
+void ResetDistanceKernelForTest() {
+  g_forced_kernel.store(-1, std::memory_order_relaxed);
+}
+
+void SquaredDistanceBatch(double qx, double qy, const double* xs,
+                          const double* ys, size_t n, double* d2) {
+#if CSD_HAVE_AVX2_TARGET
+  if (ActiveDistanceKernel() == DistanceKernel::kAvx2) {
+    SquaredDistanceBatchAvx2(qx, qy, xs, ys, n, d2);
+    return;
+  }
+#endif
+  SquaredDistanceBatchScalar(qx, qy, xs, ys, n, d2);
+}
+
+void EquirectangularProjectBatch(const GeoPoint& origin, const GeoPoint* pts,
+                                 size_t n, Vec2* out) {
+  // Exactly LocalProjection's constructor math, so the batch agrees with
+  // Project() bit for bit.
+  double mlat = kEarthRadiusMeters * kDegToRad;
+  double mlon = mlat * std::cos(origin.lat * kDegToRad);
+#if CSD_HAVE_AVX2_TARGET
+  if (ActiveDistanceKernel() == DistanceKernel::kAvx2) {
+    ProjectBatchAvx2(origin.lon, origin.lat, mlon, mlat, pts, n, out);
+    return;
+  }
+#endif
+  ProjectBatchScalar(origin.lon, origin.lat, mlon, mlat, pts, n, out);
+}
+
+}  // namespace csd

@@ -1,0 +1,62 @@
+#ifndef CSD_GEO_DISTANCE_BATCH_H_
+#define CSD_GEO_DISTANCE_BATCH_H_
+
+#include <cstddef>
+
+#include "geo/point.h"
+
+namespace csd {
+
+/// Batched geometry kernels for the serving-path annotation hot loop:
+/// structure-of-arrays inputs, one output lane, no per-element call
+/// overhead. Both kernels are *byte-identical* to their scalar
+/// counterparts (SquaredDistance / LocalProjection::Project): they
+/// perform exactly the same IEEE operations in the same order per
+/// element — sub, two muls, one add — and never contract into FMA, so a
+/// caller may mix scalar and batched evaluation freely without results
+/// drifting by a ULP. The parity tests in tests/distance_batch_test.cc
+/// hold both implementations to that contract.
+///
+/// Two implementations sit behind one entry point: a portable scalar
+/// loop (which the compiler is free to autovectorize — same ops, any
+/// width) and an AVX2 specialization compiled with a function-level
+/// target attribute so the rest of the translation unit stays baseline
+/// x86-64. Dispatch happens once per process via __builtin_cpu_supports;
+/// tests can force either path with SetDistanceKernelForTest.
+
+enum class DistanceKernel {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+/// The kernel the next batched call will use: the forced test override
+/// when set, otherwise the CPU-detected best.
+DistanceKernel ActiveDistanceKernel();
+
+/// True when `kernel` can run on this CPU (kScalar always can).
+bool DistanceKernelSupported(DistanceKernel kernel);
+
+/// Forces `kernel` for subsequent batched calls (parity tests pin both
+/// sides). The kernel must be supported on this CPU.
+void SetDistanceKernelForTest(DistanceKernel kernel);
+
+/// Restores CPU-detected dispatch.
+void ResetDistanceKernelForTest();
+
+/// d2[i] = (xs[i] - qx)^2 + (ys[i] - qy)^2 for i in [0, n). Bit-equal to
+/// SquaredDistance({xs[i], ys[i]}, {qx, qy}); sqrt(d2[i]) is bit-equal
+/// to Distance(). `d2` must hold `n` doubles and not alias the inputs.
+void SquaredDistanceBatch(double qx, double qy, const double* xs,
+                          const double* ys, size_t n, double* d2);
+
+/// Equirectangular projection of `n` geographic points around `origin`,
+/// bit-equal to LocalProjection(origin).Project(pts[i]) element-wise:
+/// same per-degree scale factors, same sub-then-mul per coordinate.
+/// Batch ingestion (a network client shipping raw lon/lat) uses this to
+/// amortize the projection over a whole frame.
+void EquirectangularProjectBatch(const GeoPoint& origin, const GeoPoint* pts,
+                                 size_t n, Vec2* out);
+
+}  // namespace csd
+
+#endif  // CSD_GEO_DISTANCE_BATCH_H_

@@ -29,13 +29,12 @@ GridIndex::GridIndex(std::vector<Vec2> points, double cell_size)
         static_cast<uint32_t>(i));
   }
   cells_ = FlatBuckets(std::move(entries));
-  cell_points_.resize(points_.size());
-  for (size_t b = 0; b < cells_.num_buckets(); ++b) {
-    size_t off = cells_.bucket_begin(b);
-    std::span<const uint32_t> ids = cells_.bucket(b);
-    for (size_t i = 0; i < ids.size(); ++i) {
-      cell_points_[off + i] = points_[ids[i]];
-    }
+  cell_xs_.resize(points_.size());
+  cell_ys_.resize(points_.size());
+  std::span<const uint32_t> ids = cells_.values();
+  for (size_t s = 0; s < ids.size(); ++s) {
+    cell_xs_[s] = points_[ids[s]].x;
+    cell_ys_[s] = points_[ids[s]].y;
   }
 }
 

@@ -44,6 +44,19 @@ class GridIndex {
   template <typename Fn>
   void ForEachInRadiusSq(const Vec2& query, double radius, Fn&& fn) const;
 
+  /// Visits the *candidate* payload ranges of a radius query — the same
+  /// slots ForEachInRadiusSq scans, before the d2 <= r^2 filter — as
+  /// `fn(offset, count)`: payload slots [offset, offset + count) of the
+  /// SoA lanes (cell_xs()/cell_ys()/payload_ids()). Consecutive occupied
+  /// cells of one grid row are adjacent in the CSR payload, so a whole
+  /// row of the query square arrives as a single contiguous range; a
+  /// batched caller runs one vector distance kernel per range instead of
+  /// a scalar test per point, and visiting slots in range order
+  /// reproduces ForEachInRadiusSq's iteration order exactly.
+  template <typename Fn>
+  void ForEachCandidateRange(const Vec2& query, double radius,
+                             Fn&& fn) const;
+
   /// Number of points within `radius` of `query`.
   size_t CountInRadius(const Vec2& query, double radius) const;
 
@@ -63,6 +76,16 @@ class GridIndex {
   const std::vector<Vec2>& points() const { return points_; }
   double cell_size() const { return cell_size_; }
 
+  /// SoA coordinate lanes in CSR payload order, addressed by the offsets
+  /// ForEachCandidateRange hands out. cell_xs()[s] is the x of the point
+  /// whose index is payload_ids()[s].
+  const double* cell_xs() const { return cell_xs_.data(); }
+  const double* cell_ys() const { return cell_ys_.data(); }
+
+  /// Point index stored at each payload slot (parallel to the SoA
+  /// lanes); callers keep their own per-point lanes aligned to this.
+  std::span<const uint32_t> payload_ids() const { return cells_.values(); }
+
  private:
   /// Bias keeps the packed key monotone in (cx, cy) for negative
   /// coordinates too, so one grid row is one contiguous, ordered key
@@ -81,10 +104,13 @@ class GridIndex {
   std::vector<Vec2> points_;
   double cell_size_;
   FlatBuckets cells_;
-  /// Point coordinates replicated in CSR payload order: candidate scans
-  /// inside a bucket read adjacent memory instead of hopping through
-  /// points_ by index, which is where dense-cell queries spend their time.
-  std::vector<Vec2> cell_points_;
+  /// Point coordinates replicated in CSR payload order as separate x/y
+  /// lanes (structure of arrays): candidate scans inside a bucket read
+  /// adjacent memory instead of hopping through points_ by index, and
+  /// the batched distance kernel (geo/distance_batch.h) consumes whole
+  /// contiguous lanes with aligned vector loads.
+  std::vector<double> cell_xs_;
+  std::vector<double> cell_ys_;
 };
 
 template <typename Fn>
@@ -110,12 +136,35 @@ void GridIndex::ForEachInRadiusSq(const Vec2& query, double radius,
     for (size_t b = cells_.LowerBound(KeyFor(cx, cy0));
          b < cells_.num_buckets() && cells_.key(b) <= row_end; ++b) {
       std::span<const uint32_t> ids = cells_.bucket(b);
-      const Vec2* pts = cell_points_.data() + cells_.bucket_begin(b);
+      size_t off = cells_.bucket_begin(b);
+      const double* xs = cell_xs_.data() + off;
+      const double* ys = cell_ys_.data() + off;
       for (size_t i = 0; i < ids.size(); ++i) {
-        double d2 = SquaredDistance(pts[i], query);
+        double d2 = SquaredDistance(Vec2{xs[i], ys[i]}, query);
         if (d2 <= r2) fn(size_t{ids[i]}, d2);
       }
     }
+  }
+}
+
+template <typename Fn>
+void GridIndex::ForEachCandidateRange(const Vec2& query, double radius,
+                                      Fn&& fn) const {
+  if (radius < 0.0 || points_.empty()) return;
+  int64_t cx0 = CellCoord(query.x - radius);
+  int64_t cx1 = CellCoord(query.x + radius);
+  int64_t cy0 = CellCoord(query.y - radius);
+  int64_t cy1 = CellCoord(query.y + radius);
+  for (int64_t cx = cx0; cx <= cx1; ++cx) {
+    uint64_t row_end = KeyFor(cx, cy1);
+    size_t b0 = cells_.LowerBound(KeyFor(cx, cy0));
+    size_t b1 = b0;
+    while (b1 < cells_.num_buckets() && cells_.key(b1) <= row_end) ++b1;
+    if (b1 == b0) continue;
+    // Adjacent buckets are adjacent in the payload, so the whole row
+    // range collapses to one contiguous slice.
+    size_t off = cells_.bucket_begin(b0);
+    fn(off, cells_.bucket_begin(b1) - off);
   }
 }
 

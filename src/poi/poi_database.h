@@ -53,6 +53,12 @@ class PoiDatabase {
   /// Tight bounding box of all POIs. Cached at construction; O(1).
   const BoundingBox& Bounds() const { return bounds_; }
 
+  /// The underlying spatial index. POI ids are the dense indices the
+  /// constructor assigned, so the grid's point index *is* the PoiId;
+  /// batched kernels walk its SoA payload lanes directly and keep their
+  /// own per-POI lanes parallel to grid().payload_ids().
+  const GridIndex& grid() const { return *index_; }
+
  private:
   std::vector<Poi> pois_;
   std::unique_ptr<GridIndex> index_;

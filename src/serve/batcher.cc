@@ -41,15 +41,15 @@ bool RequestBatcher::Enqueue(AnnotateRequest request) {
   }
   // Draining — the dispatcher may already have passed its last look at
   // the queue (or exited), so queueing here could strand the request and
-  // hang the caller's future forever. Reject instead: free the admission
-  // slot, then resolve the promise with an explicit kUnavailable.
-  request.ticket.Release();
+  // hang the caller forever. Reject instead: complete it right here with
+  // an explicit kUnavailable (CompleteRequest frees the admission slot
+  // before delivering).
   AnnotateResult result;
   result.status =
       Status::Unavailable("annotate: batcher is draining (shutdown)");
   result.stays = std::move(request.stays);
   result.units.assign(result.stays.size(), kNoUnit);
-  request.promise.set_value(std::move(result));
+  CompleteRequest(request, std::move(result));
   return false;
 }
 

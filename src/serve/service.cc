@@ -78,16 +78,15 @@ obs::Counter& RebuildFailuresCounter() {
   return counter;
 }
 
-/// Completes a request without executing it: frees the admission slot
-/// first (so a caller woken by the future sees the budget returned), then
-/// resolves the promise with `status` and the stays unannotated.
+/// Completes a request without executing it: the stays come back
+/// unannotated with `status` saying why (CompleteRequest frees the
+/// admission slot before delivering, future and callback channels alike).
 void FailRequest(AnnotateRequest& request, Status status) {
-  request.ticket.Release();
   AnnotateResult result;
   result.status = std::move(status);
   result.stays = std::move(request.stays);
   result.units.assign(result.stays.size(), kNoUnit);
-  request.promise.set_value(std::move(result));
+  CompleteRequest(request, std::move(result));
 }
 
 }  // namespace
@@ -105,7 +104,7 @@ ServeService::ServeService(SnapshotStore* store, ServeOptions options)
 
 ServeService::~ServeService() { Shutdown(); }
 
-Result<std::future<AnnotateResult>> ServeService::Submit(
+Result<AnnotateRequest> ServeService::AdmitAnnotate(
     std::vector<StayPoint> stays,
     std::chrono::steady_clock::time_point deadline) {
   if (store_->current_version() == 0) {
@@ -127,12 +126,33 @@ Result<std::future<AnnotateResult>> ServeService::Submit(
   request.enqueue_time = now;
   request.deadline = deadline;
   request.ticket = std::move(ticket);
+  return request;
+}
+
+Result<std::future<AnnotateResult>> ServeService::Submit(
+    std::vector<StayPoint> stays,
+    std::chrono::steady_clock::time_point deadline) {
+  CSD_ASSIGN_OR_RETURN(AnnotateRequest request,
+                       AdmitAnnotate(std::move(stays), deadline));
   std::future<AnnotateResult> future = request.promise.get_future();
   // A false return means the batcher is draining: the request was already
   // completed with kUnavailable and its slot released, so the future is
   // still safe to hand back — it resolves either way.
   batcher_->Enqueue(std::move(request));
   return future;
+}
+
+Status ServeService::AnnotateStayPointsAsync(
+    std::vector<StayPoint> stays,
+    std::chrono::steady_clock::time_point deadline,
+    std::function<void(AnnotateResult)> on_complete) {
+  CSD_ASSIGN_OR_RETURN(AnnotateRequest request,
+                       AdmitAnnotate(std::move(stays), deadline));
+  request.on_complete = std::move(on_complete);
+  // Once admitted the callback *will* run exactly once — a drain race
+  // completes the request with kUnavailable through the same channel.
+  batcher_->Enqueue(std::move(request));
+  return Status::OK();
 }
 
 Result<std::future<AnnotateResult>> ServeService::AnnotateStayPoints(
@@ -197,6 +217,28 @@ Result<std::future<RebuildResult>> ServeService::TriggerRebuild(
   return future;
 }
 
+Status ServeService::TriggerRebuildAsync(
+    std::function<void(RebuildResult)> on_complete,
+    std::shared_ptr<const ServeDataset> data) {
+  if (data == nullptr && store_->current_version() == 0) {
+    return Status::FailedPrecondition(
+        "nothing to rebuild: no dataset given and no snapshot published");
+  }
+  AdmissionTicket ticket(&admission_, RequestClass::kRebuild);
+  if (!ticket.ok()) return ticket.status();
+
+  RebuildJob job;
+  job.data = std::move(data);
+  job.ticket = std::move(ticket);
+  job.on_complete = std::move(on_complete);
+  {
+    std::lock_guard<std::mutex> lock(rebuild_mutex_);
+    rebuild_queue_.push_back(std::move(job));
+  }
+  rebuild_cv_.notify_all();
+  return Status::OK();
+}
+
 void ServeService::Shutdown() {
   std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
   if (shut_down_) return;
@@ -253,7 +295,7 @@ void ServeService::ExecuteBatch(std::vector<AnnotateRequest> batch) {
   // One snapshot acquisition amortized over the whole batch; every request
   // in it is served by this one consistent generation.
   std::shared_ptr<const CsdSnapshot> snapshot = store_->Acquire();
-  const CsdRecognizer& recognizer = snapshot->recognizer();
+  const BatchCsdAnnotator& annotator = snapshot->annotator();
   const PoiDatabase& pois = snapshot->data().pois;
 
   std::vector<AnnotateResult> results(batch.size());
@@ -293,7 +335,9 @@ void ServeService::ExecuteBatch(std::vector<AnnotateRequest> batch) {
         const Slot& slot = slots[k];
         StayPoint& stay = results[slot.request].stays[slot.index];
         UnitId unit = kNoUnit;
-        stay.semantic = recognizer.RecognizeWithUnit(stay.position, &unit);
+        // The SIMD/SoA voting kernel — byte-identical to the scalar
+        // recognizer() oracle (see core/batch_annotator.h).
+        stay.semantic = annotator.Annotate(stay.position, &unit);
         results[slot.request].units[slot.index] = unit;
       },
       {.grain = 32});
@@ -302,10 +346,7 @@ void ServeService::ExecuteBatch(std::vector<AnnotateRequest> batch) {
   for (size_t r = 0; r < batch.size(); ++r) {
     AnnotateLatencyHistogram().Observe(
         std::chrono::duration<double>(now - batch[r].enqueue_time).count());
-    // Release before set_value: a caller woken by the future must see the
-    // admission budget already returned.
-    batch[r].ticket.Release();
-    batch[r].promise.set_value(std::move(results[r]));
+    CompleteRequest(batch[r], std::move(results[r]));
   }
   BatchSizeHistogram().Observe(static_cast<double>(batch.size()));
   BatchesCounter().Increment();
@@ -354,7 +395,11 @@ void ServeService::RebuildMain() {
       }
       result.seconds = watch.ElapsedSeconds();
       job.ticket.Release();
-      job.promise.set_value(std::move(result));
+      if (job.on_complete) {
+        job.on_complete(std::move(result));
+      } else {
+        job.promise.set_value(std::move(result));
+      }
     }
 
     lock.lock();

@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -68,6 +69,18 @@ class ServeService {
       const TaxiJourney& journey,
       std::chrono::steady_clock::time_point deadline = kNoDeadline);
 
+  /// Callback edition of AnnotateStayPoints for event-driven callers
+  /// (the epoll network server must not park a thread per request). On
+  /// OK, `on_complete` runs exactly once — on the batch-execution thread
+  /// normally, on the submitting/draining thread for rejections that
+  /// race shutdown — and must not block. A non-OK return means the
+  /// request was never admitted and the callback will never run (the
+  /// caller reports the error itself).
+  Status AnnotateStayPointsAsync(
+      std::vector<StayPoint> stays,
+      std::chrono::steady_clock::time_point deadline,
+      std::function<void(AnnotateResult)> on_complete);
+
   /// Fine-grained patterns anchored at `unit` in the current snapshot.
   /// Synchronous: a bounded number of concurrent lookups run directly on
   /// the caller's thread (admission class kQuery).
@@ -81,6 +94,13 @@ class ServeService {
   /// the last good snapshot keeps serving — and the error is reported
   /// through the future's RebuildResult::status.
   Result<std::future<RebuildResult>> TriggerRebuild(
+      std::shared_ptr<const ServeDataset> data = nullptr);
+
+  /// Callback edition of TriggerRebuild (same contract as
+  /// AnnotateStayPointsAsync: OK means `on_complete` runs exactly once,
+  /// on the rebuild thread; an error return means it never will).
+  Status TriggerRebuildAsync(
+      std::function<void(RebuildResult)> on_complete,
       std::shared_ptr<const ServeDataset> data = nullptr);
 
   /// Graceful drain: closes admission (new requests get kUnavailable),
@@ -102,8 +122,16 @@ class ServeService {
     std::shared_ptr<const ServeDataset> data;
     AdmissionTicket ticket;
     std::promise<RebuildResult> promise;
+    /// Completion channel when set (else the promise), mirroring
+    /// AnnotateRequest::on_complete.
+    std::function<void(RebuildResult)> on_complete;
   };
 
+  /// Shared front door of both annotate submission flavors: validates,
+  /// consumes an admission slot, stamps the enqueue time.
+  Result<AnnotateRequest> AdmitAnnotate(
+      std::vector<StayPoint> stays,
+      std::chrono::steady_clock::time_point deadline);
   Result<std::future<AnnotateResult>> Submit(
       std::vector<StayPoint> stays,
       std::chrono::steady_clock::time_point deadline);

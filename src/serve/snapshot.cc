@@ -46,6 +46,8 @@ CsdSnapshot::CsdSnapshot(std::shared_ptr<const ServeDataset> data,
   CSD_TRACE_SPAN("serve/snapshot_build");
   miner_ = std::make_unique<PervasiveMiner>(&data_->pois, data_->stays,
                                             options.miner);
+  annotator_ = std::make_unique<BatchCsdAnnotator>(
+      &miner_->diagram(), miner_->csd_recognizer().radius());
   if (options.mine_patterns) {
     patterns_ = miner_->MinePatterns(data_->trajectories);
   }

@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "core/batch_annotator.h"
 #include "core/pattern.h"
 #include "miner/pervasive_miner.h"
 #include "poi/poi_database.h"
@@ -77,6 +78,12 @@ class CsdSnapshot {
     return miner_->csd_recognizer();
   }
 
+  /// The SIMD/SoA edition of the voting recognizer, built over the same
+  /// diagram with the same radius — byte-identical results to
+  /// recognizer() (core/batch_annotator.h). The request path annotates
+  /// through this; recognizer() remains the parity oracle.
+  const BatchCsdAnnotator& annotator() const { return *annotator_; }
+
   std::span<const FineGrainedPattern> patterns() const { return patterns_; }
   const FineGrainedPattern& pattern(uint32_t id) const {
     return patterns_[id];
@@ -102,6 +109,7 @@ class CsdSnapshot {
 
   std::shared_ptr<const ServeDataset> data_;
   std::unique_ptr<PervasiveMiner> miner_;
+  std::unique_ptr<BatchCsdAnnotator> annotator_;
   std::vector<FineGrainedPattern> patterns_;
   // CSR: unit u owns pattern ids unit_pattern_ids_[offsets_[u]..offsets_[u+1]).
   std::vector<uint32_t> unit_pattern_offsets_;

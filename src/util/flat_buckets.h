@@ -53,7 +53,15 @@ class FlatBuckets {
   /// Offset of bucket `b`'s first value within the concatenated payload.
   /// Lets callers keep auxiliary arrays parallel to the payload (e.g. a
   /// copy of per-value data in bucket order for sequential scans).
+  /// Valid for b == num_buckets() too (the end offset), so a run of
+  /// adjacent buckets [b0, b1) maps to one contiguous payload range
+  /// [bucket_begin(b0), bucket_begin(b1)).
   size_t bucket_begin(size_t b) const { return offsets_[b]; }
+
+  /// The whole concatenated payload in bucket order — the addressing
+  /// space of bucket_begin(). Batched scans hand contiguous slices of
+  /// this (plus parallel SoA lanes) to vector kernels.
+  std::span<const uint32_t> values() const { return values_; }
 
   /// Index of the first bucket with key >= `k` (== num_buckets() when
   /// none). Starting point of an ordered key-range scan.

@@ -1,0 +1,321 @@
+// The framed binary protocol's safety contract: every well-formed frame
+// round-trips exactly, every truncation asks for more bytes (never
+// errors, never over-reads), and every corruption either decodes to a
+// different-but-valid frame or fails with a clean Status. The byte-flip
+// fuzz below is what the asan-ubsan preset holds to "no crash, no
+// over-read" — DecodedFrame::payload aliases the input buffer, so any
+// bounds slip would trip the sanitizer here first.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "serve/frame.h"
+#include "traj/trajectory.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace csd::serve {
+namespace {
+
+std::vector<StayPoint> SampleStays(size_t n) {
+  std::vector<StayPoint> stays;
+  stays.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    stays.emplace_back(Vec2{100.0 * static_cast<double>(i) + 0.25,
+                            -50.0 * static_cast<double>(i) - 0.75},
+                       static_cast<Timestamp>(1000 + 60 * i));
+  }
+  return stays;
+}
+
+/// Decodes exactly one frame from `bytes`, requiring a full-buffer match.
+DecodedFrame DecodeOne(const std::vector<uint8_t>& bytes) {
+  DecodedFrame frame;
+  size_t consumed = 0;
+  Status error;
+  DecodeStatus ds = DecodeFrame(bytes, &frame, &consumed, &error);
+  EXPECT_EQ(ds, DecodeStatus::kFrame) << error;
+  EXPECT_EQ(consumed, bytes.size());
+  return frame;
+}
+
+TEST(NetFrameTest, AnnotateRequestRoundTrips) {
+  for (size_t count : {size_t{0}, size_t{1}, size_t{7}}) {
+    std::vector<StayPoint> stays = SampleStays(count);
+    std::vector<uint8_t> bytes;
+    AppendAnnotateRequest(0xdeadbeef, 250, stays, &bytes);
+    DecodedFrame frame = DecodeOne(bytes);
+    EXPECT_EQ(frame.header.type,
+              static_cast<uint8_t>(FrameType::kAnnotateReq));
+
+    Result<NetRequest> parsed = ParseRequestFrame(frame);
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    const NetRequest& request = parsed.value();
+    EXPECT_EQ(request.type, FrameType::kAnnotateReq);
+    EXPECT_EQ(request.request_id, 0xdeadbeefu);
+    EXPECT_EQ(request.deadline_ms, 250u);
+    ASSERT_EQ(request.stays.size(), count);
+    for (size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(request.stays[i].position, stays[i].position);
+      EXPECT_EQ(request.stays[i].time, stays[i].time);
+    }
+  }
+}
+
+TEST(NetFrameTest, JourneyRequestRoundTrips) {
+  std::vector<StayPoint> stays = SampleStays(2);
+  std::vector<uint8_t> bytes;
+  AppendJourneyRequest(42, 0, stays[0], stays[1], &bytes);
+  Result<NetRequest> parsed = ParseRequestFrame(DecodeOne(bytes));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value().type, FrameType::kJourneyReq);
+  EXPECT_EQ(parsed.value().request_id, 42u);
+  EXPECT_EQ(parsed.value().deadline_ms, 0u);
+  ASSERT_EQ(parsed.value().stays.size(), 2u);
+  EXPECT_EQ(parsed.value().stays[0].position, stays[0].position);
+  EXPECT_EQ(parsed.value().stays[1].position, stays[1].position);
+}
+
+TEST(NetFrameTest, QueryRebuildStatsRequestsRoundTrip) {
+  std::vector<uint8_t> bytes;
+  AppendQueryUnitRequest(7, 1234, &bytes);
+  Result<NetRequest> query = ParseRequestFrame(DecodeOne(bytes));
+  ASSERT_TRUE(query.ok()) << query.status();
+  EXPECT_EQ(query.value().type, FrameType::kQueryUnitReq);
+  EXPECT_EQ(query.value().unit, 1234u);
+
+  bytes.clear();
+  AppendRebuildRequest(8, &bytes);
+  Result<NetRequest> rebuild = ParseRequestFrame(DecodeOne(bytes));
+  ASSERT_TRUE(rebuild.ok()) << rebuild.status();
+  EXPECT_EQ(rebuild.value().type, FrameType::kRebuildReq);
+  EXPECT_EQ(rebuild.value().request_id, 8u);
+
+  bytes.clear();
+  AppendStatsRequest(9, &bytes);
+  Result<NetRequest> stats = ParseRequestFrame(DecodeOne(bytes));
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats.value().type, FrameType::kStatsReq);
+  EXPECT_EQ(stats.value().request_id, 9u);
+}
+
+TEST(NetFrameTest, AnnotateResponseRoundTrips) {
+  AnnotateResult result;
+  result.status = Status::OK();
+  result.snapshot_version = 31;
+  result.stays = SampleStays(3);
+  result.stays[0].semantic = SemanticProperty::FromBits(0x5);
+  result.stays[2].semantic = SemanticProperty::FromBits(0x18);
+  result.units = {11, kNoUnit, 29};
+
+  std::vector<uint8_t> bytes;
+  AppendAnnotateResponse(77, result, &bytes);
+  Result<NetResponse> parsed = ParseResponseFrame(DecodeOne(bytes));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const NetResponse& response = parsed.value();
+  EXPECT_EQ(response.type, FrameType::kAnnotateResp);
+  EXPECT_EQ(response.request_id, 77u);
+  EXPECT_EQ(response.snapshot_version, 31u);
+  ASSERT_EQ(response.units.size(), 3u);
+  EXPECT_EQ(response.units[0], 11u);
+  EXPECT_EQ(response.units[1], kNoUnit);
+  EXPECT_EQ(response.units[2], 29u);
+  ASSERT_EQ(response.semantic_bits.size(), 3u);
+  EXPECT_EQ(response.semantic_bits[0], 0x5u);
+  EXPECT_EQ(response.semantic_bits[1], 0u);
+  EXPECT_EQ(response.semantic_bits[2], 0x18u);
+}
+
+TEST(NetFrameTest, TextAndErrorResponsesRoundTrip) {
+  std::vector<uint8_t> bytes;
+  AppendTextResponse(5, "ok rebuild version=4 units=12", &bytes);
+  Result<NetResponse> text = ParseResponseFrame(DecodeOne(bytes));
+  ASSERT_TRUE(text.ok()) << text.status();
+  EXPECT_EQ(text.value().type, FrameType::kTextResp);
+  EXPECT_EQ(text.value().text, "ok rebuild version=4 units=12");
+
+  bytes.clear();
+  AppendErrorResponse(6, Status::Unavailable("queue full"), &bytes);
+  Result<NetResponse> error = ParseResponseFrame(DecodeOne(bytes));
+  ASSERT_TRUE(error.ok()) << error.status();
+  EXPECT_EQ(error.value().type, FrameType::kErrorResp);
+  EXPECT_EQ(error.value().request_id, 6u);
+  EXPECT_EQ(error.value().code, StatusCode::kUnavailable);
+  EXPECT_EQ(error.value().message, "queue full");
+}
+
+TEST(NetFrameTest, EmptyTextResponseRoundTrips) {
+  std::vector<uint8_t> bytes;
+  AppendTextResponse(1, "", &bytes);
+  Result<NetResponse> parsed = ParseResponseFrame(DecodeOne(bytes));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(parsed.value().text.empty());
+}
+
+TEST(NetFrameTest, BackToBackFramesDecodeSequentially) {
+  std::vector<uint8_t> bytes;
+  AppendStatsRequest(1, &bytes);
+  AppendQueryUnitRequest(2, 99, &bytes);
+  AppendRebuildRequest(3, &bytes);
+
+  std::span<const uint8_t> pending(bytes);
+  std::vector<uint32_t> ids;
+  while (!pending.empty()) {
+    DecodedFrame frame;
+    size_t consumed = 0;
+    Status error;
+    ASSERT_EQ(DecodeFrame(pending, &frame, &consumed, &error),
+              DecodeStatus::kFrame)
+        << error;
+    ids.push_back(frame.header.request_id);
+    pending = pending.subspan(consumed);
+  }
+  EXPECT_EQ(ids, (std::vector<uint32_t>{1, 2, 3}));
+}
+
+TEST(NetFrameTest, EveryPrefixTruncationNeedsMore) {
+  std::vector<uint8_t> bytes;
+  AppendAnnotateRequest(123, 50, SampleStays(5), &bytes);
+  // Every strict prefix of a valid frame is "keep reading", never an
+  // error: a slow sender must not get its connection poisoned.
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    std::vector<uint8_t> prefix(bytes.begin(), bytes.begin() + len);
+    DecodedFrame frame;
+    size_t consumed = 0;
+    Status error;
+    EXPECT_EQ(DecodeFrame(prefix, &frame, &consumed, &error),
+              DecodeStatus::kNeedMore)
+        << "prefix length " << len;
+  }
+}
+
+TEST(NetFrameTest, OversizedPayloadLengthPoisonsStream) {
+  std::vector<uint8_t> bytes;
+  AppendStatsRequest(1, &bytes);
+  uint32_t huge = kMaxFramePayload + 1;
+  std::memcpy(bytes.data(), &huge, sizeof(huge));
+  DecodedFrame frame;
+  size_t consumed = 0;
+  Status error;
+  EXPECT_EQ(DecodeFrame(bytes, &frame, &consumed, &error),
+            DecodeStatus::kError);
+  EXPECT_FALSE(error.ok());
+}
+
+TEST(NetFrameTest, UnknownTypeAndNonzeroFlagsPoisonStream) {
+  std::vector<uint8_t> valid;
+  AppendStatsRequest(1, &valid);
+
+  std::vector<uint8_t> bad_type = valid;
+  bad_type[4] = 0x7f;  // no such FrameType
+  DecodedFrame frame;
+  size_t consumed = 0;
+  Status error;
+  EXPECT_EQ(DecodeFrame(bad_type, &frame, &consumed, &error),
+            DecodeStatus::kError);
+  EXPECT_FALSE(error.ok());
+
+  std::vector<uint8_t> bad_flags = valid;
+  bad_flags[5] = 0x01;  // reserved flags must be zero
+  EXPECT_EQ(DecodeFrame(bad_flags, &frame, &consumed, &error),
+            DecodeStatus::kError);
+}
+
+TEST(NetFrameTest, CountLengthMismatchIsParseError) {
+  std::vector<uint8_t> bytes;
+  AppendAnnotateRequest(1, 0, SampleStays(3), &bytes);
+  // Claim 4 stays while the payload carries 3: the cross-check between
+  // the count field and payload_len must reject it.
+  uint32_t lying_count = 4;
+  std::memcpy(bytes.data() + kFrameHeaderSize, &lying_count,
+              sizeof(lying_count));
+  Result<NetRequest> parsed = ParseRequestFrame(DecodeOne(bytes));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+}
+
+TEST(NetFrameTest, RequestParserRejectsResponseTypesAndViceVersa) {
+  std::vector<uint8_t> bytes;
+  AppendTextResponse(1, "ok", &bytes);
+  EXPECT_FALSE(ParseRequestFrame(DecodeOne(bytes)).ok());
+
+  bytes.clear();
+  AppendStatsRequest(2, &bytes);
+  EXPECT_FALSE(ParseResponseFrame(DecodeOne(bytes)).ok());
+}
+
+TEST(NetFrameTest, ByteFlipFuzzNeverCrashesOrOverReads) {
+  // Corrupt one byte at a time (all 255 alternative values for every
+  // position) in a corpus covering each frame type, then decode + parse.
+  // The contract is memory safety and a clean verdict: either the
+  // mutation still forms a valid frame (which must then parse or fail
+  // cleanly) or decoding reports kNeedMore/kError. asan/ubsan turns any
+  // over-read of the aliased payload span into a hard failure.
+  std::vector<std::vector<uint8_t>> corpus;
+  corpus.emplace_back();
+  AppendAnnotateRequest(11, 30, SampleStays(2), &corpus.back());
+  corpus.emplace_back();
+  AppendQueryUnitRequest(12, 3, &corpus.back());
+  corpus.emplace_back();
+  AppendStatsRequest(13, &corpus.back());
+  corpus.emplace_back();
+  {
+    AnnotateResult result;
+    result.snapshot_version = 9;
+    result.stays = SampleStays(2);
+    result.units = {1, 2};
+    AppendAnnotateResponse(14, result, &corpus.back());
+  }
+  corpus.emplace_back();
+  AppendErrorResponse(15, Status::IoError("boom"), &corpus.back());
+
+  for (const std::vector<uint8_t>& original : corpus) {
+    for (size_t pos = 0; pos < original.size(); ++pos) {
+      for (int delta = 1; delta < 256; delta += 13) {
+        std::vector<uint8_t> mutated = original;
+        mutated[pos] = static_cast<uint8_t>(mutated[pos] + delta);
+        DecodedFrame frame;
+        size_t consumed = 0;
+        Status error;
+        DecodeStatus ds = DecodeFrame(mutated, &frame, &consumed, &error);
+        if (ds != DecodeStatus::kFrame) continue;
+        ASSERT_LE(consumed, mutated.size());
+        // Whichever parser matches the (possibly mutated) type byte must
+        // come back with a value or a Status — touching every payload
+        // byte through the span is the over-read probe.
+        Result<NetRequest> request = ParseRequestFrame(frame);
+        Result<NetResponse> response = ParseResponseFrame(frame);
+        if (!request.ok() && !response.ok()) {
+          EXPECT_FALSE(request.status().ok());
+          EXPECT_FALSE(response.status().ok());
+        }
+      }
+    }
+  }
+}
+
+TEST(NetFrameTest, RandomGarbageDecodesCleanly) {
+  // Pure noise: never a crash, and any kFrame verdict stays in bounds.
+  Rng rng(3);
+  for (int round = 0; round < 200; ++round) {
+    size_t len = static_cast<size_t>(rng.UniformInt(0, 96));
+    std::vector<uint8_t> noise(len);
+    for (uint8_t& b : noise) {
+      b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+    }
+    DecodedFrame frame;
+    size_t consumed = 0;
+    Status error;
+    DecodeStatus ds = DecodeFrame(noise, &frame, &consumed, &error);
+    if (ds == DecodeStatus::kFrame) {
+      ASSERT_LE(consumed, noise.size());
+      (void)ParseRequestFrame(frame);
+      (void)ParseResponseFrame(frame);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace csd::serve

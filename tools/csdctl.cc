@@ -12,6 +12,7 @@
 //
 //   csdctl analyze   --patterns patterns.csv
 //   csdctl serve     --pois pois.csv --trips trips.bin
+//                    [--listen HOST:PORT] [--loops 1]
 //                    [--max-batch 64] [--max-delay-us 1000]
 //                    [--annotate-limit 1024] [--query-limit 256]
 //                    [--sigma 50] [--delta-t-min 60] [--rho 0.002]
@@ -32,8 +33,14 @@
 // `serve` reads the newline-delimited request protocol documented in
 // src/serve/protocol.h from stdin and answers one line per request on
 // stdout (diagnostics go to stderr, so stdout stays pure protocol).
+// With --listen HOST:PORT it instead serves the length-prefixed binary
+// framing of src/serve/frame.h on an epoll event loop (SIGINT/SIGTERM
+// drains and exits); the stdin protocol is untouched as the fallback.
+
+#include <signal.h>
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -52,6 +59,7 @@
 #include "miner/pervasive_miner.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/net_server.h"
 #include "serve/protocol.h"
 #include "serve/retry.h"
 #include "serve/service.h"
@@ -191,6 +199,10 @@ const std::vector<CommandSpec>& Commands() {
        "serve annotation/query requests from stdin over a snapshot store",
        {{"pois", "POI CSV from generate", true},
         {"trips", "journeys file from generate", true},
+        {"listen", "serve the framed binary protocol on HOST:PORT "
+                   "(port 0 picks one; SIGINT/SIGTERM stops) instead of "
+                   "the stdin line protocol"},
+        {"loops", "epoll event-loop threads for --listen (default 1)"},
         {"max-batch", "max coalesced requests per batch (default 64)"},
         {"max-delay-us", "batch window in microseconds (default 1000)"},
         {"annotate-limit", "max in-flight annotations (default 1024)"},
@@ -448,8 +460,46 @@ int CmdAnalyze(const Args& args) {
   return 0;
 }
 
+/// Splits `--listen HOST:PORT`, naming the offending token on failure.
+Result<std::pair<std::string, uint16_t>> ParseListenAddress(
+    const std::string& spec) {
+  size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size()) {
+    return Status::InvalidArgument(
+        StrFormat("--listen expects HOST:PORT, got '%s'", spec.c_str()));
+  }
+  std::string port_str = spec.substr(colon + 1);
+  for (char c : port_str) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return Status::InvalidArgument(StrFormat(
+          "--listen port '%s' is not a number", port_str.c_str()));
+    }
+  }
+  long port = std::atol(port_str.c_str());
+  if (port > 65535) {
+    return Status::InvalidArgument(StrFormat(
+        "--listen port '%s' is out of range (0-65535)", port_str.c_str()));
+  }
+  return std::make_pair(spec.substr(0, colon),
+                        static_cast<uint16_t>(port));
+}
+
 int CmdServe(const Args& args) {
   if (!args.Require({"pois", "trips"})) return 2;
+  // Validate --listen before the expensive snapshot build, and block the
+  // lifetime signals before any service/loop thread spawns so every
+  // thread inherits the mask and sigwait below is the only receiver.
+  std::pair<std::string, uint16_t> listen_addr;
+  sigset_t signal_set;
+  if (args.Has("listen")) {
+    auto addr_or = ParseListenAddress(args.Get("listen"));
+    if (!addr_or.ok()) return Fail(addr_or.status());
+    listen_addr = std::move(addr_or).value();
+    sigemptyset(&signal_set);
+    sigaddset(&signal_set, SIGINT);
+    sigaddset(&signal_set, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &signal_set, nullptr);
+  }
   auto pois_or = ReadPoisCsv(args.Get("pois"));
   if (!pois_or.ok()) return Fail(pois_or.status());
   auto journeys_or = LoadJourneys(args.Get("trips"));
@@ -488,10 +538,44 @@ int CmdServe(const Args& args) {
 
   std::fprintf(stderr,
                "serve: snapshot v%llu ready in %.2fs (%zu units, %zu "
-               "patterns, %zu journeys); reading requests from stdin\n",
+               "patterns, %zu journeys)\n",
                static_cast<unsigned long long>(store.current_version()),
                watch.ElapsedSeconds(), initial->diagram().num_units(),
                initial->patterns().size(), journeys_or.value().size());
+
+  if (args.Has("listen")) {
+    serve::NetServerOptions net_options;
+    net_options.host = listen_addr.first;
+    net_options.port = listen_addr.second;
+    net_options.num_loops =
+        static_cast<size_t>(std::max<int64_t>(1, args.GetInt("loops", 1)));
+    auto server_or = serve::NetServer::Start(&service, net_options);
+    if (!server_or.ok()) {
+      service.Shutdown();
+      return Fail(server_or.status());
+    }
+    std::unique_ptr<serve::NetServer> server = std::move(server_or).value();
+    std::fprintf(stderr,
+                 "serve: listening on %s:%u (framed binary protocol, %zu "
+                 "loops); SIGINT/SIGTERM drains and exits\n",
+                 net_options.host.c_str(),
+                 static_cast<unsigned>(server->port()),
+                 net_options.num_loops);
+    int sig = 0;
+    sigwait(&signal_set, &sig);
+    std::fprintf(stderr, "serve: signal %d, draining\n", sig);
+    server->Shutdown();
+    service.Shutdown();
+    std::fprintf(
+        stderr,
+        "serve: drained (annotate %llu admitted / %llu rejected)\n",
+        static_cast<unsigned long long>(
+            service.admission().Admitted(serve::RequestClass::kAnnotate)),
+        static_cast<unsigned long long>(
+            service.admission().Rejected(serve::RequestClass::kAnnotate)));
+    return 0;
+  }
+  std::fprintf(stderr, "serve: reading requests from stdin\n");
 
   // Responses go out in request order, but slow ones (annotation futures,
   // rebuilds) must not serialize the pipeline — they park in this deque
