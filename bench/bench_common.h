@@ -211,6 +211,12 @@ inline std::vector<SpanAggregate> CollectSpanAggregates() {
 /// per-stage wall-clock times, and the mining outcome.
 struct PipelineBenchRun {
   size_t scale = 0;
+  /// Distinguishes runs that share a numeric scale but measure different
+  /// things (serve_load's closed-loop vs net vs sharded phases, whose
+  /// "scale" is clients / connections / shards respectively). bench_diff
+  /// matches runs by (scale, label), so two phases can no longer shadow
+  /// each other; empty stays off the JSON for the single-phase benches.
+  std::string label;
   size_t pois = 0;
   size_t agents = 0;
   size_t journeys = 0;
@@ -236,8 +242,8 @@ struct PipelineBenchRun {
 ///     "bench": "<name>",
 ///     "threads": <N>,
 ///     "runs": [
-///       {"scale": 8, "pois": ..., "agents": ..., "journeys": ...,
-///        "patterns": ...,
+///       {"scale": 8, "label": "net_closed", "pois": ..., "agents": ...,
+///        "journeys": ..., "patterns": ...,
 ///        "stages": {"csd_build": 1.23, "annotate": 0.45, "mine": 6.78},
 ///        "allocs": {"csd_build": 120034, "annotate": 922, "mine": 51},
 ///        "total_seconds": 8.46},
@@ -254,8 +260,10 @@ struct PipelineBenchRun {
 /// figures (the serving benches) gain a
 ///   "rates": {"annotate_qps": 51234.5, ...}
 /// object of higher-is-better values, which bench_diff gates on decreases
-/// instead of increases. Returns false (with a note on stderr) when the
-/// file cannot be opened.
+/// instead of increases. The "label" string is emitted only for runs that
+/// set one (multi-phase benches); bench_diff keys runs by (scale, label)
+/// and treats a missing label as "". Returns false (with a note on
+/// stderr) when the file cannot be opened.
 inline bool WritePipelineJson(const std::string& path, const char* bench_name,
                               const std::vector<PipelineBenchRun>& runs) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -268,10 +276,14 @@ inline bool WritePipelineJson(const std::string& path, const char* bench_name,
   std::fprintf(f, "  \"runs\": [\n");
   for (size_t r = 0; r < runs.size(); ++r) {
     const PipelineBenchRun& run = runs[r];
+    std::fprintf(f, "    {\"scale\": %zu, ", run.scale);
+    if (!run.label.empty()) {
+      std::fprintf(f, "\"label\": \"%s\", ", run.label.c_str());
+    }
     std::fprintf(f,
-                 "    {\"scale\": %zu, \"pois\": %zu, \"agents\": %zu, "
+                 "\"pois\": %zu, \"agents\": %zu, "
                  "\"journeys\": %zu, \"patterns\": %zu,\n      \"stages\": {",
-                 run.scale, run.pois, run.agents, run.journeys, run.patterns);
+                 run.pois, run.agents, run.journeys, run.patterns);
     for (size_t s = 0; s < run.stages.size(); ++s) {
       std::fprintf(f, "%s\"%s\": %.6f", s == 0 ? "" : ", ",
                    run.stages[s].name.c_str(), run.stages[s].seconds);

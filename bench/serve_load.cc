@@ -5,6 +5,8 @@
 //   serve_load --net [--connections 8] [--inflight 32] net loopback only
 //   serve_load --connect HOST:PORT                     net vs external server
 //   serve_load --emit-requests 1000                    print protocol lines
+//   serve_load --shards 4 [--megacity]                 sharded build + serve
+//   serve_load --help                                  full flag reference
 //
 // Closed loop: `clients` threads each issue `requests` annotation requests
 // back to back (issue, wait, repeat) — the classic latency-under-
@@ -37,6 +39,16 @@
 // annotate/journey/query-unit/stats with one mid-stream rebuild) to stdout
 // and exits; CI pipes them into `csdctl serve` for the end-to-end smoke.
 //
+// --shards K runs the sharded phase instead: the city's CSD snapshot is
+// built once monolithically and once through shard::ShardedCsdBuild over a
+// K-tile plan (byte-identical result), served from a ShardedSnapshotStore
+// with geo-routed annotation, and one single-tile rebuild is timed — the
+// rate shard_build_speedup = monolithic_build / shard_rebuild is the
+// turnaround win of rebuilding one tile instead of the whole city, and
+// annotate_qps_sharded is the geo-routed closed-loop throughput. With
+// --megacity the dataset is synth::MegacityConfig() (64 km × 64 km, 1M
+// POIs) instead of the CSD_BENCH_POIS laptop city.
+//
 // Dataset scale follows the other benches: CSD_BENCH_POIS,
 // CSD_BENCH_AGENTS, CSD_BENCH_DAYS environment variables.
 
@@ -57,6 +69,7 @@
 
 #include "bench/bench_common.h"
 #include "serve/frame.h"
+#include "shard/sharded_build.h"
 #include "serve/net_client.h"
 #include "serve/net_server.h"
 #include "serve/retry.h"
@@ -84,7 +97,37 @@ struct LoadConfig {
   size_t connections = 8;      // client connections
   size_t inflight = 32;        // pipelined frames per connection
   size_t net_requests = 20000; // per connection (net closed loop)
+  // Sharded phase (ShardedSnapshotStore + geo-routed annotation).
+  size_t shards = 0;           // > 0 switches to the sharded phase
+  bool megacity = false;       // use synth::MegacityConfig() for it
 };
+
+constexpr char kUsage[] =
+    "usage: serve_load [flags]\n"
+    "\n"
+    "Load generator for the CSD serving layer. Default run: in-process\n"
+    "closed loop + loopback net phase, results appended to\n"
+    "BENCH_serve.json (override: CSD_BENCH_JSON or --json).\n"
+    "\n"
+    "  --clients N        closed-loop client threads (default 4)\n"
+    "  --requests M       requests per closed-loop client (default 500)\n"
+    "  --qps Q            open loop at Q requests/s instead\n"
+    "  --duration-s S     open-loop run length (default 5)\n"
+    "  --net              loopback net phase only\n"
+    "  --connect HOST:PORT  drive an external csdctl serve --listen\n"
+    "  --connections N    net client connections (default 8)\n"
+    "  --inflight M       pipelined frames per connection (default 32)\n"
+    "  --net-requests R   frames per connection, net closed loop\n"
+    "  --shards K         sharded phase: monolithic vs K-tile sharded\n"
+    "                     snapshot build, geo-routed annotation, one\n"
+    "                     single-tile rebuild (rates: shard_build_speedup,\n"
+    "                     annotate_qps_sharded)\n"
+    "  --megacity         use the 1M-POI megacity preset for --shards\n"
+    "  --emit-requests N  print N protocol lines for csdctl serve; exit\n"
+    "  --json PATH        trajectory output path\n"
+    "  --help             this text\n"
+    "\n"
+    "Dataset scale: CSD_BENCH_POIS, CSD_BENCH_AGENTS, CSD_BENCH_DAYS.\n";
 
 /// Deterministic request stream: stay points uniform over the city, 1–4
 /// stays per request. Seeded per client so threads don't share an Rng.
@@ -180,7 +223,8 @@ void RunRebuildAt(serve::ServeService& service, double at_seconds,
 }
 
 LoadOutcome RunClosedLoop(serve::ServeService& service,
-                          const CityConfig& city, const LoadConfig& config) {
+                          const CityConfig& city, const LoadConfig& config,
+                          bool with_rebuild = true) {
   LoadOutcome outcome;
   std::vector<std::vector<double>> latencies(config.clients);
   std::atomic<uint64_t> failures{0};
@@ -188,9 +232,14 @@ LoadOutcome RunClosedLoop(serve::ServeService& service,
   Stopwatch wall;
   // Rebuild when clients are roughly mid-stream: after a fixed slice of
   // the expected run. The assertion is about overlap, not exact timing.
-  std::thread rebuild_thread([&] {
-    RunRebuildAt(service, 0.05, &failures, &outcome.rebuild_seconds);
-  });
+  // The sharded phase skips it — its rebuild is timed separately and a
+  // megacity full rebuild would dwarf the annotation run.
+  std::thread rebuild_thread;
+  if (with_rebuild) {
+    rebuild_thread = std::thread([&] {
+      RunRebuildAt(service, 0.05, &failures, &outcome.rebuild_seconds);
+    });
+  }
 
   std::vector<std::thread> clients;
   clients.reserve(config.clients);
@@ -229,7 +278,7 @@ LoadOutcome RunClosedLoop(serve::ServeService& service,
     });
   }
   for (std::thread& t : clients) t.join();
-  rebuild_thread.join();
+  if (rebuild_thread.joinable()) rebuild_thread.join();
   outcome.wall_seconds = wall.ElapsedSeconds();
   outcome.failures = failures.load();
   for (const std::vector<double>& per_client : latencies) {
@@ -532,6 +581,148 @@ double Percentile(std::vector<double>& sorted, double p) {
   return sorted[index];
 }
 
+/// The sharded phase (--shards K): monolithic snapshot build vs the tiled
+/// shard::ShardedCsdBuild of the same city, a geo-routed closed-loop
+/// annotation run against a ShardedSnapshotStore, and one single-tile
+/// rebuild. The headline rate, shard_build_speedup =
+/// monolithic_build / shard_rebuild, is the rebuild-turnaround win of
+/// refreshing one tile instead of the whole city — it holds on one core,
+/// where a tile is simply 1/K of the work; across cores the per-tile
+/// pool tasks also overlap.
+void RunShardedPhase(const LoadConfig& config,
+                     std::vector<PipelineBenchRun>* runs,
+                     uint64_t* total_failures) {
+  CityConfig city_config;
+  if (config.megacity) {
+    city_config = MegacityConfig();
+    city_config.num_pois = EnvSize("CSD_BENCH_POIS", city_config.num_pois);
+  } else {
+    city_config.num_pois = EnvSize("CSD_BENCH_POIS", 15000);
+  }
+  TripConfig trip_config;
+  trip_config.num_agents = EnvSize("CSD_BENCH_AGENTS", 2000);
+  trip_config.num_days = static_cast<int>(EnvSize("CSD_BENCH_DAYS", 7));
+
+  std::printf("\n== serve_load (sharded, K=%zu%s) ==\n", config.shards,
+              config.megacity ? ", megacity" : "");
+  Stopwatch setup_watch;
+  SyntheticCity city = GenerateCity(city_config);
+  TripDataset trips = GenerateTrips(city, trip_config);
+  std::shared_ptr<const serve::ServeDataset> dataset =
+      serve::MakeServeDataset(city.pois, trips.journeys);
+  std::printf("setup: %zu POIs, %zu journeys in %.1fs\n", city.pois.size(),
+              trips.journeys.size(), setup_watch.ElapsedSeconds());
+
+  serve::SnapshotOptions snapshot_options;
+  snapshot_options.miner.extraction.support_threshold = 50;
+  snapshot_options.miner.extraction.temporal_constraint =
+      60 * kSecondsPerMinute;
+  snapshot_options.miner.extraction.density_threshold = 0.002;
+
+  Stopwatch mono_watch;
+  auto monolithic =
+      std::make_shared<serve::CsdSnapshot>(dataset, snapshot_options);
+  double monolithic_seconds = mono_watch.ElapsedSeconds();
+  size_t mono_units = monolithic->diagram().num_units();
+  size_t mono_patterns = monolithic->patterns().size();
+  std::printf("monolithic build: %zu units, %zu patterns in %.2fs\n",
+              mono_units, mono_patterns, monolithic_seconds);
+  monolithic.reset();  // the megacity city doesn't fit twice
+
+  shard::ShardPlan plan = shard::PlanForCity(dataset->pois, config.shards,
+                                             snapshot_options.miner.csd);
+  Stopwatch shard_watch;
+  auto sharded =
+      std::make_shared<serve::CsdSnapshot>(dataset, snapshot_options, plan);
+  double sharded_seconds = shard_watch.ElapsedSeconds();
+  size_t num_patterns = sharded->patterns().size();
+  std::printf("sharded build (%zux%zu tiles): %zu units, %zu patterns in "
+              "%.2fs\n",
+              plan.kx(), plan.ky(), sharded->diagram().num_units(),
+              num_patterns, sharded_seconds);
+  if (sharded->diagram().num_units() != mono_units ||
+      num_patterns != mono_patterns) {
+    std::fprintf(stderr,
+                 "FAIL: sharded build diverged from monolithic "
+                 "(%zu/%zu units, %zu/%zu patterns)\n",
+                 sharded->diagram().num_units(), mono_units, num_patterns,
+                 mono_patterns);
+    *total_failures += 1;
+  }
+
+  serve::ShardedSnapshotStore store(config.shards);
+  store.PublishAll(sharded);
+
+  serve::ServeOptions options;
+  options.snapshot = snapshot_options;
+  options.batch.max_batch = 256;
+  serve::ServeService service(&store, plan, options);
+
+  // Single-tile rebuild: the operational unit of freshness in a sharded
+  // deployment. Timed via the rebuild lane's own stopwatch (queue wait
+  // excluded — the lane is idle here).
+  double shard_rebuild_seconds = 0.0;
+  auto rebuild_or = service.TriggerShardRebuild(0);
+  if (!rebuild_or.ok()) {
+    std::fprintf(stderr, "shard rebuild rejected: %s\n",
+                 rebuild_or.status().ToString().c_str());
+    *total_failures += 1;
+  } else {
+    serve::RebuildResult result = std::move(rebuild_or).value().get();
+    if (!result.status.ok()) {
+      std::fprintf(stderr, "shard rebuild failed: %s\n",
+                   result.status.ToString().c_str());
+      *total_failures += 1;
+    } else {
+      shard_rebuild_seconds = result.seconds;
+      std::printf("shard 0 rebuild: v%llu in %.2fs\n",
+                  static_cast<unsigned long long>(result.version),
+                  shard_rebuild_seconds);
+    }
+  }
+
+  LoadOutcome outcome =
+      RunClosedLoop(service, city_config, config, /*with_rebuild=*/false);
+  service.Shutdown();
+
+  std::sort(outcome.latencies.begin(), outcome.latencies.end());
+  double p50 = Percentile(outcome.latencies, 0.50);
+  double p99 = Percentile(outcome.latencies, 0.99);
+  double qps = outcome.wall_seconds > 0.0
+                   ? static_cast<double>(outcome.completed) /
+                         outcome.wall_seconds
+                   : 0.0;
+  double speedup = shard_rebuild_seconds > 0.0
+                       ? monolithic_seconds / shard_rebuild_seconds
+                       : 0.0;
+  std::printf("\nsharded loop: %llu completed, %llu FAILED in %.2fs\n",
+              static_cast<unsigned long long>(outcome.completed),
+              static_cast<unsigned long long>(outcome.failures),
+              outcome.wall_seconds);
+  std::printf("latency: p50 %.3fms  p99 %.3fms\n", p50 * 1e3, p99 * 1e3);
+  std::printf("throughput: %.0f requests/s\n", qps);
+  std::printf("shard-build speedup: %.2fx (monolithic %.2fs / tile "
+              "rebuild %.2fs)\n",
+              speedup, monolithic_seconds, shard_rebuild_seconds);
+  *total_failures += outcome.failures;
+
+  PipelineBenchRun run;
+  run.scale = config.shards;
+  run.label = config.megacity ? "sharded_megacity" : "sharded";
+  run.pois = city.pois.size();
+  run.agents = trip_config.num_agents;
+  run.journeys = trips.journeys.size();
+  run.patterns = num_patterns;
+  run.stages.push_back({"monolithic_build", monolithic_seconds, 0});
+  run.stages.push_back({"sharded_build", sharded_seconds, 0});
+  run.stages.push_back({"shard_rebuild", shard_rebuild_seconds, 0});
+  run.stages.push_back({"sharded_p50", p50, 0});
+  run.stages.push_back({"sharded_p99", p99, 0});
+  run.rates.emplace_back("shard_build_speedup", speedup);
+  run.rates.emplace_back("annotate_qps_sharded", qps);
+  runs->push_back(std::move(run));
+}
+
 int Main(int argc, char** argv) {
   LoadConfig config;
   for (int i = 1; i < argc; ++i) {
@@ -565,14 +756,16 @@ int Main(int argc, char** argv) {
       config.inflight = static_cast<size_t>(std::atoll(v));
     } else if (const char* v = value("--net-requests")) {
       config.net_requests = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value("--shards")) {
+      config.shards = static_cast<size_t>(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--megacity") == 0) {
+      config.megacity = true;
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      std::printf("%s", kUsage);
+      return 0;
     } else {
-      std::fprintf(stderr,
-                   "unknown flag '%s'\nusage: serve_load [--clients N] "
-                   "[--requests M] [--qps Q] [--duration-s S] "
-                   "[--net] [--connect HOST:PORT] [--connections N] "
-                   "[--inflight M] [--net-requests R] "
-                   "[--emit-requests N] [--json path]\n",
-                   argv[i]);
+      std::fprintf(stderr, "unknown flag '%s'\n%s", argv[i], kUsage);
       return 2;
     }
   }
@@ -660,9 +853,13 @@ int Main(int argc, char** argv) {
 
   std::vector<PipelineBenchRun> runs;
   uint64_t total_failures = 0;
-  auto record = [&](const char* label, LoadOutcome outcome, size_t scale,
-                    const char* p50_name, const char* p99_name,
-                    const char* qps_name) {
+  // `json_label` keys the run in the trajectory: phases share the file,
+  // and bench_diff matches (scale, label) so e.g. the net phase at 8
+  // connections can never be compared against a closed-loop run that
+  // happened to use 8 clients.
+  auto record = [&](const char* label, const char* json_label,
+                    LoadOutcome outcome, size_t scale, const char* p50_name,
+                    const char* p99_name, const char* qps_name) {
     std::sort(outcome.latencies.begin(), outcome.latencies.end());
     double p50 = Percentile(outcome.latencies, 0.50);
     double p90 = Percentile(outcome.latencies, 0.90);
@@ -683,6 +880,7 @@ int Main(int argc, char** argv) {
 
     PipelineBenchRun run;
     run.scale = scale;
+    run.label = json_label;
     run.pois = city.pois.size();
     run.agents = trip_config.num_agents;
     run.journeys = trips.journeys.size();
@@ -703,7 +901,8 @@ int Main(int argc, char** argv) {
     LoadOutcome outcome = open_loop
                               ? RunOpenLoop(service, city_config, config)
                               : RunClosedLoop(service, city_config, config);
-    record(open_loop ? "open loop" : "closed loop", std::move(outcome),
+    record(open_loop ? "open loop" : "closed loop",
+           open_loop ? "open" : "closed", std::move(outcome),
            open_loop ? static_cast<size_t>(config.qps) : config.clients,
            "annotate_p50", "annotate_p99", "annotate_qps");
   }
@@ -727,10 +926,14 @@ int Main(int argc, char** argv) {
                                config);
     server->Shutdown();
     record(net_open ? "net open loop" : "net closed loop",
-           std::move(outcome), config.connections, "net_p50", "net_p99",
-           "annotate_qps_net");
+           net_open ? "net_open" : "net_closed", std::move(outcome),
+           config.connections, "net_p50", "net_p99", "annotate_qps_net");
   }
   service.Shutdown();
+
+  if (config.shards > 0) {
+    RunShardedPhase(config, &runs, &total_failures);
+  }
 
   const char* env_path = std::getenv("CSD_BENCH_JSON");
   std::string json_path = !config.json_path.empty() ? config.json_path

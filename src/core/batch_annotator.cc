@@ -27,13 +27,41 @@ BatchCsdAnnotator::BatchCsdAnnotator(const CitySemanticDiagram* diagram,
     : diagram_(diagram), radius_(radius) {
   CSD_CHECK(diagram_ != nullptr);
   CSD_CHECK_MSG(radius_ > 0.0, "annotation radius must be positive");
-  const GridIndex& grid = diagram_->pois().grid();
-  std::span<const uint32_t> ids = grid.payload_ids();
+  grid_ = &diagram_->pois().grid();
+  FillLanes({});
+}
+
+BatchCsdAnnotator::BatchCsdAnnotator(const CitySemanticDiagram* diagram,
+                                     double radius,
+                                     std::span<const PoiId> subset)
+    : diagram_(diagram), radius_(radius) {
+  CSD_CHECK(diagram_ != nullptr);
+  CSD_CHECK_MSG(radius_ > 0.0, "annotation radius must be positive");
+  // Same cell size as the city grid: cell keys are pure functions of
+  // coordinates, so both grids bucket candidates identically and radius
+  // queries enumerate them in the same order.
+  std::vector<Vec2> positions;
+  positions.reserve(subset.size());
+  for (PoiId pid : subset) {
+    positions.push_back(diagram_->pois().poi(pid).position);
+  }
+  subset_grid_ = std::make_unique<GridIndex>(
+      std::move(positions), diagram_->pois().grid().cell_size());
+  grid_ = subset_grid_.get();
+  FillLanes(subset);
+}
+
+void BatchCsdAnnotator::FillLanes(std::span<const PoiId> subset_or_empty) {
+  std::span<const uint32_t> ids = grid_->payload_ids();
   unit_lane_.resize(ids.size());
   pop_lane_.resize(ids.size());
   major_lane_.resize(ids.size());
   for (size_t s = 0; s < ids.size(); ++s) {
-    PoiId pid = ids[s];
+    // Payload indices of a subset grid address the subset vector; map
+    // them back to global POI ids before reading diagram attributes.
+    PoiId pid = subset_or_empty.empty()
+                    ? static_cast<PoiId>(ids[s])
+                    : subset_or_empty[ids[s]];
     unit_lane_[s] = diagram_->UnitOfPoi(pid);
     pop_lane_[s] = diagram_->Popularity(pid);
     major_lane_[s] = diagram_->pois().poi(pid).major();
@@ -50,7 +78,7 @@ SemanticProperty BatchCsdAnnotator::Annotate(const Vec2& position,
   ballots.Reset(diagram_->num_units());
   voted_units.clear();
 
-  const GridIndex& grid = diagram_->pois().grid();
+  const GridIndex& grid = *grid_;
   const double r2 = radius_ * radius_;
   grid.ForEachCandidateRange(position, radius_, [&](size_t off, size_t n) {
     if (d2.size() < n) d2.resize(n);

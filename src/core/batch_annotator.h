@@ -1,6 +1,8 @@
 #ifndef CSD_CORE_BATCH_ANNOTATOR_H_
 #define CSD_CORE_BATCH_ANNOTATOR_H_
 
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "core/city_semantic_diagram.h"
@@ -34,6 +36,16 @@ class BatchCsdAnnotator {
   explicit BatchCsdAnnotator(const CitySemanticDiagram* diagram,
                              double radius = 100.0);
 
+  /// Subset edition for sharded serving: candidates come from a private
+  /// grid over `subset` (global POI ids, ascending) instead of the full
+  /// city grid. Because grid cell keys are absolute functions of
+  /// coordinates and the subset preserves id order, a query whose whole
+  /// R₃σ disk is covered by the subset (any in-tile query of a shard
+  /// whose halo ≥ radius) enumerates the exact candidate sequence the
+  /// city-wide annotator does — same votes, same winner, byte for byte.
+  BatchCsdAnnotator(const CitySemanticDiagram* diagram, double radius,
+                    std::span<const PoiId> subset);
+
   /// Annotates one stay-point position: returns the winning unit's
   /// semantic property (empty when no POI is in range) and stores the
   /// unit in `*winner` (kNoUnit when none).
@@ -42,8 +54,14 @@ class BatchCsdAnnotator {
   double radius() const { return radius_; }
 
  private:
+  void FillLanes(std::span<const PoiId> subset_or_empty);
+
   const CitySemanticDiagram* diagram_;
   double radius_;
+  /// Candidate source: the diagram's city-wide grid, or the private
+  /// subset grid of the shard-serving ctor.
+  std::unique_ptr<GridIndex> subset_grid_;
+  const GridIndex* grid_ = nullptr;
   /// Per-POI attributes replicated in grid payload order: slot s
   /// describes the POI at payload_ids()[s], next to its coordinates in
   /// the grid's cell_xs()/cell_ys() lanes. One cache streak serves the

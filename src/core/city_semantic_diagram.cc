@@ -56,14 +56,20 @@ CsdBuilder::CsdBuilder(CsdBuildOptions options) : options_(options) {
   options_.purification.r3sigma = options_.r3sigma;
 }
 
-CitySemanticDiagram CsdBuilder::Build(
-    const PoiDatabase& pois, const std::vector<StayPoint>& stays) const {
+CitySemanticDiagram CsdBuilder::Build(const PoiDatabase& pois,
+                                      const std::vector<StayPoint>& stays,
+                                      const CsdStageCaches* caches) const {
   CSD_TRACE_SPAN("pipeline/csd_build");
 
   std::optional<PopularityModel> popularity_holder;
   {
     CSD_TRACE_SPAN("csd_build/popularity");
-    popularity_holder.emplace(pois, stays, options_.r3sigma);
+    if (caches != nullptr) {
+      CSD_CHECK(caches->popularity.size() == pois.size());
+      popularity_holder.emplace(caches->popularity, options_.r3sigma);
+    } else {
+      popularity_holder.emplace(pois, stays, options_.r3sigma);
+    }
   }
   PopularityModel& popularity = *popularity_holder;
 
@@ -71,7 +77,13 @@ CitySemanticDiagram CsdBuilder::Build(
   PopularityClusteringResult coarse;
   {
     CSD_TRACE_SPAN("csd_build/popularity_clustering");
-    coarse = PopularityBasedClustering(pois, popularity, options_.clustering);
+    coarse = caches != nullptr
+                 ? PopularityBasedClustering(pois, popularity,
+                                             options_.clustering,
+                                             caches->eps_offsets,
+                                             caches->eps_flat)
+                 : PopularityBasedClustering(pois, popularity,
+                                             options_.clustering);
   }
 
   // Step 2: semantic purification (Algorithm 2).
@@ -88,10 +100,16 @@ CitySemanticDiagram CsdBuilder::Build(
   std::vector<std::vector<PoiId>> merged;
   {
     CSD_TRACE_SPAN("csd_build/unit_merging");
-    merged = options_.enable_merging
-                 ? SemanticUnitMerging(purified, coarse.unclustered, pois,
-                                       popularity, options_.merging)
-                 : std::move(purified);
+    if (!options_.enable_merging) {
+      merged = std::move(purified);
+    } else if (caches != nullptr) {
+      merged = SemanticUnitMerging(purified, coarse.unclustered, pois,
+                                   popularity, options_.merging,
+                                   caches->merge_offsets, caches->merge_flat);
+    } else {
+      merged = SemanticUnitMerging(purified, coarse.unclustered, pois,
+                                   popularity, options_.merging);
+    }
   }
 
   std::vector<SemanticUnit> units;

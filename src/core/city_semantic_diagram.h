@@ -69,6 +69,26 @@ class CitySemanticDiagram {
   std::vector<double> popularity_;
 };
 
+/// Precomputed inputs of the expensive, spatially local construction
+/// stages, in CSR layout. A sharded build (shard/sharded_build.h) fills
+/// one of these per-tile in parallel — every entry a pure function of the
+/// tile plus its halo — and then replays the unchanged serial stage code
+/// against it, producing a diagram byte-identical to a monolithic build.
+struct CsdStageCaches {
+  /// pop(p^I) of Equation (3), per POI.
+  std::vector<double> popularity;
+
+  /// ε_p-neighborhood of each POI (everything ForEachInRange yields at
+  /// clustering.eps, in enumeration order, including the POI itself).
+  std::vector<uint32_t> eps_offsets;
+  std::vector<PoiId> eps_flat;
+
+  /// Proximity lists for unit merging: every `other > pid` within
+  /// merging.neighbor_distance, in enumeration order.
+  std::vector<uint32_t> merge_offsets;
+  std::vector<PoiId> merge_flat;
+};
+
 /// Orchestrates the three construction steps of Section 4.1:
 /// popularity-based clustering → semantic purification → unit merging.
 class CsdBuilder {
@@ -77,8 +97,12 @@ class CsdBuilder {
 
   /// Builds the CSD of `pois` using `stays` (all pick-up/drop-off points)
   /// as the popularity evidence. `pois` must outlive the returned diagram.
+  /// When `caches` is non-null the popularity values and neighbor lists
+  /// are taken from it instead of being recomputed (`stays` is then
+  /// unused); the output is byte-identical either way.
   CitySemanticDiagram Build(const PoiDatabase& pois,
-                            const std::vector<StayPoint>& stays) const;
+                            const std::vector<StayPoint>& stays,
+                            const CsdStageCaches* caches = nullptr) const;
 
   const CsdBuildOptions& options() const { return options_; }
 

@@ -39,7 +39,10 @@ std::vector<CoarsePattern> MineCoarsePatterns(
   ps.min_length = options.min_pattern_length;
   ps.max_length = options.max_pattern_length;
   ps.closed_only = options.closed_patterns;
-  std::vector<SequentialPattern> frequent = PrefixSpan(sequences, ps);
+  std::vector<SequentialPattern> frequent =
+      options.seq_shard_lanes > 0
+          ? PrefixSpanSharded(sequences, ps, options.seq_shard_lanes)
+          : PrefixSpan(sequences, ps);
 
   std::vector<CoarsePattern> coarse;
   coarse.reserve(frequent.size());

@@ -32,6 +32,13 @@ struct ExtractionOptions {
 
   /// OPTICS neighborhood cap for the per-position clustering.
   double optics_max_eps = 500.0;
+
+  /// When > 0, mine the coarse PrefixSpan patterns in this many sharded
+  /// lanes (PrefixSpanSharded): top-level subtrees split into contiguous
+  /// lane groups that run concurrently and merge deterministically.
+  /// Output is byte-identical to the default miner for any value; a
+  /// sharded CSD build sets this to its shard count.
+  size_t seq_shard_lanes = 0;
 };
 
 /// A coarse semantic pattern: one PrefixSpan pattern together with the

@@ -16,6 +16,11 @@ double GaussianCoefficient(double distance_m, double r3sigma_m) {
   return norm * std::exp(-(distance_m * distance_m) / (2.0 * sigma * sigma));
 }
 
+PopularityModel::PopularityModel(std::vector<double> values, double r3sigma_m)
+    : r3sigma_(r3sigma_m), popularity_(std::move(values)) {
+  CSD_CHECK_MSG(r3sigma_ > 0.0, "R3sigma must be positive");
+}
+
 PopularityModel::PopularityModel(const PoiDatabase& pois,
                                  const std::vector<StayPoint>& stays,
                                  double r3sigma_m)

@@ -24,6 +24,11 @@ class PopularityModel {
   PopularityModel(const PoiDatabase& pois, const std::vector<StayPoint>& stays,
                   double r3sigma_m = 100.0);
 
+  /// Adopts precomputed per-POI popularity values (e.g. from a sharded
+  /// tile build — see shard/sharded_build.h). The values must have been
+  /// produced by the same Equation (3) accumulation this class performs.
+  PopularityModel(std::vector<double> values, double r3sigma_m);
+
   double popularity(PoiId id) const { return popularity_[id]; }
   const std::vector<double>& popularities() const { return popularity_; }
   double r3sigma() const { return r3sigma_; }

@@ -26,7 +26,8 @@ bool PopularityCompatible(double pop_a, double pop_b, double alpha) {
 
 PopularityClusteringResult PopularityBasedClustering(
     const PoiDatabase& pois, const PopularityModel& popularity,
-    const PopularityClusteringOptions& options) {
+    const PopularityClusteringOptions& options,
+    std::span<const uint32_t> eps_offsets, std::span<const PoiId> eps_flat) {
   CSD_CHECK_MSG(options.eps > 0.0, "eps must be positive");
   CSD_CHECK_MSG(options.alpha > 0.0 && options.alpha <= 1.0,
                 "alpha must be in (0, 1]");
@@ -44,10 +45,19 @@ PopularityClusteringResult PopularityBasedClustering(
   // cache is CSR instead of n individually grown vectors: with workers, a
   // count pass sizes one flat array and a fill pass writes each POI's
   // disjoint range; on a serial pool one appending pass builds the
-  // identical block without running every query twice.
-  std::vector<uint32_t> nb_offsets(n + 1, 0);
+  // identical block without running every query twice. A caller may also
+  // inject the cache wholesale (sharded tile builds).
+  std::vector<uint32_t> nb_offsets;
   std::vector<PoiId> nb_flat;
-  if (DefaultParallelism() > 1) {
+  const uint32_t* offsets_ptr = nullptr;
+  const PoiId* flat_ptr = nullptr;
+  if (!eps_offsets.empty()) {
+    CSD_CHECK_MSG(eps_offsets.size() == n + 1,
+                  "injected eps cache has wrong offset count");
+    offsets_ptr = eps_offsets.data();
+    flat_ptr = eps_flat.data();
+  } else if (DefaultParallelism() > 1) {
+    nb_offsets.assign(n + 1, 0);
     ParallelFor(
         n,
         [&](size_t pid) {
@@ -71,6 +81,7 @@ PopularityClusteringResult PopularityBasedClustering(
         },
         {.grain = 64});
   } else {
+    nb_offsets.assign(n + 1, 0);
     for (size_t pid = 0; pid < n; ++pid) {
       pois.ForEachInRange(pois.poi(static_cast<PoiId>(pid)).position,
                           options.eps,
@@ -78,9 +89,13 @@ PopularityClusteringResult PopularityBasedClustering(
       nb_offsets[pid + 1] = static_cast<uint32_t>(nb_flat.size());
     }
   }
+  if (offsets_ptr == nullptr) {
+    offsets_ptr = nb_offsets.data();
+    flat_ptr = nb_flat.data();
+  }
   auto eps_neighbors = [&](PoiId pid) {
-    return std::span<const PoiId>(nb_flat.data() + nb_offsets[pid],
-                                  nb_flat.data() + nb_offsets[pid + 1]);
+    return std::span<const PoiId>(flat_ptr + offsets_ptr[pid],
+                                  flat_ptr + offsets_ptr[pid + 1]);
   };
 
   // Candidate entry: the POI plus the member whose range search found it

@@ -1,6 +1,8 @@
 #ifndef CSD_CORE_POPULARITY_CLUSTERING_H_
 #define CSD_CORE_POPULARITY_CLUSTERING_H_
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/popularity.h"
@@ -41,9 +43,19 @@ struct PopularityClusteringResult {
 /// Algorithm 1 — Popularity Based Clustering: a DBSCAN-like expansion that
 /// groups nearby POIs with mutually similar popularity and either the same
 /// semantic category or near-identical location (skyscraper case).
+///
+/// `eps_offsets`/`eps_flat` optionally inject a precomputed ε-neighbor
+/// cache in CSR layout (offsets has pois.size() + 1 entries; each POI's
+/// list is everything `pois.ForEachInRange(position, eps)` yields, in
+/// enumeration order, including the POI itself). When empty the cache is
+/// built internally. A sharded build (shard/sharded_build.h) computes the
+/// cache per tile and injects it; the serial greedy expansion then replays
+/// the exact sequence a monolithic build would.
 PopularityClusteringResult PopularityBasedClustering(
     const PoiDatabase& pois, const PopularityModel& popularity,
-    const PopularityClusteringOptions& options);
+    const PopularityClusteringOptions& options,
+    std::span<const uint32_t> eps_offsets = {},
+    std::span<const PoiId> eps_flat = {});
 
 }  // namespace csd
 

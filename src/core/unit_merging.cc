@@ -46,7 +46,8 @@ class UnionFind {
 std::vector<std::vector<PoiId>> SemanticUnitMerging(
     const std::vector<std::vector<PoiId>>& purified_units,
     const std::vector<PoiId>& unclustered, const PoiDatabase& pois,
-    const PopularityModel& popularity, const MergingOptions& options) {
+    const PopularityModel& popularity, const MergingOptions& options,
+    std::span<const uint32_t> nb_offsets, std::span<const PoiId> nb_flat) {
   // Node universe: purified units first, then leftover singletons. Stored
   // as CSR (flat member array + offsets) — the per-node member lists are
   // read-only from here on.
@@ -93,22 +94,40 @@ std::vector<std::vector<PoiId>> SemanticUnitMerging(
   // below sees the same edge sequence a serial scan would, which keeps
   // the unordered_set iteration order — and therefore the merge order —
   // independent of the thread count.
+  auto emit_edge = [&](size_t node_a, PoiId other, auto&& fn) {
+    size_t node_b = poi_to_node[other];
+    if (node_b == SIZE_MAX || node_b == node_a) return;
+    uint64_t lo = std::min(node_a, node_b);
+    uint64_t hi = std::max(node_a, node_b);
+    fn((lo << 32) | hi);
+  };
   auto for_each_edge = [&](size_t pid_idx, auto&& fn) {
     PoiId pid = static_cast<PoiId>(pid_idx);
     size_t node_a = poi_to_node[pid];
     if (node_a == SIZE_MAX) return;
+    if (!nb_offsets.empty()) {
+      for (uint32_t i = nb_offsets[pid_idx]; i < nb_offsets[pid_idx + 1];
+           ++i) {
+        emit_edge(node_a, nb_flat[i], fn);
+      }
+      return;
+    }
     pois.ForEachInRange(pois.poi(pid).position, options.neighbor_distance,
                         [&](PoiId other) {
                           if (other <= pid) return;
-                          size_t node_b = poi_to_node[other];
-                          if (node_b == SIZE_MAX || node_b == node_a) return;
-                          uint64_t lo = std::min(node_a, node_b);
-                          uint64_t hi = std::max(node_a, node_b);
-                          fn((lo << 32) | hi);
+                          emit_edge(node_a, other, fn);
                         });
   };
   std::vector<uint64_t> edges;
-  if (DefaultParallelism() > 1) {
+  if (!nb_offsets.empty()) {
+    CSD_CHECK_MSG(nb_offsets.size() == pois.size() + 1,
+                  "injected proximity cache has wrong offset count");
+    // Replaying cached lists is pure memory traffic; one appending pass
+    // over the same per-POI edge order the live-query paths produce.
+    for (size_t pid_idx = 0; pid_idx < pois.size(); ++pid_idx) {
+      for_each_edge(pid_idx, [&](uint64_t key) { edges.push_back(key); });
+    }
+  } else if (DefaultParallelism() > 1) {
     std::vector<uint32_t> edge_offsets(pois.size() + 1, 0);
     ParallelFor(
         pois.size(),

@@ -1,6 +1,8 @@
 #ifndef CSD_CORE_UNIT_MERGING_H_
 #define CSD_CORE_UNIT_MERGING_H_
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/semantic_unit.h"
@@ -34,10 +36,19 @@ struct MergingOptions {
 /// the threshold, then distributions are recomputed, until a fixpoint.
 ///
 /// Returns the final units as POI-id sets, ready to become the CSD.
+///
+/// `nb_offsets`/`nb_flat` optionally inject a precomputed proximity cache
+/// in CSR layout (offsets has pois.size() + 1 entries; each POI's list is
+/// every `other` that `pois.ForEachInRange(position, neighbor_distance)`
+/// yields with `other > pid`, in enumeration order). When empty the range
+/// queries run internally. Sharded builds compute the cache per tile and
+/// inject it (shard/sharded_build.h).
 std::vector<std::vector<PoiId>> SemanticUnitMerging(
     const std::vector<std::vector<PoiId>>& purified_units,
     const std::vector<PoiId>& unclustered, const PoiDatabase& pois,
-    const PopularityModel& popularity, const MergingOptions& options);
+    const PopularityModel& popularity, const MergingOptions& options,
+    std::span<const uint32_t> nb_offsets = {},
+    std::span<const PoiId> nb_flat = {});
 
 }  // namespace csd
 

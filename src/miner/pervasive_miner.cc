@@ -40,8 +40,27 @@ PervasiveMiner::PervasiveMiner(const PoiDatabase* pois,
       config_(config),
       diagram_(CsdBuilder(config_.csd).Build(*pois, stays)),
       csd_recognizer_(&diagram_, config_.csd.r3sigma),
-      roi_recognizer_(pois, stays, config_.roi) {
+      roi_recognizer_(pois,
+                      config_.build_roi_baseline ? stays
+                                                 : std::vector<StayPoint>{},
+                      config_.roi) {
   CSD_CHECK(pois_ != nullptr);
+}
+
+PervasiveMiner::PervasiveMiner(const PoiDatabase* pois,
+                               std::vector<StayPoint> stays,
+                               MinerConfig config, CitySemanticDiagram diagram)
+    : pois_(pois),
+      config_(config),
+      diagram_(std::move(diagram)),
+      csd_recognizer_(&diagram_, config_.csd.r3sigma),
+      roi_recognizer_(pois,
+                      config_.build_roi_baseline ? stays
+                                                 : std::vector<StayPoint>{},
+                      config_.roi) {
+  CSD_CHECK(pois_ != nullptr);
+  CSD_CHECK_MSG(&diagram_.pois() == pois_,
+                "adopted diagram was built over a different POI database");
 }
 
 SemanticTrajectoryDb PervasiveMiner::AnnotateFor(

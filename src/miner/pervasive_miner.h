@@ -47,6 +47,12 @@ struct MinerConfig {
   ExtractionOptions extraction;
   SplitterOptions splitter;
   SdbscanOptions sdbscan;
+
+  /// Build the ROI baseline recognizer (a DBSCAN over all historical
+  /// stay points). The evaluation pipelines need it; the serving layer
+  /// only ever annotates through the CSD recognizer and turns it off,
+  /// leaving roi_recognizer() a region-less fallback recognizer.
+  bool build_roi_baseline = true;
 };
 
 /// Result of one pipeline run.
@@ -67,6 +73,14 @@ class PervasiveMiner {
   /// the miner.
   PervasiveMiner(const PoiDatabase* pois, std::vector<StayPoint> stays,
                  MinerConfig config = {});
+
+  /// Adopts a prebuilt diagram (e.g. shard::ShardedCsdBuild) instead of
+  /// running the monolithic CsdBuilder. Everything downstream (the
+  /// recognizers, pattern mining) behaves exactly as if the diagram had
+  /// been built in-place — sharded and monolithic builds of the same city
+  /// produce byte-identical diagrams, so the pattern sets match too.
+  PervasiveMiner(const PoiDatabase* pois, std::vector<StayPoint> stays,
+                 MinerConfig config, CitySemanticDiagram diagram);
 
   /// Runs one pipeline over `db`. Stay-point semantics are (re)annotated
   /// with the pipeline's recognizer; metrics use the CSD reference.

@@ -271,6 +271,52 @@ std::vector<SequentialPattern> MinePseudoProjection(
   return results;
 }
 
+/// Lane-grouped variant of MinePseudoProjection: the subtree list is cut
+/// into `lanes` contiguous groups, each group mined serially by one miner
+/// (results accumulate across MineSubtree calls in subtree order), groups
+/// running concurrently. Concatenating group results in group order is
+/// the same item-order concatenation as above, so the output stays
+/// byte-identical to the serial DFS for every lane count.
+std::vector<SequentialPattern> MinePseudoProjectionLanes(
+    const DenseDb& dense, const PrefixSpanOptions& options, size_t lanes) {
+  CSD_TRACE_SPAN("seqmine/mine_sharded");
+  std::vector<Projection> all;
+  all.reserve(dense.num_sequences());
+  for (size_t i = 0; i < dense.num_sequences(); ++i) {
+    if (dense.offsets[i] != dense.offsets[i + 1]) {
+      all.push_back({static_cast<uint32_t>(i), dense.offsets[i]});
+    }
+  }
+
+  PseudoProjectionMiner root(dense, options);
+  std::span<PseudoProjectionMiner::Child> subtrees =
+      root.CollectChildren(all);
+  size_t num_groups = std::min(lanes, subtrees.size());
+  if (num_groups == 0) return {};
+
+  std::vector<std::vector<SequentialPattern>> per_group(num_groups);
+  ParallelFor(
+      num_groups,
+      [&](size_t g) {
+        size_t begin = subtrees.size() * g / num_groups;
+        size_t end = subtrees.size() * (g + 1) / num_groups;
+        PseudoProjectionMiner lane(dense, options);
+        for (size_t i = begin; i < end; ++i) {
+          lane.MineSubtree(subtrees[i].item,
+                           {subtrees[i].list, subtrees[i].count});
+        }
+        per_group[g] = lane.TakeResults();
+      },
+      {.grain = 1});
+
+  std::vector<SequentialPattern> results;
+  for (std::vector<SequentialPattern>& part : per_group) {
+    results.insert(results.end(), std::make_move_iterator(part.begin()),
+                   std::make_move_iterator(part.end()));
+  }
+  return results;
+}
+
 // ---------------------------------------------------------------------------
 // Reference miner (test oracle)
 // ---------------------------------------------------------------------------
@@ -413,6 +459,24 @@ std::vector<SequentialPattern> PrefixSpan(const FlatSequenceDb& db,
           "Sequential patterns emitted by PrefixSpan");
   std::vector<SequentialPattern> patterns =
       MinePseudoProjection(Flatten(db), options);
+  if (options.closed_only) patterns = FilterClosed(std::move(patterns));
+  patterns_counter.Increment(patterns.size());
+  return patterns;
+}
+
+std::vector<SequentialPattern> PrefixSpanSharded(
+    const FlatSequenceDb& db, const PrefixSpanOptions& options,
+    size_t lanes) {
+  if (lanes == 0) return PrefixSpan(db, options);
+  CheckOptions(options);
+  CSD_CHECK_MSG(db.size() < (size_t{1} << 32),
+                "PrefixSpan holds sequence ids in 32 bits");
+  static obs::Counter& patterns_counter =
+      obs::MetricsRegistry::Get().GetCounter(
+          "csd_prefixspan_patterns_total",
+          "Sequential patterns emitted by PrefixSpan");
+  std::vector<SequentialPattern> patterns =
+      MinePseudoProjectionLanes(Flatten(db), options, lanes);
   if (options.closed_only) patterns = FilterClosed(std::move(patterns));
   patterns_counter.Increment(patterns.size());
   return patterns;

@@ -73,6 +73,18 @@ std::vector<SequentialPattern> PrefixSpan(const std::vector<Sequence>& db,
 std::vector<SequentialPattern> PrefixSpan(const FlatSequenceDb& db,
                                           const PrefixSpanOptions& options);
 
+/// Sharded mining: the top-level first-item subtrees (already the unit of
+/// parallelism above) are partitioned into `lanes` contiguous groups; one
+/// miner per group mines its subtrees back to back while groups run
+/// concurrently on the pool, and group results concatenate in item order.
+/// This is the cross-shard merge of a sharded pattern-mining pass — each
+/// lane is an independent shard of the item alphabet — and the output is
+/// byte-identical to PrefixSpan for every lane count. `lanes == 0` falls
+/// back to the per-subtree scheduling of PrefixSpan. The closed-pattern
+/// filter (options.closed_only) remains a global post-pass.
+std::vector<SequentialPattern> PrefixSpanSharded(
+    const FlatSequenceDb& db, const PrefixSpanOptions& options, size_t lanes);
+
 /// Reference implementation: the straightforward serial DFS with per-node
 /// std::map extension collection. Exists solely as the equivalence oracle
 /// for tests (byte-identical output contract) and is O(alloc)-heavy by

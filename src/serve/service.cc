@@ -93,13 +93,42 @@ void FailRequest(AnnotateRequest& request, Status status) {
 
 ServeService::ServeService(SnapshotStore* store, ServeOptions options)
     : store_(store), options_(options), admission_(options.limits) {
-  rebuild_thread_ = std::thread([this] { RebuildMain(); });
+  StartRebuildLanes(1);
   batcher_ = std::make_unique<RequestBatcher>(
       options_.batch,
       [this](std::vector<AnnotateRequest> batch) {
         ExecuteBatch(std::move(batch));
       },
       options_.start_paused);
+}
+
+ServeService::ServeService(ShardedSnapshotStore* store, shard::ShardPlan plan,
+                           ServeOptions options)
+    : store_(&store->global()),
+      sharded_store_(store),
+      plan_(std::make_unique<shard::ShardPlan>(std::move(plan))),
+      options_(options),
+      admission_(options.limits) {
+  // One global lane + one rebuild lane per shard: a tile rebuild on lane
+  // 1+s can run while another shard's lane (and the batch pool) keep
+  // serving.
+  StartRebuildLanes(1 + plan_->num_shards());
+  batcher_ = std::make_unique<RequestBatcher>(
+      options_.batch,
+      [this](std::vector<AnnotateRequest> batch) {
+        ExecuteBatch(std::move(batch));
+      },
+      options_.start_paused);
+}
+
+void ServeService::StartRebuildLanes(size_t count) {
+  rebuild_lanes_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    auto lane = std::make_unique<RebuildLane>();
+    RebuildLane* raw = lane.get();
+    lane->thread = std::thread([this, raw] { RebuildMain(raw); });
+    rebuild_lanes_.push_back(std::move(lane));
+  }
 }
 
 ServeService::~ServeService() { Shutdown(); }
@@ -196,46 +225,60 @@ Result<PatternQueryResult> ServeService::QueryPatternsByUnit(UnitId unit) {
   return result;
 }
 
-Result<std::future<RebuildResult>> ServeService::TriggerRebuild(
-    std::shared_ptr<const ServeDataset> data) {
-  if (data == nullptr && store_->current_version() == 0) {
+Result<std::future<RebuildResult>> ServeService::EnqueueRebuild(
+    RebuildJob job) {
+  if (job.data == nullptr && store_->current_version() == 0) {
     return Status::FailedPrecondition(
         "nothing to rebuild: no dataset given and no snapshot published");
   }
   AdmissionTicket ticket(&admission_, RequestClass::kRebuild);
   if (!ticket.ok()) return ticket.status();
+  job.ticket = std::move(ticket);
 
+  std::future<RebuildResult> future;
+  if (!job.on_complete) future = job.promise.get_future();
+  RebuildLane& lane = *rebuild_lanes_[job.shard == kGlobalLane
+                                          ? 0
+                                          : 1 + static_cast<size_t>(job.shard)];
+  {
+    std::lock_guard<std::mutex> lock(lane.mutex);
+    lane.queue.push_back(std::move(job));
+  }
+  lane.cv.notify_all();
+  return future;
+}
+
+Result<std::future<RebuildResult>> ServeService::TriggerRebuild(
+    std::shared_ptr<const ServeDataset> data) {
   RebuildJob job;
   job.data = std::move(data);
-  job.ticket = std::move(ticket);
-  std::future<RebuildResult> future = job.promise.get_future();
-  {
-    std::lock_guard<std::mutex> lock(rebuild_mutex_);
-    rebuild_queue_.push_back(std::move(job));
+  return EnqueueRebuild(std::move(job));
+}
+
+Result<std::future<RebuildResult>> ServeService::TriggerShardRebuild(
+    size_t shard, std::shared_ptr<const ServeDataset> data) {
+  if (sharded_store_ == nullptr) {
+    return Status::FailedPrecondition(
+        "shard rebuilds need a service over a ShardedSnapshotStore");
   }
-  rebuild_cv_.notify_all();
-  return future;
+  if (shard >= plan_->num_shards()) {
+    return Status::InvalidArgument("shard index out of range");
+  }
+  RebuildJob job;
+  job.shard = static_cast<int64_t>(shard);
+  job.data = std::move(data);
+  return EnqueueRebuild(std::move(job));
 }
 
 Status ServeService::TriggerRebuildAsync(
     std::function<void(RebuildResult)> on_complete,
     std::shared_ptr<const ServeDataset> data) {
-  if (data == nullptr && store_->current_version() == 0) {
-    return Status::FailedPrecondition(
-        "nothing to rebuild: no dataset given and no snapshot published");
-  }
-  AdmissionTicket ticket(&admission_, RequestClass::kRebuild);
-  if (!ticket.ok()) return ticket.status();
-
   RebuildJob job;
   job.data = std::move(data);
-  job.ticket = std::move(ticket);
   job.on_complete = std::move(on_complete);
-  {
-    std::lock_guard<std::mutex> lock(rebuild_mutex_);
-    rebuild_queue_.push_back(std::move(job));
-  }
-  rebuild_cv_.notify_all();
+  CSD_ASSIGN_OR_RETURN(std::future<RebuildResult> unused,
+                       EnqueueRebuild(std::move(job)));
+  (void)unused;
   return Status::OK();
 }
 
@@ -246,12 +289,16 @@ void ServeService::Shutdown() {
 
   admission_.Close();       // new requests bounce with kUnavailable...
   batcher_->Drain();        // ...while everything admitted completes.
-  {
-    std::lock_guard<std::mutex> lock(rebuild_mutex_);
-    rebuild_stop_ = true;
+  for (std::unique_ptr<RebuildLane>& lane : rebuild_lanes_) {
+    {
+      std::lock_guard<std::mutex> lock(lane->mutex);
+      lane->stop = true;
+    }
+    lane->cv.notify_all();
   }
-  rebuild_cv_.notify_all();
-  if (rebuild_thread_.joinable()) rebuild_thread_.join();
+  for (std::unique_ptr<RebuildLane>& lane : rebuild_lanes_) {
+    if (lane->thread.joinable()) lane->thread.join();
+  }
 }
 
 void ServeService::SetPausedForTest(bool paused) {
@@ -290,6 +337,11 @@ void ServeService::ExecuteBatch(std::vector<AnnotateRequest> batch) {
     }
     batch = std::move(live);
     if (batch.empty()) return;
+  }
+
+  if (sharded_store_ != nullptr) {
+    ExecuteBatchSharded(std::move(batch));
+    return;
   }
 
   // One snapshot acquisition amortized over the whole batch; every request
@@ -352,57 +404,176 @@ void ServeService::ExecuteBatch(std::vector<AnnotateRequest> batch) {
   BatchesCounter().Increment();
 }
 
-void ServeService::RebuildMain() {
-  std::unique_lock<std::mutex> lock(rebuild_mutex_);
-  for (;;) {
-    rebuild_cv_.wait(lock, [this] {
-      return rebuild_stop_ || !rebuild_queue_.empty();
-    });
-    if (rebuild_queue_.empty()) return;  // stopped and drained
+void ServeService::ExecuteBatchSharded(std::vector<AnnotateRequest> batch) {
+  CSD_TRACE_SPAN("serve/annotate_batch_sharded");
+  const size_t num_shards = plan_->num_shards();
 
-    RebuildJob job = std::move(rebuild_queue_.front());
-    rebuild_queue_.pop_front();
-    lock.unlock();
-
-    {
-      CSD_TRACE_SPAN("serve/rebuild");
-      Stopwatch watch;
-      RebuildResult result;
-      Status status = CSD_FAILPOINT_EVAL("serve/rebuild");
-      if (status.ok()) {
-        try {
-          // TriggerRebuild guarantees a published snapshot exists when no
-          // dataset was given, and publishes never retract.
-          std::shared_ptr<const ServeDataset> data =
-              job.data != nullptr ? std::move(job.data)
-                                  : store_->Acquire()->shared_data();
-          auto snapshot = std::make_shared<CsdSnapshot>(std::move(data),
-                                                        options_.snapshot);
-          result.version = store_->Publish(snapshot);
-          result.num_units = snapshot->diagram().units().size();
-          result.num_patterns = snapshot->patterns().size();
-          RebuildsCounter().Increment();
-        } catch (const std::exception& e) {
-          status = Status::Internal(std::string("rebuild failed: ") + e.what());
-        }
-      }
-      if (!status.ok()) {
-        // Graceful degradation: nothing was published, so the last good
-        // snapshot keeps serving; the error reaches the caller through
-        // the rebuild future instead of taking the service down.
-        RebuildFailuresCounter().Increment();
-        result.status = std::move(status);
-      }
-      result.seconds = watch.ElapsedSeconds();
-      job.ticket.Release();
-      if (job.on_complete) {
-        job.on_complete(std::move(result));
-      } else {
-        job.promise.set_value(std::move(result));
-      }
+  // Each lane's generation is acquired at most once per batch, lazily:
+  // a batch that never touches shard s doesn't pin (or wait on) it.
+  std::vector<std::shared_ptr<const CsdSnapshot>> lane_snaps(num_shards);
+  auto lane_snapshot = [&](size_t s) -> const CsdSnapshot* {
+    if (lane_snaps[s] == nullptr) {
+      lane_snaps[s] = sharded_store_->AcquireShard(s);
+      // Lanes are seeded by the bootstrap PublishAll (admission requires
+      // it), but a still-empty lane degrades to the global generation.
+      if (lane_snaps[s] == nullptr) lane_snaps[s] = store_->Acquire();
     }
+    return lane_snaps[s].get();
+  };
 
+  std::vector<AnnotateResult> results(batch.size());
+  size_t total_stays = 0;
+  for (const AnnotateRequest& request : batch) {
+    total_stays += request.stays.size();
+  }
+
+  // Geo-routing: every stay is owned by exactly one tile
+  // (plan_->ShardOf), and a request whose stays straddle tiles simply
+  // fans out — each stay votes against its owning lane's snapshot, and
+  // all slots write fixed output positions, so results come back in
+  // request order no matter how the batch was split. Slots sort by
+  // (shard, cell key): shard-major keeps each lane's annotator (and its
+  // halo slice of the grid) hot, cell order keeps neighbors adjacent.
+  struct Slot {
+    uint32_t request;
+    uint32_t index;
+    uint32_t shard;
+    uint64_t cell_key;
+  };
+  constexpr uint64_t kNoVersion = ~0ull;
+  std::vector<Slot> slots;
+  slots.reserve(total_stays);
+  for (size_t r = 0; r < batch.size(); ++r) {
+    results[r].snapshot_version = kNoVersion;
+    results[r].stays = std::move(batch[r].stays);
+    results[r].units.assign(results[r].stays.size(), kNoUnit);
+    for (size_t i = 0; i < results[r].stays.size(); ++i) {
+      const Vec2& position = results[r].stays[i].position;
+      size_t shard = plan_->ShardOf(position);
+      const CsdSnapshot* lane = lane_snapshot(shard);
+      // The request's version is the oldest generation it consulted —
+      // the freshness floor a straddling request can rely on.
+      results[r].snapshot_version =
+          std::min(results[r].snapshot_version, lane->version());
+      slots.push_back({static_cast<uint32_t>(r), static_cast<uint32_t>(i),
+                       static_cast<uint32_t>(shard),
+                       lane->data().pois.SpatialKeyOf(position)});
+    }
+  }
+  std::sort(slots.begin(), slots.end(), [](const Slot& a, const Slot& b) {
+    return a.shard != b.shard ? a.shard < b.shard : a.cell_key < b.cell_key;
+  });
+
+  // Resolve each consulted lane's annotator once: the tile's subset
+  // annotator when the lane serves a plan-mode (full-city) snapshot,
+  // the snapshot's own city/tile-wide annotator otherwise (a tile-local
+  // rebuild's annotator already covers exactly that shard's halo).
+  std::vector<const BatchCsdAnnotator*> annotators(num_shards, nullptr);
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (lane_snaps[s] == nullptr) continue;
+    annotators[s] = lane_snaps[s]->plan() != nullptr
+                        ? &lane_snaps[s]->annotator_for_shard(s)
+                        : &lane_snaps[s]->annotator();
+  }
+
+  ParallelFor(
+      slots.size(),
+      [&](size_t k) {
+        const Slot& slot = slots[k];
+        StayPoint& stay = results[slot.request].stays[slot.index];
+        UnitId unit = kNoUnit;
+        stay.semantic = annotators[slot.shard]->Annotate(stay.position, &unit);
+        results[slot.request].units[slot.index] = unit;
+      },
+      {.grain = 32});
+
+  auto now = std::chrono::steady_clock::now();
+  uint64_t global_version = store_->current_version();
+  for (size_t r = 0; r < batch.size(); ++r) {
+    // A stay-less request consulted no lane; report the global version.
+    if (results[r].snapshot_version == kNoVersion) {
+      results[r].snapshot_version = global_version;
+    }
+    AnnotateLatencyHistogram().Observe(
+        std::chrono::duration<double>(now - batch[r].enqueue_time).count());
+    CompleteRequest(batch[r], std::move(results[r]));
+  }
+  BatchSizeHistogram().Observe(static_cast<double>(batch.size()));
+  BatchesCounter().Increment();
+}
+
+void ServeService::RebuildMain(RebuildLane* lane) {
+  std::unique_lock<std::mutex> lock(lane->mutex);
+  for (;;) {
+    lane->cv.wait(lock,
+                  [lane] { return lane->stop || !lane->queue.empty(); });
+    if (lane->queue.empty()) return;  // stopped and drained
+
+    RebuildJob job = std::move(lane->queue.front());
+    lane->queue.pop_front();
+    lock.unlock();
+    RunRebuildJob(std::move(job));
     lock.lock();
+  }
+}
+
+void ServeService::RunRebuildJob(RebuildJob job) {
+  CSD_TRACE_SPAN("serve/rebuild");
+  Stopwatch watch;
+  RebuildResult result;
+  // The failpoint sits on EVERY lane's path — the isolation test arms a
+  // sleep here for one shard and asserts the others keep annotating.
+  Status status = CSD_FAILPOINT_EVAL("serve/rebuild");
+  if (status.ok()) {
+    try {
+      // EnqueueRebuild guarantees a published snapshot exists when no
+      // dataset was given, and publishes never retract.
+      std::shared_ptr<const ServeDataset> data =
+          job.data != nullptr ? std::move(job.data)
+                              : store_->Acquire()->shared_data();
+      if (job.shard != kGlobalLane) {
+        // Tile-local rebuild: cut the shard's halo slice and build a
+        // small monolithic snapshot for that lane only (~1/K the work of
+        // a city-wide build).
+        size_t shard = static_cast<size_t>(job.shard);
+        auto snapshot = std::make_shared<CsdSnapshot>(
+            MakeShardDataset(*data, *plan_, shard), options_.snapshot);
+        result.version = sharded_store_->PublishShard(shard, snapshot);
+        result.num_units = snapshot->diagram().units().size();
+        result.num_patterns = snapshot->patterns().size();
+      } else if (sharded_store_ != nullptr) {
+        // Full rebuild in sharded mode: a plan-mode snapshot (tiled
+        // diagram build, per-shard annotators) published to every lane.
+        auto snapshot = std::make_shared<CsdSnapshot>(
+            std::move(data), options_.snapshot, *plan_);
+        result.version = sharded_store_->PublishAll(snapshot);
+        result.num_units = snapshot->diagram().units().size();
+        result.num_patterns = snapshot->patterns().size();
+      } else {
+        auto snapshot = std::make_shared<CsdSnapshot>(std::move(data),
+                                                      options_.snapshot);
+        result.version = store_->Publish(snapshot);
+        result.num_units = snapshot->diagram().units().size();
+        result.num_patterns = snapshot->patterns().size();
+      }
+      RebuildsCounter().Increment();
+    } catch (const std::exception& e) {
+      status = Status::Internal(std::string("rebuild failed: ") + e.what());
+    }
+  }
+  if (!status.ok()) {
+    // Graceful degradation: nothing was published, so the last good
+    // snapshot keeps serving; the error reaches the caller through
+    // the rebuild future instead of taking the service down.
+    RebuildFailuresCounter().Increment();
+    result.status = std::move(status);
+  }
+  result.seconds = watch.ElapsedSeconds();
+  job.ticket.Release();
+  if (job.on_complete) {
+    job.on_complete(std::move(result));
+  } else {
+    job.promise.set_value(std::move(result));
   }
 }
 

@@ -14,6 +14,7 @@
 #include "serve/batcher.h"
 #include "serve/request.h"
 #include "serve/snapshot_store.h"
+#include "shard/shard_plan.h"
 #include "traj/journey.h"
 #include "util/status.h"
 
@@ -47,6 +48,18 @@ class ServeService {
   /// published generation; TriggerRebuild with an explicit dataset works
   /// on an empty store (bootstrap).
   explicit ServeService(SnapshotStore* store, ServeOptions options = {});
+
+  /// Sharded mode over a ShardedSnapshotStore: annotation batches are
+  /// geo-routed by `plan` — each stay is annotated against the snapshot
+  /// of the lane owning its position, a request straddling tiles fans out
+  /// to every lane it touches, and results land in request order either
+  /// way. Full rebuilds go through the global lane (PublishAll, plan-mode
+  /// snapshots); TriggerShardRebuild rebuilds one tile on that shard's
+  /// own rebuild thread, so a rebuilding tile never stalls annotation
+  /// routed to any other shard. Pattern queries and admission are
+  /// unchanged (they run against the global lane).
+  ServeService(ShardedSnapshotStore* store, shard::ShardPlan plan,
+               ServeOptions options = {});
 
   /// Shuts down (drains) if the caller did not.
   ~ServeService();
@@ -96,6 +109,15 @@ class ServeService {
   Result<std::future<RebuildResult>> TriggerRebuild(
       std::shared_ptr<const ServeDataset> data = nullptr);
 
+  /// Sharded mode only: queues a rebuild of shard `shard`'s tile on that
+  /// shard's dedicated rebuild lane. The tile dataset is cut from `data`
+  /// (nullptr re-cuts from the global lane's current dataset) by
+  /// MakeShardDataset, built as a tile-local snapshot, and published to
+  /// that shard's lane alone — other shards and the global lane are
+  /// untouched, and annotation routed to them is never blocked.
+  Result<std::future<RebuildResult>> TriggerShardRebuild(
+      size_t shard, std::shared_ptr<const ServeDataset> data = nullptr);
+
   /// Callback edition of TriggerRebuild (same contract as
   /// AnnotateStayPointsAsync: OK means `on_complete` runs exactly once,
   /// on the rebuild thread; an error return means it never will).
@@ -119,12 +141,27 @@ class ServeService {
 
  private:
   struct RebuildJob {
+    /// Target shard lane, or kGlobalLane for a full rebuild + publish.
+    int64_t shard = kGlobalLane;
     std::shared_ptr<const ServeDataset> data;
     AdmissionTicket ticket;
     std::promise<RebuildResult> promise;
     /// Completion channel when set (else the promise), mirroring
     /// AnnotateRequest::on_complete.
     std::function<void(RebuildResult)> on_complete;
+  };
+  static constexpr int64_t kGlobalLane = -1;
+
+  /// One independent rebuild worker: lane 0 serves full rebuilds; in
+  /// sharded mode lanes 1..K serve single-shard rebuilds, one thread per
+  /// shard, so a slow tile build never queues behind (or ahead of)
+  /// another shard's.
+  struct RebuildLane {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<RebuildJob> queue;
+    bool stop = false;
+    std::thread thread;
   };
 
   /// Shared front door of both annotate submission flavors: validates,
@@ -136,17 +173,21 @@ class ServeService {
       std::vector<StayPoint> stays,
       std::chrono::steady_clock::time_point deadline);
   void ExecuteBatch(std::vector<AnnotateRequest> batch);
-  void RebuildMain();
+  void ExecuteBatchSharded(std::vector<AnnotateRequest> batch);
+  void StartRebuildLanes(size_t count);
+  Result<std::future<RebuildResult>> EnqueueRebuild(RebuildJob job);
+  void RebuildMain(RebuildLane* lane);
+  void RunRebuildJob(RebuildJob job);
 
   SnapshotStore* store_;
+  /// Sharded mode only (else nullptr); store_ aliases its global lane.
+  ShardedSnapshotStore* sharded_store_ = nullptr;
+  std::unique_ptr<shard::ShardPlan> plan_;
   ServeOptions options_;
   AdmissionController admission_;
 
-  std::mutex rebuild_mutex_;
-  std::condition_variable rebuild_cv_;
-  std::deque<RebuildJob> rebuild_queue_;
-  bool rebuild_stop_ = false;
-  std::thread rebuild_thread_;
+  /// [0] = global; [1 + s] = shard s (sharded mode only).
+  std::vector<std::unique_ptr<RebuildLane>> rebuild_lanes_;
 
   std::mutex shutdown_mutex_;
   bool shut_down_ = false;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/trace.h"
+#include "shard/sharded_build.h"
 #include "traj/journey.h"
 #include "util/check.h"
 
@@ -39,15 +40,94 @@ std::shared_ptr<const ServeDataset> MakeServeDataset(
                                               std::move(db));
 }
 
+std::shared_ptr<const ServeDataset> MakeShardDataset(
+    const ServeDataset& full, const shard::ShardPlan& plan, size_t shard) {
+  BoundingBox halo = plan.HaloBounds(shard);
+  BoundingBox tile = plan.TileBounds(shard);
+
+  std::vector<Poi> pois;
+  for (PoiId pid = 0; pid < full.pois.size(); ++pid) {
+    const Poi& poi = full.pois.poi(pid);
+    if (halo.Contains(poi.position)) pois.push_back(poi);
+  }
+  std::vector<StayPoint> stays;
+  for (const StayPoint& sp : full.stays) {
+    if (halo.Contains(sp.position)) stays.push_back(sp);
+  }
+  // A trajectory belongs to the shard that owns any of its stays — the
+  // tile proper, not the halo, so every trajectory lands somewhere and
+  // straddlers are mined by each tile they visit.
+  SemanticTrajectoryDb db;
+  for (const SemanticTrajectory& traj : full.trajectories) {
+    bool owned = false;
+    for (const StayPoint& sp : traj.stays) {
+      if (tile.Contains(sp.position)) {
+        owned = true;
+        break;
+      }
+    }
+    if (owned) db.push_back(traj);
+  }
+  for (size_t i = 0; i < db.size(); ++i) {
+    db[i].id = static_cast<TrajectoryId>(i);
+  }
+  return std::make_shared<const ServeDataset>(std::move(pois),
+                                              std::move(stays),
+                                              std::move(db));
+}
+
 CsdSnapshot::CsdSnapshot(std::shared_ptr<const ServeDataset> data,
                          const SnapshotOptions& options)
     : data_(std::move(data)), stamp_(kLiveStamp) {
   CSD_CHECK(data_ != nullptr);
   CSD_TRACE_SPAN("serve/snapshot_build");
+  SnapshotOptions opts = options;
+  opts.miner.build_roi_baseline = false;  // serving never queries ROI
   miner_ = std::make_unique<PervasiveMiner>(&data_->pois, data_->stays,
-                                            options.miner);
+                                            opts.miner);
   annotator_ = std::make_unique<BatchCsdAnnotator>(
       &miner_->diagram(), miner_->csd_recognizer().radius());
+  FinishInit(opts);
+}
+
+CsdSnapshot::CsdSnapshot(std::shared_ptr<const ServeDataset> data,
+                         const SnapshotOptions& options,
+                         const shard::ShardPlan& plan)
+    : data_(std::move(data)), stamp_(kLiveStamp) {
+  CSD_CHECK(data_ != nullptr);
+  CSD_TRACE_SPAN("serve/snapshot_build_sharded");
+  plan_ = std::make_unique<shard::ShardPlan>(plan);
+
+  SnapshotOptions opts = options;
+  opts.miner.build_roi_baseline = false;
+  if (opts.miner.extraction.seq_shard_lanes == 0) {
+    opts.miner.extraction.seq_shard_lanes = plan_->num_shards();
+  }
+  CitySemanticDiagram diagram = shard::ShardedCsdBuild(
+      data_->pois, data_->stays, *plan_, opts.miner.csd);
+  miner_ = std::make_unique<PervasiveMiner>(&data_->pois, data_->stays,
+                                            opts.miner, std::move(diagram));
+
+  double radius = miner_->csd_recognizer().radius();
+  // The subset annotators are only exact for in-tile queries when every
+  // candidate within R₃σ of a tile point is inside the halo.
+  CSD_CHECK_MSG(plan_->halo() >= radius,
+                "shard halo narrower than the annotation radius");
+  annotator_ = std::make_unique<BatchCsdAnnotator>(&miner_->diagram(), radius);
+  shard_annotators_.reserve(plan_->num_shards());
+  for (size_t s = 0; s < plan_->num_shards(); ++s) {
+    BoundingBox halo = plan_->HaloBounds(s);
+    std::vector<PoiId> subset;
+    for (PoiId pid = 0; pid < data_->pois.size(); ++pid) {
+      if (halo.Contains(data_->pois.poi(pid).position)) subset.push_back(pid);
+    }
+    shard_annotators_.push_back(std::make_unique<BatchCsdAnnotator>(
+        &miner_->diagram(), radius, subset));
+  }
+  FinishInit(opts);
+}
+
+void CsdSnapshot::FinishInit(const SnapshotOptions& options) {
   if (options.mine_patterns) {
     patterns_ = miner_->MinePatterns(data_->trajectories);
   }

@@ -11,6 +11,7 @@
 #include "miner/pervasive_miner.h"
 #include "poi/poi_database.h"
 #include "serve/request.h"
+#include "shard/shard_plan.h"
 #include "traj/journey.h"
 
 namespace csd::serve {
@@ -38,6 +39,18 @@ struct ServeDataset {
 std::shared_ptr<const ServeDataset> MakeServeDataset(
     std::vector<Poi> pois, const std::vector<TaxiJourney>& journeys);
 
+/// Cuts one shard's tile-local dataset out of a full-city generation:
+/// POIs and stays inside the shard's halo bounds (re-numbered densely, in
+/// ascending global id / input order), and the trajectories owning at
+/// least one stay inside the tile proper. Feeding the result to the plain
+/// CsdSnapshot ctor gives a tile-local generation whose build cost is
+/// ~1/K of the city's — the per-shard rebuild lane of ShardedSnapshotStore.
+/// Tile-local annotation near the halo fringe may differ from the
+/// full-city build (eps-chains can cross halos); the byte-identity
+/// guarantee belongs to the full sharded build, not to tile rebuilds.
+std::shared_ptr<const ServeDataset> MakeShardDataset(
+    const ServeDataset& full, const shard::ShardPlan& plan, size_t shard);
+
 /// Knobs of one snapshot construction.
 struct SnapshotOptions {
   MinerConfig miner;
@@ -61,6 +74,18 @@ class CsdSnapshot {
  public:
   CsdSnapshot(std::shared_ptr<const ServeDataset> data,
               const SnapshotOptions& options);
+
+  /// Sharded (plan-mode) build: the diagram comes from
+  /// shard::ShardedCsdBuild over `plan` (byte-identical to the monolithic
+  /// build, constructed tile-by-tile), pattern mining runs with
+  /// num_shards PrefixSpan lanes, and a per-shard subset annotator is
+  /// built for every tile so geo-routed batches touch only their shard's
+  /// halo slice of the grid. The ROI baseline recognizer is skipped in
+  /// BOTH snapshot ctors (serving never annotates through it), so
+  /// monolithic-vs-sharded build timings compare like with like.
+  CsdSnapshot(std::shared_ptr<const ServeDataset> data,
+              const SnapshotOptions& options, const shard::ShardPlan& plan);
+
   ~CsdSnapshot();
 
   CsdSnapshot(const CsdSnapshot&) = delete;
@@ -84,6 +109,17 @@ class CsdSnapshot {
   /// through this; recognizer() remains the parity oracle.
   const BatchCsdAnnotator& annotator() const { return *annotator_; }
 
+  /// The shard plan this snapshot was built under, or nullptr for a
+  /// monolithic build (including tile-local rebuild snapshots).
+  const shard::ShardPlan* plan() const { return plan_.get(); }
+
+  /// Annotator for stays routed to shard `s`: the tile's subset annotator
+  /// in plan mode (byte-identical to annotator() for any in-tile query,
+  /// see core/batch_annotator.h), the city-wide annotator otherwise.
+  const BatchCsdAnnotator& annotator_for_shard(size_t s) const {
+    return shard_annotators_.empty() ? *annotator_ : *shard_annotators_[s];
+  }
+
   std::span<const FineGrainedPattern> patterns() const { return patterns_; }
   const FineGrainedPattern& pattern(uint32_t id) const {
     return patterns_[id];
@@ -105,11 +141,17 @@ class CsdSnapshot {
 
  private:
   friend class SnapshotStore;
+  friend class ShardedSnapshotStore;
   void StampVersion(uint64_t version);
+  /// Shared tail of both ctors: pattern mining + the unit→pattern CSR.
+  void FinishInit(const SnapshotOptions& options);
 
   std::shared_ptr<const ServeDataset> data_;
+  std::unique_ptr<shard::ShardPlan> plan_;
   std::unique_ptr<PervasiveMiner> miner_;
   std::unique_ptr<BatchCsdAnnotator> annotator_;
+  /// Plan mode only: shard_annotators_[s] votes over shard s's halo POIs.
+  std::vector<std::unique_ptr<BatchCsdAnnotator>> shard_annotators_;
   std::vector<FineGrainedPattern> patterns_;
   // CSR: unit u owns pattern ids unit_pattern_ids_[offsets_[u]..offsets_[u+1]).
   std::vector<uint32_t> unit_pattern_offsets_;

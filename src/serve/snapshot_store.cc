@@ -20,6 +20,13 @@ obs::Counter& PublishCounter() {
   return counter;
 }
 
+obs::Counter& ShardPublishCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Get().GetCounter(
+      "csd_serve_shard_publish_total",
+      "Single-shard snapshot generations published");
+  return counter;
+}
+
 }  // namespace
 
 SnapshotStore::SnapshotStore(std::shared_ptr<CsdSnapshot> initial) {
@@ -39,19 +46,61 @@ uint64_t SnapshotStore::Publish(std::shared_ptr<CsdSnapshot> next) {
   std::lock_guard<std::mutex> lock(publish_mutex_);
   uint64_t version = version_.load(std::memory_order_relaxed) + 1;
   next->StampVersion(version);
+  StoreCurrent(std::shared_ptr<const CsdSnapshot>(std::move(next)), version);
+  SnapshotVersionGauge().Set(static_cast<double>(version));
+  PublishCounter().Increment();
+  return version;
+}
+
+void SnapshotStore::PublishStamped(std::shared_ptr<const CsdSnapshot> next,
+                                   uint64_t version) {
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  StoreCurrent(std::move(next), version);
+}
+
+void SnapshotStore::StoreCurrent(std::shared_ptr<const CsdSnapshot> next,
+                                 uint64_t version) {
   // The release store below is what makes the stamp (and the whole
   // snapshot construction) visible to readers that Acquire() it.
 #ifdef CSD_SERVE_ATOMIC_SHARED_PTR
-  current_.store(std::shared_ptr<const CsdSnapshot>(std::move(next)),
-                 std::memory_order_release);
+  current_.store(std::move(next), std::memory_order_release);
 #else
-  std::atomic_store_explicit(
-      &current_, std::shared_ptr<const CsdSnapshot>(std::move(next)),
-      std::memory_order_release);
+  std::atomic_store_explicit(&current_, std::move(next),
+                             std::memory_order_release);
 #endif
   version_.store(version, std::memory_order_release);
+}
+
+ShardedSnapshotStore::ShardedSnapshotStore(size_t num_shards)
+    : lanes_(num_shards) {}
+
+uint64_t ShardedSnapshotStore::PublishAll(std::shared_ptr<CsdSnapshot> next) {
+  CSD_TRACE_SPAN("serve/publish_all");
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  uint64_t version =
+      next_version_.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Stamped exactly once, before any lane can hand the snapshot out.
+  next->StampVersion(version);
+  std::shared_ptr<const CsdSnapshot> shared = std::move(next);
+  global_.PublishStamped(shared, version);
+  for (SnapshotStore& lane : lanes_) {
+    lane.PublishStamped(shared, version);
+  }
   SnapshotVersionGauge().Set(static_cast<double>(version));
   PublishCounter().Increment();
+  return version;
+}
+
+uint64_t ShardedSnapshotStore::PublishShard(
+    size_t s, std::shared_ptr<CsdSnapshot> next) {
+  CSD_TRACE_SPAN("serve/publish_shard");
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  uint64_t version =
+      next_version_.fetch_add(1, std::memory_order_relaxed) + 1;
+  next->StampVersion(version);
+  lanes_[s].PublishStamped(
+      std::shared_ptr<const CsdSnapshot>(std::move(next)), version);
+  ShardPublishCounter().Increment();
   return version;
 }
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <vector>
 #include <version>
 
 #include "serve/snapshot.h"
@@ -49,12 +50,22 @@ class SnapshotStore {
   /// releases it.
   uint64_t Publish(std::shared_ptr<CsdSnapshot> next);
 
+  /// Swaps in a snapshot whose version was already stamped by an outer
+  /// versioning authority (ShardedSnapshotStore, which fans one stamped
+  /// generation out to several lanes). Does not touch the publish
+  /// metrics; `version` must exceed this store's current version.
+  void PublishStamped(std::shared_ptr<const CsdSnapshot> next,
+                      uint64_t version);
+
   /// Version of the latest published generation (0 before the first).
   uint64_t current_version() const {
     return version_.load(std::memory_order_acquire);
   }
 
  private:
+  void StoreCurrent(std::shared_ptr<const CsdSnapshot> next,
+                    uint64_t version);
+
   std::mutex publish_mutex_;
   std::atomic<uint64_t> version_{0};
 // Under ThreadSanitizer, use the free-function atomic shared_ptr protocol
@@ -70,6 +81,57 @@ class SnapshotStore {
   // Pre-C++20 libraries and tsan builds: free-function protocol.
   std::shared_ptr<const CsdSnapshot> current_;
 #endif
+};
+
+/// The sharded serving store: one global lane (the full-city snapshot —
+/// pattern queries and the geo-router's plan source) plus one lane per
+/// spatial shard, each an independent RCU SnapshotStore. All lanes share
+/// a single monotonic version counter, so "shard 3 is newer than the
+/// global snapshot" is a meaningful comparison; a snapshot is stamped
+/// exactly once, then fanned out.
+///
+/// PublishAll seeds every lane with the same full-city generation (the
+/// bootstrap and full-rebuild path); PublishShard replaces one shard's
+/// lane only — the per-shard rebuild path, which is what lets one tile
+/// rebuild without stalling annotation anywhere else in the city.
+class ShardedSnapshotStore {
+ public:
+  explicit ShardedSnapshotStore(size_t num_shards);
+
+  size_t num_shards() const { return lanes_.size(); }
+  SnapshotStore& global() { return global_; }
+  const SnapshotStore& global() const { return global_; }
+  SnapshotStore& shard(size_t s) { return lanes_[s]; }
+
+  std::shared_ptr<const CsdSnapshot> Acquire() const {
+    return global_.Acquire();
+  }
+  std::shared_ptr<const CsdSnapshot> AcquireShard(size_t s) const {
+    return lanes_[s].Acquire();
+  }
+
+  /// Stamps `next` once and publishes it to the global lane and every
+  /// shard lane. Returns the stamped version.
+  uint64_t PublishAll(std::shared_ptr<CsdSnapshot> next);
+
+  /// Stamps `next` once and publishes it to shard `s` only. The global
+  /// lane and the other shards keep serving their current generations.
+  uint64_t PublishShard(size_t s, std::shared_ptr<CsdSnapshot> next);
+
+  /// Version of the global lane's generation (0 before the first
+  /// PublishAll) — the service's "is anything published yet" check.
+  uint64_t current_version() const { return global_.current_version(); }
+  uint64_t shard_version(size_t s) const {
+    return lanes_[s].current_version();
+  }
+
+ private:
+  std::mutex publish_mutex_;
+  std::atomic<uint64_t> next_version_{0};
+  SnapshotStore global_;
+  // vector<SnapshotStore> is fine: lanes are constructed in place once
+  // and never moved (SnapshotStore is not movable).
+  std::vector<SnapshotStore> lanes_;
 };
 
 }  // namespace csd::serve

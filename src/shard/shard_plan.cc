@@ -1,0 +1,70 @@
+#include "shard/shard_plan.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace csd::shard {
+
+ShardPlan::ShardPlan(BoundingBox bounds, size_t kx, size_t ky, double halo_m)
+    : bounds_(bounds), kx_(kx), ky_(ky), halo_(halo_m) {
+  CSD_CHECK_MSG(!bounds_.Empty(), "shard plan needs a non-empty bounding box");
+  CSD_CHECK_MSG(kx_ >= 1 && ky_ >= 1, "shard plan needs at least one tile");
+  CSD_CHECK_MSG(halo_ >= 0.0, "halo margin must be non-negative");
+  tile_w_ = bounds_.Width() / static_cast<double>(kx_);
+  tile_h_ = bounds_.Height() / static_cast<double>(ky_);
+}
+
+ShardPlan ShardPlan::MakeSquarish(BoundingBox bounds, size_t num_shards,
+                                  double halo_m) {
+  CSD_CHECK_MSG(num_shards >= 1, "need at least one shard");
+  // Largest factor pair; kx gets the larger factor when the box is wider
+  // than tall, so tiles stay as square as the factorization allows.
+  size_t a = 1;
+  for (size_t f = 1; f * f <= num_shards; ++f) {
+    if (num_shards % f == 0) a = f;
+  }
+  size_t b = num_shards / a;  // a <= b
+  bool wide = bounds.Width() >= bounds.Height();
+  size_t kx = wide ? b : a;
+  size_t ky = wide ? a : b;
+  return ShardPlan(bounds, kx, ky, halo_m);
+}
+
+BoundingBox ShardPlan::TileBounds(size_t s) const {
+  CSD_DCHECK(s < num_shards());
+  size_t ix = s % kx_;
+  size_t iy = s / kx_;
+  BoundingBox tile;
+  tile.min.x = bounds_.min.x + static_cast<double>(ix) * tile_w_;
+  tile.min.y = bounds_.min.y + static_cast<double>(iy) * tile_h_;
+  tile.max.x = (ix + 1 == kx_) ? bounds_.max.x : tile.min.x + tile_w_;
+  tile.max.y = (iy + 1 == ky_) ? bounds_.max.y : tile.min.y + tile_h_;
+  return tile;
+}
+
+BoundingBox ShardPlan::HaloBounds(size_t s) const {
+  BoundingBox tile = TileBounds(s);
+  tile.min.x -= halo_;
+  tile.min.y -= halo_;
+  tile.max.x += halo_;
+  tile.max.y += halo_;
+  return tile;
+}
+
+std::vector<size_t> ShardPlan::HaloShardsOf(const Vec2& p) const {
+  std::vector<size_t> out;
+  for (size_t s = 0; s < num_shards(); ++s) {
+    if (InHalo(s, p)) out.push_back(s);
+  }
+  // Points far outside the plan bounds clamp to an edge tile whose halo
+  // box may not contain them; keep the owner in the set (sorted) so the
+  // result is never empty.
+  size_t owner = ShardOf(p);
+  auto it = std::lower_bound(out.begin(), out.end(), owner);
+  if (it == out.end() || *it != owner) out.insert(it, owner);
+  return out;
+}
+
+}  // namespace csd::shard

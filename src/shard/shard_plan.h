@@ -1,0 +1,79 @@
+#ifndef CSD_SHARD_SHARD_PLAN_H_
+#define CSD_SHARD_SHARD_PLAN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace csd::shard {
+
+/// A spatial partition of the city into a kx × ky grid of rectangular
+/// tiles over a bounding box, plus a halo margin. Every point belongs to
+/// exactly one tile (ownership is a pure function of coordinates:
+/// floor((x - min) / tile_width), clamped at the city edge, so a point on
+/// an interior tile boundary belongs to the tile on its right/top). The
+/// halo widens a tile's bounds on every side; any radius query of up to
+/// `halo` meters issued from inside a tile is fully answerable from the
+/// points inside its halo bounds — the invariant the sharded CSD build
+/// and the per-shard serving annotators rest on (docs/sharding.md).
+class ShardPlan {
+ public:
+  /// `bounds` must be non-empty; `kx`, `ky` ≥ 1; `halo_m` ≥ 0.
+  ShardPlan(BoundingBox bounds, size_t kx, size_t ky, double halo_m);
+
+  /// Factors `num_shards` into the most square kx × ky grid (kx * ky ==
+  /// num_shards exactly; prime counts degrade to a 1 × K strip).
+  static ShardPlan MakeSquarish(BoundingBox bounds, size_t num_shards,
+                                double halo_m);
+
+  size_t num_shards() const { return kx_ * ky_; }
+  size_t kx() const { return kx_; }
+  size_t ky() const { return ky_; }
+  double halo() const { return halo_; }
+  const BoundingBox& bounds() const { return bounds_; }
+
+  /// The owning tile of `p`. Total: points outside the plan bounds clamp
+  /// to the nearest edge tile.
+  size_t ShardOf(const Vec2& p) const {
+    size_t ix = CellOf(p.x, bounds_.min.x, tile_w_, kx_);
+    size_t iy = CellOf(p.y, bounds_.min.y, tile_h_, ky_);
+    return iy * kx_ + ix;
+  }
+
+  /// Exact tile rectangle (no halo). Edge tiles extend to the plan bounds.
+  BoundingBox TileBounds(size_t s) const;
+
+  /// Tile rectangle widened by the halo margin on every side.
+  BoundingBox HaloBounds(size_t s) const;
+
+  /// True when `p` lies inside the halo bounds of `s` (closed test) —
+  /// i.e. shard `s` must see `p` to answer in-tile queries exactly.
+  bool InHalo(size_t s, const Vec2& p) const {
+    return HaloBounds(s).Contains(p);
+  }
+
+  /// Shards whose halo bounds contain `p` (always includes ShardOf(p)),
+  /// in ascending shard order.
+  std::vector<size_t> HaloShardsOf(const Vec2& p) const;
+
+ private:
+  static size_t CellOf(double v, double lo, double step, size_t n) {
+    if (step <= 0.0) return 0;
+    double cell = std::floor((v - lo) / step);
+    if (cell < 0.0) return 0;
+    if (cell >= static_cast<double>(n)) return n - 1;
+    return static_cast<size_t>(cell);
+  }
+
+  BoundingBox bounds_;
+  size_t kx_;
+  size_t ky_;
+  double halo_;
+  double tile_w_;
+  double tile_h_;
+};
+
+}  // namespace csd::shard
+
+#endif  // CSD_SHARD_SHARD_PLAN_H_

@@ -88,6 +88,13 @@ struct CityConfig {
 
 inline constexpr double kSkyscraperPoiSpread = 3.0;
 
+/// The megacity preset: a 64 km × 64 km city with 1M POIs across ~4,500
+/// districts — the paper's Shanghai scale (6,120 km², 1.2M POIs) for the
+/// sharded-build and geo-routed-serving benchmarks. District counts scale
+/// the defaults ×50 so per-district density (and therefore the CSD's unit
+/// structure) stays laptop-city-like; only the map gets bigger.
+CityConfig MegacityConfig();
+
 /// The generated city: districts, buildings, and POIs whose global major-
 /// category mix matches the paper's Table 3.
 struct SyntheticCity {

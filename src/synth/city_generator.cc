@@ -320,4 +320,23 @@ SyntheticCity GenerateCity(const CityConfig& config) {
   return city;
 }
 
+CityConfig MegacityConfig() {
+  CityConfig config;
+  config.width_m = 64000.0;
+  config.height_m = 64000.0;
+  config.num_pois = 1'000'000;
+  config.num_residential = 1100;
+  config.num_commercial = 500;
+  config.num_office = 400;
+  config.num_industrial = 200;
+  config.num_university = 150;
+  config.num_hospital = 150;
+  config.num_skyscraper = 600;
+  config.num_government = 150;
+  config.num_sports = 200;
+  config.num_tourism = 200;
+  config.buildings_per_district = 18;
+  return config;
+}
+
 }  // namespace csd

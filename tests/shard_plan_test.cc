@@ -1,0 +1,257 @@
+// Tile-boundary geometry of the sharding layer: ownership at exact tile
+// edges, halo coverage, degenerate one-tile plans, and the grid-subset
+// enumeration invariant the byte-identical sharded build rests on
+// (docs/sharding.md). Every assertion here is about *exact* boundary
+// coordinates — the places floor()-based cell math goes wrong.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/city_semantic_diagram.h"
+#include "geo/point.h"
+#include "index/grid_index.h"
+#include "shard/shard_plan.h"
+#include "shard/sharded_build.h"
+#include "util/rng.h"
+
+namespace csd::shard {
+namespace {
+
+BoundingBox MakeBounds(double x0, double y0, double x1, double y1) {
+  BoundingBox b;
+  b.Extend({x0, y0});
+  b.Extend({x1, y1});
+  return b;
+}
+
+TEST(ShardPlanTest, MakeSquarishFactorsExactly) {
+  BoundingBox bounds = MakeBounds(0.0, 0.0, 1000.0, 1000.0);
+  for (size_t k = 1; k <= 16; ++k) {
+    ShardPlan plan = ShardPlan::MakeSquarish(bounds, k, 5.0);
+    EXPECT_EQ(plan.num_shards(), k) << "k = " << k;
+    EXPECT_EQ(plan.kx() * plan.ky(), k) << "k = " << k;
+  }
+  // Perfect squares come out square, composites nearly so, primes
+  // degrade to a strip — but the shard count is always exact.
+  ShardPlan four = ShardPlan::MakeSquarish(bounds, 4, 5.0);
+  EXPECT_EQ(four.kx(), 2u);
+  EXPECT_EQ(four.ky(), 2u);
+  ShardPlan twelve = ShardPlan::MakeSquarish(bounds, 12, 5.0);
+  EXPECT_EQ(std::min(twelve.kx(), twelve.ky()), 3u);
+  EXPECT_EQ(std::max(twelve.kx(), twelve.ky()), 4u);
+  ShardPlan seven = ShardPlan::MakeSquarish(bounds, 7, 5.0);
+  EXPECT_EQ(std::min(seven.kx(), seven.ky()), 1u);
+  EXPECT_EQ(std::max(seven.kx(), seven.ky()), 7u);
+}
+
+TEST(ShardPlanTest, OwnershipAtExactTileEdges) {
+  // [0,100]² split 2×2: tiles are 50 m wide, the interior boundary runs
+  // exactly through x = 50 and y = 50.
+  ShardPlan plan(MakeBounds(0.0, 0.0, 100.0, 100.0), 2, 2, 10.0);
+  EXPECT_EQ(plan.ShardOf({0.0, 0.0}), 0u);
+  EXPECT_EQ(plan.ShardOf({49.999, 49.999}), 0u);
+  // A point exactly on an interior boundary belongs to the tile on its
+  // right/top (floor semantics), on both axes and at the shared corner.
+  EXPECT_EQ(plan.ShardOf({50.0, 0.0}), 1u);
+  EXPECT_EQ(plan.ShardOf({0.0, 50.0}), 2u);
+  EXPECT_EQ(plan.ShardOf({50.0, 50.0}), 3u);
+  // The outer max edge clamps into the last tile instead of falling off.
+  EXPECT_EQ(plan.ShardOf({100.0, 0.0}), 1u);
+  EXPECT_EQ(plan.ShardOf({100.0, 100.0}), 3u);
+  // Ownership is total: points outside the plan bounds clamp to the
+  // nearest edge tile.
+  EXPECT_EQ(plan.ShardOf({-25.0, -25.0}), 0u);
+  EXPECT_EQ(plan.ShardOf({125.0, 125.0}), 3u);
+  EXPECT_EQ(plan.ShardOf({125.0, -25.0}), 1u);
+
+  // Tile rectangles tile the bounds exactly.
+  EXPECT_DOUBLE_EQ(plan.TileBounds(0).max.x, 50.0);
+  EXPECT_DOUBLE_EQ(plan.TileBounds(1).min.x, 50.0);
+  EXPECT_DOUBLE_EQ(plan.TileBounds(1).max.x, 100.0);
+  EXPECT_DOUBLE_EQ(plan.TileBounds(2).min.y, 50.0);
+}
+
+TEST(ShardPlanTest, HaloBoundsWidenEverySide) {
+  ShardPlan plan(MakeBounds(0.0, 0.0, 100.0, 100.0), 2, 2, 10.0);
+  BoundingBox halo0 = plan.HaloBounds(0);
+  EXPECT_DOUBLE_EQ(halo0.min.x, -10.0);
+  EXPECT_DOUBLE_EQ(halo0.min.y, -10.0);
+  EXPECT_DOUBLE_EQ(halo0.max.x, 60.0);
+  EXPECT_DOUBLE_EQ(halo0.max.y, 60.0);
+  // A point owned by tile 1 but within 10 m of tile 0's edge is in tile
+  // 0's halo — the overlap that makes in-tile radius queries exact.
+  Vec2 fringe{55.0, 25.0};
+  EXPECT_EQ(plan.ShardOf(fringe), 1u);
+  EXPECT_TRUE(plan.InHalo(0, fringe));
+  EXPECT_FALSE(plan.InHalo(0, {60.001, 25.0}));
+  // The halo boundary itself is a closed test.
+  EXPECT_TRUE(plan.InHalo(0, {60.0, 25.0}));
+}
+
+TEST(ShardPlanTest, HaloShardsOfIsAscendingAndMatchesInHalo) {
+  ShardPlan plan(MakeBounds(0.0, 0.0, 100.0, 100.0), 2, 2, 10.0);
+  // Near the four-corner point every halo contains it.
+  EXPECT_EQ(plan.HaloShardsOf({52.0, 52.0}),
+            (std::vector<size_t>{0, 1, 2, 3}));
+  // Deep inside a tile only the owner sees it.
+  EXPECT_EQ(plan.HaloShardsOf({25.0, 25.0}), (std::vector<size_t>{0}));
+  // Near one interior edge: owner plus the neighbor across it.
+  EXPECT_EQ(plan.HaloShardsOf({45.0, 25.0}), (std::vector<size_t>{0, 1}));
+
+  // Cross-check against brute-force InHalo on a coordinate sweep that
+  // includes the exact boundary values.
+  for (double x : {0.0, 39.9, 40.0, 49.999, 50.0, 60.0, 60.001, 100.0}) {
+    for (double y : {0.0, 40.0, 50.0, 60.0, 100.0}) {
+      Vec2 p{x, y};
+      std::vector<size_t> expected;
+      for (size_t s = 0; s < plan.num_shards(); ++s) {
+        if (plan.InHalo(s, p)) expected.push_back(s);
+      }
+      std::vector<size_t> got = plan.HaloShardsOf(p);
+      EXPECT_EQ(got, expected) << "at (" << x << ", " << y << ")";
+      EXPECT_TRUE(std::find(got.begin(), got.end(), plan.ShardOf(p)) !=
+                  got.end())
+          << "owner missing at (" << x << ", " << y << ")";
+    }
+  }
+}
+
+TEST(ShardPlanTest, DegenerateSingleTilePlan) {
+  BoundingBox bounds = MakeBounds(-50.0, -50.0, 50.0, 50.0);
+  ShardPlan plan = ShardPlan::MakeSquarish(bounds, 1, 7.0);
+  EXPECT_EQ(plan.num_shards(), 1u);
+  for (double x : {-200.0, -50.0, 0.0, 50.0, 200.0}) {
+    EXPECT_EQ(plan.ShardOf({x, x}), 0u);
+  }
+  EXPECT_EQ(plan.HaloShardsOf({0.0, 0.0}), (std::vector<size_t>{0}));
+  EXPECT_DOUBLE_EQ(plan.TileBounds(0).min.x, bounds.min.x);
+  EXPECT_DOUBLE_EQ(plan.TileBounds(0).max.y, bounds.max.y);
+  EXPECT_DOUBLE_EQ(plan.HaloBounds(0).min.x, bounds.min.x - 7.0);
+}
+
+TEST(ShardPlanTest, RequiredHaloCoversEveryStageRadius) {
+  CsdBuildOptions options;
+  double halo = RequiredHalo(options);
+  // Strictly beyond each stage radius (the slack absorbs floating-point
+  // edge cases exactly at the halo boundary).
+  EXPECT_GT(halo, options.r3sigma);
+  EXPECT_GT(halo, options.clustering.eps);
+  EXPECT_GT(halo, options.merging.neighbor_distance);
+  // And it tracks whichever radius dominates.
+  options.clustering.eps = 500.0;
+  EXPECT_GT(RequiredHalo(options), 500.0);
+}
+
+// --- GridIndex at cell boundaries ----------------------------------------
+
+/// In-radius ids in enumeration order via the candidate-range protocol:
+/// the same slots ForEachInRadiusSq scans, filtered through the SoA lanes.
+std::vector<size_t> ViaCandidateRanges(const GridIndex& grid,
+                                       const Vec2& query, double radius) {
+  std::vector<size_t> out;
+  double r2 = radius * radius;
+  const double* xs = grid.cell_xs();
+  const double* ys = grid.cell_ys();
+  std::span<const uint32_t> ids = grid.payload_ids();
+  grid.ForEachCandidateRange(query, radius, [&](size_t off, size_t count) {
+    for (size_t s = off; s < off + count; ++s) {
+      if (SquaredDistance(Vec2{xs[s], ys[s]}, query) <= r2) {
+        out.push_back(ids[s]);
+      }
+    }
+  });
+  return out;
+}
+
+std::vector<size_t> ViaForEachInRadius(const GridIndex& grid,
+                                       const Vec2& query, double radius) {
+  std::vector<size_t> out;
+  grid.ForEachInRadius(query, radius, [&](size_t id) { out.push_back(id); });
+  return out;
+}
+
+TEST(GridIndexRangeTest, CandidateRangesReproduceScalarOrderAtBoundaries) {
+  // Points on and around exact cell-size multiples, negative coordinates
+  // included, plus random fill.
+  std::vector<Vec2> points = {{0.0, 0.0},   {10.0, 0.0},  {-10.0, 0.0},
+                              {0.0, 10.0},  {0.0, -10.0}, {10.0, 10.0},
+                              {-10.0, -10.0}, {5.0, 5.0}, {9.999, 9.999},
+                              {-0.001, -0.001}, {20.0, 20.0}};
+  Rng rng(11);
+  for (int i = 0; i < 400; ++i) {
+    points.push_back({rng.Uniform(-40.0, 40.0), rng.Uniform(-40.0, 40.0)});
+  }
+  GridIndex grid(points, /*cell_size=*/10.0);
+
+  std::vector<Vec2> queries = {{0.0, 0.0},   {10.0, 10.0}, {-10.0, -10.0},
+                               {5.0, 5.0},   {9.999, 0.0}, {-0.001, 3.0},
+                               {20.0, -20.0}};
+  for (const Vec2& q : queries) {
+    for (double radius : {0.0, 5.0, 10.0, 13.7, 25.0}) {
+      std::vector<size_t> ranged = ViaCandidateRanges(grid, q, radius);
+      std::vector<size_t> scalar = ViaForEachInRadius(grid, q, radius);
+      // Identical sequence (order included), and as a set it matches the
+      // materializing query too.
+      EXPECT_EQ(ranged, scalar)
+          << "query (" << q.x << ", " << q.y << ") r=" << radius;
+      std::vector<size_t> sorted = grid.RadiusQuery(q, radius);
+      std::sort(sorted.begin(), sorted.end());
+      std::vector<size_t> ranged_sorted = ranged;
+      std::sort(ranged_sorted.begin(), ranged_sorted.end());
+      EXPECT_EQ(ranged_sorted, sorted);
+    }
+  }
+}
+
+// The stitching invariant of the sharded build: a grid over an order-
+// preserving subset (a tile's halo slice) with the same cell size
+// enumerates — after mapping local ids back through the subset — exactly
+// the in-radius sequence the city-wide grid does, for any query whose
+// whole disk lies inside the subset's coverage.
+TEST(GridIndexRangeTest, SubsetGridEnumeratesIdenticalInRadiusSequence) {
+  Rng rng(23);
+  std::vector<Vec2> all;
+  for (int i = 0; i < 800; ++i) {
+    all.push_back({rng.Uniform(0.0, 100.0), rng.Uniform(0.0, 100.0)});
+  }
+  const double kCell = 10.0;
+  const double kRadius = 10.0;
+  // "Tile" [25,75]² with a halo of 12 > radius.
+  BoundingBox tile = MakeBounds(25.0, 25.0, 75.0, 75.0);
+  BoundingBox halo = MakeBounds(13.0, 13.0, 87.0, 87.0);
+
+  std::vector<Vec2> subset_points;
+  std::vector<size_t> subset_to_global;
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (halo.Contains(all[i])) {
+      subset_points.push_back(all[i]);
+      subset_to_global.push_back(i);
+    }
+  }
+  ASSERT_GT(subset_points.size(), 100u);
+  ASSERT_LT(subset_points.size(), all.size());
+
+  GridIndex global(all, kCell);
+  GridIndex local(subset_points, kCell);
+
+  size_t in_tile_queries = 0;
+  for (const Vec2& q : all) {
+    if (!tile.Contains(q)) continue;
+    ++in_tile_queries;
+    std::vector<size_t> via_local;
+    local.ForEachInRadius(q, kRadius, [&](size_t id) {
+      via_local.push_back(subset_to_global[id]);
+    });
+    EXPECT_EQ(via_local, ViaForEachInRadius(global, q, kRadius))
+        << "query (" << q.x << ", " << q.y << ")";
+  }
+  EXPECT_GT(in_tile_queries, 50u);
+}
+
+}  // namespace
+}  // namespace csd::shard

@@ -6,7 +6,9 @@
 /// Usage:
 //   bench_diff baseline.json current.json [threshold]
 //
-// Runs are matched by their "scale" field; every stage whose time or
+// Runs are matched by their "scale" field plus the optional "label"
+// string (multi-phase benches like serve_load use labels to keep phases
+// sharing a scale number apart); every stage whose time or
 // allocation count grew by more than `threshold` (default 0.15 = 15%) is
 // flagged. Exit status: 0 when nothing regressed, 1 on regression, 2 on
 // usage/parse errors. Sub-millisecond stages and stages under 100
@@ -183,8 +185,11 @@ struct Entry {
   Kind kind = Kind::kSeconds;
 };
 
-/// scale -> entries in file order (stages first, then allocs, then total).
-using RunTable = std::map<double, std::vector<Entry>>;
+/// (scale, label) -> entries in file order (stages first, then allocs,
+/// then total). The label discriminates runs sharing a numeric scale
+/// (serve_load's phases); runs without one key under "".
+using RunKey = std::pair<double, std::string>;
+using RunTable = std::map<RunKey, std::vector<Entry>>;
 
 bool ExtractRuns(const Json& root, const char* path, RunTable* out) {
   const Json* runs = root.Find("runs");
@@ -201,7 +206,11 @@ bool ExtractRuns(const Json& root, const char* path, RunTable* out) {
                    path);
       return false;
     }
-    auto& entry = (*out)[scale->number];
+    const Json* label = run.Find("label");
+    std::string label_str =
+        label != nullptr && label->kind == Json::Kind::kString ? label->string
+                                                               : "";
+    auto& entry = (*out)[RunKey(scale->number, std::move(label_str))];
     for (const auto& [name, seconds] : stages->object) {
       entry.push_back({name, seconds.number, Entry::Kind::kSeconds});
     }
@@ -236,7 +245,8 @@ int main(int argc, char** argv) {
           "\n"
           "Compares two BENCH_pipeline.json trajectories written by\n"
           "bench/perf_scaling (schema in bench/bench_common.h). Runs are\n"
-          "matched by \"scale\"; for every stage the wall-clock time and\n"
+          "matched by \"scale\" plus the optional \"label\" string; for\n"
+          "every stage the wall-clock time and\n"
           "(when both files carry an \"allocs\" object) the allocation\n"
           "count are compared.\n"
           "\n"
@@ -287,13 +297,20 @@ int main(int argc, char** argv) {
       !ExtractRuns(current_json, argv[2], &current))
     return 2;
 
-  std::printf("%-8s %-18s %12s %12s %9s\n", "scale", "stage", "baseline",
+  std::printf("%-16s %-18s %12s %12s %9s\n", "scale", "stage", "baseline",
               "current", "delta");
   int regressions = 0;
-  for (const auto& [scale, stages] : baseline) {
-    auto it = current.find(scale);
+  for (const auto& [key, stages] : baseline) {
+    char scale_label[64];
+    if (key.second.empty()) {
+      std::snprintf(scale_label, sizeof(scale_label), "%g", key.first);
+    } else {
+      std::snprintf(scale_label, sizeof(scale_label), "%g/%s", key.first,
+                    key.second.c_str());
+    }
+    auto it = current.find(key);
     if (it == current.end()) {
-      std::printf("%-8g (missing from %s)\n", scale, argv[2]);
+      std::printf("%-16s (missing from %s)\n", scale_label, argv[2]);
       continue;
     }
     for (const Entry& base : stages) {
@@ -308,7 +325,7 @@ int main(int argc, char** argv) {
           base.kind == Entry::Kind::kAllocs ? base.name + " allocs"
                                             : base.name;
       if (cur_s < 0.0) {
-        std::printf("%-8g %-18s %12.3f %12s\n", scale, label.c_str(),
+        std::printf("%-16s %-18s %12.3f %12s\n", scale_label, label.c_str(),
                     base.value, "(missing)");
         continue;
       }
@@ -330,11 +347,11 @@ int main(int argc, char** argv) {
       }
       if (flagged) ++regressions;
       if (base.kind == Entry::Kind::kSeconds) {
-        std::printf("%-8g %-18s %11.3fs %11.3fs %+8.1f%%%s\n", scale,
+        std::printf("%-16s %-18s %11.3fs %11.3fs %+8.1f%%%s\n", scale_label,
                     label.c_str(), base.value, cur_s, 100.0 * delta,
                     flagged ? "  << REGRESSION" : "");
       } else {
-        std::printf("%-8g %-18s %12.1f %12.1f %+8.1f%%%s\n", scale,
+        std::printf("%-16s %-18s %12.1f %12.1f %+8.1f%%%s\n", scale_label,
                     label.c_str(), base.value, cur_s, 100.0 * delta,
                     flagged ? "  << REGRESSION" : "");
       }

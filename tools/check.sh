@@ -15,11 +15,14 @@
 #      fresh trajectory, and diff it against the committed baseline
 #      (threshold documented in `bench_diff --help`; improvements never
 #      flag, so the committed baseline only guards against sliding back)
-#   4. run the serving-layer load generator (bench/serve_load) and diff
-#      its latency/QPS trajectory against the committed BENCH_serve.json.
-#      Latency percentiles on a loaded box are noisier than pipeline
-#      stage times, so this gate uses a 0.5 threshold: it catches a
-#      serving-path collapse (2x latency, halved throughput), not jitter.
+#   4. run the serving-layer load generator (bench/serve_load), including
+#      the K=4 sharded megacity phase (1M-POI tiled build, single-tile
+#      rebuild, geo-routed annotation), and diff its latency/QPS
+#      trajectory against the committed BENCH_serve.json. Latency
+#      percentiles on a loaded box are noisier than pipeline stage
+#      times, so this gate uses a 0.5 threshold: it catches a
+#      serving-path collapse (2x latency, halved throughput, a
+#      shard_build_speedup slide), not jitter.
 #
 # The tsan preset pass re-runs the serve_* tests a second time with
 # CSD_SERVE_STRESS=1, which multiplies the reader/publisher iteration
@@ -96,7 +99,7 @@ echo "== [${step}/${total}] serve bench regression check vs committed BENCH_serv
 if cmake --build --preset default -j --target serve_load bench_diff; then
   serve_scratch="$(mktemp /tmp/BENCH_serve.XXXXXX.json)"
   trap 'rm -f "${scratch:-}" "${serve_scratch}"' EXIT
-  if ! ./build/bench/serve_load --json "${serve_scratch}" >/dev/null; then
+  if ! ./build/bench/serve_load --shards 4 --megacity --json "${serve_scratch}" >/dev/null; then
     fail "serve_load run (a failed admitted request also exits nonzero)"
   elif ! ./build/tools/bench_diff BENCH_serve.json "${serve_scratch}" 0.5; then
     fail "serve bench_diff regression gate"

@@ -12,7 +12,7 @@
 //
 //   csdctl analyze   --patterns patterns.csv
 //   csdctl serve     --pois pois.csv --trips trips.bin
-//                    [--listen HOST:PORT] [--loops 1]
+//                    [--listen HOST:PORT] [--loops 1] [--shards K]
 //                    [--max-batch 64] [--max-delay-us 1000]
 //                    [--annotate-limit 1024] [--query-limit 256]
 //                    [--sigma 50] [--delta-t-min 60] [--rho 0.002]
@@ -36,6 +36,12 @@
 // With --listen HOST:PORT it instead serves the length-prefixed binary
 // framing of src/serve/frame.h on an epoll event loop (SIGINT/SIGTERM
 // drains and exits); the stdin protocol is untouched as the fallback.
+//
+// With --shards K the snapshot is built tile-by-tile over a K-shard
+// spatial plan (byte-identical to the monolithic build) and served
+// through a ShardedSnapshotStore: annotation batches are geo-routed to
+// per-shard lanes and one tile can rebuild without stalling the rest
+// (docs/sharding.md).
 
 #include <signal.h>
 
@@ -47,6 +53,7 @@
 #include <deque>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -65,6 +72,7 @@
 #include "serve/service.h"
 #include "serve/snapshot.h"
 #include "serve/snapshot_store.h"
+#include "shard/sharded_build.h"
 #include "synth/city_generator.h"
 #include "synth/trip_generator.h"
 #include "traj/journey.h"
@@ -203,6 +211,9 @@ const std::vector<CommandSpec>& Commands() {
                    "(port 0 picks one; SIGINT/SIGTERM stops) instead of "
                    "the stdin line protocol"},
         {"loops", "epoll event-loop threads for --listen (default 1)"},
+        {"shards", "serve through K spatial shard lanes (tiled build, "
+                   "geo-routed annotation, per-shard rebuild; "
+                   "default 0 = monolithic)"},
         {"max-batch", "max coalesced requests per batch (default 64)"},
         {"max-delay-us", "batch window in microseconds (default 1000)"},
         {"annotate-limit", "max in-flight annotations (default 1024)"},
@@ -519,11 +530,6 @@ int CmdServe(const Args& args) {
       args.GetInt("closed", 0) != 0;
   snapshot_options.mine_patterns = args.GetInt("patterns", 1) != 0;
 
-  Stopwatch watch;
-  auto initial =
-      std::make_shared<serve::CsdSnapshot>(dataset, snapshot_options);
-  serve::SnapshotStore store(initial);
-
   serve::ServeOptions options;
   options.batch.max_batch =
       static_cast<size_t>(args.GetInt("max-batch", 64));
@@ -534,14 +540,43 @@ int CmdServe(const Args& args) {
   options.limits.query =
       static_cast<size_t>(args.GetInt("query-limit", 256));
   options.snapshot = snapshot_options;
-  serve::ServeService service(&store, options);
 
+  // The two store types differ, so the service lives in an optional and
+  // the rest of the command works through a reference; ServeService is
+  // not movable (it owns threads), hence emplace.
+  const size_t shards =
+      static_cast<size_t>(std::max<int64_t>(0, args.GetInt("shards", 0)));
+  Stopwatch watch;
+  std::shared_ptr<serve::CsdSnapshot> initial;
+  std::optional<serve::SnapshotStore> store;
+  std::optional<serve::ShardedSnapshotStore> sharded_store;
+  std::optional<serve::ServeService> service_storage;
+  uint64_t initial_version = 0;
+  if (shards > 0) {
+    shard::ShardPlan plan = shard::PlanForCity(dataset->pois, shards,
+                                               snapshot_options.miner.csd);
+    initial = std::make_shared<serve::CsdSnapshot>(dataset, snapshot_options,
+                                                   plan);
+    sharded_store.emplace(plan.num_shards());
+    initial_version = sharded_store->PublishAll(initial);
+    service_storage.emplace(&*sharded_store, std::move(plan), options);
+  } else {
+    initial = std::make_shared<serve::CsdSnapshot>(dataset, snapshot_options);
+    store.emplace(initial);
+    initial_version = store->current_version();
+    service_storage.emplace(&*store, options);
+  }
+  serve::ServeService& service = *service_storage;
+
+  std::string shard_note =
+      shards > 0 ? StrFormat(", %zu shard lanes", shards) : "";
   std::fprintf(stderr,
                "serve: snapshot v%llu ready in %.2fs (%zu units, %zu "
-               "patterns, %zu journeys)\n",
-               static_cast<unsigned long long>(store.current_version()),
+               "patterns, %zu journeys%s)\n",
+               static_cast<unsigned long long>(initial_version),
                watch.ElapsedSeconds(), initial->diagram().num_units(),
-               initial->patterns().size(), journeys_or.value().size());
+               initial->patterns().size(), journeys_or.value().size(),
+               shard_note.c_str());
 
   if (args.Has("listen")) {
     serve::NetServerOptions net_options;
