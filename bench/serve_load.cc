@@ -76,7 +76,9 @@
 #include "serve/service.h"
 #include "serve/snapshot.h"
 #include "serve/snapshot_store.h"
+#include "stream/stream_ingestor.h"
 #include "synth/city_generator.h"
+#include "synth/trace_replayer.h"
 #include "synth/trip_generator.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -100,6 +102,9 @@ struct LoadConfig {
   // Sharded phase (ShardedSnapshotStore + geo-routed annotation).
   size_t shards = 0;           // > 0 switches to the sharded phase
   bool megacity = false;       // use synth::MegacityConfig() for it
+  // Streaming phase (fix-by-fix ingest + incremental publication).
+  bool stream = false;
+  size_t ingest_fixes = 0;     // with --connect: send INGEST_FIX frames
 };
 
 constexpr char kUsage[] =
@@ -123,6 +128,12 @@ constexpr char kUsage[] =
     "                     single-tile rebuild (rates: shard_build_speedup,\n"
     "                     annotate_qps_sharded)\n"
     "  --megacity         use the 1M-POI megacity preset for --shards\n"
+    "  --stream           streaming phase: replayed fixes through the\n"
+    "                     online detector + incremental publication\n"
+    "                     (rates: ingest_fixes_per_sec,\n"
+    "                     incremental_rebuild_speedup)\n"
+    "  --ingest-fixes N   with --connect: stream N replayed fixes as\n"
+    "                     INGEST_FIX frames (CI's stream-smoke)\n"
     "  --emit-requests N  print N protocol lines for csdctl serve; exit\n"
     "  --json PATH        trajectory output path\n"
     "  --help             this text\n"
@@ -723,6 +734,239 @@ void RunShardedPhase(const LoadConfig& config,
   runs->push_back(std::move(run));
 }
 
+/// Clustered replay workload for the streaming phase: all itineraries in
+/// one corner of the city, so the delta dirties ~one tile of the plan and
+/// the incremental publish has a real advantage over a checkpoint.
+ReplayConfig MakeStreamReplayConfig(const CityConfig& city_config) {
+  ReplayConfig replay;
+  replay.num_users = EnvSize("CSD_BENCH_STREAM_USERS", 64);
+  replay.stops_per_user = 4;
+  replay.region.Extend(Vec2{0.05 * city_config.width_m,
+                            0.05 * city_config.height_m});
+  replay.region.Extend(Vec2{0.35 * city_config.width_m,
+                            0.35 * city_config.height_m});
+  return replay;
+}
+
+/// The streaming phase (--stream): a sharded bootstrap snapshot, then a
+/// clustered replay trace fed fix-by-fix through the StreamIngestor, one
+/// incremental publish tick (dirty tiles only) and one forced full
+/// checkpoint over the same accumulated state. The headline rate,
+/// incremental_rebuild_speedup = checkpoint_seconds / incremental_seconds,
+/// is the freshness win of republishing only what the delta touched.
+void RunStreamPhase(const LoadConfig& config,
+                    std::vector<PipelineBenchRun>* runs,
+                    uint64_t* total_failures) {
+  CityConfig city_config;
+  city_config.num_pois = EnvSize("CSD_BENCH_POIS", 15000);
+  TripConfig trip_config;
+  trip_config.num_agents = EnvSize("CSD_BENCH_AGENTS", 2000);
+  trip_config.num_days = static_cast<int>(EnvSize("CSD_BENCH_DAYS", 7));
+  const size_t shards = config.shards > 0 ? config.shards : 4;
+
+  std::printf("\n== serve_load (stream, K=%zu) ==\n", shards);
+  Stopwatch setup_watch;
+  SyntheticCity city = GenerateCity(city_config);
+  TripDataset trips = GenerateTrips(city, trip_config);
+  std::shared_ptr<const serve::ServeDataset> dataset =
+      serve::MakeServeDataset(city.pois, trips.journeys);
+
+  serve::SnapshotOptions snapshot_options;
+  snapshot_options.miner.extraction.support_threshold = 50;
+  snapshot_options.miner.extraction.temporal_constraint =
+      60 * kSecondsPerMinute;
+  snapshot_options.miner.extraction.density_threshold = 0.002;
+
+  shard::ShardPlan plan = shard::PlanForCity(dataset->pois, shards,
+                                             snapshot_options.miner.csd);
+  auto bootstrap_snapshot =
+      std::make_shared<serve::CsdSnapshot>(dataset, snapshot_options, plan);
+  serve::ShardedSnapshotStore store(plan.num_shards());
+  store.PublishAll(bootstrap_snapshot);
+  serve::ServeOptions options;
+  options.snapshot = snapshot_options;
+  serve::ServeService service(&store, plan, options);
+  std::printf("setup: %zu POIs, %zu journeys, bootstrap snapshot in %.1fs\n",
+              city.pois.size(), trips.journeys.size(),
+              setup_watch.ElapsedSeconds());
+
+  ReplaySet replay = MakeReplaySet(city, MakeStreamReplayConfig(city_config));
+  stream::StreamIngestor ingestor(&service, &store, plan, dataset);
+
+  Stopwatch ingest_watch;
+  for (const ReplayFix& rf : replay.stream) {
+    Status folded = ingestor.IngestFixes(
+        rf.user_id, std::span<const GpsPoint>(&rf.fix, 1));
+    if (!folded.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n",
+                   folded.ToString().c_str());
+      *total_failures += 1;
+      break;
+    }
+  }
+  ingestor.FlushAll();
+  double ingest_seconds = ingest_watch.ElapsedSeconds();
+  double fixes_per_sec =
+      ingest_seconds > 0.0
+          ? static_cast<double>(replay.stream.size()) / ingest_seconds
+          : 0.0;
+  std::printf("ingest: %zu fixes -> %llu stays in %.2fs (%.0f fixes/s, "
+              "%zu pending)\n",
+              replay.stream.size(),
+              static_cast<unsigned long long>(ingestor.stays_emitted()),
+              ingest_seconds, fixes_per_sec, ingestor.pending_stays());
+  if (ingestor.stays_emitted() == 0) {
+    std::fprintf(stderr, "FAIL: replay produced no stay points\n");
+    *total_failures += 1;
+  }
+
+  stream::RebuildTickReport incremental = ingestor.PublishTick();
+  if (!incremental.status.ok()) {
+    std::fprintf(stderr, "incremental publish failed: %s\n",
+                 incremental.status.ToString().c_str());
+    *total_failures += 1;
+  }
+  std::printf("incremental publish: v%llu, %zu stays over %zu dirty "
+              "tiles in %.2fs\n",
+              static_cast<unsigned long long>(incremental.version),
+              incremental.stays_folded, incremental.shards_rebuilt,
+              incremental.seconds);
+
+  // The checkpoint republishes the identical accumulated state through
+  // the full plan build, so the two timings divide cleanly.
+  stream::RebuildTickReport checkpoint =
+      ingestor.PublishTick(/*force_checkpoint=*/true);
+  if (!checkpoint.status.ok()) {
+    std::fprintf(stderr, "checkpoint publish failed: %s\n",
+                 checkpoint.status.ToString().c_str());
+    *total_failures += 1;
+  }
+  double speedup = incremental.seconds > 0.0
+                       ? checkpoint.seconds / incremental.seconds
+                       : 0.0;
+  std::printf("checkpoint publish: v%llu in %.2fs "
+              "(incremental speedup %.2fx)\n",
+              static_cast<unsigned long long>(checkpoint.version),
+              checkpoint.seconds, speedup);
+  service.Shutdown();
+
+  PipelineBenchRun run;
+  run.scale = shards;
+  run.label = "stream";
+  run.pois = city.pois.size();
+  run.agents = trip_config.num_agents;
+  run.journeys = trips.journeys.size();
+  run.patterns = bootstrap_snapshot->patterns().size();
+  run.stages.push_back({"stream_ingest", ingest_seconds, 0});
+  run.stages.push_back({"incremental_publish", incremental.seconds, 0});
+  run.stages.push_back({"checkpoint_publish", checkpoint.seconds, 0});
+  run.rates.emplace_back("ingest_fixes_per_sec", fixes_per_sec);
+  run.rates.emplace_back("incremental_rebuild_speedup", speedup);
+  runs->push_back(std::move(run));
+}
+
+/// The net ingest client (--connect + --ingest-fixes): streams a replayed
+/// trace as INGEST_FIX frames against an external `csdctl serve --listen
+/// --stream`, which is what CI's stream-smoke drives. Frames carry runs
+/// of consecutive same-user fixes and are pipelined in windows.
+int RunNetIngest(const std::string& host, uint16_t port,
+                 const LoadConfig& config) {
+  CityConfig city_config;
+  city_config.num_pois = EnvSize("CSD_BENCH_POIS", 15000);
+  SyntheticCity city = GenerateCity(city_config);
+  ReplayConfig replay_config = MakeStreamReplayConfig(city_config);
+  // Enough stops that the merged stream covers the requested fix count
+  // (a dwell alone is ~dwell_s / sample_interval fixes per stop).
+  size_t fixes_per_stop = static_cast<size_t>(
+      std::max<Timestamp>(1, replay_config.dwell_s /
+                                 replay_config.trace.sample_interval_s));
+  replay_config.stops_per_user =
+      config.ingest_fixes /
+          (replay_config.num_users * fixes_per_stop) +
+      1;
+  ReplaySet replay = MakeReplaySet(city, replay_config);
+  size_t total = std::min(config.ingest_fixes, replay.stream.size());
+
+  auto client_or = serve::NetClient::Connect(host, port);
+  if (!client_or.ok()) {
+    std::fprintf(stderr, "connect: %s\n",
+                 client_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<serve::NetClient> client = std::move(client_or).value();
+
+  std::printf("== serve_load (net ingest, %s) ==\n", config.connect.c_str());
+  constexpr size_t kFixesPerFrame = 32;
+  constexpr size_t kFramesPerWindow = 32;
+  uint64_t failures = 0;
+  uint64_t frames_acked = 0;
+  uint32_t request_id = 0;
+  size_t window = 0;
+  std::vector<uint8_t> buf;
+  std::vector<GpsPoint> batch;
+  uint32_t batch_user = 0;
+  Stopwatch wall;
+  auto drain = [&]() {
+    for (; window > 0; --window) {
+      auto response_or = client->ReadResponse();
+      if (!response_or.ok()) {
+        std::fprintf(stderr, "read: %s\n",
+                     response_or.status().ToString().c_str());
+        failures += window;
+        window = 1;  // loop decrement exits
+        continue;
+      }
+      if (response_or.value().type == serve::FrameType::kErrorResp) {
+        std::fprintf(stderr, "ingest rejected: %s\n",
+                     response_or.value().message.c_str());
+        ++failures;
+      } else {
+        ++frames_acked;
+      }
+    }
+  };
+  auto flush_batch = [&]() {
+    if (batch.empty()) return;
+    serve::AppendIngestFixRequest(request_id++, batch_user, batch, &buf);
+    batch.clear();
+    ++window;
+    if (window >= kFramesPerWindow) {
+      if (!client->Send(buf).ok()) {
+        std::fprintf(stderr, "send failed\n");
+        failures += window;
+        window = 0;
+      }
+      buf.clear();
+      drain();
+    }
+  };
+  for (size_t i = 0; i < total; ++i) {
+    const ReplayFix& rf = replay.stream[i];
+    if (!batch.empty() &&
+        (rf.user_id != batch_user || batch.size() >= kFixesPerFrame)) {
+      flush_batch();
+    }
+    batch_user = rf.user_id;
+    batch.push_back(rf.fix);
+  }
+  flush_batch();
+  if (!buf.empty() && !client->Send(buf).ok()) {
+    std::fprintf(stderr, "send failed\n");
+    failures += window;
+    window = 0;
+  }
+  drain();
+  double seconds = wall.ElapsedSeconds();
+  double fixes_per_sec =
+      seconds > 0.0 ? static_cast<double>(total) / seconds : 0.0;
+  std::printf("net ingest: %zu fixes in %llu frames acked, %llu FAILED "
+              "in %.2fs\n",
+              total, static_cast<unsigned long long>(frames_acked),
+              static_cast<unsigned long long>(failures), seconds);
+  std::printf("throughput: %.0f fixes/s\n", fixes_per_sec);
+  return failures == 0 ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   LoadConfig config;
   for (int i = 1; i < argc; ++i) {
@@ -760,6 +1004,10 @@ int Main(int argc, char** argv) {
       config.shards = static_cast<size_t>(std::atoll(v));
     } else if (std::strcmp(argv[i], "--megacity") == 0) {
       config.megacity = true;
+    } else if (std::strcmp(argv[i], "--stream") == 0) {
+      config.stream = true;
+    } else if (const char* v = value("--ingest-fixes")) {
+      config.ingest_fixes = static_cast<size_t>(std::atoll(v));
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
       std::printf("%s", kUsage);
@@ -789,6 +1037,9 @@ int Main(int argc, char** argv) {
     std::string host = config.connect.substr(0, colon);
     uint16_t port = static_cast<uint16_t>(
         std::atoi(config.connect.c_str() + colon + 1));
+    if (config.ingest_fixes > 0) {
+      return RunNetIngest(host, port, config);
+    }
     std::printf("== serve_load (net, %s) ==\n", config.connect.c_str());
     LoadOutcome outcome =
         config.qps > 0.0
@@ -810,6 +1061,23 @@ int Main(int argc, char** argv) {
                 Percentile(outcome.latencies, 0.99) * 1e3);
     std::printf("throughput: %.0f requests/s\n", achieved);
     return outcome.failures == 0 ? 0 : 1;
+  }
+
+  // --stream is its own phase: it builds a sharded bootstrap and drives
+  // the streaming layer directly, so the default monolithic service below
+  // never spins up.
+  if (config.stream) {
+    std::vector<PipelineBenchRun> runs;
+    uint64_t total_failures = 0;
+    RunStreamPhase(config, &runs, &total_failures);
+    const char* stream_env_path = std::getenv("CSD_BENCH_JSON");
+    std::string stream_json_path =
+        !config.json_path.empty() ? config.json_path
+        : stream_env_path != nullptr ? stream_env_path
+                                     : "BENCH_serve.json";
+    if (!WritePipelineJson(stream_json_path, "serve_load", runs)) return 1;
+    std::printf("trajectory written to %s\n", stream_json_path.c_str());
+    return total_failures == 0 ? 0 : 1;
   }
 
   TripConfig trip_config;

@@ -1,5 +1,6 @@
 #include "serve/frame.h"
 
+#include <cmath>
 #include <cstring>
 
 #include "core/semantic_unit.h"
@@ -84,6 +85,7 @@ bool IsKnownType(uint8_t type) {
     case FrameType::kQueryUnitReq:
     case FrameType::kRebuildReq:
     case FrameType::kStatsReq:
+    case FrameType::kIngestFix:
     case FrameType::kAnnotateResp:
     case FrameType::kTextResp:
     case FrameType::kErrorResp:
@@ -199,6 +201,29 @@ Result<NetRequest> ParseRequestFrame(const DecodedFrame& frame) {
     case FrameType::kRebuildReq:
     case FrameType::kStatsReq:
       break;
+    case FrameType::kIngestFix: {
+      request.user_id = cursor.Read<uint32_t>();
+      uint32_t count = cursor.Read<uint32_t>();
+      constexpr size_t kFixSize = 8 + 8 + 8;  // x, y, time
+      if (!cursor.ok() ||
+          frame.payload.size() != 2 * sizeof(uint32_t) + count * kFixSize) {
+        return Status::ParseError(
+            "ingest frame: fix count disagrees with payload length");
+      }
+      request.fixes.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        double x = cursor.Read<double>();
+        double y = cursor.Read<double>();
+        Timestamp t = cursor.Read<Timestamp>();
+        // Non-finite coordinates would poison every popularity fold they
+        // touch downstream; reject them at the wire, not in the detector.
+        if (!std::isfinite(x) || !std::isfinite(y)) {
+          return Status::ParseError("ingest frame: non-finite coordinate");
+        }
+        request.fixes.push_back(GpsPoint{Vec2{x, y}, t});
+      }
+      break;
+    }
     default:
       return Status::ParseError("frame: response type on the request path");
   }
@@ -289,6 +314,20 @@ void AppendRebuildRequest(uint32_t request_id, std::vector<uint8_t>* out) {
 
 void AppendStatsRequest(uint32_t request_id, std::vector<uint8_t>* out) {
   size_t at = AppendHeader(FrameType::kStatsReq, request_id, 0, out);
+  PatchPayloadLen(at, out);
+}
+
+void AppendIngestFixRequest(uint32_t request_id, uint32_t user_id,
+                            std::span<const GpsPoint> fixes,
+                            std::vector<uint8_t>* out) {
+  size_t at = AppendHeader(FrameType::kIngestFix, request_id, 0, out);
+  AppendRaw(user_id, out);
+  AppendRaw(static_cast<uint32_t>(fixes.size()), out);
+  for (const GpsPoint& fix : fixes) {
+    AppendRaw(fix.position.x, out);
+    AppendRaw(fix.position.y, out);
+    AppendRaw(fix.time, out);
+  }
   PatchPayloadLen(at, out);
 }
 

@@ -38,6 +38,8 @@ namespace csd::serve {
 ///   kQueryUnitReq  u32 unit
 ///   kRebuildReq    (empty)
 ///   kStatsReq      (empty)
+///   kIngestFix     u32 user_id, u32 count,
+///                  then count × (f64 x, f64 y, i64 time)
 /// Response payloads:
 ///   kAnnotateResp  u64 snapshot_version, u32 count,
 ///                  then count × (u32 unit, u32 semantic_bits)
@@ -55,6 +57,7 @@ enum class FrameType : uint8_t {
   kQueryUnitReq = 3,
   kRebuildReq = 4,
   kStatsReq = 5,
+  kIngestFix = 6,
   kAnnotateResp = 16,
   kTextResp = 17,
   kErrorResp = 18,
@@ -105,6 +108,8 @@ struct NetRequest {
   uint32_t deadline_ms = 0;
   std::vector<StayPoint> stays;  // kAnnotateReq / kJourneyReq
   uint32_t unit = 0;             // kQueryUnitReq
+  uint32_t user_id = 0;          // kIngestFix
+  std::vector<GpsPoint> fixes;   // kIngestFix
 };
 
 /// A decoded response frame (client side and tests).
@@ -137,6 +142,9 @@ void AppendQueryUnitRequest(uint32_t request_id, uint32_t unit,
                             std::vector<uint8_t>* out);
 void AppendRebuildRequest(uint32_t request_id, std::vector<uint8_t>* out);
 void AppendStatsRequest(uint32_t request_id, std::vector<uint8_t>* out);
+void AppendIngestFixRequest(uint32_t request_id, uint32_t user_id,
+                            std::span<const GpsPoint> fixes,
+                            std::vector<uint8_t>* out);
 
 void AppendAnnotateResponse(uint32_t request_id, const AnnotateResult& result,
                             std::vector<uint8_t>* out);

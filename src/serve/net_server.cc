@@ -422,6 +422,32 @@ class EventLoop {
                            &conn->out);
         FramesWrittenCounter().Increment();
         break;
+      case FrameType::kIngestFix: {
+        // Synchronous on purpose: the stream layer's fold is detector +
+        // Gaussian accumulation only (rebuilds happen on publish ticks,
+        // never here), so it is cheap enough for the loop thread and the
+        // response order doubles as an ingestion acknowledgement.
+        if (!server_->options_.ingest_handler) {
+          AppendErrorResponse(
+              request.request_id,
+              Status::FailedPrecondition(
+                  "ingest: no stream layer attached (serve --stream)"),
+              &conn->out);
+        } else {
+          Status folded = server_->options_.ingest_handler(
+              request.user_id, std::span<const GpsPoint>(request.fixes));
+          if (folded.ok()) {
+            AppendTextResponse(
+                request.request_id,
+                StrFormat("ok ingest %zu", request.fixes.size()),
+                &conn->out);
+          } else {
+            AppendErrorResponse(request.request_id, folded, &conn->out);
+          }
+        }
+        FramesWrittenCounter().Increment();
+        break;
+      }
       default:
         AppendErrorResponse(
             request.request_id,

@@ -4,13 +4,16 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "serve/admission.h"
 #include "serve/service.h"
+#include "traj/trajectory.h"
 #include "util/status.h"
 
 namespace csd::serve {
@@ -34,6 +37,13 @@ struct NetServerOptions {
   /// not drain responses cannot balloon server memory by pipelining.
   /// Reads resume once the buffer falls below half this.
   size_t max_out_buffer = 4u << 20;
+  /// Sink for INGEST_FIX frames. The serving core has no streaming
+  /// state of its own — `csdctl serve --stream` plugs the stream layer
+  /// in here (csd_serve must not depend on csd_stream). Called on the
+  /// event-loop thread that decoded the frame; must be thread-safe and
+  /// cheap. Unset means ingest frames answer FailedPrecondition.
+  std::function<Status(uint32_t user_id, std::span<const GpsPoint> fixes)>
+      ingest_handler;
 };
 
 /// The epoll front end of `csdctl serve --listen`: non-blocking sockets

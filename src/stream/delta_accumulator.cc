@@ -1,0 +1,82 @@
+#include "stream/delta_accumulator.h"
+
+#include <algorithm>
+
+#include "core/popularity.h"
+
+namespace csd::stream {
+
+DeltaAccumulator::DeltaAccumulator(const PoiDatabase* pois,
+                                   const shard::ShardPlan* plan,
+                                   double r3sigma_m)
+    : pois_(pois),
+      plan_(plan),
+      r3sigma_(r3sigma_m),
+      delta_popularity_(pois->size(), 0.0),
+      dirty_(plan->num_shards(), false) {}
+
+void DeltaAccumulator::Fold(uint32_t user_id, const StayPoint& stay) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stays_by_user_[user_id].push_back(stay);
+  ++pending_stays_;
+  ++total_stays_;
+  pois_->ForEachInRange(stay.position, r3sigma_, [&](PoiId id) {
+    double d = Distance(stay.position, pois_->poi(id).position);
+    delta_popularity_[id] += GaussianCoefficient(d, r3sigma_);
+  });
+  for (size_t shard : plan_->HaloShardsOf(stay.position)) {
+    dirty_[shard] = true;
+  }
+}
+
+StreamDelta DeltaAccumulator::Drain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  StreamDelta delta;
+  delta.stays = pending_stays_;
+  for (size_t s = 0; s < dirty_.size(); ++s) {
+    if (dirty_[s]) delta.dirty_shards.push_back(s);
+  }
+  pending_stays_ = 0;
+  std::fill(dirty_.begin(), dirty_.end(), false);
+  return delta;
+}
+
+void DeltaAccumulator::Restore(const StreamDelta& delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pending_stays_ += delta.stays;
+  for (size_t s : delta.dirty_shards) dirty_[s] = true;
+}
+
+std::vector<StayPoint> DeltaAccumulator::CanonicalStays() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<StayPoint> out;
+  out.reserve(total_stays_);
+  for (const auto& [user, stays] : stays_by_user_) {
+    out.insert(out.end(), stays.begin(), stays.end());
+  }
+  return out;
+}
+
+size_t DeltaAccumulator::pending_stays() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_stays_;
+}
+
+size_t DeltaAccumulator::total_stays() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_stays_;
+}
+
+double DeltaAccumulator::delta_popularity(PoiId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return delta_popularity_[id];
+}
+
+double DeltaAccumulator::total_delta_popularity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  double total = 0.0;
+  for (double v : delta_popularity_) total += v;
+  return total;
+}
+
+}  // namespace csd::stream

@@ -1,0 +1,92 @@
+#ifndef CSD_STREAM_DELTA_ACCUMULATOR_H_
+#define CSD_STREAM_DELTA_ACCUMULATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "poi/poi_database.h"
+#include "shard/shard_plan.h"
+#include "traj/trajectory.h"
+
+namespace csd::stream {
+
+/// What one publish tick drains: how many stay points it covers and
+/// which spatial shards they dirtied. The canonical stay evidence itself
+/// stays inside the accumulator (CanonicalStays) — a failed tick only
+/// hands its dirty set back via Restore, and nothing is lost.
+struct StreamDelta {
+  size_t stays = 0;
+  /// Ascending, unique. A stay dirties every shard whose halo contains
+  /// it (the owning tile plus fringe neighbors whose tile-local builds
+  /// see the stay through their halo slice).
+  std::vector<size_t> dirty_shards;
+};
+
+/// Folds stay points emitted by the online detectors into the streaming
+/// state an incremental rebuild consumes: per-POI delta popularity
+/// (Equation 3's Gaussian-weighted count, accumulated stay by stay),
+/// the per-tile dirty set, and the canonical stay history.
+///
+/// Canonical order — the keystone of the differential harness: stays are
+/// kept per user in emission order and concatenated user-major
+/// (ascending user id). Per-user emission order is a pure function of
+/// that user's fix sequence, so the canonical vector is invariant under
+/// any interleaving of users' feeds and under how many publish ticks the
+/// stream was cut into. A checkpoint rebuild over bootstrap + canonical
+/// stays is therefore byte-comparable to a from-scratch batch build over
+/// the same per-user traces.
+///
+/// Thread-safe: ingest handlers on several event loops fold
+/// concurrently; Drain/Restore run on the publish tick.
+class DeltaAccumulator {
+ public:
+  /// `pois` and `plan` must outlive the accumulator. `r3sigma_m` is the
+  /// popularity kernel radius R₃σ of Equation 3.
+  DeltaAccumulator(const PoiDatabase* pois, const shard::ShardPlan* plan,
+                   double r3sigma_m = 100.0);
+
+  /// Folds one emitted stay: appends it to `user_id`'s history, adds its
+  /// Gaussian contribution to every POI within R₃σ, and marks the
+  /// shards whose halos contain it dirty.
+  void Fold(uint32_t user_id, const StayPoint& stay);
+
+  /// Hands the pending tick work (count + dirty set) to a publish tick
+  /// and resets it. The stay history is untouched.
+  StreamDelta Drain();
+
+  /// Returns a failed tick's delta: its dirty shards are re-marked and
+  /// its stay count re-pended, so the next tick rebuilds them — the
+  /// no-lost-deltas contract the chaos tests hold.
+  void Restore(const StreamDelta& delta);
+
+  /// All folded stays, user-major / emission-minor (see class comment).
+  std::vector<StayPoint> CanonicalStays() const;
+
+  /// Stays folded since the last successful Drain.
+  size_t pending_stays() const;
+  /// All stays folded since construction.
+  size_t total_stays() const;
+
+  /// Accumulated Equation 3 delta popularity of one POI / of the city.
+  double delta_popularity(PoiId id) const;
+  double total_delta_popularity() const;
+
+ private:
+  const PoiDatabase* pois_;
+  const shard::ShardPlan* plan_;
+  double r3sigma_;
+
+  mutable std::mutex mutex_;
+  /// Ordered by user id so canonical concatenation is a plain walk.
+  std::map<uint32_t, std::vector<StayPoint>> stays_by_user_;
+  std::vector<double> delta_popularity_;
+  std::vector<bool> dirty_;
+  size_t pending_stays_ = 0;
+  size_t total_stays_ = 0;
+};
+
+}  // namespace csd::stream
+
+#endif  // CSD_STREAM_DELTA_ACCUMULATOR_H_

@@ -1,0 +1,113 @@
+#include "stream/online_stay_point_detector.h"
+
+#include <algorithm>
+
+namespace csd::stream {
+
+void OnlineStayPointDetector::Ingest(const GpsPoint& fix,
+                                     std::vector<StayPoint>* out) {
+  ++fixes_in_;
+  if (saw_fix_ && fix.time < release_floor_) {
+    // Beyond the reorder window: releasing it would violate the sorted
+    // order already handed to the window logic. Drop with a count — the
+    // policy docs/streaming.md spells out.
+    ++late_dropped_;
+    return;
+  }
+  if (!saw_fix_ || fix.time > watermark_) watermark_ = fix.time;
+  saw_fix_ = true;
+  // Stable time-sorted insert: equal timestamps keep arrival order, so a
+  // sorted trace passes through in exactly its input order.
+  auto at = std::upper_bound(
+      staging_.begin(), staging_.end(), fix.time,
+      [](Timestamp t, const GpsPoint& g) { return t < g.time; });
+  staging_.insert(at, fix);
+  // Release everything the watermark has passed by W.
+  size_t released = 0;
+  while (released < staging_.size() &&
+         staging_[released].time + options_.reorder_window_s <= watermark_) {
+    release_floor_ = std::max(release_floor_, staging_[released].time);
+    Feed(staging_[released], out);
+    ++released;
+  }
+  staging_.erase(staging_.begin(),
+                 staging_.begin() + static_cast<long>(released));
+}
+
+void OnlineStayPointDetector::Flush(std::vector<StayPoint>* out) {
+  // Release the reorder stage in time order regardless of the watermark.
+  for (const GpsPoint& fix : staging_) {
+    release_floor_ = std::max(release_floor_, fix.time);
+    Feed(fix, out);
+  }
+  staging_.clear();
+  // End of trace: the batch loop's j ran off the end, so the fully
+  // verified buffer is a closed window; if it does not qualify, advance
+  // the anchor and re-verify (interior closures may now resolve), until
+  // the buffer is spent.
+  while (!buffer_.empty()) {
+    if (EmitIfQualifies(buffer_.size(), out)) {
+      buffer_.clear();
+      verified_ = 0;
+      break;
+    }
+    buffer_.erase(buffer_.begin());
+    verified_ = 0;
+    Settle(out);
+  }
+  // Reusable for a fresh trace.
+  saw_fix_ = false;
+  watermark_ = 0;
+  release_floor_ = 0;
+}
+
+void OnlineStayPointDetector::Feed(const GpsPoint& fix,
+                                   std::vector<StayPoint>* out) {
+  buffer_.push_back(fix);
+  Settle(out);
+}
+
+void OnlineStayPointDetector::Settle(std::vector<StayPoint>* out) {
+  for (;;) {
+    while (verified_ < buffer_.size() &&
+           Distance(buffer_[0].position, buffer_[verified_].position) <=
+               options_.stay.distance_threshold_m) {
+      ++verified_;
+    }
+    if (verified_ == buffer_.size()) return;  // window open (or empty)
+    // buffer_[verified_] broke the window: [0, verified_) is closed.
+    if (EmitIfQualifies(verified_, out)) {
+      // The batch `i = j` jump: re-anchor at the breaking fix.
+      buffer_.erase(buffer_.begin(),
+                    buffer_.begin() + static_cast<long>(verified_));
+    } else {
+      // The batch `++i`: drop the anchor alone and re-verify the rest.
+      buffer_.erase(buffer_.begin());
+    }
+    verified_ = 0;
+  }
+}
+
+bool OnlineStayPointDetector::EmitIfQualifies(size_t window,
+                                              std::vector<StayPoint>* out) {
+  if (window < 2 ||
+      buffer_[window - 1].time - buffer_[0].time <
+          options_.stay.time_threshold_s) {
+    return false;
+  }
+  // Identical accumulation to the batch detector: positions and
+  // timestamps summed in window order as doubles, mean timestamp
+  // truncated toward zero.
+  Vec2 mean_pos;
+  double mean_time = 0.0;
+  double count = static_cast<double>(window);
+  for (size_t k = 0; k < window; ++k) {
+    mean_pos += buffer_[k].position;
+    mean_time += static_cast<double>(buffer_[k].time);
+  }
+  out->emplace_back(mean_pos / count, static_cast<Timestamp>(mean_time / count));
+  ++emitted_;
+  return true;
+}
+
+}  // namespace csd::stream

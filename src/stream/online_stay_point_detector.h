@@ -1,0 +1,108 @@
+#ifndef CSD_STREAM_ONLINE_STAY_POINT_DETECTOR_H_
+#define CSD_STREAM_ONLINE_STAY_POINT_DETECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "traj/stay_point_detector.h"
+#include "traj/trajectory.h"
+
+namespace csd::stream {
+
+/// Knobs of one per-user online detector.
+struct OnlineDetectorOptions {
+  /// Definition 5 thresholds — the same struct the batch detector takes,
+  /// so a replay harness can hand both paths one options object.
+  StayPointOptions stay;
+
+  /// Reorder window W (seconds). Fixes are staged, time-sorted, and only
+  /// released to the detector once the stream's watermark (highest
+  /// timestamp seen) has advanced W seconds past them, so a fix up to W
+  /// seconds late slots back into order. A fix older than the newest
+  /// released timestamp is beyond repair and is dropped with a count
+  /// (late_dropped()). W = 0 releases immediately: on a time-sorted
+  /// trace any W yields identical output.
+  Timestamp reorder_window_s = 0;
+};
+
+/// The streaming twin of the batch `DetectStayPoints`: consumes one GPS
+/// fix at a time and emits each stay point the moment its Definition 5
+/// window closes — when a fix lands outside θ_d of the window's anchor,
+/// or at Flush() (end of trace).
+///
+/// Load-bearing invariant (enforced by tests/stream_differential_test.cc):
+/// for any time-sorted trace, Ingest()ing every fix then Flush()ing
+/// produces *byte-identical* stay points to the batch detector — the
+/// same windows, and the means accumulated over the same fixes in the
+/// same order with the same double arithmetic and the same timestamp
+/// truncation. The incremental algorithm mirrors the batch loop exactly:
+/// a buffer holds the fixes from the current anchor onward, a closed
+/// window either emits (≥ 2 fixes spanning ≥ θ_t) and re-anchors at the
+/// breaking fix, or advances the anchor by one and re-verifies — the
+/// batch `++i` path. Fixes before the current anchor can never be
+/// revisited by the batch loop, so discarding them is exact, and the
+/// buffer stays bounded by one dwell's worth of fixes.
+///
+/// One instance per user; not thread-safe (the ingest layer serializes
+/// per-user feeds).
+class OnlineStayPointDetector {
+ public:
+  explicit OnlineStayPointDetector(const OnlineDetectorOptions& options = {})
+      : options_(options) {}
+
+  /// Feeds one fix. Stay points whose windows closed are appended to
+  /// `*out` (possibly none, rarely more than one).
+  void Ingest(const GpsPoint& fix, std::vector<StayPoint>* out);
+
+  /// End of trace: releases the reorder stage and closes the final
+  /// window(s) exactly as the batch loop does when it runs off the end.
+  /// The detector is reusable afterwards (a fresh trace may follow).
+  void Flush(std::vector<StayPoint>* out);
+
+  uint64_t fixes_in() const { return fixes_in_; }
+  uint64_t late_dropped() const { return late_dropped_; }
+  uint64_t emitted() const { return emitted_; }
+  /// Fixes currently buffered (staging + open window).
+  size_t pending_fixes() const { return staging_.size() + buffer_.size(); }
+
+  const OnlineDetectorOptions& options() const { return options_; }
+
+ private:
+  /// Appends a released (in-order) fix to the open window and resolves
+  /// every window the new fix closes. Postcondition: the whole buffer is
+  /// verified against its anchor (the window is open) or empty.
+  void Feed(const GpsPoint& fix, std::vector<StayPoint>* out);
+
+  /// Grows verified_ against buffer_[0], resolving interior closures,
+  /// until the buffer is fully verified or empty.
+  void Settle(std::vector<StayPoint>* out);
+
+  /// Emits the mean of buffer_[0, window) when it qualifies (≥ 2 fixes
+  /// spanning ≥ θ_t) — the same accumulation order and truncation as the
+  /// batch detector. Returns whether it emitted.
+  bool EmitIfQualifies(size_t window, std::vector<StayPoint>* out);
+
+  OnlineDetectorOptions options_;
+
+  /// Reorder stage: time-sorted (stable on ties), released when the
+  /// watermark passes time + W.
+  std::vector<GpsPoint> staging_;
+  Timestamp watermark_ = 0;
+  bool saw_fix_ = false;
+  /// Highest timestamp released to the window logic; older arrivals are
+  /// dropped as late.
+  Timestamp release_floor_ = 0;
+
+  /// Fixes from the current anchor (buffer_[0]) onward; the first
+  /// verified_ of them are within θ_d of the anchor.
+  std::vector<GpsPoint> buffer_;
+  size_t verified_ = 0;
+
+  uint64_t fixes_in_ = 0;
+  uint64_t late_dropped_ = 0;
+  uint64_t emitted_ = 0;
+};
+
+}  // namespace csd::stream
+
+#endif  // CSD_STREAM_ONLINE_STAY_POINT_DETECTOR_H_

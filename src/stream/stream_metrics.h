@@ -1,0 +1,30 @@
+#ifndef CSD_STREAM_STREAM_METRICS_H_
+#define CSD_STREAM_STREAM_METRICS_H_
+
+#include "obs/metrics.h"
+
+namespace csd::stream {
+
+/// The csd_stream_* metric family, shared by the ingest path and the
+/// incremental rebuilder. Function-local statics resolve against the
+/// process-wide registry (the src/obs idiom).
+obs::Counter& FixesCounter();
+obs::Counter& LateFixesDroppedCounter();
+obs::Counter& StaysEmittedCounter();
+obs::Counter& DirtyShardsCounter();
+obs::Counter& PublishTicksCounter();
+obs::Counter& CheckpointsCounter();
+obs::Counter& TickFailuresCounter();
+obs::Counter& ShardRebuildsCounter();
+obs::Counter& IngestFaultsCounter();
+obs::Gauge& PendingStaysGauge();
+obs::Histogram& FoldLatencyHistogram();
+
+/// Touches every csd_stream_* metric so a healthy server's scrape shows
+/// explicit zeros (the stream-smoke CI job greps for them), mirroring
+/// RegisterNetMetrics in serve/net_server.cc.
+void RegisterStreamMetrics();
+
+}  // namespace csd::stream
+
+#endif  // CSD_STREAM_STREAM_METRICS_H_

@@ -1,0 +1,90 @@
+#include "synth/trace_replayer.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace csd {
+
+namespace {
+
+/// Buildings eligible as itinerary stops: all of them, or the subset
+/// inside the configured region.
+std::vector<Vec2> EligibleStops(const SyntheticCity& city,
+                                const BoundingBox& region) {
+  std::vector<Vec2> eligible;
+  eligible.reserve(city.buildings.size());
+  for (const Building& building : city.buildings) {
+    if (region.Empty() || region.Contains(building.position)) {
+      eligible.push_back(building.position);
+    }
+  }
+  return eligible;
+}
+
+}  // namespace
+
+ReplaySet MakeReplaySet(const SyntheticCity& city,
+                        const ReplayConfig& config) {
+  ReplaySet set;
+  std::vector<Vec2> eligible = EligibleStops(city, config.region);
+  if (eligible.empty() || config.num_users == 0 ||
+      config.stops_per_user == 0) {
+    return set;
+  }
+  Rng rng(config.seed);
+  set.traces.reserve(config.num_users);
+  for (size_t u = 0; u < config.num_users; ++u) {
+    std::vector<ItineraryStop> stops;
+    stops.reserve(config.stops_per_user);
+    for (size_t s = 0; s < config.stops_per_user; ++s) {
+      size_t pick = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(eligible.size()) - 1));
+      stops.push_back(ItineraryStop{eligible[pick], config.dwell_s});
+    }
+    Timestamp start =
+        config.start_time +
+        static_cast<Timestamp>(u) * config.user_stagger_s;
+    Trajectory trace = SimulateGpsTrace(stops, start, config.trace, rng);
+    trace.id = static_cast<TrajectoryId>(u);
+    trace.passenger = static_cast<PassengerId>(u);
+    set.traces.push_back(std::move(trace));
+  }
+  // The merged stream is ordered by fix time — what a live feed looks
+  // like. stable_sort keeps each user's equal-time fixes in trace order,
+  // so per-user order (the equivalence contract) survives the merge.
+  for (const Trajectory& trace : set.traces) {
+    for (const GpsPoint& fix : trace.points) {
+      set.stream.push_back(
+          ReplayFix{static_cast<uint32_t>(trace.passenger), fix});
+    }
+  }
+  std::stable_sort(set.stream.begin(), set.stream.end(),
+                   [](const ReplayFix& a, const ReplayFix& b) {
+                     return a.fix.time < b.fix.time;
+                   });
+  return set;
+}
+
+std::vector<ReplayFix> ShuffledStream(const std::vector<Trajectory>& traces,
+                                      uint64_t seed) {
+  // Shuffle a multiset of user indices (one entry per fix), then deal
+  // each user's fixes out in per-user order against that schedule: a
+  // random global interleaving that never reorders within a user.
+  std::vector<size_t> schedule;
+  for (size_t t = 0; t < traces.size(); ++t) {
+    schedule.insert(schedule.end(), traces[t].points.size(), t);
+  }
+  Rng rng(seed);
+  std::shuffle(schedule.begin(), schedule.end(), rng.engine());
+  std::vector<size_t> cursor(traces.size(), 0);
+  std::vector<ReplayFix> stream;
+  stream.reserve(schedule.size());
+  for (size_t t : schedule) {
+    const Trajectory& trace = traces[t];
+    stream.push_back(ReplayFix{static_cast<uint32_t>(trace.passenger),
+                               trace.points[cursor[t]++]});
+  }
+  return stream;
+}
+
+}  // namespace csd

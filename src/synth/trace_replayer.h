@@ -1,0 +1,61 @@
+#ifndef CSD_SYNTH_TRACE_REPLAYER_H_
+#define CSD_SYNTH_TRACE_REPLAYER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "synth/city.h"
+#include "synth/gps_trace_simulator.h"
+#include "traj/trajectory.h"
+#include "util/rng.h"
+
+namespace csd {
+
+/// Everything configurable about a replayable trace set.
+struct ReplayConfig {
+  size_t num_users = 32;
+  size_t stops_per_user = 5;
+  /// Dwell per itinerary stop; must clear the Definition-5 time
+  /// threshold for stays to emerge.
+  Timestamp dwell_s = 15 * kSecondsPerMinute;
+  Timestamp start_time = 0;
+  /// Users start staggered so the merged stream interleaves them.
+  Timestamp user_stagger_s = 60;
+  GpsTraceConfig trace;
+  uint64_t seed = 1234;
+  /// Restrict itinerary stops to buildings inside this box (empty box =
+  /// anywhere in the city). Clustering the replay into one corner keeps
+  /// the dirty-tile set small, which is what makes the incremental
+  /// rebuild benchmark meaningfully cheaper than a checkpoint.
+  BoundingBox region;
+};
+
+/// One element of a merged fix stream: whose fix, and the fix.
+struct ReplayFix {
+  uint32_t user_id = 0;
+  GpsPoint fix;
+};
+
+/// A replayable workload: the per-user batch traces and the same fixes
+/// merged into one time-ordered stream. Feeding `stream` fix-by-fix
+/// through the streaming layer must reproduce exactly what the batch
+/// pipeline computes from `traces` — the differential harness
+/// (tests/stream_differential_test.cc) holds both paths to that.
+struct ReplaySet {
+  std::vector<Trajectory> traces;
+  std::vector<ReplayFix> stream;
+};
+
+/// Simulates `num_users` commuter traces over the city's buildings and
+/// merges them into a stream. Deterministic for a fixed config.
+ReplaySet MakeReplaySet(const SyntheticCity& city, const ReplayConfig& config);
+
+/// Re-interleaves the traces into a stream in a different (seeded)
+/// global order while preserving each user's per-fix order — the only
+/// ordering the streaming layer's equivalence contract depends on.
+std::vector<ReplayFix> ShuffledStream(const std::vector<Trajectory>& traces,
+                                      uint64_t seed);
+
+}  // namespace csd
+
+#endif  // CSD_SYNTH_TRACE_REPLAYER_H_

@@ -2,10 +2,48 @@
 
 namespace csd {
 
+namespace {
+
+/// True when every fix's timestamp is >= its predecessor's. The common
+/// case (sorted input) must not pay for a filtered copy.
+bool IsTimeSorted(const std::vector<GpsPoint>& pts) {
+  for (size_t i = 1; i < pts.size(); ++i) {
+    if (pts[i].time < pts[i - 1].time) return false;
+  }
+  return true;
+}
+
+/// Drops every fix whose timestamp is below the latest kept one — the
+/// batch edition of the online detector's late-fix policy (reorder
+/// window W = 0). Keeps equal timestamps.
+std::vector<GpsPoint> DropLateFixes(const std::vector<GpsPoint>& pts,
+                                    size_t* dropped) {
+  std::vector<GpsPoint> kept;
+  kept.reserve(pts.size());
+  for (const GpsPoint& p : pts) {
+    if (!kept.empty() && p.time < kept.back().time) {
+      if (dropped != nullptr) ++*dropped;
+      continue;
+    }
+    kept.push_back(p);
+  }
+  return kept;
+}
+
+}  // namespace
+
 std::vector<StayPoint> DetectStayPoints(const Trajectory& trajectory,
-                                        const StayPointOptions& options) {
+                                        const StayPointOptions& options,
+                                        size_t* dropped) {
   std::vector<StayPoint> stays;
-  const auto& pts = trajectory.points;
+  if (dropped != nullptr) *dropped = 0;
+  const std::vector<GpsPoint>* input = &trajectory.points;
+  std::vector<GpsPoint> filtered;
+  if (!IsTimeSorted(trajectory.points)) {
+    filtered = DropLateFixes(trajectory.points, dropped);
+    input = &filtered;
+  }
+  const auto& pts = *input;
   size_t n = pts.size();
   size_t i = 0;
   while (i < n) {

@@ -22,8 +22,20 @@ struct StayPointOptions {
 /// fix and which span at least θ_t. Each stay point is the arithmetic mean
 /// of the sub-trajectory's positions and timestamps, with an empty semantic
 /// property (filled later by Semantic Recognition).
+///
+/// Definition 5 presumes a time-ordered trace, and the window test
+/// `pts[j-1].time - pts[i].time >= θ_t` silently misbehaves on
+/// out-of-order fixes (a negative span can never qualify, so a single
+/// late fix splits a real dwell in two). Live feeds deliver such fixes
+/// (stream/online_stay_point_detector.h), so the batch path applies the
+/// same policy as the online detector's reorder window at W = 0: a fix
+/// whose timestamp is below the latest accepted one is dropped before
+/// detection. `dropped` (optional) receives the number of dropped fixes;
+/// equal timestamps are kept (duplicates average into the window as
+/// before).
 std::vector<StayPoint> DetectStayPoints(const Trajectory& trajectory,
-                                        const StayPointOptions& options);
+                                        const StayPointOptions& options = {},
+                                        size_t* dropped = nullptr);
 
 /// Convenience: converts a raw trajectory into a (semantics-free) semantic
 /// trajectory, preserving id and passenger.

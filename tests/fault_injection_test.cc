@@ -21,12 +21,21 @@
 #include <utility>
 #include <vector>
 
+#include <span>
+
 #include "io/binary_io.h"
 #include "io/dataset_io.h"
 #include "serve/batcher.h"
 #include "serve/protocol.h"
 #include "serve/retry.h"
 #include "serve/service.h"
+#include "serve/snapshot.h"
+#include "serve/snapshot_store.h"
+#include "shard/shard_plan.h"
+#include "shard/sharded_build.h"
+#include "stream/stream_ingestor.h"
+#include "synth/city_generator.h"
+#include "synth/trip_generator.h"
 #include "tests/serve_test_helpers.h"
 #include "util/failpoint.h"
 #include "util/rng.h"
@@ -411,6 +420,200 @@ TEST_F(ServeFaultTest, ChaosSweepNeverHangsOrDropsSilently) {
   auto after = service.AnnotateStayPoints(MakeStays(rng, 1));
   ASSERT_TRUE(after.ok());
   EXPECT_TRUE(std::move(after).value().get().status.ok());
+}
+
+// --- Streaming-ingest chaos -----------------------------------------------
+
+/// Chaos for the streaming layer (src/stream): an injected `serve/ingest`
+/// fault must reject the batch before any state changes (a retried frame
+/// is never double-counted), and a `serve/rebuild` fault during a publish
+/// tick must leave every lane serving its last good snapshot with the
+/// pending delta fully restored for the retry — a fault is never a lost
+/// delta.
+class StreamChaosTest : public FailpointTest {
+ protected:
+  static void SetUpTestSuite() {
+    CityConfig city_config;
+    city_config.num_pois = 800;
+    city_config.width_m = 4000.0;
+    city_config.height_m = 4000.0;
+    city_config.seed = 11;
+    city_ = new SyntheticCity(GenerateCity(city_config));
+    TripConfig trip_config;
+    trip_config.num_agents = 120;
+    trip_config.num_days = 1;
+    trip_config.seed = 17;
+    TripDataset trips = GenerateTrips(*city_, trip_config);
+    bootstrap_ = new std::shared_ptr<const serve::ServeDataset>(
+        serve::MakeServeDataset(city_->pois, trips.journeys));
+  }
+  static void TearDownTestSuite() {
+    delete bootstrap_;
+    delete city_;
+    bootstrap_ = nullptr;
+    city_ = nullptr;
+  }
+
+  struct Rig {
+    shard::ShardPlan plan;
+    std::unique_ptr<serve::ShardedSnapshotStore> store;
+    std::unique_ptr<serve::ServeService> service;
+    std::unique_ptr<stream::StreamIngestor> ingestor;
+    uint64_t bootstrap_version = 0;
+  };
+
+  static Rig MakeRig(size_t shards) {
+    auto options = TestSnapshotOptions(/*mine_patterns=*/false);
+    Rig rig{shard::PlanForCity((*bootstrap_)->pois, shards,
+                               options.miner.csd),
+            nullptr, nullptr, nullptr};
+    auto snapshot = std::make_shared<serve::CsdSnapshot>(*bootstrap_,
+                                                         options, rig.plan);
+    rig.store = std::make_unique<serve::ShardedSnapshotStore>(
+        rig.plan.num_shards());
+    rig.bootstrap_version = rig.store->PublishAll(snapshot);
+    serve::ServeOptions serve_options;
+    serve_options.snapshot = options;
+    rig.service = std::make_unique<serve::ServeService>(
+        rig.store.get(), rig.plan, serve_options);
+    rig.ingestor = std::make_unique<stream::StreamIngestor>(
+        rig.service.get(), rig.store.get(), rig.plan, *bootstrap_);
+    return rig;
+  }
+
+  /// A qualifying dwell at `at`: 8 fixes two minutes apart (span 840 s
+  /// ≥ θ_t), jittered a couple of meters so the mean is non-trivial.
+  static std::vector<GpsPoint> MakeDwellFixes(Vec2 at, Timestamp start) {
+    std::vector<GpsPoint> fixes;
+    for (size_t i = 0; i < 8; ++i) {
+      fixes.push_back(
+          GpsPoint{Vec2{at.x + 2.0 * static_cast<double>(i % 3),
+                        at.y - 1.5 * static_cast<double>(i % 2)},
+                   start + static_cast<Timestamp>(i) * 2 * kSecondsPerMinute});
+    }
+    return fixes;
+  }
+
+  static SyntheticCity* city_;
+  static std::shared_ptr<const serve::ServeDataset>* bootstrap_;
+};
+
+SyntheticCity* StreamChaosTest::city_ = nullptr;
+std::shared_ptr<const serve::ServeDataset>* StreamChaosTest::bootstrap_ =
+    nullptr;
+
+TEST_F(StreamChaosTest, IngestFaultRejectsTheBatchBeforeAnyStateChange) {
+  Rig rig = MakeRig(4);
+  Vec2 at = (*bootstrap_)->pois.pois().front().position;
+  std::vector<GpsPoint> fixes = MakeDwellFixes(at, 1000);
+
+  ASSERT_TRUE(FailpointRegistry::Get()
+                  .Arm("serve/ingest", "return(unavailable:ingest chaos)")
+                  .ok());
+  Status injected =
+      rig.ingestor->IngestFixes(7, std::span<const GpsPoint>(fixes));
+  EXPECT_EQ(injected.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(injected.message(), "ingest chaos");
+  // The fault fired before any state change: no fixes counted, no
+  // detector created, nothing pending.
+  EXPECT_EQ(rig.ingestor->fixes_ingested(), 0u);
+  EXPECT_EQ(rig.ingestor->num_users(), 0u);
+  EXPECT_EQ(rig.ingestor->pending_stays(), 0u);
+
+  // The client retries the exact same frame after the fault clears:
+  // counted once, emitted once.
+  FailpointRegistry::Get().DisarmAll();
+  Status retried =
+      rig.ingestor->IngestFixes(7, std::span<const GpsPoint>(fixes));
+  ASSERT_TRUE(retried.ok()) << retried.message();
+  EXPECT_EQ(rig.ingestor->fixes_ingested(), fixes.size());
+  EXPECT_EQ(rig.ingestor->num_users(), 1u);
+  rig.ingestor->FlushAll();
+  EXPECT_EQ(rig.ingestor->pending_stays(), 1u);
+  rig.service->Shutdown();
+}
+
+TEST_F(StreamChaosTest, RebuildFaultKeepsLastGoodSnapshotAndLosesNoDeltas) {
+  Rig rig = MakeRig(4);
+  const std::vector<Poi>& pois = (*bootstrap_)->pois.pois();
+  ASSERT_TRUE(rig.ingestor
+                  ->IngestFixes(3, std::span<const GpsPoint>(MakeDwellFixes(
+                                       pois.front().position, 1000)))
+                  .ok());
+  rig.ingestor->FlushAll();
+  size_t pending = rig.ingestor->pending_stays();
+  ASSERT_GT(pending, 0u);
+  std::vector<uint64_t> lanes_before;
+  for (size_t s = 0; s < rig.store->num_shards(); ++s) {
+    lanes_before.push_back(rig.store->shard_version(s));
+  }
+  uint64_t global_before = rig.store->current_version();
+
+  // Incremental tick under a rebuild fault: nothing publishes, and the
+  // delta (stays + dirty marks) goes back on the pending list.
+  ASSERT_TRUE(FailpointRegistry::Get()
+                  .Arm("serve/rebuild", "return(unavailable:rebuild chaos)")
+                  .ok());
+  stream::RebuildTickReport failed = rig.ingestor->PublishTick();
+  EXPECT_EQ(failed.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(failed.shards_rebuilt, 0u);
+  EXPECT_EQ(failed.version, 0u);
+  EXPECT_EQ(rig.store->current_version(), global_before);
+  for (size_t s = 0; s < rig.store->num_shards(); ++s) {
+    EXPECT_EQ(rig.store->shard_version(s), lanes_before[s]) << "lane " << s;
+  }
+  EXPECT_EQ(rig.ingestor->pending_stays(), pending) << "delta was lost";
+
+  // Graceful degradation: annotation still serves from the last good
+  // (bootstrap) snapshot while the rebuild path is down.
+  std::vector<StayPoint> probe;
+  probe.emplace_back(pois.front().position, Timestamp{0});
+  auto annotate_or = rig.service->AnnotateStayPoints(probe);
+  ASSERT_TRUE(annotate_or.ok()) << annotate_or.status().ToString();
+  AnnotateResult served = std::move(annotate_or).value().get();
+  EXPECT_TRUE(served.status.ok()) << served.status.ToString();
+  EXPECT_EQ(served.snapshot_version, rig.bootstrap_version);
+
+  // Fault clears: the very next tick folds the restored delta and
+  // publishes.
+  FailpointRegistry::Get().DisarmAll();
+  stream::RebuildTickReport retried = rig.ingestor->PublishTick();
+  EXPECT_TRUE(retried.status.ok()) << retried.status.message();
+  EXPECT_GT(retried.shards_rebuilt, 0u);
+  EXPECT_GT(retried.version, rig.bootstrap_version);
+  EXPECT_EQ(rig.ingestor->pending_stays(), 0u);
+
+  // The checkpoint path restores its delta on failure too.
+  ASSERT_TRUE(rig.ingestor
+                  ->IngestFixes(4, std::span<const GpsPoint>(MakeDwellFixes(
+                                       pois.back().position, 50000)))
+                  .ok());
+  rig.ingestor->FlushAll();
+  size_t pending_checkpoint = rig.ingestor->pending_stays();
+  ASSERT_GT(pending_checkpoint, 0u);
+  ASSERT_TRUE(FailpointRegistry::Get()
+                  .Arm("serve/rebuild", "return(unavailable:rebuild chaos)")
+                  .ok());
+  stream::RebuildTickReport failed_checkpoint =
+      rig.ingestor->PublishTick(/*force_checkpoint=*/true);
+  EXPECT_TRUE(failed_checkpoint.checkpoint);
+  EXPECT_FALSE(failed_checkpoint.status.ok());
+  EXPECT_EQ(rig.ingestor->pending_stays(), pending_checkpoint);
+  // The global lane only moves on a successful PublishAll: still the
+  // bootstrap generation after the failed checkpoint.
+  EXPECT_EQ(rig.store->current_version(), global_before);
+
+  FailpointRegistry::Get().DisarmAll();
+  stream::RebuildTickReport checkpoint =
+      rig.ingestor->PublishTick(/*force_checkpoint=*/true);
+  EXPECT_TRUE(checkpoint.status.ok()) << checkpoint.status.message();
+  EXPECT_TRUE(checkpoint.checkpoint);
+  EXPECT_GT(checkpoint.version, retried.version);
+  for (size_t s = 0; s < rig.store->num_shards(); ++s) {
+    EXPECT_EQ(rig.store->shard_version(s), checkpoint.version);
+  }
+  EXPECT_EQ(rig.ingestor->pending_stays(), 0u);
+  rig.service->Shutdown();
 }
 
 // --- Deadline propagation -------------------------------------------------

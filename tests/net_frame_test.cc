@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <limits>
 #include <vector>
 
 #include "serve/frame.h"
@@ -99,6 +100,83 @@ TEST(NetFrameTest, QueryRebuildStatsRequestsRoundTrip) {
   ASSERT_TRUE(stats.ok()) << stats.status();
   EXPECT_EQ(stats.value().type, FrameType::kStatsReq);
   EXPECT_EQ(stats.value().request_id, 9u);
+}
+
+std::vector<GpsPoint> SampleFixes(size_t n) {
+  std::vector<GpsPoint> fixes;
+  fixes.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    fixes.push_back(GpsPoint{Vec2{12.5 * static_cast<double>(i) + 0.125,
+                                  2000.0 - 7.5 * static_cast<double>(i)},
+                             static_cast<Timestamp>(500 + 30 * i)});
+  }
+  return fixes;
+}
+
+TEST(NetFrameTest, IngestFixRequestRoundTrips) {
+  for (size_t count : {size_t{0}, size_t{1}, size_t{9}}) {
+    std::vector<GpsPoint> fixes = SampleFixes(count);
+    std::vector<uint8_t> bytes;
+    AppendIngestFixRequest(0xfeed, 77, fixes, &bytes);
+    Result<NetRequest> parsed = ParseRequestFrame(DecodeOne(bytes));
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    const NetRequest& request = parsed.value();
+    EXPECT_EQ(request.type, FrameType::kIngestFix);
+    EXPECT_EQ(request.request_id, 0xfeedu);
+    EXPECT_EQ(request.user_id, 77u);
+    ASSERT_EQ(request.fixes.size(), count);
+    for (size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(request.fixes[i].position, fixes[i].position);
+      EXPECT_EQ(request.fixes[i].time, fixes[i].time);
+    }
+  }
+}
+
+TEST(NetFrameTest, IngestFixCountLengthMismatchIsParseError) {
+  std::vector<uint8_t> bytes;
+  AppendIngestFixRequest(1, 5, SampleFixes(3), &bytes);
+  // The count sits after user_id; lying about it must trip the
+  // count-vs-payload_len cross-check, not a giant reserve.
+  uint32_t lying_count = 200;
+  std::memcpy(bytes.data() + kFrameHeaderSize + sizeof(uint32_t),
+              &lying_count, sizeof(lying_count));
+  Result<NetRequest> parsed = ParseRequestFrame(DecodeOne(bytes));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+}
+
+TEST(NetFrameTest, IngestFixRejectsNonFiniteCoordinates) {
+  // NaN and infinity would poison every popularity fold downstream; the
+  // parser rejects them at the wire with a clean ParseError.
+  for (double poison : {std::numeric_limits<double>::quiet_NaN(),
+                        std::numeric_limits<double>::infinity(),
+                        -std::numeric_limits<double>::infinity()}) {
+    for (bool poison_y : {false, true}) {
+      std::vector<GpsPoint> fixes = SampleFixes(3);
+      (poison_y ? fixes[1].position.y : fixes[1].position.x) = poison;
+      std::vector<uint8_t> bytes;
+      AppendIngestFixRequest(2, 6, fixes, &bytes);
+      Result<NetRequest> parsed = ParseRequestFrame(DecodeOne(bytes));
+      ASSERT_FALSE(parsed.ok());
+      EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+    }
+  }
+}
+
+TEST(NetFrameTest, IngestFixTimestampDisorderIsNotTheParsersProblem) {
+  // Out-of-order and duplicate timestamps are valid on the wire — the
+  // reorder-window / drop policy belongs to the online detector
+  // (stream/online_stay_point_detector.h), not the frame parser.
+  std::vector<GpsPoint> fixes = SampleFixes(4);
+  std::swap(fixes[1].time, fixes[2].time);
+  fixes[3].time = fixes[0].time;  // duplicate
+  std::vector<uint8_t> bytes;
+  AppendIngestFixRequest(3, 8, fixes, &bytes);
+  Result<NetRequest> parsed = ParseRequestFrame(DecodeOne(bytes));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed.value().fixes.size(), 4u);
+  EXPECT_EQ(parsed.value().fixes[1].time, fixes[1].time);
+  EXPECT_EQ(parsed.value().fixes[3].time, fixes[0].time);
 }
 
 TEST(NetFrameTest, AnnotateResponseRoundTrips) {
@@ -270,6 +348,8 @@ TEST(NetFrameTest, ByteFlipFuzzNeverCrashesOrOverReads) {
   }
   corpus.emplace_back();
   AppendErrorResponse(15, Status::IoError("boom"), &corpus.back());
+  corpus.emplace_back();
+  AppendIngestFixRequest(16, 99, SampleFixes(3), &corpus.back());
 
   for (const std::vector<uint8_t>& original : corpus) {
     for (size_t pos = 0; pos < original.size(); ++pos) {

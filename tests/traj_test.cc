@@ -141,6 +141,55 @@ TEST(StayPointDetectorTest, DuplicateTimestampsAverageIntoOneStay) {
   EXPECT_TRUE(DetectStayPoints(instant, options).empty());
 }
 
+TEST(StayPointDetectorTest, OutOfOrderFixIsDroppedNotWindowSplitting) {
+  // Regression: a single late fix inside a dwell used to split the stay
+  // in two (the negative span could never re-qualify the window). The
+  // drop-late guard now removes it before detection, so the result is
+  // exactly the clean trace's, with the drop reported.
+  Trajectory clean = DwellThenMove();
+  Trajectory disordered = clean;
+  // A fix that arrives mid-dwell but carries an old timestamp.
+  disordered.points.insert(
+      disordered.points.begin() + 10,
+      GpsPoint{disordered.points[10].position, disordered.points[2].time});
+
+  StayPointOptions options;
+  options.distance_threshold_m = 100.0;
+  options.time_threshold_s = 10 * kSecondsPerMinute;
+  size_t dropped = 0;
+  auto stays = DetectStayPoints(disordered, options, &dropped);
+  EXPECT_EQ(dropped, 1u);
+  auto clean_stays = DetectStayPoints(clean, options);
+  ASSERT_EQ(stays.size(), clean_stays.size());
+  for (size_t i = 0; i < stays.size(); ++i) {
+    EXPECT_DOUBLE_EQ(stays[i].position.x, clean_stays[i].position.x);
+    EXPECT_DOUBLE_EQ(stays[i].position.y, clean_stays[i].position.y);
+    EXPECT_EQ(stays[i].time, clean_stays[i].time);
+  }
+}
+
+TEST(StayPointDetectorTest, SortedTracesNeverDropAndDuplicatesSurvive) {
+  // The guard is a no-op on well-formed input: a sorted trace (including
+  // equal timestamps, which are "not earlier" and therefore kept) runs
+  // the exact pre-guard batch path with zero drops.
+  Trajectory t;
+  t.points.emplace_back(Vec2{0.0, 0.0}, 0);
+  t.points.emplace_back(Vec2{2.0, 0.0}, 0);  // duplicate timestamp: kept
+  t.points.emplace_back(Vec2{4.0, 0.0}, 600);
+  StayPointOptions options;
+  options.distance_threshold_m = 50.0;
+  options.time_threshold_s = 600;
+  size_t dropped = 7;  // sentinel: must be overwritten with 0
+  auto stays = DetectStayPoints(t, options, &dropped);
+  EXPECT_EQ(dropped, 0u);
+  ASSERT_EQ(stays.size(), 1u);
+  EXPECT_DOUBLE_EQ(stays[0].position.x, 2.0);
+
+  size_t clean_dropped = 7;
+  DetectStayPoints(DwellThenMove(), options, &clean_dropped);
+  EXPECT_EQ(clean_dropped, 0u);
+}
+
 TEST(StayPointDetectorTest, MeanTimestampTruncatesTowardZero) {
   // A fractional mean timestamp truncates (integer cast), it does not
   // round: times {0, 1} average to 0.5 and surface as 0.

@@ -104,6 +104,18 @@ if cmake --build --preset default -j --target serve_load bench_diff; then
   elif ! ./build/tools/bench_diff BENCH_serve.json "${serve_scratch}" 0.5; then
     fail "serve bench_diff regression gate"
   fi
+  # The streaming phase writes its own file (WritePipelineJson
+  # overwrites); diff it against the same committed baseline — the
+  # non-stream runs report "(missing)" there, which bench_diff treats
+  # as informational, and the stream run's ingest_fixes_per_sec /
+  # incremental_rebuild_speedup rates are gated.
+  stream_scratch="$(mktemp /tmp/BENCH_stream.XXXXXX.json)"
+  trap 'rm -f "${scratch:-}" "${serve_scratch}" "${stream_scratch}"' EXIT
+  if ! ./build/bench/serve_load --stream --json "${stream_scratch}" >/dev/null; then
+    fail "serve_load --stream run (a failed tick also exits nonzero)"
+  elif ! ./build/tools/bench_diff BENCH_serve.json "${stream_scratch}" 0.5; then
+    fail "stream bench_diff regression gate"
+  fi
 else
   fail "build serve_load"
 fi

@@ -17,6 +17,9 @@
 //                    [--annotate-limit 1024] [--query-limit 256]
 //                    [--sigma 50] [--delta-t-min 60] [--rho 0.002]
 //                    [--closed 0|1] [--patterns 0|1] [--retries 4]
+//                    [--stream 1] [--stream-tick-ms 1000]
+//                    [--stream-checkpoint-every N]
+//                    [--stream-reorder-window-s W]
 //
 // `csdctl <command> --help` lists the command's flags. Unknown flags and
 // flags missing their value are errors that name the offending token.
@@ -42,10 +45,16 @@
 // through a ShardedSnapshotStore: annotation batches are geo-routed to
 // per-shard lanes and one tile can rebuild without stalling the rest
 // (docs/sharding.md).
+//
+// With --stream 1 (needs --listen and --shards) the server also accepts
+// INGEST_FIX frames: live GPS fixes run through per-user online
+// stay-point detectors, and a ticker thread publishes incremental
+// snapshots rebuilding only the dirty tiles (docs/streaming.md).
 
 #include <signal.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <chrono>
 #include <cstdio>
@@ -55,6 +64,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -73,6 +83,7 @@
 #include "serve/snapshot.h"
 #include "serve/snapshot_store.h"
 #include "shard/sharded_build.h"
+#include "stream/stream_ingestor.h"
 #include "synth/city_generator.h"
 #include "synth/trip_generator.h"
 #include "traj/journey.h"
@@ -224,7 +235,18 @@ const std::vector<CommandSpec>& Commands() {
         {"closed", "1 = closed patterns only (default 0)"},
         {"patterns", "0 = skip pattern mining on (re)build (default 1)"},
         {"retries", "max submit attempts for transient rejections "
-                    "(default 4, 1 disables retry)"}}},
+                    "(default 4, 1 disables retry)"},
+        {"stream", "1 = accept INGEST_FIX frames and fold them into "
+                   "incremental snapshots (needs --listen and --shards; "
+                   "docs/streaming.md)"},
+        {"stream-tick-ms", "publish-tick period in milliseconds "
+                           "(default 1000)"},
+        {"stream-checkpoint-every", "every Nth publish tick is a full "
+                                    "rebuild checkpoint (default 0 = "
+                                    "never)"},
+        {"stream-reorder-window-s", "buffer out-of-order fixes up to this "
+                                    "many seconds; older ones are dropped "
+                                    "with a metric (default 0)"}}},
   };
   return kCommands;
 }
@@ -497,6 +519,12 @@ Result<std::pair<std::string, uint16_t>> ParseListenAddress(
 
 int CmdServe(const Args& args) {
   if (!args.Require({"pois", "trips"})) return 2;
+  const bool stream_on = args.GetInt("stream", 0) != 0;
+  if (stream_on && (!args.Has("listen") || args.GetInt("shards", 0) <= 0)) {
+    return Fail(Status::InvalidArgument(
+        "--stream needs both --listen (INGEST_FIX frames arrive there) and "
+        "--shards (incremental publication rebuilds dirty tiles)"));
+  }
   // Validate --listen before the expensive snapshot build, and block the
   // lifetime signals before any service/loop thread spawns so every
   // thread inherits the mask and sigwait below is the only receiver.
@@ -552,6 +580,7 @@ int CmdServe(const Args& args) {
   std::optional<serve::ShardedSnapshotStore> sharded_store;
   std::optional<serve::ServeService> service_storage;
   uint64_t initial_version = 0;
+  std::optional<shard::ShardPlan> stream_plan;
   if (shards > 0) {
     shard::ShardPlan plan = shard::PlanForCity(dataset->pois, shards,
                                                snapshot_options.miner.csd);
@@ -559,6 +588,7 @@ int CmdServe(const Args& args) {
                                                    plan);
     sharded_store.emplace(plan.num_shards());
     initial_version = sharded_store->PublishAll(initial);
+    if (stream_on) stream_plan = plan;  // the ingestor needs its own copy
     service_storage.emplace(&*sharded_store, std::move(plan), options);
   } else {
     initial = std::make_shared<serve::CsdSnapshot>(dataset, snapshot_options);
@@ -584,8 +614,48 @@ int CmdServe(const Args& args) {
     net_options.port = listen_addr.second;
     net_options.num_loops =
         static_cast<size_t>(std::max<int64_t>(1, args.GetInt("loops", 1)));
+
+    // The streaming layer sits behind the INGEST_FIX frame: fixes fold
+    // into per-user detectors on the ingest path, and a ticker thread
+    // turns the accumulated delta into incremental publications.
+    std::optional<stream::StreamIngestor> ingestor;
+    std::thread ticker;
+    std::atomic<bool> ticker_stop{false};
+    if (stream_on) {
+      stream::StreamOptions stream_options;
+      stream_options.checkpoint_every = static_cast<size_t>(
+          std::max<int64_t>(0, args.GetInt("stream-checkpoint-every", 0)));
+      stream_options.detector.reorder_window_s =
+          std::max<int64_t>(0, args.GetInt("stream-reorder-window-s", 0));
+      ingestor.emplace(&service, &*sharded_store, *stream_plan, dataset,
+                       stream_options);
+      net_options.ingest_handler =
+          [&ingestor](uint32_t user_id, std::span<const GpsPoint> fixes) {
+            return ingestor->IngestFixes(user_id, fixes);
+          };
+      const auto tick = std::chrono::milliseconds(
+          std::max<int64_t>(1, args.GetInt("stream-tick-ms", 1000)));
+      ticker = std::thread([&ingestor, &ticker_stop, tick] {
+        while (!ticker_stop.load(std::memory_order_acquire)) {
+          std::this_thread::sleep_for(tick);
+          if (ticker_stop.load(std::memory_order_acquire)) break;
+          if (ingestor->pending_stays() > 0) ingestor->PublishTick();
+        }
+      });
+      std::fprintf(stderr,
+                   "serve: stream ingest on (tick %lld ms, checkpoint "
+                   "every %zu ticks, reorder window %lld s)\n",
+                   static_cast<long long>(tick.count()),
+                   stream_options.checkpoint_every,
+                   static_cast<long long>(
+                       stream_options.detector.reorder_window_s));
+    }
     auto server_or = serve::NetServer::Start(&service, net_options);
     if (!server_or.ok()) {
+      if (ticker.joinable()) {
+        ticker_stop.store(true, std::memory_order_release);
+        ticker.join();
+      }
       service.Shutdown();
       return Fail(server_or.status());
     }
@@ -600,6 +670,20 @@ int CmdServe(const Args& args) {
     sigwait(&signal_set, &sig);
     std::fprintf(stderr, "serve: signal %d, draining\n", sig);
     server->Shutdown();
+    if (ticker.joinable()) {
+      ticker_stop.store(true, std::memory_order_release);
+      ticker.join();
+    }
+    if (ingestor) {
+      std::fprintf(
+          stderr,
+          "serve: stream drained (%llu fixes, %llu stays, %llu late "
+          "dropped, %zu pending)\n",
+          static_cast<unsigned long long>(ingestor->fixes_ingested()),
+          static_cast<unsigned long long>(ingestor->stays_emitted()),
+          static_cast<unsigned long long>(ingestor->late_dropped()),
+          ingestor->pending_stays());
+    }
     service.Shutdown();
     std::fprintf(
         stderr,
