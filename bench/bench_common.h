@@ -50,12 +50,16 @@ inline size_t EnvSize(const char* name, size_t fallback) {
 }
 
 /// Builds the standard setup. The paper's parameter defaults are used for
-/// extraction (σ=50, δ_t=60 min, ρ=0.002 m⁻²).
-inline ExperimentSetup MakeStandardSetup() {
+/// extraction (σ=50, δ_t=60 min, ρ=0.002 m⁻²). Benches that compare
+/// against committed baselines keep the legacy uniform destination draws
+/// (the default here); pass false to opt into popularity-weighted
+/// destinations (the TripConfig default everywhere else).
+inline ExperimentSetup MakeStandardSetup(bool uniform_destinations = true) {
   ExperimentSetup s;
   s.city_config.num_pois = EnvSize("CSD_BENCH_POIS", 15000);
   s.trip_config.num_agents = EnvSize("CSD_BENCH_AGENTS", 2000);
   s.trip_config.num_days = static_cast<int>(EnvSize("CSD_BENCH_DAYS", 7));
+  s.trip_config.uniform_destinations = uniform_destinations;
   s.miner_config.extraction.support_threshold = 50;
   s.miner_config.extraction.temporal_constraint = 60 * kSecondsPerMinute;
   s.miner_config.extraction.density_threshold = 0.002;

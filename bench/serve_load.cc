@@ -62,12 +62,15 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "scenario/chaos_timeline.h"
+#include "scenario/scenario.h"
 #include "serve/frame.h"
 #include "shard/sharded_build.h"
 #include "serve/net_client.h"
@@ -105,6 +108,9 @@ struct LoadConfig {
   // Streaming phase (fix-by-fix ingest + incremental publication).
   bool stream = false;
   size_t ingest_fixes = 0;     // with --connect: send INGEST_FIX frames
+  // Scenario mode (src/scenario packs: phased load + chaos end to end).
+  std::string scenario;
+  bool list_scenarios = false;
 };
 
 constexpr char kUsage[] =
@@ -134,6 +140,14 @@ constexpr char kUsage[] =
     "                     incremental_rebuild_speedup)\n"
     "  --ingest-fixes N   with --connect: stream N replayed fixes as\n"
     "                     INGEST_FIX frames (CI's stream-smoke)\n"
+    "  --scenario NAME    run a workload pack end to end: phased open-loop\n"
+    "                     annotate + paced ingest per the pack's schedule,\n"
+    "                     chaos windows armed per phase. Hosts the pack's\n"
+    "                     city in-process by default; with --connect the\n"
+    "                     pack drives an external csdctl serve --scenario.\n"
+    "                     Per-phase rates land in the trajectory under the\n"
+    "                     'scenario:NAME' run label\n"
+    "  --list-scenarios   print the registered packs and exit\n"
     "  --emit-requests N  print N protocol lines for csdctl serve; exit\n"
     "  --json PATH        trajectory output path\n"
     "  --help             this text\n"
@@ -611,6 +625,9 @@ void RunShardedPhase(const LoadConfig& config,
     city_config.num_pois = EnvSize("CSD_BENCH_POIS", 15000);
   }
   TripConfig trip_config;
+  // Committed BENCH_serve.json baselines predate popularity-weighted
+  // destinations; pin the uniform sampler so runs stay comparable.
+  trip_config.uniform_destinations = true;
   trip_config.num_agents = EnvSize("CSD_BENCH_AGENTS", 2000);
   trip_config.num_days = static_cast<int>(EnvSize("CSD_BENCH_DAYS", 7));
 
@@ -760,6 +777,7 @@ void RunStreamPhase(const LoadConfig& config,
   CityConfig city_config;
   city_config.num_pois = EnvSize("CSD_BENCH_POIS", 15000);
   TripConfig trip_config;
+  trip_config.uniform_destinations = true;  // keep baselines comparable
   trip_config.num_agents = EnvSize("CSD_BENCH_AGENTS", 2000);
   trip_config.num_days = static_cast<int>(EnvSize("CSD_BENCH_DAYS", 7));
   const size_t shards = config.shards > 0 ? config.shards : 4;
@@ -967,6 +985,374 @@ int RunNetIngest(const std::string& host, uint16_t port,
   return failures == 0 ? 0 : 1;
 }
 
+/// Paced INGEST_FIX sender for one scenario phase: consumes the shared
+/// replay stream from `*cursor` (phases continue where the previous one
+/// stopped, keeping each user's fixes time-ordered), batching runs of
+/// same-user fixes into 32-fix frames and keeping a pipelined window
+/// outstanding. The budget `sent <= rate * elapsed` holds the target
+/// fixes/s without a per-fix sleep.
+void RunScenarioIngest(const std::string& host, uint16_t port,
+                       const std::vector<ReplayFix>& stream, size_t* cursor,
+                       double rate, double duration_s, uint64_t* failures,
+                       size_t* fixes_sent) {
+  auto client_or = serve::NetClient::Connect(host, port);
+  if (!client_or.ok()) {
+    std::fprintf(stderr, "ingest connect: %s\n",
+                 client_or.status().ToString().c_str());
+    *failures += 1;
+    return;
+  }
+  std::unique_ptr<serve::NetClient> client = std::move(client_or).value();
+  constexpr size_t kFixesPerFrame = 32;
+  constexpr size_t kFramesPerWindow = 16;
+  size_t window = 0;
+  uint32_t request_id = 0;
+  std::vector<uint8_t> buf;
+  std::vector<GpsPoint> batch;
+  uint32_t batch_user = 0;
+  auto drain = [&]() {
+    for (; window > 0; --window) {
+      auto response_or = client->ReadResponse();
+      if (!response_or.ok()) {
+        std::fprintf(stderr, "ingest read: %s\n",
+                     response_or.status().ToString().c_str());
+        *failures += window;
+        window = 1;  // loop decrement exits
+        continue;
+      }
+      if (response_or.value().type == serve::FrameType::kErrorResp) {
+        std::fprintf(stderr, "ingest rejected: %s\n",
+                     response_or.value().message.c_str());
+        *failures += 1;
+      }
+    }
+  };
+  auto flush_batch = [&]() {
+    if (batch.empty()) return;
+    serve::AppendIngestFixRequest(request_id++, batch_user, batch, &buf);
+    batch.clear();
+    ++window;
+    if (window >= kFramesPerWindow) {
+      if (!client->Send(buf).ok()) {
+        std::fprintf(stderr, "ingest send failed\n");
+        *failures += window;
+        window = 0;
+      }
+      buf.clear();
+      drain();
+    }
+  };
+  Stopwatch wall;
+  size_t sent = 0;
+  while (wall.ElapsedSeconds() < duration_s && *cursor < stream.size()) {
+    size_t budget =
+        static_cast<size_t>(rate * std::min(wall.ElapsedSeconds(),
+                                            duration_s));
+    bool advanced = false;
+    while (sent < budget && *cursor < stream.size()) {
+      const ReplayFix& rf = stream[(*cursor)++];
+      if (!batch.empty() &&
+          (rf.user_id != batch_user || batch.size() >= kFixesPerFrame)) {
+        flush_batch();
+      }
+      batch_user = rf.user_id;
+      batch.push_back(rf.fix);
+      ++sent;
+      advanced = true;
+    }
+    if (!advanced) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  flush_batch();
+  if (!buf.empty() && !client->Send(buf).ok()) {
+    std::fprintf(stderr, "ingest send failed\n");
+    *failures += window;
+    window = 0;
+  }
+  drain();
+  *fixes_sent = sent;
+}
+
+/// The scenario phase driver shared by the in-process and --connect
+/// modes: walks the pack's load schedule against a live server at
+/// (host, port), pacing annotate traffic open-loop and ingest traffic on
+/// a sidecar connection per the phase envelope, arming chaos windows
+/// through `timeline` when this process owns the failpoint registry
+/// (in-process mode; with --connect the server's own timeline does it).
+/// Appends per-phase stages/rates to `run`.
+void DriveScenarioPhases(const scenario::ScenarioPack& pack,
+                         const std::string& host, uint16_t port,
+                         const CityConfig& city_config,
+                         const std::vector<ReplayFix>& replay_stream,
+                         scenario::ChaosTimeline* timeline,
+                         const LoadConfig& config, PipelineBenchRun* run,
+                         uint64_t* total_failures, uint64_t* total_shed,
+                         uint64_t* total_completed) {
+  size_t ingest_cursor = 0;
+  for (const scenario::LoadPhase& phase : pack.load) {
+    if (timeline != nullptr) {
+      Status armed = timeline->EnterPhase(phase.name);
+      if (!armed.ok()) {
+        std::fprintf(stderr, "chaos arm (%s): %s\n", phase.name.c_str(),
+                     armed.ToString().c_str());
+        *total_failures += 1;
+      }
+    }
+    std::printf("\n-- phase %s: %.1fs @ %.0f qps annotate, %.0f fixes/s "
+                "ingest%s --\n",
+                phase.name.c_str(), phase.duration_s, phase.annotate_qps,
+                phase.ingest_fixes_per_sec,
+                (timeline != nullptr && !timeline->armed().empty())
+                    ? " [chaos armed]"
+                    : "");
+
+    uint64_t ingest_failures = 0;
+    size_t fixes_sent = 0;
+    std::thread ingest;
+    Stopwatch phase_watch;
+    if (phase.ingest_fixes_per_sec > 0.0 && !replay_stream.empty()) {
+      ingest = std::thread([&] {
+        RunScenarioIngest(host, port, replay_stream, &ingest_cursor,
+                          phase.ingest_fixes_per_sec, phase.duration_s,
+                          &ingest_failures, &fixes_sent);
+      });
+    }
+    LoadOutcome outcome;
+    if (phase.annotate_qps > 0.0) {
+      LoadConfig phase_config = config;
+      phase_config.qps = phase.annotate_qps;
+      phase_config.duration_s = phase.duration_s;
+      outcome = RunNetOpenLoop(host, port, city_config, phase_config);
+    } else {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(phase.duration_s));
+    }
+    if (ingest.joinable()) ingest.join();
+    double phase_seconds = phase_watch.ElapsedSeconds();
+
+    std::sort(outcome.latencies.begin(), outcome.latencies.end());
+    double p50 = Percentile(outcome.latencies, 0.50);
+    double p99 = Percentile(outcome.latencies, 0.99);
+    double qps = outcome.wall_seconds > 0.0
+                     ? static_cast<double>(outcome.completed) /
+                           outcome.wall_seconds
+                     : 0.0;
+    double ingest_rate = phase_seconds > 0.0
+                             ? static_cast<double>(fixes_sent) / phase_seconds
+                             : 0.0;
+    std::printf("phase %s: %llu completed, %llu shed, %llu FAILED, %zu "
+                "fixes in %.2fs (p50 %.3fms p99 %.3fms, %.0f qps, %.0f "
+                "fixes/s)\n",
+                phase.name.c_str(),
+                static_cast<unsigned long long>(outcome.completed),
+                static_cast<unsigned long long>(outcome.shed),
+                static_cast<unsigned long long>(outcome.failures +
+                                                ingest_failures),
+                fixes_sent, phase_seconds, p50 * 1e3, p99 * 1e3, qps,
+                ingest_rate);
+
+    if (phase.annotate_qps > 0.0) {
+      run->stages.push_back({phase.name + "_p50", p50, 0});
+      run->stages.push_back({phase.name + "_p99", p99, 0});
+      run->rates.emplace_back(phase.name + "_annotate_qps", qps);
+    }
+    if (phase.ingest_fixes_per_sec > 0.0) {
+      run->rates.emplace_back(phase.name + "_ingest_fixes_per_sec",
+                              ingest_rate);
+    }
+    *total_failures += outcome.failures + ingest_failures;
+    *total_shed += outcome.shed;
+    *total_completed += outcome.completed;
+  }
+  if (timeline != nullptr) timeline->Finish();
+}
+
+/// The scenario phase (--scenario NAME): the pack's city + trips are
+/// generated, its load schedule is driven phase by phase (open-loop
+/// annotate + paced INGEST_FIX sidecar), its chaos windows arm per
+/// phase, and one run labelled "scenario:NAME" with per-phase
+/// p50/p99/annotate_qps/ingest_fixes_per_sec lands in the trajectory.
+/// Without --connect the pack is hosted in-process (sharded store,
+/// streaming ingestor, loopback NetServer); with --connect an external
+/// `csdctl serve --listen --stream --scenario NAME` owns the dataset and
+/// the chaos timeline and this process only paces traffic.
+int RunScenario(const LoadConfig& config) {
+  auto pack_or = scenario::GetScenario(config.scenario);
+  if (!pack_or.ok()) {
+    std::fprintf(stderr, "%s\n", pack_or.status().ToString().c_str());
+    return 2;
+  }
+  scenario::ScenarioPack pack = std::move(pack_or).value();
+  // The usual bench env knobs shrink the pack for CI boxes.
+  pack.city.num_pois = EnvSize("CSD_BENCH_POIS", pack.city.num_pois);
+  pack.trips.num_agents = EnvSize("CSD_BENCH_AGENTS", pack.trips.num_agents);
+  pack.trips.num_days = static_cast<int>(
+      EnvSize("CSD_BENCH_DAYS", static_cast<size_t>(pack.trips.num_days)));
+
+  std::printf("== serve_load (scenario %s%s%s) ==\n", pack.name.c_str(),
+              config.connect.empty() ? "" : ", connect ",
+              config.connect.c_str());
+  std::printf("%s", scenario::DescribeSchedule(pack).c_str());
+
+  // Size the replay so the schedule's ingest envelope never runs dry.
+  double total_ingest_fixes = 0.0;
+  for (const scenario::LoadPhase& phase : pack.load) {
+    total_ingest_fixes += phase.ingest_fixes_per_sec * phase.duration_s;
+  }
+  if (total_ingest_fixes > 0.0) {
+    size_t fixes_per_stop = static_cast<size_t>(
+        std::max<Timestamp>(1, pack.replay.dwell_s /
+                                   pack.replay.trace.sample_interval_s));
+    pack.replay.stops_per_user =
+        static_cast<size_t>(total_ingest_fixes * 1.5) /
+            std::max<size_t>(1, pack.replay.num_users * fixes_per_stop) +
+        1;
+  }
+
+  Stopwatch setup_watch;
+  SyntheticCity city = GenerateCity(pack.city);
+  ReplaySet replay;
+  if (total_ingest_fixes > 0.0) {
+    replay = MakeReplaySet(city, pack.replay);
+  }
+
+  uint64_t total_failures = 0;
+  uint64_t total_shed = 0;
+  uint64_t total_completed = 0;
+  PipelineBenchRun run;
+  run.scale = static_cast<double>(pack.serve_shards);
+  run.label = "scenario:" + pack.name;
+  run.pois = city.pois.size();
+  run.agents = pack.trips.num_agents;
+
+  Stopwatch scenario_wall;
+  if (!config.connect.empty()) {
+    // External server: it owns the dataset and (when started with
+    // --scenario) the chaos timeline; this process only paces traffic.
+    size_t colon = config.connect.rfind(':');
+    if (colon == std::string::npos || colon + 1 == config.connect.size()) {
+      std::fprintf(stderr, "--connect expects HOST:PORT, got '%s'\n",
+                   config.connect.c_str());
+      return 2;
+    }
+    std::string host = config.connect.substr(0, colon);
+    uint16_t port = static_cast<uint16_t>(
+        std::atoi(config.connect.c_str() + colon + 1));
+    if (!pack.chaos.empty()) {
+      std::fprintf(stderr,
+                   "note: chaos windows are armed by the server "
+                   "(csdctl serve --scenario %s), not this client\n",
+                   pack.name.c_str());
+    }
+    std::printf("setup: %zu POIs, %zu replay fixes in %.1fs\n",
+                city.pois.size(), replay.stream.size(),
+                setup_watch.ElapsedSeconds());
+    DriveScenarioPhases(pack, host, port, city.config, replay.stream,
+                        /*timeline=*/nullptr, config, &run, &total_failures,
+                        &total_shed, &total_completed);
+  } else {
+    // In-process hosting: the full csdctl-serve stack — sharded store,
+    // streaming ingestor behind the INGEST_FIX frame, publish ticker,
+    // epoll server on an ephemeral loopback port — plus the pack's
+    // chaos timeline against this process's failpoint registry.
+    TripDataset trips = GenerateTrips(city, pack.trips);
+    std::shared_ptr<const serve::ServeDataset> dataset =
+        serve::MakeServeDataset(city.pois, trips.journeys);
+    serve::SnapshotOptions snapshot_options;
+    snapshot_options.miner.extraction.support_threshold = 50;
+    snapshot_options.miner.extraction.temporal_constraint =
+        60 * kSecondsPerMinute;
+    snapshot_options.miner.extraction.density_threshold = 0.002;
+    shard::ShardPlan plan = shard::PlanForCity(
+        dataset->pois, pack.serve_shards, snapshot_options.miner.csd);
+    auto snapshot =
+        std::make_shared<serve::CsdSnapshot>(dataset, snapshot_options, plan);
+    serve::ShardedSnapshotStore store(plan.num_shards());
+    store.PublishAll(snapshot);
+    serve::ServeOptions options;
+    options.snapshot = snapshot_options;
+    options.batch.max_batch = 256;
+    serve::ServeService service(&store, plan, options);
+    run.journeys = trips.journeys.size();
+    run.patterns = snapshot->patterns().size();
+    std::printf("setup: %zu POIs, %zu journeys (%zu taxi / %zu transit / "
+                "%zu walked), %zu replay fixes, snapshot in %.1fs\n",
+                city.pois.size(), trips.journeys.size(), trips.taxi_trips,
+                trips.transit_trips, trips.walked_trips,
+                replay.stream.size(), setup_watch.ElapsedSeconds());
+
+    std::optional<stream::StreamIngestor> ingestor;
+    std::thread ticker;
+    std::atomic<bool> ticker_stop{false};
+    serve::NetServerOptions net_options;  // loopback, ephemeral port
+    if (pack.HasIngest()) {
+      ingestor.emplace(&service, &store, plan, dataset);
+      net_options.ingest_handler =
+          [&ingestor](uint32_t user_id, std::span<const GpsPoint> fixes) {
+            return ingestor->IngestFixes(user_id, fixes);
+          };
+      ticker = std::thread([&ingestor, &ticker_stop] {
+        while (!ticker_stop.load(std::memory_order_acquire)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(200));
+          if (ticker_stop.load(std::memory_order_acquire)) break;
+          if (ingestor->pending_stays() > 0) ingestor->PublishTick();
+        }
+      });
+    }
+    auto server_or = serve::NetServer::Start(&service, net_options);
+    if (!server_or.ok()) {
+      std::fprintf(stderr, "net server: %s\n",
+                   server_or.status().ToString().c_str());
+      if (ticker.joinable()) {
+        ticker_stop.store(true, std::memory_order_release);
+        ticker.join();
+      }
+      service.Shutdown();
+      return 1;
+    }
+    std::unique_ptr<serve::NetServer> server = std::move(server_or).value();
+
+    scenario::ChaosTimeline timeline(pack);
+    DriveScenarioPhases(pack, "127.0.0.1", server->port(), city.config,
+                        replay.stream, &timeline, config, &run,
+                        &total_failures, &total_shed, &total_completed);
+
+    server->Shutdown();
+    if (ticker.joinable()) {
+      ticker_stop.store(true, std::memory_order_release);
+      ticker.join();
+    }
+    if (ingestor) {
+      std::printf("stream: %llu fixes ingested, %llu stays, %llu late "
+                  "dropped, %zu pending\n",
+                  static_cast<unsigned long long>(ingestor->fixes_ingested()),
+                  static_cast<unsigned long long>(ingestor->stays_emitted()),
+                  static_cast<unsigned long long>(ingestor->late_dropped()),
+                  ingestor->pending_stays());
+    }
+    service.Shutdown();
+  }
+
+  std::printf("\nscenario %s: %llu completed, %llu shed, %llu FAILED in "
+              "%.2fs\n",
+              pack.name.c_str(),
+              static_cast<unsigned long long>(total_completed),
+              static_cast<unsigned long long>(total_shed),
+              static_cast<unsigned long long>(total_failures),
+              scenario_wall.ElapsedSeconds());
+
+  const char* env_path = std::getenv("CSD_BENCH_JSON");
+  std::string json_path = !config.json_path.empty() ? config.json_path
+                          : env_path != nullptr     ? env_path
+                                                    : "BENCH_serve.json";
+  std::vector<PipelineBenchRun> runs;
+  runs.push_back(std::move(run));
+  if (!WritePipelineJson(json_path, "serve_load", runs)) return 1;
+  std::printf("trajectory written to %s\n", json_path.c_str());
+  return total_failures == 0 ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   LoadConfig config;
   for (int i = 1; i < argc; ++i) {
@@ -1008,6 +1394,10 @@ int Main(int argc, char** argv) {
       config.stream = true;
     } else if (const char* v = value("--ingest-fixes")) {
       config.ingest_fixes = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value("--scenario")) {
+      config.scenario = v;
+    } else if (std::strcmp(argv[i], "--list-scenarios") == 0) {
+      config.list_scenarios = true;
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
       std::printf("%s", kUsage);
@@ -1016,6 +1406,17 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr, "unknown flag '%s'\n%s", argv[i], kUsage);
       return 2;
     }
+  }
+
+  if (config.list_scenarios) {
+    std::printf("%s", scenario::ListScenariosText().c_str());
+    return 0;
+  }
+  // --scenario runs a named pack's full phased timeline; with --connect
+  // it paces an external `csdctl serve --scenario` server instead of
+  // hosting the pack in-process.
+  if (!config.scenario.empty()) {
+    return RunScenario(config);
   }
 
   CityConfig city_config;
@@ -1081,6 +1482,7 @@ int Main(int argc, char** argv) {
   }
 
   TripConfig trip_config;
+  trip_config.uniform_destinations = true;  // keep baselines comparable
   trip_config.num_agents = EnvSize("CSD_BENCH_AGENTS", 2000);
   trip_config.num_days = static_cast<int>(EnvSize("CSD_BENCH_DAYS", 7));
 

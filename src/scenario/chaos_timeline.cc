@@ -1,0 +1,59 @@
+#include "scenario/chaos_timeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/failpoint.h"
+
+namespace csd::scenario {
+
+ChaosTimeline::ChaosTimeline(const ScenarioPack& pack)
+    : windows_(pack.chaos) {}
+
+ChaosTimeline::~ChaosTimeline() { Finish(); }
+
+Status ChaosTimeline::EnterPhase(const std::string& phase) {
+  Finish();
+  for (const ChaosWindow& w : windows_) {
+    if (w.phase != phase) continue;
+    Status armed = FailpointRegistry::Get().Arm(w.failpoint, w.spec);
+    if (!armed.ok()) {
+      Finish();
+      return armed;
+    }
+    armed_.push_back(w.failpoint);
+  }
+  return Status::OK();
+}
+
+void ChaosTimeline::Finish() {
+  for (const std::string& name : armed_) {
+    FailpointRegistry::Get().Disarm(name);
+  }
+  armed_.clear();
+}
+
+void RunChaosTimeline(const ScenarioPack& pack,
+                      const std::atomic<bool>& stop) {
+  ChaosTimeline timeline(pack);
+  constexpr auto kSlice = std::chrono::milliseconds(50);
+  for (const LoadPhase& phase : pack.load) {
+    if (stop.load(std::memory_order_relaxed)) break;
+    // Arm failures are schedule bugs, not servables; drop the phase's
+    // windows and keep walking so the clock stays aligned with the load.
+    (void)timeline.EnterPhase(phase.name);
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(phase.duration_s));
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) break;
+      std::this_thread::sleep_for(std::min<std::chrono::steady_clock::duration>(
+          kSlice, deadline - now));
+    }
+  }
+  timeline.Finish();
+}
+
+}  // namespace csd::scenario

@@ -1,0 +1,53 @@
+#ifndef CSD_SCENARIO_CHAOS_TIMELINE_H_
+#define CSD_SCENARIO_CHAOS_TIMELINE_H_
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.h"
+#include "util/status.h"
+
+namespace csd::scenario {
+
+/// Drives a pack's ChaosWindows against the process-wide
+/// FailpointRegistry. The load runner announces phase transitions; the
+/// timeline arms every window tied to the entered phase and disarms the
+/// windows of the phase being left. The destructor (or Finish) disarms
+/// whatever is still armed, so a crashed or early-exited run never
+/// leaves faults behind for the next test in the process.
+class ChaosTimeline {
+ public:
+  explicit ChaosTimeline(const ScenarioPack& pack);
+  ~ChaosTimeline();
+
+  ChaosTimeline(const ChaosTimeline&) = delete;
+  ChaosTimeline& operator=(const ChaosTimeline&) = delete;
+
+  /// Disarm the previous phase's windows, arm `phase`'s. Malformed specs
+  /// surface here (and nothing of the new phase stays half-armed).
+  Status EnterPhase(const std::string& phase);
+
+  /// Disarm everything this timeline armed.
+  void Finish();
+
+  /// Failpoint names currently armed by this timeline.
+  const std::vector<std::string>& armed() const { return armed_; }
+
+ private:
+  std::vector<ChaosWindow> windows_;
+  std::vector<std::string> armed_;
+};
+
+/// Server-side scheduling: walks the pack's phases by wall clock,
+/// arming/disarming chaos windows as each phase's time slot arrives, in
+/// 50 ms slices so `stop` aborts promptly. Used by `csdctl serve
+/// --scenario`, where the server owns the failpoint registry and the
+/// remote load generator only paces traffic. Returns once the schedule
+/// completes or `stop` goes true; all windows are disarmed either way.
+void RunChaosTimeline(const ScenarioPack& pack,
+                      const std::atomic<bool>& stop);
+
+}  // namespace csd::scenario
+
+#endif  // CSD_SCENARIO_CHAOS_TIMELINE_H_

@@ -1,0 +1,247 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace csd::scenario {
+
+double ScenarioPack::TotalDurationS() const {
+  double total = 0.0;
+  for (const LoadPhase& p : load) total += p.duration_s;
+  return total;
+}
+
+bool ScenarioPack::HasIngest() const {
+  for (const LoadPhase& p : load) {
+    if (p.ingest_fixes_per_sec > 0.0) return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Confine the streaming replay to one quadrant of the city so its dirty
+/// tiles stay clustered (mirrors MakeStreamReplayConfig in serve_load).
+BoundingBox CornerRegion(const CityConfig& city, double lo, double hi) {
+  BoundingBox box;
+  box.Extend({city.width_m * lo, city.height_m * lo});
+  box.Extend({city.width_m * hi, city.height_m * hi});
+  return box;
+}
+
+ScenarioPack CommuterWeekday() {
+  ScenarioPack p;
+  p.name = "commuter-weekday";
+  p.summary =
+      "five weekday commute cycles on an arterial grid with a "
+      "transit/taxi/walk modal split";
+  p.city.population = 120000;  // district counts + POIs derived per capita
+  p.city.num_pois = 0;
+  p.city.seed = 101;
+  p.city.roads.enabled = true;
+  p.trips.seed = 1101;
+  p.trips.num_agents = 3000;
+  p.trips.num_days = 5;
+  p.trips.start_weekday = 0;
+  p.trips.transit_fraction = 0.35;
+  p.trips.walk_fraction = 0.15;
+  p.replay.num_users = 96;
+  p.replay.seed = 2101;
+  p.load = {
+      {"morning-ramp", 4.0, 400.0, 0.0},
+      {"midday", 3.0, 250.0, 150.0},
+      {"evening-peak", 4.0, 800.0, 400.0},
+  };
+  return p;
+}
+
+ScenarioPack WeekendLeisure() {
+  ScenarioPack p;
+  p.name = "weekend-leisure";
+  p.summary =
+      "a Saturday-Sunday leisure regime: irregular trips, late peaks, "
+      "and a latency-fault window over the evening rush";
+  p.city.population = 90000;
+  p.city.num_pois = 0;
+  p.city.seed = 202;
+  p.city.roads.enabled = true;
+  p.city.roads.arterial_spacing_m = 1800.0;
+  p.trips.seed = 1202;
+  p.trips.num_agents = 2600;
+  p.trips.num_days = 2;
+  p.trips.start_weekday = 5;  // day 0 is a Saturday
+  p.trips.transit_fraction = 0.25;
+  p.trips.walk_fraction = 0.25;
+  p.replay.num_users = 64;
+  p.replay.seed = 2202;
+  p.load = {
+      {"saturday-brunch", 3.0, 300.0, 120.0},
+      {"evening-out", 4.0, 600.0, 200.0},
+      {"wind-down", 3.0, 200.0, 0.0},
+  };
+  // Latency-only fault: reads stall 500us 20% of the time, nothing
+  // fails, so "0 FAILED" gates hold right through the window.
+  p.chaos = {{"evening-out", "serve/net_read", "20%sleep(500)"}};
+  return p;
+}
+
+ScenarioPack StadiumSurge() {
+  ScenarioPack p;
+  p.name = "stadium-surge";
+  p.summary =
+      "a stadium letout: calm ramp, a 5x request surge with heavy GPS "
+      "ingest, a chaos window of slow reads, then recovery";
+  p.city.population = 100000;
+  p.city.num_pois = 0;
+  p.city.seed = 303;
+  p.city.roads.enabled = true;
+  // Resolve the per-capita counts now so the sports-district bump below
+  // survives (GenerateCity re-derives counts while population is set).
+  p.city = ScaleToPopulation(p.city);
+  p.city.population = 0;
+  p.city.num_sports = 12;  // the stadiums the letout pours out of
+  p.trips.seed = 1303;
+  p.trips.num_agents = 2800;
+  p.trips.num_days = 3;
+  p.trips.transit_fraction = 0.30;
+  p.trips.walk_fraction = 0.10;
+  p.replay.num_users = 128;
+  p.replay.seed = 2303;
+  p.load = {
+      {"ramp", 3.0, 300.0, 0.0},
+      {"letout-surge", 4.0, 1500.0, 800.0},
+      {"chaos-window", 3.0, 600.0, 400.0},
+      {"recovery", 3.0, 400.0, 0.0},
+  };
+  p.chaos = {{"chaos-window", "serve/net_read", "30%sleep(2000)"}};
+  return p;
+}
+
+ScenarioPack MegacitySteady() {
+  ScenarioPack p;
+  p.name = "megacity-steady";
+  p.summary =
+      "the 1M-POI megacity under steady mixed annotate + ingest load "
+      "across 8 shards";
+  p.city = MegacityConfig();
+  p.city.seed = 404;
+  p.city.roads.enabled = true;
+  p.city.roads.arterial_spacing_m = 2000.0;
+  p.trips.seed = 1404;
+  p.trips.num_agents = 8000;
+  p.trips.num_days = 3;
+  p.trips.transit_fraction = 0.40;
+  p.trips.walk_fraction = 0.10;
+  p.replay.num_users = 128;
+  p.replay.seed = 2404;
+  p.serve_shards = 8;
+  p.load = {
+      {"steady", 6.0, 500.0, 250.0},
+  };
+  return p;
+}
+
+}  // namespace
+
+std::vector<ScenarioPack> ShippedScenarios() {
+  std::vector<ScenarioPack> packs = {CommuterWeekday(), WeekendLeisure(),
+                                     StadiumSurge(), MegacitySteady()};
+  for (ScenarioPack& p : packs) {
+    if (p.replay.region.Empty()) {
+      p.replay.region = CornerRegion(p.city, 0.05, 0.35);
+    }
+  }
+  return packs;
+}
+
+const ScenarioPack* FindScenario(const std::vector<ScenarioPack>& packs,
+                                 const std::string& name) {
+  for (const ScenarioPack& p : packs) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+Result<ScenarioPack> GetScenario(const std::string& name) {
+  std::vector<ScenarioPack> packs = ShippedScenarios();
+  if (const ScenarioPack* p = FindScenario(packs, name)) {
+    return *p;
+  }
+  std::vector<std::string> names;
+  names.reserve(packs.size());
+  for (const ScenarioPack& p : packs) names.push_back(p.name);
+  return Status::NotFound(StrFormat("unknown scenario '%s'; registered: %s",
+                                    name.c_str(),
+                                    JoinStrings(names, ", ").c_str()));
+}
+
+std::string ListScenariosText() {
+  std::string out;
+  for (const ScenarioPack& p : ShippedScenarios()) {
+    out += StrFormat("%-18s %s (%zu phases, %gs)\n", p.name.c_str(),
+                     p.summary.c_str(), p.load.size(), p.TotalDurationS());
+  }
+  return out;
+}
+
+std::string DescribeSchedule(const ScenarioPack& pack) {
+  std::string out = StrFormat(
+      "pack %s: city seed=%llu pois=%zu pop=%zu roads=%d, trips seed=%llu "
+      "agents=%zu days=%d start=%d, replay seed=%llu users=%zu, shards=%zu\n",
+      pack.name.c_str(), static_cast<unsigned long long>(pack.city.seed),
+      pack.city.num_pois, pack.city.population,
+      pack.city.roads.enabled ? 1 : 0,
+      static_cast<unsigned long long>(pack.trips.seed), pack.trips.num_agents,
+      pack.trips.num_days, pack.trips.start_weekday,
+      static_cast<unsigned long long>(pack.replay.seed), pack.replay.num_users,
+      pack.serve_shards);
+  for (const LoadPhase& phase : pack.load) {
+    out += StrFormat("  phase %-16s %gs annotate=%g qps ingest=%g fixes/s\n",
+                     phase.name.c_str(), phase.duration_s, phase.annotate_qps,
+                     phase.ingest_fixes_per_sec);
+  }
+  for (const ChaosWindow& w : pack.chaos) {
+    out += StrFormat("  chaos %-16s %s = %s\n", w.phase.c_str(),
+                     w.failpoint.c_str(), w.spec.c_str());
+  }
+  out += StrFormat("  total %gs\n", pack.TotalDurationS());
+  return out;
+}
+
+ScenarioPack ScaledPack(const ScenarioPack& pack, double factor) {
+  ScenarioPack p = pack;
+  auto scaled = [&](size_t v, size_t floor_v) {
+    if (v == 0) return v;
+    return std::max<size_t>(floor_v,
+                            static_cast<size_t>(std::llround(
+                                static_cast<double>(v) * factor)));
+  };
+  p.city.population = scaled(p.city.population, 12000);
+  p.city.num_pois = scaled(p.city.num_pois, 2000);
+  p.city.num_residential = scaled(p.city.num_residential, 4);
+  p.city.num_commercial = scaled(p.city.num_commercial, 2);
+  p.city.num_office = scaled(p.city.num_office, 2);
+  p.city.num_industrial = scaled(p.city.num_industrial, 1);
+  p.city.num_university = scaled(p.city.num_university, 1);
+  p.city.num_hospital = scaled(p.city.num_hospital, 1);
+  p.city.num_skyscraper = scaled(p.city.num_skyscraper, 2);
+  p.city.num_government = scaled(p.city.num_government, 1);
+  p.city.num_sports = scaled(p.city.num_sports, 1);
+  p.city.num_tourism = scaled(p.city.num_tourism, 1);
+  const double dim = std::sqrt(std::max(factor, 1e-6));
+  p.city.width_m = std::max(4000.0, p.city.width_m * dim);
+  p.city.height_m = std::max(4000.0, p.city.height_m * dim);
+  p.trips.num_agents = scaled(p.trips.num_agents, 200);
+  p.replay.num_users = scaled(p.replay.num_users, 8);
+  if (!p.replay.region.Empty()) {
+    p.replay.region = CornerRegion(p.city, 0.05, 0.35);
+  }
+  for (LoadPhase& phase : p.load) {
+    phase.duration_s = std::max(0.5, phase.duration_s * factor);
+  }
+  return p;
+}
+
+}  // namespace csd::scenario

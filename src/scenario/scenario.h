@@ -1,0 +1,90 @@
+#ifndef CSD_SCENARIO_SCENARIO_H_
+#define CSD_SCENARIO_SCENARIO_H_
+
+#include <string>
+#include <vector>
+
+#include "synth/city.h"
+#include "synth/trace_replayer.h"
+#include "synth/trip_generator.h"
+#include "util/status.h"
+
+namespace csd::scenario {
+
+/// One segment of a pack's load schedule: hold the given request and
+/// ingest rates for `duration_s` seconds. Phases run back to back in
+/// declaration order, so a surge is just a short phase with a tall
+/// envelope wedged between two calm ones.
+struct LoadPhase {
+  std::string name;
+  double duration_s = 5.0;
+  /// Target ANNOTATE request rate over the phase (open loop).
+  double annotate_qps = 0.0;
+  /// Target GPS-fix ingest rate over the phase (0 = no streaming load).
+  double ingest_fixes_per_sec = 0.0;
+};
+
+/// A failpoint armed for the span of one load phase and disarmed when the
+/// phase ends. Spec strings use the failpoint grammar from
+/// util/failpoint.h, e.g. "30%sleep(2000)". Shipped packs stick to
+/// latency-only faults (sleep) so every admitted request still succeeds
+/// and smoke gates can assert 0 FAILED even through the chaos window.
+struct ChaosWindow {
+  std::string phase;      // LoadPhase::name this window covers
+  std::string failpoint;  // registry name, e.g. "serve/net_read"
+  std::string spec;
+};
+
+/// A named, fully declarative workload: how to build the city, how its
+/// inhabitants move, what the replayed GPS streams look like, and what
+/// the serving layer endures while it all happens.
+struct ScenarioPack {
+  std::string name;
+  std::string summary;
+
+  CityConfig city;
+  TripConfig trips;
+  /// Streaming replay shape (users, dwell, region); the total fix count
+  /// is derived by the load runner from the schedule's ingest envelope.
+  ReplayConfig replay;
+  /// Shard count serve_load provisions when it hosts the pack itself.
+  size_t serve_shards = 4;
+
+  std::vector<LoadPhase> load;
+  std::vector<ChaosWindow> chaos;
+
+  double TotalDurationS() const;
+  bool HasIngest() const;
+};
+
+/// The packs shipped with the repo (≥ 4): commuter-weekday,
+/// weekend-leisure, stadium-surge, megacity-steady. Built fresh on each
+/// call; packs are plain data, mutate your copy freely.
+std::vector<ScenarioPack> ShippedScenarios();
+
+/// Pointer into a freshly built registry — valid only through the
+/// returned vector's lifetime, so prefer GetScenario for a copy.
+const ScenarioPack* FindScenario(const std::vector<ScenarioPack>& packs,
+                                 const std::string& name);
+
+/// The shipped pack of that name, or NotFound listing every registered
+/// pack (the error message is the CLI's unknown-name diagnostic).
+Result<ScenarioPack> GetScenario(const std::string& name);
+
+/// One line per shipped pack: "name — summary (phases, duration)".
+std::string ListScenariosText();
+
+/// Canonical human-readable rendering of the pack's load + chaos
+/// schedule. Byte-exact for a given pack, which is what the determinism
+/// tests compare across runs and thread counts.
+std::string DescribeSchedule(const ScenarioPack& pack);
+
+/// A proportionally shrunk copy for tests and smoke runs: city POIs,
+/// agents, replay users, and phase durations scale by `factor`
+/// (each floored to a workable minimum). Rates are left alone — a scaled
+/// pack is the same shape, just smaller and faster to run.
+ScenarioPack ScaledPack(const ScenarioPack& pack, double factor);
+
+}  // namespace csd::scenario
+
+#endif  // CSD_SCENARIO_SCENARIO_H_

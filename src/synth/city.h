@@ -7,6 +7,7 @@
 
 #include "geo/point.h"
 #include "poi/poi.h"
+#include "synth/road_network.h"
 
 namespace csd {
 
@@ -60,6 +61,15 @@ struct CityConfig {
   size_t num_pois = 20000;
   uint64_t seed = 7;
 
+  /// When nonzero, district counts (and num_pois, when it is 0) are
+  /// derived from the population before generation — see
+  /// ScaleToPopulation. Zero keeps the explicit counts below.
+  size_t population = 0;
+
+  /// Arterial road grid; disabled by default (legacy cities have no
+  /// network and all committed baselines depend on that).
+  RoadConfig roads;
+
   // District counts per type.
   size_t num_residential = 22;
   size_t num_commercial = 10;
@@ -95,6 +105,13 @@ inline constexpr double kSkyscraperPoiSpread = 3.0;
 /// structure) stays laptop-city-like; only the map gets bigger.
 CityConfig MegacityConfig();
 
+/// Resolves `population` into district counts, mirroring how real cities
+/// provision facilities per capita (one hospital per ~40k residents, one
+/// commercial quarter per ~12k, …). Calibrated so a population of ~120k
+/// reproduces the default CityConfig counts. When `config.num_pois` is 0
+/// it is set to population/6. No-op when population is 0.
+CityConfig ScaleToPopulation(CityConfig config);
+
 /// The generated city: districts, buildings, and POIs whose global major-
 /// category mix matches the paper's Table 3.
 struct SyntheticCity {
@@ -104,6 +121,8 @@ struct SyntheticCity {
   std::vector<Poi> pois;
   /// Building of each POI; SIZE_MAX for scattered POIs.
   std::vector<size_t> poi_building;
+  /// Arterial grid; empty unless config.roads.enabled.
+  RoadNetwork roads;
 
   /// Indices of buildings hosting at least one POI of category `c`.
   std::vector<size_t> BuildingsWithCategory(MajorCategory c) const;

@@ -207,11 +207,38 @@ Vec2 PlaceDistrict(const std::vector<District>& placed, double width,
 
 }  // namespace
 
-SyntheticCity GenerateCity(const CityConfig& config) {
+CityConfig ScaleToPopulation(CityConfig config) {
+  if (config.population == 0) return config;
+  const size_t pop = config.population;
+  auto at_least_one = [](size_t n) { return std::max<size_t>(1, n); };
+  // Per-capita facility provisioning, calibrated so pop ≈ 120k lands on
+  // the default CityConfig district counts.
+  config.num_residential = at_least_one(pop / 5500);
+  config.num_commercial = at_least_one(pop / 12000);
+  config.num_office = at_least_one(pop / 15000);
+  config.num_industrial = at_least_one(pop / 30000);
+  config.num_university = at_least_one(pop / 40000);
+  config.num_hospital = at_least_one(pop / 40000);
+  config.num_skyscraper = at_least_one(pop / 10000);
+  config.num_government = at_least_one(pop / 40000);
+  config.num_sports = at_least_one(pop / 30000);
+  config.num_tourism = at_least_one(pop / 30000);
+  config.include_airport = pop >= 50000;
+  if (config.num_pois == 0) config.num_pois = at_least_one(pop / 6);
+  return config;
+}
+
+SyntheticCity GenerateCity(const CityConfig& raw_config) {
+  const CityConfig config = ScaleToPopulation(raw_config);
   CSD_CHECK(config.num_pois > 0);
   Rng rng(config.seed);
   SyntheticCity city;
   city.config = config;
+  // Roads draw from their own stream so the legacy (roads-off) draw
+  // sequence — and every committed baseline built on it — is untouched.
+  city.roads = RoadNetwork::Build(config.width_m, config.height_m,
+                                  config.roads,
+                                  config.seed ^ 0x9e3779b97f4a7c15ull);
 
   // --- Districts ---------------------------------------------------------
   auto add_districts = [&](District::Type type, size_t count) {

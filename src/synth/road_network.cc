@@ -1,0 +1,87 @@
+#include "synth/road_network.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace csd {
+namespace {
+
+std::vector<double> JitteredLines(double extent_m, double spacing_m,
+                                  double jitter_m, Rng& rng) {
+  const size_t n = std::max<size_t>(
+      2, static_cast<size_t>(std::llround(extent_m / spacing_m)));
+  const double gap = extent_m / static_cast<double>(n);
+  const double max_jitter = std::min(jitter_m, 0.4 * gap);
+  std::vector<double> lines;
+  lines.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double base = (static_cast<double>(i) + 0.5) * gap;
+    lines.push_back(base + rng.Uniform(-max_jitter, max_jitter));
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+}  // namespace
+
+RoadNetwork RoadNetwork::Build(double width_m, double height_m,
+                               const RoadConfig& config, uint64_t seed) {
+  RoadNetwork net;
+  if (!config.enabled || width_m <= 0 || height_m <= 0 ||
+      config.arterial_spacing_m <= 0) {
+    return net;
+  }
+  Rng rng(seed);
+  // Vertical streets consume their draws first, then horizontal; both
+  // depend only on (dimensions, config, seed), never on city contents.
+  net.xs_ = JitteredLines(width_m, config.arterial_spacing_m,
+                          config.jitter_m, rng);
+  net.ys_ = JitteredLines(height_m, config.arterial_spacing_m,
+                          config.jitter_m, rng);
+  return net;
+}
+
+size_t RoadNetwork::NearestIndex(const std::vector<double>& lines, double v) {
+  const auto it = std::lower_bound(lines.begin(), lines.end(), v);
+  if (it == lines.begin()) return 0;
+  if (it == lines.end()) return lines.size() - 1;
+  const size_t hi = static_cast<size_t>(it - lines.begin());
+  return (v - lines[hi - 1] <= lines[hi] - v) ? hi - 1 : hi;
+}
+
+Vec2 RoadNetwork::SnapToRoad(const Vec2& p) const {
+  if (empty()) return p;
+  const double nx = xs_[NearestIndex(xs_, p.x)];
+  const double ny = ys_[NearestIndex(ys_, p.y)];
+  if (std::abs(p.x - nx) <= std::abs(p.y - ny)) {
+    return Vec2{nx, p.y};
+  }
+  return Vec2{p.x, ny};
+}
+
+Vec2 RoadNetwork::NearestIntersection(const Vec2& p) const {
+  if (empty()) return p;
+  return Vec2{xs_[NearestIndex(xs_, p.x)], ys_[NearestIndex(ys_, p.y)]};
+}
+
+double RoadNetwork::RouteDistance(const Vec2& a, const Vec2& b) const {
+  if (empty()) return Distance(a, b);
+  const Vec2 ia = NearestIntersection(a);
+  const Vec2 ib = NearestIntersection(b);
+  return Distance(a, ia) + std::abs(ia.x - ib.x) + std::abs(ia.y - ib.y) +
+         Distance(ib, b);
+}
+
+std::vector<Vec2> RoadNetwork::RoutePolyline(const Vec2& a,
+                                             const Vec2& b) const {
+  if (empty()) return {a, b};
+  const Vec2 ia = NearestIntersection(a);
+  const Vec2 ib = NearestIntersection(b);
+  // Ride the horizontal street of ia to the vertical street of ib, then
+  // turn: one L-corner at (ib.x, ia.y).
+  return {a, ia, Vec2{ib.x, ia.y}, ib, b};
+}
+
+}  // namespace csd

@@ -1,0 +1,71 @@
+#ifndef CSD_SYNTH_ROAD_NETWORK_H_
+#define CSD_SYNTH_ROAD_NETWORK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace csd {
+
+/// Knobs of the synthetic arterial road grid. Disabled by default so the
+/// historical "uniform blob" cities (and every committed bench baseline
+/// derived from them) are reproduced bit for bit.
+struct RoadConfig {
+  bool enabled = false;
+  /// Target spacing between parallel arterials (meters).
+  double arterial_spacing_m = 1500.0;
+  /// Per-street jitter so the grid reads as grown, not drafted. Clamped
+  /// to keep streets sorted (never more than 40% of the gap).
+  double jitter_m = 140.0;
+};
+
+/// A jittered Manhattan grid of arterial streets: vertical streets at
+/// fixed x coordinates, horizontal streets at fixed y coordinates, and
+/// intersections where they cross. Trips snap their curb points onto the
+/// nearest street and ride street segments between the two nearest
+/// intersections, so travel distance is along-network (L1-ish), not
+/// crow-flies. Deterministic for a fixed (dimensions, config, seed).
+class RoadNetwork {
+ public:
+  RoadNetwork() = default;
+
+  static RoadNetwork Build(double width_m, double height_m,
+                           const RoadConfig& config, uint64_t seed);
+
+  bool empty() const { return xs_.empty() || ys_.empty(); }
+  size_t num_intersections() const { return xs_.size() * ys_.size(); }
+
+  /// Sorted x coordinates of vertical streets / y of horizontal streets.
+  const std::vector<double>& vertical_streets() const { return xs_; }
+  const std::vector<double>& horizontal_streets() const { return ys_; }
+
+  /// The closest point of `p` that lies on a street (the smaller of the
+  /// two perpendicular moves onto the nearest vertical or horizontal
+  /// arterial). Identity when the network is empty.
+  Vec2 SnapToRoad(const Vec2& p) const;
+
+  /// Intersection nearest to `p`.
+  Vec2 NearestIntersection(const Vec2& p) const;
+
+  /// Travel distance a -> b along the grid: walk to the nearest
+  /// intersection, Manhattan distance between intersections along the
+  /// streets, walk from the last intersection. Falls back to Euclidean
+  /// distance when the network is empty. Never shorter than 0 and at
+  /// least locally realistic: >= 0.7x Euclidean in practice.
+  double RouteDistance(const Vec2& a, const Vec2& b) const;
+
+  /// The polyline a taxi would trace for a -> b: endpoints, their
+  /// entry/exit intersections, and the single L-corner between them.
+  std::vector<Vec2> RoutePolyline(const Vec2& a, const Vec2& b) const;
+
+ private:
+  static size_t NearestIndex(const std::vector<double>& lines, double v);
+
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+}  // namespace csd
+
+#endif  // CSD_SYNTH_ROAD_NETWORK_H_

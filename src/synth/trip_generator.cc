@@ -62,15 +62,6 @@ std::vector<size_t> NearestK(const std::vector<size_t>& pool,
   return sorted;
 }
 
-/// A random venue among the `k` nearest to `anchor` — "a favorite place
-/// near home/work".
-size_t PickNear(const std::vector<size_t>& pool, const SyntheticCity& city,
-                const Vec2& anchor, Rng& rng, size_t k = 5) {
-  CSD_CHECK(!pool.empty());
-  std::vector<size_t> nearest = NearestK(pool, city, anchor, k);
-  return PickFrom(nearest, rng);
-}
-
 }  // namespace
 
 TripDataset GenerateTrips(const SyntheticCity& city,
@@ -101,7 +92,38 @@ TripDataset GenerateTrips(const SyntheticCity& city,
   CSD_CHECK_MSG(!homes.empty() && !offices.empty(),
                 "city must offer residences and offices");
 
+  // Destination sampling. Uniform mode reproduces the legacy draw
+  // sequence bit for bit (one UniformInt per pick); weighted mode draws
+  // each candidate in proportion to its POI count of the target
+  // category, so big venues attract correspondingly more trips.
+  const bool weighted = !config.uniform_destinations;
+  auto pick = [&](const std::vector<size_t>& candidates,
+                  MajorCategory c) -> size_t {
+    CSD_CHECK(!candidates.empty());
+    if (!weighted) return PickFrom(candidates, rng);
+    std::vector<double> w(candidates.size());
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      w[i] = static_cast<double>(
+          city.buildings[candidates[i]].category_count[static_cast<size_t>(c)]);
+    }
+    return candidates[rng.Categorical(w)];
+  };
+  // A venue among the `k` nearest to `anchor` — "a favorite place near
+  // home/work".
+  auto pick_near = [&](const std::vector<size_t>& pool, MajorCategory c,
+                       const Vec2& anchor, size_t k) -> size_t {
+    CSD_CHECK(!pool.empty());
+    std::vector<size_t> nearest = NearestK(pool, city, anchor, k);
+    return pick(nearest, c);
+  };
+
   std::vector<Vec2> curbs = MakeCurbPoints(city, config.curb_offset_m, rng);
+  if (!city.roads.empty()) {
+    // Taxis stop on the street: project each curb onto the nearest
+    // arterial. Pure function of the already-drawn curbs, so the road
+    // layer consumes no RNG draws.
+    for (Vec2& curb : curbs) curb = city.roads.SnapToRoad(curb);
+  }
 
   // Communities: a shared (home building, work building) pair.
   struct Community {
@@ -125,24 +147,27 @@ TripDataset GenerateTrips(const SyntheticCity& city,
       c.work_category = anchor.work_category;
       std::vector<size_t> nearby = NearestK(
           homes, city, city.buildings[anchor.home].position, 3, anchor.home);
-      c.home = nearby.empty() ? PickFrom(homes, rng) : PickFrom(nearby, rng);
+      c.home = nearby.empty() ? pick(homes, MajorCategory::kResidence)
+                              : pick(nearby, MajorCategory::kResidence);
     } else {
-      c.home = PickFrom(homes, rng);
+      c.home = pick(homes, MajorCategory::kResidence);
       bool industrial = !industry.empty() && rng.Bernoulli(0.15);
-      c.work = industrial ? PickFrom(industry, rng) : PickFrom(offices, rng);
+      c.work = industrial ? pick(industry, MajorCategory::kIndustry)
+                          : pick(offices, MajorCategory::kBusinessOffice);
       c.work_category = industrial ? MajorCategory::kIndustry
                                    : MajorCategory::kBusinessOffice;
     }
     if (!restaurants.empty()) {
-      c.restaurant = PickNear(restaurants, city,
-                              city.buildings[c.work].position, rng, 3);
+      c.restaurant = pick_near(restaurants, MajorCategory::kRestaurant,
+                               city.buildings[c.work].position, 3);
     }
     if (!shops.empty()) {
-      c.shop = PickNear(shops, city, city.buildings[c.home].position, rng, 3);
+      c.shop = pick_near(shops, MajorCategory::kShopMarket,
+                         city.buildings[c.home].position, 3);
     }
     if (!entertainment.empty()) {
-      c.entertainment = PickNear(entertainment, city,
-                                 city.buildings[c.work].position, rng, 3);
+      c.entertainment = pick_near(entertainment, MajorCategory::kEntertainment,
+                                  city.buildings[c.work].position, 3);
     }
     communities.push_back(c);
   }
@@ -171,21 +196,27 @@ TripDataset GenerateTrips(const SyntheticCity& city,
       agent.shop = c.shop;
       agent.entertainment = c.entertainment;
     } else {
-      agent.home = PickFrom(homes, rng);
-      agent.work = PickFrom(offices, rng);
+      agent.home = pick(homes, MajorCategory::kResidence);
+      agent.work = pick(offices, MajorCategory::kBusinessOffice);
       agent.work_category = MajorCategory::kBusinessOffice;
       const Vec2& work_pos = city.buildings[agent.work].position;
       const Vec2& home_pos = city.buildings[agent.home].position;
       if (!restaurants.empty()) {
-        agent.restaurant = PickNear(restaurants, city, work_pos, rng);
+        agent.restaurant =
+            pick_near(restaurants, MajorCategory::kRestaurant, work_pos, 5);
       }
-      if (!shops.empty()) agent.shop = PickNear(shops, city, home_pos, rng);
+      if (!shops.empty()) {
+        agent.shop = pick_near(shops, MajorCategory::kShopMarket, home_pos, 5);
+      }
       if (!entertainment.empty()) {
-        agent.entertainment = PickNear(entertainment, city, work_pos, rng);
+        agent.entertainment =
+            pick_near(entertainment, MajorCategory::kEntertainment, work_pos, 5);
       }
     }
   }
 
+  const bool modal =
+      config.transit_fraction > 0.0 || config.walk_fraction > 0.0;
   auto emit = [&](const Agent& agent, size_t from_b, MajorCategory from_cat,
                   size_t to_b, MajorCategory to_cat, Timestamp pickup_time,
                   bool weekend) -> Timestamp {
@@ -195,23 +226,54 @@ TripDataset GenerateTrips(const SyntheticCity& city,
                 curbs[from_b].y + rng.Gaussian(0.0, config.gps_noise_sigma_m)};
     Vec2 dropoff{curbs[to_b].x + rng.Gaussian(0.0, config.gps_noise_sigma_m),
                  curbs[to_b].y + rng.Gaussian(0.0, config.gps_noise_sigma_m)};
-    double dist = Distance(city.buildings[from_b].position,
-                           city.buildings[to_b].position);
-    double duration = 120.0 + dist / config.taxi_speed_mps *
-                                  rng.Uniform(0.85, 1.25);
+    // Along-network distance once the city has streets; crow-flies in
+    // legacy (roadless) cities.
+    double dist = city.roads.empty()
+                      ? Distance(city.buildings[from_b].position,
+                                 city.buildings[to_b].position)
+                      : city.roads.RouteDistance(
+                            city.buildings[from_b].position,
+                            city.buildings[to_b].position);
+    double pace = rng.Uniform(0.85, 1.25);
+    // The modal draw is appended after all legacy draws, and only when a
+    // modal split is configured — a Bernoulli(0) still consumes a draw,
+    // so guarding keeps legacy streams bit-identical.
+    TripMode mode = TripMode::kTaxi;
+    if (modal) {
+      double m = rng.Uniform(0.0, 1.0);
+      if (m < config.walk_fraction && dist <= config.walk_max_m) {
+        mode = TripMode::kWalk;
+      } else if (m < config.walk_fraction + config.transit_fraction) {
+        mode = TripMode::kTransit;
+      }
+    }
+    if (mode == TripMode::kWalk) {
+      // Walkers never enter the taxi feed; the leg still takes time.
+      data.walked_trips++;
+      return pickup_time + static_cast<Timestamp>(
+                               60.0 + dist / config.walk_speed_mps * pace);
+    }
+    double speed = mode == TripMode::kTransit ? config.transit_speed_mps
+                                              : config.taxi_speed_mps;
+    double duration = 120.0 + dist / speed * pace;
     j.pickup = GpsPoint(pickup, pickup_time);
     j.dropoff =
         GpsPoint(dropoff, pickup_time + static_cast<Timestamp>(duration));
     data.journeys.push_back(j);
     data.truths.push_back(
-        {from_cat, to_cat, from_b, to_b, weekend});
+        {from_cat, to_cat, from_b, to_b, weekend, mode});
+    if (mode == TripMode::kTransit) {
+      data.transit_trips++;
+    } else {
+      data.taxi_trips++;
+    }
     return j.dropoff.time;
   };
 
   constexpr MajorCategory kHome = MajorCategory::kResidence;
 
   for (int day = 0; day < config.num_days; ++day) {
-    bool weekend = (day % 7) >= 5;
+    bool weekend = ((day + config.start_weekday) % 7) >= 5;
     Timestamp day_start = static_cast<Timestamp>(day) * kSecondsPerDay;
     for (const Agent& agent : agents) {
       if (!weekend) {
@@ -233,7 +295,7 @@ TripDataset GenerateTrips(const SyntheticCity& city,
               dest = agent.restaurant;
               dest_cat = MajorCategory::kRestaurant;
             } else if (!hospitals.empty()) {
-              dest = PickFrom(hospitals, rng);
+              dest = pick(hospitals, MajorCategory::kMedicalService);
               dest_cat = MajorCategory::kMedicalService;
             } else {
               continue;
@@ -298,7 +360,7 @@ TripDataset GenerateTrips(const SyntheticCity& city,
           Timestamp t =
               day_start + 9 * kSecondsPerHour +
               static_cast<Timestamp>(rng.Gaussian(0, 60 * 60));
-          size_t hospital = PickFrom(hospitals, rng);
+          size_t hospital = pick(hospitals, MajorCategory::kMedicalService);
           Timestamp arrived =
               emit(agent, agent.home, kHome, hospital,
                    MajorCategory::kMedicalService, t, weekend);
@@ -332,16 +394,18 @@ TripDataset GenerateTrips(const SyntheticCity& city,
           if (r < 0.40 && !shops.empty()) {
             // Half the time the favourite, otherwise anywhere: weekend
             // mobility is irregular (Figure 14's sparse weekend patterns).
-            dest = rng.Bernoulli(0.65) ? agent.shop : PickFrom(shops, rng);
+            dest = rng.Bernoulli(0.65)
+                       ? agent.shop
+                       : pick(shops, MajorCategory::kShopMarket);
             dest_cat = MajorCategory::kShopMarket;
           } else if (r < 0.60 && !entertainment.empty()) {
-            dest = PickFrom(entertainment, rng);
+            dest = pick(entertainment, MajorCategory::kEntertainment);
             dest_cat = MajorCategory::kEntertainment;
           } else if (r < 0.75 && !tourism.empty()) {
-            dest = PickFrom(tourism, rng);
+            dest = pick(tourism, MajorCategory::kTourism);
             dest_cat = MajorCategory::kTourism;
           } else if (!restaurants.empty()) {
-            dest = PickFrom(restaurants, rng);
+            dest = pick(restaurants, MajorCategory::kRestaurant);
             dest_cat = MajorCategory::kRestaurant;
           } else {
             continue;
@@ -357,8 +421,9 @@ TripDataset GenerateTrips(const SyntheticCity& city,
           Timestamp t =
               day_start + 18 * kSecondsPerHour +
               static_cast<Timestamp>(rng.Gaussian(30 * 60, 50 * 60));
-          size_t dest = rng.Bernoulli(0.65) ? agent.restaurant
-                                           : PickFrom(restaurants, rng);
+          size_t dest = rng.Bernoulli(0.65)
+                            ? agent.restaurant
+                            : pick(restaurants, MajorCategory::kRestaurant);
           Timestamp arrived = emit(agent, agent.home, kHome, dest,
                                    MajorCategory::kRestaurant, t, weekend);
           emit(agent, dest, MajorCategory::kRestaurant, agent.home, kHome,
@@ -369,7 +434,7 @@ TripDataset GenerateTrips(const SyntheticCity& city,
           Timestamp t =
               day_start + 10 * kSecondsPerHour +
               static_cast<Timestamp>(rng.Gaussian(0, 60 * 60));
-          size_t hospital = PickFrom(hospitals, rng);
+          size_t hospital = pick(hospitals, MajorCategory::kMedicalService);
           Timestamp arrived =
               emit(agent, agent.home, kHome, hospital,
                    MajorCategory::kMedicalService, t, weekend);

@@ -16,6 +16,31 @@ struct TripConfig {
   int num_days = 7;  // day 0 is a Monday; days 5-6 are the weekend
   uint64_t seed = 99;
 
+  /// Day-of-week of day 0 (0 = Monday … 6 = Sunday). 5 makes the whole
+  /// simulation start on a Saturday — the weekend-leisure regime.
+  int start_weekday = 0;
+
+  /// Legacy destination sampling: pick destination buildings uniformly
+  /// over the candidate pool. The default (false) weights each candidate
+  /// by its POI count of the target category, so a mall with 40 shops
+  /// draws 40× the traffic of a corner store — the popularity skew real
+  /// check-in data shows and the Semantic Bias experiment needs. Keep
+  /// true where a committed bench baseline depends on the old draws.
+  bool uniform_destinations = false;
+
+  // Modal split. When both fractions are 0 (the default) every trip is a
+  // taxi ride and the RNG draw sequence is bit-compatible with the
+  // pre-modal generator. Walk trips never enter the taxi feed (no
+  // journey emitted) but still advance the agent's day; transit trips
+  // are emitted with TripMode::kTransit at transit speed.
+  double transit_fraction = 0.0;
+  double walk_fraction = 0.0;
+  double transit_speed_mps = 12.0;
+  double walk_speed_mps = 1.4;
+  /// Trips longer than this never walk (the modal draw falls through to
+  /// transit/taxi).
+  double walk_max_m = 1500.0;
+
   /// Fraction of agents with a payment card (linkable journeys) — the
   /// paper's logs card ~20% of passengers.
   double carded_fraction = 0.2;
@@ -62,6 +87,13 @@ struct TripConfig {
   double p_weekend_evening_out = 0.35;
 };
 
+/// How an agent covered one trip leg.
+enum class TripMode : uint8_t {
+  kTaxi = 0,
+  kTransit,
+  kWalk,  // never emitted as a journey; tracked in TripDataset counters
+};
+
 /// Ground truth of one journey (what the commuter actually did) — used by
 /// the check-in bias experiment and the recognition-accuracy validation.
 struct JourneyTruth {
@@ -70,6 +102,7 @@ struct JourneyTruth {
   size_t origin_building = 0;
   size_t dest_building = 0;
   bool weekend = false;
+  TripMode mode = TripMode::kTaxi;
 };
 
 /// The simulated month of taxi data.
@@ -78,6 +111,10 @@ struct TripDataset {
   std::vector<JourneyTruth> truths;  // parallel to journeys
   size_t num_agents = 0;
   size_t num_carded = 0;
+  // Modal tallies over all simulated legs (walks have no journey).
+  size_t taxi_trips = 0;
+  size_t transit_trips = 0;
+  size_t walked_trips = 0;
 };
 
 /// Runs the agent simulation over `city`. Deterministic for a fixed seed.

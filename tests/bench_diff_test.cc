@@ -1,0 +1,128 @@
+// bench_diff engine semantics (tools/bench_diff_lib.h): run matching by
+// (scale, label), rate direction, noise floors, and — the scenario-pack
+// contract — a run present only in the current file is a baseline seed,
+// never a regression.
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "tools/bench_diff_lib.h"
+
+namespace csd::benchdiff {
+namespace {
+
+std::string DiffToString(const RunTable& baseline, const RunTable& current,
+                         double threshold, int* regressions) {
+  std::FILE* out = std::tmpfile();
+  EXPECT_NE(out, nullptr);
+  *regressions = DiffRunTables(baseline, current, threshold, "current.json",
+                               out);
+  std::fseek(out, 0, SEEK_END);
+  long size = std::ftell(out);
+  std::rewind(out);
+  std::string text(static_cast<size_t>(size), '\0');
+  EXPECT_EQ(std::fread(text.data(), 1, text.size(), out), text.size());
+  std::fclose(out);
+  return text;
+}
+
+TEST(BenchDiffTest, ParsesBenchJsonIntoRunTable) {
+  RunTable table;
+  ASSERT_TRUE(ExtractRunsFromText(
+      R"({"bench": "serve_load", "runs": [
+            {"scale": 4, "label": "scenario:stadium-surge",
+             "stages": {"ramp_p99": 0.004},
+             "rates": {"ramp_annotate_qps": 300.0}}
+          ]})",
+      &table));
+  ASSERT_EQ(table.size(), 1u);
+  const auto& [key, entries] = *table.begin();
+  EXPECT_EQ(key.first, 4.0);
+  EXPECT_EQ(key.second, "scenario:stadium-surge");
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].name, "ramp_p99");
+  EXPECT_EQ(entries[0].kind, Entry::Kind::kSeconds);
+  EXPECT_EQ(entries[1].name, "ramp_annotate_qps");
+  EXPECT_EQ(entries[1].kind, Entry::Kind::kRate);
+}
+
+TEST(BenchDiffTest, NewScenarioLabelIsBaselineSeedNotRegression) {
+  RunTable baseline;
+  baseline[{1.0, ""}] = {{"build", 2.0, Entry::Kind::kSeconds}};
+  RunTable current = baseline;
+  // A pack registered after the baseline was committed: only in current.
+  current[{4.0, "scenario:stadium-surge"}] = {
+      {"surge_annotate_qps", 1500.0, Entry::Kind::kRate}};
+
+  int regressions = 0;
+  std::string report = DiffToString(baseline, current, 0.15, &regressions);
+  EXPECT_EQ(regressions, 0);
+  EXPECT_NE(report.find("scenario:stadium-surge"), std::string::npos);
+  EXPECT_NE(report.find("baseline seed, not a regression"),
+            std::string::npos)
+      << report;
+  EXPECT_EQ(report.find("REGRESSION"), std::string::npos) << report;
+}
+
+TEST(BenchDiffTest, RateDropPastThresholdRegresses) {
+  RunTable baseline, current;
+  baseline[{4.0, "scenario:stadium-surge"}] = {
+      {"surge_annotate_qps", 1500.0, Entry::Kind::kRate}};
+  current[{4.0, "scenario:stadium-surge"}] = {
+      {"surge_annotate_qps", 900.0, Entry::Kind::kRate}};  // -40%
+
+  int regressions = 0;
+  std::string report = DiffToString(baseline, current, 0.15, &regressions);
+  EXPECT_EQ(regressions, 1);
+  EXPECT_NE(report.find("REGRESSION"), std::string::npos) << report;
+}
+
+TEST(BenchDiffTest, RateGainAndSmallDropDoNotRegress) {
+  RunTable baseline, current;
+  baseline[{4.0, ""}] = {{"qps", 1000.0, Entry::Kind::kRate}};
+  current[{4.0, ""}] = {{"qps", 1100.0, Entry::Kind::kRate}};
+  int regressions = 0;
+  DiffToString(baseline, current, 0.15, &regressions);
+  EXPECT_EQ(regressions, 0);
+
+  current[{4.0, ""}] = {{"qps", 900.0, Entry::Kind::kRate}};  // -10% < 15%
+  DiffToString(baseline, current, 0.15, &regressions);
+  EXPECT_EQ(regressions, 0);
+}
+
+TEST(BenchDiffTest, SecondsGrowthPastThresholdRegresses) {
+  RunTable baseline, current;
+  baseline[{1.0, ""}] = {{"build", 2.0, Entry::Kind::kSeconds}};
+  current[{1.0, ""}] = {{"build", 2.6, Entry::Kind::kSeconds}};  // +30%
+  int regressions = 0;
+  DiffToString(baseline, current, 0.15, &regressions);
+  EXPECT_EQ(regressions, 1);
+}
+
+TEST(BenchDiffTest, SubNoiseFloorStagesAreIgnored) {
+  RunTable baseline, current;
+  baseline[{1.0, ""}] = {{"tiny", 0.0005, Entry::Kind::kSeconds},
+                         {"few_allocs", 50.0, Entry::Kind::kAllocs},
+                         {"slow_rate", 0.5, Entry::Kind::kRate}};
+  current[{1.0, ""}] = {{"tiny", 0.005, Entry::Kind::kSeconds},
+                        {"few_allocs", 500.0, Entry::Kind::kAllocs},
+                        {"slow_rate", 0.1, Entry::Kind::kRate}};
+  int regressions = 0;
+  DiffToString(baseline, current, 0.15, &regressions);
+  EXPECT_EQ(regressions, 0);
+}
+
+TEST(BenchDiffTest, RunMissingFromCurrentIsInformational) {
+  RunTable baseline, current;
+  baseline[{8.0, "gone"}] = {{"build", 2.0, Entry::Kind::kSeconds}};
+  int regressions = 0;
+  std::string report = DiffToString(baseline, current, 0.15, &regressions);
+  EXPECT_EQ(regressions, 0);
+  EXPECT_NE(report.find("missing from current.json"), std::string::npos)
+      << report;
+}
+
+}  // namespace
+}  // namespace csd::benchdiff

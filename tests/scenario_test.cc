@@ -1,0 +1,337 @@
+// Scenario-pack registry invariants: the shipped packs are well-formed
+// and discoverable, a pack is a pure function of (name, seed) — the same
+// pack reproduces byte-identical cities, trips, and schedules across
+// runs and thread counts — every pack's diagram passes snapshot
+// integrity, and the chaos timeline arms/disarms failpoints on phase
+// boundaries. Also pins the two TripGenerator behaviors the packs lean
+// on: popularity-weighted destinations and road-snapped curbs.
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "scenario/chaos_timeline.h"
+#include "scenario/scenario.h"
+#include "serve/service.h"
+#include "serve/snapshot.h"
+#include "shard/sharded_build.h"
+#include "synth/city_generator.h"
+#include "synth/trace_replayer.h"
+#include "synth/trip_generator.h"
+#include "util/failpoint.h"
+#include "util/parallel.h"
+
+namespace csd::scenario {
+namespace {
+
+// Small enough that the full registry generates in seconds.
+constexpr double kTestScale = 0.05;
+
+bool SameCity(const SyntheticCity& a, const SyntheticCity& b) {
+  if (a.pois.size() != b.pois.size() ||
+      a.buildings.size() != b.buildings.size() ||
+      a.districts.size() != b.districts.size() ||
+      a.roads.vertical_streets() != b.roads.vertical_streets() ||
+      a.roads.horizontal_streets() != b.roads.horizontal_streets()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.pois.size(); ++i) {
+    if (a.pois[i].position.x != b.pois[i].position.x ||
+        a.pois[i].position.y != b.pois[i].position.y ||
+        a.pois[i].minor != b.pois[i].minor) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < a.buildings.size(); ++i) {
+    if (a.buildings[i].position.x != b.buildings[i].position.x ||
+        a.buildings[i].position.y != b.buildings[i].position.y ||
+        a.buildings[i].category_count != b.buildings[i].category_count) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SameTrips(const TripDataset& a, const TripDataset& b) {
+  if (a.journeys.size() != b.journeys.size() ||
+      a.truths.size() != b.truths.size() ||
+      a.taxi_trips != b.taxi_trips || a.transit_trips != b.transit_trips ||
+      a.walked_trips != b.walked_trips) {
+    return false;
+  }
+  for (size_t i = 0; i < a.journeys.size(); ++i) {
+    const TaxiJourney& x = a.journeys[i];
+    const TaxiJourney& y = b.journeys[i];
+    if (x.pickup.position.x != y.pickup.position.x ||
+        x.pickup.position.y != y.pickup.position.y ||
+        x.pickup.time != y.pickup.time ||
+        x.dropoff.position.x != y.dropoff.position.x ||
+        x.dropoff.position.y != y.dropoff.position.y ||
+        x.dropoff.time != y.dropoff.time || x.passenger != y.passenger) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < a.truths.size(); ++i) {
+    const JourneyTruth& x = a.truths[i];
+    const JourneyTruth& y = b.truths[i];
+    if (x.origin_category != y.origin_category ||
+        x.dest_category != y.dest_category ||
+        x.origin_building != y.origin_building ||
+        x.dest_building != y.dest_building || x.weekend != y.weekend ||
+        x.mode != y.mode) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(ScenarioRegistryTest, ShipsAtLeastFourUniquePacks) {
+  std::vector<ScenarioPack> packs = ShippedScenarios();
+  ASSERT_GE(packs.size(), 4u);
+  std::set<std::string> names;
+  for (const ScenarioPack& pack : packs) {
+    EXPECT_TRUE(names.insert(pack.name).second)
+        << "duplicate pack name " << pack.name;
+    EXPECT_FALSE(pack.summary.empty()) << pack.name;
+    EXPECT_FALSE(pack.load.empty()) << pack.name;
+    EXPECT_GT(pack.TotalDurationS(), 0.0) << pack.name;
+    // Every chaos window must reference a phase that exists, else the
+    // timeline would never arm it.
+    for (const ChaosWindow& w : pack.chaos) {
+      bool found = false;
+      for (const LoadPhase& phase : pack.load) found |= phase.name == w.phase;
+      EXPECT_TRUE(found) << pack.name << " chaos window targets unknown "
+                         << "phase " << w.phase;
+    }
+  }
+  for (const char* required :
+       {"commuter-weekday", "weekend-leisure", "stadium-surge",
+        "megacity-steady"}) {
+    EXPECT_EQ(names.count(required), 1u) << required;
+    EXPECT_TRUE(GetScenario(required).ok()) << required;
+  }
+}
+
+TEST(ScenarioRegistryTest, UnknownNameErrorListsEveryPack) {
+  auto missing = GetScenario("no-such-pack");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  const std::string message = missing.status().ToString();
+  EXPECT_NE(message.find("no-such-pack"), std::string::npos) << message;
+  for (const ScenarioPack& pack : ShippedScenarios()) {
+    EXPECT_NE(message.find(pack.name), std::string::npos)
+        << "error does not list " << pack.name << ": " << message;
+  }
+}
+
+TEST(ScenarioRegistryTest, ListTextNamesEveryPack) {
+  const std::string text = ListScenariosText();
+  for (const ScenarioPack& pack : ShippedScenarios()) {
+    EXPECT_NE(text.find(pack.name), std::string::npos) << pack.name;
+  }
+}
+
+// The acceptance property: same seed + pack -> byte-identical city,
+// trips, and schedule, run to run and regardless of worker-thread count.
+TEST(ScenarioDeterminismTest, PacksReproduceAcrossRunsAndThreadCounts) {
+  for (const ScenarioPack& shipped : ShippedScenarios()) {
+    ScenarioPack pack = ScaledPack(shipped, kTestScale);
+    EXPECT_EQ(DescribeSchedule(pack), DescribeSchedule(pack)) << pack.name;
+
+    SetDefaultParallelism(1);
+    SyntheticCity city1 = GenerateCity(pack.city);
+    TripDataset trips1 = GenerateTrips(city1, pack.trips);
+    ReplaySet replay1 = MakeReplaySet(city1, pack.replay);
+
+    SyntheticCity city1b = GenerateCity(pack.city);
+    TripDataset trips1b = GenerateTrips(city1b, pack.trips);
+
+    SetDefaultParallelism(4);
+    SyntheticCity city4 = GenerateCity(pack.city);
+    TripDataset trips4 = GenerateTrips(city4, pack.trips);
+    ReplaySet replay4 = MakeReplaySet(city4, pack.replay);
+    SetDefaultParallelism(0);
+
+    EXPECT_TRUE(SameCity(city1, city1b)) << pack.name << " run-to-run";
+    EXPECT_TRUE(SameTrips(trips1, trips1b)) << pack.name << " run-to-run";
+    EXPECT_TRUE(SameCity(city1, city4)) << pack.name << " 1-vs-4 threads";
+    EXPECT_TRUE(SameTrips(trips1, trips4)) << pack.name << " 1-vs-4 threads";
+
+    ASSERT_EQ(replay1.stream.size(), replay4.stream.size()) << pack.name;
+    for (size_t i = 0; i < replay1.stream.size(); ++i) {
+      ASSERT_EQ(replay1.stream[i].user_id, replay4.stream[i].user_id);
+      ASSERT_EQ(replay1.stream[i].fix.time, replay4.stream[i].fix.time);
+      ASSERT_EQ(replay1.stream[i].fix.position.x,
+                replay4.stream[i].fix.position.x);
+      ASSERT_EQ(replay1.stream[i].fix.position.y,
+                replay4.stream[i].fix.position.y);
+    }
+  }
+}
+
+// Every shipped pack must produce a servable diagram: built through the
+// pack's own shard plan and passing the snapshot integrity sweep.
+TEST(ScenarioValidationTest, EveryPackSnapshotPassesIntegrity) {
+  for (const ScenarioPack& shipped : ShippedScenarios()) {
+    ScenarioPack pack = ScaledPack(shipped, kTestScale);
+    SyntheticCity city = GenerateCity(pack.city);
+    TripDataset trips = GenerateTrips(city, pack.trips);
+    ASSERT_FALSE(trips.journeys.empty()) << pack.name;
+    std::shared_ptr<const serve::ServeDataset> dataset =
+        serve::MakeServeDataset(city.pois, trips.journeys);
+    serve::SnapshotOptions options;
+    options.miner.extraction.support_threshold = 20;
+    shard::ShardPlan plan = shard::PlanForCity(
+        dataset->pois, pack.serve_shards, options.miner.csd);
+    serve::CsdSnapshot snapshot(dataset, options, plan);
+    EXPECT_TRUE(snapshot.CheckIntegrity()) << pack.name;
+  }
+}
+
+// Popularity-weighted destination sampling: a building with 40 shops must
+// draw more shopping trips than a corner store. Under uniform sampling
+// the mean POI-count of visited destinations matches the pool average;
+// under weighted sampling it is strictly above it.
+TEST(ScenarioTripModelTest, WeightedDestinationsFollowPoiPopularity) {
+  CityConfig city_config;
+  city_config.num_pois = 4000;
+  city_config.seed = 11;
+  SyntheticCity city = GenerateCity(city_config);
+
+  // Hospital visits always sample the global candidate pool (community
+  // anchors don't apply), so they expose the sampler directly; a raised
+  // visit probability gives the mean tight statistics.
+  auto mean_dest_popularity = [&](bool uniform) {
+    TripConfig trip_config;
+    trip_config.num_agents = 600;
+    trip_config.num_days = 7;
+    trip_config.seed = 77;
+    trip_config.p_hospital = 0.5;
+    trip_config.uniform_destinations = uniform;
+    TripDataset trips = GenerateTrips(city, trip_config);
+    double sum = 0.0;
+    size_t n = 0;
+    for (const JourneyTruth& truth : trips.truths) {
+      if (truth.dest_category != MajorCategory::kMedicalService) continue;
+      sum += city.buildings[truth.dest_building].category_count[
+          static_cast<size_t>(MajorCategory::kMedicalService)];
+      ++n;
+    }
+    return n > 0 ? sum / static_cast<double>(n) : 0.0;
+  };
+
+  double uniform_mean = mean_dest_popularity(true);
+  double weighted_mean = mean_dest_popularity(false);
+  ASSERT_GT(uniform_mean, 0.0);
+  // The skew is strong (weights are the counts themselves); 15% headroom
+  // keeps the assertion robust to seed changes.
+  EXPECT_GT(weighted_mean, uniform_mean * 1.15);
+}
+
+// Road-constrained pickups: with the arterial grid enabled, curbside
+// pickup points sit on (or within GPS noise of) a street line.
+TEST(ScenarioTripModelTest, RoadNetworkSnapsCurbsToStreets) {
+  CityConfig city_config;
+  city_config.num_pois = 3000;
+  city_config.seed = 5;
+  city_config.roads.enabled = true;
+  SyntheticCity city = GenerateCity(city_config);
+  ASSERT_FALSE(city.roads.empty());
+
+  TripConfig trip_config;
+  trip_config.num_agents = 300;
+  trip_config.num_days = 3;
+  trip_config.seed = 6;
+  TripDataset trips = GenerateTrips(city, trip_config);
+  ASSERT_FALSE(trips.journeys.empty());
+
+  auto street_distance = [&](const Vec2& p) {
+    double best = 1e18;
+    for (double x : city.roads.vertical_streets()) {
+      best = std::min(best, std::abs(p.x - x));
+    }
+    for (double y : city.roads.horizontal_streets()) {
+      best = std::min(best, std::abs(p.y - y));
+    }
+    return best;
+  };
+
+  std::vector<double> distances;
+  distances.reserve(trips.journeys.size());
+  for (const TaxiJourney& journey : trips.journeys) {
+    distances.push_back(street_distance(journey.pickup.position));
+  }
+  std::sort(distances.begin(), distances.end());
+  double p95 = distances[distances.size() * 95 / 100];
+  // Curbs snap exactly onto a line; what remains is GPS noise
+  // (sigma 12 m), so the 95th percentile sits within ~2 sigma.
+  EXPECT_LT(p95, 4.0 * trip_config.gps_noise_sigma_m);
+}
+
+TEST(ChaosTimelineTest, ArmsPerPhaseAndDisarmsAfter) {
+  ScenarioPack pack;
+  pack.name = "chaos-test";
+  pack.load = {{"calm", 0.1, 10.0, 0.0}, {"stormy", 0.1, 10.0, 0.0}};
+  pack.chaos = {{"stormy", "test/scenario_chaos", "return(unavailable)"}};
+
+  FailpointRegistry& registry = FailpointRegistry::Get();
+  registry.Disarm("test/scenario_chaos");
+  {
+    ChaosTimeline timeline(pack);
+    ASSERT_TRUE(timeline.EnterPhase("calm").ok());
+    EXPECT_TRUE(timeline.armed().empty());
+    EXPECT_TRUE(registry.Evaluate("test/scenario_chaos").ok());
+
+    ASSERT_TRUE(timeline.EnterPhase("stormy").ok());
+    ASSERT_EQ(timeline.armed().size(), 1u);
+    Status tripped = registry.Evaluate("test/scenario_chaos");
+    EXPECT_FALSE(tripped.ok());
+
+    timeline.Finish();
+    EXPECT_TRUE(timeline.armed().empty());
+    EXPECT_TRUE(registry.Evaluate("test/scenario_chaos").ok());
+
+    // Destructor must also disarm (re-arm and let it fall out of scope).
+    ASSERT_TRUE(timeline.EnterPhase("stormy").ok());
+  }
+  EXPECT_TRUE(FailpointRegistry::Get().Evaluate("test/scenario_chaos").ok());
+}
+
+TEST(ChaosTimelineTest, BadSpecRollsBackAndReportsError) {
+  ScenarioPack pack;
+  pack.load = {{"p", 0.1, 0.0, 0.0}};
+  pack.chaos = {{"p", "test/scenario_chaos_bad", "gibberish("}};
+  ChaosTimeline timeline(pack);
+  EXPECT_FALSE(timeline.EnterPhase("p").ok());
+  EXPECT_TRUE(timeline.armed().empty());
+}
+
+TEST(ScaledPackTest, ShrinksWorkButKeepsShape) {
+  for (const ScenarioPack& shipped : ShippedScenarios()) {
+    ScenarioPack pack = ScaledPack(shipped, kTestScale);
+    EXPECT_EQ(pack.name, shipped.name);
+    EXPECT_EQ(pack.load.size(), shipped.load.size());
+    EXPECT_EQ(pack.chaos.size(), shipped.chaos.size());
+    EXPECT_EQ(pack.city.seed, shipped.city.seed);
+    EXPECT_EQ(pack.trips.seed, shipped.trips.seed);
+    if (shipped.city.population > 0) {
+      EXPECT_LT(pack.city.population, shipped.city.population);
+    }
+    EXPECT_LE(pack.trips.num_agents, shipped.trips.num_agents);
+    EXPECT_LE(pack.replay.num_users, shipped.replay.num_users);
+    for (size_t i = 0; i < pack.load.size(); ++i) {
+      EXPECT_EQ(pack.load[i].name, shipped.load[i].name);
+      EXPECT_LE(pack.load[i].duration_s, shipped.load[i].duration_s);
+      // Rates are the pack's identity; scaling must not touch them.
+      EXPECT_EQ(pack.load[i].annotate_qps, shipped.load[i].annotate_qps);
+      EXPECT_EQ(pack.load[i].ingest_fixes_per_sec,
+                shipped.load[i].ingest_fixes_per_sec);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace csd::scenario

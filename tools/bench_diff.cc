@@ -13,230 +13,16 @@
 // flagged. Exit status: 0 when nothing regressed, 1 on regression, 2 on
 // usage/parse errors. Sub-millisecond stages and stages under 100
 // baseline allocations are ignored — their relative noise dwarfs any
-// real signal.
+// real signal. The comparison itself lives in bench_diff_lib.h, shared
+// with tests/bench_diff_test.
 
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
-#include <fstream>
-#include <map>
-#include <memory>
-#include <sstream>
-#include <string>
-#include <vector>
 
-namespace {
-
-/// Minimal JSON value: just enough for the flat benchmark schema. Object
-/// keys keep insertion order so stage reports read in pipeline order.
-struct Json {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<Json> array;
-  std::vector<std::pair<std::string, Json>> object;
-
-  const Json* Find(const std::string& key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-/// Recursive-descent parser for the JSON subset the bench writer emits
-/// (no \u escapes, no scientific-notation corner cases beyond strtod).
-class Parser {
- public:
-  explicit Parser(const std::string& text) : text_(text) {}
-
-  bool Parse(Json* out) {
-    bool ok = ParseValue(out);
-    SkipSpace();
-    return ok && pos_ == text_.size();
-  }
-
- private:
-  void SkipSpace() {
-    while (pos_ < text_.size() && std::isspace(
-               static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool Consume(char c) {
-    SkipSpace();
-    if (pos_ >= text_.size() || text_[pos_] != c) return false;
-    ++pos_;
-    return true;
-  }
-
-  bool ParseValue(Json* out) {
-    SkipSpace();
-    if (pos_ >= text_.size()) return false;
-    char c = text_[pos_];
-    if (c == '{') return ParseObject(out);
-    if (c == '[') return ParseArray(out);
-    if (c == '"') {
-      out->kind = Json::Kind::kString;
-      return ParseString(&out->string);
-    }
-    if (text_.compare(pos_, 4, "true") == 0) {
-      out->kind = Json::Kind::kBool;
-      out->boolean = true;
-      pos_ += 4;
-      return true;
-    }
-    if (text_.compare(pos_, 5, "false") == 0) {
-      out->kind = Json::Kind::kBool;
-      pos_ += 5;
-      return true;
-    }
-    if (text_.compare(pos_, 4, "null") == 0) {
-      pos_ += 4;
-      return true;
-    }
-    char* end = nullptr;
-    out->number = std::strtod(text_.c_str() + pos_, &end);
-    if (end == text_.c_str() + pos_) return false;
-    out->kind = Json::Kind::kNumber;
-    pos_ = static_cast<size_t>(end - text_.c_str());
-    return true;
-  }
-
-  bool ParseString(std::string* out) {
-    if (!Consume('"')) return false;
-    out->clear();
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c == '\\' && pos_ < text_.size()) {
-        char esc = text_[pos_++];
-        switch (esc) {
-          case 'n': c = '\n'; break;
-          case 't': c = '\t'; break;
-          default: c = esc; break;
-        }
-      }
-      out->push_back(c);
-    }
-    return Consume('"');
-  }
-
-  bool ParseObject(Json* out) {
-    if (!Consume('{')) return false;
-    out->kind = Json::Kind::kObject;
-    SkipSpace();
-    if (Consume('}')) return true;
-    for (;;) {
-      std::string key;
-      if (!ParseString(&key) || !Consume(':')) return false;
-      Json value;
-      if (!ParseValue(&value)) return false;
-      out->object.emplace_back(std::move(key), std::move(value));
-      if (Consume(',')) continue;
-      return Consume('}');
-    }
-  }
-
-  bool ParseArray(Json* out) {
-    if (!Consume('[')) return false;
-    out->kind = Json::Kind::kArray;
-    SkipSpace();
-    if (Consume(']')) return true;
-    for (;;) {
-      Json value;
-      if (!ParseValue(&value)) return false;
-      out->array.push_back(std::move(value));
-      if (Consume(',')) continue;
-      return Consume(']');
-    }
-  }
-
-  const std::string& text_;
-  size_t pos_ = 0;
-};
-
-bool LoadJson(const char* path, Json* out) {
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "bench_diff: cannot open %s\n", path);
-    return false;
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  std::string text = buffer.str();
-  if (!Parser(text).Parse(out) || out->kind != Json::Kind::kObject) {
-    std::fprintf(stderr, "bench_diff: %s is not valid benchmark JSON\n",
-                 path);
-    return false;
-  }
-  return true;
-}
-
-/// One comparable quantity of a run: a stage's wall-clock seconds, its
-/// allocation count (optional "allocs" object), or a higher-is-better
-/// rate such as achieved QPS (optional "rates" object).
-struct Entry {
-  enum class Kind { kSeconds, kAllocs, kRate };
-  std::string name;
-  double value = 0.0;
-  Kind kind = Kind::kSeconds;
-};
-
-/// (scale, label) -> entries in file order (stages first, then allocs,
-/// then total). The label discriminates runs sharing a numeric scale
-/// (serve_load's phases); runs without one key under "".
-using RunKey = std::pair<double, std::string>;
-using RunTable = std::map<RunKey, std::vector<Entry>>;
-
-bool ExtractRuns(const Json& root, const char* path, RunTable* out) {
-  const Json* runs = root.Find("runs");
-  if (runs == nullptr || runs->kind != Json::Kind::kArray) {
-    std::fprintf(stderr, "bench_diff: %s has no \"runs\" array\n", path);
-    return false;
-  }
-  for (const Json& run : runs->array) {
-    const Json* scale = run.Find("scale");
-    const Json* stages = run.Find("stages");
-    if (scale == nullptr || stages == nullptr ||
-        stages->kind != Json::Kind::kObject) {
-      std::fprintf(stderr, "bench_diff: %s: run without scale/stages\n",
-                   path);
-      return false;
-    }
-    const Json* label = run.Find("label");
-    std::string label_str =
-        label != nullptr && label->kind == Json::Kind::kString ? label->string
-                                                               : "";
-    auto& entry = (*out)[RunKey(scale->number, std::move(label_str))];
-    for (const auto& [name, seconds] : stages->object) {
-      entry.push_back({name, seconds.number, Entry::Kind::kSeconds});
-    }
-    const Json* allocs = run.Find("allocs");
-    if (allocs != nullptr && allocs->kind == Json::Kind::kObject) {
-      for (const auto& [name, count] : allocs->object) {
-        entry.push_back({name, count.number, Entry::Kind::kAllocs});
-      }
-    }
-    const Json* rates = run.Find("rates");
-    if (rates != nullptr && rates->kind == Json::Kind::kObject) {
-      for (const auto& [name, rate] : rates->object) {
-        entry.push_back({name, rate.number, Entry::Kind::kRate});
-      }
-    }
-    const Json* total = run.Find("total_seconds");
-    if (total != nullptr) {
-      entry.push_back({"total", total->number, Entry::Kind::kSeconds});
-    }
-  }
-  return true;
-}
-
-}  // namespace
+#include "tools/bench_diff_lib.h"
 
 int main(int argc, char** argv) {
+  using namespace csd::benchdiff;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0 ||
         std::strcmp(argv[i], "-h") == 0) {
@@ -257,7 +43,10 @@ int main(int argc, char** argv) {
           "bench/serve_load) are higher-is-better and flag on an equally\n"
           "sized *decrease* instead.\n"
           "Stages under 1 ms or under 100 allocations in the baseline are\n"
-          "skipped as noise. Improvements never flag.\n"
+          "skipped as noise. Improvements never flag. Runs present only\n"
+          "in the current file — e.g. a freshly-registered\n"
+          "\"scenario:<name>\" pack with no committed baseline yet — are\n"
+          "reported as baseline seeds, never regressions.\n"
           "\n"
           "exit status: 0 no regression, 1 regression, 2 usage/parse "
           "error.\n"
@@ -284,10 +73,6 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  // Stages faster / smaller than these in the baseline are pure noise.
-  constexpr double kMinSeconds = 1e-3;
-  constexpr double kMinAllocs = 100.0;
-  constexpr double kMinRate = 1.0;
 
   Json baseline_json, current_json;
   if (!LoadJson(argv[1], &baseline_json) || !LoadJson(argv[2], &current_json))
@@ -297,66 +82,8 @@ int main(int argc, char** argv) {
       !ExtractRuns(current_json, argv[2], &current))
     return 2;
 
-  std::printf("%-16s %-18s %12s %12s %9s\n", "scale", "stage", "baseline",
-              "current", "delta");
-  int regressions = 0;
-  for (const auto& [key, stages] : baseline) {
-    char scale_label[64];
-    if (key.second.empty()) {
-      std::snprintf(scale_label, sizeof(scale_label), "%g", key.first);
-    } else {
-      std::snprintf(scale_label, sizeof(scale_label), "%g/%s", key.first,
-                    key.second.c_str());
-    }
-    auto it = current.find(key);
-    if (it == current.end()) {
-      std::printf("%-16s (missing from %s)\n", scale_label, argv[2]);
-      continue;
-    }
-    for (const Entry& base : stages) {
-      double cur_s = -1.0;
-      for (const Entry& cur : it->second) {
-        if (cur.name == base.name && cur.kind == base.kind) {
-          cur_s = cur.value;
-          break;
-        }
-      }
-      std::string label =
-          base.kind == Entry::Kind::kAllocs ? base.name + " allocs"
-                                            : base.name;
-      if (cur_s < 0.0) {
-        std::printf("%-16s %-18s %12.3f %12s\n", scale_label, label.c_str(),
-                    base.value, "(missing)");
-        continue;
-      }
-      double delta =
-          base.value > 0.0 ? (cur_s - base.value) / base.value : 0.0;
-      bool flagged;
-      switch (base.kind) {
-        case Entry::Kind::kAllocs:
-          flagged = base.value >= kMinAllocs && delta > threshold;
-          break;
-        case Entry::Kind::kRate:
-          // Higher is better: a *drop* past the threshold regresses.
-          flagged = base.value >= kMinRate && delta < -threshold;
-          break;
-        case Entry::Kind::kSeconds:
-        default:
-          flagged = base.value >= kMinSeconds && delta > threshold;
-          break;
-      }
-      if (flagged) ++regressions;
-      if (base.kind == Entry::Kind::kSeconds) {
-        std::printf("%-16s %-18s %11.3fs %11.3fs %+8.1f%%%s\n", scale_label,
-                    label.c_str(), base.value, cur_s, 100.0 * delta,
-                    flagged ? "  << REGRESSION" : "");
-      } else {
-        std::printf("%-16s %-18s %12.1f %12.1f %+8.1f%%%s\n", scale_label,
-                    label.c_str(), base.value, cur_s, 100.0 * delta,
-                    flagged ? "  << REGRESSION" : "");
-      }
-    }
-  }
+  int regressions =
+      DiffRunTables(baseline, current, threshold, argv[2], stdout);
   if (regressions > 0) {
     std::printf("\n%d stage(s) regressed more than %.0f%%\n", regressions,
                 100.0 * threshold);

@@ -116,6 +116,23 @@ if cmake --build --preset default -j --target serve_load bench_diff; then
   elif ! ./build/tools/bench_diff BENCH_serve.json "${stream_scratch}" 0.5; then
     fail "stream bench_diff regression gate"
   fi
+  # Scenario gate: the smallest shipped pack runs its full phased
+  # timeline in-process (annotate + ingest envelopes, chaos windows);
+  # serve_load exits nonzero on any failed admitted request, the label
+  # check proves the scenario run landed in the trajectory, and the
+  # diff gates its per-phase rates against the committed baseline (a
+  # pack new to the baseline is informational, never a regression).
+  scenario_scratch="$(mktemp /tmp/BENCH_scenario.XXXXXX.json)"
+  trap 'rm -f "${scratch:-}" "${serve_scratch}" "${stream_scratch}" "${scenario_scratch}"' EXIT
+  if ! CSD_BENCH_POIS=6000 CSD_BENCH_AGENTS=600 CSD_BENCH_DAYS=1 \
+       ./build/bench/serve_load --scenario weekend-leisure \
+       --json "${scenario_scratch}" >/dev/null; then
+    fail "serve_load --scenario run (a FAILED request also exits nonzero)"
+  elif ! grep -q 'scenario:weekend-leisure' "${scenario_scratch}"; then
+    fail "scenario run label missing from ${scenario_scratch}"
+  elif ! ./build/tools/bench_diff BENCH_serve.json "${scenario_scratch}" 0.5; then
+    fail "scenario bench_diff regression gate"
+  fi
 else
   fail "build serve_load"
 fi

@@ -76,6 +76,8 @@
 #include "miner/pervasive_miner.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "scenario/chaos_timeline.h"
+#include "scenario/scenario.h"
 #include "serve/net_server.h"
 #include "serve/protocol.h"
 #include "serve/retry.h"
@@ -105,8 +107,9 @@ class Args {
       const char* body = argv[i] + 2;
       if (const char* eq = std::strchr(body, '=')) {
         values_[std::string(body, eq)] = eq + 1;
-      } else if (std::strcmp(body, "help") == 0) {
-        values_["help"] = "1";  // the one boolean flag: never eats a value
+      } else if (std::strcmp(body, "help") == 0 ||
+                 std::strcmp(body, "list-scenarios") == 0) {
+        values_[body] = "1";  // boolean flags never eat a value
       } else if (i + 1 >= argc) {
         std::fprintf(stderr, "flag '%s' is missing its value\n", argv[i]);
         ok_ = false;
@@ -186,7 +189,11 @@ const std::vector<CommandSpec>& Commands() {
         {"days", "days of trips to simulate (default 7)"},
         {"seed", "RNG seed (default 7)"},
         {"width", "city width in meters (default 16000)"},
-        {"height", "city height in meters (default 16000)"}}},
+        {"height", "city height in meters (default 16000)"},
+        {"scenario", "start from a named scenario pack's city/trip recipe "
+                     "(explicit flags above still override; "
+                     "docs/scenarios.md)"},
+        {"list-scenarios", "list registered scenario packs and exit"}}},
       {"build-csd",
        "build the City Semantic Diagram and write a binary snapshot",
        {{"pois", "POI CSV from generate", true},
@@ -246,7 +253,10 @@ const std::vector<CommandSpec>& Commands() {
                                     "never)"},
         {"stream-reorder-window-s", "buffer out-of-order fixes up to this "
                                     "many seconds; older ones are dropped "
-                                    "with a metric (default 0)"}}},
+                                    "with a metric (default 0)"},
+        {"scenario", "walk the named pack's chaos schedule (failpoint "
+                     "arm/disarm per load phase) once --listen is up"},
+        {"list-scenarios", "list registered scenario packs and exit"}}},
   };
   return kCommands;
 }
@@ -315,16 +325,42 @@ int Fail(const Status& status) {
 }
 
 int CmdGenerate(const Args& args) {
+  if (args.Has("list-scenarios")) {
+    std::printf("%s", scenario::ListScenariosText().c_str());
+    return 0;
+  }
   if (!args.Require({"out-pois", "out-trips"})) return 2;
+  // A scenario pack seeds the recipe; explicit flags still override so CI
+  // can shrink a pack without editing the registry.
   CityConfig city_config;
-  city_config.num_pois = static_cast<size_t>(args.GetInt("pois", 15000));
-  city_config.seed = static_cast<uint64_t>(args.GetInt("seed", 7));
-  city_config.width_m = args.GetDouble("width", 16000.0);
-  city_config.height_m = args.GetDouble("height", 16000.0);
   TripConfig trip_config;
-  trip_config.num_agents = static_cast<size_t>(args.GetInt("agents", 2000));
-  trip_config.num_days = static_cast<int>(args.GetInt("days", 7));
-  trip_config.seed = static_cast<uint64_t>(args.GetInt("seed", 7)) + 55;
+  if (args.Has("scenario")) {
+    auto pack_or = scenario::GetScenario(args.Get("scenario"));
+    if (!pack_or.ok()) return Fail(pack_or.status());
+    city_config = pack_or.value().city;
+    trip_config = pack_or.value().trips;
+  }
+  if (!args.Has("scenario") || args.Has("pois")) {
+    // Population scaling only fills num_pois when it is 0, so an explicit
+    // count wins while the pack's district mix stays population-shaped.
+    city_config.num_pois = static_cast<size_t>(args.GetInt("pois", 15000));
+  }
+  if (!args.Has("scenario") || args.Has("seed")) {
+    city_config.seed = static_cast<uint64_t>(args.GetInt("seed", 7));
+    trip_config.seed = static_cast<uint64_t>(args.GetInt("seed", 7)) + 55;
+  }
+  if (!args.Has("scenario") || args.Has("width")) {
+    city_config.width_m = args.GetDouble("width", 16000.0);
+  }
+  if (!args.Has("scenario") || args.Has("height")) {
+    city_config.height_m = args.GetDouble("height", 16000.0);
+  }
+  if (!args.Has("scenario") || args.Has("agents")) {
+    trip_config.num_agents = static_cast<size_t>(args.GetInt("agents", 2000));
+  }
+  if (!args.Has("scenario") || args.Has("days")) {
+    trip_config.num_days = static_cast<int>(args.GetInt("days", 7));
+  }
 
   SyntheticCity city = GenerateCity(city_config);
   TripDataset trips = GenerateTrips(city, trip_config);
@@ -518,7 +554,24 @@ Result<std::pair<std::string, uint16_t>> ParseListenAddress(
 }
 
 int CmdServe(const Args& args) {
+  if (args.Has("list-scenarios")) {
+    std::printf("%s", scenario::ListScenariosText().c_str());
+    return 0;
+  }
   if (!args.Require({"pois", "trips"})) return 2;
+  // --scenario arms the pack's chaos windows on the pack's load-phase
+  // clock once the listener is up; validate the name before the build.
+  std::optional<scenario::ScenarioPack> chaos_pack;
+  if (args.Has("scenario")) {
+    auto pack_or = scenario::GetScenario(args.Get("scenario"));
+    if (!pack_or.ok()) return Fail(pack_or.status());
+    if (!args.Has("listen")) {
+      return Fail(Status::InvalidArgument(
+          "--scenario drives the chaos schedule against network load and "
+          "needs --listen"));
+    }
+    chaos_pack = std::move(pack_or).value();
+  }
   const bool stream_on = args.GetInt("stream", 0) != 0;
   if (stream_on && (!args.Has("listen") || args.GetInt("shards", 0) <= 0)) {
     return Fail(Status::InvalidArgument(
@@ -666,9 +719,28 @@ int CmdServe(const Args& args) {
                  net_options.host.c_str(),
                  static_cast<unsigned>(server->port()),
                  net_options.num_loops);
+    // The chaos walker starts on the listen announcement; a client pacing
+    // the same pack is expected to connect promptly (docs/scenarios.md
+    // covers the wall-clock alignment).
+    std::atomic<bool> chaos_stop{false};
+    std::thread chaos;
+    if (chaos_pack) {
+      std::fprintf(stderr,
+                   "serve: scenario %s chaos schedule armed (%zu windows "
+                   "over %.0fs)\n",
+                   chaos_pack->name.c_str(), chaos_pack->chaos.size(),
+                   chaos_pack->TotalDurationS());
+      chaos = std::thread([&chaos_pack, &chaos_stop] {
+        scenario::RunChaosTimeline(*chaos_pack, chaos_stop);
+      });
+    }
     int sig = 0;
     sigwait(&signal_set, &sig);
     std::fprintf(stderr, "serve: signal %d, draining\n", sig);
+    if (chaos.joinable()) {
+      chaos_stop.store(true, std::memory_order_release);
+      chaos.join();
+    }
     server->Shutdown();
     if (ticker.joinable()) {
       ticker_stop.store(true, std::memory_order_release);
