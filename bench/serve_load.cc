@@ -770,7 +770,11 @@ ReplayConfig MakeStreamReplayConfig(const CityConfig& city_config) {
 /// incremental publish tick (dirty tiles only) and one forced full
 /// checkpoint over the same accumulated state. The headline rate,
 /// incremental_rebuild_speedup = checkpoint_seconds / incremental_seconds,
-/// is the freshness win of republishing only what the delta touched.
+/// is the freshness win of republishing only what the delta touched. A
+/// second replay wave then re-dirties the same tiles with warm in-tile
+/// engines and time-decayed popularity; in_tile_rebuild_speedup =
+/// cold_tick_seconds / warm_tick_seconds is the further win of absorbing
+/// a delta into cached tile structure instead of re-staging the tile.
 void RunStreamPhase(const LoadConfig& config,
                     std::vector<PipelineBenchRun>* runs,
                     uint64_t* total_failures) {
@@ -794,6 +798,11 @@ void RunStreamPhase(const LoadConfig& config,
   snapshot_options.miner.extraction.temporal_constraint =
       60 * kSecondsPerMinute;
   snapshot_options.miner.extraction.density_threshold = 0.002;
+  // Decay on for the whole phase: every build weights stays by
+  // 2^-(age/half-life) against the stream watermark, which is the regime
+  // the in-tile engine's second-wave measurement below exercises.
+  snapshot_options.miner.csd.decay.half_life_s = static_cast<double>(
+      EnvSize("CSD_BENCH_STREAM_DECAY_HALF_LIFE_S", 86400));
 
   shard::ShardPlan plan = shard::PlanForCity(dataset->pois, shards,
                                              snapshot_options.miner.csd);
@@ -866,6 +875,79 @@ void RunStreamPhase(const LoadConfig& config,
               "(incremental speedup %.2fx)\n",
               static_cast<unsigned long long>(checkpoint.version),
               checkpoint.seconds, speedup);
+
+  // Second wave, a day later: the first incremental tick seeded each
+  // dirty tile's in-tile engine with a fallback full stage, so this
+  // tick's comparable delta (same users, same corner) is absorbed
+  // in-tile — dirty ε-components re-seeded, clean clusters and merge
+  // groups spliced from cache, popularity re-decayed to the new
+  // watermark. The headline divides the warm absorb into the cold
+  // full-stage tick over the same tiles.
+  ReplayConfig wave2_config = MakeStreamReplayConfig(city_config);
+  wave2_config.seed = 4321;
+  wave2_config.start_time = 24 * 3600;
+  // A small late delta — a handful of commuters in one neighborhood —
+  // which is the absorb regime: it touches a few ε∪merge components, and
+  // the rest of the tile splices from cache. (Wave 1's region-wide flood
+  // would trip the churn fallback by design.)
+  wave2_config.num_users = EnvSize("CSD_BENCH_STREAM_WAVE2_USERS", 4);
+  wave2_config.stops_per_user = 2;
+  wave2_config.region = BoundingBox{};
+  wave2_config.region.Extend(Vec2{0.05 * city_config.width_m,
+                                  0.05 * city_config.height_m});
+  wave2_config.region.Extend(Vec2{0.12 * city_config.width_m,
+                                  0.12 * city_config.height_m});
+  ReplaySet wave2 = MakeReplaySet(city, wave2_config);
+  for (const ReplayFix& rf : wave2.stream) {
+    Status folded = ingestor.IngestFixes(
+        rf.user_id, std::span<const GpsPoint>(&rf.fix, 1));
+    if (!folded.ok()) {
+      std::fprintf(stderr, "wave-2 ingest failed: %s\n",
+                   folded.ToString().c_str());
+      *total_failures += 1;
+      break;
+    }
+  }
+  ingestor.FlushAll();
+  stream::RebuildTickReport in_tile = ingestor.PublishTick();
+  if (!in_tile.status.ok()) {
+    std::fprintf(stderr, "in-tile publish failed: %s\n",
+                 in_tile.status.ToString().c_str());
+    *total_failures += 1;
+  }
+  if (in_tile.shards_rebuilt > 0 && in_tile.shards_in_tile == 0) {
+    std::fprintf(stderr,
+                 "FAIL: warm second-wave tick fell back to full tile "
+                 "stages on every shard\n");
+    *total_failures += 1;
+  }
+  // The headline compares the stage work the in-tile path changes:
+  // average engine seconds per full tile stage (wave 1's cold builds)
+  // over average engine seconds per in-tile absorb (this tick).
+  stream::InTileBuilder::Stats engine = ingestor.in_tile_stats();
+  double in_tile_speedup =
+      engine.in_tile > 0 && engine.fallbacks > 0 &&
+              engine.in_tile_seconds > 0.0
+          ? (engine.fallback_seconds /
+             static_cast<double>(engine.fallbacks)) /
+                (engine.in_tile_seconds /
+                 static_cast<double>(engine.in_tile))
+          : 0.0;
+  std::printf("in-tile publish: v%llu, %zu tiles (%zu in-tile / %zu "
+              "fallback) in %.2fs (stage %.0f us full vs %.0f us absorb "
+              "-> in-tile speedup %.2fx, decay half-life %.0fs)\n",
+              static_cast<unsigned long long>(in_tile.version),
+              in_tile.shards_rebuilt, in_tile.shards_in_tile,
+              in_tile.shards_fallback, in_tile.seconds,
+              engine.fallbacks > 0
+                  ? 1e6 * engine.fallback_seconds /
+                        static_cast<double>(engine.fallbacks)
+                  : 0.0,
+              engine.in_tile > 0 ? 1e6 * engine.in_tile_seconds /
+                                       static_cast<double>(engine.in_tile)
+                                 : 0.0,
+              in_tile_speedup,
+              snapshot_options.miner.csd.decay.half_life_s);
   service.Shutdown();
 
   PipelineBenchRun run;
@@ -878,8 +960,10 @@ void RunStreamPhase(const LoadConfig& config,
   run.stages.push_back({"stream_ingest", ingest_seconds, 0});
   run.stages.push_back({"incremental_publish", incremental.seconds, 0});
   run.stages.push_back({"checkpoint_publish", checkpoint.seconds, 0});
+  run.stages.push_back({"in_tile_publish", in_tile.seconds, 0});
   run.rates.emplace_back("ingest_fixes_per_sec", fixes_per_sec);
   run.rates.emplace_back("incremental_rebuild_speedup", speedup);
+  run.rates.emplace_back("in_tile_rebuild_speedup", in_tile_speedup);
   runs->push_back(std::move(run));
 }
 

@@ -68,7 +68,11 @@ CitySemanticDiagram CsdBuilder::Build(const PoiDatabase& pois,
       CSD_CHECK(caches->popularity.size() == pois.size());
       popularity_holder.emplace(caches->popularity, options_.r3sigma);
     } else {
-      popularity_holder.emplace(pois, stays, options_.r3sigma);
+      PopularityDecayOptions decay = options_.decay;
+      if (decay.enabled() && decay.as_of == 0) {
+        decay.as_of = ResolveDecayAsOf(stays);
+      }
+      popularity_holder.emplace(pois, stays, options_.r3sigma, decay);
     }
   }
   PopularityModel& popularity = *popularity_holder;

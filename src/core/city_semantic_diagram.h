@@ -22,6 +22,11 @@ struct CsdBuildOptions {
   PurificationOptions purification;
   MergingOptions merging;
 
+  /// Time decay of the popularity evidence (off by default — Eq. 3 exactly
+  /// as published). An unset as_of resolves to the newest stay time once,
+  /// at the top of Build, so every tile of a sharded build shares it.
+  PopularityDecayOptions decay;
+
   /// Ablation switches (bench/ablation_csd_steps): disable individual
   /// construction stages to measure their contribution.
   bool enable_purification = true;

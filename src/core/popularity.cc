@@ -1,5 +1,6 @@
 #include "core/popularity.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
@@ -16,6 +17,18 @@ double GaussianCoefficient(double distance_m, double r3sigma_m) {
   return norm * std::exp(-(distance_m * distance_m) / (2.0 * sigma * sigma));
 }
 
+double DecayWeight(Timestamp stay_time, Timestamp as_of, double half_life_s) {
+  CSD_DCHECK(half_life_s > 0.0);
+  if (stay_time >= as_of) return 1.0;
+  return std::exp2(-static_cast<double>(as_of - stay_time) / half_life_s);
+}
+
+Timestamp ResolveDecayAsOf(const std::vector<StayPoint>& stays) {
+  Timestamp as_of = 0;
+  for (const StayPoint& sp : stays) as_of = std::max(as_of, sp.time);
+  return as_of;
+}
+
 PopularityModel::PopularityModel(std::vector<double> values, double r3sigma_m)
     : r3sigma_(r3sigma_m), popularity_(std::move(values)) {
   CSD_CHECK_MSG(r3sigma_ > 0.0, "R3sigma must be positive");
@@ -23,7 +36,8 @@ PopularityModel::PopularityModel(std::vector<double> values, double r3sigma_m)
 
 PopularityModel::PopularityModel(const PoiDatabase& pois,
                                  const std::vector<StayPoint>& stays,
-                                 double r3sigma_m)
+                                 double r3sigma_m,
+                                 PopularityDecayOptions decay)
     : r3sigma_(r3sigma_m), popularity_(pois.size(), 0.0) {
   CSD_CHECK_MSG(r3sigma_ > 0.0, "R3sigma must be positive");
   if (stays.empty() || pois.size() == 0) return;
@@ -33,6 +47,17 @@ PopularityModel::PopularityModel(const PoiDatabase& pois,
   for (const StayPoint& sp : stays) stay_positions.push_back(sp.position);
   GridIndex stay_index(std::move(stay_positions), r3sigma_);
 
+  // Per-stay decay weights, addressed by the ORIGINAL stay index the grid
+  // yields. Kept out of the hot loop below when decay is off so the
+  // decay-free accumulation stays instruction-for-instruction what it was.
+  std::vector<double> weight;
+  if (decay.enabled()) {
+    weight.resize(stays.size());
+    for (size_t i = 0; i < stays.size(); ++i) {
+      weight[i] = DecayWeight(stays[i].time, decay.as_of, decay.half_life_s);
+    }
+  }
+
   // Independent per POI: parallel over the database. One iteration is a
   // radius query over the stay index — expensive enough for a small grain.
   ParallelFor(
@@ -40,11 +65,20 @@ PopularityModel::PopularityModel(const PoiDatabase& pois,
       [&](size_t id) {
         const Vec2& p = pois.poi(static_cast<PoiId>(id)).position;
         double acc = 0.0;
-        // Equation (3): sum over stay points strictly within R3sigma.
-        stay_index.ForEachInRadius(p, r3sigma_, [&](size_t sidx) {
-          acc += GaussianCoefficient(Distance(p, stay_index.point(sidx)),
-                                     r3sigma_);
-        });
+        if (weight.empty()) {
+          // Equation (3): sum over stay points strictly within R3sigma.
+          stay_index.ForEachInRadius(p, r3sigma_, [&](size_t sidx) {
+            acc += GaussianCoefficient(Distance(p, stay_index.point(sidx)),
+                                       r3sigma_);
+          });
+        } else {
+          // Sliding-regime Eq. 3: each stay scaled by its decay weight.
+          stay_index.ForEachInRadius(p, r3sigma_, [&](size_t sidx) {
+            acc += weight[sidx] *
+                   GaussianCoefficient(Distance(p, stay_index.point(sidx)),
+                                       r3sigma_);
+          });
+        }
         popularity_[id] = acc;
       },
       {.grain = 64});

@@ -27,7 +27,8 @@ bool PopularityCompatible(double pop_a, double pop_b, double alpha) {
 PopularityClusteringResult PopularityBasedClustering(
     const PoiDatabase& pois, const PopularityModel& popularity,
     const PopularityClusteringOptions& options,
-    std::span<const uint32_t> eps_offsets, std::span<const PoiId> eps_flat) {
+    std::span<const uint32_t> eps_offsets, std::span<const PoiId> eps_flat,
+    std::span<const char> active) {
   CSD_CHECK_MSG(options.eps > 0.0, "eps must be positive");
   CSD_CHECK_MSG(options.alpha > 0.0 && options.alpha <= 1.0,
                 "alpha must be in (0, 1]");
@@ -36,6 +37,14 @@ PopularityClusteringResult PopularityBasedClustering(
   PopularityClusteringResult result;
   std::vector<char> taken(n, 0);   // removed from P (line 3 / line 8)
   std::vector<char> in_cluster(n, 0);  // member of a kept cluster
+  if (!active.empty()) {
+    CSD_CHECK_MSG(active.size() == n, "active mask has wrong size");
+    // Restricted run: everything unmarked is withdrawn from P before the
+    // greedy loop, exactly as if those POIs had already been consumed.
+    for (size_t pid = 0; pid < n; ++pid) {
+      if (!active[pid]) taken[pid] = 1;
+    }
+  }
 
   // The greedy expansion below consumes every POI's ε-neighborhood at
   // most once, in POI order inside each cluster. The range queries
@@ -170,7 +179,9 @@ PopularityClusteringResult PopularityBasedClustering(
   }
 
   for (PoiId pid = 0; pid < n; ++pid) {
-    if (!in_cluster[pid]) result.unclustered.push_back(pid);
+    if (in_cluster[pid]) continue;
+    if (!active.empty() && !active[pid]) continue;
+    result.unclustered.push_back(pid);
   }
   static obs::Counter& clusters_counter =
       obs::MetricsRegistry::Get().GetCounter(

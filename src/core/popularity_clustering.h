@@ -51,11 +51,22 @@ struct PopularityClusteringResult {
 /// built internally. A sharded build (shard/sharded_build.h) computes the
 /// cache per tile and injects it; the serial greedy expansion then replays
 /// the exact sequence a monolithic build would.
+///
+/// `active`, when non-empty (size pois.size()), restricts the algorithm
+/// to the marked POIs: unmarked POIs are withdrawn from P up front — they
+/// never seed, join nor block a cluster — and are omitted from
+/// `unclustered`. When the active set is a union of whole ε-connected
+/// components, the restricted run's clusters and unclustered POIs are
+/// exactly the full run's output filtered to those components (greedy
+/// expansion never crosses an ε-component boundary), which is what the
+/// incremental tile rebuild (core/incremental_csd.h) relies on to
+/// recluster only the components its delta dirtied.
 PopularityClusteringResult PopularityBasedClustering(
     const PoiDatabase& pois, const PopularityModel& popularity,
     const PopularityClusteringOptions& options,
     std::span<const uint32_t> eps_offsets = {},
-    std::span<const PoiId> eps_flat = {});
+    std::span<const PoiId> eps_flat = {},
+    std::span<const char> active = {});
 
 }  // namespace csd
 

@@ -76,68 +76,76 @@ std::vector<std::vector<PoiId>> SemanticPurification(
   static obs::Counter& splits_counter = obs::MetricsRegistry::Get().GetCounter(
       "csd_purification_splits_total",
       "Cluster splits performed by semantic purification");
-  std::deque<std::vector<PoiId>> work(
-      std::make_move_iterator(coarse_clusters.begin()),
-      std::make_move_iterator(coarse_clusters.end()));
+  // Each coarse cluster purifies independently (splits only ever divide a
+  // cluster's own members), so clusters are processed to completion one at
+  // a time and the output is cluster-major: input cluster i's units form
+  // one contiguous block, in the FIFO order of its own split tree. That
+  // block structure is what lets the incremental tile rebuild
+  // (core/incremental_csd.h) reuse a clean cluster's purified units
+  // verbatim and splice freshly purified clusters in between.
   std::vector<std::vector<PoiId>> units;
+  std::deque<std::vector<PoiId>> work;
+  for (std::vector<PoiId>& coarse : coarse_clusters) {
+    work.clear();
+    work.push_back(std::move(coarse));
+    while (!work.empty()) {
+      std::vector<PoiId> cluster = std::move(work.front());
+      work.pop_front();
+      if (cluster.empty()) continue;
 
-  while (!work.empty()) {
-    std::vector<PoiId> cluster = std::move(work.front());
-    work.pop_front();
-    if (cluster.empty()) continue;
-
-    // Lines 4-5: already a fine-grained unit?
-    if (SingleSemantic(cluster, pois) ||
-        ClusterVariance(cluster, pois) < options.v_min) {
-      units.push_back(std::move(cluster));
-      continue;
-    }
-
-    // Lines 7-9: KL of every member against the central POI. Each member's
-    // distribution is an O(|cluster|) Gaussian sweep, making this loop the
-    // stage's quadratic hot spot; members are independent, so it runs on
-    // the pool with a grain inversely proportional to the per-member cost.
-    PoiId center = CenterPoi(cluster, pois);
-    auto pr_center = InnerSemanticDistribution(cluster, center, pois,
-                                               options.r3sigma);
-    std::vector<double> kl(cluster.size());
-    size_t grain = std::max<size_t>(1, 4096 / cluster.size());
-    ParallelFor(
-        cluster.size(),
-        [&](size_t k) {
-          auto pr_k = InnerSemanticDistribution(cluster, cluster[k], pois,
-                                                options.r3sigma);
-          kl[k] = KlDivergence(pr_k, pr_center, options.kl_epsilon);
-        },
-        {.grain = grain});
-
-    // Line 10: median KL (lower median, so that a mixed pair — KL values
-    // {0, x} — still splits at the strict > below).
-    std::vector<double> sorted_kl = kl;
-    size_t median_idx = (sorted_kl.size() - 1) / 2;
-    std::nth_element(sorted_kl.begin(), sorted_kl.begin() + median_idx,
-                     sorted_kl.end());
-    double median = sorted_kl[median_idx];
-
-    // Lines 11-13: split off the members farther (in KL) than the median.
-    std::vector<PoiId> keep;
-    std::vector<PoiId> split;
-    for (size_t k = 0; k < cluster.size(); ++k) {
-      if (kl[k] > median) {
-        split.push_back(cluster[k]);
-      } else {
-        keep.push_back(cluster[k]);
+      // Lines 4-5: already a fine-grained unit?
+      if (SingleSemantic(cluster, pois) ||
+          ClusterVariance(cluster, pois) < options.v_min) {
+        units.push_back(std::move(cluster));
+        continue;
       }
-    }
 
-    if (split.empty()) {
-      // Termination guard: KL-homogeneous but mixed cluster; accept.
-      units.push_back(std::move(cluster));
-      continue;
+      // Lines 7-9: KL of every member against the central POI. Each member's
+      // distribution is an O(|cluster|) Gaussian sweep, making this loop the
+      // stage's quadratic hot spot; members are independent, so it runs on
+      // the pool with a grain inversely proportional to the per-member cost.
+      PoiId center = CenterPoi(cluster, pois);
+      auto pr_center = InnerSemanticDistribution(cluster, center, pois,
+                                                 options.r3sigma);
+      std::vector<double> kl(cluster.size());
+      size_t grain = std::max<size_t>(1, 4096 / cluster.size());
+      ParallelFor(
+          cluster.size(),
+          [&](size_t k) {
+            auto pr_k = InnerSemanticDistribution(cluster, cluster[k], pois,
+                                                  options.r3sigma);
+            kl[k] = KlDivergence(pr_k, pr_center, options.kl_epsilon);
+          },
+          {.grain = grain});
+
+      // Line 10: median KL (lower median, so that a mixed pair — KL values
+      // {0, x} — still splits at the strict > below).
+      std::vector<double> sorted_kl = kl;
+      size_t median_idx = (sorted_kl.size() - 1) / 2;
+      std::nth_element(sorted_kl.begin(), sorted_kl.begin() + median_idx,
+                       sorted_kl.end());
+      double median = sorted_kl[median_idx];
+
+      // Lines 11-13: split off the members farther (in KL) than the median.
+      std::vector<PoiId> keep;
+      std::vector<PoiId> split;
+      for (size_t k = 0; k < cluster.size(); ++k) {
+        if (kl[k] > median) {
+          split.push_back(cluster[k]);
+        } else {
+          keep.push_back(cluster[k]);
+        }
+      }
+
+      if (split.empty()) {
+        // Termination guard: KL-homogeneous but mixed cluster; accept.
+        units.push_back(std::move(cluster));
+        continue;
+      }
+      work.push_back(std::move(keep));
+      work.push_back(std::move(split));
+      splits_counter.Increment();
     }
-    work.push_back(std::move(keep));
-    work.push_back(std::move(split));
-    splits_counter.Increment();
   }
   static obs::Counter& units_counter = obs::MetricsRegistry::Get().GetCounter(
       "csd_purified_units_total", "Semantic units emitted by purification");

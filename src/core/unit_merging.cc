@@ -1,10 +1,9 @@
 #include "core/unit_merging.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <numeric>
 #include <span>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "obs/metrics.h"
 #include "util/check.h"
@@ -14,7 +13,9 @@ namespace csd {
 
 namespace {
 
-/// Plain union-find with path halving.
+/// Plain union-find with path halving. Union always parents the larger
+/// root under the smaller, so a class's root is its smallest member —
+/// the canonical group ordering below depends on that.
 class UnionFind {
  public:
   explicit UnionFind(size_t n) : parent_(n) {
@@ -43,7 +44,7 @@ class UnionFind {
 
 }  // namespace
 
-std::vector<std::vector<PoiId>> SemanticUnitMerging(
+MergeNodeGroups SemanticUnitMergingGroups(
     const std::vector<std::vector<PoiId>>& purified_units,
     const std::vector<PoiId>& unclustered, const PoiDatabase& pois,
     const PopularityModel& popularity, const MergingOptions& options,
@@ -51,8 +52,9 @@ std::vector<std::vector<PoiId>> SemanticUnitMerging(
   // Node universe: purified units first, then leftover singletons. Stored
   // as CSR (flat member array + offsets) — the per-node member lists are
   // read-only from here on.
-  size_t num_clustered_nodes = purified_units.size();
-  size_t num_nodes = num_clustered_nodes;
+  MergeNodeGroups result;
+  result.num_clustered_nodes = purified_units.size();
+  size_t num_nodes = result.num_clustered_nodes;
   size_t total_members = 0;
   for (const std::vector<PoiId>& unit : purified_units) {
     total_members += unit.size();
@@ -61,7 +63,8 @@ std::vector<std::vector<PoiId>> SemanticUnitMerging(
     num_nodes += unclustered.size();
     total_members += unclustered.size();
   }
-  if (num_nodes == 0) return {};
+  result.num_nodes = num_nodes;
+  if (num_nodes == 0) return result;
   std::vector<PoiId> node_pois;
   node_pois.reserve(total_members);
   std::vector<uint32_t> node_offsets;
@@ -90,10 +93,12 @@ std::vector<std::vector<PoiId>> SemanticUnitMerging(
   // Node-level adjacency from POI proximity, computed once. The per-POI
   // range queries are the expensive part and independent, so with workers
   // they run in parallel — a count pass sizes one flat CSR edge array, a
-  // fill pass writes each POI's disjoint range. Either way the insertion
-  // below sees the same edge sequence a serial scan would, which keeps
-  // the unordered_set iteration order — and therefore the merge order —
-  // independent of the thread count.
+  // fill pass writes each POI's disjoint range. The edge list is then
+  // sorted and deduplicated, so the merge passes below walk the edges in
+  // ascending (lo, hi) node order — a pure function of the node universe,
+  // identical whatever thread count, platform or hash implementation
+  // produced the raw sequence, and stable under restriction to a node
+  // subset (the incremental rebuild's order-isomorphism contract).
   auto emit_edge = [&](size_t node_a, PoiId other, auto&& fn) {
     size_t node_b = poi_to_node[other];
     if (node_b == SIZE_MAX || node_b == node_a) return;
@@ -122,8 +127,7 @@ std::vector<std::vector<PoiId>> SemanticUnitMerging(
   if (!nb_offsets.empty()) {
     CSD_CHECK_MSG(nb_offsets.size() == pois.size() + 1,
                   "injected proximity cache has wrong offset count");
-    // Replaying cached lists is pure memory traffic; one appending pass
-    // over the same per-POI edge order the live-query paths produce.
+    // Replaying cached lists is pure memory traffic; one appending pass.
     for (size_t pid_idx = 0; pid_idx < pois.size(); ++pid_idx) {
       for_each_edge(pid_idx, [&](uint64_t key) { edges.push_back(key); });
     }
@@ -156,8 +160,8 @@ std::vector<std::vector<PoiId>> SemanticUnitMerging(
       for_each_edge(pid_idx, [&](uint64_t key) { edges.push_back(key); });
     }
   }
-  std::unordered_set<uint64_t> adjacency;
-  for (uint64_t key : edges) adjacency.insert(key);
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
 
   // Per-round group state, reused across rounds: the cosine test only
   // reads a group's popularity mass per category and its category set,
@@ -189,9 +193,10 @@ std::vector<std::vector<PoiId>> SemanticUnitMerging(
       }
     }
 
-    // One merging pass over the (root-level) adjacency.
+    // One merging pass over the (root-level) adjacency, in sorted edge
+    // order.
     size_t merges = 0;
-    for (uint64_t key : adjacency) {
+    for (uint64_t key : edges) {
       size_t a = uf.Find(static_cast<size_t>(key >> 32));
       size_t b = uf.Find(static_cast<size_t>(key & 0xffffffffu));
       if (a == b) continue;
@@ -202,23 +207,57 @@ std::vector<std::vector<PoiId>> SemanticUnitMerging(
     if (merges == 0) break;
   }
 
-  // Materialize final units; drop never-merged leftover singletons unless
-  // configured otherwise.
-  std::unordered_map<size_t, std::vector<PoiId>> groups;
-  std::unordered_map<size_t, bool> has_clustered;
+  // Materialize the classes. Scanning nodes in ascending order means a
+  // class is first seen at its root (the root IS the smallest member), so
+  // groups come out ordered by root with members ascending — no hashing.
+  std::vector<uint32_t> group_of(num_nodes, UINT32_MAX);
   for (size_t node = 0; node < num_nodes; ++node) {
     size_t root = uf.Find(node);
-    auto& group = groups[root];
-    std::span<const PoiId> members = node_members(node);
-    group.insert(group.end(), members.begin(), members.end());
-    if (node < num_clustered_nodes) has_clustered[root] = true;
+    if (group_of[root] == UINT32_MAX) {
+      group_of[root] = static_cast<uint32_t>(result.groups.size());
+      result.groups.emplace_back();
+    }
+    result.groups[group_of[root]].push_back(static_cast<uint32_t>(node));
   }
+  return result;
+}
+
+std::vector<std::vector<PoiId>> SemanticUnitMerging(
+    const std::vector<std::vector<PoiId>>& purified_units,
+    const std::vector<PoiId>& unclustered, const PoiDatabase& pois,
+    const PopularityModel& popularity, const MergingOptions& options,
+    std::span<const uint32_t> nb_offsets, std::span<const PoiId> nb_flat) {
+  MergeNodeGroups node_groups =
+      SemanticUnitMergingGroups(purified_units, unclustered, pois, popularity,
+                                options, nb_offsets, nb_flat);
+  auto members_of = [&](uint32_t node) -> std::span<const PoiId> {
+    if (node < node_groups.num_clustered_nodes) {
+      return purified_units[node];
+    }
+    return std::span<const PoiId>(
+        &unclustered[node - node_groups.num_clustered_nodes], 1);
+  };
+
+  // Drop never-merged leftover singletons unless configured otherwise. A
+  // group's smallest node comes first, so "contains a clustered POI" is a
+  // front() test.
   std::vector<std::vector<PoiId>> result;
-  result.reserve(groups.size());
-  for (auto& [root, members] : groups) {
-    bool keep = has_clustered.count(root) > 0 || members.size() >= 2 ||
+  result.reserve(node_groups.groups.size());
+  for (const std::vector<uint32_t>& group : node_groups.groups) {
+    bool has_clustered =
+        !group.empty() && group.front() < node_groups.num_clustered_nodes;
+    size_t poi_count = 0;
+    for (uint32_t node : group) poi_count += members_of(node).size();
+    bool keep = has_clustered || poi_count >= 2 ||
                 options.keep_unmerged_singletons;
-    if (keep) result.push_back(std::move(members));
+    if (!keep) continue;
+    std::vector<PoiId> members;
+    members.reserve(poi_count);
+    for (uint32_t node : group) {
+      std::span<const PoiId> span = members_of(node);
+      members.insert(members.end(), span.begin(), span.end());
+    }
+    result.push_back(std::move(members));
   }
   static obs::Counter& merged_counter = obs::MetricsRegistry::Get().GetCounter(
       "csd_merged_units_total", "Semantic units emitted by unit merging");

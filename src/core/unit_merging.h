@@ -29,13 +29,46 @@ struct MergingOptions {
   bool keep_unmerged_singletons = false;
 };
 
+/// Node-level output of the merging fixpoint. The node universe is the
+/// purified units in input order, then (when absorb_unclustered) the
+/// leftover singletons in input order. `groups` holds EVERY union-find
+/// class — including the never-merged singletons the POI-level wrapper
+/// drops — with member node indices ascending and the groups ordered by
+/// their root (smallest member). Both orders are canonical: they depend
+/// only on the input order of the nodes, never on hash-table layout, so
+/// a run over a node subset relates to the full run by the order
+/// isomorphism the incremental in-tile rebuild (core/incremental_csd.h)
+/// leans on.
+struct MergeNodeGroups {
+  size_t num_nodes = 0;
+  /// Nodes [0, num_clustered_nodes) are purified units; the rest are
+  /// absorbed singletons.
+  size_t num_clustered_nodes = 0;
+  std::vector<std::vector<uint32_t>> groups;
+};
+
+/// The merging fixpoint at node granularity (see MergeNodeGroups).
+/// SemanticUnitMerging below is the POI-level wrapper everyone else uses;
+/// the incremental tile engine consumes the node groups directly so it
+/// can stitch cached clean-component groups with freshly merged ones.
+MergeNodeGroups SemanticUnitMergingGroups(
+    const std::vector<std::vector<PoiId>>& purified_units,
+    const std::vector<PoiId>& unclustered, const PoiDatabase& pois,
+    const PopularityModel& popularity, const MergingOptions& options,
+    std::span<const uint32_t> nb_offsets = {},
+    std::span<const PoiId> nb_flat = {});
+
 /// Semantic Unit Merging: combines fragments of semantically similar,
 /// spatially adjacent units into bigger units, and absorbs leftover POIs.
 /// Implemented as an iterated union-find over the unit adjacency graph:
 /// each pass merges every adjacent pair whose distribution cosine clears
 /// the threshold, then distributions are recomputed, until a fixpoint.
 ///
-/// Returns the final units as POI-id sets, ready to become the CSD.
+/// Returns the final units as POI-id sets, ready to become the CSD. Units
+/// are ordered by their smallest node (see MergeNodeGroups) and each
+/// unit's POIs are concatenated in node order — a pure function of the
+/// input, identical across platforms, thread counts and standard-library
+/// hash implementations.
 ///
 /// `nb_offsets`/`nb_flat` optionally inject a precomputed proximity cache
 /// in CSR layout (offsets has pois.size() + 1 entries; each POI's list is

@@ -532,12 +532,18 @@ void ServeService::RunRebuildJob(RebuildJob job) {
           job.data != nullptr ? std::move(job.data)
                               : store_->Acquire()->shared_data();
       if (job.shard != kGlobalLane) {
-        // Tile-local rebuild: cut the shard's halo slice and build a
-        // small monolithic snapshot for that lane only (~1/K the work of
-        // a city-wide build).
+        // Tile-local rebuild: the installed delta-aware builder gets the
+        // first shot (it may absorb the delta into cached per-tile stage
+        // state); when it declines — or none is installed — cut the
+        // shard's halo slice and build a small monolithic snapshot for
+        // that lane only (~1/K the work of a city-wide build).
         size_t shard = static_cast<size_t>(job.shard);
-        auto snapshot = std::make_shared<CsdSnapshot>(
-            MakeShardDataset(*data, *plan_, shard), options_.snapshot);
+        std::shared_ptr<CsdSnapshot> snapshot;
+        if (tile_builder_) snapshot = tile_builder_(shard, data);
+        if (snapshot == nullptr) {
+          snapshot = std::make_shared<CsdSnapshot>(
+              MakeShardDataset(*data, *plan_, shard), options_.snapshot);
+        }
         result.version = sharded_store_->PublishShard(shard, snapshot);
         result.num_units = snapshot->diagram().units().size();
         result.num_patterns = snapshot->patterns().size();

@@ -118,6 +118,27 @@ class ServeService {
   Result<std::future<RebuildResult>> TriggerShardRebuild(
       size_t shard, std::shared_ptr<const ServeDataset> data = nullptr);
 
+  /// Delta-aware tile builds: when set, a shard rebuild first offers the
+  /// job to this hook on the shard's lane thread. Returning a snapshot
+  /// publishes it to the shard's lane as usual; returning nullptr (in-tile
+  /// state can't absorb this delta) falls back to the default full tile
+  /// build, and a throw fails the rebuild like any other build exception
+  /// (the lane keeps serving its last good snapshot). The streaming layer
+  /// installs its incremental engine
+  /// here (stream/in_tile_builder.h). Not synchronized against in-flight
+  /// rebuilds — install before the first TriggerShardRebuild.
+  using TileSnapshotBuilder = std::function<std::shared_ptr<CsdSnapshot>(
+      size_t shard, const std::shared_ptr<const ServeDataset>& data)>;
+  void SetTileSnapshotBuilder(TileSnapshotBuilder builder) {
+    tile_builder_ = std::move(builder);
+  }
+
+  /// The options TriggerRebuild snapshots are built with (the streaming
+  /// layer builds its own tile snapshots and must match them).
+  const SnapshotOptions& snapshot_options() const {
+    return options_.snapshot;
+  }
+
   /// Callback edition of TriggerRebuild (same contract as
   /// AnnotateStayPointsAsync: OK means `on_complete` runs exactly once,
   /// on the rebuild thread; an error return means it never will).
@@ -188,6 +209,8 @@ class ServeService {
 
   /// [0] = global; [1 + s] = shard s (sharded mode only).
   std::vector<std::unique_ptr<RebuildLane>> rebuild_lanes_;
+
+  TileSnapshotBuilder tile_builder_;
 
   std::mutex shutdown_mutex_;
   bool shut_down_ = false;

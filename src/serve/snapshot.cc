@@ -72,9 +72,24 @@ std::shared_ptr<const ServeDataset> MakeShardDataset(
     db[i].id = static_cast<TrajectoryId>(i);
   }
   return std::make_shared<const ServeDataset>(std::move(pois),
-                                              std::move(stays),
-                                              std::move(db));
+                                              std::move(stays), std::move(db),
+                                              full.decay_as_of);
 }
+
+namespace {
+
+// The dataset's publish-time decay instant takes precedence over the
+// builder's "newest stay" fallback (a tile cut's newest stay is not the
+// city's), unless the caller pinned an explicit as_of.
+void AdoptDatasetDecayInstant(SnapshotOptions& opts,
+                              const ServeDataset& data) {
+  auto& decay = opts.miner.csd.decay;
+  if (decay.enabled() && decay.as_of == 0 && data.decay_as_of != 0) {
+    decay.as_of = data.decay_as_of;
+  }
+}
+
+}  // namespace
 
 CsdSnapshot::CsdSnapshot(std::shared_ptr<const ServeDataset> data,
                          const SnapshotOptions& options)
@@ -83,6 +98,7 @@ CsdSnapshot::CsdSnapshot(std::shared_ptr<const ServeDataset> data,
   CSD_TRACE_SPAN("serve/snapshot_build");
   SnapshotOptions opts = options;
   opts.miner.build_roi_baseline = false;  // serving never queries ROI
+  AdoptDatasetDecayInstant(opts, *data_);
   miner_ = std::make_unique<PervasiveMiner>(&data_->pois, data_->stays,
                                             opts.miner);
   annotator_ = std::make_unique<BatchCsdAnnotator>(
@@ -100,6 +116,7 @@ CsdSnapshot::CsdSnapshot(std::shared_ptr<const ServeDataset> data,
 
   SnapshotOptions opts = options;
   opts.miner.build_roi_baseline = false;
+  AdoptDatasetDecayInstant(opts, *data_);
   if (opts.miner.extraction.seq_shard_lanes == 0) {
     opts.miner.extraction.seq_shard_lanes = plan_->num_shards();
   }
@@ -124,6 +141,23 @@ CsdSnapshot::CsdSnapshot(std::shared_ptr<const ServeDataset> data,
     shard_annotators_.push_back(std::make_unique<BatchCsdAnnotator>(
         &miner_->diagram(), radius, subset));
   }
+  FinishInit(opts);
+}
+
+CsdSnapshot::CsdSnapshot(std::shared_ptr<const ServeDataset> data,
+                         const SnapshotOptions& options,
+                         CitySemanticDiagram diagram)
+    : data_(std::move(data)), stamp_(kLiveStamp) {
+  CSD_CHECK(data_ != nullptr);
+  CSD_TRACE_SPAN("serve/snapshot_adopt_diagram");
+  CSD_CHECK_MSG(&diagram.pois() == &data_->pois,
+                "adopted diagram built over a different POI database");
+  SnapshotOptions opts = options;
+  opts.miner.build_roi_baseline = false;
+  miner_ = std::make_unique<PervasiveMiner>(&data_->pois, data_->stays,
+                                            opts.miner, std::move(diagram));
+  annotator_ = std::make_unique<BatchCsdAnnotator>(
+      &miner_->diagram(), miner_->csd_recognizer().radius());
   FinishInit(opts);
 }
 

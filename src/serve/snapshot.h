@@ -26,11 +26,20 @@ struct ServeDataset {
   std::vector<StayPoint> stays;          // popularity evidence (Eq. 3)
   SemanticTrajectoryDb trajectories;     // pattern-mining input
 
+  /// The decay evaluation instant of this generation (stream watermark at
+  /// publish time), or 0 for batch datasets. When set it overrides the
+  /// "newest stay" resolution of PopularityDecayOptions::as_of, so every
+  /// tile rebuild of the generation — and the batch oracle replaying it —
+  /// decays against the same clock. Ignored while decay is off.
+  Timestamp decay_as_of = 0;
+
   ServeDataset(std::vector<Poi> pois_in, std::vector<StayPoint> stays_in,
-               SemanticTrajectoryDb trajectories_in)
+               SemanticTrajectoryDb trajectories_in,
+               Timestamp decay_as_of_in = 0)
       : pois(std::move(pois_in)),
         stays(std::move(stays_in)),
-        trajectories(std::move(trajectories_in)) {}
+        trajectories(std::move(trajectories_in)),
+        decay_as_of(decay_as_of_in) {}
 };
 
 /// Builds a ServeDataset from raw taxi journeys the way the batch
@@ -85,6 +94,14 @@ class CsdSnapshot {
   /// monolithic-vs-sharded build timings compare like with like.
   CsdSnapshot(std::shared_ptr<const ServeDataset> data,
               const SnapshotOptions& options, const shard::ShardPlan& plan);
+
+  /// Adopts an already-built diagram instead of running the construction
+  /// stages — the incremental in-tile rebuild (stream/in_tile_builder.h)
+  /// materializes the tile's diagram itself and only needs the serving
+  /// shell (annotator, patterns, unit→pattern index) wrapped around it.
+  /// The diagram must have been built over `data->pois`.
+  CsdSnapshot(std::shared_ptr<const ServeDataset> data,
+              const SnapshotOptions& options, CitySemanticDiagram diagram);
 
   ~CsdSnapshot();
 

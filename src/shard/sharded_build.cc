@@ -64,6 +64,14 @@ CsdStageCaches BuildStageCaches(const PoiDatabase& pois,
   double neighbor = options.merging.neighbor_distance;
   double r3sigma = options.r3sigma;
 
+  // Decay instant resolved once against the FULL stay set, before tiling:
+  // a per-tile "newest stay" would give every tile its own clock and the
+  // stitched field would no longer match a monolithic build.
+  PopularityDecayOptions decay = options.decay;
+  if (decay.enabled() && decay.as_of == 0) {
+    decay.as_of = ResolveDecayAsOf(stays);
+  }
+
   std::vector<TileCache> tiles(num_shards);
   ParallelFor(
       num_shards,
@@ -89,9 +97,14 @@ CsdStageCaches BuildStageCaches(const PoiDatabase& pois,
                             pois.grid().cell_size());
 
         std::vector<Vec2> stay_positions;
+        std::vector<double> stay_weight;
         for (const StayPoint& sp : stays) {
           if (halo.Contains(sp.position)) {
             stay_positions.push_back(sp.position);
+            if (decay.enabled()) {
+              stay_weight.push_back(
+                  DecayWeight(sp.time, decay.as_of, decay.half_life_s));
+            }
           }
         }
         GridIndex stay_grid(std::move(stay_positions), r3sigma);
@@ -104,10 +117,18 @@ CsdStageCaches BuildStageCaches(const PoiDatabase& pois,
           // Equation (3) against the tile's stay subset, in the exact
           // enumeration (= summation) order of the monolithic model.
           double acc = 0.0;
-          stay_grid.ForEachInRadius(p, r3sigma, [&](size_t sidx) {
-            acc += GaussianCoefficient(Distance(p, stay_grid.point(sidx)),
-                                       r3sigma);
-          });
+          if (stay_weight.empty()) {
+            stay_grid.ForEachInRadius(p, r3sigma, [&](size_t sidx) {
+              acc += GaussianCoefficient(Distance(p, stay_grid.point(sidx)),
+                                         r3sigma);
+            });
+          } else {
+            stay_grid.ForEachInRadius(p, r3sigma, [&](size_t sidx) {
+              acc += stay_weight[sidx] *
+                     GaussianCoefficient(Distance(p, stay_grid.point(sidx)),
+                                         r3sigma);
+            });
+          }
           tc.pop.push_back(acc);
 
           tile_grid.ForEachInRadius(p, eps, [&](size_t idx) {

@@ -1,32 +1,59 @@
 #include "stream/delta_accumulator.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/popularity.h"
+#include "stream/stream_metrics.h"
 
 namespace csd::stream {
 
 DeltaAccumulator::DeltaAccumulator(const PoiDatabase* pois,
                                    const shard::ShardPlan* plan,
-                                   double r3sigma_m)
+                                   double r3sigma_m,
+                                   PopularityDecayOptions decay)
     : pois_(pois),
       plan_(plan),
       r3sigma_(r3sigma_m),
+      decay_(decay),
       delta_popularity_(pois->size(), 0.0),
       dirty_(plan->num_shards(), false) {}
+
+void DeltaAccumulator::PublishGauges() const {
+  PendingStaysGauge().Set(static_cast<double>(pending_stays_));
+  DirtyShardsGauge().Set(static_cast<double>(dirty_count_));
+}
 
 void DeltaAccumulator::Fold(uint32_t user_id, const StayPoint& stay) {
   std::lock_guard<std::mutex> lock(mutex_);
   stays_by_user_[user_id].push_back(stay);
   ++pending_stays_;
   ++total_stays_;
+  watermark_ = std::max(watermark_, stay.time);
+  double weight = 1.0;
+  if (decay_.enabled()) {
+    if (!decay_epoch_set_) {
+      decay_epoch_ = stay.time;
+      decay_epoch_set_ = true;
+    }
+    // Scaled to the current epoch, so one lazy rescale at epoch advance
+    // keeps every contribution on the same clock. Stays ahead of the
+    // epoch upscale (exactly — powers of two), bounded by the epoch lag
+    // of at most one publish interval.
+    weight = std::exp2(static_cast<double>(stay.time - decay_epoch_) /
+                       decay_.half_life_s);
+  }
   pois_->ForEachInRange(stay.position, r3sigma_, [&](PoiId id) {
     double d = Distance(stay.position, pois_->poi(id).position);
-    delta_popularity_[id] += GaussianCoefficient(d, r3sigma_);
+    delta_popularity_[id] += weight * GaussianCoefficient(d, r3sigma_);
   });
   for (size_t shard : plan_->HaloShardsOf(stay.position)) {
-    dirty_[shard] = true;
+    if (!dirty_[shard]) {
+      dirty_[shard] = true;
+      ++dirty_count_;
+    }
   }
+  PublishGauges();
 }
 
 StreamDelta DeltaAccumulator::Drain() {
@@ -37,14 +64,37 @@ StreamDelta DeltaAccumulator::Drain() {
     if (dirty_[s]) delta.dirty_shards.push_back(s);
   }
   pending_stays_ = 0;
+  dirty_count_ = 0;
   std::fill(dirty_.begin(), dirty_.end(), false);
+  PublishGauges();
   return delta;
 }
 
 void DeltaAccumulator::Restore(const StreamDelta& delta) {
   std::lock_guard<std::mutex> lock(mutex_);
   pending_stays_ += delta.stays;
-  for (size_t s : delta.dirty_shards) dirty_[s] = true;
+  for (size_t s : delta.dirty_shards) {
+    if (!dirty_[s]) {
+      dirty_[s] = true;
+      ++dirty_count_;
+    }
+  }
+  PublishGauges();
+}
+
+void DeltaAccumulator::AdvanceDecayEpoch(Timestamp new_epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!decay_.enabled()) return;
+  if (!decay_epoch_set_) {
+    decay_epoch_ = new_epoch;
+    decay_epoch_set_ = true;
+    return;
+  }
+  if (new_epoch <= decay_epoch_) return;
+  double scale = std::exp2(
+      -static_cast<double>(new_epoch - decay_epoch_) / decay_.half_life_s);
+  for (double& v : delta_popularity_) v *= scale;
+  decay_epoch_ = new_epoch;
 }
 
 std::vector<StayPoint> DeltaAccumulator::CanonicalStays() const {
@@ -55,6 +105,16 @@ std::vector<StayPoint> DeltaAccumulator::CanonicalStays() const {
     out.insert(out.end(), stays.begin(), stays.end());
   }
   return out;
+}
+
+Timestamp DeltaAccumulator::watermark() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return watermark_;
+}
+
+Timestamp DeltaAccumulator::decay_epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return decay_epoch_;
 }
 
 size_t DeltaAccumulator::pending_stays() const {

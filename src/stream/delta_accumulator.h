@@ -6,6 +6,7 @@
 #include <mutex>
 #include <vector>
 
+#include "core/popularity.h"
 #include "poi/poi_database.h"
 #include "shard/shard_plan.h"
 #include "traj/trajectory.h"
@@ -43,9 +44,17 @@ struct StreamDelta {
 class DeltaAccumulator {
  public:
   /// `pois` and `plan` must outlive the accumulator. `r3sigma_m` is the
-  /// popularity kernel radius R₃σ of Equation 3.
+  /// popularity kernel radius R₃σ of Equation 3. With `decay` enabled the
+  /// delta popularity field becomes a sliding-regime Eq. 3: folded
+  /// contributions are stored scaled to the current decay epoch — a stay
+  /// at time t adds 2^((t - epoch)/H) of its Gaussian mass, an exact
+  /// power-of-two upscale bounded by the epoch lag — and
+  /// AdvanceDecayEpoch rescales the whole field lazily in one pass
+  /// instead of touching every POI per fold. `decay.as_of` is ignored
+  /// (the epoch advances with the stream's watermark).
   DeltaAccumulator(const PoiDatabase* pois, const shard::ShardPlan* plan,
-                   double r3sigma_m = 100.0);
+                   double r3sigma_m = 100.0,
+                   PopularityDecayOptions decay = {});
 
   /// Folds one emitted stay: appends it to `user_id`'s history, adds its
   /// Gaussian contribution to every POI within R₃σ, and marks the
@@ -61,8 +70,22 @@ class DeltaAccumulator {
   /// no-lost-deltas contract the chaos tests hold.
   void Restore(const StreamDelta& delta);
 
+  /// Moves the decay epoch forward to `new_epoch` (normally the publish
+  /// tick's watermark), multiplying every accumulated delta by
+  /// 2^-((new_epoch - epoch)/H) in one lazy pass. No-op with decay off,
+  /// with a non-advancing epoch, or before the first fold (the epoch
+  /// seeds itself from the first folded stay).
+  void AdvanceDecayEpoch(Timestamp new_epoch);
+
   /// All folded stays, user-major / emission-minor (see class comment).
   std::vector<StayPoint> CanonicalStays() const;
+
+  /// Newest stay time ever folded (0 before the first fold) — the decay
+  /// instant a generation built from CanonicalStays should pin.
+  Timestamp watermark() const;
+
+  /// The instant the decayed delta field is currently expressed at.
+  Timestamp decay_epoch() const;
 
   /// Stays folded since the last successful Drain.
   size_t pending_stays() const;
@@ -74,17 +97,29 @@ class DeltaAccumulator {
   double total_delta_popularity() const;
 
  private:
+  /// Pushes the pending-stays and dirty-shards gauges (callers hold
+  /// mutex_). The accumulator owns these gauges outright — every
+  /// transition (fold, drain, restore) republishes them, so a forced
+  /// checkpoint's drain provably resets both to zero (the CI stream-smoke
+  /// job asserts the values, not just the series' presence).
+  void PublishGauges() const;
+
   const PoiDatabase* pois_;
   const shard::ShardPlan* plan_;
   double r3sigma_;
+  PopularityDecayOptions decay_;
 
   mutable std::mutex mutex_;
   /// Ordered by user id so canonical concatenation is a plain walk.
   std::map<uint32_t, std::vector<StayPoint>> stays_by_user_;
   std::vector<double> delta_popularity_;
   std::vector<bool> dirty_;
+  size_t dirty_count_ = 0;
   size_t pending_stays_ = 0;
   size_t total_stays_ = 0;
+  Timestamp watermark_ = 0;
+  Timestamp decay_epoch_ = 0;
+  bool decay_epoch_set_ = false;
 };
 
 }  // namespace csd::stream

@@ -1,0 +1,81 @@
+#include "stream/in_tile_builder.h"
+
+#include <chrono>
+#include <utility>
+
+#include "serve/snapshot.h"
+#include "stream/stream_metrics.h"
+#include "util/check.h"
+
+namespace csd::stream {
+
+InTileBuilder::InTileBuilder(serve::ServeService* service,
+                             const shard::ShardPlan* plan, Options options)
+    : service_(service), plan_(plan), options_(options) {
+  CSD_CHECK(service_ != nullptr && plan_ != nullptr);
+  shards_.reserve(plan_->num_shards());
+  for (size_t s = 0; s < plan_->num_shards(); ++s) {
+    shards_.push_back(std::make_unique<ShardState>());
+  }
+  service_->SetTileSnapshotBuilder(
+      [this](size_t shard,
+             const std::shared_ptr<const serve::ServeDataset>& data) {
+        return BuildTile(shard, data);
+      });
+}
+
+InTileBuilder::InTileBuilder(serve::ServeService* service,
+                             const shard::ShardPlan* plan)
+    : InTileBuilder(service, plan, Options()) {}
+
+InTileBuilder::~InTileBuilder() { service_->SetTileSnapshotBuilder(nullptr); }
+
+std::shared_ptr<serve::CsdSnapshot> InTileBuilder::BuildTile(
+    size_t shard, const std::shared_ptr<const serve::ServeDataset>& data) {
+  CSD_CHECK(shard < shards_.size() && data != nullptr);
+  std::shared_ptr<const serve::ServeDataset> tile =
+      serve::MakeShardDataset(*data, *plan_, shard);
+
+  ShardState& state = *shards_[shard];
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (state.engine == nullptr) {
+    IncrementalTileCsd::Options engine_options;
+    engine_options.build = service_->snapshot_options().miner.csd;
+    engine_options.churn_threshold = options_.churn_threshold;
+    state.engine =
+        std::make_unique<IncrementalTileCsd>(std::move(engine_options));
+  }
+
+  IncrementalTileCsd::TickStats tick;
+  auto apply_start = std::chrono::steady_clock::now();
+  CitySemanticDiagram diagram = [&] {
+    try {
+      return state.engine->Apply(tile->pois, tile->stays, tile->decay_as_of,
+                                 &tick);
+    } catch (...) {
+      // A half-applied tick leaves the engine's caches unspecified; drop
+      // them so the next attempt starts from a clean full build, then let
+      // the rebuild fail normally (the lane keeps its last good
+      // snapshot and the tick restores the dirty mark).
+      state.engine.reset();
+      throw;
+    }
+  }();
+  uint64_t apply_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - apply_start)
+          .count());
+  if (tick.incremental) {
+    in_tile_.fetch_add(1, std::memory_order_relaxed);
+    in_tile_us_.fetch_add(apply_us, std::memory_order_relaxed);
+    InTileRebuildsCounter().Increment();
+  } else {
+    fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    fallback_us_.fetch_add(apply_us, std::memory_order_relaxed);
+    InTileFallbacksCounter().Increment();
+  }
+  return std::make_shared<serve::CsdSnapshot>(
+      tile, service_->snapshot_options(), std::move(diagram));
+}
+
+}  // namespace csd::stream

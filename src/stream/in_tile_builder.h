@@ -1,0 +1,94 @@
+#ifndef CSD_STREAM_IN_TILE_BUILDER_H_
+#define CSD_STREAM_IN_TILE_BUILDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/incremental_csd.h"
+#include "serve/service.h"
+#include "shard/shard_plan.h"
+
+namespace csd::stream {
+
+/// The delta-aware tile build path: one IncrementalTileCsd engine per
+/// shard, offered to the serving layer through
+/// ServeService::SetTileSnapshotBuilder. A dirty-shard publish tick then
+/// absorbs the tick's new stays into the tile's cached cluster/unit
+/// structure instead of re-running every construction stage
+/// (core/incremental_csd.h); past the churn threshold the engine falls
+/// back to re-staging the whole tile — still against its cached ε/merge
+/// CSRs — and either way the snapshot published is built from the same
+/// tile dataset cut the default path would have used.
+///
+/// Engines key their state by tile POI identity, which streaming never
+/// changes, and diff stay lists internally, so a failed or skipped tick
+/// needs no compensation here: the next successful build diffs against
+/// whatever generation was last absorbed.
+///
+/// `service` and `plan` must outlive this object; the destructor
+/// uninstalls the hook (no rebuild may be in flight by then — the publish
+/// tick is synchronous, so quiescence at destruction is the caller's
+/// natural state).
+class InTileBuilder {
+ public:
+  struct Options {
+    /// Forwarded to IncrementalTileCsd (fraction of tile POIs dirty past
+    /// which a tick re-stages the whole tile).
+    double churn_threshold = 0.25;
+  };
+
+  /// Running totals across all shards (the bench's speedup accounting).
+  /// The seconds cover IncrementalTileCsd::Apply alone — the stage work
+  /// the in-tile path changes — not the dataset cut or snapshot
+  /// finishing both paths share; in_tile_rebuild_speedup divides the two
+  /// per-build averages.
+  struct Stats {
+    uint64_t in_tile = 0;    // ticks absorbed incrementally
+    uint64_t fallbacks = 0;  // first builds + churn-threshold re-stages
+    double in_tile_seconds = 0.0;
+    double fallback_seconds = 0.0;
+  };
+
+  InTileBuilder(serve::ServeService* service, const shard::ShardPlan* plan,
+                Options options);
+  InTileBuilder(serve::ServeService* service, const shard::ShardPlan* plan);
+  ~InTileBuilder();
+
+  InTileBuilder(const InTileBuilder&) = delete;
+  InTileBuilder& operator=(const InTileBuilder&) = delete;
+
+  /// The TileSnapshotBuilder contract (runs on shard rebuild lanes).
+  std::shared_ptr<serve::CsdSnapshot> BuildTile(
+      size_t shard, const std::shared_ptr<const serve::ServeDataset>& data);
+
+  Stats stats() const {
+    return {in_tile_.load(std::memory_order_relaxed),
+            fallbacks_.load(std::memory_order_relaxed),
+            1e-6 * static_cast<double>(
+                       in_tile_us_.load(std::memory_order_relaxed)),
+            1e-6 * static_cast<double>(
+                       fallback_us_.load(std::memory_order_relaxed))};
+  }
+
+ private:
+  struct ShardState {
+    std::mutex mutex;
+    std::unique_ptr<IncrementalTileCsd> engine;
+  };
+
+  serve::ServeService* service_;
+  const shard::ShardPlan* plan_;
+  Options options_;
+  std::vector<std::unique_ptr<ShardState>> shards_;
+  std::atomic<uint64_t> in_tile_{0};
+  std::atomic<uint64_t> fallbacks_{0};
+  std::atomic<uint64_t> in_tile_us_{0};
+  std::atomic<uint64_t> fallback_us_{0};
+};
+
+}  // namespace csd::stream
+
+#endif  // CSD_STREAM_IN_TILE_BUILDER_H_

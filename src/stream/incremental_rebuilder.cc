@@ -1,12 +1,15 @@
 #include "stream/incremental_rebuilder.h"
 
+#include <algorithm>
 #include <chrono>
 #include <deque>
 #include <future>
 #include <utility>
 #include <vector>
 
+#include "core/popularity.h"
 #include "obs/trace.h"
+#include "stream/in_tile_builder.h"
 #include "stream/stream_metrics.h"
 
 namespace csd::stream {
@@ -15,13 +18,16 @@ IncrementalRebuilder::IncrementalRebuilder(
     serve::ServeService* service, serve::ShardedSnapshotStore* store,
     const shard::ShardPlan* plan,
     std::shared_ptr<const serve::ServeDataset> bootstrap,
-    DeltaAccumulator* accumulator, size_t checkpoint_every)
+    DeltaAccumulator* accumulator, size_t checkpoint_every,
+    InTileBuilder* in_tile)
     : service_(service),
       store_(store),
       plan_(plan),
       bootstrap_(std::move(bootstrap)),
       accumulator_(accumulator),
-      checkpoint_every_(checkpoint_every) {}
+      checkpoint_every_(checkpoint_every),
+      in_tile_(in_tile),
+      bootstrap_watermark_(ResolveDecayAsOf(bootstrap_->stays)) {}
 
 std::shared_ptr<const serve::ServeDataset>
 IncrementalRebuilder::MakeNextGeneration() const {
@@ -34,8 +40,18 @@ IncrementalRebuilder::MakeNextGeneration() const {
   std::vector<StayPoint> stays = bootstrap_->stays;
   std::vector<StayPoint> streamed = accumulator_->CanonicalStays();
   stays.insert(stays.end(), streamed.begin(), streamed.end());
+  // With decay on, every generation pins its decay instant to the stream
+  // watermark (covering the bootstrap evidence). Pinning here — not
+  // per-tile at build time — is what keeps a tile rebuilt this tick and a
+  // tile rebuilt next tick on the same clock only when their generations
+  // say so, and keeps tiled builds byte-identical to monolithic ones.
+  Timestamp decay_as_of = 0;
+  if (service_->snapshot_options().miner.csd.decay.enabled()) {
+    decay_as_of = std::max(bootstrap_watermark_, accumulator_->watermark());
+  }
   return std::make_shared<const serve::ServeDataset>(
-      bootstrap_->pois.pois(), std::move(stays), bootstrap_->trajectories);
+      bootstrap_->pois.pois(), std::move(stays), bootstrap_->trajectories,
+      decay_as_of);
 }
 
 RebuildTickReport IncrementalRebuilder::Tick(bool force_checkpoint) {
@@ -50,12 +66,19 @@ RebuildTickReport IncrementalRebuilder::Tick(bool force_checkpoint) {
       force_checkpoint ||
       (checkpoint_every_ > 0 && (ticks_ + 1) % checkpoint_every_ == 0);
   if (delta.dirty_shards.empty() && !report.checkpoint) {
-    return report;  // nothing to fold, nothing published
+    // Nothing to rebuild — but a delta that carries stays without dirty
+    // shards (every stay out of the plan's bounds) must go back, or the
+    // drain silently zeroes the pending count those stays still hold.
+    if (delta.stays > 0) accumulator_->Restore(delta);
+    return report;
   }
   ++ticks_;
   DirtyShardsCounter().Increment(delta.dirty_shards.size());
 
   std::shared_ptr<const serve::ServeDataset> next = MakeNextGeneration();
+  // Re-express the pending delta field at the generation's decay instant
+  // (a lazy one-pass rescale; no-op with decay off).
+  accumulator_->AdvanceDecayEpoch(next->decay_as_of);
   if (report.checkpoint) {
     // Full plan-mode rebuild through the global lane: TriggerRebuild on
     // a sharded service builds with the plan and PublishAll()s, resetting
@@ -82,6 +105,8 @@ RebuildTickReport IncrementalRebuilder::Tick(bool force_checkpoint) {
     // slot and retry — in-flight parallelism up to the admission limit,
     // never a spurious per-tick failure because of it.
     std::deque<std::pair<size_t, std::future<serve::RebuildResult>>> waits;
+    InTileBuilder::Stats in_tile_before{};
+    if (in_tile_ != nullptr) in_tile_before = in_tile_->stats();
     StreamDelta failed;
     auto settle_one = [&]() {
       auto [shard, future] = std::move(waits.front());
@@ -113,6 +138,12 @@ RebuildTickReport IncrementalRebuilder::Tick(bool force_checkpoint) {
       }
     }
     while (!waits.empty()) settle_one();
+    if (in_tile_ != nullptr) {
+      InTileBuilder::Stats in_tile_after = in_tile_->stats();
+      report.shards_in_tile = in_tile_after.in_tile - in_tile_before.in_tile;
+      report.shards_fallback =
+          in_tile_after.fallbacks - in_tile_before.fallbacks;
+    }
     if (!failed.dirty_shards.empty()) {
       // No lost deltas: the stays remain in the canonical history, and
       // the failed shards go back on the dirty list. Re-pend the stay
@@ -129,8 +160,8 @@ RebuildTickReport IncrementalRebuilder::Tick(bool force_checkpoint) {
     if (report.checkpoint) accumulator_->Restore(delta);
   }
   if (report.version > 0) PublishTicksCounter().Increment();
-  PendingStaysGauge().Set(
-      static_cast<double>(accumulator_->pending_stays()));
+  // The pending-stays / dirty-shards gauges are owned by the accumulator
+  // (republished on every Fold/Drain/Restore) — no second writer here.
   report.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

@@ -13,6 +13,8 @@
 
 namespace csd::stream {
 
+class InTileBuilder;
+
 /// What one publish tick did.
 struct RebuildTickReport {
   Status status;
@@ -23,6 +25,11 @@ struct RebuildTickReport {
   size_t stays_folded = 0;
   /// Shard lanes successfully rebuilt + published (incremental ticks).
   size_t shards_rebuilt = 0;
+  /// Of those, publishes the delta-aware in-tile engine absorbed without
+  /// re-staging the tile / by re-staging it (first build or churn past
+  /// the threshold). Both zero when no InTileBuilder is installed.
+  size_t shards_in_tile = 0;
+  size_t shards_fallback = 0;
   bool checkpoint = false;
   double seconds = 0.0;
 };
@@ -54,13 +61,17 @@ struct RebuildTickReport {
 class IncrementalRebuilder {
  public:
   /// All pointees must outlive the rebuilder. `bootstrap` is the served
-  /// dataset generation the stream folds onto.
+  /// dataset generation the stream folds onto. `in_tile` (optional) is
+  /// the delta-aware in-tile engine whose per-tick absorb/fallback
+  /// counts the report breaks out; the builder itself hooks the service
+  /// directly, so passing it here only wires up reporting.
   IncrementalRebuilder(serve::ServeService* service,
                        serve::ShardedSnapshotStore* store,
                        const shard::ShardPlan* plan,
                        std::shared_ptr<const serve::ServeDataset> bootstrap,
                        DeltaAccumulator* accumulator,
-                       size_t checkpoint_every = 0);
+                       size_t checkpoint_every = 0,
+                       InTileBuilder* in_tile = nullptr);
 
   /// One synchronous publish tick (ticks are serialized). Drains the
   /// accumulator, rebuilds dirty shards (or the whole city on a
@@ -80,6 +91,11 @@ class IncrementalRebuilder {
   std::shared_ptr<const serve::ServeDataset> bootstrap_;
   DeltaAccumulator* accumulator_;
   size_t checkpoint_every_;
+  InTileBuilder* in_tile_;
+  /// Newest bootstrap stay time, resolved once at construction; combined
+  /// with the accumulator watermark it pins each generation's decay
+  /// instant.
+  Timestamp bootstrap_watermark_;
 
   std::mutex tick_mutex_;
   uint64_t ticks_ = 0;

@@ -16,9 +16,17 @@ StreamIngestor::StreamIngestor(
     : plan_(std::move(plan)),
       bootstrap_(std::move(bootstrap)),
       options_(options),
-      accumulator_(&bootstrap_->pois, &plan_, options.r3sigma_m),
+      // The delta field decays on the same clock as the serving builds:
+      // one half-life, configured once on the service's snapshot options.
+      accumulator_(&bootstrap_->pois, &plan_, options.r3sigma_m,
+                   service->snapshot_options().miner.csd.decay),
+      in_tile_(options.in_tile_rebuilds
+                   ? std::make_unique<InTileBuilder>(
+                         service, &plan_,
+                         InTileBuilder::Options{options.churn_threshold})
+                   : nullptr),
       rebuilder_(service, store, &plan_, bootstrap_, &accumulator_,
-                 options.checkpoint_every) {
+                 options.checkpoint_every, in_tile_.get()) {
   RegisterStreamMetrics();
 }
 
@@ -103,8 +111,7 @@ void StreamIngestor::FoldEmitted(uint32_t user_id,
   stays_emitted_ += stays.size();
   if (!stays.empty()) {
     StaysEmittedCounter().Increment(stays.size());
-    PendingStaysGauge().Set(
-        static_cast<double>(accumulator_.pending_stays()));
+    // The pending-stays gauge is the accumulator's: Fold republished it.
   }
 }
 

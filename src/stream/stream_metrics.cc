@@ -64,10 +64,33 @@ obs::Counter& IngestFaultsCounter() {
   return c;
 }
 
+obs::Counter& InTileRebuildsCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Get().GetCounter(
+      "csd_stream_in_tile_rebuilds_total",
+      "Tile publishes absorbed incrementally by the delta-aware engine");
+  return c;
+}
+
+obs::Counter& InTileFallbacksCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Get().GetCounter(
+      "csd_stream_in_tile_fallbacks_total",
+      "Tile publishes that re-staged the whole tile (first build or "
+      "churn past the threshold)");
+  return c;
+}
+
 obs::Gauge& PendingStaysGauge() {
   static obs::Gauge& g = obs::MetricsRegistry::Get().GetGauge(
       "csd_stream_pending_stays",
       "Stay points folded but not yet covered by a publish tick");
+  return g;
+}
+
+obs::Gauge& DirtyShardsGauge() {
+  static obs::Gauge& g = obs::MetricsRegistry::Get().GetGauge(
+      "csd_stream_dirty_shards",
+      "Shards whose pending delta has not yet been covered by a publish "
+      "tick");
   return g;
 }
 
@@ -89,7 +112,10 @@ void RegisterStreamMetrics() {
   TickFailuresCounter();
   ShardRebuildsCounter();
   IngestFaultsCounter();
+  InTileRebuildsCounter();
+  InTileFallbacksCounter();
   PendingStaysGauge();
+  DirtyShardsGauge();
   FoldLatencyHistogram();
 }
 

@@ -17,7 +17,10 @@ obs::Counter& CheckpointsCounter();
 obs::Counter& TickFailuresCounter();
 obs::Counter& ShardRebuildsCounter();
 obs::Counter& IngestFaultsCounter();
+obs::Counter& InTileRebuildsCounter();
+obs::Counter& InTileFallbacksCounter();
 obs::Gauge& PendingStaysGauge();
+obs::Gauge& DirtyShardsGauge();
 obs::Histogram& FoldLatencyHistogram();
 
 /// Touches every csd_stream_* metric so a healthy server's scrape shows

@@ -12,10 +12,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <functional>
 #include <future>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <utility>
@@ -25,6 +28,7 @@
 
 #include "io/binary_io.h"
 #include "io/dataset_io.h"
+#include "obs/obs.h"
 #include "serve/batcher.h"
 #include "serve/protocol.h"
 #include "serve/retry.h"
@@ -34,9 +38,11 @@
 #include "shard/shard_plan.h"
 #include "shard/sharded_build.h"
 #include "stream/stream_ingestor.h"
+#include "stream/stream_metrics.h"
 #include "synth/city_generator.h"
 #include "synth/trip_generator.h"
 #include "tests/serve_test_helpers.h"
+#include "traj/stay_point_detector.h"
 #include "util/failpoint.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -614,6 +620,94 @@ TEST_F(StreamChaosTest, RebuildFaultKeepsLastGoodSnapshotAndLosesNoDeltas) {
   }
   EXPECT_EQ(rig.ingestor->pending_stays(), 0u);
   rig.service->Shutdown();
+}
+
+TEST_F(StreamChaosTest, RestoreAfterMidTickFaultMatchesBatchOracleBytes) {
+  // The delta-restore path under chaos, held to byte identity: a tick
+  // that fails mid-flight Restore()s its drained delta, MORE evidence
+  // folds on top of the restored state (the double-count surface), and
+  // the eventual forced checkpoint must still reproduce the batch
+  // oracle over bootstrap + both dwells exactly — a fault is never a
+  // lost OR a doubled stay. Metrics are asserted by VALUE, so enable
+  // the obs layer for the duration.
+  const bool obs_was_enabled = obs::Enabled();
+  obs::SetEnabled(true);
+  Rig rig = MakeRig(4);
+  const std::vector<Poi>& pois = (*bootstrap_)->pois.pois();
+  std::vector<GpsPoint> dwell3 = MakeDwellFixes(pois.front().position, 1000);
+  std::vector<GpsPoint> dwell5 = MakeDwellFixes(pois[400].position, 50000);
+
+  ASSERT_TRUE(rig.ingestor
+                  ->IngestFixes(3, std::span<const GpsPoint>(dwell3))
+                  .ok());
+  rig.ingestor->FlushAll();
+  size_t pending = rig.ingestor->pending_stays();
+  ASSERT_GT(pending, 0u);
+
+  ASSERT_TRUE(FailpointRegistry::Get()
+                  .Arm("serve/rebuild", "return(unavailable:rebuild chaos)")
+                  .ok());
+  stream::RebuildTickReport failed = rig.ingestor->PublishTick();
+  EXPECT_EQ(failed.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(rig.ingestor->pending_stays(), pending);
+  // The restored delta republishes the gauges: pending stays and dirty
+  // shards both read the restored state, not zero and not double.
+  EXPECT_EQ(stream::PendingStaysGauge().Value(),
+            static_cast<double>(pending));
+  EXPECT_GT(stream::DirtyShardsGauge().Value(), 0.0);
+
+  // Fold a second user's dwell on top of the restored delta before the
+  // retry — merging, not double-counting, is what's under test.
+  ASSERT_TRUE(rig.ingestor
+                  ->IngestFixes(5, std::span<const GpsPoint>(dwell5))
+                  .ok());
+  rig.ingestor->FlushAll();
+  EXPECT_GT(rig.ingestor->pending_stays(), pending);
+
+  FailpointRegistry::Get().DisarmAll();
+  stream::RebuildTickReport checkpoint =
+      rig.ingestor->PublishTick(/*force_checkpoint=*/true);
+  ASSERT_TRUE(checkpoint.status.ok()) << checkpoint.status.message();
+  EXPECT_TRUE(checkpoint.checkpoint);
+  // After the forced checkpoint both stream gauges must read exactly
+  // zero — a drained accumulator that leaves a stale gauge behind turns
+  // every dashboard into a false alarm.
+  EXPECT_EQ(rig.ingestor->pending_stays(), 0u);
+  EXPECT_EQ(stream::PendingStaysGauge().Value(), 0.0);
+  EXPECT_EQ(stream::DirtyShardsGauge().Value(), 0.0);
+
+  // The batch oracle: bootstrap evidence plus both dwells' batch stays
+  // in user-id order — the canonical order the accumulator maintains
+  // across the fault.
+  std::vector<StayPoint> stays = (*bootstrap_)->stays;
+  for (const std::vector<GpsPoint>* fixes : {&dwell3, &dwell5}) {
+    Trajectory trace;
+    trace.points = *fixes;
+    std::vector<StayPoint> user_stays = DetectStayPoints(trace);
+    ASSERT_EQ(user_stays.size(), 1u);
+    stays.insert(stays.end(), user_stays.begin(), user_stays.end());
+  }
+  auto oracle_data = std::make_shared<const serve::ServeDataset>(
+      pois, std::move(stays), (*bootstrap_)->trajectories);
+  serve::CsdSnapshot oracle(oracle_data,
+                            TestSnapshotOptions(/*mine_patterns=*/false),
+                            rig.plan);
+
+  auto serialize = [](const CitySemanticDiagram& diagram,
+                      const std::string& tag) {
+    std::string path = ::testing::TempDir() + "/chaos_" + tag + ".bin";
+    Status written = WriteCsdBinary(path, diagram);
+    EXPECT_TRUE(written.ok()) << written.message();
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream bytes;
+    bytes << in.rdbuf();
+    std::remove(path.c_str());
+    return bytes.str();
+  };
+  EXPECT_EQ(serialize(rig.store->Acquire()->diagram(), "served"),
+            serialize(oracle.diagram(), "oracle"));
+  rig.service->Shutdown();
+  obs::SetEnabled(obs_was_enabled);
 }
 
 // --- Deadline propagation -------------------------------------------------

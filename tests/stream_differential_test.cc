@@ -166,6 +166,36 @@ TEST(StreamDifferentialTest, DropPolicyMatchesGuardedBatchOnDisorder) {
   EXPECT_GT(total_dropped, 0u);  // the perturbation must actually bite
 }
 
+TEST(StreamDifferentialTest, LateFixAtReleaseFloorIsKeptNotDropped) {
+  // Boundary audit of the drop rule, pinned by hand-built fixes: the
+  // floor is the newest RELEASED timestamp, and a late fix landing
+  // exactly ON it is kept (drop is `<`, not `<=`) — matching batch
+  // DropLateFixes, which keeps equal timestamps too.
+  OnlineDetectorOptions windowed;
+  windowed.reorder_window_s = 60;
+  OnlineStayPointDetector detector(windowed);
+  std::vector<StayPoint> stays;
+  detector.Ingest(GpsPoint{Vec2{10.0, 10.0}, 1000}, &stays);
+  // Watermark 1060 releases the t=1000 fix (1000 + 60 <= 1060): the
+  // floor is now exactly 1000.
+  detector.Ingest(GpsPoint{Vec2{12.0, 10.0}, 1060}, &stays);
+  EXPECT_EQ(detector.late_dropped(), 0u);
+  // On the floor: kept.
+  detector.Ingest(GpsPoint{Vec2{14.0, 10.0}, 1000}, &stays);
+  EXPECT_EQ(detector.late_dropped(), 0u);
+  // One second below it: dropped.
+  detector.Ingest(GpsPoint{Vec2{16.0, 10.0}, 999}, &stays);
+  EXPECT_EQ(detector.late_dropped(), 1u);
+  // And the same boundary semantics with the window off (floor = newest
+  // accepted fix): equal is kept, strictly older is dropped.
+  OnlineStayPointDetector unwindowed((OnlineDetectorOptions()));
+  unwindowed.Ingest(GpsPoint{Vec2{10.0, 10.0}, 2000}, &stays);
+  unwindowed.Ingest(GpsPoint{Vec2{12.0, 10.0}, 2000}, &stays);
+  EXPECT_EQ(unwindowed.late_dropped(), 0u);
+  unwindowed.Ingest(GpsPoint{Vec2{14.0, 10.0}, 1999}, &stays);
+  EXPECT_EQ(unwindowed.late_dropped(), 1u);
+}
+
 TEST(StreamDifferentialTest, ReorderWindowRecoversLateFixes) {
   SyntheticCity city = MakeReplayCity();
   ReplaySet replay = MakeReplaySet(city, MakeReplayConfig(8));
@@ -185,6 +215,64 @@ TEST(StreamDifferentialTest, ReorderWindowRecoversLateFixes) {
   }
 }
 
+TEST(StreamDifferentialTest, ReorderWindowExactlyAtDisplacementRecovers) {
+  // An adjacent swap displaces a fix by exactly one 30 s sample
+  // interval. The recovery threshold is the window EQUAL to that
+  // displacement, not strictly greater — the release rule is
+  // `time + W <= watermark`, so a window of one interval re-sorts the
+  // swap with nothing dropped. A regression to `<` (or an off-by-one in
+  // the floor) breaks this exact-boundary case first.
+  SyntheticCity city = MakeReplayCity();
+  ReplaySet replay = MakeReplaySet(city, MakeReplayConfig(8));
+  OnlineDetectorOptions windowed;
+  windowed.reorder_window_s = 30;
+  for (const Trajectory& trace : replay.traces) {
+    Trajectory perturbed = PerturbTrace(trace, 7);
+    uint64_t dropped = 0;
+    std::vector<StayPoint> online = RunOnline(perturbed, windowed, &dropped);
+    ExpectStaysIdentical(DetectStayPoints(trace), online,
+                         "boundary user " + std::to_string(trace.passenger));
+    EXPECT_EQ(dropped, 0u) << "user " << trace.passenger;
+  }
+}
+
+/// Collapses timestamps onto their predecessor at a stride: a trace with
+/// duplicate timestamps, the other boundary the drop rule must agree on.
+Trajectory DuplicateTimestamps(const Trajectory& trace, size_t stride) {
+  Trajectory duplicated = trace;
+  for (size_t i = 2; i < duplicated.points.size(); i += stride) {
+    duplicated.points[i].time = duplicated.points[i - 1].time;
+  }
+  return duplicated;
+}
+
+TEST(StreamDifferentialTest, BoundaryFuzzDuplicateTimestampsMatchBatch) {
+  // Fuzz the two boundary behaviors together: duplicate timestamps
+  // (kept on both paths) layered over adjacent swaps (dropped on both
+  // paths, window 0). Online and guarded batch must agree on stays AND
+  // drop counts for every stride/trace combination.
+  SyntheticCity city = MakeReplayCity();
+  ReplaySet replay = MakeReplaySet(city, MakeReplayConfig(8));
+  size_t total_dropped = 0;
+  for (size_t stride : {size_t{5}, size_t{9}, size_t{13}}) {
+    for (const Trajectory& trace : replay.traces) {
+      Trajectory fuzzed = DuplicateTimestamps(PerturbTrace(trace, 7), stride);
+      size_t batch_dropped = 0;
+      std::vector<StayPoint> batch =
+          DetectStayPoints(fuzzed, StayPointOptions{}, &batch_dropped);
+      uint64_t online_dropped = 0;
+      std::vector<StayPoint> online = RunOnline(fuzzed, {}, &online_dropped);
+      ExpectStaysIdentical(batch, online,
+                           "fuzz stride " + std::to_string(stride) + " user " +
+                               std::to_string(trace.passenger));
+      EXPECT_EQ(batch_dropped, online_dropped)
+          << "stride " << stride << " user " << trace.passenger;
+      total_dropped += batch_dropped;
+    }
+  }
+  EXPECT_GT(total_dropped, 0u);
+}
+
 /// The batch oracle for an end-to-end run: bootstrap evidence followed
 /// by every user's batch-detected stays in user order — exactly the
 /// canonical order DeltaAccumulator maintains, independent of how the
@@ -197,8 +285,14 @@ std::shared_ptr<const ServeDataset> MakeOracleDataset(
     std::vector<StayPoint> user_stays = DetectStayPoints(trace);
     stays.insert(stays.end(), user_stays.begin(), user_stays.end());
   }
+  // Pin the oracle's decay instant to the newest stay — exactly the
+  // watermark a streamed generation publishes with (the stream's stays
+  // are this same set, so max(bootstrap, stream watermark) coincides).
+  // Ignored while decay is off, so every decay-off oracle is unchanged.
+  Timestamp decay_as_of = ResolveDecayAsOf(stays);
   return std::make_shared<const ServeDataset>(
-      bootstrap->pois.pois(), std::move(stays), bootstrap->trajectories);
+      bootstrap->pois.pois(), std::move(stays), bootstrap->trajectories,
+      decay_as_of);
 }
 
 struct StreamRig {
@@ -211,8 +305,8 @@ struct StreamRig {
 };
 
 StreamRig MakeRig(const std::shared_ptr<const ServeDataset>& bootstrap,
-                  size_t shards) {
-  auto options = TestSnapshotOptions();
+                  size_t shards,
+                  serve::SnapshotOptions options = TestSnapshotOptions()) {
   StreamRig rig{shard::PlanForCity(bootstrap->pois, shards,
                                    options.miner.csd),
                 bootstrap,
@@ -313,6 +407,90 @@ TEST(StreamDifferentialTest, CheckpointReproducesBatchDiagramBytes) {
   SetDefaultParallelism(0);
   EXPECT_EQ(serial_bytes, oracle_bytes);
   EXPECT_EQ(parallel_bytes, oracle_bytes);
+}
+
+TEST(StreamDifferentialTest, DecayOffBuildsAreByteIdenticalAcrossAllPaths) {
+  // The decay-off contract, spelled out across every build path at two
+  // pool widths: with half_life_s = 0 set EXPLICITLY, a monolithic
+  // build (no plan), a tiled build, and a streamed checkpoint all
+  // serialize to the same bytes — streaming plus the decay plumbing
+  // changed nothing about Eq. 3 as published.
+  SyntheticCity city = MakeReplayCity();
+  TripConfig trip_config;
+  trip_config.num_agents = 300;
+  trip_config.num_days = 2;
+  trip_config.seed = 62;
+  TripDataset trips = GenerateTrips(city, trip_config);
+  std::shared_ptr<const ServeDataset> bootstrap =
+      serve::MakeServeDataset(city.pois, trips.journeys);
+  ReplaySet replay = MakeReplaySet(city, MakeReplayConfig(8));
+
+  auto options = TestSnapshotOptions();
+  options.miner.csd.decay.half_life_s = 0.0;
+  auto oracle_data = MakeOracleDataset(bootstrap, replay.traces);
+  shard::ShardPlan plan =
+      shard::PlanForCity(bootstrap->pois, 4, options.miner.csd);
+
+  std::string expected;
+  for (int threads : {1, 4}) {
+    SetDefaultParallelism(static_cast<size_t>(threads));
+    std::string tag = std::to_string(threads);
+    CsdSnapshot monolithic(oracle_data, options);
+    CsdSnapshot tiled(oracle_data, options, plan);
+    std::string monolithic_bytes =
+        SerializeDiagram(monolithic.diagram(), "mono" + tag);
+    if (expected.empty()) expected = monolithic_bytes;
+    EXPECT_EQ(monolithic_bytes, expected) << "monolithic, " << tag;
+    EXPECT_EQ(SerializeDiagram(tiled.diagram(), "tiled" + tag), expected)
+        << "tiled, " << tag;
+    StreamRig rig = MakeRig(bootstrap, 4, options);
+    EXPECT_EQ(RunStreamToCheckpoint(rig, replay.stream, 1500,
+                                    "streamed" + tag),
+              expected)
+        << "streamed, " << tag;
+  }
+  SetDefaultParallelism(0);
+}
+
+TEST(StreamDifferentialTest, DecayOnCheckpointReproducesBatchOracleBytes) {
+  // Decay on end to end: the streamed checkpoint decays against its
+  // publish watermark, the batch oracle against ResolveDecayAsOf of the
+  // same stay set — the same instant — so the bytes still match
+  // exactly. This pins the whole decay data path: the accumulator's
+  // lazy epoch rescale, the generation's pinned decay_as_of, and the
+  // exact recompute in the checkpoint build.
+  SyntheticCity city = MakeReplayCity();
+  TripConfig trip_config;
+  trip_config.num_agents = 300;
+  trip_config.num_days = 2;
+  trip_config.seed = 62;
+  TripDataset trips = GenerateTrips(city, trip_config);
+  std::shared_ptr<const ServeDataset> bootstrap =
+      serve::MakeServeDataset(city.pois, trips.journeys);
+  ReplaySet replay = MakeReplaySet(city, MakeReplayConfig(8));
+
+  auto options = TestSnapshotOptions();
+  options.miner.csd.decay.half_life_s = 3600.0;
+  auto oracle_data = MakeOracleDataset(bootstrap, replay.traces);
+  ASSERT_GT(oracle_data->decay_as_of, 0);
+  CsdSnapshot oracle(oracle_data, options,
+                     shard::PlanForCity(bootstrap->pois, 4,
+                                        options.miner.csd));
+  std::string oracle_bytes =
+      SerializeDiagram(oracle.diagram(), "decay_oracle");
+
+  StreamRig rig = MakeRig(bootstrap, 4, options);
+  EXPECT_EQ(RunStreamToCheckpoint(rig, replay.stream, 1500, "decay_stream"),
+            oracle_bytes);
+
+  // And the decayed build is genuinely different evidence: the same
+  // dataset with decay off lands elsewhere.
+  auto decay_off = TestSnapshotOptions();
+  CsdSnapshot undecayed(oracle_data, decay_off,
+                        shard::PlanForCity(bootstrap->pois, 4,
+                                           decay_off.miner.csd));
+  EXPECT_NE(SerializeDiagram(undecayed.diagram(), "decay_off"),
+            oracle_bytes);
 }
 
 TEST(StreamDifferentialTest, IncrementalTickDivergesOnlyOnFringe) {

@@ -20,6 +20,7 @@
 //                    [--stream 1] [--stream-tick-ms 1000]
 //                    [--stream-checkpoint-every N]
 //                    [--stream-reorder-window-s W]
+//                    [--stream-decay-half-life-s H]
 //
 // `csdctl <command> --help` lists the command's flags. Unknown flags and
 // flags missing their value are errors that name the offending token.
@@ -50,6 +51,9 @@
 // INGEST_FIX frames: live GPS fixes run through per-user online
 // stay-point detectors, and a ticker thread publishes incremental
 // snapshots rebuilding only the dirty tiles (docs/streaming.md).
+// --stream-decay-half-life-s H > 0 additionally time-decays popularity:
+// every stay's Equation 3 contribution is weighted by 2^-(age/H) against
+// the stream watermark, so old evidence fades as new evidence arrives.
 
 #include <signal.h>
 
@@ -254,6 +258,10 @@ const std::vector<CommandSpec>& Commands() {
         {"stream-reorder-window-s", "buffer out-of-order fixes up to this "
                                     "many seconds; older ones are dropped "
                                     "with a metric (default 0)"},
+        {"stream-decay-half-life-s", "half-life in seconds for "
+                                     "time-decayed popularity (default 0 "
+                                     "= no decay; builds stay "
+                                     "byte-identical to batch)"},
         {"scenario", "walk the named pack's chaos schedule (failpoint "
                      "arm/disarm per load phase) once --listen is up"},
         {"list-scenarios", "list registered scenario packs and exit"}}},
@@ -610,6 +618,21 @@ int CmdServe(const Args& args) {
   snapshot_options.miner.extraction.closed_patterns =
       args.GetInt("closed", 0) != 0;
   snapshot_options.mine_patterns = args.GetInt("patterns", 1) != 0;
+  const double decay_half_life_s =
+      args.GetDouble("stream-decay-half-life-s", 0.0);
+  if (decay_half_life_s < 0.0) {
+    return Fail(Status::InvalidArgument(
+        "--stream-decay-half-life-s must be >= 0"));
+  }
+  if (decay_half_life_s > 0.0 && !stream_on) {
+    return Fail(Status::InvalidArgument(
+        "--stream-decay-half-life-s decays popularity against the stream "
+        "watermark and needs --stream 1"));
+  }
+  // One knob, one home: every build this process runs — the bootstrap
+  // snapshot, checkpoint rebuilds, and the in-tile incremental engine —
+  // reads the half-life from the service's snapshot options.
+  snapshot_options.miner.csd.decay.half_life_s = decay_half_life_s;
 
   serve::ServeOptions options;
   options.batch.max_batch =
@@ -697,11 +720,13 @@ int CmdServe(const Args& args) {
       });
       std::fprintf(stderr,
                    "serve: stream ingest on (tick %lld ms, checkpoint "
-                   "every %zu ticks, reorder window %lld s)\n",
+                   "every %zu ticks, reorder window %lld s, decay "
+                   "half-life %.0f s)\n",
                    static_cast<long long>(tick.count()),
                    stream_options.checkpoint_every,
                    static_cast<long long>(
-                       stream_options.detector.reorder_window_s));
+                       stream_options.detector.reorder_window_s),
+                   decay_half_life_s);
     }
     auto server_or = serve::NetServer::Start(&service, net_options);
     if (!server_or.ok()) {
@@ -747,6 +772,12 @@ int CmdServe(const Args& args) {
       ticker.join();
     }
     if (ingestor) {
+      // Close every open detector window and fold the remainder through
+      // one forced checkpoint, so a drained server leaves an exact
+      // full-city snapshot behind and both stream gauges read zero (the
+      // CI stream-smoke job asserts the scraped values, not presence).
+      ingestor->FlushAll();
+      ingestor->PublishTick(/*force_checkpoint=*/true);
       std::fprintf(
           stderr,
           "serve: stream drained (%llu fixes, %llu stays, %llu late "
